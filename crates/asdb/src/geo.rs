@@ -1,0 +1,200 @@
+//! IP-range geolocation (the NetAcuity analog).
+//!
+//! Shortlist heuristic #2 (§4.3 of the paper) prunes a transient deployment
+//! that geolocates to the same country as the stable deployment — the
+//! attacks of interest stage infrastructure in *foreign* hosting providers.
+
+use retrodns_types::{CountryCode, Ipv4Addr};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when inserting an overlapping or inverted range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeoError {
+    /// `start > end`.
+    InvertedRange(Ipv4Addr, Ipv4Addr),
+    /// The new range intersects one already inserted.
+    Overlap(Ipv4Addr, Ipv4Addr),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvertedRange(s, e) => write!(f, "inverted geo range {s}..{e}"),
+            GeoError::Overlap(s, e) => write!(f, "geo range {s}..{e} overlaps an existing range"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+/// Builder for a [`GeoTable`]. Ranges must be disjoint.
+#[derive(Debug, Clone, Default)]
+pub struct GeoTableBuilder {
+    ranges: Vec<(u32, u32, CountryCode)>, // inclusive, unsorted until build
+}
+
+impl GeoTableBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Map the inclusive range `[start, end]` to `country`.
+    pub fn insert_range(
+        &mut self,
+        start: Ipv4Addr,
+        end: Ipv4Addr,
+        country: CountryCode,
+    ) -> Result<&mut Self, GeoError> {
+        if start > end {
+            return Err(GeoError::InvertedRange(start, end));
+        }
+        let (s, e) = (start.value(), end.value());
+        for &(rs, re, _) in &self.ranges {
+            if s <= re && rs <= e {
+                return Err(GeoError::Overlap(start, end));
+            }
+        }
+        self.ranges.push((s, e, country));
+        Ok(self)
+    }
+
+    /// Map every address of a CIDR prefix to `country`.
+    pub fn insert_prefix(
+        &mut self,
+        prefix: retrodns_types::Ipv4Prefix,
+        country: CountryCode,
+    ) -> Result<&mut Self, GeoError> {
+        self.insert_range(prefix.first(), prefix.last(), country)
+    }
+
+    /// Finalize into an immutable table.
+    pub fn build(mut self) -> GeoTable {
+        self.ranges.sort_by_key(|&(s, _, _)| s);
+        GeoTable {
+            starts: self.ranges.iter().map(|r| r.0).collect(),
+            ends: self.ranges.iter().map(|r| r.1).collect(),
+            countries: self.ranges.iter().map(|r| r.2).collect(),
+        }
+    }
+}
+
+/// Immutable IP → country table over disjoint sorted ranges.
+///
+/// # Examples
+///
+/// ```
+/// use retrodns_asdb::GeoTableBuilder;
+///
+/// let mut b = GeoTableBuilder::new();
+/// b.insert_prefix("95.179.128.0/18".parse().unwrap(), "NL".parse().unwrap()).unwrap();
+/// let geo = b.build();
+/// assert_eq!(geo.lookup("95.179.131.225".parse().unwrap()).unwrap().as_str(), "NL");
+/// assert_eq!(geo.lookup("8.8.8.8".parse().unwrap()), None);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GeoTable {
+    starts: Vec<u32>,
+    ends: Vec<u32>,
+    countries: Vec<CountryCode>,
+}
+
+impl GeoTable {
+    /// The country an address geolocates to, if mapped.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<CountryCode> {
+        let v = ip.value();
+        let idx = match self.starts.binary_search(&v) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        (v <= self.ends[idx]).then(|| self.countries[idx])
+    }
+
+    /// Number of mapped ranges.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// True if no ranges are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+    fn cc(s: &str) -> CountryCode {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn lookup_inside_and_outside() {
+        let mut b = GeoTableBuilder::new();
+        b.insert_range(ip("10.0.0.0"), ip("10.0.0.255"), cc("GR")).unwrap();
+        b.insert_range(ip("10.0.2.0"), ip("10.0.2.255"), cc("NL")).unwrap();
+        let t = b.build();
+        assert_eq!(t.lookup(ip("10.0.0.128")), Some(cc("GR")));
+        assert_eq!(t.lookup(ip("10.0.2.0")), Some(cc("NL")));
+        assert_eq!(t.lookup(ip("10.0.1.5")), None); // gap between ranges
+        assert_eq!(t.lookup(ip("9.255.255.255")), None);
+        assert_eq!(t.lookup(ip("10.0.3.0")), None);
+    }
+
+    #[test]
+    fn boundaries_are_inclusive() {
+        let mut b = GeoTableBuilder::new();
+        b.insert_range(ip("10.0.0.0"), ip("10.0.0.255"), cc("GR")).unwrap();
+        let t = b.build();
+        assert_eq!(t.lookup(ip("10.0.0.0")), Some(cc("GR")));
+        assert_eq!(t.lookup(ip("10.0.0.255")), Some(cc("GR")));
+    }
+
+    #[test]
+    fn rejects_overlap_and_inversion() {
+        let mut b = GeoTableBuilder::new();
+        b.insert_range(ip("10.0.0.0"), ip("10.0.0.255"), cc("GR")).unwrap();
+        assert_eq!(
+            b.insert_range(ip("10.0.0.255"), ip("10.0.1.0"), cc("NL")).err(),
+            Some(GeoError::Overlap(ip("10.0.0.255"), ip("10.0.1.0")))
+        );
+        assert_eq!(
+            b.insert_range(ip("10.0.1.0"), ip("10.0.0.0"), cc("NL")).err(),
+            Some(GeoError::InvertedRange(ip("10.0.1.0"), ip("10.0.0.0")))
+        );
+    }
+
+    #[test]
+    fn adjacent_ranges_allowed() {
+        let mut b = GeoTableBuilder::new();
+        b.insert_range(ip("10.0.0.0"), ip("10.0.0.255"), cc("GR")).unwrap();
+        b.insert_range(ip("10.0.1.0"), ip("10.0.1.255"), cc("NL")).unwrap();
+        let t = b.build();
+        assert_eq!(t.lookup(ip("10.0.0.255")), Some(cc("GR")));
+        assert_eq!(t.lookup(ip("10.0.1.0")), Some(cc("NL")));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn single_address_range() {
+        let mut b = GeoTableBuilder::new();
+        b.insert_range(ip("1.2.3.4"), ip("1.2.3.4"), cc("US")).unwrap();
+        let t = b.build();
+        assert_eq!(t.lookup(ip("1.2.3.4")), Some(cc("US")));
+        assert_eq!(t.lookup(ip("1.2.3.5")), None);
+        assert_eq!(t.lookup(ip("1.2.3.3")), None);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = GeoTableBuilder::new().build();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(ip("1.1.1.1")), None);
+    }
+}

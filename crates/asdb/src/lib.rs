@@ -1,0 +1,123 @@
+//! # retrodns-asdb
+//!
+//! The network metadata substrate: everything the paper pulls from CAIDA
+//! and NetAcuity, rebuilt as deterministic in-memory tables.
+//!
+//! * [`PrefixTable`] — CAIDA *pfx2as* analog: longest-prefix matching from
+//!   an IPv4 address to its origin ASN.
+//! * [`OrgTable`] — CAIDA *as2org* analog: maps ASNs to organizations so the
+//!   shortlist stage can tell "different ASN, same provider" (e.g. Amazon's
+//!   AS16509 vs AS14618) apart from genuinely foreign infrastructure.
+//! * [`GeoTable`] — NetAcuity analog: IP-range geolocation to an ISO country
+//!   code.
+//! * [`AsDatabase`] — the three bundled, with a one-call
+//!   [`AsDatabase::annotate`] used by the scan-annotation stage.
+//!
+//! All tables are immutable after construction (builder pattern) and
+//! lookups are `O(log n)` binary searches over flattened, disjoint ranges.
+
+#![warn(missing_docs)]
+pub mod geo;
+pub mod org;
+pub mod prefix;
+
+pub use geo::{GeoTable, GeoTableBuilder};
+pub use org::{OrgId, OrgTable, OrgTableBuilder};
+pub use prefix::{PrefixTable, PrefixTableBuilder};
+
+use retrodns_types::{Asn, CountryCode, Ipv4Addr};
+use serde::{Deserialize, Serialize};
+
+/// Everything the annotation stage knows about one IP address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IpAnnotation {
+    /// Origin ASN from longest-prefix matching, if the address is routed.
+    pub asn: Option<Asn>,
+    /// Organization operating that ASN, if known.
+    pub org: Option<OrgId>,
+    /// Geolocated country, if the address is in a mapped range.
+    pub country: Option<CountryCode>,
+}
+
+/// The bundled network metadata database (pfx2as + as2org + geolocation).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AsDatabase {
+    /// Prefix-to-origin-AS table.
+    pub prefixes: PrefixTable,
+    /// AS-to-organization table.
+    pub orgs: OrgTable,
+    /// IP-to-country table.
+    pub geo: GeoTable,
+}
+
+impl AsDatabase {
+    /// Annotate one address with origin AS, organization and country.
+    pub fn annotate(&self, ip: Ipv4Addr) -> IpAnnotation {
+        let asn = self.prefixes.lookup(ip);
+        IpAnnotation {
+            asn,
+            org: asn.and_then(|a| self.orgs.org_of(a)),
+            country: self.geo.lookup(ip),
+        }
+    }
+
+    /// Are two ASNs operated by the same organization? Unknown ASNs are
+    /// never related to anything (conservative: the shortlist prune only
+    /// fires on positive evidence of relatedness).
+    pub fn related_asns(&self, a: Asn, b: Asn) -> bool {
+        self.orgs.related(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> AsDatabase {
+        let mut p = PrefixTableBuilder::new();
+        p.insert("10.0.0.0/8".parse().unwrap(), Asn(100));
+        p.insert("10.1.0.0/16".parse().unwrap(), Asn(200));
+        let mut o = OrgTableBuilder::new();
+        o.insert(Asn(100), OrgId(1), "Example Hosting");
+        o.insert(Asn(200), OrgId(1), "Example Hosting");
+        o.insert(Asn(300), OrgId(2), "Other Org");
+        let mut g = GeoTableBuilder::new();
+        g.insert_range(
+            "10.0.0.0".parse().unwrap(),
+            "10.255.255.255".parse().unwrap(),
+            "NL".parse().unwrap(),
+        )
+        .unwrap();
+        AsDatabase {
+            prefixes: p.build(),
+            orgs: o.build(),
+            geo: g.build(),
+        }
+    }
+
+    #[test]
+    fn annotate_joins_all_three_tables() {
+        let db = db();
+        let ann = db.annotate("10.1.2.3".parse().unwrap());
+        assert_eq!(ann.asn, Some(Asn(200))); // longest prefix wins
+        assert_eq!(ann.org, Some(OrgId(1)));
+        assert_eq!(ann.country.unwrap().as_str(), "NL");
+    }
+
+    #[test]
+    fn annotate_unrouted_address() {
+        let db = db();
+        let ann = db.annotate("203.0.113.1".parse().unwrap());
+        assert_eq!(ann.asn, None);
+        assert_eq!(ann.org, None);
+        assert_eq!(ann.country, None);
+    }
+
+    #[test]
+    fn relatedness_via_shared_org() {
+        let db = db();
+        assert!(db.related_asns(Asn(100), Asn(200)));
+        assert!(!db.related_asns(Asn(100), Asn(300)));
+        assert!(!db.related_asns(Asn(100), Asn(999))); // unknown: unrelated
+    }
+}

@@ -1,0 +1,144 @@
+//! AS-to-organization mapping (the CAIDA *as2org* analog).
+//!
+//! Shortlist heuristic #1 (§4.3 of the paper) prunes a transient deployment
+//! when its ASN is *organizationally related* to the stable deployment's
+//! ASN — e.g. Amazon originates both AS16509 and AS14618, and a brief hop
+//! between them is routine, not an attack.
+
+use retrodns_types::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Opaque organization identifier. Two ASNs with the same `OrgId` are
+/// operated by the same organization.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct OrgId(pub u32);
+
+/// Builder for an [`OrgTable`].
+#[derive(Debug, Clone, Default)]
+pub struct OrgTableBuilder {
+    by_asn: HashMap<Asn, (OrgId, String)>,
+}
+
+impl OrgTableBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `asn` belongs to organization `org` named `name`.
+    /// Re-inserting an ASN overwrites its mapping.
+    pub fn insert(&mut self, asn: Asn, org: OrgId, name: &str) -> &mut Self {
+        self.by_asn.insert(asn, (org, name.to_string()));
+        self
+    }
+
+    /// Finalize into an immutable table.
+    pub fn build(self) -> OrgTable {
+        let mut names: HashMap<OrgId, String> = HashMap::new();
+        let mut by_asn: HashMap<Asn, OrgId> = HashMap::new();
+        for (asn, (org, name)) in self.by_asn {
+            by_asn.insert(asn, org);
+            names.entry(org).or_insert(name);
+        }
+        OrgTable { by_asn, names }
+    }
+}
+
+/// Immutable ASN → organization table.
+///
+/// # Examples
+///
+/// ```
+/// use retrodns_asdb::{OrgId, OrgTableBuilder};
+/// use retrodns_types::Asn;
+///
+/// let mut b = OrgTableBuilder::new();
+/// b.insert(Asn(16509), OrgId(7), "Amazon");
+/// b.insert(Asn(14618), OrgId(7), "Amazon");
+/// let orgs = b.build();
+/// assert!(orgs.related(Asn(16509), Asn(14618)));
+/// assert_eq!(orgs.name_of(OrgId(7)), Some("Amazon"));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OrgTable {
+    by_asn: HashMap<Asn, OrgId>,
+    names: HashMap<OrgId, String>,
+}
+
+impl OrgTable {
+    /// The organization operating `asn`, if mapped.
+    pub fn org_of(&self, asn: Asn) -> Option<OrgId> {
+        self.by_asn.get(&asn).copied()
+    }
+
+    /// Human-readable organization name.
+    pub fn name_of(&self, org: OrgId) -> Option<&str> {
+        self.names.get(&org).map(String::as_str)
+    }
+
+    /// Convenience: the name of the organization operating `asn`.
+    pub fn asn_org_name(&self, asn: Asn) -> Option<&str> {
+        self.org_of(asn).and_then(|o| self.name_of(o))
+    }
+
+    /// Are two ASNs operated by the same organization? `false` when either
+    /// is unmapped — relatedness requires positive evidence.
+    pub fn related(&self, a: Asn, b: Asn) -> bool {
+        match (self.org_of(a), self.org_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Number of mapped ASNs.
+    pub fn len(&self) -> usize {
+        self.by_asn.len()
+    }
+
+    /// True if no ASNs are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.by_asn.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_asn_is_always_related_when_mapped() {
+        let mut b = OrgTableBuilder::new();
+        b.insert(Asn(1), OrgId(1), "X");
+        let t = b.build();
+        assert!(t.related(Asn(1), Asn(1)));
+    }
+
+    #[test]
+    fn unmapped_asn_is_unrelated_even_to_itself() {
+        let t = OrgTableBuilder::new().build();
+        assert!(!t.related(Asn(1), Asn(1)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn reinsert_overwrites() {
+        let mut b = OrgTableBuilder::new();
+        b.insert(Asn(1), OrgId(1), "X");
+        b.insert(Asn(1), OrgId(2), "Y");
+        let t = b.build();
+        assert_eq!(t.org_of(Asn(1)), Some(OrgId(2)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn name_lookup_via_asn() {
+        let mut b = OrgTableBuilder::new();
+        b.insert(Asn(14061), OrgId(3), "Digital Ocean");
+        let t = b.build();
+        assert_eq!(t.asn_org_name(Asn(14061)), Some("Digital Ocean"));
+        assert_eq!(t.asn_org_name(Asn(99)), None);
+    }
+}

@@ -1,0 +1,280 @@
+//! Longest-prefix matching from IPv4 addresses to origin ASNs
+//! (the CAIDA *pfx2as* analog).
+//!
+//! The table is built once and then queried millions of times by the scan
+//! annotation stage, so the build flattens the (possibly nested) prefix set
+//! into disjoint, sorted address ranges, each labelled with the ASN of the
+//! most specific covering prefix. Lookup is then a single binary search.
+
+use retrodns_types::{Asn, Ipv4Addr, Ipv4Prefix};
+use serde::{Deserialize, Serialize};
+
+/// Builder for a [`PrefixTable`]. Insert announcements in any order;
+/// more-specific prefixes shadow less-specific ones, and an exact duplicate
+/// prefix keeps the *last* inserted origin (mirroring a routing table where
+/// later updates win).
+#[derive(Debug, Clone, Default)]
+pub struct PrefixTableBuilder {
+    entries: Vec<(Ipv4Prefix, Asn)>,
+}
+
+impl PrefixTableBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one announced prefix with its origin ASN.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, origin: Asn) -> &mut Self {
+        self.entries.push((prefix, origin));
+        self
+    }
+
+    /// Number of announcements inserted so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Flatten into an immutable lookup table.
+    ///
+    /// The sweep works in `u64` address space so "one past
+    /// 255.255.255.255" is representable: a single left-to-right pass keeps
+    /// a stack of currently-open prefixes (parents below children) and a
+    /// `cursor` marking the next unassigned address. Every address range is
+    /// emitted exactly once, labelled with the most specific covering
+    /// prefix, so the resulting segments are disjoint and sorted.
+    pub fn build(self) -> PrefixTable {
+        let mut entries = self.entries;
+        // Later duplicates win: stable de-dup keeping the last occurrence.
+        entries.reverse();
+        entries.sort_by_key(|(p, _)| *p); // stable: first (i.e. last-inserted) kept by dedup
+        entries.dedup_by_key(|(p, _)| *p);
+        // Parents precede children: sort by (start asc, len asc).
+        entries.sort_by_key(|(p, _)| (p.first(), p.len()));
+
+        struct Seg {
+            start: u32,
+            end: u32, // inclusive
+            asn: Asn,
+        }
+        let mut segments: Vec<Seg> = Vec::with_capacity(entries.len() * 2);
+        let mut emit = |asn: Asn, from: u64, to: u64| {
+            if from > to {
+                return;
+            }
+            debug_assert!(to <= u32::MAX as u64);
+            // Merge with the previous segment when contiguous and same ASN.
+            if let Some(last) = segments.last_mut() {
+                if last.asn == asn && (last.end as u64) + 1 == from {
+                    last.end = to as u32;
+                    return;
+                }
+            }
+            segments.push(Seg {
+                start: from as u32,
+                end: to as u32,
+                asn,
+            });
+        };
+
+        let mut stack: Vec<(Ipv4Prefix, Asn)> = Vec::new();
+        let mut cursor: u64 = 0; // next address not yet covered by a segment
+
+        let close_until = |stack: &mut Vec<(Ipv4Prefix, Asn)>,
+                               cursor: &mut u64,
+                               emit: &mut dyn FnMut(Asn, u64, u64),
+                               boundary: u64| {
+            while let Some((top, asn)) = stack.last().copied() {
+                let top_end = top.last().value() as u64;
+                if top_end >= boundary {
+                    break;
+                }
+                emit(asn, *cursor, top_end);
+                *cursor = (*cursor).max(top_end + 1);
+                stack.pop();
+            }
+        };
+
+        for (prefix, asn) in entries {
+            let start = prefix.first().value() as u64;
+            close_until(&mut stack, &mut cursor, &mut emit, start);
+            // Emit the parent's coverage up to this child's start.
+            if let Some((_, parent_asn)) = stack.last().copied() {
+                if start > 0 {
+                    emit(parent_asn, cursor, start - 1);
+                }
+            }
+            stack.push((prefix, asn));
+            cursor = cursor.max(start);
+        }
+        // Close everything (boundary beyond the address space).
+        close_until(&mut stack, &mut cursor, &mut emit, 1 << 33);
+
+        PrefixTable {
+            starts: segments.iter().map(|s| s.start).collect(),
+            ends: segments.iter().map(|s| s.end).collect(),
+            asns: segments.iter().map(|s| s.asn).collect(),
+        }
+    }
+}
+
+/// Immutable longest-prefix-match table: IPv4 address → origin ASN.
+///
+/// # Examples
+///
+/// ```
+/// use retrodns_asdb::PrefixTableBuilder;
+/// use retrodns_types::Asn;
+///
+/// let mut b = PrefixTableBuilder::new();
+/// b.insert("10.0.0.0/8".parse().unwrap(), Asn(64500));
+/// b.insert("10.9.0.0/16".parse().unwrap(), Asn(64501));
+/// let table = b.build();
+/// assert_eq!(table.lookup("10.1.2.3".parse().unwrap()), Some(Asn(64500)));
+/// assert_eq!(table.lookup("10.9.2.3".parse().unwrap()), Some(Asn(64501)));
+/// assert_eq!(table.lookup("192.0.2.1".parse().unwrap()), None);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PrefixTable {
+    // Parallel arrays of disjoint, sorted, inclusive ranges.
+    starts: Vec<u32>,
+    ends: Vec<u32>,
+    asns: Vec<Asn>,
+}
+
+impl PrefixTable {
+    /// Origin ASN for `ip` under longest-prefix matching, or `None` if no
+    /// announced prefix covers it.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<Asn> {
+        let v = ip.value();
+        let idx = match self.starts.binary_search(&v) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        (v <= self.ends[idx]).then(|| self.asns[idx])
+    }
+
+    /// Number of flattened disjoint segments (diagnostics).
+    pub fn segment_count(&self) -> usize {
+        self.starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(entries: &[(&str, u32)]) -> PrefixTable {
+        let mut b = PrefixTableBuilder::new();
+        for (p, a) in entries {
+            b.insert(p.parse().unwrap(), Asn(*a));
+        }
+        b.build()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_table_finds_nothing() {
+        let t = PrefixTableBuilder::new().build();
+        assert_eq!(t.lookup(ip("8.8.8.8")), None);
+        assert_eq!(t.segment_count(), 0);
+    }
+
+    #[test]
+    fn single_prefix() {
+        let t = table(&[("95.179.128.0/18", 20473)]);
+        assert_eq!(t.lookup(ip("95.179.131.225")), Some(Asn(20473)));
+        assert_eq!(t.lookup(ip("95.179.128.0")), Some(Asn(20473)));
+        assert_eq!(t.lookup(ip("95.179.191.255")), Some(Asn(20473)));
+        assert_eq!(t.lookup(ip("95.179.192.0")), None);
+        assert_eq!(t.lookup(ip("95.179.127.255")), None);
+    }
+
+    #[test]
+    fn nested_more_specific_wins() {
+        let t = table(&[("10.0.0.0/8", 100), ("10.1.0.0/16", 200), ("10.1.2.0/24", 300)]);
+        assert_eq!(t.lookup(ip("10.0.0.1")), Some(Asn(100)));
+        assert_eq!(t.lookup(ip("10.1.0.1")), Some(Asn(200)));
+        assert_eq!(t.lookup(ip("10.1.2.1")), Some(Asn(300)));
+        assert_eq!(t.lookup(ip("10.1.3.1")), Some(Asn(200)));
+        assert_eq!(t.lookup(ip("10.2.0.1")), Some(Asn(100)));
+    }
+
+    #[test]
+    fn child_at_parent_edges() {
+        // Child at the very start and very end of the parent.
+        let t = table(&[("10.0.0.0/8", 1), ("10.0.0.0/16", 2), ("10.255.0.0/16", 3)]);
+        assert_eq!(t.lookup(ip("10.0.0.0")), Some(Asn(2)));
+        assert_eq!(t.lookup(ip("10.0.255.255")), Some(Asn(2)));
+        assert_eq!(t.lookup(ip("10.1.0.0")), Some(Asn(1)));
+        assert_eq!(t.lookup(ip("10.255.0.0")), Some(Asn(3)));
+        assert_eq!(t.lookup(ip("10.255.255.255")), Some(Asn(3)));
+        assert_eq!(t.lookup(ip("10.254.255.255")), Some(Asn(1)));
+    }
+
+    #[test]
+    fn adjacent_disjoint_prefixes() {
+        let t = table(&[("10.0.0.0/9", 1), ("10.128.0.0/9", 2)]);
+        assert_eq!(t.lookup(ip("10.127.255.255")), Some(Asn(1)));
+        assert_eq!(t.lookup(ip("10.128.0.0")), Some(Asn(2)));
+    }
+
+    #[test]
+    fn duplicate_prefix_last_wins() {
+        let t = table(&[("10.0.0.0/8", 1), ("10.0.0.0/8", 2)]);
+        assert_eq!(t.lookup(ip("10.1.1.1")), Some(Asn(2)));
+    }
+
+    #[test]
+    fn deep_nesting_three_levels_with_gaps() {
+        let t = table(&[
+            ("0.0.0.0/0", 1),
+            ("128.0.0.0/2", 2),
+            ("128.64.0.0/12", 3),
+        ]);
+        assert_eq!(t.lookup(ip("1.2.3.4")), Some(Asn(1)));
+        assert_eq!(t.lookup(ip("129.0.0.1")), Some(Asn(2)));
+        assert_eq!(t.lookup(ip("128.64.5.5")), Some(Asn(3)));
+        assert_eq!(t.lookup(ip("128.80.0.0")), Some(Asn(2)));
+        assert_eq!(t.lookup(ip("255.255.255.255")), Some(Asn(1)));
+        assert_eq!(t.lookup(ip("0.0.0.0")), Some(Asn(1)));
+    }
+
+    #[test]
+    fn host_route_inside_net() {
+        let t = table(&[("203.0.113.0/24", 10), ("203.0.113.9/32", 20)]);
+        assert_eq!(t.lookup(ip("203.0.113.8")), Some(Asn(10)));
+        assert_eq!(t.lookup(ip("203.0.113.9")), Some(Asn(20)));
+        assert_eq!(t.lookup(ip("203.0.113.10")), Some(Asn(10)));
+    }
+
+    #[test]
+    fn full_table_edge_at_address_space_end() {
+        let t = table(&[("255.255.255.0/24", 7)]);
+        assert_eq!(t.lookup(ip("255.255.255.255")), Some(Asn(7)));
+        assert_eq!(t.lookup(ip("255.255.254.255")), None);
+    }
+
+    #[test]
+    fn siblings_inside_parent() {
+        let t = table(&[
+            ("10.0.0.0/8", 1),
+            ("10.16.0.0/12", 2),
+            ("10.32.0.0/12", 3),
+        ]);
+        assert_eq!(t.lookup(ip("10.15.255.255")), Some(Asn(1)));
+        assert_eq!(t.lookup(ip("10.16.0.0")), Some(Asn(2)));
+        assert_eq!(t.lookup(ip("10.31.255.255")), Some(Asn(2)));
+        assert_eq!(t.lookup(ip("10.32.0.0")), Some(Asn(3)));
+        assert_eq!(t.lookup(ip("10.48.0.0")), Some(Asn(1)));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests: the flattened LPM table must agree with a brute-force
+//! longest-prefix-match oracle on arbitrary prefix sets.
+
+use proptest::prelude::*;
+use retrodns_asdb::{GeoTableBuilder, PrefixTableBuilder};
+use retrodns_types::{Asn, Ipv4Addr, Ipv4Prefix};
+
+/// Brute-force oracle: scan all prefixes, keep the longest that contains
+/// `ip`; among equal-length duplicates the last inserted wins.
+fn oracle(entries: &[(Ipv4Prefix, Asn)], ip: Ipv4Addr) -> Option<Asn> {
+    let mut best: Option<(u8, usize, Asn)> = None;
+    for (i, (p, a)) in entries.iter().enumerate() {
+        if p.contains(ip) {
+            let candidate = (p.len(), i, *a);
+            best = Some(match best {
+                None => candidate,
+                Some(b) => {
+                    if (candidate.0, candidate.1) >= (b.0, b.1) {
+                        candidate
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+    }
+    best.map(|(_, _, a)| a)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Prefix::new(Ipv4Addr(addr), len).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Flattened table matches the oracle for random prefix sets and probes.
+    #[test]
+    fn lpm_matches_oracle(
+        prefixes in prop::collection::vec((arb_prefix(), 1u32..50), 0..24),
+        probes in prop::collection::vec(any::<u32>(), 1..32),
+    ) {
+        let entries: Vec<(Ipv4Prefix, Asn)> =
+            prefixes.iter().map(|(p, a)| (*p, Asn(*a))).collect();
+        let mut b = PrefixTableBuilder::new();
+        for (p, a) in &entries {
+            b.insert(*p, *a);
+        }
+        let table = b.build();
+        for probe in probes {
+            let ip = Ipv4Addr(probe);
+            prop_assert_eq!(
+                table.lookup(ip), oracle(&entries, ip),
+                "mismatch at {} with prefixes {:?}", ip,
+                entries.iter().map(|(p, a)| format!("{p}->{a}")).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// Probes *at prefix boundaries* (first/last address, one outside) —
+    /// the places where off-by-one bugs live.
+    #[test]
+    fn lpm_boundary_probes(
+        prefixes in prop::collection::vec((arb_prefix(), 1u32..50), 1..16),
+    ) {
+        let entries: Vec<(Ipv4Prefix, Asn)> =
+            prefixes.iter().map(|(p, a)| (*p, Asn(*a))).collect();
+        let mut b = PrefixTableBuilder::new();
+        for (p, a) in &entries {
+            b.insert(*p, *a);
+        }
+        let table = b.build();
+        for (p, _) in &entries {
+            let mut probes = vec![p.first(), p.last()];
+            if p.first().value() > 0 {
+                probes.push(Ipv4Addr(p.first().value() - 1));
+            }
+            if p.last().value() < u32::MAX {
+                probes.push(Ipv4Addr(p.last().value() + 1));
+            }
+            for ip in probes {
+                prop_assert_eq!(table.lookup(ip), oracle(&entries, ip), "boundary {}", ip);
+            }
+        }
+    }
+
+    /// Geo table: disjoint random ranges answer exactly within bounds.
+    #[test]
+    fn geo_lookup_in_disjoint_ranges(
+        seeds in prop::collection::vec((any::<u32>(), 0u32..1000), 1..10),
+        probe in any::<u32>(),
+    ) {
+        // Build disjoint ranges by sorting seeds and clamping widths.
+        let mut starts: Vec<(u32, u32)> = seeds;
+        starts.sort_by_key(|s| s.0);
+        starts.dedup_by_key(|s| s.0);
+        let mut b = GeoTableBuilder::new();
+        let mut truth: Vec<(u32, u32)> = Vec::new();
+        for w in starts.windows(2) {
+            let (s, width) = w[0];
+            let gap = w[1].0 - s;
+            if gap < 2 { continue; }
+            let e = s + width.min(gap - 2);
+            b.insert_range(Ipv4Addr(s), Ipv4Addr(e), "NL".parse().unwrap()).unwrap();
+            truth.push((s, e));
+        }
+        let t = b.build();
+        let hit = t.lookup(Ipv4Addr(probe)).is_some();
+        let expected = truth.iter().any(|&(s, e)| probe >= s && probe <= e);
+        prop_assert_eq!(hit, expected);
+    }
+}

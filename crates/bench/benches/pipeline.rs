@@ -1,0 +1,157 @@
+//! Criterion benchmarks for the detection pipeline stages, end to end.
+//!
+//! The paper notes the six-month period length was chosen partly for
+//! "compute time to build and analyze deployment maps" — these benches
+//! measure exactly that: map construction throughput (serial vs
+//! parallel), classification, shortlisting and the full pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use retrodns_core::classify::{classify, ClassifyConfig};
+use retrodns_core::map::MapBuilder;
+use retrodns_core::pipeline::{AnalystInputs, Pipeline, PipelineConfig};
+use retrodns_core::shortlist::{shortlist, ShortlistConfig};
+use retrodns_sim::{SimConfig, World};
+
+struct Fixture {
+    world: World,
+    observations: Vec<retrodns_scan::DomainObservation>,
+}
+
+fn fixture() -> Fixture {
+    let world = World::build(SimConfig::small(0xBE11C4));
+    let dataset = world.scan();
+    let observations = world.observations(&dataset);
+    Fixture {
+        world,
+        observations,
+    }
+}
+
+fn bench_map_build(c: &mut Criterion) {
+    let f = fixture();
+    let builder = MapBuilder::new(f.world.config.window.clone());
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(f.observations.len() as u64));
+    group.sample_size(10);
+    group.bench_function("map_build_serial", |b| {
+        b.iter(|| builder.build(black_box(&f.observations)).len())
+    });
+    group.bench_function("map_build_parallel4", |b| {
+        b.iter(|| builder.build_parallel(black_box(&f.observations), 4).len())
+    });
+    group.finish();
+}
+
+fn bench_classify_and_shortlist(c: &mut Criterion) {
+    let f = fixture();
+    let builder = MapBuilder::new(f.world.config.window.clone());
+    let maps = builder.build(&f.observations);
+    let cfg = ClassifyConfig::default();
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(maps.len() as u64));
+    group.bench_function("classify_all_maps", |b| {
+        b.iter(|| {
+            maps.iter()
+                .map(|m| classify(black_box(m), &cfg))
+                .filter(|p| p.category() == "transient")
+                .count()
+        })
+    });
+    let patterns: Vec<_> = maps.iter().map(|m| classify(m, &cfg)).collect();
+    group.bench_function("shortlist", |b| {
+        b.iter(|| {
+            shortlist(
+                black_box(&maps),
+                &patterns,
+                &f.world.geo.asdb,
+                &f.world.certs,
+                &ShortlistConfig::default(),
+            )
+            .candidates
+            .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let f = fixture();
+    let pipeline = Pipeline::new(PipelineConfig {
+        window: f.world.config.window.clone(),
+        ..PipelineConfig::default()
+    });
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("end_to_end_2k_domains", |b| {
+        b.iter(|| {
+            pipeline
+                .run(&AnalystInputs {
+                    observations: black_box(&f.observations),
+                    asdb: &f.world.geo.asdb,
+                    certs: &f.world.certs,
+                    pdns: &f.world.pdns,
+                    crtsh: &f.world.crtsh,
+                    dnssec: Some(&f.world.dnssec),
+                })
+                .hijacked
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_reactive_monitor(c: &mut Criterion) {
+    use retrodns_core::reactive::{DelegationProbe, ReactiveConfig, ReactiveMonitor};
+    use retrodns_types::{Day, DomainName};
+    struct Probe<'a>(&'a retrodns_dns::DnsDb);
+    impl DelegationProbe for Probe<'_> {
+        fn probe_delegation(&self, domain: &DomainName, day: Day) -> Vec<DomainName> {
+            self.0
+                .delegation_of(domain, day)
+                .map(<[DomainName]>::to_vec)
+                .unwrap_or_default()
+        }
+    }
+    let f = fixture();
+    let records: Vec<_> = f
+        .world
+        .ct
+        .entries()
+        .filter_map(|e| f.world.crtsh.record(e.cert.id))
+        .collect();
+    let mut group = c.benchmark_group("reactive");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.sample_size(10);
+    group.bench_function("ct_stream_full_world", |b| {
+        b.iter(|| {
+            let mut monitor = ReactiveMonitor::new();
+            let probe = Probe(&f.world.dns);
+            let cfg = ReactiveConfig::default();
+            records
+                .iter()
+                .filter_map(|r| monitor.on_issuance(black_box(r), &probe, &cfg))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_world_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("world_build_2k_domains", |b| {
+        b.iter(|| World::build(SimConfig::small(black_box(7))).certs.len())
+    });
+    let f = fixture();
+    group.bench_function("weekly_scan_4_years", |b| {
+        b.iter(|| f.world.scan().len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = pipeline;
+    config = Criterion::default().sample_size(20);
+    targets = bench_map_build, bench_classify_and_shortlist, bench_full_pipeline, bench_reactive_monitor, bench_world_build
+);
+criterion_main!(pipeline);

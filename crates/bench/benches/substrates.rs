@@ -1,0 +1,152 @@
+//! Criterion benchmarks for the substrate data structures: the lookups
+//! the annotation and inspection stages hammer millions of times.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retrodns_asdb::{GeoTableBuilder, PrefixTableBuilder};
+use retrodns_cert::authority::CaId;
+use retrodns_cert::{CertId, Certificate, CrtShIndex, CtLog, KeyId};
+use retrodns_dns::{PassiveDns, RecordData, TimeSeries};
+use retrodns_types::{Asn, Day, DomainName, Ipv4Addr, Ipv4Prefix};
+
+fn bench_lpm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut b = PrefixTableBuilder::new();
+    // ~100k prefixes of mixed length, like a shrunken routing table.
+    for i in 0..100_000u32 {
+        let len = rng.gen_range(8..=24);
+        let addr = Ipv4Addr(rng.gen());
+        b.insert(Ipv4Prefix::new(addr, len).unwrap(), Asn(i));
+    }
+    let table = b.build();
+    let probes: Vec<Ipv4Addr> = (0..1024).map(|_| Ipv4Addr(rng.gen())).collect();
+    let mut group = c.benchmark_group("asdb");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("lpm_lookup_100k_prefixes", |bencher| {
+        bencher.iter(|| {
+            let mut hits = 0usize;
+            for p in &probes {
+                if table.lookup(black_box(*p)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let mut g = GeoTableBuilder::new();
+    for i in 0..50_000u32 {
+        let start = i * 4096;
+        g.insert_range(Ipv4Addr(start), Ipv4Addr(start + 4000), "NL".parse().unwrap())
+            .unwrap();
+    }
+    let table = g.build();
+    let mut rng = StdRng::seed_from_u64(2);
+    let probes: Vec<Ipv4Addr> = (0..1024).map(|_| Ipv4Addr(rng.gen())).collect();
+    let mut group = c.benchmark_group("asdb");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("geo_lookup_50k_ranges", |bencher| {
+        bencher.iter(|| {
+            probes
+                .iter()
+                .filter(|p| table.lookup(black_box(**p)).is_some())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_timeseries(c: &mut Criterion) {
+    let mut ts = TimeSeries::new();
+    for d in (0..1550).step_by(5) {
+        ts.set(Day(d), d);
+    }
+    c.bench_function("timeseries_value_at_310_changes", |bencher| {
+        bencher.iter(|| {
+            let mut acc = 0u32;
+            for d in 0..1550 {
+                if let Some(v) = ts.value_at(black_box(Day(d))) {
+                    acc = acc.wrapping_add(*v);
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_pdns(c: &mut Criterion) {
+    let mut pdns = PassiveDns::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let domains: Vec<DomainName> = (0..5_000)
+        .map(|i| format!("host{i}.example{}.com", i % 500).parse().unwrap())
+        .collect();
+    for (i, d) in domains.iter().enumerate() {
+        let start = rng.gen_range(0..1000);
+        pdns.insert_aggregate(
+            d,
+            RecordData::A(Ipv4Addr(i as u32)),
+            Day(start),
+            Day(start + rng.gen_range(1..400)),
+            rng.gen_range(1..50),
+        );
+    }
+    let mut group = c.benchmark_group("pdns");
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("entries_under_5k_tuples", |bencher| {
+        bencher.iter(|| {
+            let mut n = 0usize;
+            for i in 0..64usize {
+                let reg: DomainName = format!("example{}.com", i % 500).parse().unwrap();
+                n += pdns.entries_under(black_box(&reg)).len();
+            }
+            n
+        })
+    });
+    group.bench_function("pivot_by_ip", |bencher| {
+        bencher.iter(|| {
+            (0..64u32)
+                .map(|i| pdns.domains_resolving_to(black_box(Ipv4Addr(i * 7))).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_crtsh(c: &mut Criterion) {
+    let mut log = CtLog::new();
+    for i in 0..20_000u64 {
+        let name: DomainName = format!("mail.domain{}.com", i % 2000).parse().unwrap();
+        log.submit(
+            Certificate::new(CertId(i), vec![name], CaId(1), Day((i / 20) as u32), 90, KeyId(i)),
+            Day((i / 20) as u32),
+        );
+    }
+    let index = CrtShIndex::build(&log);
+    let mut group = c.benchmark_group("crtsh");
+    group.throughput(Throughput::Elements(128));
+    group.bench_function("search_registered_20k_certs", |bencher| {
+        bencher.iter(|| {
+            let mut n = 0usize;
+            for i in 0..128usize {
+                let reg: DomainName = format!("domain{}.com", i * 13 % 2000).parse().unwrap();
+                n += index.search_registered(black_box(&reg)).len();
+            }
+            n
+        })
+    });
+    group.bench_function("build_index_20k_certs", |bencher| {
+        bencher.iter(|| CrtShIndex::build(black_box(&log)).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = substrates;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lpm, bench_geo, bench_timeseries, bench_pdns, bench_crtsh
+);
+criterion_main!(substrates);

@@ -1,0 +1,77 @@
+//! The experiment harness binary: regenerates every table and figure of
+//! the paper's evaluation against a freshly simulated world.
+//!
+//! ```text
+//! experiments [--scale quick|standard|full] [--seed N] <id>... | all
+//! ```
+//!
+//! Ids: table1 fig2 fig3 fig4 fig5 population funnel table2 table3 table4
+//! table5 observability table9 baselines ablation.
+
+use retrodns_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
+use retrodns_bench::{Bundle, Scale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Standard;
+    let mut seed: u64 = 0xD05_11EC7;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(v) = it.next().and_then(|v| Scale::parse(&v)) else {
+                    eprintln!("--scale expects quick|standard|full");
+                    return ExitCode::FAILURE;
+                };
+                scale = v;
+            }
+            "--seed" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--seed expects an integer");
+                    return ExitCode::FAILURE;
+                };
+                seed = v;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--scale quick|standard|full] [--seed N] <id>... | all\n\
+                     ids: {}",
+                    ALL_EXPERIMENTS.join(" ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        if !ALL_EXPERIMENTS.contains(&id.as_str()) {
+            eprintln!("unknown experiment {id:?}; known: {}", ALL_EXPERIMENTS.join(" "));
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!("building world (scale {scale:?}, seed {seed:#x})...");
+    let t0 = std::time::Instant::now();
+    let bundle = Bundle::build(scale, seed);
+    eprintln!(
+        "world ready in {:.1?}: {} domains, {} scan records, {} certs, {} hijacks planted",
+        t0.elapsed(),
+        bundle.world.config.n_domains,
+        bundle.dataset.len(),
+        bundle.world.certs.len(),
+        bundle.world.ground_truth.hijacked.len(),
+    );
+
+    for id in &ids {
+        let t = std::time::Instant::now();
+        let out = run_experiment(id, &bundle).expect("validated id");
+        println!("\n{out}");
+        eprintln!("[{id} took {:.1?}]", t.elapsed());
+    }
+    ExitCode::SUCCESS
+}

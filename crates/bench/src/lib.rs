@@ -1,0 +1,13 @@
+//! # retrodns-bench
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation, each returning its rendered output so both the
+//! `experiments` binary and the test suite can exercise it. See
+//! `DESIGN.md` §5 for the experiment index and `EXPERIMENTS.md` for
+//! recorded paper-vs-measured results.
+
+#![warn(missing_docs)]
+pub mod bundle;
+pub mod experiments;
+
+pub use bundle::{Bundle, Scale};

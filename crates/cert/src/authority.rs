@@ -1,0 +1,216 @@
+//! Certificate authorities and browser trust stores.
+//!
+//! The paper distinguishes CAs along two axes that matter to the attack:
+//! whether issuance is *automated domain validation* (hijack-obtainable)
+//! and whether the CA chains to the *browser root stores* (footnote 5:
+//! "trusted by either Apple, Microsoft, or Mozilla"). §5.6 observes the
+//! malicious certificates came from exactly two free DV issuers
+//! (Let's Encrypt and Comodo), while several victims ran *internal* CAs
+//! whose legitimate certificates never appear in CT at all.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Identifier of a certificate authority.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CaId(pub u16);
+
+impl fmt::Display for CaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ca:{}", self.0)
+    }
+}
+
+/// How a CA validates and issues, which determines whether a DNS hijack is
+/// sufficient to obtain one of its certificates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CaKind {
+    /// Fully automated ACME domain validation (Let's Encrypt style):
+    /// free, fast, hijack-obtainable. Publishes no CRL — revocation is
+    /// OCSP-only (paper footnote 14).
+    AcmeDv,
+    /// Free-trial DV issuance with a web form (Comodo/Sectigo style):
+    /// hijack-obtainable; publishes a CRL.
+    TrialDv,
+    /// Paid DV/OV issuance (DigiCert style): domain validation plus manual
+    /// steps; in our model legitimate owners use these, attackers do not
+    /// (cost and traceability). Publishes a CRL.
+    PaidDv,
+    /// Organization-internal private CA: certificates never appear in CT
+    /// and are not browser-trusted.
+    Internal,
+}
+
+impl CaKind {
+    /// Can an attacker who controls only DNS resolution obtain a
+    /// certificate from this kind of CA?
+    pub fn hijack_obtainable(self) -> bool {
+        matches!(self, CaKind::AcmeDv | CaKind::TrialDv)
+    }
+
+    /// Does this CA publish a certificate revocation list? (OCSP-only CAs
+    /// leave the retroactive analyst unable to determine revocation —
+    /// exactly the paper's Let's Encrypt caveat.)
+    pub fn publishes_crl(self) -> bool {
+        matches!(self, CaKind::TrialDv | CaKind::PaidDv)
+    }
+
+    /// Do this CA's certificates get logged to CT? (CT participation is a
+    /// browser-trust prerequisite; internal CAs skip it.)
+    pub fn logs_to_ct(self) -> bool {
+        !matches!(self, CaKind::Internal)
+    }
+}
+
+/// A certificate authority.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CertAuthority {
+    /// Stable identifier.
+    pub id: CaId,
+    /// Display name ("Let's Encrypt", "Comodo", …).
+    pub name: String,
+    /// Validation/issuance model.
+    pub kind: CaKind,
+    /// Lifetime of issued certificates in days (LE: 90; paid CAs in the
+    /// study period: up to ~825).
+    pub validity_days: u32,
+}
+
+impl CertAuthority {
+    /// Construct a CA.
+    pub fn new(id: CaId, name: &str, kind: CaKind, validity_days: u32) -> CertAuthority {
+        assert!(validity_days > 0, "validity must be positive");
+        CertAuthority {
+            id,
+            name: name.to_string(),
+            kind,
+            validity_days,
+        }
+    }
+}
+
+/// The root programs the paper checks (footnote 5): a certificate is
+/// "browser-trusted" if any of Apple, Microsoft, or Mozilla include the
+/// issuing CA.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrustStore {
+    apple: BTreeSet<CaId>,
+    microsoft: BTreeSet<CaId>,
+    mozilla: BTreeSet<CaId>,
+    authorities: HashMap<CaId, CertAuthority>,
+}
+
+impl TrustStore {
+    /// An empty trust store.
+    pub fn new() -> TrustStore {
+        TrustStore::default()
+    }
+
+    /// Register a CA and include it in the given root programs.
+    pub fn register(
+        &mut self,
+        ca: CertAuthority,
+        in_apple: bool,
+        in_microsoft: bool,
+        in_mozilla: bool,
+    ) -> &mut Self {
+        let id = ca.id;
+        if in_apple {
+            self.apple.insert(id);
+        }
+        if in_microsoft {
+            self.microsoft.insert(id);
+        }
+        if in_mozilla {
+            self.mozilla.insert(id);
+        }
+        self.authorities.insert(id, ca);
+        self
+    }
+
+    /// Register a publicly trusted CA (all three root programs).
+    pub fn register_public(&mut self, ca: CertAuthority) -> &mut Self {
+        self.register(ca, true, true, true)
+    }
+
+    /// Register an internal CA (no root programs).
+    pub fn register_internal(&mut self, ca: CertAuthority) -> &mut Self {
+        self.register(ca, false, false, false)
+    }
+
+    /// Is the CA trusted by Apple, Microsoft, *or* Mozilla (the paper's
+    /// trust criterion)?
+    pub fn is_browser_trusted(&self, ca: CaId) -> bool {
+        self.apple.contains(&ca) || self.microsoft.contains(&ca) || self.mozilla.contains(&ca)
+    }
+
+    /// The CA record, if registered.
+    pub fn authority(&self, ca: CaId) -> Option<&CertAuthority> {
+        self.authorities.get(&ca)
+    }
+
+    /// Display name for table rendering; `"?"` for unknown CAs.
+    pub fn ca_name(&self, ca: CaId) -> &str {
+        self.authority(ca).map(|a| a.name.as_str()).unwrap_or("?")
+    }
+
+    /// All registered authorities.
+    pub fn authorities(&self) -> impl Iterator<Item = &CertAuthority> {
+        self.authorities.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TrustStore {
+        let mut s = TrustStore::new();
+        s.register_public(CertAuthority::new(CaId(1), "Let's Encrypt", CaKind::AcmeDv, 90));
+        s.register(
+            CertAuthority::new(CaId(2), "Comodo", CaKind::TrialDv, 90),
+            true,
+            false,
+            true,
+        );
+        s.register_internal(CertAuthority::new(
+            CaId(3),
+            "Ministry Internal CA",
+            CaKind::Internal,
+            730,
+        ));
+        s
+    }
+
+    #[test]
+    fn any_of_three_programs_suffices() {
+        let s = store();
+        assert!(s.is_browser_trusted(CaId(1)));
+        assert!(s.is_browser_trusted(CaId(2))); // Apple + Mozilla only
+        assert!(!s.is_browser_trusted(CaId(3)));
+        assert!(!s.is_browser_trusted(CaId(99)));
+    }
+
+    #[test]
+    fn kind_properties_match_paper() {
+        assert!(CaKind::AcmeDv.hijack_obtainable());
+        assert!(CaKind::TrialDv.hijack_obtainable());
+        assert!(!CaKind::PaidDv.hijack_obtainable());
+        assert!(!CaKind::Internal.hijack_obtainable());
+        assert!(!CaKind::AcmeDv.publishes_crl()); // LE: OCSP only
+        assert!(CaKind::TrialDv.publishes_crl());
+        assert!(!CaKind::Internal.logs_to_ct());
+        assert!(CaKind::AcmeDv.logs_to_ct());
+    }
+
+    #[test]
+    fn ca_name_lookup() {
+        let s = store();
+        assert_eq!(s.ca_name(CaId(1)), "Let's Encrypt");
+        assert_eq!(s.ca_name(CaId(42)), "?");
+        assert_eq!(s.authorities().count(), 3);
+    }
+}

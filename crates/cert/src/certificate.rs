@@ -1,0 +1,230 @@
+//! The certificate record itself.
+//!
+//! We model the handful of X.509 fields the paper's methodology consumes:
+//! the Subject Alternative Names (which domains a certificate asserts
+//! authority over), the issuing CA, the validity window, and the subject
+//! public key (as an opaque fingerprint — enough to tell "same certificate
+//! re-deployed" from "new certificate", which is the S2/S4 vs T1
+//! distinction in the pattern taxonomy).
+
+use crate::authority::CaId;
+use retrodns_types::{Day, DomainName};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier for a certificate, analogous to a crt.sh row id.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CertId(pub u64);
+
+impl fmt::Display for CertId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "crt:{}", self.0)
+    }
+}
+
+/// Opaque fingerprint of a subject key pair. Two certificates sharing a
+/// `KeyId` were provisioned by the same key holder.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct KeyId(pub u64);
+
+/// A leaf TLS certificate.
+///
+/// # Examples
+///
+/// ```
+/// use retrodns_cert::{authority::CaId, Certificate, CertId, KeyId};
+/// use retrodns_types::{Day, DomainName};
+///
+/// let cert = Certificate::new(
+///     CertId(1394170951),
+///     vec!["mail.kyvernisi.gr".parse().unwrap()],
+///     CaId(1),
+///     Day::from_ymd(2019, 4, 20).unwrap(),
+///     90,
+///     KeyId(42),
+/// );
+/// assert!(cert.covers(&"mail.kyvernisi.gr".parse().unwrap()));
+/// assert!(cert.secures_registered_domain(&"kyvernisi.gr".parse().unwrap()));
+/// assert!(cert.is_valid_on(Day::from_ymd(2019, 5, 1).unwrap()));
+/// assert!(!cert.is_valid_on(Day::from_ymd(2019, 8, 1).unwrap()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// Stable identifier (crt.sh-style).
+    pub id: CertId,
+    /// Subject Alternative Names; may include wildcards (`*.example.com`).
+    /// Never empty.
+    pub names: Vec<DomainName>,
+    /// The issuing certificate authority.
+    pub issuer: CaId,
+    /// Issuance day (== `not_before`; the attacks of interest deploy within
+    /// days, so sub-day precision buys nothing).
+    pub not_before: Day,
+    /// Last day the certificate is valid (inclusive).
+    pub not_after: Day,
+    /// Fingerprint of the subject key pair.
+    pub key: KeyId,
+}
+
+impl Certificate {
+    /// Construct a certificate valid for `validity_days` days starting at
+    /// `not_before`. Panics if `names` is empty or `validity_days` is zero.
+    pub fn new(
+        id: CertId,
+        names: Vec<DomainName>,
+        issuer: CaId,
+        not_before: Day,
+        validity_days: u32,
+        key: KeyId,
+    ) -> Certificate {
+        assert!(!names.is_empty(), "certificate must cover at least one name");
+        assert!(validity_days > 0, "validity must be positive");
+        Certificate {
+            id,
+            names,
+            issuer,
+            not_before,
+            not_after: not_before + (validity_days - 1),
+            key,
+        }
+    }
+
+    /// Issuance day (alias of `not_before`, matching the paper's language).
+    pub fn issued(&self) -> Day {
+        self.not_before
+    }
+
+    /// Is the certificate within its validity window on `day`?
+    pub fn is_valid_on(&self, day: Day) -> bool {
+        day >= self.not_before && day <= self.not_after
+    }
+
+    /// Does any SAN (wildcard-aware) cover the concrete `name`?
+    pub fn covers(&self, name: &DomainName) -> bool {
+        self.names.iter().any(|san| san.san_matches(name))
+    }
+
+    /// Does the certificate assert authority over any name under the given
+    /// registered domain? This is the join key for deployment maps: a scan
+    /// observation belongs to domain *d*'s observable infrastructure when
+    /// the returned certificate secures *d* (§4.1).
+    pub fn secures_registered_domain(&self, registered: &DomainName) -> bool {
+        self.names.iter().any(|san| {
+            let concrete = if san.is_wildcard() {
+                // `*.mail.example.com` asserts authority under example.com.
+                match san.parent() {
+                    Some(p) => p,
+                    None => return false,
+                }
+            } else {
+                san.clone()
+            };
+            concrete.registered_domain() == *registered
+        })
+    }
+
+    /// All registered domains this certificate asserts authority over
+    /// (deduplicated, sorted).
+    pub fn registered_domains(&self) -> Vec<DomainName> {
+        let mut out: Vec<DomainName> = self
+            .names
+            .iter()
+            .filter_map(|san| {
+                let concrete = if san.is_wildcard() { san.parent()? } else { san.clone() };
+                Some(concrete.registered_domain())
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// SANs matching the paper's sensitive-subdomain criterion.
+    pub fn sensitive_names(&self) -> Vec<&DomainName> {
+        self.names.iter().filter(|n| n.is_sensitive()).collect()
+    }
+
+    /// Does the certificate secure at least one sensitive name?
+    pub fn has_sensitive_name(&self) -> bool {
+        self.names.iter().any(|n| n.is_sensitive())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn cert(names: &[&str]) -> Certificate {
+        Certificate::new(
+            CertId(1),
+            names.iter().map(|n| d(n)).collect(),
+            CaId(0),
+            Day(100),
+            90,
+            KeyId(7),
+        )
+    }
+
+    #[test]
+    fn validity_window_inclusive() {
+        let c = cert(&["mail.example.com"]);
+        assert!(c.is_valid_on(Day(100)));
+        assert!(c.is_valid_on(Day(189)));
+        assert!(!c.is_valid_on(Day(190)));
+        assert!(!c.is_valid_on(Day(99)));
+        assert_eq!(c.issued(), Day(100));
+    }
+
+    #[test]
+    fn covers_concrete_and_wildcard() {
+        let c = cert(&["example.com", "*.example.com"]);
+        assert!(c.covers(&d("example.com")));
+        assert!(c.covers(&d("mail.example.com")));
+        assert!(!c.covers(&d("a.b.example.com")));
+        assert!(!c.covers(&d("other.com")));
+    }
+
+    #[test]
+    fn secures_registered_domain_via_subdomain_san() {
+        let c = cert(&["mail.mfa.gov.kg"]);
+        assert!(c.secures_registered_domain(&d("mfa.gov.kg")));
+        assert!(!c.secures_registered_domain(&d("gov.kg")));
+        assert!(!c.secures_registered_domain(&d("invest.gov.kg")));
+    }
+
+    #[test]
+    fn secures_registered_domain_via_wildcard() {
+        let c = cert(&["*.kyvernisi.gr"]);
+        assert!(c.secures_registered_domain(&d("kyvernisi.gr")));
+    }
+
+    #[test]
+    fn registered_domains_deduplicates() {
+        let c = cert(&["mail.example.com", "www.example.com", "example.com", "mail.other.net"]);
+        let regs = c.registered_domains();
+        assert_eq!(regs, vec![d("example.com"), d("other.net")]);
+    }
+
+    #[test]
+    fn sensitive_name_detection() {
+        let c = cert(&["mail.mfa.gov.kg", "www.mfa.gov.kg"]);
+        assert!(c.has_sensitive_name());
+        assert_eq!(c.sensitive_names(), vec![&d("mail.mfa.gov.kg")]);
+        let c = cert(&["www.example.com"]);
+        assert!(!c.has_sensitive_name());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one name")]
+    fn empty_names_panics() {
+        Certificate::new(CertId(1), vec![], CaId(0), Day(0), 1, KeyId(0));
+    }
+}

@@ -1,0 +1,195 @@
+//! Certificate Transparency log: an append-only, hash-chained record of
+//! every publicly issued certificate.
+//!
+//! The paper leans on CT twice: the attacker *cannot avoid* the log (CT
+//! participation is a browser-trust prerequisite, §3), and the analyst can
+//! retroactively ask "was a new certificate issued for this sensitive
+//! subdomain in the window of the suspicious deployment?" (§4.4). The
+//! hash chain gives the append-only property a checkable form.
+
+use crate::certificate::{CertId, Certificate};
+use retrodns_types::Day;
+use serde::{Deserialize, Serialize};
+
+/// One CT log entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Position in the log (0-based, dense).
+    pub index: u64,
+    /// The logged certificate.
+    pub cert: Certificate,
+    /// Day the entry was incorporated.
+    pub timestamp: Day,
+    /// Chain hash: `H(prev_hash, cert_id, timestamp)`.
+    pub chain_hash: u64,
+}
+
+/// The receipt a CA embeds when logging a pre-certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignedCertTimestamp {
+    /// Index of the log entry backing this SCT.
+    pub index: u64,
+    /// Incorporation day.
+    pub timestamp: Day,
+}
+
+/// An append-only CT log.
+///
+/// # Examples
+///
+/// ```
+/// use retrodns_cert::{CtLog, Certificate, CertId, KeyId, authority::CaId};
+/// use retrodns_types::Day;
+///
+/// let mut log = CtLog::new();
+/// let cert = Certificate::new(
+///     CertId(5), vec!["mail.example.com".parse().unwrap()],
+///     CaId(1), Day(10), 90, KeyId(1),
+/// );
+/// let sct = log.submit(cert, Day(10));
+/// assert_eq!(sct.index, 0);
+/// assert!(log.verify_chain());
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CtLog {
+    entries: Vec<LogEntry>,
+}
+
+impl CtLog {
+    /// An empty log.
+    pub fn new() -> CtLog {
+        CtLog::default()
+    }
+
+    /// Append a certificate; returns the SCT. Timestamps must be
+    /// non-decreasing (panics otherwise — the simulator drives the clock).
+    pub fn submit(&mut self, cert: Certificate, timestamp: Day) -> SignedCertTimestamp {
+        if let Some(last) = self.entries.last() {
+            assert!(
+                timestamp >= last.timestamp,
+                "CT submissions must be in chronological order"
+            );
+        }
+        let prev = self.entries.last().map(|e| e.chain_hash).unwrap_or(0);
+        let index = self.entries.len() as u64;
+        let chain_hash = chain_step(prev, cert.id, timestamp);
+        self.entries.push(LogEntry {
+            index,
+            cert,
+            timestamp,
+            chain_hash,
+        });
+        SignedCertTimestamp { index, timestamp }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the log has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry at `index`.
+    pub fn entry(&self, index: u64) -> Option<&LogEntry> {
+        self.entries.get(index as usize)
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+
+    /// Recompute the hash chain and check every link (the auditor's
+    /// consistency check).
+    pub fn verify_chain(&self) -> bool {
+        let mut prev = 0u64;
+        for e in &self.entries {
+            if chain_step(prev, e.cert.id, e.timestamp) != e.chain_hash {
+                return false;
+            }
+            prev = e.chain_hash;
+        }
+        true
+    }
+
+    /// Find the log entry for a certificate id (linear; diagnostics only —
+    /// bulk search goes through [`crate::CrtShIndex`]).
+    pub fn find(&self, id: CertId) -> Option<&LogEntry> {
+        self.entries.iter().find(|e| e.cert.id == id)
+    }
+}
+
+/// One step of the (non-cryptographic) hash chain: an FNV-1a fold of the
+/// previous hash, the cert id and the timestamp. Collision resistance is
+/// irrelevant here — the chain exists to make append-only *checkable* in
+/// tests, not to resist adversaries.
+fn chain_step(prev: u64, id: CertId, ts: Day) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for chunk in [prev, id.0, ts.0 as u64] {
+        for byte in chunk.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::CaId;
+    use crate::certificate::KeyId;
+
+    fn cert(id: u64) -> Certificate {
+        Certificate::new(
+            CertId(id),
+            vec!["mail.example.com".parse().unwrap()],
+            CaId(1),
+            Day(10),
+            90,
+            KeyId(1),
+        )
+    }
+
+    #[test]
+    fn submit_assigns_dense_indices() {
+        let mut log = CtLog::new();
+        assert_eq!(log.submit(cert(1), Day(10)).index, 0);
+        assert_eq!(log.submit(cert(2), Day(11)).index, 1);
+        assert_eq!(log.submit(cert(3), Day(11)).index, 2);
+        assert_eq!(log.len(), 3);
+        assert!(log.verify_chain());
+    }
+
+    #[test]
+    fn tampering_breaks_chain() {
+        let mut log = CtLog::new();
+        log.submit(cert(1), Day(10));
+        log.submit(cert(2), Day(11));
+        assert!(log.verify_chain());
+        let mut copy = log.clone();
+        copy.entries[0].cert.id = CertId(999);
+        assert!(!copy.verify_chain());
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn rejects_time_travel() {
+        let mut log = CtLog::new();
+        log.submit(cert(1), Day(10));
+        log.submit(cert(2), Day(9));
+    }
+
+    #[test]
+    fn find_by_id() {
+        let mut log = CtLog::new();
+        log.submit(cert(7), Day(10));
+        assert_eq!(log.find(CertId(7)).unwrap().index, 0);
+        assert!(log.find(CertId(8)).is_none());
+    }
+}

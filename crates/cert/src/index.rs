@@ -1,0 +1,250 @@
+//! A crt.sh-style search index over CT-logged certificates.
+//!
+//! The inspection stage (§4.4) asks targeted questions: "which certificates
+//! were issued for names under this registered domain, and when?" This
+//! index answers them in `O(log n)` after an `O(n log n)` build from the CT
+//! log, mirroring how the authors queried crt.sh for shortlisted domains
+//! only (Appendix B: "data is only queried for shortlisted domains around
+//! specific times of interest").
+
+use crate::authority::CaId;
+use crate::certificate::{CertId, Certificate, KeyId};
+use crate::ctlog::CtLog;
+use retrodns_types::{Day, DomainName};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::ops::RangeInclusive;
+
+/// One row of a crt.sh query result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrtShRecord {
+    /// Certificate id (the crt.sh row id the paper cites, e.g. 3810274168
+    /// for the mfa.gov.kg hijack certificate).
+    pub id: CertId,
+    /// All SANs on the certificate.
+    pub names: Vec<DomainName>,
+    /// Issuing CA.
+    pub issuer: CaId,
+    /// Issuance day.
+    pub issued: Day,
+    /// Expiry day (inclusive).
+    pub not_after: Day,
+    /// Subject-key fingerprint (SPKI analog): rollovers reuse the
+    /// domain's key; a hijacker's certificate never does.
+    pub key: KeyId,
+}
+
+impl CrtShRecord {
+    fn from_cert(cert: &Certificate) -> CrtShRecord {
+        CrtShRecord {
+            id: cert.id,
+            names: cert.names.clone(),
+            issuer: cert.issuer,
+            issued: cert.not_before,
+            not_after: cert.not_after,
+            key: cert.key,
+        }
+    }
+}
+
+/// Immutable search index over a CT log snapshot.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CrtShIndex {
+    /// registered domain → cert ids mentioning it, in issuance order.
+    by_registered: HashMap<DomainName, Vec<CertId>>,
+    /// exact SAN name → cert ids, in issuance order.
+    by_name: HashMap<DomainName, Vec<CertId>>,
+    /// cert id → record.
+    records: HashMap<CertId, CrtShRecord>,
+}
+
+impl CrtShIndex {
+    /// Build the index from a CT log.
+    pub fn build(log: &CtLog) -> CrtShIndex {
+        let mut idx = CrtShIndex::default();
+        for entry in log.entries() {
+            idx.insert(&entry.cert);
+        }
+        idx
+    }
+
+    /// Insert one certificate (used for incremental builds in tests).
+    pub fn insert(&mut self, cert: &Certificate) {
+        let record = CrtShRecord::from_cert(cert);
+        for reg in cert.registered_domains() {
+            self.by_registered.entry(reg).or_default().push(cert.id);
+        }
+        for name in &cert.names {
+            self.by_name.entry(name.clone()).or_default().push(cert.id);
+        }
+        self.records.insert(cert.id, record);
+    }
+
+    /// The record for a certificate id.
+    pub fn record(&self, id: CertId) -> Option<&CrtShRecord> {
+        self.records.get(&id)
+    }
+
+    /// All certificates asserting authority over names under `registered`,
+    /// in issuance order (the crt.sh `%.domain` search).
+    pub fn search_registered(&self, registered: &DomainName) -> Vec<&CrtShRecord> {
+        self.collect(self.by_registered.get(registered))
+    }
+
+    /// Certificates for names under `registered` issued within `window`.
+    pub fn search_registered_in(
+        &self,
+        registered: &DomainName,
+        window: RangeInclusive<Day>,
+    ) -> Vec<&CrtShRecord> {
+        self.search_registered(registered)
+            .into_iter()
+            .filter(|r| window.contains(&r.issued))
+            .collect()
+    }
+
+    /// Certificates whose SAN list contains exactly `name`.
+    pub fn search_exact(&self, name: &DomainName) -> Vec<&CrtShRecord> {
+        self.collect(self.by_name.get(name))
+    }
+
+    /// Certificates for exactly `name` issued within `window`.
+    pub fn search_exact_in(
+        &self,
+        name: &DomainName,
+        window: RangeInclusive<Day>,
+    ) -> Vec<&CrtShRecord> {
+        self.search_exact(name)
+            .into_iter()
+            .filter(|r| window.contains(&r.issued))
+            .collect()
+    }
+
+    /// First issuance day of `key` among the domain's certificates — a
+    /// record whose issuance equals this day introduces a *new* subject
+    /// key (SPKI continuity check: legitimate rollovers reuse keys or at
+    /// least belong to the operator's sequence; a hijacker's certificate
+    /// debuts its own key).
+    pub fn key_first_seen(&self, registered: &DomainName, key: KeyId) -> Option<Day> {
+        self.search_registered(registered)
+            .into_iter()
+            .filter(|r| r.key == key)
+            .map(|r| r.issued)
+            .min()
+    }
+
+    /// Does this record introduce a key never before used for the domain?
+    pub fn introduces_new_key(&self, registered: &DomainName, record: &CrtShRecord) -> bool {
+        self.key_first_seen(registered, record.key)
+            .map(|first| first >= record.issued)
+            .unwrap_or(true)
+    }
+
+    /// Iterate over all indexed records (arbitrary order).
+    pub fn records_iter(&self) -> impl Iterator<Item = &CrtShRecord> {
+        self.records.values()
+    }
+
+    /// Number of indexed certificates.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    fn collect(&self, ids: Option<&Vec<CertId>>) -> Vec<&CrtShRecord> {
+        ids.map(|ids| {
+            ids.iter()
+                .filter_map(|id| self.records.get(id))
+                .collect::<Vec<_>>()
+        })
+        .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificate::KeyId;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn log_with(certs: Vec<Certificate>) -> CtLog {
+        let mut log = CtLog::new();
+        for c in certs {
+            let day = c.not_before;
+            log.submit(c, day);
+        }
+        log
+    }
+
+    fn cert(id: u64, names: &[&str], day: u32) -> Certificate {
+        Certificate::new(
+            CertId(id),
+            names.iter().map(|n| d(n)).collect(),
+            CaId(1),
+            Day(day),
+            90,
+            KeyId(id),
+        )
+    }
+
+    #[test]
+    fn search_by_registered_domain_in_issuance_order() {
+        let idx = CrtShIndex::build(&log_with(vec![
+            cert(1, &["www.example.com"], 10),
+            cert(2, &["mail.example.com"], 20),
+            cert(3, &["other.net"], 30),
+        ]));
+        let hits = idx.search_registered(&d("example.com"));
+        assert_eq!(hits.iter().map(|r| r.id.0).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(idx.search_registered(&d("missing.org")).is_empty());
+    }
+
+    #[test]
+    fn window_filtering() {
+        let idx = CrtShIndex::build(&log_with(vec![
+            cert(1, &["mail.example.com"], 10),
+            cert(2, &["mail.example.com"], 50),
+        ]));
+        let hits = idx.search_registered_in(&d("example.com"), Day(40)..=Day(60));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, CertId(2));
+        let hits = idx.search_exact_in(&d("mail.example.com"), Day(0)..=Day(15));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, CertId(1));
+    }
+
+    #[test]
+    fn multi_san_cert_indexed_under_every_registered_domain() {
+        let idx = CrtShIndex::build(&log_with(vec![cert(
+            1,
+            &["mail.a.com", "mail.b.net"],
+            10,
+        )]));
+        assert_eq!(idx.search_registered(&d("a.com")).len(), 1);
+        assert_eq!(idx.search_registered(&d("b.net")).len(), 1);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn exact_search_does_not_match_siblings() {
+        let idx = CrtShIndex::build(&log_with(vec![cert(1, &["mail.example.com"], 10)]));
+        assert!(idx.search_exact(&d("www.example.com")).is_empty());
+        assert_eq!(idx.search_exact(&d("mail.example.com")).len(), 1);
+    }
+
+    #[test]
+    fn record_lookup() {
+        let idx = CrtShIndex::build(&log_with(vec![cert(42, &["mail.example.com"], 10)]));
+        let r = idx.record(CertId(42)).unwrap();
+        assert_eq!(r.issued, Day(10));
+        assert_eq!(r.not_after, Day(99));
+        assert!(idx.record(CertId(1)).is_none());
+    }
+}

@@ -1,0 +1,331 @@
+//! ACME-style automated domain-validated issuance.
+//!
+//! This module is the crux of the attack surface the paper studies: a CA
+//! that issues based on *demonstrated control of DNS resolution*. The CA
+//! never sees who is asking — it only checks that the DNS view it queries
+//! carries the expected challenge token. An attacker who has hijacked the
+//! domain's delegation controls that view, so validation succeeds and a
+//! browser-trusted certificate is minted for them (§3, "Adversary-in-the-
+//! Middle Capability").
+//!
+//! The CA queries DNS through the [`ChallengeResponder`] trait so this
+//! crate stays independent of the DNS substrate; `retrodns-sim` wires the
+//! CA to whichever resolution view (legitimate or hijacked) is live on the
+//! issuance day.
+
+use crate::authority::{CaKind, CertAuthority};
+use crate::certificate::{CertId, Certificate, KeyId};
+use crate::ctlog::CtLog;
+use retrodns_types::{Day, DomainName};
+use std::fmt;
+
+/// The CA side's view of DNS during validation: can the requester place
+/// the expected token in `_acme-challenge.<name>`?
+///
+/// Implementations decide what "the DNS" currently says — the legitimate
+/// zone, or an attacker-controlled delegation.
+pub trait ChallengeResponder {
+    /// Return the TXT record values visible at `name` on `day`.
+    fn txt_lookup(&self, name: &DomainName, day: Day) -> Vec<String>;
+}
+
+/// Errors from a certificate request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IssuanceError {
+    /// The CA does not issue via automated domain validation.
+    NotAutomated,
+    /// The DNS challenge for this name did not validate.
+    ChallengeFailed(DomainName),
+    /// The request listed no names.
+    NoNames,
+}
+
+impl fmt::Display for IssuanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssuanceError::NotAutomated => write!(f, "CA does not support automated DV issuance"),
+            IssuanceError::ChallengeFailed(n) => write!(f, "DNS challenge failed for {n}"),
+            IssuanceError::NoNames => write!(f, "certificate request listed no names"),
+        }
+    }
+}
+
+impl std::error::Error for IssuanceError {}
+
+/// An ACME endpoint for one CA: validates challenges, mints certificates,
+/// logs them to CT, and hands back the certificate.
+#[derive(Debug)]
+pub struct AcmeCa {
+    authority: CertAuthority,
+    next_id: u64,
+}
+
+impl AcmeCa {
+    /// Wrap a CA in an ACME endpoint. `id_base` seeds the certificate id
+    /// sequence so ids from different CAs do not collide (crt.sh ids are
+    /// globally unique).
+    pub fn new(authority: CertAuthority, id_base: u64) -> AcmeCa {
+        AcmeCa {
+            authority,
+            next_id: id_base,
+        }
+    }
+
+    /// The wrapped authority.
+    pub fn authority(&self) -> &CertAuthority {
+        &self.authority
+    }
+
+    /// The expected challenge token for a (name, key, day) triple.
+    ///
+    /// Deterministic so the simulator can *place* the token in whichever
+    /// zone answers for the name: the legitimate operator puts it in their
+    /// zone; the attacker puts it in the zone their rogue delegation
+    /// serves. Binding the token to the requester key models ACME account
+    /// binding.
+    pub fn challenge_token(name: &DomainName, requester: KeyId, day: Day) -> String {
+        // FNV-1a over the binding triple; hex-rendered like a real token.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for byte in name
+            .as_str()
+            .bytes()
+            .chain(requester.0.to_le_bytes())
+            .chain(day.0.to_le_bytes())
+        {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        format!("acme-{h:016x}")
+    }
+
+    /// Where the token must appear for `name`.
+    pub fn challenge_name(name: &DomainName) -> DomainName {
+        name.child("_acme-challenge")
+            .expect("valid label prepends to valid name")
+    }
+
+    /// Request a certificate for `names` on `day`, validating each name's
+    /// DNS-01 challenge through `dns`. On success the certificate is
+    /// logged to `ct` (when the CA participates in CT) and returned.
+    pub fn request(
+        &mut self,
+        names: Vec<DomainName>,
+        requester: KeyId,
+        day: Day,
+        dns: &dyn ChallengeResponder,
+        ct: &mut CtLog,
+    ) -> Result<Certificate, IssuanceError> {
+        if !self.authority.kind.hijack_obtainable() && self.authority.kind != CaKind::PaidDv {
+            return Err(IssuanceError::NotAutomated);
+        }
+        if names.is_empty() {
+            return Err(IssuanceError::NoNames);
+        }
+        for name in &names {
+            // Wildcard requests validate the base name.
+            let concrete = if name.is_wildcard() {
+                name.parent().ok_or_else(|| IssuanceError::ChallengeFailed(name.clone()))?
+            } else {
+                name.clone()
+            };
+            let expected = Self::challenge_token(&concrete, requester, day);
+            let at = Self::challenge_name(&concrete);
+            if !dns.txt_lookup(&at, day).contains(&expected) {
+                return Err(IssuanceError::ChallengeFailed(name.clone()));
+            }
+        }
+        let cert = Certificate::new(
+            CertId(self.next_id),
+            names,
+            self.authority.id,
+            day,
+            self.authority.validity_days,
+            requester,
+        );
+        self.next_id += 1;
+        if self.authority.kind.logs_to_ct() {
+            ct.submit(cert.clone(), day);
+        }
+        Ok(cert)
+    }
+
+    /// Mint a certificate *without* challenge validation — used by the
+    /// simulator for internal CAs and for bootstrapping legitimate
+    /// deployments whose issuance predates the study window. Logged to CT
+    /// only when the CA participates.
+    pub fn issue_unchecked(
+        &mut self,
+        names: Vec<DomainName>,
+        requester: KeyId,
+        day: Day,
+        ct: &mut CtLog,
+    ) -> Certificate {
+        let cert = Certificate::new(
+            CertId(self.next_id),
+            names,
+            self.authority.id,
+            day,
+            self.authority.validity_days,
+            requester,
+        );
+        self.next_id += 1;
+        if self.authority.kind.logs_to_ct() {
+            ct.submit(cert.clone(), day);
+        }
+        cert
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::CaId;
+    use std::collections::HashMap;
+
+    /// A test DNS view: explicit (name, day) → TXT values.
+    #[derive(Default)]
+    struct FakeDns {
+        txt: HashMap<(DomainName, Day), Vec<String>>,
+    }
+
+    impl FakeDns {
+        fn place(&mut self, name: DomainName, day: Day, value: String) {
+            self.txt.entry((name, day)).or_default().push(value);
+        }
+    }
+
+    impl ChallengeResponder for FakeDns {
+        fn txt_lookup(&self, name: &DomainName, day: Day) -> Vec<String> {
+            self.txt.get(&(name.clone(), day)).cloned().unwrap_or_default()
+        }
+    }
+
+    fn le() -> AcmeCa {
+        AcmeCa::new(
+            CertAuthority::new(CaId(1), "Let's Encrypt", CaKind::AcmeDv, 90),
+            1000,
+        )
+    }
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn validation_succeeds_when_token_is_in_dns() {
+        let mut ca = le();
+        let mut ct = CtLog::new();
+        let mut dns = FakeDns::default();
+        let name = d("mail.mfa.gov.kg");
+        let key = KeyId(666);
+        let day = Day(100);
+        dns.place(
+            AcmeCa::challenge_name(&name),
+            day,
+            AcmeCa::challenge_token(&name, key, day),
+        );
+        let cert = ca.request(vec![name.clone()], key, day, &dns, &mut ct).unwrap();
+        assert_eq!(cert.id, CertId(1000));
+        assert!(cert.covers(&name));
+        assert_eq!(ct.len(), 1, "DV cert must appear in CT");
+        assert!(ct.verify_chain());
+    }
+
+    #[test]
+    fn validation_fails_without_token() {
+        let mut ca = le();
+        let mut ct = CtLog::new();
+        let dns = FakeDns::default();
+        let err = ca
+            .request(vec![d("mail.mfa.gov.kg")], KeyId(666), Day(100), &dns, &mut ct)
+            .unwrap_err();
+        assert_eq!(err, IssuanceError::ChallengeFailed(d("mail.mfa.gov.kg")));
+        assert!(ct.is_empty(), "failed validation must not log");
+    }
+
+    #[test]
+    fn token_is_bound_to_requester_key() {
+        let mut ca = le();
+        let mut ct = CtLog::new();
+        let mut dns = FakeDns::default();
+        let name = d("mail.mfa.gov.kg");
+        let day = Day(100);
+        // Token placed for a DIFFERENT key: validation must fail.
+        dns.place(
+            AcmeCa::challenge_name(&name),
+            day,
+            AcmeCa::challenge_token(&name, KeyId(1), day),
+        );
+        assert!(ca.request(vec![name], KeyId(2), day, &dns, &mut ct).is_err());
+    }
+
+    #[test]
+    fn wildcard_validates_base_name() {
+        let mut ca = le();
+        let mut ct = CtLog::new();
+        let mut dns = FakeDns::default();
+        let base = d("example.com");
+        let key = KeyId(5);
+        let day = Day(50);
+        dns.place(
+            AcmeCa::challenge_name(&base),
+            day,
+            AcmeCa::challenge_token(&base, key, day),
+        );
+        let cert = ca
+            .request(vec![d("*.example.com")], key, day, &dns, &mut ct)
+            .unwrap();
+        assert!(cert.covers(&d("mail.example.com")));
+    }
+
+    #[test]
+    fn multi_name_request_requires_every_challenge() {
+        let mut ca = le();
+        let mut ct = CtLog::new();
+        let mut dns = FakeDns::default();
+        let a = d("mail.a.com");
+        let b = d("mail.b.com");
+        let key = KeyId(5);
+        let day = Day(50);
+        dns.place(AcmeCa::challenge_name(&a), day, AcmeCa::challenge_token(&a, key, day));
+        // b's challenge missing
+        let err = ca
+            .request(vec![a, b.clone()], key, day, &dns, &mut ct)
+            .unwrap_err();
+        assert_eq!(err, IssuanceError::ChallengeFailed(b));
+    }
+
+    #[test]
+    fn internal_ca_does_not_log_to_ct() {
+        let mut ca = AcmeCa::new(
+            CertAuthority::new(CaId(3), "Internal", CaKind::Internal, 730),
+            5000,
+        );
+        let mut ct = CtLog::new();
+        let cert = ca.issue_unchecked(vec![d("mail.example.com")], KeyId(1), Day(10), &mut ct);
+        assert_eq!(cert.id, CertId(5000));
+        assert!(ct.is_empty(), "internal CA certs never reach CT");
+    }
+
+    #[test]
+    fn empty_request_rejected() {
+        let mut ca = le();
+        let mut ct = CtLog::new();
+        let dns = FakeDns::default();
+        assert_eq!(
+            ca.request(vec![], KeyId(1), Day(1), &dns, &mut ct).unwrap_err(),
+            IssuanceError::NoNames
+        );
+    }
+
+    #[test]
+    fn ids_are_sequential_per_ca() {
+        let mut ca = le();
+        let mut ct = CtLog::new();
+        let c1 = ca.issue_unchecked(vec![d("a.com")], KeyId(1), Day(1), &mut ct);
+        let c2 = ca.issue_unchecked(vec![d("b.com")], KeyId(1), Day(2), &mut ct);
+        assert_eq!(c2.id.0, c1.id.0 + 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! # retrodns-cert
+//!
+//! The TLS-certificate substrate: certificates, certificate authorities,
+//! browser trust stores, Certificate Transparency logs, a crt.sh-style
+//! search index, revocation (CRL vs OCSP-only), and the ACME
+//! domain-validation issuance flow that DNS infrastructure hijacks abuse.
+//!
+//! The paper's attack model (§3) hinges on one fact: *control of a domain's
+//! DNS resolution is sufficient to obtain a browser-trusted DV certificate
+//! for it*. [`issuance::AcmeCa::request`] implements exactly that check —
+//! the CA verifies a DNS challenge through whatever resolver view the
+//! caller provides, so a hijacked resolver view yields a "maliciously
+//! obtained" yet perfectly valid certificate, visible forever in the CT
+//! log ([`CtLog`]) and searchable through [`CrtShIndex`].
+
+#![warn(missing_docs)]
+pub mod authority;
+pub mod certificate;
+pub mod ctlog;
+pub mod index;
+pub mod issuance;
+pub mod revocation;
+
+pub use authority::{CaId, CaKind, CertAuthority, TrustStore};
+pub use certificate::{CertId, Certificate, KeyId};
+pub use ctlog::{CtLog, LogEntry, SignedCertTimestamp};
+pub use index::{CrtShIndex, CrtShRecord};
+pub use issuance::{AcmeCa, ChallengeResponder, IssuanceError};
+pub use revocation::{RevocationRegistry, RevocationStatus};

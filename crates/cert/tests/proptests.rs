@@ -1,0 +1,127 @@
+//! Property tests for the certificate substrate: SAN matching, index
+//! consistency, CT append-only behaviour, and key-continuity queries.
+
+use proptest::prelude::*;
+use retrodns_cert::authority::CaId;
+use retrodns_cert::{CertId, Certificate, CrtShIndex, CtLog, KeyId};
+use retrodns_types::{Day, DomainName};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}"
+}
+
+fn arb_cert(id: u64) -> impl Strategy<Value = Certificate> {
+    (
+        prop::collection::vec((arb_label(), arb_label(), "[a-z]{2,3}"), 1..4),
+        0u32..1500,
+        1u32..400,
+        any::<u64>(),
+    )
+        .prop_map(move |(names, day, validity, key)| {
+            let names: Vec<DomainName> = names
+                .into_iter()
+                .map(|(sub, dom, tld)| format!("{sub}.{dom}.{tld}").parse().unwrap())
+                .collect();
+            Certificate::new(CertId(id), names, CaId(1), Day(day), validity, KeyId(key))
+        })
+}
+
+proptest! {
+    /// A certificate covers exactly its concrete SANs, and
+    /// secures_registered_domain agrees with registered_domains().
+    #[test]
+    fn cert_coverage_consistent(cert in arb_cert(1)) {
+        for san in &cert.names {
+            prop_assert!(cert.covers(san));
+        }
+        for reg in cert.registered_domains() {
+            prop_assert!(cert.secures_registered_domain(&reg));
+        }
+        // A domain not among the registered set is never secured.
+        let foreign: DomainName = "zzz-not-there.example".parse().unwrap();
+        prop_assert!(!cert.secures_registered_domain(&foreign.registered_domain())
+            || cert.registered_domains().contains(&foreign.registered_domain()));
+    }
+
+    /// Validity window arithmetic: valid on not_before and not_after,
+    /// invalid just outside.
+    #[test]
+    fn validity_window(cert in arb_cert(2)) {
+        prop_assert!(cert.is_valid_on(cert.not_before));
+        prop_assert!(cert.is_valid_on(cert.not_after));
+        prop_assert!(!cert.is_valid_on(cert.not_after + 1));
+        if cert.not_before.0 > 0 {
+            prop_assert!(!cert.is_valid_on(Day(cert.not_before.0 - 1)));
+        }
+    }
+
+    /// CT log + crt.sh index: every submitted certificate is findable by
+    /// id and under each of its registered domains; chain verifies.
+    #[test]
+    fn ct_and_index_consistent(
+        days in prop::collection::vec(0u32..1000, 1..30),
+    ) {
+        let mut sorted = days.clone();
+        sorted.sort();
+        let mut log = CtLog::new();
+        let mut certs = Vec::new();
+        for (i, day) in sorted.iter().enumerate() {
+            let name: DomainName = format!("mail.dom{}.com", i % 7).parse().unwrap();
+            let cert = Certificate::new(
+                CertId(i as u64),
+                vec![name],
+                CaId(1),
+                Day(*day),
+                90,
+                KeyId(i as u64 % 3),
+            );
+            log.submit(cert.clone(), Day(*day));
+            certs.push(cert);
+        }
+        prop_assert!(log.verify_chain());
+        let index = CrtShIndex::build(&log);
+        prop_assert_eq!(index.len(), certs.len());
+        for cert in &certs {
+            let record = index.record(cert.id).expect("indexed");
+            prop_assert_eq!(record.issued, cert.not_before);
+            prop_assert_eq!(record.key, cert.key);
+            for reg in cert.registered_domains() {
+                prop_assert!(index
+                    .search_registered(&reg)
+                    .iter()
+                    .any(|r| r.id == cert.id));
+            }
+        }
+    }
+
+    /// Key continuity: the first certificate with a given key introduces
+    /// it; later certificates with the same key for the same domain never
+    /// count as new-key.
+    #[test]
+    fn key_continuity(reuse in prop::collection::vec(0u64..3, 2..12)) {
+        let mut log = CtLog::new();
+        let name: DomainName = "mail.victim.com".parse().unwrap();
+        for (i, key) in reuse.iter().enumerate() {
+            log.submit(
+                Certificate::new(
+                    CertId(i as u64),
+                    vec![name.clone()],
+                    CaId(1),
+                    Day(i as u32 * 10),
+                    90,
+                    KeyId(*key),
+                ),
+                Day(i as u32 * 10),
+            );
+        }
+        let index = CrtShIndex::build(&log);
+        let reg = name.registered_domain();
+        let mut seen: std::collections::HashSet<u64> = Default::default();
+        for (i, key) in reuse.iter().enumerate() {
+            let record = index.record(CertId(i as u64)).unwrap();
+            let is_new = index.introduces_new_key(&reg, record);
+            prop_assert_eq!(is_new, !seen.contains(key), "cert {} key {}", i, key);
+            seen.insert(*key);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Naive third-party detectors the pipeline is compared against.
+//!
+//! The paper's implicit claim is that *no single data source suffices*: a
+//! hijack verdict needs the deployment-map anomaly AND the pDNS
+//! corroboration AND the CT issuance. These baselines each use one source
+//! alone, and the `baselines` experiment shows what that costs in
+//! precision (B1, B2) or coverage (B3).
+
+use crate::classify::Pattern;
+use crate::map::DeploymentMap;
+use retrodns_cert::CrtShIndex;
+use retrodns_dns::{PassiveDns, RecordType};
+use retrodns_types::DomainName;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// B1 — scans only: flag every domain whose deployment map ever shows a
+/// second ASN (any expansion, migration, CDN trial or attack alike).
+pub fn b1_new_asn(maps: &[DeploymentMap]) -> Vec<DomainName> {
+    let mut flagged: BTreeSet<DomainName> = BTreeSet::new();
+    for m in maps {
+        if m.asns().len() >= 2 {
+            flagged.insert(m.domain.clone());
+        }
+    }
+    flagged.into_iter().collect()
+}
+
+/// B1b — scans + classifier, no corroboration: flag every domain with a
+/// transient-classified map (the shortlist input, un-pruned).
+pub fn b1b_any_transient(maps: &[DeploymentMap], patterns: &[Pattern]) -> Vec<DomainName> {
+    let mut flagged: BTreeSet<DomainName> = BTreeSet::new();
+    for (m, p) in maps.iter().zip(patterns) {
+        if matches!(p, Pattern::Transient { .. }) {
+            flagged.insert(m.domain.clone());
+        }
+    }
+    flagged.into_iter().collect()
+}
+
+/// B2 — CT only: flag domains whose certificate history shows a
+/// *minority issuer* minting a certificate for a sensitive subdomain
+/// (the "someone got a cert from a CA this domain never uses" alarm).
+pub fn b2_ct_only(crtsh: &CrtShIndex) -> Vec<DomainName> {
+    // issuer histogram per registered domain.
+    let mut issuers: BTreeMap<DomainName, BTreeMap<u16, usize>> = BTreeMap::new();
+    for r in crtsh.records_iter() {
+        let mut regs: BTreeSet<DomainName> = BTreeSet::new();
+        for n in &r.names {
+            let concrete = if n.is_wildcard() {
+                match n.parent() {
+                    Some(p) => p,
+                    None => continue,
+                }
+            } else {
+                n.clone()
+            };
+            regs.insert(concrete.registered_domain());
+        }
+        for reg in regs {
+            *issuers.entry(reg).or_default().entry(r.issuer.0).or_insert(0) += 1;
+        }
+    }
+    let mut flagged: BTreeSet<DomainName> = BTreeSet::new();
+    for r in crtsh.records_iter() {
+        if !r.names.iter().any(|n| n.is_sensitive()) {
+            continue;
+        }
+        for n in &r.names {
+            let reg = n.registered_domain();
+            let Some(hist) = issuers.get(&reg) else { continue };
+            if hist.len() < 2 {
+                continue;
+            }
+            let total: usize = hist.values().sum();
+            let this = hist.get(&r.issuer.0).copied().unwrap_or(0);
+            // Minority issuer: under 20 % of the domain's issuance.
+            if (this as f64) < 0.2 * total as f64 {
+                flagged.insert(reg);
+            }
+        }
+    }
+    flagged.into_iter().collect()
+}
+
+/// B3 — pDNS only: flag domains with any short-lived NS-delegation change
+/// (≤ `max_days` visibility) against a longer-lived delegation history.
+pub fn b3_pdns_only(pdns: &PassiveDns, max_days: u32) -> Vec<DomainName> {
+    let mut flagged: BTreeSet<DomainName> = BTreeSet::new();
+    let mut long_history: BTreeSet<DomainName> = BTreeSet::new();
+    let mut short_changes: BTreeSet<DomainName> = BTreeSet::new();
+    for e in pdns.iter_entries() {
+        if e.rtype != RecordType::Ns {
+            continue;
+        }
+        let reg = e.name.registered_domain();
+        if e.visibility_days() <= max_days {
+            short_changes.insert(reg);
+        } else {
+            long_history.insert(reg);
+        }
+    }
+    for d in short_changes {
+        if long_history.contains(&d) {
+            flagged.insert(d);
+        }
+    }
+    flagged.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::MapBuilder;
+    use retrodns_cert::authority::CaId;
+    use retrodns_cert::{CertId, Certificate, CtLog, KeyId};
+    use retrodns_dns::RecordData;
+    use retrodns_scan::DomainObservation;
+    use retrodns_types::{Asn, Day, Ipv4Addr, StudyWindow};
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn b1_flags_any_second_asn() {
+        let obs = vec![
+            DomainObservation {
+                domain: d("a.com"),
+                date: Day(0),
+                ip: Ipv4Addr(1),
+                asn: Some(Asn(100)),
+                country: None,
+                cert: CertId(1),
+                trusted: true,
+            },
+            DomainObservation {
+                domain: d("a.com"),
+                date: Day(7),
+                ip: Ipv4Addr(2),
+                asn: Some(Asn(200)),
+                country: None,
+                cert: CertId(1),
+                trusted: true,
+            },
+            DomainObservation {
+                domain: d("b.com"),
+                date: Day(0),
+                ip: Ipv4Addr(3),
+                asn: Some(Asn(100)),
+                country: None,
+                cert: CertId(2),
+                trusted: true,
+            },
+        ];
+        let maps = MapBuilder::new(StudyWindow::default()).build(&obs);
+        assert_eq!(b1_new_asn(&maps), vec![d("a.com")]);
+    }
+
+    #[test]
+    fn b2_flags_minority_issuer_sensitive_cert() {
+        let mut log = CtLog::new();
+        // Six routine LE certs for www, then one Comodo cert for mail.
+        for i in 0..6 {
+            log.submit(
+                Certificate::new(
+                    CertId(i),
+                    vec![d("www.victim.gr")],
+                    CaId(1),
+                    Day(i as u32 * 80),
+                    90,
+                    KeyId(1),
+                ),
+                Day(i as u32 * 80),
+            );
+        }
+        log.submit(
+            Certificate::new(CertId(99), vec![d("mail.victim.gr")], CaId(2), Day(500), 90, KeyId(6)),
+            Day(500),
+        );
+        // A single-issuer domain must not be flagged.
+        log.submit(
+            Certificate::new(CertId(100), vec![d("mail.other.com")], CaId(1), Day(510), 90, KeyId(7)),
+            Day(510),
+        );
+        let idx = CrtShIndex::build(&log);
+        assert_eq!(b2_ct_only(&idx), vec![d("victim.gr")]);
+    }
+
+    #[test]
+    fn b3_flags_short_ns_change_only_with_history() {
+        let mut p = PassiveDns::new();
+        p.insert_aggregate(&d("victim.gr"), RecordData::Ns(d("ns1.legit.gr")), Day(0), Day(400), 50);
+        p.insert_aggregate(&d("victim.gr"), RecordData::Ns(d("ns1.evil.ru")), Day(200), Day(201), 2);
+        // A domain whose only NS record is short-lived (new registration)
+        // must not be flagged.
+        p.insert_aggregate(&d("fresh.com"), RecordData::Ns(d("ns1.host.com")), Day(300), Day(310), 3);
+        assert_eq!(b3_pdns_only(&p, 45), vec![d("victim.gr")]);
+    }
+}

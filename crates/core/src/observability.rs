@@ -1,0 +1,256 @@
+//! §5.3 observability statistics.
+//!
+//! How visible are these attacks in each data source?
+//!
+//! * pDNS captures the *attack itself* (resolutions to malicious
+//!   infrastructure) for at most one day for ~51 % of hijacked domains;
+//! * the malicious certificate appears in a scan within 8 days of
+//!   issuance for >50 % of domains, and in only **one** weekly scan for
+//!   >50 % (two scans for another ~20 %);
+//! * daily zone files almost never catch the delegation flip.
+
+use crate::inspect::DetectedHijack;
+use retrodns_dns::{PassiveDns, RecordType, ZoneSnapshotArchive};
+use retrodns_scan::ScanDataset;
+use serde::{Deserialize, Serialize};
+
+/// The §5.3 statistics over a set of detected hijacks.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ObservabilityStats {
+    /// Hijacks with any pDNS attack evidence (A records to attacker IPs).
+    pub with_pdns_attack_evidence: usize,
+    /// Of those, how many had at most one day of visibility.
+    pub pdns_at_most_one_day: usize,
+    /// Per-hijack pDNS attack-evidence visibility in days.
+    pub pdns_visibility_days: Vec<u32>,
+    /// Hijacks whose malicious certificate appeared in any scan.
+    pub cert_scanned: usize,
+    /// Of those, how many appeared within 8 days of issuance.
+    pub cert_scanned_within_8_days: usize,
+    /// Per-hijack (issuance → first scan) lag in days.
+    pub cert_scan_lag_days: Vec<u32>,
+    /// Histogram of how many scans the malicious cert appeared in
+    /// (index 0 = one scan, 1 = two scans, …; last bucket = more).
+    pub cert_scan_count_histogram: Vec<usize>,
+    /// Hijacked domains with zone-file access.
+    pub zone_accessible: usize,
+    /// Of those, how many show the rogue delegation in any daily snapshot.
+    pub zone_visible: usize,
+}
+
+impl ObservabilityStats {
+    /// Fraction of pDNS-evidenced hijacks visible at most one day.
+    pub fn frac_pdns_one_day(&self) -> f64 {
+        if self.with_pdns_attack_evidence == 0 {
+            return 0.0;
+        }
+        self.pdns_at_most_one_day as f64 / self.with_pdns_attack_evidence as f64
+    }
+
+    /// Fraction of scanned malicious certs seen within 8 days of issuance.
+    pub fn frac_cert_within_8_days(&self) -> f64 {
+        if self.cert_scanned == 0 {
+            return 0.0;
+        }
+        self.cert_scanned_within_8_days as f64 / self.cert_scanned as f64
+    }
+
+    /// Fraction of scanned malicious certs appearing in exactly `n` scans
+    /// (1-based).
+    pub fn frac_cert_in_n_scans(&self, n: usize) -> f64 {
+        if self.cert_scanned == 0 || n == 0 || n > self.cert_scan_count_histogram.len() {
+            return 0.0;
+        }
+        self.cert_scan_count_histogram[n - 1] as f64 / self.cert_scanned as f64
+    }
+}
+
+/// Compute the observability statistics for detected hijacks.
+pub fn observability(
+    hijacks: &[DetectedHijack],
+    pdns: &PassiveDns,
+    scans: &ScanDataset,
+    zones: &ZoneSnapshotArchive,
+    crtsh: &retrodns_cert::CrtShIndex,
+) -> ObservabilityStats {
+    let mut stats = ObservabilityStats {
+        cert_scan_count_histogram: vec![0; 6],
+        ..Default::default()
+    };
+
+    for h in hijacks {
+        // --- pDNS attack-evidence visibility -------------------------
+        let mut best: Option<u32> = None;
+        for e in pdns.entries_under(&h.domain) {
+            if e.rtype != RecordType::A {
+                continue;
+            }
+            let Some(ip) = e.rdata.as_a() else { continue };
+            if h.attacker_ips.contains(&ip) {
+                let v = e.visibility_days();
+                best = Some(best.map(|b| b.max(v)).unwrap_or(v));
+            }
+        }
+        if let Some(days) = best {
+            stats.with_pdns_attack_evidence += 1;
+            stats.pdns_visibility_days.push(days);
+            if days <= 1 {
+                stats.pdns_at_most_one_day += 1;
+            }
+        }
+
+        // --- malicious certificate in scans ---------------------------
+        if let Some(cert) = h.malicious_cert {
+            let mut dates: Vec<_> = scans
+                .records()
+                .iter()
+                .filter(|r| r.cert == cert)
+                .map(|r| r.date)
+                .collect();
+            dates.sort();
+            dates.dedup();
+            if let Some(first) = dates.first() {
+                stats.cert_scanned += 1;
+                let issued = crtsh.record(cert).map(|r| r.issued).unwrap_or(*first);
+                let lag = *first - issued.min(*first);
+                stats.cert_scan_lag_days.push(lag);
+                if lag <= 8 {
+                    stats.cert_scanned_within_8_days += 1;
+                }
+                let bucket = (dates.len() - 1).min(stats.cert_scan_count_histogram.len() - 1);
+                stats.cert_scan_count_histogram[bucket] += 1;
+            }
+        }
+
+        // --- zone-file visibility --------------------------------------
+        if zones.has_access(&h.domain) {
+            stats.zone_accessible += 1;
+            let visible = h
+                .attacker_ns
+                .iter()
+                .any(|ns| !zones.days_with_nameserver(&h.domain, ns).is_empty());
+            if visible {
+                stats.zone_visible += 1;
+            }
+        }
+    }
+
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inspect::DetectionType;
+    use retrodns_cert::authority::CaId;
+    use retrodns_cert::{CertId, Certificate, CrtShIndex, CtLog, KeyId};
+    use retrodns_dns::RecordData;
+    use retrodns_scan::{ScanDataset, ScanRecord};
+    use retrodns_types::{Day, DomainName, Ipv4Addr};
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn hijack(cert: Option<u64>) -> DetectedHijack {
+        DetectedHijack {
+            domain: d("victim.com"),
+            dtype: DetectionType::T1,
+            sub: Some(d("mail.victim.com")),
+            first_evidence: Day(100),
+            pdns_corroborated: true,
+            ct_corroborated: true,
+            dnssec_corroborated: false,
+            malicious_cert: cert.map(CertId),
+            attacker_ips: vec![ip("6.6.6.6")],
+            attacker_asn: None,
+            attacker_cc: None,
+            attacker_ns: vec![d("ns1.evil.ru")],
+            victim_asns: vec![],
+            victim_ccs: vec![],
+        }
+    }
+
+    #[test]
+    fn stats_cover_all_three_sources() {
+        let mut pdns = PassiveDns::new();
+        pdns.insert_aggregate(&d("mail.victim.com"), RecordData::A(ip("6.6.6.6")), Day(100), Day(100), 1);
+
+        let scans = ScanDataset::from_records(vec![ScanRecord {
+            date: Day(105),
+            ip: ip("6.6.6.6"),
+            port: 443,
+            cert: CertId(666),
+        }]);
+
+        let mut log = CtLog::new();
+        log.submit(
+            Certificate::new(CertId(666), vec![d("mail.victim.com")], CaId(1), Day(100), 90, KeyId(1)),
+            Day(100),
+        );
+        let crtsh = CrtShIndex::build(&log);
+
+        let mut zones = ZoneSnapshotArchive::with_access(vec!["com".into()]);
+        zones.record_span(Day(0), Day(99), &d("victim.com"), &[d("ns1.legit.com")]);
+        zones.record(Day(100), &d("victim.com"), &[d("ns1.evil.ru")]);
+
+        let stats = observability(&[hijack(Some(666))], &pdns, &scans, &zones, &crtsh);
+        assert_eq!(stats.with_pdns_attack_evidence, 1);
+        assert_eq!(stats.pdns_at_most_one_day, 1);
+        assert!((stats.frac_pdns_one_day() - 1.0).abs() < 1e-9);
+        assert_eq!(stats.cert_scanned, 1);
+        assert_eq!(stats.cert_scan_lag_days, vec![5]);
+        assert_eq!(stats.cert_scanned_within_8_days, 1);
+        assert!((stats.frac_cert_in_n_scans(1) - 1.0).abs() < 1e-9);
+        assert_eq!(stats.zone_accessible, 1);
+        assert_eq!(stats.zone_visible, 1);
+    }
+
+    #[test]
+    fn invisible_hijack_counts_nothing() {
+        let stats = observability(
+            &[hijack(None)],
+            &PassiveDns::new(),
+            &ScanDataset::default(),
+            &ZoneSnapshotArchive::with_access(vec!["kg".into()]),
+            &CrtShIndex::default(),
+        );
+        assert_eq!(stats.with_pdns_attack_evidence, 0);
+        assert_eq!(stats.cert_scanned, 0);
+        assert_eq!(stats.zone_accessible, 0);
+        assert_eq!(stats.frac_pdns_one_day(), 0.0);
+        assert_eq!(stats.frac_cert_in_n_scans(1), 0.0);
+    }
+
+    #[test]
+    fn multi_scan_cert_lands_in_right_bucket() {
+        let scans = ScanDataset::from_records(
+            (0..3)
+                .map(|i| ScanRecord {
+                    date: Day(100 + i * 7),
+                    ip: ip("6.6.6.6"),
+                    port: 443,
+                    cert: CertId(666),
+                })
+                .collect(),
+        );
+        let mut log = CtLog::new();
+        log.submit(
+            Certificate::new(CertId(666), vec![d("mail.victim.com")], CaId(1), Day(99), 90, KeyId(1)),
+            Day(99),
+        );
+        let crtsh = CrtShIndex::build(&log);
+        let stats = observability(
+            &[hijack(Some(666))],
+            &PassiveDns::new(),
+            &scans,
+            &ZoneSnapshotArchive::with_access(Vec::<String>::new()),
+            &crtsh,
+        );
+        assert!((stats.frac_cert_in_n_scans(3) - 1.0).abs() < 1e-9);
+        assert_eq!(stats.frac_cert_in_n_scans(1), 0.0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Stage 5: pivot analysis (§4.5).
+//!
+//! Confirmed hijacks reveal attacker infrastructure — server IPs and rogue
+//! nameserver hostnames. Passive DNS can then answer the reverse
+//! questions: *which other domains resolved to those IPs* (P-IP) and
+//! *which other domains were delegated to those nameservers* (P-NS).
+//! This finds victims deployment maps cannot: domains with no stable
+//! observable TLS infrastructure (fiu.gov.kg), domains with no TLS at all
+//! (embassy.ly), and maps too cluttered to classify.
+//!
+//! The pivot runs to fixpoint: every newly confirmed victim contributes
+//! its own attacker IPs/nameservers to the frontier.
+
+use crate::inspect::{DetectedHijack, DetectionType};
+use retrodns_cert::CrtShIndex;
+use retrodns_dns::{PassiveDns, RecordType};
+use retrodns_types::{Day, DomainName, Ipv4Addr};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashSet};
+
+/// Pivot thresholds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PivotConfig {
+    /// Maximum pDNS visibility (days) for a resolution/delegation toward
+    /// attacker infrastructure to look like a hijack rather than a
+    /// domain legitimately hosted there.
+    pub short_change_max_days: u32,
+    /// Window (days) around the pDNS sighting to search CT for the
+    /// malicious certificate.
+    pub ct_window_days: u32,
+    /// Safety valve: an IP that pDNS says hundreds of domains resolve to
+    /// is shared hosting, not attacker infrastructure — skip it.
+    pub max_domains_per_ip: usize,
+}
+
+impl Default for PivotConfig {
+    fn default() -> Self {
+        PivotConfig {
+            short_change_max_days: 45,
+            ct_window_days: 21,
+            max_domains_per_ip: 25,
+        }
+    }
+}
+
+/// Expand the confirmed-hijack set by pivoting on attacker infrastructure.
+/// Returns only the newly discovered hijacks.
+pub fn pivot(
+    confirmed: &[DetectedHijack],
+    pdns: &PassiveDns,
+    crtsh: &CrtShIndex,
+    cfg: &PivotConfig,
+) -> Vec<DetectedHijack> {
+    let mut known: HashSet<DomainName> = confirmed.iter().map(|h| h.domain.clone()).collect();
+    let mut found: Vec<DetectedHijack> = Vec::new();
+
+    let mut ip_frontier: BTreeSet<Ipv4Addr> = confirmed
+        .iter()
+        .flat_map(|h| h.attacker_ips.iter().copied())
+        .collect();
+    let mut ns_frontier: BTreeSet<DomainName> = confirmed
+        .iter()
+        .flat_map(|h| h.attacker_ns.iter().cloned())
+        .collect();
+    let mut ips_done: BTreeSet<Ipv4Addr> = BTreeSet::new();
+    let mut ns_done: BTreeSet<DomainName> = BTreeSet::new();
+
+    loop {
+        let mut progressed = false;
+
+        // --- P-NS: domains briefly delegated to rogue nameservers -------
+        while let Some(ns) = pop_first(&mut ns_frontier) {
+            if !ns_done.insert(ns.clone()) {
+                continue;
+            }
+            progressed = true;
+            for entry in pdns.domains_delegated_to(&ns) {
+                if entry.visibility_days() > cfg.short_change_max_days {
+                    continue; // long-lived: legitimately hosted there
+                }
+                let domain = entry.name.registered_domain();
+                if known.contains(&domain) {
+                    continue;
+                }
+                let hijack = build_pivot_hit(
+                    &domain,
+                    DetectionType::PivotNs,
+                    entry.first_seen,
+                    pdns,
+                    crtsh,
+                    cfg,
+                    Some(ns.clone()),
+                );
+                extend_frontiers(&hijack, &mut ip_frontier, &mut ns_frontier);
+                known.insert(domain);
+                found.push(hijack);
+            }
+        }
+
+        // --- P-IP: domains briefly resolving to attacker servers --------
+        while let Some(ip) = pop_first(&mut ip_frontier) {
+            if !ips_done.insert(ip) {
+                continue;
+            }
+            progressed = true;
+            let entries = pdns.domains_resolving_to(ip);
+            let distinct: BTreeSet<DomainName> = entries
+                .iter()
+                .map(|e| e.name.registered_domain())
+                .collect();
+            if distinct.len() > cfg.max_domains_per_ip {
+                continue; // shared hosting, not attacker infra
+            }
+            for entry in entries {
+                if entry.visibility_days() > cfg.short_change_max_days {
+                    continue;
+                }
+                let domain = entry.name.registered_domain();
+                if known.contains(&domain) {
+                    continue;
+                }
+                let mut hijack = build_pivot_hit(
+                    &domain,
+                    DetectionType::PivotIp,
+                    entry.first_seen,
+                    pdns,
+                    crtsh,
+                    cfg,
+                    None,
+                );
+                if !hijack.attacker_ips.contains(&ip) {
+                    hijack.attacker_ips.push(ip);
+                }
+                if hijack.sub.is_none() && entry.name != domain {
+                    hijack.sub = Some(entry.name.clone());
+                }
+                extend_frontiers(&hijack, &mut ip_frontier, &mut ns_frontier);
+                known.insert(domain);
+                found.push(hijack);
+            }
+        }
+
+        if !progressed && ip_frontier.is_empty() && ns_frontier.is_empty() {
+            break;
+        }
+    }
+
+    found
+}
+
+fn pop_first<T: Ord + Clone>(set: &mut BTreeSet<T>) -> Option<T> {
+    let v = set.iter().next().cloned()?;
+    set.remove(&v);
+    Some(v)
+}
+
+fn extend_frontiers(
+    hijack: &DetectedHijack,
+    ip_frontier: &mut BTreeSet<Ipv4Addr>,
+    ns_frontier: &mut BTreeSet<DomainName>,
+) {
+    ip_frontier.extend(hijack.attacker_ips.iter().copied());
+    ns_frontier.extend(hijack.attacker_ns.iter().cloned());
+}
+
+/// Assemble the evidence record for one pivot discovery: re-query pDNS
+/// for the domain's own short-lived changes and CT for a malicious
+/// certificate near the sighting.
+fn build_pivot_hit(
+    domain: &DomainName,
+    dtype: DetectionType,
+    first_seen: Day,
+    pdns: &PassiveDns,
+    crtsh: &CrtShIndex,
+    cfg: &PivotConfig,
+    via_ns: Option<DomainName>,
+) -> DetectedHijack {
+    // Short-lived NS entries for the domain (implicates rogue NS).
+    let attacker_ns: Vec<DomainName> = pdns
+        .ns_history(domain)
+        .into_iter()
+        .filter(|e| e.visibility_days() <= cfg.short_change_max_days)
+        .filter_map(|e| e.rdata.as_ns().cloned())
+        .chain(via_ns)
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    // Short-lived A entries under the domain in the window — these are
+    // the redirected subdomain + attacker IP.
+    let mut sub = None;
+    let mut attacker_ips: Vec<Ipv4Addr> = Vec::new();
+    for e in pdns.entries_under(domain) {
+        if e.rtype != RecordType::A || e.visibility_days() > cfg.short_change_max_days {
+            continue;
+        }
+        if !e.overlaps(
+            first_seen.saturating_sub_days(cfg.ct_window_days),
+            first_seen + cfg.ct_window_days,
+        ) {
+            continue;
+        }
+        if let Some(ip) = e.rdata.as_a() {
+            if !attacker_ips.contains(&ip) {
+                attacker_ips.push(ip);
+            }
+            if sub.is_none() && e.name != *domain && e.name.is_sensitive() {
+                sub = Some(e.name.clone());
+            }
+        }
+    }
+
+    // CT: a certificate for a sensitive name under the domain issued near
+    // the sighting.
+    let window = first_seen.saturating_sub_days(cfg.ct_window_days)..=(first_seen + cfg.ct_window_days);
+    let cert = crtsh
+        .search_registered_in(domain, window)
+        .into_iter()
+        .filter(|r| crtsh.introduces_new_key(domain, r))
+        .find(|r| r.names.iter().any(|n| n.is_sensitive()));
+    let (malicious_cert, ct_sub) = match cert {
+        Some(r) => (
+            Some(r.id),
+            r.names.iter().find(|n| n.is_sensitive()).cloned(),
+        ),
+        None => (None, None),
+    };
+
+    DetectedHijack {
+        domain: domain.clone(),
+        dtype,
+        sub: sub.or(ct_sub),
+        first_evidence: first_seen,
+        pdns_corroborated: true,
+        ct_corroborated: malicious_cert.is_some(),
+        dnssec_corroborated: false,
+        malicious_cert,
+        attacker_ips,
+        attacker_asn: None,
+        attacker_cc: None,
+        attacker_ns,
+        victim_asns: Vec::new(),
+        victim_ccs: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retrodns_cert::authority::CaId;
+    use retrodns_cert::{CertId, Certificate, CtLog, KeyId};
+    use retrodns_dns::RecordData;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn seed_hijack() -> DetectedHijack {
+        DetectedHijack {
+            domain: d("mfa.gov.kg"),
+            dtype: DetectionType::T1,
+            sub: Some(d("mail.mfa.gov.kg")),
+            first_evidence: Day(100),
+            pdns_corroborated: true,
+            ct_corroborated: true,
+            dnssec_corroborated: false,
+            malicious_cert: Some(CertId(666)),
+            attacker_ips: vec![ip("94.103.91.159")],
+            attacker_asn: None,
+            attacker_cc: None,
+            attacker_ns: vec![d("ns1.kg-infocom.ru")],
+            victim_asns: vec![],
+            victim_ccs: vec![],
+        }
+    }
+
+    /// pDNS where a second victim (fiu.gov.kg) was briefly delegated to
+    /// the same rogue NS and its mail resolved to a sibling attacker IP.
+    fn pdns() -> PassiveDns {
+        let mut p = PassiveDns::new();
+        p.insert_aggregate(&d("fiu.gov.kg"), RecordData::Ns(d("ns1.kg-infocom.ru")), Day(110), Day(111), 2);
+        p.insert_aggregate(&d("fiu.gov.kg"), RecordData::Ns(d("ns1.infocom.kg")), Day(0), Day(300), 80);
+        p.insert_aggregate(&d("mail.fiu.gov.kg"), RecordData::A(ip("178.20.41.140")), Day(110), Day(110), 1);
+        // A long-lived legitimate customer of the same VPS /24 must NOT be
+        // flagged: resolves to the attacker IP but for months.
+        p.insert_aggregate(&d("legit-tenant.com"), RecordData::A(ip("94.103.91.159")), Day(200), Day(400), 40);
+        p
+    }
+
+    fn crtsh() -> CrtShIndex {
+        let mut log = CtLog::new();
+        log.submit(
+            Certificate::new(CertId(777), vec![d("mail.fiu.gov.kg")], CaId(1), Day(109), 90, KeyId(9)),
+            Day(109),
+        );
+        CrtShIndex::build(&log)
+    }
+
+    #[test]
+    fn pivot_by_ns_finds_no_infra_victim() {
+        let found = pivot(&[seed_hijack()], &pdns(), &crtsh(), &PivotConfig::default());
+        let fiu = found.iter().find(|h| h.domain == d("fiu.gov.kg")).expect("fiu found");
+        assert_eq!(fiu.dtype, DetectionType::PivotNs);
+        assert!(fiu.ct_corroborated, "CT cert for mail.fiu.gov.kg found");
+        assert_eq!(fiu.malicious_cert, Some(CertId(777)));
+        assert_eq!(fiu.sub, Some(d("mail.fiu.gov.kg")));
+        assert!(fiu.attacker_ips.contains(&ip("178.20.41.140")));
+    }
+
+    #[test]
+    fn long_lived_tenant_not_flagged() {
+        let found = pivot(&[seed_hijack()], &pdns(), &crtsh(), &PivotConfig::default());
+        assert!(!found.iter().any(|h| h.domain == d("legit-tenant.com")));
+    }
+
+    #[test]
+    fn known_domains_not_rediscovered() {
+        let found = pivot(&[seed_hijack()], &pdns(), &crtsh(), &PivotConfig::default());
+        assert!(!found.iter().any(|h| h.domain == d("mfa.gov.kg")));
+        // And fixpoint terminates with exactly one discovery.
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn shared_hosting_ip_is_skipped() {
+        let mut p = pdns();
+        // 30 domains briefly resolving to the attacker IP: shared hosting.
+        for i in 0..30 {
+            p.insert_aggregate(
+                &d(&format!("tenant{i}.com")),
+                RecordData::A(ip("94.103.91.159")),
+                Day(50),
+                Day(52),
+                1,
+            );
+        }
+        let found = pivot(&[seed_hijack()], &p, &crtsh(), &PivotConfig::default());
+        assert!(
+            !found.iter().any(|h| h.domain.as_str().starts_with("tenant")),
+            "shared-hosting tenants must not be flagged"
+        );
+        // The NS pivot still finds fiu.
+        assert!(found.iter().any(|h| h.domain == d("fiu.gov.kg")));
+    }
+
+    #[test]
+    fn pivot_chains_through_new_evidence() {
+        let mut p = pdns();
+        // fiu's attacker IP also briefly served a third victim.
+        p.insert_aggregate(&d("mail.infocom.kg"), RecordData::A(ip("178.20.41.140")), Day(130), Day(131), 1);
+        let found = pivot(&[seed_hijack()], &p, &crtsh(), &PivotConfig::default());
+        assert!(found.iter().any(|h| h.domain == d("infocom.kg")), "{found:?}");
+    }
+}

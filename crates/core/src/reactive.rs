@@ -1,0 +1,288 @@
+//! Near-real-time hijack detection via reactive DNS measurement —
+//! the intervention the paper *proposes* as future work (§7.1):
+//!
+//! > "One possibility worth exploring is automatically triggering
+//! > reactive DNS measurements on certificate issuance. […] Using
+//! > follow-on reactive measurements, one might then infer a hijack by
+//! > identifying when changes to nameserver delegations were transient."
+//!
+//! [`ReactiveMonitor`] consumes the CT log as a stream. For every newly
+//! issued certificate securing a *sensitive* name it probes the
+//! registered domain's delegation **at issuance time** (something only a
+//! live observer can do — this is precisely what the retroactive analyst
+//! lacks) and compares it against the baseline built from earlier
+//! issuances. A mismatch triggers a follow-up probe after a grace
+//! period:
+//!
+//! * delegation **reverted** to the baseline → the change was transient →
+//!   [`ReactiveVerdict::HijackSuspected`];
+//! * delegation **stayed** on the new nameservers → a legitimate
+//!   migration → the baseline is updated.
+//!
+//! The monitor thus detects the attack *on the day the certificate is
+//! obtained* instead of years later, at the cost of needing to run
+//! continuously.
+
+use retrodns_cert::{CertId, CrtShRecord};
+use retrodns_types::{Day, DomainName};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// The live-measurement capability the monitor needs: resolve a domain's
+/// delegation as of a given day. Implemented by the simulator's `DnsDb`
+/// (and, in a real deployment, by an actual recursive measurement).
+pub trait DelegationProbe {
+    /// The NS hostnames the domain delegates to on `day` (empty if
+    /// unresolvable).
+    fn probe_delegation(&self, domain: &DomainName, day: Day) -> Vec<DomainName>;
+}
+
+/// Verdict for one issuance event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReactiveVerdict {
+    /// Delegation at issuance matches the baseline.
+    Consistent,
+    /// First sensitive issuance for this domain; baseline established.
+    BaselineEstablished,
+    /// Delegation changed at issuance and *reverted* by the follow-up
+    /// probe: the transaction pattern of a hijack.
+    HijackSuspected {
+        /// The foreign nameservers observed at issuance.
+        rogue_ns: Vec<DomainName>,
+    },
+    /// Delegation changed and stayed changed: treated as a migration;
+    /// baseline updated.
+    MigrationObserved,
+}
+
+/// One processed issuance event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IssuanceAlert {
+    /// The certificate.
+    pub cert: CertId,
+    /// The registered domain.
+    pub domain: DomainName,
+    /// The sensitive name that made the issuance interesting.
+    pub name: DomainName,
+    /// Issuance day (== detection day for hijacks; zero latency).
+    pub issued: Day,
+    /// Verdict.
+    pub verdict: ReactiveVerdict,
+}
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReactiveConfig {
+    /// Days to wait before the follow-up probe that separates transient
+    /// flips from migrations.
+    pub followup_days: u32,
+}
+
+impl Default for ReactiveConfig {
+    fn default() -> Self {
+        ReactiveConfig { followup_days: 7 }
+    }
+}
+
+/// The streaming monitor.
+#[derive(Debug, Default)]
+pub struct ReactiveMonitor {
+    /// Per-domain delegation baseline (union of NS sets seen at
+    /// non-suspicious issuances).
+    baselines: HashMap<DomainName, BTreeSet<DomainName>>,
+}
+
+impl ReactiveMonitor {
+    /// A fresh monitor with no baselines.
+    pub fn new() -> ReactiveMonitor {
+        ReactiveMonitor::default()
+    }
+
+    /// Process one CT issuance event. Returns `None` for certificates
+    /// with no sensitive names (the monitor's pre-filter).
+    pub fn on_issuance(
+        &mut self,
+        record: &CrtShRecord,
+        probe: &dyn DelegationProbe,
+        cfg: &ReactiveConfig,
+    ) -> Option<IssuanceAlert> {
+        let name = record.names.iter().find(|n| n.is_sensitive())?.clone();
+        let domain = name.registered_domain();
+        let observed: BTreeSet<DomainName> = probe
+            .probe_delegation(&domain, record.issued)
+            .into_iter()
+            .collect();
+        if observed.is_empty() {
+            return None; // unresolvable; nothing to compare
+        }
+
+        let verdict = match self.baselines.get_mut(&domain) {
+            None => {
+                self.baselines.insert(domain.clone(), observed);
+                ReactiveVerdict::BaselineEstablished
+            }
+            Some(baseline) => {
+                if observed.intersection(baseline).next().is_some() {
+                    // Overlaps the known delegation; absorb any additions.
+                    baseline.extend(observed);
+                    ReactiveVerdict::Consistent
+                } else {
+                    // Foreign delegation at issuance: follow up.
+                    let later: BTreeSet<DomainName> = probe
+                        .probe_delegation(&domain, record.issued + cfg.followup_days)
+                        .into_iter()
+                        .collect();
+                    if later.intersection(baseline).next().is_some() {
+                        ReactiveVerdict::HijackSuspected {
+                            rogue_ns: observed.into_iter().collect(),
+                        }
+                    } else {
+                        *baseline = later;
+                        ReactiveVerdict::MigrationObserved
+                    }
+                }
+            }
+        };
+        Some(IssuanceAlert {
+            cert: record.id,
+            domain,
+            name,
+            issued: record.issued,
+            verdict,
+        })
+    }
+
+    /// Process an entire (chronological) sequence of issuance records,
+    /// returning only the hijack alerts.
+    pub fn scan_log<'a, I: IntoIterator<Item = &'a CrtShRecord>>(
+        &mut self,
+        records: I,
+        probe: &dyn DelegationProbe,
+        cfg: &ReactiveConfig,
+    ) -> Vec<IssuanceAlert> {
+        records
+            .into_iter()
+            .filter_map(|r| self.on_issuance(r, probe, cfg))
+            .filter(|a| matches!(a.verdict, ReactiveVerdict::HijackSuspected { .. }))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retrodns_cert::authority::CaId;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn rec(id: u64, name: &str, issued: u32) -> CrtShRecord {
+        CrtShRecord {
+            id: CertId(id),
+            names: vec![d(name)],
+            issuer: CaId(1),
+            issued: Day(issued),
+            not_after: Day(issued + 89),
+            key: retrodns_cert::KeyId(id),
+        }
+    }
+
+    /// Scripted delegation history.
+    struct FakeProbe {
+        segments: Vec<(Day, Day, Vec<DomainName>)>,
+    }
+
+    impl DelegationProbe for FakeProbe {
+        fn probe_delegation(&self, _domain: &DomainName, day: Day) -> Vec<DomainName> {
+            self.segments
+                .iter()
+                .find(|(s, e, _)| day >= *s && day <= *e)
+                .map(|(_, _, ns)| ns.clone())
+                .unwrap_or_default()
+        }
+    }
+
+    fn hijack_probe() -> FakeProbe {
+        FakeProbe {
+            segments: vec![
+                (Day(0), Day(99), vec![d("ns1.legit.kg")]),
+                (Day(100), Day(100), vec![d("ns1.evil.ru")]), // the flip
+                (Day(101), Day(2000), vec![d("ns1.legit.kg")]),
+            ],
+        }
+    }
+
+    #[test]
+    fn hijack_flip_detected_at_issuance() {
+        let mut mon = ReactiveMonitor::new();
+        let cfg = ReactiveConfig::default();
+        let probe = hijack_probe();
+        // Routine issuance establishes the baseline.
+        let a = mon.on_issuance(&rec(1, "mail.mfa.gov.kg", 10), &probe, &cfg).unwrap();
+        assert_eq!(a.verdict, ReactiveVerdict::BaselineEstablished);
+        // The malicious issuance during the flip is flagged immediately.
+        let a = mon.on_issuance(&rec(2, "mail.mfa.gov.kg", 100), &probe, &cfg).unwrap();
+        match a.verdict {
+            ReactiveVerdict::HijackSuspected { rogue_ns } => {
+                assert_eq!(rogue_ns, vec![d("ns1.evil.ru")]);
+            }
+            other => panic!("expected hijack, got {other:?}"),
+        }
+        assert_eq!(a.issued, Day(100), "zero-latency detection");
+    }
+
+    #[test]
+    fn migration_updates_baseline_without_alert() {
+        let probe = FakeProbe {
+            segments: vec![
+                (Day(0), Day(99), vec![d("ns1.old.com")]),
+                (Day(100), Day(2000), vec![d("ns1.new.com")]), // permanent
+            ],
+        };
+        let mut mon = ReactiveMonitor::new();
+        let cfg = ReactiveConfig::default();
+        mon.on_issuance(&rec(1, "mail.x.com", 10), &probe, &cfg);
+        let a = mon.on_issuance(&rec(2, "mail.x.com", 100), &probe, &cfg).unwrap();
+        assert_eq!(a.verdict, ReactiveVerdict::MigrationObserved);
+        // Post-migration issuance is consistent with the new baseline.
+        let a = mon.on_issuance(&rec(3, "mail.x.com", 200), &probe, &cfg).unwrap();
+        assert_eq!(a.verdict, ReactiveVerdict::Consistent);
+    }
+
+    #[test]
+    fn non_sensitive_certs_ignored() {
+        let mut mon = ReactiveMonitor::new();
+        let probe = hijack_probe();
+        assert!(mon
+            .on_issuance(&rec(1, "www.mfa.gov.kg", 100), &probe, &ReactiveConfig::default())
+            .is_none());
+    }
+
+    #[test]
+    fn first_issuance_never_alerts() {
+        // Even if the very first sensitive issuance happens during a
+        // hijack, there is no baseline to contradict — the monitor's
+        // honest blind spot.
+        let mut mon = ReactiveMonitor::new();
+        let probe = hijack_probe();
+        let a = mon
+            .on_issuance(&rec(1, "mail.mfa.gov.kg", 100), &probe, &ReactiveConfig::default())
+            .unwrap();
+        assert_eq!(a.verdict, ReactiveVerdict::BaselineEstablished);
+    }
+
+    #[test]
+    fn scan_log_filters_to_hijacks() {
+        let mut mon = ReactiveMonitor::new();
+        let probe = hijack_probe();
+        let records = [
+            rec(1, "mail.mfa.gov.kg", 10),
+            rec(2, "mail.mfa.gov.kg", 100),
+            rec(3, "mail.mfa.gov.kg", 300),
+        ];
+        let alerts = mon.scan_log(records.iter(), &probe, &ReactiveConfig::default());
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].cert, CertId(2));
+    }
+}

@@ -1,0 +1,429 @@
+//! Rendering the paper's result tables from a [`crate::pipeline::Report`].
+//!
+//! Table 2 (hijacked domains), Table 3 (targeted domains), Table 4
+//! (affected organizations by sector), Table 5 (attacker networks) and
+//! Table 9 (maliciously obtained certificates). The renderers take a
+//! domain-info callback because sector/organization attribution is
+//! world-knowledge the pipeline itself does not have (the paper compiled
+//! it manually, §5.5).
+
+use crate::inspect::{DetectedHijack, DetectedTarget};
+use retrodns_asdb::OrgTable;
+use retrodns_cert::{RevocationRegistry, TrustStore};
+use retrodns_types::{Asn, CountryCode, DomainName};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// World knowledge about a domain's owner.
+#[derive(Debug, Clone)]
+pub struct DomainInfo {
+    /// Sector label ("Government Ministry", …).
+    pub sector: String,
+    /// Owner country.
+    pub country: Option<CountryCode>,
+    /// Organization display name.
+    pub org_name: String,
+}
+
+/// Provider of world knowledge (implemented over the simulator's
+/// metadata, or a manual mapping on real data).
+pub type InfoFn<'a> = &'a dyn Fn(&DomainName) -> Option<DomainInfo>;
+
+fn cc_of(info: InfoFn, domain: &DomainName) -> String {
+    info(domain)
+        .and_then(|i| i.country)
+        .map(|c| c.to_string())
+        .unwrap_or_else(|| "--".into())
+}
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "Y"
+    } else {
+        "x"
+    }
+}
+
+/// Render Table 2: the hijacked domains, grouped by victim country and
+/// ordered by hijack time within each group.
+pub fn render_table2(hijacks: &[DetectedHijack], info: InfoFn) -> String {
+    let mut rows: Vec<&DetectedHijack> = hijacks.iter().collect();
+    rows.sort_by_key(|h| (cc_of(info, &h.domain), h.first_evidence, h.domain.clone()));
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<5} {:<7} {:<3} {:<26} {:<12} {:<5} {:<4} {:<16} {:<7} {:<3} {:<22} CCs",
+        "Type", "Hij.", "CC", "Domain", "Sub.", "pDNS", "crt", "Attacker IP", "ASN", "CC", "Victim ASNs"
+    );
+    for h in rows {
+        let sub = h
+            .sub
+            .as_ref()
+            .and_then(|sub| sub.subdomain_part().map(str::to_string))
+            .or_else(|| h.sub.as_ref().map(|s| s.to_string()))
+            .unwrap_or_else(|| "-".into());
+        let victim_asns = if h.victim_asns.is_empty() {
+            "-".to_string()
+        } else {
+            format!(
+                "[{}]",
+                h.victim_asns.iter().map(|a| a.value().to_string()).collect::<Vec<_>>().join(",")
+            )
+        };
+        let victim_ccs = if h.victim_ccs.is_empty() {
+            "-".to_string()
+        } else {
+            format!(
+                "[{}]",
+                h.victim_ccs.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",")
+            )
+        };
+        let _ = writeln!(
+            s,
+            "{:<5} {:<7} {:<3} {:<26} {:<12} {:<5} {:<4} {:<16} {:<7} {:<3} {:<22} {}",
+            h.dtype.label(),
+            h.first_evidence.month_year_short(),
+            cc_of(info, &h.domain),
+            h.domain.to_string(),
+            sub,
+            tick(h.pdns_corroborated),
+            tick(h.ct_corroborated),
+            h.attacker_ips
+                .first()
+                .map(|ip| ip.to_string())
+                .unwrap_or_else(|| "-".into()),
+            h.attacker_asn.map(|a| a.value().to_string()).unwrap_or_else(|| "-".into()),
+            h.attacker_cc.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            victim_asns,
+            victim_ccs,
+        );
+    }
+    s
+}
+
+/// Render Table 3: the targeted-but-not-hijacked domains.
+pub fn render_table3(targets: &[DetectedTarget], info: InfoFn) -> String {
+    let mut rows: Vec<&DetectedTarget> = targets.iter().collect();
+    rows.sort_by_key(|t| (cc_of(info, &t.domain), t.first_evidence, t.domain.clone()));
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<9} {:<3} {:<26} {:<12} {:<5} {:<4} {:<16} {:<7} {:<3} Victim ASNs/CCs",
+        "Tar.Date", "CC", "Domain", "Sub", "pDNS", "crt", "Attacker IP", "ASN", "CC"
+    );
+    for t in rows {
+        let sub = t
+            .sub
+            .as_ref()
+            .and_then(|sub| sub.subdomain_part().map(str::to_string))
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            s,
+            "{:<9} {:<3} {:<26} {:<12} {:<5} {:<4} {:<16} {:<7} {:<3} [{}] [{}]",
+            t.first_evidence.month_year_short(),
+            cc_of(info, &t.domain),
+            t.domain.to_string(),
+            sub,
+            tick(t.pdns_corroborated),
+            tick(t.ct_corroborated),
+            t.attacker_ip.map(|ip| ip.to_string()).unwrap_or_else(|| "-".into()),
+            t.attacker_asn.map(|a| a.value().to_string()).unwrap_or_else(|| "-".into()),
+            t.attacker_cc.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            t.victim_asns.iter().map(|a| a.value().to_string()).collect::<Vec<_>>().join(","),
+            t.victim_ccs.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(","),
+        );
+    }
+    s
+}
+
+/// Table 4 rows: (sector, hijacked count, targeted count).
+pub fn sector_breakdown(
+    hijacks: &[DetectedHijack],
+    targets: &[DetectedTarget],
+    info: InfoFn,
+) -> Vec<(String, usize, usize)> {
+    let mut counts: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for h in hijacks {
+        let sector = info(&h.domain).map(|i| i.sector).unwrap_or_else(|| "Unknown".into());
+        counts.entry(sector).or_default().0 += 1;
+    }
+    for t in targets {
+        let sector = info(&t.domain).map(|i| i.sector).unwrap_or_else(|| "Unknown".into());
+        counts.entry(sector).or_default().1 += 1;
+    }
+    let mut rows: Vec<(String, usize, usize)> = counts
+        .into_iter()
+        .map(|(s, (h, t))| (s, h, t))
+        .collect();
+    rows.sort_by_key(|(s, h, t)| (usize::MAX - (h + t), s.clone()));
+    rows
+}
+
+/// Render Table 4: affected organizations by sector.
+pub fn render_table4(
+    hijacks: &[DetectedHijack],
+    targets: &[DetectedTarget],
+    info: InfoFn,
+) -> String {
+    let rows = sector_breakdown(hijacks, targets, info);
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<32} {:>5} {:>5} {:>6}", "Sector", "Hij.", "Tar.", "Total");
+    let (mut th, mut tt) = (0, 0);
+    for (sector, h, t) in &rows {
+        let _ = writeln!(s, "{:<32} {:>5} {:>5} {:>6}", sector, h, t, h + t);
+        th += h;
+        tt += t;
+    }
+    let _ = writeln!(s, "{:<32} {:>5} {:>5} {:>6}", "Total", th, tt, th + tt);
+    s
+}
+
+/// Table 5 rows: (ASN, network name, hijacked, targeted).
+pub fn attacker_networks(
+    hijacks: &[DetectedHijack],
+    targets: &[DetectedTarget],
+    orgs: &OrgTable,
+) -> Vec<(Asn, String, usize, usize)> {
+    let mut counts: BTreeMap<Asn, (usize, usize)> = BTreeMap::new();
+    for h in hijacks {
+        if let Some(asn) = h.attacker_asn {
+            counts.entry(asn).or_default().0 += 1;
+        }
+    }
+    for t in targets {
+        if let Some(asn) = t.attacker_asn {
+            counts.entry(asn).or_default().1 += 1;
+        }
+    }
+    let mut rows: Vec<(Asn, String, usize, usize)> = counts
+        .into_iter()
+        .map(|(asn, (h, t))| {
+            (
+                asn,
+                orgs.asn_org_name(asn).unwrap_or("?").to_string(),
+                h,
+                t,
+            )
+        })
+        .collect();
+    rows.sort_by_key(|(asn, _, h, t)| (usize::MAX - (h + t), asn.value()));
+    rows
+}
+
+/// Render Table 5: networks used by attackers.
+pub fn render_table5(
+    hijacks: &[DetectedHijack],
+    targets: &[DetectedTarget],
+    orgs: &OrgTable,
+) -> String {
+    let rows = attacker_networks(hijacks, targets, orgs);
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<8} {:<20} {:>5} {:>5} {:>6}", "ASN", "Network", "Hij.", "Tar.", "Total");
+    let (mut th, mut tt) = (0, 0);
+    for (asn, name, h, t) in &rows {
+        let _ = writeln!(s, "{:<8} {:<20} {:>5} {:>5} {:>6}", asn.value(), name, h, t, h + t);
+        th += h;
+        tt += t;
+    }
+    let _ = writeln!(s, "{:<8} {:<20} {:>5} {:>5} {:>6}", "", "Total", th, tt, th + tt);
+    s
+}
+
+/// Render Table 9: the maliciously obtained certificates with issuer and
+/// retroactively determinable revocation status.
+pub fn render_table9(
+    hijacks: &[DetectedHijack],
+    trust: &TrustStore,
+    revocations: &RevocationRegistry,
+    crtsh: &retrodns_cert::CrtShIndex,
+    info: InfoFn,
+) -> String {
+    let mut rows: Vec<&DetectedHijack> = hijacks.iter().collect();
+    rows.sort_by_key(|h| (cc_of(info, &h.domain), h.domain.clone()));
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<3} {:<26} {:<12} {:<14} {:<16} CRL",
+        "CC", "Domain", "Target", "crt.sh ID", "Issuer CA"
+    );
+    let mut by_issuer: BTreeMap<String, usize> = BTreeMap::new();
+    let mut revoked = 0usize;
+    for h in rows {
+        let target = h
+            .sub
+            .as_ref()
+            .and_then(|sub| sub.subdomain_part().map(str::to_string))
+            .unwrap_or_else(|| "-".into());
+        let (id, issuer, crl) = match h.malicious_cert {
+            Some(cid) => {
+                let issuer_id = crtsh.record(cid).map(|r| r.issuer);
+                let issuer_name = issuer_id
+                    .map(|i| trust.ca_name(i).to_string())
+                    .unwrap_or_else(|| "?".into());
+                let status = issuer_id
+                    .map(|i| revocations.retroactive_status(cid, i, trust))
+                    .map(|st| {
+                        if matches!(st, retrodns_cert::RevocationStatus::Revoked(_)) {
+                            revoked += 1;
+                        }
+                        st.symbol()
+                    })
+                    .unwrap_or("-");
+                *by_issuer.entry(issuer_name.clone()).or_insert(0) += 1;
+                (cid.0.to_string(), issuer_name, status)
+            }
+            None => ("-".into(), "-".into(), "-"),
+        };
+        let _ = writeln!(
+            s,
+            "{:<3} {:<26} {:<12} {:<14} {:<16} {}",
+            cc_of(info, &h.domain),
+            h.domain.to_string(),
+            target,
+            id,
+            issuer,
+            crl
+        );
+    }
+    let _ = writeln!(s, "--");
+    for (issuer, n) in &by_issuer {
+        let _ = writeln!(s, "Issuer {issuer}: {n} certificates");
+    }
+    let _ = writeln!(s, "Revoked (CRL-determinable): {revoked}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inspect::DetectionType;
+    use retrodns_asdb::{OrgId, OrgTableBuilder};
+    use retrodns_types::Day;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn hijack(domain: &str, asn: u32) -> DetectedHijack {
+        DetectedHijack {
+            domain: d(domain),
+            dtype: DetectionType::T1,
+            sub: Some(d(&format!("mail.{domain}"))),
+            first_evidence: Day(500),
+            pdns_corroborated: true,
+            ct_corroborated: true,
+            dnssec_corroborated: false,
+            malicious_cert: None,
+            attacker_ips: vec!["6.6.6.6".parse().unwrap()],
+            attacker_asn: Some(Asn(asn)),
+            attacker_cc: "NL".parse().ok(),
+            attacker_ns: vec![],
+            victim_asns: vec![Asn(100)],
+            victim_ccs: vec!["KG".parse().unwrap()],
+        }
+    }
+
+    fn info(_: &DomainName) -> Option<DomainInfo> {
+        Some(DomainInfo {
+            sector: "Government Ministry".into(),
+            country: "KG".parse().ok(),
+            org_name: "MFA".into(),
+        })
+    }
+
+    #[test]
+    fn table2_renders_rows() {
+        let h = vec![hijack("mfa.gov.kg", 14061)];
+        let s = render_table2(&h, &info);
+        assert!(s.contains("mfa.gov.kg"));
+        assert!(s.contains("T1"));
+        assert!(s.contains("mail"));
+        assert!(s.contains("6.6.6.6"));
+        assert!(s.contains("May'18")); // Day(500) = 2018-05-16
+    }
+
+    #[test]
+    fn table4_sums_sectors() {
+        let h = vec![hijack("mfa.gov.kg", 14061), hijack("moi.gov.kg", 20473)];
+        let rows = sector_breakdown(&h, &[], &info);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0], ("Government Ministry".into(), 2, 0));
+        let s = render_table4(&h, &[], &info);
+        assert!(s.contains("Government Ministry"));
+        assert!(s.ends_with("2\n") || s.contains("Total"));
+    }
+
+    #[test]
+    fn table3_renders_targets() {
+        let t = DetectedTarget {
+            domain: d("ais.gov.vn"),
+            sub: Some(d("intranet.ais.gov.vn")),
+            first_evidence: Day(830),
+            pdns_corroborated: true,
+            ct_corroborated: false,
+            attacker_ip: "45.77.45.193".parse().ok(),
+            attacker_asn: Some(Asn(20473)),
+            attacker_cc: "SG".parse().ok(),
+            victim_asns: vec![Asn(131375)],
+            victim_ccs: vec!["VN".parse().unwrap()],
+        };
+        let s = render_table3(&[t], &info);
+        assert!(s.contains("ais.gov.vn"));
+        assert!(s.contains("intranet"));
+        assert!(s.contains("45.77.45.193"));
+        assert!(s.contains("20473"));
+    }
+
+    #[test]
+    fn table9_reports_issuers_and_revocation() {
+        use retrodns_cert::authority::{CaKind, CertAuthority};
+        use retrodns_cert::{CaId, CertId, Certificate, CrtShIndex, CtLog, KeyId, RevocationRegistry, TrustStore};
+        let mut trust = TrustStore::new();
+        trust.register_public(CertAuthority::new(CaId(1), "Let's Encrypt", CaKind::AcmeDv, 90));
+        trust.register_public(CertAuthority::new(CaId(2), "Comodo", CaKind::TrialDv, 90));
+        let mut log = CtLog::new();
+        log.submit(
+            Certificate::new(CertId(10), vec![d("mail.a.gov.kg")], CaId(1), Day(100), 90, KeyId(1)),
+            Day(100),
+        );
+        log.submit(
+            Certificate::new(CertId(11), vec![d("mail.b.gov.kg")], CaId(2), Day(101), 90, KeyId(2)),
+            Day(101),
+        );
+        let crtsh = CrtShIndex::build(&log);
+        let mut rev = RevocationRegistry::new();
+        rev.revoke(CertId(11), CaId(2), Day(150));
+        let mut h1 = hijack("a.gov.kg", 14061);
+        h1.malicious_cert = Some(CertId(10));
+        let mut h2 = hijack("b.gov.kg", 20473);
+        h2.malicious_cert = Some(CertId(11));
+        let s = render_table9(&[h1, h2], &trust, &rev, &crtsh, &info);
+        assert!(s.contains("Issuer Let's Encrypt: 1 certificates"), "{s}");
+        assert!(s.contains("Issuer Comodo: 1 certificates"), "{s}");
+        assert!(s.contains("Revoked (CRL-determinable): 1"), "{s}");
+        // LE cert shows '-' (OCSP-only), Comodo revoked shows 'Y'.
+        let le_line = s.lines().find(|l| l.contains("a.gov.kg")).unwrap();
+        assert!(le_line.trim_end().ends_with('-'), "{le_line}");
+        let comodo_line = s.lines().find(|l| l.contains("b.gov.kg")).unwrap();
+        assert!(comodo_line.trim_end().ends_with('Y'), "{comodo_line}");
+    }
+
+    #[test]
+    fn table5_counts_by_attacker_asn() {
+        let mut b = OrgTableBuilder::new();
+        b.insert(Asn(14061), OrgId(1), "Digital Ocean");
+        b.insert(Asn(20473), OrgId(2), "Vultr");
+        let orgs = b.build();
+        let h = vec![
+            hijack("a.gov.kg", 14061),
+            hijack("b.gov.kg", 14061),
+            hijack("c.gov.kg", 20473),
+        ];
+        let rows = attacker_networks(&h, &[], &orgs);
+        assert_eq!(rows[0].0, Asn(14061));
+        assert_eq!(rows[0].2, 2);
+        let s = render_table5(&h, &[], &orgs);
+        assert!(s.contains("Digital Ocean"));
+        assert!(s.contains("Vultr"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Scoring detection output against ground truth.
+//!
+//! The paper had no ground truth ("absent ground truth, we have no way to
+//! judge the comprehensiveness of our results", §7.1); the simulator does.
+//! This module computes precision/recall/F1 for any detected-vs-truth
+//! domain set pair, used by the Table 2/3 experiments and the baseline
+//! comparison.
+
+use retrodns_types::DomainName;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Confusion counts plus derived rates for one detection task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Score {
+    /// Detected and true.
+    pub true_positives: usize,
+    /// Detected but not true.
+    pub false_positives: usize,
+    /// True but not detected.
+    pub false_negatives: usize,
+}
+
+impl Score {
+    /// Fraction of detections that are correct (1.0 when nothing was
+    /// detected — no claims, no wrong claims).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Fraction of truth that was detected (1.0 for empty truth).
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Score a detected set against a truth set (both deduplicated).
+pub fn score_detection(detected: &[DomainName], truth: &[DomainName]) -> Score {
+    let detected: BTreeSet<&DomainName> = detected.iter().collect();
+    let truth: BTreeSet<&DomainName> = truth.iter().collect();
+    Score {
+        true_positives: detected.intersection(&truth).count(),
+        false_positives: detected.difference(&truth).count(),
+        false_negatives: truth.difference(&detected).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let truth = vec![d("a.com"), d("b.com")];
+        let s = score_detection(&truth, &truth);
+        assert_eq!(s.true_positives, 2);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.f1(), 1.0);
+    }
+
+    #[test]
+    fn partial_detection() {
+        let detected = vec![d("a.com"), d("x.com")];
+        let truth = vec![d("a.com"), d("b.com")];
+        let s = score_detection(&detected, &truth);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.false_negatives, 1);
+        assert!((s.precision() - 0.5).abs() < 1e-12);
+        assert!((s.recall() - 0.5).abs() < 1e-12);
+        assert!((s.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let s = score_detection(&[], &[]);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        let s = score_detection(&[], &[d("a.com")]);
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.f1(), 0.0);
+        let s = score_detection(&[d("a.com")], &[]);
+        assert_eq!(s.precision(), 0.0);
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let detected = vec![d("a.com"), d("a.com")];
+        let truth = vec![d("a.com")];
+        let s = score_detection(&detected, &truth);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 0);
+    }
+}

@@ -1,0 +1,436 @@
+//! Stage 3: shortlisting suspicious transients (§4.3).
+//!
+//! Transient-classified maps are pruned by four heuristics, each targeting
+//! a concrete benign explanation:
+//!
+//! 1. **Organizational relatedness** — the transient ASN belongs to the
+//!    same organization as a stable ASN (Amazon AS16509 vs AS14618).
+//! 2. **Geolocation** — the transient geolocates to a country the stable
+//!    deployment already uses.
+//! 3. **Visibility** — the domain is missing from > 20 % of the period's
+//!    scans, or shows similar transients in ≥ 3 consecutive periods: our
+//!    view of it is too unstable to judge.
+//! 4. **Sensitivity** — keep only transients whose browser-trusted
+//!    certificate secures a *sensitive* subdomain; everything else is
+//!    kept only when *truly anomalous* (a lone transient bracketed by
+//!    fully stable periods).
+//!
+//! Every pruned map carries its [`PruneReason`], which the ablation
+//! experiment histograms.
+
+use crate::classify::{Pattern, StableBackground, TransientFinding};
+use crate::map::{Deployment, DeploymentMap};
+use retrodns_asdb::AsDatabase;
+use retrodns_cert::{CertId, Certificate};
+use retrodns_types::{DomainName, Period};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Why a transient map was pruned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PruneReason {
+    /// Transient ASN organizationally related to a stable ASN.
+    RelatedOrg,
+    /// Transient geolocates to a stable deployment's country.
+    SameCountry,
+    /// Domain missing from too many scans in the period.
+    LowVisibility,
+    /// Similar transients in three-plus consecutive periods.
+    RepeatedTransients,
+    /// No sensitive trusted certificate and not truly anomalous.
+    NotSensitiveNotAnomalous,
+}
+
+impl PruneReason {
+    /// Stable display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PruneReason::RelatedOrg => "related-org",
+            PruneReason::SameCountry => "same-country",
+            PruneReason::LowVisibility => "low-visibility",
+            PruneReason::RepeatedTransients => "repeated-transients",
+            PruneReason::NotSensitiveNotAnomalous => "not-sensitive-not-anomalous",
+        }
+    }
+}
+
+/// A shortlisted suspicious transient.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The domain.
+    pub domain: DomainName,
+    /// Period the transient was observed in.
+    pub period: Period,
+    /// The transient finding (kind, new certs).
+    pub finding: TransientFinding,
+    /// The transient deployment itself.
+    pub transient: Deployment,
+    /// The stable background it was judged against.
+    pub background: StableBackground,
+    /// The transient is *truly anomalous*: the only transient in this
+    /// period's map, bracketed by fully stable periods. Licenses the
+    /// "targeted but not hijacked" verdict when corroboration is absent.
+    pub truly_anomalous: bool,
+    /// Shortlisted *via* the truly-anomalous route (no sensitive trusted
+    /// certificate) rather than the sensitive-name route — the paper's
+    /// "47 domains shortlisted for being truly anomalous".
+    pub via_anomalous_route: bool,
+    /// The sensitive names secured by the transient's trusted certs.
+    pub sensitive_names: Vec<DomainName>,
+}
+
+/// Shortlisting thresholds and ablation switches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShortlistConfig {
+    /// Minimum fraction of period scans the domain must appear in.
+    pub min_visibility: f64,
+    /// Transients in this many consecutive periods ⇒ prune.
+    pub repeat_periods: usize,
+    /// Ablation: skip the organizational-relatedness check.
+    pub disable_org_check: bool,
+    /// Ablation: skip the geolocation check.
+    pub disable_geo_check: bool,
+    /// Ablation: skip the visibility check.
+    pub disable_visibility_check: bool,
+    /// Ablation: skip the repeated-transients check.
+    pub disable_repeat_check: bool,
+    /// Ablation: skip the sensitive-name requirement (keep everything).
+    pub disable_sensitive_filter: bool,
+}
+
+impl Default for ShortlistConfig {
+    fn default() -> Self {
+        ShortlistConfig {
+            min_visibility: 0.8,
+            repeat_periods: 3,
+            disable_org_check: false,
+            disable_geo_check: false,
+            disable_visibility_check: false,
+            disable_repeat_check: false,
+            disable_sensitive_filter: false,
+        }
+    }
+}
+
+/// The shortlist result: survivors plus a full prune audit trail.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ShortlistOutcome {
+    /// Candidates that survived all heuristics.
+    pub candidates: Vec<Candidate>,
+    /// Pruned (domain, period, reason) triples.
+    pub pruned: Vec<(DomainName, Period, PruneReason)>,
+}
+
+impl ShortlistOutcome {
+    /// Histogram of prune reasons.
+    pub fn prune_histogram(&self) -> HashMap<PruneReason, usize> {
+        let mut h = HashMap::new();
+        for (_, _, r) in &self.pruned {
+            *h.entry(*r).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+/// Run the shortlist heuristics over classified maps. `patterns` is
+/// parallel to `maps`.
+pub fn shortlist(
+    maps: &[DeploymentMap],
+    patterns: &[Pattern],
+    asdb: &AsDatabase,
+    certs: &HashMap<CertId, Certificate>,
+    cfg: &ShortlistConfig,
+) -> ShortlistOutcome {
+    assert_eq!(maps.len(), patterns.len(), "patterns must parallel maps");
+    // Per-domain period → category index for the repeat / truly-anomalous
+    // cross-period checks.
+    let mut by_domain: HashMap<&DomainName, HashMap<usize, &'static str>> = HashMap::new();
+    for (m, p) in maps.iter().zip(patterns) {
+        by_domain
+            .entry(&m.domain)
+            .or_default()
+            .insert(m.period.id, p.category());
+    }
+
+    let consecutive_transients = |domain: &DomainName, pid: usize| -> usize {
+        let periods = &by_domain[domain];
+        let is_t = |id: usize| periods.get(&id) == Some(&"transient");
+        let mut run = 1;
+        let mut i = pid;
+        while i > 0 && is_t(i - 1) {
+            run += 1;
+            i -= 1;
+        }
+        let mut i = pid;
+        while is_t(i + 1) {
+            run += 1;
+            i += 1;
+        }
+        run
+    };
+
+    let mut out = ShortlistOutcome::default();
+
+    for (m, p) in maps.iter().zip(patterns) {
+        let Pattern::Transient {
+            findings,
+            background,
+        } = p
+        else {
+            continue;
+        };
+
+        // Map-level checks first (visibility, repetition).
+        if !cfg.disable_visibility_check && m.visibility() < cfg.min_visibility {
+            out.pruned
+                .push((m.domain.clone(), m.period, PruneReason::LowVisibility));
+            continue;
+        }
+        if !cfg.disable_repeat_check
+            && consecutive_transients(&m.domain, m.period.id) >= cfg.repeat_periods
+        {
+            out.pruned
+                .push((m.domain.clone(), m.period, PruneReason::RepeatedTransients));
+            continue;
+        }
+
+        // Truly anomalous: a single transient finding, with fully stable
+        // periods before and after. Edge periods don't qualify.
+        let neighbors = &by_domain[&m.domain];
+        let truly_anomalous = findings.len() == 1
+            && m.period.id > 0
+            && neighbors.get(&(m.period.id - 1)) == Some(&"stable")
+            && neighbors.get(&(m.period.id + 1)) == Some(&"stable");
+
+        let mut kept_any = false;
+        let mut last_prune: Option<PruneReason> = None;
+        for finding in findings {
+            let transient = &m.deployments[finding.deployment];
+
+            if !cfg.disable_org_check
+                && background
+                    .asns
+                    .iter()
+                    .any(|stable_asn| asdb.related_asns(transient.asn, *stable_asn))
+            {
+                last_prune = Some(PruneReason::RelatedOrg);
+                continue;
+            }
+            if !cfg.disable_geo_check
+                && transient
+                    .countries
+                    .iter()
+                    .any(|cc| background.countries.contains(cc))
+            {
+                last_prune = Some(PruneReason::SameCountry);
+                continue;
+            }
+
+            // Sensitive trusted certificate, or truly anomalous.
+            let sensitive_names: Vec<DomainName> = transient
+                .trusted_certs
+                .iter()
+                .filter_map(|id| certs.get(id))
+                .flat_map(|c| c.sensitive_names().into_iter().cloned())
+                .collect();
+            let sensitive_ok = !sensitive_names.is_empty();
+            if !cfg.disable_sensitive_filter && !sensitive_ok && !truly_anomalous {
+                last_prune = Some(PruneReason::NotSensitiveNotAnomalous);
+                continue;
+            }
+
+            kept_any = true;
+            out.candidates.push(Candidate {
+                domain: m.domain.clone(),
+                period: m.period,
+                finding: finding.clone(),
+                transient: transient.clone(),
+                background: background.clone(),
+                truly_anomalous,
+                via_anomalous_route: truly_anomalous && !sensitive_ok,
+                sensitive_names,
+            });
+        }
+        if !kept_any {
+            if let Some(reason) = last_prune {
+                out.pruned.push((m.domain.clone(), m.period, reason));
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, ClassifyConfig};
+    use crate::map::MapBuilder;
+    use retrodns_asdb::{GeoTableBuilder, OrgId, OrgTableBuilder, PrefixTableBuilder};
+    use retrodns_cert::{authority::CaId, KeyId};
+    use retrodns_scan::DomainObservation;
+    use retrodns_types::{Asn, Day, Ipv4Addr, StudyWindow};
+
+    fn obs(domain: &str, week: u32, ip: u32, asn: u32, cc: &str, cert: u64) -> DomainObservation {
+        DomainObservation {
+            domain: domain.parse().unwrap(),
+            date: Day(week * 7),
+            ip: Ipv4Addr(ip),
+            asn: Some(Asn(asn)),
+            country: cc.parse().ok(),
+            cert: CertId(cert),
+            trusted: true,
+        }
+    }
+
+    fn asdb() -> AsDatabase {
+        let mut o = OrgTableBuilder::new();
+        o.insert(Asn(100), OrgId(1), "Victim Hosting");
+        o.insert(Asn(200), OrgId(2), "Attacker VPS");
+        o.insert(Asn(201), OrgId(2), "Attacker VPS"); // sibling of 200
+        AsDatabase {
+            prefixes: PrefixTableBuilder::new().build(),
+            orgs: o.build(),
+            geo: GeoTableBuilder::new().build(),
+        }
+    }
+
+    fn certs() -> HashMap<CertId, Certificate> {
+        let mut m = HashMap::new();
+        m.insert(
+            CertId(1),
+            Certificate::new(CertId(1), vec!["www.victim.gr".parse().unwrap()], CaId(1), Day(0), 800, KeyId(1)),
+        );
+        m.insert(
+            CertId(666),
+            Certificate::new(
+                CertId(666),
+                vec!["mail.victim.gr".parse().unwrap()],
+                CaId(1),
+                Day(80),
+                90,
+                KeyId(9),
+            ),
+        );
+        m.insert(
+            CertId(777),
+            Certificate::new(CertId(777), vec!["www.victim.gr".parse().unwrap()], CaId(1), Day(80), 90, KeyId(9)),
+        );
+        m
+    }
+
+    /// Stable GR background + one-scan transient with cert `cert` from
+    /// (asn, cc).
+    fn world(asn: u32, cc: &str, cert: u64) -> (Vec<DeploymentMap>, Vec<Pattern>) {
+        let mut o: Vec<DomainObservation> = (0..26).map(|i| obs("victim.gr", i, 1, 100, "GR", 1)).collect();
+        o.push(obs("victim.gr", 12, 99, asn, cc, cert));
+        let maps = MapBuilder::new(StudyWindow::default()).build(&o);
+        let patterns: Vec<Pattern> = maps.iter().map(|m| classify(m, &ClassifyConfig::default())).collect();
+        (maps, patterns)
+    }
+
+    #[test]
+    fn sensitive_foreign_transient_survives() {
+        let (maps, patterns) = world(200, "NL", 666);
+        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        assert_eq!(out.candidates.len(), 1);
+        let c = &out.candidates[0];
+        assert_eq!(c.transient.asn, Asn(200));
+        assert!(!c.truly_anomalous);
+        assert_eq!(c.sensitive_names, vec!["mail.victim.gr".parse::<DomainName>().unwrap()]);
+    }
+
+    #[test]
+    fn related_org_pruned() {
+        // Stable on AS200 (org 2); transient in sibling AS201 (same org).
+        let mut o: Vec<DomainObservation> = (0..26).map(|i| obs("victim.gr", i, 1, 200, "GR", 1)).collect();
+        o.push(obs("victim.gr", 12, 99, 201, "NL", 666));
+        let maps = MapBuilder::new(StudyWindow::default()).build(&o);
+        let patterns: Vec<Pattern> = maps.iter().map(|m| classify(m, &ClassifyConfig::default())).collect();
+        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        assert!(out.candidates.is_empty());
+        assert_eq!(out.pruned[0].2, PruneReason::RelatedOrg);
+        // Ablation: disabling the check lets it through.
+        let out = shortlist(
+            &maps,
+            &patterns,
+            &asdb(),
+            &certs(),
+            &ShortlistConfig {
+                disable_org_check: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.candidates.len(), 1);
+    }
+
+    #[test]
+    fn same_country_pruned() {
+        let (maps, patterns) = world(200, "GR", 666);
+        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        assert!(out.candidates.is_empty());
+        assert_eq!(out.pruned[0].2, PruneReason::SameCountry);
+    }
+
+    #[test]
+    fn low_visibility_pruned() {
+        // Background present in only half the scans.
+        let mut o: Vec<DomainObservation> =
+            (0..26).step_by(2).map(|i| obs("victim.gr", i, 1, 100, "GR", 1)).collect();
+        o.push(obs("victim.gr", 12, 99, 200, "NL", 666));
+        let maps = MapBuilder::new(StudyWindow::default()).build(&o);
+        let patterns: Vec<Pattern> = maps.iter().map(|m| classify(m, &ClassifyConfig::default())).collect();
+        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        // Either the map fragmented (no transient classified) or it was
+        // pruned for visibility; it must not survive.
+        assert!(out.candidates.is_empty());
+    }
+
+    #[test]
+    fn repeated_transients_pruned() {
+        // The same foreign one-scan transient in periods 1, 2, 3.
+        let mut o: Vec<DomainObservation> =
+            (0..26 * 4).map(|i| obs("victim.gr", i, 1, 100, "GR", 1)).collect();
+        for p in 1..4u32 {
+            o.push(obs("victim.gr", 26 * p + 10, 99, 200, "NL", 666));
+        }
+        let maps = MapBuilder::new(StudyWindow::default()).build(&o);
+        let patterns: Vec<Pattern> = maps.iter().map(|m| classify(m, &ClassifyConfig::default())).collect();
+        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        assert!(out.candidates.is_empty());
+        assert!(out
+            .pruned
+            .iter()
+            .all(|(_, _, r)| *r == PruneReason::RepeatedTransients));
+        assert_eq!(out.pruned.len(), 3);
+    }
+
+    #[test]
+    fn non_sensitive_pruned_unless_truly_anomalous() {
+        // Transient cert 777 secures only www (not sensitive); single
+        // period of data means it cannot be truly anomalous → pruned.
+        let (maps, patterns) = world(200, "NL", 777);
+        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        assert!(out.candidates.is_empty());
+        assert_eq!(out.pruned[0].2, PruneReason::NotSensitiveNotAnomalous);
+
+        // Give it stable periods before and after → truly anomalous.
+        let mut o: Vec<DomainObservation> =
+            (0..26 * 3).map(|i| obs("victim.gr", i, 1, 100, "GR", 1)).collect();
+        o.push(obs("victim.gr", 26 + 12, 99, 200, "NL", 777));
+        let maps = MapBuilder::new(StudyWindow::default()).build(&o);
+        let patterns: Vec<Pattern> = maps.iter().map(|m| classify(m, &ClassifyConfig::default())).collect();
+        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        assert_eq!(out.candidates.len(), 1);
+        assert!(out.candidates[0].truly_anomalous);
+        assert!(out.candidates[0].via_anomalous_route);
+    }
+
+    #[test]
+    fn prune_histogram_counts() {
+        let (maps, patterns) = world(200, "GR", 666);
+        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        let h = out.prune_histogram();
+        assert_eq!(h.get(&PruneReason::SameCountry), Some(&1));
+    }
+}

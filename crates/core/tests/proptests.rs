@@ -1,0 +1,145 @@
+//! Property-based tests for deployment-map construction and pattern
+//! classification over arbitrary observation sets.
+
+use proptest::prelude::*;
+use retrodns_cert::CertId;
+use retrodns_core::classify::{classify, ClassifyConfig};
+use retrodns_core::map::MapBuilder;
+use retrodns_scan::DomainObservation;
+use retrodns_types::{Asn, Day, DomainName, Ipv4Addr, StudyWindow};
+
+fn arb_observation() -> impl Strategy<Value = DomainObservation> {
+    (
+        0u8..4,     // domain index
+        0u32..220,  // scan week
+        0u32..40,   // ip
+        0u32..6,    // asn index
+        0u8..4,     // country index
+        0u64..10,   // cert
+        any::<bool>(),
+    )
+        .prop_map(|(dom, week, ip, asn, cc, cert, trusted)| {
+            const CCS: [&str; 4] = ["KG", "NL", "DE", "US"];
+            DomainObservation {
+                domain: format!("dom{dom}.example{dom}.com").parse().unwrap(),
+                date: Day(week * 7),
+                ip: Ipv4Addr(ip),
+                asn: Some(Asn(100 + asn)),
+                country: CCS[cc as usize].parse().ok(),
+                cert: CertId(cert),
+                trusted,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Structural invariants of every built map:
+    /// deployments are date-ordered runs of a single ASN, each date lies
+    /// within the map's period, and per-ASN runs never overlap in time.
+    #[test]
+    fn map_builder_invariants(observations in prop::collection::vec(arb_observation(), 0..200)) {
+        let builder = MapBuilder::new(StudyWindow::default());
+        let maps = builder.build(&observations);
+        for m in &maps {
+            prop_assert!(!m.deployments.is_empty());
+            let mut per_asn: std::collections::HashMap<Asn, Vec<(Day, Day)>> = Default::default();
+            for d in &m.deployments {
+                prop_assert!(d.first <= d.last);
+                prop_assert!(!d.dates.is_empty());
+                prop_assert_eq!(*d.dates.first().unwrap(), d.first);
+                prop_assert_eq!(*d.dates.last().unwrap(), d.last);
+                let mut sorted = d.dates.clone();
+                sorted.sort();
+                sorted.dedup();
+                prop_assert_eq!(&sorted, &d.dates, "dates sorted unique");
+                for date in &d.dates {
+                    prop_assert!(m.period.contains(*date));
+                }
+                // Cert windows nest inside the deployment span.
+                for (first, last) in d.cert_windows.values() {
+                    prop_assert!(*first >= d.first && *last <= d.last);
+                }
+                per_asn.entry(d.asn).or_default().push((d.first, d.last));
+            }
+            for runs in per_asn.values_mut() {
+                runs.sort();
+                for w in runs.windows(2) {
+                    prop_assert!(w[0].1 < w[1].0, "same-ASN runs must not overlap");
+                }
+            }
+            // Visibility is a proper fraction.
+            prop_assert!(m.visibility() >= 0.0 && m.visibility() <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Every observation is attributable to a deployment in its period.
+    #[test]
+    fn no_observation_is_lost(observations in prop::collection::vec(arb_observation(), 1..150)) {
+        let builder = MapBuilder::new(StudyWindow::default());
+        let maps = builder.build(&observations);
+        for o in &observations {
+            let Some(asn) = o.asn else { continue };
+            let covered = maps.iter().any(|m| {
+                m.domain == o.domain
+                    && m.period.contains(o.date)
+                    && m.deployments.iter().any(|d| {
+                        d.asn == asn && d.dates.contains(&o.date) && d.ips.contains(&o.ip)
+                    })
+            });
+            prop_assert!(covered, "lost observation {o:?}");
+        }
+    }
+
+    /// Classification is total: every map yields exactly one category,
+    /// and the label is consistent with the category.
+    #[test]
+    fn classification_total(observations in prop::collection::vec(arb_observation(), 0..200)) {
+        let builder = MapBuilder::new(StudyWindow::default());
+        let cfg = ClassifyConfig::default();
+        for m in builder.build(&observations) {
+            let p = classify(&m, &cfg);
+            match p.category() {
+                "stable" => prop_assert!(p.label().starts_with('S')),
+                "transition" => prop_assert!(p.label().starts_with('X')),
+                "transient" => prop_assert!(p.label().starts_with('T')),
+                "noisy" => prop_assert_eq!(p.label(), "Noisy"),
+                other => prop_assert!(false, "unknown category {other}"),
+            }
+        }
+    }
+
+    /// Observations are order-insensitive: shuffling the input changes
+    /// nothing.
+    #[test]
+    fn build_is_order_insensitive(
+        observations in prop::collection::vec(arb_observation(), 0..100),
+        seed in any::<u64>(),
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let builder = MapBuilder::new(StudyWindow::default());
+        let a = builder.build(&observations);
+        let mut shuffled = observations.clone();
+        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let b = builder.build(&shuffled);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A domain name never appears in a map it does not own.
+    #[test]
+    fn maps_do_not_mix_domains(observations in prop::collection::vec(arb_observation(), 0..150)) {
+        let builder = MapBuilder::new(StudyWindow::default());
+        let maps = builder.build(&observations);
+        let mut seen: std::collections::HashSet<(DomainName, usize)> = Default::default();
+        for m in &maps {
+            prop_assert!(
+                seen.insert((m.domain.clone(), m.period.id)),
+                "duplicate map for {} period {}",
+                m.domain,
+                m.period.id
+            );
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! DNSSEC status tracking and its measurement archive.
+//!
+//! §3 of the paper: an attacker with registrar-level capability "can also
+//! typically disable protections provided by DNSSEC" — signed delegations
+//! would otherwise make the rogue nameservers' answers fail validation.
+//! §7.1 proposes using exactly this side effect: *"changes in DNSSEC
+//! status during the time-frame of a transient deployment"* as an
+//! additional retroactive signal.
+//!
+//! [`DnssecArchive`] models what long-running active-measurement projects
+//! (OpenINTEL-style) record: the daily signed/unsigned status of each
+//! domain. The inspection stage can then ask for disable events
+//! overlapping a suspicious window.
+
+use retrodns_types::{Day, DomainName};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One status run: the domain was (un)signed for every day in the span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Run {
+    from: Day,
+    to: Day,
+    signed: bool,
+}
+
+/// A DNSSEC disable event: signing dropped on `disabled`, restored on
+/// `restored` (if ever, within the archive window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisableEvent {
+    /// First unsigned day.
+    pub disabled: Day,
+    /// First re-signed day, if observed.
+    pub restored: Option<Day>,
+}
+
+/// Daily archive of per-domain DNSSEC status.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DnssecArchive {
+    runs: HashMap<DomainName, Vec<Run>>,
+}
+
+impl DnssecArchive {
+    /// An empty archive.
+    pub fn new() -> DnssecArchive {
+        DnssecArchive::default()
+    }
+
+    /// Record that `domain` was `signed` every day in `[from, to]`.
+    /// Spans must be appended chronologically per domain.
+    pub fn record_span(&mut self, from: Day, to: Day, domain: &DomainName, signed: bool) {
+        assert!(from <= to, "inverted DNSSEC span");
+        let runs = self.runs.entry(domain.clone()).or_default();
+        if let Some(last) = runs.last_mut() {
+            assert!(from > last.to, "DNSSEC spans must be chronological");
+            if last.to + 1 == from && last.signed == signed {
+                last.to = to;
+                return;
+            }
+        }
+        runs.push(Run { from, to, signed });
+    }
+
+    /// The archived status on `day` (`None` = not measured).
+    pub fn status_on(&self, domain: &DomainName, day: Day) -> Option<bool> {
+        let runs = self.runs.get(domain)?;
+        let idx = match runs.binary_search_by_key(&day, |r| r.from) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let run = &runs[idx];
+        (day <= run.to).then_some(run.signed)
+    }
+
+    /// Was the domain ever signed in the archive?
+    pub fn ever_signed(&self, domain: &DomainName) -> bool {
+        self.runs
+            .get(domain)
+            .map(|runs| runs.iter().any(|r| r.signed))
+            .unwrap_or(false)
+    }
+
+    /// All signed→unsigned transitions, with the re-signing day if any.
+    pub fn disable_events(&self, domain: &DomainName) -> Vec<DisableEvent> {
+        let Some(runs) = self.runs.get(domain) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for w in runs.windows(2) {
+            if w[0].signed && !w[1].signed {
+                out.push(DisableEvent {
+                    disabled: w[1].from,
+                    restored: None,
+                });
+            } else if !w[0].signed && w[1].signed {
+                if let Some(last) = out.last_mut() {
+                    if last.restored.is_none() {
+                        last.restored = Some(w[1].from);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Disable events whose unsigned window overlaps `[from, to]`.
+    pub fn disable_events_in(&self, domain: &DomainName, from: Day, to: Day) -> Vec<DisableEvent> {
+        self.disable_events(domain)
+            .into_iter()
+            .filter(|e| {
+                let end = e.restored.map(|r| r - 1).unwrap_or(Day(u32::MAX));
+                e.disabled <= to && end >= from
+            })
+            .collect()
+    }
+
+    /// Number of archived domains.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True if the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn archive() -> DnssecArchive {
+        let mut a = DnssecArchive::new();
+        // Signed from day 0, attacker disables days 100..=120, restored.
+        a.record_span(Day(0), Day(99), &d("mfa.gov.kg"), true);
+        a.record_span(Day(100), Day(120), &d("mfa.gov.kg"), false);
+        a.record_span(Day(121), Day(400), &d("mfa.gov.kg"), true);
+        // Never signed.
+        a.record_span(Day(0), Day(400), &d("plain.com"), false);
+        a
+    }
+
+    #[test]
+    fn status_lookup() {
+        let a = archive();
+        assert_eq!(a.status_on(&d("mfa.gov.kg"), Day(50)), Some(true));
+        assert_eq!(a.status_on(&d("mfa.gov.kg"), Day(110)), Some(false));
+        assert_eq!(a.status_on(&d("mfa.gov.kg"), Day(121)), Some(true));
+        assert_eq!(a.status_on(&d("mfa.gov.kg"), Day(401)), None);
+        assert_eq!(a.status_on(&d("unknown.com"), Day(10)), None);
+    }
+
+    #[test]
+    fn disable_events_detected() {
+        let a = archive();
+        let events = a.disable_events(&d("mfa.gov.kg"));
+        assert_eq!(
+            events,
+            vec![DisableEvent {
+                disabled: Day(100),
+                restored: Some(Day(121)),
+            }]
+        );
+        assert!(a.disable_events(&d("plain.com")).is_empty());
+    }
+
+    #[test]
+    fn disable_events_window_filter() {
+        let a = archive();
+        assert_eq!(a.disable_events_in(&d("mfa.gov.kg"), Day(90), Day(105)).len(), 1);
+        assert_eq!(a.disable_events_in(&d("mfa.gov.kg"), Day(115), Day(130)).len(), 1);
+        assert!(a.disable_events_in(&d("mfa.gov.kg"), Day(0), Day(99)).is_empty());
+        assert!(a.disable_events_in(&d("mfa.gov.kg"), Day(130), Day(200)).is_empty());
+    }
+
+    #[test]
+    fn unrestored_disable() {
+        let mut a = DnssecArchive::new();
+        a.record_span(Day(0), Day(99), &d("x.com"), true);
+        a.record_span(Day(100), Day(400), &d("x.com"), false);
+        let events = a.disable_events(&d("x.com"));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].restored, None);
+        assert_eq!(a.disable_events_in(&d("x.com"), Day(300), Day(350)).len(), 1);
+        assert!(a.ever_signed(&d("x.com")));
+    }
+
+    #[test]
+    fn contiguous_same_status_merges() {
+        let mut a = DnssecArchive::new();
+        a.record_span(Day(0), Day(10), &d("x.com"), true);
+        a.record_span(Day(11), Day(20), &d("x.com"), true);
+        assert_eq!(a.runs[&d("x.com")].len(), 1);
+    }
+}

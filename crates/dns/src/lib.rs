@@ -1,0 +1,46 @@
+//! # retrodns-dns
+//!
+//! The DNS substrate: a *time-indexed* model of the delegation and record
+//! state the paper's attacks manipulate, plus the two observation systems
+//! the retroactive analyst gets to query — passive DNS and daily zone-file
+//! snapshots.
+//!
+//! Everything is keyed by [`retrodns_types::Day`] because retroactive
+//! analysis replays resolution *as of* arbitrary past days: the weekly
+//! scanner resolves on scan days, the ACME CA resolves on issuance days,
+//! pDNS sensors sample real query traffic day by day, and the zone archive
+//! snapshots delegations once a day.
+//!
+//! Module map:
+//!
+//! * [`record`] — record types and data (A/NS/TXT).
+//! * [`timeseries`] — the change-log container giving every piece of DNS
+//!   state a value-as-of-day semantics.
+//! * [`registrar`] — registrars, registrant accounts, and the authorization
+//!   model whose compromise is the attack's "Develop Capability" stage.
+//! * [`authority`] — the time-indexed authoritative DNS database
+//!   ([`DnsDb`]): registry delegations plus per-nameserver zone content,
+//!   with resolution (`resolve_a`, `resolve_txt`, `delegation_of`).
+//! * [`pdns`] — the passive-DNS sensor network and its reverse indexes
+//!   (by-IP and by-NS), which power the pivot stage.
+//! * [`snapshot`] — the daily zone-file archive (CAIDA-DZDB analog) with
+//!   partial TLD coverage.
+//! * [`dnssec`] — per-domain DNSSEC status over time and its
+//!   active-measurement archive (the §7.1 extension signal).
+
+#![warn(missing_docs)]
+pub mod authority;
+pub mod dnssec;
+pub mod pdns;
+pub mod record;
+pub mod registrar;
+pub mod snapshot;
+pub mod timeseries;
+
+pub use authority::{DnsDb, ResolutionError};
+pub use dnssec::{DisableEvent, DnssecArchive};
+pub use pdns::{PassiveDns, PdnsEntry, RdataKey};
+pub use record::{RecordData, RecordType};
+pub use registrar::{Actor, AuthError, RegistrarId, RegistrarRegistry};
+pub use snapshot::ZoneSnapshotArchive;
+pub use timeseries::TimeSeries;

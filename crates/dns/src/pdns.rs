@@ -1,0 +1,360 @@
+//! The passive-DNS sensor network (DomainTools/Farsight analog).
+//!
+//! Passive DNS aggregates resolutions observed on real networks into
+//! `(name, rtype, rdata) → (first_seen, last_seen, count)` tuples. The
+//! paper uses it three ways (§4.4–4.5):
+//!
+//! 1. *corroboration* — did the targeted subdomain briefly resolve to the
+//!    transient deployment's IP, or the domain's delegation briefly move?
+//! 2. *pivot by IP* — which other domains resolved to a known-attacker IP?
+//! 3. *pivot by NS* — which other domains were delegated to known-attacker
+//!    nameservers?
+//!
+//! Coverage is inherently partial: sensors only see networks where the
+//! traffic is collected, and only names that are actually queried. The
+//! sampling itself lives in `retrodns-sim` (it owns the RNG and the query
+//! workload); this module faithfully aggregates whatever the sensors saw
+//! and answers the three query shapes above.
+
+use crate::record::{RecordData, RecordType};
+use retrodns_types::{Day, DomainName, Ipv4Addr};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Canonical rdata form used as part of the aggregation key.
+pub type RdataKey = RecordData;
+
+/// One aggregated passive-DNS tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PdnsEntry {
+    /// Queried name.
+    pub name: DomainName,
+    /// Record type.
+    pub rtype: RecordType,
+    /// Observed answer.
+    pub rdata: RecordData,
+    /// First day a sensor saw this resolution.
+    pub first_seen: Day,
+    /// Last day a sensor saw this resolution.
+    pub last_seen: Day,
+    /// Number of sensor observations aggregated.
+    pub count: u64,
+}
+
+impl PdnsEntry {
+    /// Number of days between first and last sighting, inclusive.
+    pub fn visibility_days(&self) -> u32 {
+        self.last_seen - self.first_seen + 1
+    }
+
+    /// Does the sighting window intersect `[from, to]`?
+    pub fn overlaps(&self, from: Day, to: Day) -> bool {
+        self.first_seen <= to && self.last_seen >= from
+    }
+}
+
+/// Flat serialized form of [`PassiveDns`] (tuple-keyed maps do not fit
+/// text formats like JSON; the indexes are rebuilt on deserialization).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct PassiveDnsFlat {
+    entries: Vec<(DomainName, RecordData, Day, Day, u64)>,
+}
+
+impl From<PassiveDns> for PassiveDnsFlat {
+    fn from(p: PassiveDns) -> PassiveDnsFlat {
+        let mut entries: Vec<(DomainName, RecordData, Day, Day, u64)> = p
+            .tuples
+            .into_iter()
+            .map(|((name, _rtype, rdata), (first, last, count))| (name, rdata, first, last, count))
+            .collect();
+        entries.sort_by(|a, b| (&a.0, a.1.to_string()).cmp(&(&b.0, b.1.to_string())));
+        PassiveDnsFlat { entries }
+    }
+}
+
+impl From<PassiveDnsFlat> for PassiveDns {
+    fn from(flat: PassiveDnsFlat) -> PassiveDns {
+        let mut p = PassiveDns::new();
+        for (name, rdata, first, last, count) in flat.entries {
+            p.insert_aggregate(&name, rdata, first, last, count);
+        }
+        p
+    }
+}
+
+/// The aggregated passive-DNS database with reverse indexes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "PassiveDnsFlat", into = "PassiveDnsFlat")]
+pub struct PassiveDns {
+    /// (name, rtype, rdata) → (first, last, count).
+    tuples: HashMap<(DomainName, RecordType, RecordData), (Day, Day, u64)>,
+    /// registered domain → keys of tuples whose name is under it.
+    by_registered: HashMap<DomainName, Vec<(DomainName, RecordType, RecordData)>>,
+    /// answer IP → tuple keys (A records only).
+    by_ip: HashMap<Ipv4Addr, Vec<(DomainName, RecordType, RecordData)>>,
+    /// NS hostname → tuple keys (NS records only).
+    by_ns: HashMap<DomainName, Vec<(DomainName, RecordType, RecordData)>>,
+}
+
+impl PassiveDns {
+    /// An empty database.
+    pub fn new() -> PassiveDns {
+        PassiveDns::default()
+    }
+
+    /// Record one sensor observation of `name` resolving to `rdata` on
+    /// `day`.
+    pub fn observe(&mut self, name: &DomainName, rdata: RecordData, day: Day) {
+        let rtype = rdata.rtype();
+        let key = (name.clone(), rtype, rdata);
+        match self.tuples.get_mut(&key) {
+            Some((first, last, count)) => {
+                *first = (*first).min(day);
+                *last = (*last).max(day);
+                *count += 1;
+            }
+            None => {
+                self.tuples.insert(key.clone(), (day, day, 1));
+                self.by_registered
+                    .entry(name.registered_domain())
+                    .or_default()
+                    .push(key.clone());
+                match &key.2 {
+                    RecordData::A(ip) => self.by_ip.entry(*ip).or_default().push(key.clone()),
+                    RecordData::Ns(ns) => {
+                        self.by_ns.entry(ns.clone()).or_default().push(key.clone())
+                    }
+                    RecordData::Txt(_) => {}
+                }
+            }
+        }
+    }
+
+    /// Record an already-aggregated sighting: the tuple was seen `count`
+    /// times between `first` and `last` inclusive. Used by observation
+    /// generators that sample piecewise-constant resolution segments
+    /// instead of replaying every day. Merges with existing aggregates.
+    pub fn insert_aggregate(
+        &mut self,
+        name: &DomainName,
+        rdata: RecordData,
+        first: Day,
+        last: Day,
+        count: u64,
+    ) {
+        assert!(first <= last, "inverted aggregate window");
+        assert!(count >= 1, "aggregate must represent at least one sighting");
+        let rtype = rdata.rtype();
+        let key = (name.clone(), rtype, rdata);
+        match self.tuples.get_mut(&key) {
+            Some((f, l, c)) => {
+                *f = (*f).min(first);
+                *l = (*l).max(last);
+                *c += count;
+            }
+            None => {
+                self.tuples.insert(key.clone(), (first, last, count));
+                self.by_registered
+                    .entry(name.registered_domain())
+                    .or_default()
+                    .push(key.clone());
+                match &key.2 {
+                    RecordData::A(ip) => self.by_ip.entry(*ip).or_default().push(key.clone()),
+                    RecordData::Ns(ns) => {
+                        self.by_ns.entry(ns.clone()).or_default().push(key.clone())
+                    }
+                    RecordData::Txt(_) => {}
+                }
+            }
+        }
+    }
+
+    fn entry_of(&self, key: &(DomainName, RecordType, RecordData)) -> PdnsEntry {
+        let (first, last, count) = self.tuples[key];
+        PdnsEntry {
+            name: key.0.clone(),
+            rtype: key.1,
+            rdata: key.2.clone(),
+            first_seen: first,
+            last_seen: last,
+            count,
+        }
+    }
+
+    /// All tuples for exactly `name` (optionally filtered by type),
+    /// ordered by first-seen day.
+    pub fn lookups(&self, name: &DomainName, rtype: Option<RecordType>) -> Vec<PdnsEntry> {
+        let mut out: Vec<PdnsEntry> = self
+            .tuples
+            .keys()
+            .filter(|(n, t, _)| n == name && rtype.map(|r| r == *t).unwrap_or(true))
+            .map(|k| self.entry_of(k))
+            .collect();
+        out.sort_by_key(|e| (e.first_seen, e.rdata.to_string()));
+        out
+    }
+
+    /// All tuples whose name is at or under `registered`, ordered by
+    /// first-seen day (the "everything pDNS knows about this domain"
+    /// query the inspection stage starts from).
+    pub fn entries_under(&self, registered: &DomainName) -> Vec<PdnsEntry> {
+        let mut out: Vec<PdnsEntry> = self
+            .by_registered
+            .get(registered)
+            .map(|keys| keys.iter().map(|k| self.entry_of(k)).collect())
+            .unwrap_or_default();
+        out.sort_by_key(|e| (e.first_seen, e.name.clone(), e.rdata.to_string()));
+        out
+    }
+
+    /// NS-delegation history pDNS observed for a registered domain.
+    pub fn ns_history(&self, registered: &DomainName) -> Vec<PdnsEntry> {
+        self.entries_under(registered)
+            .into_iter()
+            .filter(|e| e.rtype == RecordType::Ns && e.name == *registered)
+            .collect()
+    }
+
+    /// Pivot by IP: every name observed resolving to `ip`, with windows.
+    pub fn domains_resolving_to(&self, ip: Ipv4Addr) -> Vec<PdnsEntry> {
+        let mut out: Vec<PdnsEntry> = self
+            .by_ip
+            .get(&ip)
+            .map(|keys| keys.iter().map(|k| self.entry_of(k)).collect())
+            .unwrap_or_default();
+        out.sort_by_key(|e| (e.first_seen, e.name.clone()));
+        out
+    }
+
+    /// Pivot by NS: every domain observed delegated to `ns_host`.
+    pub fn domains_delegated_to(&self, ns_host: &DomainName) -> Vec<PdnsEntry> {
+        let mut out: Vec<PdnsEntry> = self
+            .by_ns
+            .get(ns_host)
+            .map(|keys| keys.iter().map(|k| self.entry_of(k)).collect())
+            .unwrap_or_default();
+        out.sort_by_key(|e| (e.first_seen, e.name.clone()));
+        out
+    }
+
+    /// Iterate over every aggregated tuple (arbitrary order).
+    pub fn iter_entries(&self) -> impl Iterator<Item = PdnsEntry> + '_ {
+        self.tuples.keys().map(|k| self.entry_of(k))
+    }
+
+    /// Number of aggregated tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn seeded() -> PassiveDns {
+        let mut p = PassiveDns::new();
+        // Stable resolution seen across a long window.
+        for day in [10, 20, 30, 100, 200] {
+            p.observe(&d("mail.mfa.gov.kg"), RecordData::A(ip("10.0.0.5")), Day(day));
+        }
+        // Hijack: brief resolution to attacker IP.
+        p.observe(&d("mail.mfa.gov.kg"), RecordData::A(ip("94.103.91.159")), Day(105));
+        // Delegation history.
+        p.observe(&d("mfa.gov.kg"), RecordData::Ns(d("ns1.infocom.kg")), Day(10));
+        p.observe(&d("mfa.gov.kg"), RecordData::Ns(d("ns1.infocom.kg")), Day(200));
+        p.observe(&d("mfa.gov.kg"), RecordData::Ns(d("ns1.kg-infocom.ru")), Day(104));
+        p.observe(&d("mfa.gov.kg"), RecordData::Ns(d("ns1.kg-infocom.ru")), Day(106));
+        // Second victim delegated to the same rogue NS.
+        p.observe(&d("fiu.gov.kg"), RecordData::Ns(d("ns1.kg-infocom.ru")), Day(110));
+        p.observe(&d("mail.fiu.gov.kg"), RecordData::A(ip("178.20.41.140")), Day(110));
+        p
+    }
+
+    #[test]
+    fn aggregation_tracks_first_last_count() {
+        let p = seeded();
+        let hits = p.lookups(&d("mail.mfa.gov.kg"), Some(RecordType::A));
+        assert_eq!(hits.len(), 2);
+        let stable = hits.iter().find(|e| e.rdata.as_a() == Some(ip("10.0.0.5"))).unwrap();
+        assert_eq!(stable.first_seen, Day(10));
+        assert_eq!(stable.last_seen, Day(200));
+        assert_eq!(stable.count, 5);
+        let hijack = hits.iter().find(|e| e.rdata.as_a() == Some(ip("94.103.91.159"))).unwrap();
+        assert_eq!(hijack.visibility_days(), 1, "hijack visible a single day");
+    }
+
+    #[test]
+    fn ns_history_shows_brief_delegation_change() {
+        let p = seeded();
+        let ns = p.ns_history(&d("mfa.gov.kg"));
+        assert_eq!(ns.len(), 2);
+        let rogue = ns
+            .iter()
+            .find(|e| e.rdata.as_ns() == Some(&d("ns1.kg-infocom.ru")))
+            .unwrap();
+        assert_eq!(rogue.first_seen, Day(104));
+        assert_eq!(rogue.last_seen, Day(106));
+        assert!(rogue.overlaps(Day(100), Day(110)));
+        assert!(!rogue.overlaps(Day(0), Day(50)));
+    }
+
+    #[test]
+    fn pivot_by_ip_finds_all_names() {
+        let p = seeded();
+        let hits = p.domains_resolving_to(ip("94.103.91.159"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, d("mail.mfa.gov.kg"));
+        assert!(p.domains_resolving_to(ip("1.1.1.1")).is_empty());
+    }
+
+    #[test]
+    fn pivot_by_ns_finds_other_victims() {
+        let p = seeded();
+        let hits = p.domains_delegated_to(&d("ns1.kg-infocom.ru"));
+        let names: Vec<&DomainName> = hits.iter().map(|e| &e.name).collect();
+        assert_eq!(names, vec![&d("mfa.gov.kg"), &d("fiu.gov.kg")]);
+    }
+
+    #[test]
+    fn entries_under_covers_subdomains() {
+        let p = seeded();
+        let all = p.entries_under(&d("mfa.gov.kg"));
+        assert_eq!(all.len(), 4); // 2 A variants + 2 NS variants
+        assert!(p.entries_under(&d("nothing.kg")).is_empty());
+    }
+
+    #[test]
+    fn insert_aggregate_merges_with_observations() {
+        let mut p = PassiveDns::new();
+        p.observe(&d("mail.x.com"), RecordData::A(ip("10.0.0.1")), Day(50));
+        p.insert_aggregate(&d("mail.x.com"), RecordData::A(ip("10.0.0.1")), Day(10), Day(40), 7);
+        let e = &p.lookups(&d("mail.x.com"), None)[0];
+        assert_eq!(e.first_seen, Day(10));
+        assert_eq!(e.last_seen, Day(50));
+        assert_eq!(e.count, 8);
+        // Reverse index reachable for aggregate-only tuples.
+        p.insert_aggregate(&d("mail.y.com"), RecordData::A(ip("10.0.0.2")), Day(5), Day(6), 2);
+        assert_eq!(p.domains_resolving_to(ip("10.0.0.2")).len(), 1);
+    }
+
+    #[test]
+    fn lookups_type_filter() {
+        let p = seeded();
+        assert_eq!(p.lookups(&d("mfa.gov.kg"), Some(RecordType::A)).len(), 0);
+        assert_eq!(p.lookups(&d("mfa.gov.kg"), Some(RecordType::Ns)).len(), 2);
+        assert_eq!(p.lookups(&d("mfa.gov.kg"), None).len(), 2);
+    }
+}

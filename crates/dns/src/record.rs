@@ -1,0 +1,120 @@
+//! DNS record types and data.
+//!
+//! Only the three record types the methodology touches are modelled: `A`
+//! (the redirection target — where hijacked traffic lands), `NS` (the
+//! delegation — what the registrar-level attacker rewrites), and `TXT`
+//! (the ACME DNS-01 challenge channel).
+
+use retrodns_types::{DomainName, Ipv4Addr};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Record type tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RecordType {
+    /// IPv4 address record.
+    A,
+    /// Nameserver delegation record.
+    Ns,
+    /// Free-text record (ACME challenges, SPF, …).
+    Txt,
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecordType::A => "A",
+            RecordType::Ns => "NS",
+            RecordType::Txt => "TXT",
+        })
+    }
+}
+
+/// Record data (the RDATA field).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RecordData {
+    /// An IPv4 address.
+    A(Ipv4Addr),
+    /// A nameserver hostname.
+    Ns(DomainName),
+    /// A text value.
+    Txt(String),
+}
+
+impl RecordData {
+    /// The type tag this data belongs under.
+    pub fn rtype(&self) -> RecordType {
+        match self {
+            RecordData::A(_) => RecordType::A,
+            RecordData::Ns(_) => RecordType::Ns,
+            RecordData::Txt(_) => RecordType::Txt,
+        }
+    }
+
+    /// The address, if this is an A record.
+    pub fn as_a(&self) -> Option<Ipv4Addr> {
+        match self {
+            RecordData::A(ip) => Some(*ip),
+            _ => None,
+        }
+    }
+
+    /// The nameserver hostname, if this is an NS record.
+    pub fn as_ns(&self) -> Option<&DomainName> {
+        match self {
+            RecordData::Ns(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The text value, if this is a TXT record.
+    pub fn as_txt(&self) -> Option<&str> {
+        match self {
+            RecordData::Txt(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RecordData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordData::A(ip) => write!(f, "{ip}"),
+            RecordData::Ns(n) => write!(f, "{n}"),
+            RecordData::Txt(t) => write!(f, "\"{t}\""),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtype_tags_match() {
+        assert_eq!(RecordData::A("1.2.3.4".parse().unwrap()).rtype(), RecordType::A);
+        assert_eq!(
+            RecordData::Ns("ns1.example.com".parse().unwrap()).rtype(),
+            RecordType::Ns
+        );
+        assert_eq!(RecordData::Txt("x".into()).rtype(), RecordType::Txt);
+    }
+
+    #[test]
+    fn accessors_are_type_safe() {
+        let a = RecordData::A("1.2.3.4".parse().unwrap());
+        assert!(a.as_a().is_some());
+        assert!(a.as_ns().is_none());
+        assert!(a.as_txt().is_none());
+        let ns = RecordData::Ns("ns1.example.com".parse().unwrap());
+        assert!(ns.as_ns().is_some());
+        assert!(ns.as_a().is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RecordType::Ns.to_string(), "NS");
+        assert_eq!(RecordData::Txt("v=spf1".into()).to_string(), "\"v=spf1\"");
+        assert_eq!(RecordData::A("8.8.8.8".parse().unwrap()).to_string(), "8.8.8.8");
+    }
+}

@@ -1,0 +1,304 @@
+//! Registrars, registrant accounts, and the authorization model.
+//!
+//! §3 "Develop Capability": the attacker obtains the ability to modify a
+//! domain's delegation via one of three paths — (a) compromising the
+//! registrant's account credentials, (b) compromising the registrar, or
+//! (c) compromising the registry itself. This module models those paths as
+//! an explicit authorization check so the simulator cannot "accidentally"
+//! hijack a domain it has no capability for: every delegation update in
+//! [`crate::DnsDb`] goes through [`RegistrarRegistry::authorize`].
+
+use retrodns_types::{Day, DomainName};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a registrar.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RegistrarId(pub u16);
+
+impl fmt::Display for RegistrarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "registrar:{}", self.0)
+    }
+}
+
+/// Who is attempting a registry change.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Actor {
+    /// The legitimate registrant of the named domain.
+    Owner,
+    /// An attacker holding stolen credentials for the domain's registrant
+    /// account (attack path (a)).
+    StolenCredentials(DomainName),
+    /// An attacker who compromised an entire registrar (attack path (b)) —
+    /// can modify *any* domain administered by that registrar.
+    CompromisedRegistrar(RegistrarId),
+    /// An attacker who compromised a TLD registry (attack path (c)) — can
+    /// modify any domain under that TLD or registry suffix.
+    CompromisedRegistry(String),
+}
+
+/// Authorization failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// The domain has no registration on file.
+    UnknownDomain(DomainName),
+    /// The actor's capability does not extend to this domain.
+    NotAuthorized,
+    /// A registry lock is in effect and the actor is not the registry.
+    RegistryLocked(DomainName),
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::UnknownDomain(d) => write!(f, "no registration on file for {d}"),
+            AuthError::NotAuthorized => write!(f, "actor lacks capability for this domain"),
+            AuthError::RegistryLocked(d) => write!(f, "{d} is registry-locked"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// One domain's registration metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Registration {
+    /// The administering registrar.
+    pub registrar: RegistrarId,
+    /// Registry lock: changes require out-of-band registry confirmation
+    /// (the mitigation §7.2 recommends). When set, neither stolen
+    /// credentials nor a compromised registrar suffices.
+    pub registry_locked: bool,
+    /// Day the domain was registered (for bookkeeping/reports).
+    pub registered_on: Day,
+}
+
+/// The registration database across all registrars.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RegistrarRegistry {
+    registrations: HashMap<DomainName, Registration>,
+    registrar_names: HashMap<RegistrarId, String>,
+}
+
+impl RegistrarRegistry {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a registrar's display name.
+    pub fn add_registrar(&mut self, id: RegistrarId, name: &str) -> &mut Self {
+        self.registrar_names.insert(id, name.to_string());
+        self
+    }
+
+    /// Record a domain registration.
+    pub fn register_domain(
+        &mut self,
+        domain: DomainName,
+        registrar: RegistrarId,
+        registered_on: Day,
+    ) -> &mut Self {
+        self.registrations.insert(
+            domain,
+            Registration {
+                registrar,
+                registry_locked: false,
+                registered_on,
+            },
+        );
+        self
+    }
+
+    /// Enable or disable the registry lock for a domain.
+    pub fn set_registry_lock(&mut self, domain: &DomainName, locked: bool) -> Result<(), AuthError> {
+        self.registrations
+            .get_mut(domain)
+            .map(|r| r.registry_locked = locked)
+            .ok_or_else(|| AuthError::UnknownDomain(domain.clone()))
+    }
+
+    /// The registration record for a domain.
+    pub fn registration(&self, domain: &DomainName) -> Option<&Registration> {
+        self.registrations.get(domain)
+    }
+
+    /// Registrar display name.
+    pub fn registrar_name(&self, id: RegistrarId) -> &str {
+        self.registrar_names.get(&id).map(String::as_str).unwrap_or("?")
+    }
+
+    /// May `actor` change the delegation of `domain`?
+    ///
+    /// * `Owner` — always (it is their domain), unless registry-locked
+    ///   changes are modelled as requiring manual confirmation; the lock
+    ///   here blocks only *illegitimate* paths, since the owner completes
+    ///   the out-of-band step by definition.
+    /// * `StolenCredentials(d)` — only for exactly `d`, and only if not
+    ///   registry-locked.
+    /// * `CompromisedRegistrar(r)` — any domain administered by `r`, unless
+    ///   registry-locked.
+    /// * `CompromisedRegistry(suffix)` — any domain under `suffix`
+    ///   (lock offers no protection: the registry *is* the lock).
+    pub fn authorize(&self, actor: &Actor, domain: &DomainName) -> Result<(), AuthError> {
+        let reg = self
+            .registrations
+            .get(domain)
+            .ok_or_else(|| AuthError::UnknownDomain(domain.clone()))?;
+        match actor {
+            Actor::Owner => Ok(()),
+            Actor::StolenCredentials(d) => {
+                if d != domain {
+                    Err(AuthError::NotAuthorized)
+                } else if reg.registry_locked {
+                    Err(AuthError::RegistryLocked(domain.clone()))
+                } else {
+                    Ok(())
+                }
+            }
+            Actor::CompromisedRegistrar(r) => {
+                if *r != reg.registrar {
+                    Err(AuthError::NotAuthorized)
+                } else if reg.registry_locked {
+                    Err(AuthError::RegistryLocked(domain.clone()))
+                } else {
+                    Ok(())
+                }
+            }
+            Actor::CompromisedRegistry(suffix) => {
+                let under = domain.as_str() == suffix
+                    || domain.as_str().ends_with(&format!(".{suffix}"));
+                if under {
+                    Ok(())
+                } else {
+                    Err(AuthError::NotAuthorized)
+                }
+            }
+        }
+    }
+
+    /// All domains administered by a registrar (the blast radius of a
+    /// registrar compromise).
+    pub fn domains_of_registrar(&self, id: RegistrarId) -> Vec<&DomainName> {
+        let mut v: Vec<&DomainName> = self
+            .registrations
+            .iter()
+            .filter(|(_, r)| r.registrar == id)
+            .map(|(d, _)| d)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered domains.
+    pub fn len(&self) -> usize {
+        self.registrations.len()
+    }
+
+    /// True if no domains are registered.
+    pub fn is_empty(&self) -> bool {
+        self.registrations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn registry() -> RegistrarRegistry {
+        let mut r = RegistrarRegistry::new();
+        r.add_registrar(RegistrarId(1), "Key-Systems");
+        r.add_registrar(RegistrarId(2), "OtherReg");
+        r.register_domain(d("mfa.gov.kg"), RegistrarId(1), Day(0));
+        r.register_domain(d("invest.gov.kg"), RegistrarId(1), Day(0));
+        r.register_domain(d("example.com"), RegistrarId(2), Day(0));
+        r
+    }
+
+    #[test]
+    fn owner_is_always_authorized() {
+        let r = registry();
+        assert!(r.authorize(&Actor::Owner, &d("mfa.gov.kg")).is_ok());
+    }
+
+    #[test]
+    fn stolen_credentials_scoped_to_one_domain() {
+        let r = registry();
+        let actor = Actor::StolenCredentials(d("mfa.gov.kg"));
+        assert!(r.authorize(&actor, &d("mfa.gov.kg")).is_ok());
+        assert_eq!(
+            r.authorize(&actor, &d("invest.gov.kg")),
+            Err(AuthError::NotAuthorized)
+        );
+    }
+
+    #[test]
+    fn compromised_registrar_reaches_all_its_domains() {
+        let r = registry();
+        let actor = Actor::CompromisedRegistrar(RegistrarId(1));
+        assert!(r.authorize(&actor, &d("mfa.gov.kg")).is_ok());
+        assert!(r.authorize(&actor, &d("invest.gov.kg")).is_ok());
+        assert_eq!(
+            r.authorize(&actor, &d("example.com")),
+            Err(AuthError::NotAuthorized)
+        );
+        assert_eq!(r.domains_of_registrar(RegistrarId(1)).len(), 2);
+    }
+
+    #[test]
+    fn compromised_registry_reaches_suffix() {
+        let r = registry();
+        let actor = Actor::CompromisedRegistry("gov.kg".into());
+        assert!(r.authorize(&actor, &d("mfa.gov.kg")).is_ok());
+        assert_eq!(
+            r.authorize(&actor, &d("example.com")),
+            Err(AuthError::NotAuthorized)
+        );
+    }
+
+    #[test]
+    fn registry_lock_blocks_credential_and_registrar_paths() {
+        let mut r = registry();
+        r.set_registry_lock(&d("mfa.gov.kg"), true).unwrap();
+        assert_eq!(
+            r.authorize(&Actor::StolenCredentials(d("mfa.gov.kg")), &d("mfa.gov.kg")),
+            Err(AuthError::RegistryLocked(d("mfa.gov.kg")))
+        );
+        assert_eq!(
+            r.authorize(&Actor::CompromisedRegistrar(RegistrarId(1)), &d("mfa.gov.kg")),
+            Err(AuthError::RegistryLocked(d("mfa.gov.kg")))
+        );
+        // Registry compromise bypasses the lock; owner unaffected.
+        assert!(r
+            .authorize(&Actor::CompromisedRegistry("gov.kg".into()), &d("mfa.gov.kg"))
+            .is_ok());
+        assert!(r.authorize(&Actor::Owner, &d("mfa.gov.kg")).is_ok());
+    }
+
+    #[test]
+    fn unknown_domain_rejected() {
+        let r = registry();
+        assert_eq!(
+            r.authorize(&Actor::Owner, &d("missing.org")),
+            Err(AuthError::UnknownDomain(d("missing.org")))
+        );
+        let mut r = r;
+        assert!(r.set_registry_lock(&d("missing.org"), true).is_err());
+    }
+
+    #[test]
+    fn registrar_names() {
+        let r = registry();
+        assert_eq!(r.registrar_name(RegistrarId(1)), "Key-Systems");
+        assert_eq!(r.registrar_name(RegistrarId(9)), "?");
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,217 @@
+//! Daily zone-file snapshots (the CAIDA-DZDB analog).
+//!
+//! TLD zone files record each domain's NS delegation once a day. §5.3 of
+//! the paper shows why this is a poor hijack detector: delegations flipped
+//! for less than a day fall between snapshots. Access is also partial —
+//! the authors had zone files for only 3 of the 15 TLDs their victims
+//! spanned; [`ZoneSnapshotArchive`] models that with an accessible-TLD
+//! allowlist.
+//!
+//! Internally the archive stores *runs* of identical consecutive daily
+//! snapshots rather than one entry per day, so archiving four years of
+//! daily state for thousands of domains costs O(delegation changes), not
+//! O(days). The query API is still day-granular.
+
+use retrodns_types::{Day, DomainName};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// One run of identical daily snapshots: the delegation seen every day in
+/// `[from, to]` inclusive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Run {
+    from: Day,
+    to: Day,
+    nameservers: Vec<DomainName>,
+}
+
+/// A daily archive of TLD zone delegations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ZoneSnapshotArchive {
+    /// TLD/public-suffix strings the analyst has zone access to.
+    accessible: HashSet<String>,
+    /// domain → runs sorted by `from`, non-overlapping.
+    snapshots: HashMap<DomainName, Vec<Run>>,
+}
+
+impl ZoneSnapshotArchive {
+    /// An archive with access to the given TLDs / public suffixes.
+    pub fn with_access<I: IntoIterator<Item = String>>(suffixes: I) -> ZoneSnapshotArchive {
+        ZoneSnapshotArchive {
+            accessible: suffixes.into_iter().collect(),
+            snapshots: HashMap::new(),
+        }
+    }
+
+    /// Does the analyst have zone-file access for this domain's public
+    /// suffix?
+    pub fn has_access(&self, domain: &DomainName) -> bool {
+        self.accessible.contains(domain.public_suffix())
+    }
+
+    /// Record the delegation seen in the daily snapshot on one day.
+    /// Silently ignored for suffixes without access.
+    pub fn record(&mut self, day: Day, domain: &DomainName, nameservers: &[DomainName]) {
+        self.record_span(day, day, domain, nameservers);
+    }
+
+    /// Record that every daily snapshot in `[from, to]` (inclusive) showed
+    /// the same delegation. Spans must be appended in chronological order
+    /// per domain (the simulator walks time forward); a span contiguous
+    /// with the previous run and carrying the same NS set is merged.
+    pub fn record_span(&mut self, from: Day, to: Day, domain: &DomainName, nameservers: &[DomainName]) {
+        assert!(from <= to, "inverted snapshot span");
+        if !self.has_access(domain) {
+            return;
+        }
+        let runs = self.snapshots.entry(domain.clone()).or_default();
+        if let Some(last) = runs.last_mut() {
+            assert!(
+                from > last.to,
+                "snapshot spans must be appended chronologically without overlap"
+            );
+            if last.to + 1 == from && last.nameservers == nameservers {
+                last.to = to;
+                return;
+            }
+        }
+        runs.push(Run {
+            from,
+            to,
+            nameservers: nameservers.to_vec(),
+        });
+    }
+
+    /// The delegation archived for `domain` on exactly `day`.
+    pub fn delegation_on(&self, domain: &DomainName, day: Day) -> Option<&[DomainName]> {
+        let runs = self.snapshots.get(domain)?;
+        let idx = match runs.binary_search_by_key(&day, |r| r.from) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let run = &runs[idx];
+        (day <= run.to).then_some(run.nameservers.as_slice())
+    }
+
+    /// Days on which the archived delegation includes `ns_host` — the
+    /// query that decides whether a hijack was "visible in the zone".
+    pub fn days_with_nameserver(&self, domain: &DomainName, ns_host: &DomainName) -> Vec<Day> {
+        self.snapshots
+            .get(domain)
+            .map(|runs| {
+                runs.iter()
+                    .filter(|r| r.nameservers.contains(ns_host))
+                    .flat_map(|r| (r.from.0..=r.to.0).map(Day))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// All archived days for a domain.
+    pub fn archived_days(&self, domain: &DomainName) -> Vec<Day> {
+        self.snapshots
+            .get(domain)
+            .map(|runs| {
+                runs.iter()
+                    .flat_map(|r| (r.from.0..=r.to.0).map(Day))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of accessible suffixes.
+    pub fn access_count(&self) -> usize {
+        self.accessible.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn archive() -> ZoneSnapshotArchive {
+        let mut a = ZoneSnapshotArchive::with_access(vec!["com".into(), "net".into(), "se".into()]);
+        // pch.net-style: hijack NS visible in the zone exactly one day.
+        for day in 0..30 {
+            let ns = if day == 15 {
+                vec![d("ns1.evil.ru")]
+            } else {
+                vec![d("ns1.pch.net")]
+            };
+            a.record(Day(day), &d("pch.net"), &ns);
+        }
+        // ccTLD without access: never retained.
+        a.record(Day(0), &d("mfa.gov.kg"), &[d("ns1.infocom.kg")]);
+        a
+    }
+
+    #[test]
+    fn access_allowlist() {
+        let a = archive();
+        assert!(a.has_access(&d("pch.net")));
+        assert!(a.has_access(&d("netnod.se")));
+        assert!(!a.has_access(&d("mfa.gov.kg")));
+        assert_eq!(a.access_count(), 3);
+    }
+
+    #[test]
+    fn inaccessible_tld_records_are_dropped() {
+        let a = archive();
+        assert!(a.delegation_on(&d("mfa.gov.kg"), Day(0)).is_none());
+        assert!(a.archived_days(&d("mfa.gov.kg")).is_empty());
+    }
+
+    #[test]
+    fn one_day_hijack_visible_exactly_once() {
+        let a = archive();
+        assert_eq!(a.days_with_nameserver(&d("pch.net"), &d("ns1.evil.ru")), vec![Day(15)]);
+        assert_eq!(
+            a.days_with_nameserver(&d("pch.net"), &d("ns1.pch.net")).len(),
+            29
+        );
+    }
+
+    #[test]
+    fn delegation_on_exact_day() {
+        let a = archive();
+        assert_eq!(a.delegation_on(&d("pch.net"), Day(15)).unwrap(), &[d("ns1.evil.ru")]);
+        assert_eq!(a.delegation_on(&d("pch.net"), Day(14)).unwrap(), &[d("ns1.pch.net")]);
+        assert!(a.delegation_on(&d("pch.net"), Day(99)).is_none());
+    }
+
+    #[test]
+    fn identical_consecutive_days_merge_into_one_run() {
+        let a = archive();
+        // 0..=14, 15, 16..=29 → 3 runs.
+        assert_eq!(a.snapshots[&d("pch.net")].len(), 3);
+        assert_eq!(a.archived_days(&d("pch.net")).len(), 30);
+    }
+
+    #[test]
+    fn record_span_bulk() {
+        let mut a = ZoneSnapshotArchive::with_access(vec!["com".into()]);
+        a.record_span(Day(0), Day(99), &d("example.com"), &[d("ns1.example.com")]);
+        a.record_span(Day(100), Day(100), &d("example.com"), &[d("ns1.evil.ru")]);
+        a.record_span(Day(101), Day(200), &d("example.com"), &[d("ns1.example.com")]);
+        assert_eq!(a.delegation_on(&d("example.com"), Day(50)).unwrap(), &[d("ns1.example.com")]);
+        assert_eq!(a.delegation_on(&d("example.com"), Day(100)).unwrap(), &[d("ns1.evil.ru")]);
+        assert_eq!(
+            a.days_with_nameserver(&d("example.com"), &d("ns1.evil.ru")),
+            vec![Day(100)]
+        );
+        assert!(a.delegation_on(&d("example.com"), Day(201)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "chronologically")]
+    fn rejects_out_of_order_spans() {
+        let mut a = ZoneSnapshotArchive::with_access(vec!["com".into()]);
+        a.record_span(Day(10), Day(20), &d("example.com"), &[d("ns1.example.com")]);
+        a.record_span(Day(5), Day(9), &d("example.com"), &[d("ns1.example.com")]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the DNS substrate: time-series semantics and
+//! passive-DNS aggregation invariants.
+
+use proptest::prelude::*;
+use retrodns_dns::{PassiveDns, RecordData, TimeSeries};
+use retrodns_types::{Day, DomainName, Ipv4Addr};
+
+proptest! {
+    /// value_at equals a brute-force scan of the change log.
+    #[test]
+    fn timeseries_matches_linear_oracle(
+        sets in prop::collection::vec((0u32..500, 0u32..100), 0..40),
+        probes in prop::collection::vec(0u32..600, 1..20),
+    ) {
+        let mut ts = TimeSeries::new();
+        let mut log: Vec<(u32, u32)> = Vec::new();
+        for (day, v) in &sets {
+            ts.set(Day(*day), *v);
+            log.retain(|(d, _)| d != day);
+            log.push((*day, *v));
+        }
+        log.sort_by_key(|(d, _)| *d);
+        for probe in probes {
+            let expected = log.iter().rev().find(|(d, _)| *d <= probe).map(|(_, v)| v);
+            prop_assert_eq!(ts.value_at(Day(probe)), expected);
+        }
+    }
+
+    /// Change points come out sorted and unique regardless of insert order.
+    #[test]
+    fn timeseries_changes_sorted_unique(
+        sets in prop::collection::vec((0u32..500, 0u32..100), 0..40),
+    ) {
+        let mut ts = TimeSeries::new();
+        for (day, v) in &sets {
+            ts.set(Day(*day), *v);
+        }
+        let days: Vec<Day> = ts.changes().map(|(d, _)| d).collect();
+        let mut sorted = days.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(days, sorted);
+    }
+
+    /// pDNS aggregation: first_seen = min day, last_seen = max day,
+    /// count = number of observations, per tuple.
+    #[test]
+    fn pdns_first_last_count(
+        observations in prop::collection::vec((0u8..4, 0u8..4, 0u32..1000), 1..60),
+    ) {
+        let names: Vec<DomainName> = (0..4)
+            .map(|i| format!("host{i}.example.com").parse().unwrap())
+            .collect();
+        let ips: Vec<Ipv4Addr> = (0..4).map(|i| Ipv4Addr(0x0a00_0000 + i)).collect();
+
+        let mut pdns = PassiveDns::new();
+        let mut truth: std::collections::HashMap<(usize, usize), (u32, u32, u64)> =
+            std::collections::HashMap::new();
+        for (n, i, day) in &observations {
+            let (n, i) = (*n as usize, *i as usize);
+            pdns.observe(&names[n], RecordData::A(ips[i]), Day(*day));
+            let e = truth.entry((n, i)).or_insert((*day, *day, 0));
+            e.0 = e.0.min(*day);
+            e.1 = e.1.max(*day);
+            e.2 += 1;
+        }
+        for ((n, i), (first, last, count)) in truth {
+            let hits = pdns.lookups(&names[n], None);
+            let entry = hits
+                .iter()
+                .find(|e| e.rdata.as_a() == Some(ips[i]))
+                .expect("observed tuple must be queryable");
+            prop_assert_eq!(entry.first_seen, Day(first));
+            prop_assert_eq!(entry.last_seen, Day(last));
+            prop_assert_eq!(entry.count, count);
+            prop_assert!(entry.first_seen <= entry.last_seen);
+        }
+    }
+
+    /// The by-IP reverse index agrees with the forward tuples.
+    #[test]
+    fn pdns_reverse_index_consistent(
+        observations in prop::collection::vec((0u8..4, 0u8..4, 0u32..1000), 1..60),
+    ) {
+        let names: Vec<DomainName> = (0..4)
+            .map(|i| format!("host{i}.example.com").parse().unwrap())
+            .collect();
+        let ips: Vec<Ipv4Addr> = (0..4).map(|i| Ipv4Addr(0x0a00_0000 + i)).collect();
+        let mut pdns = PassiveDns::new();
+        for (n, i, day) in &observations {
+            pdns.observe(&names[*n as usize], RecordData::A(ips[*i as usize]), Day(*day));
+        }
+        for ip in &ips {
+            let via_reverse = pdns.domains_resolving_to(*ip);
+            for entry in &via_reverse {
+                // Every reverse hit must be reachable via the forward query.
+                let forward = pdns.lookups(&entry.name, None);
+                prop_assert!(forward.iter().any(|e| e == entry));
+            }
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! The annotation join (§4.1, Table 1).
+//!
+//! Raw scan records carry only `(date, ip, port, cert id)`. The analysis
+//! needs each observation annotated with the origin AS (pfx2as), the
+//! geolocated country (NetAcuity), the certificate's issuer/trust/SAN
+//! metadata, and the sensitive-subdomain flag — exactly the columns of the
+//! paper's Table 1. This module performs that join and produces:
+//!
+//! * [`AnnotatedRow`] — one Table-1 row per `(date, ip, cert)` with ports
+//!   aggregated;
+//! * [`DomainObservation`] — the per-registered-domain flattened form the
+//!   deployment-map builder consumes (one observation per domain a
+//!   certificate asserts authority over).
+
+use crate::dataset::ScanDataset;
+use retrodns_asdb::AsDatabase;
+use retrodns_cert::{CertId, Certificate, TrustStore};
+use retrodns_types::{Asn, CountryCode, Day, DomainName, Ipv4Addr};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// One annotated scan row (Table 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnotatedRow {
+    /// Scan date.
+    pub date: Day,
+    /// Responding address.
+    pub ip: Ipv4Addr,
+    /// All TLS ports this (ip, cert) responded on this date, sorted.
+    pub ports: Vec<u16>,
+    /// Origin ASN.
+    pub asn: Option<Asn>,
+    /// Geolocated country.
+    pub country: Option<CountryCode>,
+    /// Certificate id (crt.sh-style).
+    pub cert: CertId,
+    /// Issuing CA display name.
+    pub issuer: String,
+    /// Browser-trusted (Apple ∨ Microsoft ∨ Mozilla)?
+    pub trusted: bool,
+    /// Does any SAN match the sensitive-subdomain criterion?
+    pub sensitive: bool,
+    /// SANs on the certificate.
+    pub names: Vec<DomainName>,
+}
+
+/// One scan observation attributed to a registered domain — the unit the
+/// deployment-map builder clusters (§4.1: "we refer to those IP addresses
+/// and the certificates they return as the *observable infrastructure*").
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DomainObservation {
+    /// The registered domain the certificate asserts authority over.
+    pub domain: DomainName,
+    /// Scan date.
+    pub date: Day,
+    /// Responding address.
+    pub ip: Ipv4Addr,
+    /// Origin ASN (None = unrouted; such observations cannot be grouped
+    /// and are dropped by the map builder).
+    pub asn: Option<Asn>,
+    /// Geolocated country.
+    pub country: Option<CountryCode>,
+    /// Certificate presented.
+    pub cert: CertId,
+    /// Browser-trusted certificate?
+    pub trusted: bool,
+}
+
+/// Join scan records with network and certificate metadata, producing
+/// Table-1 rows (ports aggregated per `(date, ip, cert)`).
+pub fn annotate_dataset(
+    dataset: &ScanDataset,
+    certs: &HashMap<CertId, Certificate>,
+    asdb: &AsDatabase,
+    trust: &TrustStore,
+) -> Vec<AnnotatedRow> {
+    // Group ports per (date, ip, cert); BTreeMap for deterministic order.
+    let mut groups: BTreeMap<(Day, Ipv4Addr, CertId), Vec<u16>> = BTreeMap::new();
+    for r in dataset.records() {
+        groups.entry((r.date, r.ip, r.cert)).or_default().push(r.port);
+    }
+    groups
+        .into_iter()
+        .map(|((date, ip, cert_id), mut ports)| {
+            ports.sort_unstable();
+            ports.dedup();
+            let ann = asdb.annotate(ip);
+            let cert = certs.get(&cert_id);
+            AnnotatedRow {
+                date,
+                ip,
+                ports,
+                asn: ann.asn,
+                country: ann.country,
+                cert: cert_id,
+                issuer: cert
+                    .map(|c| trust.ca_name(c.issuer).to_string())
+                    .unwrap_or_else(|| "?".to_string()),
+                trusted: cert.map(|c| trust.is_browser_trusted(c.issuer)).unwrap_or(false),
+                sensitive: cert.map(|c| c.has_sensitive_name()).unwrap_or(false),
+                names: cert.map(|c| c.names.clone()).unwrap_or_default(),
+            }
+        })
+        .collect()
+}
+
+/// Flatten scan records into per-registered-domain observations.
+pub fn domain_observations(
+    dataset: &ScanDataset,
+    certs: &HashMap<CertId, Certificate>,
+    asdb: &AsDatabase,
+    trust: &TrustStore,
+) -> Vec<DomainObservation> {
+    let mut out = Vec::new();
+    // Memoize per-cert registered domains and per-ip annotations.
+    let mut cert_domains: HashMap<CertId, (Vec<DomainName>, bool)> = HashMap::new();
+    let mut ip_ann: HashMap<Ipv4Addr, (Option<Asn>, Option<CountryCode>)> = HashMap::new();
+    for r in dataset.records() {
+        let (domains, trusted) = cert_domains
+            .entry(r.cert)
+            .or_insert_with(|| match certs.get(&r.cert) {
+                Some(c) => (c.registered_domains(), trust.is_browser_trusted(c.issuer)),
+                None => (Vec::new(), false),
+            })
+            .clone();
+        let (asn, country) = *ip_ann.entry(r.ip).or_insert_with(|| {
+            let a = asdb.annotate(r.ip);
+            (a.asn, a.country)
+        });
+        for domain in domains {
+            out.push(DomainObservation {
+                domain,
+                date: r.date,
+                ip: r.ip,
+                asn,
+                country,
+                cert: r.cert,
+                trusted,
+            });
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Render Table-1 style output for the rows securing one registered
+/// domain (the kyvernisi.gr presentation in the paper).
+pub fn render_table1(rows: &[AnnotatedRow], domain: &DomainName) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<11} {:<16} {:<18} {:<7} {:<3} {:<12} {:<15} {:<5} {:<4} Name(s) Secured\n",
+        "Scan Date", "IP Address", "Ports (TCP)", "ASN", "CC", "crt.sh ID", "Issuing CA", "Trust", "Sens"
+    ));
+    for row in rows {
+        let secures = row.names.iter().any(|n| {
+            let concrete = if n.is_wildcard() { n.parent() } else { Some(n.clone()) };
+            concrete.map(|c| c.registered_domain() == *domain).unwrap_or(false)
+        });
+        if !secures {
+            continue;
+        }
+        let ports = format!(
+            "[{}]",
+            row.ports.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ")
+        );
+        let names = format!(
+            "[{}]",
+            row.names.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
+        );
+        s.push_str(&format!(
+            "{:<11} {:<16} {:<18} {:<7} {:<3} {:<12} {:<15} {:<5} {:<4} {}\n",
+            row.date.to_string(),
+            row.ip.to_string(),
+            ports,
+            row.asn.map(|a| a.value().to_string()).unwrap_or_else(|| "-".into()),
+            row.country.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            row.cert.0,
+            row.issuer,
+            if row.trusted { "T" } else { "F" },
+            if row.sensitive { "T" } else { "F" },
+            names,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::ScanRecord;
+    use retrodns_asdb::{GeoTableBuilder, OrgId, OrgTableBuilder, PrefixTableBuilder};
+    use retrodns_cert::authority::{CaKind, CertAuthority};
+    use retrodns_cert::{CaId, KeyId};
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn fixture() -> (ScanDataset, HashMap<CertId, Certificate>, AsDatabase, TrustStore) {
+        let mut trust = TrustStore::new();
+        trust.register_public(CertAuthority::new(CaId(1), "Let's Encrypt", CaKind::AcmeDv, 90));
+        trust.register_internal(CertAuthority::new(CaId(3), "Internal", CaKind::Internal, 730));
+
+        let mut certs = HashMap::new();
+        certs.insert(
+            CertId(100),
+            Certificate::new(CertId(100), vec![d("mail.kyvernisi.gr")], CaId(1), Day(0), 90, KeyId(1)),
+        );
+        certs.insert(
+            CertId(200),
+            Certificate::new(CertId(200), vec![d("www.other.com")], CaId(3), Day(0), 730, KeyId(2)),
+        );
+
+        let mut p = PrefixTableBuilder::new();
+        p.insert("84.205.248.0/24".parse().unwrap(), Asn(35506));
+        p.insert("95.179.128.0/18".parse().unwrap(), Asn(20473));
+        let mut g = GeoTableBuilder::new();
+        g.insert_prefix("84.205.248.0/24".parse().unwrap(), "GR".parse().unwrap()).unwrap();
+        g.insert_prefix("95.179.128.0/18".parse().unwrap(), "NL".parse().unwrap()).unwrap();
+        let mut o = OrgTableBuilder::new();
+        o.insert(Asn(35506), OrgId(1), "Greek Gov NOC");
+        o.insert(Asn(20473), OrgId(2), "Vultr");
+        let asdb = AsDatabase {
+            prefixes: p.build(),
+            orgs: o.build(),
+            geo: g.build(),
+        };
+
+        let ds = ScanDataset::from_records(vec![
+            ScanRecord { date: Day(0), ip: "84.205.248.69".parse().unwrap(), port: 443, cert: CertId(100) },
+            ScanRecord { date: Day(0), ip: "84.205.248.69".parse().unwrap(), port: 993, cert: CertId(100) },
+            ScanRecord { date: Day(7), ip: "95.179.131.225".parse().unwrap(), port: 993, cert: CertId(100) },
+            ScanRecord { date: Day(7), ip: "1.2.3.4".parse().unwrap(), port: 443, cert: CertId(200) },
+        ]);
+        (ds, certs, asdb, trust)
+    }
+
+    #[test]
+    fn rows_aggregate_ports_and_join_metadata() {
+        let (ds, certs, asdb, trust) = fixture();
+        let rows = annotate_dataset(&ds, &certs, &asdb, &trust);
+        assert_eq!(rows.len(), 3);
+        let first = &rows[0];
+        assert_eq!(first.ports, vec![443, 993]);
+        assert_eq!(first.asn, Some(Asn(35506)));
+        assert_eq!(first.country.unwrap().as_str(), "GR");
+        assert!(first.trusted);
+        assert!(first.sensitive);
+        assert_eq!(first.issuer, "Let's Encrypt");
+    }
+
+    #[test]
+    fn internal_ca_row_is_untrusted_and_unrouted_ip_has_no_asn() {
+        let (ds, certs, asdb, trust) = fixture();
+        let rows = annotate_dataset(&ds, &certs, &asdb, &trust);
+        let internal = rows.iter().find(|r| r.cert == CertId(200)).unwrap();
+        assert!(!internal.trusted);
+        assert_eq!(internal.asn, None);
+        assert_eq!(internal.issuer, "Internal");
+    }
+
+    #[test]
+    fn observations_flatten_per_registered_domain() {
+        let (ds, certs, asdb, trust) = fixture();
+        let obs = domain_observations(&ds, &certs, &asdb, &trust);
+        let kyv: Vec<_> = obs.iter().filter(|o| o.domain == d("kyvernisi.gr")).collect();
+        // Two dates × one ip each (ports collapse into one obs per date/ip).
+        assert_eq!(kyv.len(), 2);
+        assert!(kyv.iter().all(|o| o.trusted));
+        let other: Vec<_> = obs.iter().filter(|o| o.domain == d("other.com")).collect();
+        assert_eq!(other.len(), 1);
+        assert!(!other[0].trusted);
+    }
+
+    #[test]
+    fn table1_rendering_filters_by_domain() {
+        let (ds, certs, asdb, trust) = fixture();
+        let rows = annotate_dataset(&ds, &certs, &asdb, &trust);
+        let table = render_table1(&rows, &d("kyvernisi.gr"));
+        assert!(table.contains("84.205.248.69"));
+        assert!(table.contains("95.179.131.225"));
+        assert!(table.contains("[443, 993]"));
+        assert!(!table.contains("other.com"));
+        let empty = render_table1(&rows, &d("nothing.se"));
+        assert_eq!(empty.lines().count(), 1); // header only
+    }
+
+    #[test]
+    fn unknown_cert_id_degrades_gracefully() {
+        let (_, _, asdb, trust) = fixture();
+        let ds = ScanDataset::from_records(vec![ScanRecord {
+            date: Day(0),
+            ip: "84.205.248.69".parse().unwrap(),
+            port: 443,
+            cert: CertId(999),
+        }]);
+        let rows = annotate_dataset(&ds, &HashMap::new(), &asdb, &trust);
+        assert_eq!(rows[0].issuer, "?");
+        assert!(!rows[0].trusted);
+        let obs = domain_observations(&ds, &HashMap::new(), &asdb, &trust);
+        assert!(obs.is_empty(), "cert with unknown SANs attributes to no domain");
+    }
+}

@@ -1,0 +1,121 @@
+//! The raw longitudinal scan dataset.
+
+use retrodns_cert::CertId;
+use retrodns_types::{Day, Ipv4Addr};
+use serde::{Deserialize, Serialize};
+
+/// One raw scan observation: a certificate seen at an address/port on a
+/// scan date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ScanRecord {
+    /// Scan date.
+    pub date: Day,
+    /// Responding address.
+    pub ip: Ipv4Addr,
+    /// Responding TCP port.
+    pub port: u16,
+    /// Certificate presented.
+    pub cert: CertId,
+}
+
+/// A sorted, deduplicated collection of scan records.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanDataset {
+    records: Vec<ScanRecord>,
+}
+
+impl ScanDataset {
+    /// Build from raw records (sorted and deduplicated).
+    pub fn from_records(mut records: Vec<ScanRecord>) -> ScanDataset {
+        records.sort();
+        records.dedup();
+        ScanDataset { records }
+    }
+
+    /// All records in (date, ip, port) order.
+    pub fn records(&self) -> &[ScanRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Distinct scan dates present, in order.
+    pub fn dates(&self) -> Vec<Day> {
+        let mut d: Vec<Day> = self.records.iter().map(|r| r.date).collect();
+        d.sort();
+        d.dedup();
+        d
+    }
+
+    /// Records within `[from, to]` (inclusive).
+    pub fn slice_days(&self, from: Day, to: Day) -> impl Iterator<Item = &ScanRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.date >= from && r.date <= to)
+    }
+
+    /// Merge two datasets.
+    pub fn merge(self, other: ScanDataset) -> ScanDataset {
+        let mut records = self.records;
+        records.extend(other.records);
+        ScanDataset::from_records(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(date: u32, ip: &str, port: u16, cert: u64) -> ScanRecord {
+        ScanRecord {
+            date: Day(date),
+            ip: ip.parse().unwrap(),
+            port,
+            cert: CertId(cert),
+        }
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let ds = ScanDataset::from_records(vec![
+            rec(7, "10.0.0.2", 443, 2),
+            rec(0, "10.0.0.1", 443, 1),
+            rec(0, "10.0.0.1", 443, 1), // duplicate
+        ]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.records()[0].date, Day(0));
+        assert_eq!(ds.dates(), vec![Day(0), Day(7)]);
+    }
+
+    #[test]
+    fn slice_days_inclusive() {
+        let ds = ScanDataset::from_records(vec![
+            rec(0, "10.0.0.1", 443, 1),
+            rec(7, "10.0.0.1", 443, 1),
+            rec(14, "10.0.0.1", 443, 1),
+        ]);
+        let inside: Vec<_> = ds.slice_days(Day(7), Day(14)).collect();
+        assert_eq!(inside.len(), 2);
+        let inside: Vec<_> = ds.slice_days(Day(1), Day(6)).collect();
+        assert!(inside.is_empty());
+    }
+
+    #[test]
+    fn merge_combines_and_dedups() {
+        let a = ScanDataset::from_records(vec![rec(0, "10.0.0.1", 443, 1)]);
+        let b = ScanDataset::from_records(vec![
+            rec(0, "10.0.0.1", 443, 1),
+            rec(7, "10.0.0.2", 993, 2),
+        ]);
+        let m = a.merge(b);
+        assert_eq!(m.len(), 2);
+    }
+}

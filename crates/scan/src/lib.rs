@@ -1,0 +1,27 @@
+//! # retrodns-scan
+//!
+//! The Internet-wide TLS scanning substrate (Censys CUIDS analog).
+//!
+//! The paper consumes weekly scans of the IPv4 space on the five ports
+//! attackers target (443, 465, 587, 993, 995), each observation recording
+//! *which certificate was presented at which address on which date*. This
+//! crate provides:
+//!
+//! * [`TlsEndpoint`] / [`EndpointSource`] — the scanner's view of the
+//!   world: whatever is listening with a certificate on a given day
+//!   (implemented by `retrodns-sim`).
+//! * [`Scanner`] — the weekly scan driver with the observation noise the
+//!   paper wrestles with: endpoints that do not respond to a given scan.
+//! * [`ScanDataset`] / [`ScanRecord`] — the raw longitudinal dataset.
+//! * [`annotate`] — the annotation join (prefix→AS, geolocation, cert
+//!   metadata, browser trust, sensitivity) producing Table-1-style rows
+//!   and the per-domain observations the deployment-map builder consumes.
+
+#![warn(missing_docs)]
+pub mod annotate;
+pub mod dataset;
+pub mod scanner;
+
+pub use annotate::{annotate_dataset, domain_observations, render_table1, AnnotatedRow, DomainObservation};
+pub use dataset::{ScanDataset, ScanRecord};
+pub use scanner::{EndpointSource, ScanConfig, Scanner, TlsEndpoint, TLS_PORTS};

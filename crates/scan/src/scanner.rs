@@ -1,0 +1,223 @@
+//! The weekly Internet-wide TLS scan driver.
+//!
+//! The scanner asks an [`EndpointSource`] what is listening on each scan
+//! date and records what it reaches. Imperfect coverage is first-class:
+//! the paper's §4.6 calls out "addresses that do not respond to scanning"
+//! and visibility gaps as core limitations, and the shortlist stage prunes
+//! domains missing from more than 20 % of scans — so [`ScanConfig`]
+//! exposes a per-probe miss rate driven by a deterministic RNG.
+
+use crate::dataset::{ScanDataset, ScanRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retrodns_cert::CertId;
+use retrodns_types::{Day, Ipv4Addr};
+use serde::{Deserialize, Serialize};
+
+/// The TCP ports scanned for TLS certificates — §4.1 footnote 4: "ports
+/// that are typically associated with TLS certificates and, hence,
+/// targeted by attackers".
+pub const TLS_PORTS: [u16; 5] = [443, 465, 587, 993, 995];
+
+/// One live TLS endpoint on a given day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TlsEndpoint {
+    /// Listening address.
+    pub ip: Ipv4Addr,
+    /// Listening TCP port.
+    pub port: u16,
+    /// Certificate presented on connection.
+    pub cert: CertId,
+    /// Probability (percent) that the endpoint answers a probe. Most
+    /// servers are 100; load-balanced or anycast fringes that only
+    /// occasionally face the scanner get low values — these produce the
+    /// "legitimate deployments briefly visible to scans" false-positive
+    /// class §4.4 prunes at inspection time.
+    pub availability_pct: u8,
+}
+
+impl TlsEndpoint {
+    /// A fully available endpoint.
+    pub fn new(ip: Ipv4Addr, port: u16, cert: CertId) -> TlsEndpoint {
+        TlsEndpoint {
+            ip,
+            port,
+            cert,
+            availability_pct: 100,
+        }
+    }
+}
+
+/// The scanner's view of the world: everything listening with a TLS
+/// certificate on a given day. Implemented by the simulator.
+pub trait EndpointSource {
+    /// All live endpoints on `day`, in any order.
+    fn endpoints_on(&self, day: Day) -> Vec<TlsEndpoint>;
+}
+
+/// Scanner configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScanConfig {
+    /// Ports to probe (endpoints on other ports are invisible).
+    pub ports: Vec<u16>,
+    /// Probability that a live endpoint fails to respond to one probe
+    /// (independent per endpoint per scan date).
+    pub miss_rate: f64,
+    /// RNG seed for the miss process (scans are reproducible).
+    pub seed: u64,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig {
+            ports: TLS_PORTS.to_vec(),
+            miss_rate: 0.02,
+            seed: 0x5ca9,
+        }
+    }
+}
+
+/// The weekly scan driver.
+#[derive(Debug, Clone)]
+pub struct Scanner {
+    config: ScanConfig,
+}
+
+impl Scanner {
+    /// A scanner with the given configuration.
+    pub fn new(config: ScanConfig) -> Scanner {
+        assert!(
+            (0.0..1.0).contains(&config.miss_rate),
+            "miss rate must be in [0, 1)"
+        );
+        Scanner { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ScanConfig {
+        &self.config
+    }
+
+    /// Run scans on each of `dates` against `source`, producing the raw
+    /// longitudinal dataset. Deterministic for a given config seed.
+    pub fn run(&self, source: &impl EndpointSource, dates: &[Day]) -> ScanDataset {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut records = Vec::new();
+        for &date in dates {
+            for ep in source.endpoints_on(date) {
+                if !self.config.ports.contains(&ep.port) {
+                    continue;
+                }
+                // A probe lands iff the endpoint answers AND the scan
+                // itself does not lose the probe.
+                let respond = ep.availability_pct as f64 / 100.0 * (1.0 - self.config.miss_rate);
+                if respond < 1.0 && rng.gen::<f64>() >= respond {
+                    continue;
+                }
+                records.push(ScanRecord {
+                    date,
+                    ip: ep.ip,
+                    port: ep.port,
+                    cert: ep.cert,
+                });
+            }
+        }
+        ScanDataset::from_records(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedWorld {
+        endpoints: Vec<TlsEndpoint>,
+    }
+
+    impl EndpointSource for FixedWorld {
+        fn endpoints_on(&self, _day: Day) -> Vec<TlsEndpoint> {
+            self.endpoints.clone()
+        }
+    }
+
+    fn ep(ip: &str, port: u16, cert: u64) -> TlsEndpoint {
+        TlsEndpoint::new(ip.parse().unwrap(), port, CertId(cert))
+    }
+
+    #[test]
+    fn lossless_scan_sees_everything_on_tls_ports() {
+        let world = FixedWorld {
+            endpoints: vec![ep("10.0.0.1", 443, 1), ep("10.0.0.1", 993, 1), ep("10.0.0.2", 8443, 2)],
+        };
+        let scanner = Scanner::new(ScanConfig {
+            miss_rate: 0.0,
+            ..Default::default()
+        });
+        let ds = scanner.run(&world, &[Day(0), Day(7)]);
+        // 8443 is not a scanned port; two endpoints × two dates remain.
+        assert_eq!(ds.len(), 4);
+        assert!(ds.records().iter().all(|r| r.port != 8443));
+    }
+
+    #[test]
+    fn scans_are_deterministic_for_a_seed() {
+        let world = FixedWorld {
+            endpoints: (0..100).map(|i| ep(&format!("10.0.0.{i}"), 443, i as u64)).collect(),
+        };
+        let cfg = ScanConfig {
+            miss_rate: 0.3,
+            seed: 42,
+            ..Default::default()
+        };
+        let a = Scanner::new(cfg.clone()).run(&world, &[Day(0), Day(7)]);
+        let b = Scanner::new(cfg).run(&world, &[Day(0), Day(7)]);
+        assert_eq!(a.records(), b.records());
+        assert!(a.len() < 200, "some probes must miss at 30% loss");
+        assert!(a.len() > 100, "most probes should land");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let world = FixedWorld {
+            endpoints: (0..100).map(|i| ep(&format!("10.0.0.{i}"), 443, i as u64)).collect(),
+        };
+        let mk = |seed| {
+            Scanner::new(ScanConfig {
+                miss_rate: 0.3,
+                seed,
+                ..Default::default()
+            })
+            .run(&world, &[Day(0)])
+        };
+        assert_ne!(mk(1).records(), mk(2).records());
+    }
+
+    #[test]
+    #[should_panic(expected = "miss rate")]
+    fn rejects_certain_loss() {
+        Scanner::new(ScanConfig {
+            miss_rate: 1.0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn low_availability_endpoint_rarely_answers() {
+        let mut flaky = ep("10.0.0.1", 443, 1);
+        flaky.availability_pct = 5;
+        let world = FixedWorld {
+            endpoints: vec![flaky, ep("10.0.0.2", 443, 2)],
+        };
+        let dates: Vec<Day> = (0..100).map(|i| Day(i * 7)).collect();
+        let ds = Scanner::new(ScanConfig {
+            miss_rate: 0.0,
+            seed: 9,
+            ..Default::default()
+        })
+        .run(&world, &dates);
+        let flaky_hits = ds.records().iter().filter(|r| r.cert == CertId(1)).count();
+        let solid_hits = ds.records().iter().filter(|r| r.cert == CertId(2)).count();
+        assert_eq!(solid_hits, 100);
+        assert!(flaky_hits > 0 && flaky_hits < 20, "got {flaky_hits}");
+    }
+}

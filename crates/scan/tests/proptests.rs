@@ -1,0 +1,137 @@
+//! Property tests for the scanning substrate.
+
+use proptest::prelude::*;
+use retrodns_cert::CertId;
+use retrodns_scan::{EndpointSource, ScanConfig, ScanDataset, ScanRecord, Scanner, TlsEndpoint};
+use retrodns_types::{Day, Ipv4Addr};
+
+struct FixedWorld {
+    endpoints: Vec<TlsEndpoint>,
+}
+
+impl EndpointSource for FixedWorld {
+    fn endpoints_on(&self, _day: Day) -> Vec<TlsEndpoint> {
+        self.endpoints.clone()
+    }
+}
+
+fn arb_endpoint() -> impl Strategy<Value = TlsEndpoint> {
+    (any::<u32>(), 0usize..5, 0u64..50, 0u8..=100).prop_map(|(ip, port_idx, cert, avail)| {
+        TlsEndpoint {
+            ip: Ipv4Addr(ip),
+            port: [443u16, 465, 587, 993, 995][port_idx],
+            cert: CertId(cert),
+            availability_pct: avail,
+        }
+    })
+}
+
+proptest! {
+    /// Scans are deterministic per seed and subsets of the live world.
+    #[test]
+    fn scan_is_deterministic_and_sound(
+        endpoints in prop::collection::vec(arb_endpoint(), 0..40),
+        seed in any::<u64>(),
+        miss in 0u32..50,
+    ) {
+        let world = FixedWorld { endpoints: endpoints.clone() };
+        let cfg = ScanConfig {
+            miss_rate: miss as f64 / 100.0,
+            seed,
+            ..ScanConfig::default()
+        };
+        let dates: Vec<Day> = (0..10).map(|i| Day(i * 7)).collect();
+        let a = Scanner::new(cfg.clone()).run(&world, &dates);
+        let b = Scanner::new(cfg).run(&world, &dates);
+        prop_assert_eq!(a.records(), b.records());
+        // Soundness: every record corresponds to a live endpoint.
+        for r in a.records() {
+            prop_assert!(endpoints
+                .iter()
+                .any(|e| e.ip == r.ip && e.port == r.port && e.cert == r.cert));
+            prop_assert!(dates.contains(&r.date));
+        }
+    }
+
+    /// Zero-availability endpoints are never observed; full availability
+    /// with no loss always is.
+    #[test]
+    fn availability_extremes(cert in 0u64..100, ip in any::<u32>()) {
+        let dead = TlsEndpoint {
+            ip: Ipv4Addr(ip),
+            port: 443,
+            cert: CertId(cert),
+            availability_pct: 0,
+        };
+        let live = TlsEndpoint {
+            ip: Ipv4Addr(ip.wrapping_add(1)),
+            port: 443,
+            cert: CertId(cert + 1000),
+            availability_pct: 100,
+        };
+        let world = FixedWorld { endpoints: vec![dead, live] };
+        let ds = Scanner::new(ScanConfig {
+            miss_rate: 0.0,
+            ..ScanConfig::default()
+        })
+        .run(&world, &[Day(0), Day(7), Day(14)]);
+        prop_assert!(ds.records().iter().all(|r| r.cert != CertId(cert)));
+        prop_assert_eq!(ds.records().iter().filter(|r| r.cert == CertId(cert + 1000)).count(), 3);
+    }
+
+    /// Dataset construction is canonical: order-insensitive and
+    /// duplicate-free.
+    #[test]
+    fn dataset_canonical(
+        raw in prop::collection::vec((0u32..50, any::<u32>(), 0usize..5, 0u64..30), 0..60),
+        seed in any::<u64>(),
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let records: Vec<ScanRecord> = raw
+            .into_iter()
+            .map(|(week, ip, port_idx, cert)| ScanRecord {
+                date: Day(week * 7),
+                ip: Ipv4Addr(ip),
+                port: [443u16, 465, 587, 993, 995][port_idx],
+                cert: CertId(cert),
+            })
+            .collect();
+        let a = ScanDataset::from_records(records.clone());
+        let mut shuffled = records;
+        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let b = ScanDataset::from_records(shuffled);
+        prop_assert_eq!(a.records(), b.records());
+        // Sorted and deduplicated.
+        for w in a.records().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// slice_days returns exactly the in-range records.
+    #[test]
+    fn slice_days_exact(
+        weeks in prop::collection::vec(0u32..60, 1..40),
+        lo in 0u32..60,
+        span in 0u32..30,
+    ) {
+        let records: Vec<ScanRecord> = weeks
+            .iter()
+            .map(|w| ScanRecord {
+                date: Day(w * 7),
+                ip: Ipv4Addr(*w),
+                port: 443,
+                cert: CertId(1),
+            })
+            .collect();
+        let ds = ScanDataset::from_records(records);
+        let (from, to) = (Day(lo * 7), Day((lo + span) * 7));
+        let sliced: Vec<_> = ds.slice_days(from, to).collect();
+        let expected = ds
+            .records()
+            .iter()
+            .filter(|r| r.date >= from && r.date <= to)
+            .count();
+        prop_assert_eq!(sliced.len(), expected);
+    }
+}

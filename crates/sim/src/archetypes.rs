@@ -1,0 +1,247 @@
+//! Hand-built archetype observation sets, one per deployment-map pattern
+//! of Figures 3–5.
+//!
+//! These bypass the full world machinery and construct the per-domain scan
+//! observations directly, giving the classifier tests and the pattern
+//! gallery (`experiments fig3|fig4|fig5`) precise, minimal inputs whose
+//! expected classification is known by construction.
+
+use retrodns_cert::CertId;
+use retrodns_scan::DomainObservation;
+use retrodns_types::{Asn, Day, DomainName, Ipv4Addr};
+
+/// One archetype: its figure label, a description, the observations for a
+/// single six-month period (scan dates `Day(0), Day(7), …, Day(175)`),
+/// and the pattern name the classifier is expected to produce.
+#[derive(Debug, Clone)]
+pub struct Archetype {
+    /// Figure label ("S1", "X3", "T2", …).
+    pub label: &'static str,
+    /// Human description from the paper's figures.
+    pub description: &'static str,
+    /// Scan observations for the period.
+    pub observations: Vec<DomainObservation>,
+    /// Expected classifier pattern name.
+    pub expected: &'static str,
+}
+
+/// The archetype domain used throughout.
+pub fn archetype_domain() -> DomainName {
+    "example.gov.kg".parse().expect("static")
+}
+
+const SCANS: u32 = 26; // weekly over ~six months
+
+fn obs(date: u32, ip: u32, asn: u32, cc: &str, cert: u64) -> DomainObservation {
+    DomainObservation {
+        domain: archetype_domain(),
+        date: Day(date * 7),
+        ip: Ipv4Addr(ip),
+        asn: Some(Asn(asn)),
+        country: cc.parse().ok(),
+        cert: CertId(cert),
+        trusted: true,
+    }
+}
+
+/// Stable run of `cert` at `(ip, asn, cc)` for scan indices `[from, to)`.
+fn run(out: &mut Vec<DomainObservation>, from: u32, to: u32, ip: u32, asn: u32, cc: &str, cert: u64) {
+    for i in from..to {
+        out.push(obs(i, ip, asn, cc, cert));
+    }
+}
+
+/// All archetypes of Figure 3 (stable patterns).
+pub fn stable_archetypes() -> Vec<Archetype> {
+    let mut v = Vec::new();
+
+    // S1: one deployment, one long-validity certificate.
+    let mut o = Vec::new();
+    run(&mut o, 0, SCANS, 0x0a00_0001, 100, "KG", 1);
+    v.push(Archetype {
+        label: "S1",
+        description: "same AS, same certificate throughout",
+        observations: o,
+        expected: "S1",
+    });
+
+    // S2: certificate rollover on the same infrastructure.
+    let mut o = Vec::new();
+    run(&mut o, 0, 13, 0x0a00_0001, 100, "KG", 1);
+    run(&mut o, 13, SCANS, 0x0a00_0001, 100, "KG", 2);
+    v.push(Archetype {
+        label: "S2",
+        description: "same AS; certificate rolls over on expiry",
+        observations: o,
+        expected: "S2",
+    });
+
+    // S3: new IPs in a different country, same AS.
+    let mut o = Vec::new();
+    run(&mut o, 0, SCANS, 0x0a00_0001, 100, "KG", 1);
+    run(&mut o, 12, SCANS, 0x0a00_1001, 100, "DE", 1);
+    v.push(Archetype {
+        label: "S3",
+        description: "geographic expansion within the same AS",
+        observations: o,
+        expected: "S3",
+    });
+
+    // S4: a new certificate appears on the same infrastructure.
+    let mut o = Vec::new();
+    run(&mut o, 0, SCANS, 0x0a00_0001, 100, "KG", 1);
+    run(&mut o, 14, SCANS, 0x0a00_0001, 100, "KG", 9);
+    v.push(Archetype {
+        label: "S4",
+        description: "new certificate on the same infrastructure",
+        observations: o,
+        expected: "S4",
+    });
+
+    v
+}
+
+/// All archetypes of Figure 4 (transition patterns).
+pub fn transition_archetypes() -> Vec<Archetype> {
+    let mut v = Vec::new();
+
+    // X1: expansion into a second AS with the same certificate.
+    let mut o = Vec::new();
+    run(&mut o, 0, SCANS, 0x0a00_0001, 100, "KG", 1);
+    run(&mut o, 10, SCANS, 0x1400_0001, 200, "DE", 1);
+    v.push(Archetype {
+        label: "X1",
+        description: "expansion into an additional AS, same certificate",
+        observations: o,
+        expected: "X1",
+    });
+
+    // X2: expansion into a second AS with an additional certificate.
+    let mut o = Vec::new();
+    run(&mut o, 0, SCANS, 0x0a00_0001, 100, "KG", 1);
+    run(&mut o, 10, SCANS, 0x1400_0001, 200, "DE", 2);
+    v.push(Archetype {
+        label: "X2",
+        description: "expansion into an additional AS with a new certificate",
+        observations: o,
+        expected: "X2",
+    });
+
+    // X3: migration — old deployment torn down after brief overlap.
+    let mut o = Vec::new();
+    run(&mut o, 0, 12, 0x0a00_0001, 100, "KG", 1);
+    run(&mut o, 10, SCANS, 0x1400_0001, 200, "DE", 2);
+    v.push(Archetype {
+        label: "X3",
+        description: "migration to new infrastructure with brief overlap",
+        observations: o,
+        expected: "X3",
+    });
+
+    v
+}
+
+/// All archetypes of Figure 5 (transient patterns).
+pub fn transient_archetypes() -> Vec<Archetype> {
+    let mut v = Vec::new();
+
+    // T1: stable background + short-lived foreign deployment with a NEW
+    // certificate (the kyvernisi.gr shape).
+    let mut o = Vec::new();
+    run(&mut o, 0, SCANS, 0x0a00_0001, 100, "KG", 1);
+    run(&mut o, 12, 13, 0x1400_0001, 200, "NL", 666);
+    v.push(Archetype {
+        label: "T1",
+        description: "transient deployment with a new certificate",
+        observations: o,
+        expected: "T1",
+    });
+
+    // T2: transient presents the STABLE deployment's own certificate
+    // (proxy prelude).
+    let mut o = Vec::new();
+    run(&mut o, 0, SCANS, 0x0a00_0001, 100, "KG", 1);
+    run(&mut o, 12, 15, 0x1400_0001, 200, "NL", 1);
+    v.push(Archetype {
+        label: "T2",
+        description: "transient deployment presenting the stable certificate",
+        observations: o,
+        expected: "T2",
+    });
+
+    v
+}
+
+/// A noisy map: deployments hop ASes continually, no stable background.
+pub fn noisy_archetype() -> Archetype {
+    let mut o = Vec::new();
+    let hops = [
+        (0u32, 5u32, 0x1400_0001u32, 200u32, "NL", 1u64),
+        (5, 9, 0x1500_0001, 201, "DE", 2),
+        (9, 14, 0x1600_0001, 202, "FR", 3),
+        (14, 18, 0x1700_0001, 203, "US", 4),
+        (18, 22, 0x1800_0001, 204, "SG", 5),
+        (22, SCANS, 0x1900_0001, 205, "JP", 6),
+    ];
+    for (from, to, ip, asn, cc, cert) in hops {
+        run(&mut o, from, to, ip, asn, cc, cert);
+    }
+    Archetype {
+        label: "N",
+        description: "continually moving deployments; no stable background",
+        observations: o,
+        expected: "Noisy",
+    }
+}
+
+/// Every archetype in figure order.
+pub fn all_archetypes() -> Vec<Archetype> {
+    let mut v = stable_archetypes();
+    v.extend(transition_archetypes());
+    v.extend(transient_archetypes());
+    v.push(noisy_archetype());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archetypes_are_well_formed() {
+        for a in all_archetypes() {
+            assert!(!a.observations.is_empty(), "{}", a.label);
+            assert!(a.observations.iter().all(|o| o.domain == archetype_domain()));
+            // Observations fall on weekly scan dates within the period.
+            assert!(a.observations.iter().all(|o| o.date.0 % 7 == 0 && o.date.0 < 26 * 7));
+        }
+    }
+
+    #[test]
+    fn t1_has_single_scan_transient() {
+        let t1 = &transient_archetypes()[0];
+        let foreign: Vec<_> = t1
+            .observations
+            .iter()
+            .filter(|o| o.asn == Some(Asn(200)))
+            .collect();
+        assert_eq!(foreign.len(), 1);
+        assert_eq!(foreign[0].cert, CertId(666));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for a in all_archetypes() {
+            assert!(seen.insert(a.label));
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn country_codes_parse() {
+        for a in all_archetypes() {
+            assert!(a.observations.iter().all(|o| o.country.is_some()));
+        }
+    }
+}

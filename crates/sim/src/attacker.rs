@@ -1,0 +1,667 @@
+//! Attacker campaign planning.
+//!
+//! A campaign walks the §3 attack stages for each victim:
+//!
+//! 1. **Develop capability** — an [`Actor`] with the modelled capability
+//!    (stolen credentials / compromised registrar / compromised registry)
+//!    performs every delegation change; the DNS substrate rejects anything
+//!    the capability does not cover.
+//! 2. **Attacker infrastructure** — servers in attacker-favored VPS
+//!    providers, a pair of rogue nameservers with glue, zone content
+//!    answering the targeted subdomain with the attacker's address.
+//! 3. **AitM capability** — a sub-day delegation flip during which the
+//!    ACME DNS-01 challenge is answered from the rogue nameservers,
+//!    yielding a browser-trusted certificate for the sensitive subdomain
+//!    (this goes through the real issuance path in `retrodns-cert`; if the
+//!    flip were not in effect the request would fail).
+//! 4. **Active hijack** — several more 1-day delegation flips over the
+//!    following weeks (the harvest windows).
+//! 5. **Post hijack** — the counterfeit endpoint stays up days-to-months
+//!    after the last window, and infrastructure is reused across victims
+//!    (the behaviour pivot-by-IP and the T1* rule exploit).
+
+use crate::config::CampaignConfig;
+use crate::geography::Geography;
+use crate::orgs::Population;
+use crate::plan::{CaTag, CertRef, DeploymentProfile, DomainPlan, PlanCtx, PlannedCert, PlannedDeployment};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use retrodns_cert::{AcmeCa, KeyId};
+use retrodns_dns::{Actor, DnsDb, RecordData};
+use retrodns_types::{Day, DomainName, Ipv4Addr};
+use serde::{Deserialize, Serialize};
+
+/// How a victim is attacked (ground-truth label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetKind {
+    /// Full hijack; malicious certificate deployed persistently, so scans
+    /// catch it (deployment-map pattern T1).
+    HijackT1,
+    /// Full hijack; scans only ever see the proxy prelude presenting the
+    /// victim's own certificate (pattern T2) — the malicious certificate
+    /// exists in CT but never appears in a scan.
+    HijackT2,
+    /// Staged/proxied but never hijacked: no malicious certificate, no
+    /// delegation change (ground-truth "targeted").
+    TargetedOnly,
+    /// Full hijack of a domain with no legitimate TLS presence —
+    /// undetectable via deployment maps, only reachable by pivot.
+    NoInfraHijack,
+}
+
+impl TargetKind {
+    /// Did the attack actually redirect traffic (vs staging only)?
+    pub fn is_hijack(self) -> bool {
+        !matches!(self, TargetKind::TargetedOnly)
+    }
+}
+
+/// One planned victim.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttackTarget {
+    /// Index into the population's domain list.
+    pub domain_idx: usize,
+    /// The targeted FQDN (sensitive subdomain).
+    pub sub: DomainName,
+    /// Attack shape.
+    pub kind: TargetKind,
+    /// Day the counterfeit infrastructure goes live.
+    pub stage_day: Day,
+    /// Day of the certificate-acquisition flip (hijacks only).
+    pub cert_day: Option<Day>,
+    /// The malicious certificate (hijacks only; filled during planning).
+    pub cert: Option<CertRef>,
+    /// Harvest-window start days (each window lasts one day).
+    pub windows: Vec<Day>,
+    /// The attacker server the victim's traffic is diverted to.
+    pub attacker_ip: Ipv4Addr,
+    /// Day the counterfeit endpoint is torn down.
+    pub teardown: Day,
+}
+
+/// One fully planned campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignPlan {
+    /// Campaign name (from config).
+    pub name: String,
+    /// The attacker's ACME account/subject key.
+    pub key: KeyId,
+    /// Rogue nameserver hostnames.
+    pub rogue_ns: [DomainName; 2],
+    /// Their glue addresses.
+    pub rogue_ns_ips: [Ipv4Addr; 2],
+    /// All attacker server addresses (reused across victims).
+    pub infra_ips: Vec<Ipv4Addr>,
+    /// Victims in schedule order.
+    pub targets: Vec<AttackTarget>,
+    /// Counterfeit-server deployments to apply after issuance.
+    pub deployments: Vec<PlannedDeployment>,
+}
+
+/// VPS providers attackers rent from (Table 5 concentration).
+const ATTACKER_CLOUDS: &[&str] = &[
+    "Digital Ocean",
+    "Vultr",
+    "Serverius",
+    "VDSINA",
+    "Alibaba",
+    "ANTENA3",
+    "M247",
+    "MYLOC",
+    "Linode",
+    "Hetzner",
+];
+
+/// Plan one campaign against the already-planned population. Mutates the
+/// DNS database (staging, flips, challenges) and appends planned
+/// certificates; server deployments are returned on the plan.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_campaign(
+    ctx: &mut PlanCtx,
+    db: &mut DnsDb,
+    population: &Population,
+    domain_plans: &[DomainPlan],
+    cfg: &CampaignConfig,
+    campaign_idx: usize,
+    taken: &mut std::collections::HashSet<usize>,
+    rng: &mut StdRng,
+) -> CampaignPlan {
+    let geo: &Geography = ctx.geo;
+    let key = ctx.fresh_key();
+
+    // ------------------------------------------------------------------
+    // Attacker infrastructure: servers + rogue nameservers with glue.
+    // ------------------------------------------------------------------
+    let mut clouds: Vec<_> = ATTACKER_CLOUDS
+        .iter()
+        .filter_map(|n| geo.provider_named(n))
+        .collect();
+    clouds.shuffle(rng);
+    let clouds = &clouds[..3.min(clouds.len())];
+    let mut infra_ips = Vec::new();
+    for i in 0..cfg.infra_ips {
+        let p = clouds[i % clouds.len()];
+        let region = rng.gen_range(0..p.regions.len());
+        infra_ips.push(ctx.alloc.alloc(geo, p.id, region));
+    }
+    let ns_provider = clouds[0];
+    let rogue_ns_ips = [
+        ctx.alloc.alloc(geo, ns_provider.id, 0),
+        ctx.alloc.alloc(geo, ns_provider.id, 0),
+    ];
+    let slug = format!("svc{campaign_idx}-dns");
+    let rogue_ns: [DomainName; 2] = [
+        format!("ns1.{slug}.ru").parse().expect("static rogue ns"),
+        format!("ns2.{slug}.ru").parse().expect("static rogue ns"),
+    ];
+
+    // ------------------------------------------------------------------
+    // Victim selection.
+    // ------------------------------------------------------------------
+    let sensitive_sub = |plan: &DomainPlan| -> Option<DomainName> {
+        let spec = &population.domains[plan.spec];
+        spec.services
+            .iter()
+            .filter_map(|s| spec.domain.child(s).ok())
+            .find(|n| n.is_sensitive())
+    };
+    let eligible = |kinds_no_tls: bool, need_trusted_cert: bool| -> Vec<usize> {
+        domain_plans
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                let spec = &population.domains[p.spec];
+                let org = &population.orgs[spec.org];
+                if !org.sector.is_sensitive_target() {
+                    return false;
+                }
+                if sensitive_sub(p).is_none() {
+                    return false;
+                }
+                if kinds_no_tls {
+                    matches!(p.profile, DeploymentProfile::NoTls)
+                } else {
+                    matches!(p.profile, DeploymentProfile::Stable { .. })
+                        && (!need_trusted_cert || !p.internal_ca)
+                }
+            })
+            .map(|(i, _)| i)
+            .collect()
+    };
+
+    // Capability scoping.
+    let capability_registrar = if cfg.capability == "registrar" {
+        // Compromise the registrar administering the most eligible
+        // stable victims.
+        let mut counts = std::collections::HashMap::new();
+        for i in eligible(false, false) {
+            *counts.entry(domain_plans[i].registrar).or_insert(0usize) += 1;
+        }
+        counts.into_iter().max_by_key(|(_, c)| *c).map(|(r, _)| r)
+    } else {
+        None
+    };
+    let capability_suffix = if cfg.capability == "registry" {
+        // Compromise the registry suffix with the most eligible victims.
+        let mut counts = std::collections::HashMap::new();
+        for i in eligible(false, false) {
+            let suffix = population.domains[domain_plans[i].spec]
+                .domain
+                .public_suffix()
+                .to_string();
+            *counts.entry(suffix).or_insert(0usize) += 1;
+        }
+        counts.into_iter().max_by_key(|(_, c)| *c).map(|(s, _)| s)
+    } else {
+        None
+    };
+    let in_scope = |idx: usize| -> bool {
+        if let Some(r) = capability_registrar {
+            return domain_plans[idx].registrar == r;
+        }
+        if let Some(s) = &capability_suffix {
+            return population.domains[domain_plans[idx].spec].domain.public_suffix() == s;
+        }
+        true
+    };
+    let actor_for = |idx: usize| -> Actor {
+        if let Some(r) = capability_registrar {
+            Actor::CompromisedRegistrar(r)
+        } else if let Some(s) = &capability_suffix {
+            Actor::CompromisedRegistry(s.clone())
+        } else {
+            Actor::StolenCredentials(population.domains[domain_plans[idx].spec].domain.clone())
+        }
+    };
+
+    let mut pick = |pool: Vec<usize>, n: usize, taken: &mut std::collections::HashSet<usize>| {
+        let mut pool: Vec<usize> = pool
+            .into_iter()
+            .filter(|i| in_scope(*i) && !taken.contains(i))
+            .collect();
+        pool.shuffle(rng);
+        pool.truncate(n);
+        for i in &pool {
+            taken.insert(*i);
+        }
+        pool
+    };
+    let t1_count = cfg.hijacks - cfg.t2_hijacks;
+    let t1_victims = pick(eligible(false, false), t1_count, taken);
+    let t2_victims = pick(eligible(false, true), cfg.t2_hijacks, taken);
+    let targeted_victims = pick(eligible(false, true), cfg.targeted_only, taken);
+    let noinfra_victims = pick(eligible(true, false), cfg.no_infra_victims, taken);
+
+    // ------------------------------------------------------------------
+    // Scheduling + per-victim attack execution.
+    // ------------------------------------------------------------------
+    let window_start = ctx.window.start;
+    let window_end = ctx.window.end;
+    let mut next_free: Vec<Day> = vec![Day(0); infra_ips.len()];
+    let mut plan = CampaignPlan {
+        name: cfg.name.clone(),
+        key,
+        rogue_ns: rogue_ns.clone(),
+        rogue_ns_ips,
+        infra_ips: infra_ips.clone(),
+        targets: Vec::new(),
+        deployments: Vec::new(),
+    };
+
+    // Rogue NS glue goes live at the campaign's start.
+    let campaign_start = window_start + cfg.active_from;
+    for (ns, ip) in rogue_ns.iter().zip(rogue_ns_ips) {
+        db.set_glue(ns, vec![ip], campaign_start);
+    }
+
+    let all: Vec<(usize, TargetKind)> = t1_victims
+        .iter()
+        .map(|i| (*i, TargetKind::HijackT1))
+        .chain(t2_victims.iter().map(|i| (*i, TargetKind::HijackT2)))
+        .chain(targeted_victims.iter().map(|i| (*i, TargetKind::TargetedOnly)))
+        .chain(noinfra_victims.iter().map(|i| (*i, TargetKind::NoInfraHijack)))
+        .collect();
+
+    for (seq, (idx, kind)) in all.into_iter().enumerate() {
+        let victim_plan = &domain_plans[idx];
+        let spec = &population.domains[victim_plan.spec];
+        let sub = sensitive_sub(victim_plan).expect("eligibility guaranteed a sensitive sub");
+        let ip_slot = seq % infra_ips.len();
+        let attacker_ip = infra_ips[ip_slot];
+
+        // Schedule: desired day within the active window, pushed past the
+        // slot's previous tenant.
+        let desired = window_start + rng.gen_range(cfg.active_from..cfg.active_to);
+        let stage_day = desired.max(next_free[ip_slot]).max(campaign_start);
+        if stage_day + 80 > window_end {
+            // Out of runway; skip this victim.
+            continue;
+        }
+        let actor = actor_for(idx);
+
+        // Stage rogue NS zone content: the targeted subdomain resolves to
+        // the attacker server; the apex keeps resolving legitimately
+        // (traffic tunnelling — users shouldn't notice the rest moved).
+        for ns in &rogue_ns {
+            db.set_zone_record(ns, &sub, vec![RecordData::A(attacker_ip)], stage_day);
+            if let Some(legit_ip) = victim_plan.primary_ip {
+                db.set_zone_record(ns, &spec.domain, vec![RecordData::A(legit_ip)], stage_day);
+            }
+        }
+
+        let restore_ns: Vec<DomainName> = db
+            .delegation_of(&spec.domain, stage_day)
+            .expect("victims are delegated")
+            .to_vec();
+
+        let mut target = AttackTarget {
+            domain_idx: idx,
+            sub: sub.clone(),
+            kind,
+            stage_day,
+            cert_day: None,
+            cert: None,
+            windows: Vec::new(),
+            attacker_ip,
+            teardown: stage_day,
+        };
+
+        if kind.is_hijack() {
+            // If the victim signs its delegation, the attacker's rogue
+            // answers would fail validation — so the capability is used
+            // to strip DNSSEC first (§3: "the attacker can also typically
+            // disable protections provided by DNSSEC").
+            let dnssec_was_on = db.dnssec_enabled(&spec.domain, stage_day);
+            if dnssec_was_on {
+                db.set_dnssec(&actor, &spec.domain, false, stage_day)
+                    .expect("campaign capability covers its victims");
+            }
+
+            // --- Certificate acquisition flip (sub-day) ----------------
+            let cert_day = stage_day + 1;
+            db.set_delegation(&actor, &spec.domain, rogue_ns.to_vec(), cert_day)
+                .expect("campaign capability covers its victims");
+            db.set_delegation(&Actor::Owner, &spec.domain, restore_ns.clone(), cert_day + 1)
+                .expect("owner restore");
+            let ca = if rng.gen_bool(0.7) { CaTag::LetsEncrypt } else { CaTag::Comodo };
+            let token = AcmeCa::challenge_token(&sub, key, cert_day);
+            for ns in &rogue_ns {
+                db.set_zone_record(
+                    ns,
+                    &AcmeCa::challenge_name(&sub),
+                    vec![RecordData::Txt(token.clone())],
+                    cert_day,
+                );
+            }
+            let cert = ctx.push_cert(PlannedCert {
+                names: vec![sub.clone()],
+                ca,
+                day: cert_day,
+                key,
+                acme_validated: true,
+            });
+            target.cert_day = Some(cert_day);
+            target.cert = Some(cert);
+
+            // --- Harvest windows (1 day each, ≥2 days apart) ------------
+            let n_windows = rng.gen_range(cfg.harvest_windows.0..=cfg.harvest_windows.1);
+            let mut w = cert_day + rng.gen_range(2..6);
+            for _ in 0..n_windows {
+                if w + 2 > window_end {
+                    break;
+                }
+                db.set_delegation(&actor, &spec.domain, rogue_ns.to_vec(), w)
+                    .expect("campaign capability covers its victims");
+                db.set_delegation(&Actor::Owner, &spec.domain, restore_ns.clone(), w + 1)
+                    .expect("owner restore");
+                target.windows.push(w);
+                w += rng.gen_range(3..11);
+            }
+
+            let last_activity = target.windows.last().copied().unwrap_or(cert_day);
+            let teardown =
+                (last_activity + rng.gen_range(cfg.teardown_delay.0..=cfg.teardown_delay.1))
+                    .min(window_end);
+            target.teardown = teardown;
+
+            // The victim eventually notices and re-signs.
+            if dnssec_was_on {
+                let resign = (last_activity + rng.gen_range(5..40)).min(window_end);
+                db.set_dnssec(&Actor::Owner, &spec.domain, true, resign)
+                    .expect("owner restores DNSSEC");
+            }
+
+            match kind {
+                TargetKind::HijackT1 | TargetKind::NoInfraHijack => {
+                    // Malicious certificate served persistently — highly
+                    // responsive while the attacker is actively using the
+                    // infrastructure (so the first weekly scan usually
+                    // catches it: §5.3, >50% visible within 8 days of
+                    // issuance), then firewalled down to near-silence
+                    // (§5.3: >50% of malicious certs appear in exactly
+                    // one weekly scan, ~20% in two).
+                    let active_until = (cert_day + 13).min(teardown);
+                    let early = rng.gen_range(45..=65);
+                    let late = rng.gen_range(1..=4);
+                    // One service endpoint, like the paper's observed
+                    // attacker rows (e.g. kyvernisi.gr's [993]).
+                    let port = if rng.gen_bool(0.5) { 443u16 } else { 993 };
+                    plan.deployments.push(PlannedDeployment {
+                        ip: attacker_ip,
+                        port,
+                        cert,
+                        from: cert_day + 1,
+                        until: Some(active_until),
+                        availability_pct: early,
+                    });
+                    if active_until < teardown {
+                        plan.deployments.push(PlannedDeployment {
+                            ip: attacker_ip,
+                            port,
+                            cert,
+                            from: active_until,
+                            until: Some(teardown),
+                            availability_pct: late,
+                        });
+                    }
+                }
+                TargetKind::HijackT2 => {
+                    // Scans only ever see the proxy presenting the
+                    // victim's own certificate; the malicious cert is used
+                    // only inside the sub-day windows (invisible weekly).
+                    if let Some(proxy_cert) = victim_plan.stable_cert_on(stage_day, ctx.certs) {
+                        for port in [443u16, 993] {
+                            plan.deployments.push(PlannedDeployment {
+                                ip: attacker_ip,
+                                port,
+                                cert: proxy_cert,
+                                from: stage_day,
+                                until: Some(teardown),
+                                availability_pct: 100,
+                            });
+                        }
+                    }
+                }
+                TargetKind::TargetedOnly => unreachable!("not a hijack"),
+            }
+            next_free[ip_slot] = teardown + 2;
+        } else {
+            // Targeted-only: proxy prelude, no certificate, no flips.
+            let prelude_end = (stage_day + rng.gen_range(14..49)).min(window_end);
+            if let Some(proxy_cert) = victim_plan.stable_cert_on(stage_day, ctx.certs) {
+                for port in [443u16, 993] {
+                    plan.deployments.push(PlannedDeployment {
+                        ip: attacker_ip,
+                        port,
+                        cert: proxy_cert,
+                        from: stage_day,
+                        until: Some(prelude_end),
+                        availability_pct: 100,
+                    });
+                }
+            }
+            target.teardown = prelude_end;
+            next_free[ip_slot] = prelude_end + 2;
+        }
+
+        plan.targets.push(target);
+    }
+
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::geography::{AddressAllocator, Geography};
+    use crate::orgs;
+    use crate::plan::{plan_domain, DeploymentProfile};
+    use rand::SeedableRng;
+    use retrodns_dns::RegistrarId;
+    use retrodns_types::StudyWindow;
+
+    /// A miniature planned world: a handful of gov domains on national
+    /// providers plus one NoTls domain.
+    fn mini_world() -> (
+        Geography,
+        Population,
+        Vec<DomainPlan>,
+        DnsDb,
+        Vec<PlannedCert>,
+        AddressAllocator,
+        u64,
+    ) {
+        let geo = Geography::build();
+        let mut rng = StdRng::seed_from_u64(11);
+        let pop = orgs::generate(&geo, 600, &mut rng);
+        let mut db = DnsDb::new();
+        db.registrars.add_registrar(RegistrarId(0), "Reg0");
+        let mut alloc = AddressAllocator::new(&geo);
+        let mut certs = Vec::new();
+        let mut next_key = 0u64;
+        let window = StudyWindow::default();
+        let mut plans = Vec::new();
+        for (i, spec) in pop.domains.iter().enumerate() {
+            let org = &pop.orgs[spec.org];
+            let provider = geo
+                .nationals_of(org.country)
+                .first()
+                .map(|p| p.id)
+                .unwrap_or(geo.providers[0].id);
+            let profile = if i % 97 == 5 {
+                DeploymentProfile::NoTls
+            } else {
+                DeploymentProfile::Stable { rollover: i % 2 == 0 }
+            };
+            let mut ctx = PlanCtx {
+                geo: &geo,
+                alloc: &mut alloc,
+                certs: &mut certs,
+                next_key: &mut next_key,
+                window: &window,
+            };
+            plans.push(plan_domain(
+                &mut ctx,
+                &mut db,
+                i,
+                spec,
+                profile,
+                provider,
+                RegistrarId(0),
+                0.5,
+                false,
+                &mut rng,
+            ));
+        }
+        (geo, pop, plans, db, certs, alloc, next_key)
+    }
+
+    fn run_campaign() -> (Geography, Population, Vec<DomainPlan>, DnsDb, Vec<PlannedCert>, CampaignPlan) {
+        let (geo, pop, plans, mut db, mut certs, mut alloc, mut next_key) = mini_world();
+        let window = StudyWindow::default();
+        let cfg = SimConfig::small(1).campaigns[0].clone();
+        let mut rng = StdRng::seed_from_u64(42);
+        let plan = {
+            let mut ctx = PlanCtx {
+                geo: &geo,
+                alloc: &mut alloc,
+                certs: &mut certs,
+                next_key: &mut next_key,
+                window: &window,
+            };
+            plan_campaign(
+                &mut ctx,
+                &mut db,
+                &pop,
+                &plans,
+                &cfg,
+                0,
+                &mut std::collections::HashSet::new(),
+                &mut rng,
+            )
+        };
+        (geo, pop, plans, db, certs, plan)
+    }
+
+    #[test]
+    fn campaign_plans_requested_victims() {
+        let (_, pop, _, _, _, plan) = run_campaign();
+        let t1 = plan.targets.iter().filter(|t| t.kind == TargetKind::HijackT1).count();
+        let t2 = plan.targets.iter().filter(|t| t.kind == TargetKind::HijackT2).count();
+        let targeted = plan.targets.iter().filter(|t| t.kind == TargetKind::TargetedOnly).count();
+        let noinfra = plan.targets.iter().filter(|t| t.kind == TargetKind::NoInfraHijack).count();
+        assert!(t1 >= 3, "most T1 victims scheduled (got {t1})");
+        assert!(t2 >= 1, "got {t2}");
+        assert!(targeted >= 1, "got {targeted}");
+        assert!(noinfra >= 1, "got {noinfra}");
+        // All victims are sensitive-sector.
+        for t in &plan.targets {
+            let spec = &pop.domains[t.domain_idx];
+            assert!(pop.orgs[spec.org].sector.is_sensitive_target());
+            assert!(t.sub.is_sensitive());
+        }
+    }
+
+    #[test]
+    fn hijack_flips_delegation_for_one_day() {
+        let (_, pop, plans, db, _, plan) = run_campaign();
+        let t = plan
+            .targets
+            .iter()
+            .find(|t| t.kind == TargetKind::HijackT1)
+            .expect("a T1 victim exists");
+        let domain = &pop.domains[plans[t.domain_idx].spec].domain;
+        let cert_day = t.cert_day.unwrap();
+        let during = db.delegation_of(domain, cert_day).unwrap();
+        assert_eq!(during, &plan.rogue_ns);
+        let after = db.delegation_of(domain, cert_day + 1).unwrap();
+        assert_ne!(after, &plan.rogue_ns, "delegation restored next day");
+        // During the flip the targeted subdomain resolves to attacker IP.
+        let ips = db.resolve_a(&t.sub, cert_day).unwrap();
+        assert_eq!(ips, vec![t.attacker_ip]);
+    }
+
+    #[test]
+    fn acme_challenge_is_resolvable_during_flip_only() {
+        let (_, _, _, db, _, plan) = run_campaign();
+        let t = plan
+            .targets
+            .iter()
+            .find(|t| t.kind == TargetKind::HijackT1)
+            .unwrap();
+        let cert_day = t.cert_day.unwrap();
+        let challenge = AcmeCa::challenge_name(&t.sub);
+        let expected = AcmeCa::challenge_token(&t.sub, plan.key, cert_day);
+        assert_eq!(db.resolve_txt(&challenge, cert_day).unwrap(), vec![expected]);
+        assert!(db.resolve_txt(&challenge, cert_day - 2).is_err());
+    }
+
+    #[test]
+    fn infra_reuse_is_serial_per_ip() {
+        let (_, _, _, _, _, plan) = run_campaign();
+        let mut by_ip: std::collections::HashMap<Ipv4Addr, Vec<(Day, Day)>> = Default::default();
+        for t in &plan.targets {
+            by_ip.entry(t.attacker_ip).or_default().push((t.stage_day, t.teardown));
+        }
+        for (ip, mut spans) in by_ip {
+            spans.sort();
+            for w in spans.windows(2) {
+                assert!(w[0].1 < w[1].0, "overlapping tenancy at {ip}");
+            }
+        }
+    }
+
+    #[test]
+    fn targeted_only_never_touches_delegation() {
+        let (_, pop, plans, db, _, plan) = run_campaign();
+        for t in plan.targets.iter().filter(|t| t.kind == TargetKind::TargetedOnly) {
+            let domain = &pop.domains[plans[t.domain_idx].spec].domain;
+            let segs = db.delegation_segments(domain, Day(0), Day(1550));
+            assert_eq!(segs.len(), 1, "{domain} delegation never changed");
+            assert!(t.cert.is_none());
+        }
+    }
+
+    #[test]
+    fn t2_proxy_presents_victims_own_cert() {
+        let (_, _, plans, _, certs, plan) = run_campaign();
+        for t in plan.targets.iter().filter(|t| t.kind == TargetKind::HijackT2) {
+            let victim = &plans[t.domain_idx];
+            let proxy_deploys: Vec<_> = plan
+                .deployments
+                .iter()
+                .filter(|d| d.ip == t.attacker_ip && d.from == t.stage_day)
+                .collect();
+            assert!(!proxy_deploys.is_empty());
+            for d in proxy_deploys {
+                assert!(
+                    victim.certs.contains(&d.cert),
+                    "proxy must serve the victim's own cert"
+                );
+                assert!(!certs[d.cert.0].acme_validated);
+            }
+        }
+    }
+}

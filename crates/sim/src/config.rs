@@ -1,0 +1,316 @@
+//! Simulation configuration.
+//!
+//! Defaults are shaped to reproduce the paper's population statistics
+//! (§4.2: 96.5 % stable / 2.95 % transition / 0.13 % transient / 0.35 %
+//! noisy) and its attacker behaviour (§3, §5) at a laptop-scale domain
+//! count. Every fraction and duration is a knob so the ablation
+//! experiments can sweep them.
+
+use retrodns_types::StudyWindow;
+use serde::{Deserialize, Serialize};
+
+/// Fractions of the domain population assigned to each deployment profile
+/// family. Must sum to ≤ 1; the remainder goes to plain stable domains.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileMix {
+    /// Stable with mid-period geographic expansion within the same AS (S3).
+    pub stable_geo: f64,
+    /// Stable with an extra certificate on the same infrastructure (S4).
+    pub stable_newcert: f64,
+    /// Expansion into an additional AS, same cert (X1).
+    pub transition_expand: f64,
+    /// Expansion into an additional AS with a new cert (X2).
+    pub transition_expand_newcert: f64,
+    /// Full migration to a new AS (X3).
+    pub transition_migrate: f64,
+    /// Continually moving deployments (noisy/uncategorizable).
+    pub noisy: f64,
+    /// Benign transients — the false-positive pressure classes (split
+    /// evenly among the seven `BenignTransientKind`s).
+    pub benign_transient: f64,
+    /// Domains with DNS presence but no TLS endpoints at all (invisible to
+    /// scans; only discoverable by pivot if attacked).
+    pub no_tls: f64,
+    /// Fraction of otherwise-stable domains that use an internal CA for
+    /// their legitimate certificates (not browser-trusted, absent from CT).
+    pub internal_ca: f64,
+}
+
+impl Default for ProfileMix {
+    fn default() -> Self {
+        // Paper §4.2 proportions, with benign transients sized so that the
+        // shortlist funnel has realistic pruning work to do.
+        ProfileMix {
+            stable_geo: 0.010,
+            stable_newcert: 0.010,
+            transition_expand: 0.012,
+            transition_expand_newcert: 0.008,
+            transition_migrate: 0.010,
+            noisy: 0.0035,
+            benign_transient: 0.0030,
+            no_tls: 0.010,
+            internal_ca: 0.02,
+        }
+    }
+}
+
+/// One attacker campaign's shape (the planner fills in concrete targets
+/// and days from the seed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Display name ("sea-turtle-like-1").
+    pub name: String,
+    /// How the capability is obtained: `"registrar"` (compromise one
+    /// registrar, pick victims among its domains), `"credentials"`
+    /// (per-domain account compromise), or `"registry"` (a whole ccTLD
+    /// suffix).
+    pub capability: String,
+    /// Number of fully hijacked victims.
+    pub hijacks: usize,
+    /// Of the hijacks, how many present only the proxy prelude in scans
+    /// (pattern T2) rather than the malicious certificate (pattern T1).
+    pub t2_hijacks: usize,
+    /// Victims that are only ever staged/proxied, never hijacked
+    /// (ground-truth "targeted").
+    pub targeted_only: usize,
+    /// Victims with no stable TLS presence (discoverable only by pivot).
+    pub no_infra_victims: usize,
+    /// Number of attacker IPs; victims reuse them round-robin (the paper's
+    /// infra-reuse observation, the basis of pivot-by-IP and the T1* rule).
+    pub infra_ips: usize,
+    /// Earliest day (offset into the study) this campaign may act.
+    pub active_from: u32,
+    /// Latest day (offset) for the last hijack.
+    pub active_to: u32,
+    /// How many 1-day harvest windows per victim.
+    pub harvest_windows: (usize, usize),
+    /// Days the malicious endpoint stays up after the last window
+    /// (min, max) — "infrastructure left up for days, sometimes months".
+    pub teardown_delay: (u32, u32),
+}
+
+/// Top-level simulation configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Master seed. Everything — geography, orgs, plans, attacks,
+    /// observation sampling — derives from it.
+    pub seed: u64,
+    /// The measurement window and scan cadence.
+    pub window: StudyWindow,
+    /// Number of registered domains in the world.
+    pub n_domains: usize,
+    /// Deployment-profile mix.
+    pub mix: ProfileMix,
+    /// Attacker campaigns.
+    pub campaigns: Vec<CampaignConfig>,
+    /// Scanner probe loss (endpoint-independent part).
+    pub scan_miss_rate: f64,
+    /// Passive-DNS per-day observation probability range for government /
+    /// infrastructure domains (drawn uniformly per domain).
+    pub pdns_popularity_gov: (f64, f64),
+    /// Same for commercial domains.
+    pub pdns_popularity_com: (f64, f64),
+    /// Fraction of domains with no pDNS sensor coverage at all.
+    pub pdns_dark_fraction: f64,
+    /// Catch-probability multiplier for sub-day (single-day) resolution
+    /// segments: a delegation flip lasting hours is seen by sensors less
+    /// often than a full day of queries would be.
+    pub pdns_subday_factor: f64,
+    /// Probability a sub-day delegation flip lands in the daily zone-file
+    /// snapshot (§5.3: almost never).
+    pub zone_catch_prob: f64,
+    /// Public suffixes the analyst has zone-file access to (paper: 3/15).
+    pub zone_access: Vec<String>,
+    /// Probability a Comodo-issued malicious certificate gets revoked by
+    /// the victim after discovery (paper: 4 of 12).
+    pub comodo_revoke_prob: f64,
+    /// Fraction of domains that DNSSEC-sign their delegation (real-world
+    /// deployment is low, §2.2).
+    pub dnssec_fraction: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xD05_11EC7,
+            window: StudyWindow::default(),
+            n_domains: 20_000,
+            mix: ProfileMix::default(),
+            campaigns: default_campaigns(),
+            scan_miss_rate: 0.02,
+            pdns_popularity_gov: (0.30, 0.85),
+            pdns_popularity_com: (0.05, 0.60),
+            pdns_dark_fraction: 0.08,
+            pdns_subday_factor: 0.6,
+            zone_catch_prob: 0.10,
+            zone_access: vec![
+                "com".into(),
+                "net".into(),
+                "se".into(),
+                "gov.kg".into(),
+                "gov.lb".into(),
+                "gov.eg".into(),
+            ],
+            comodo_revoke_prob: 0.33,
+            dnssec_fraction: 0.10,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A small world for unit/integration tests: same structure, ~2 k
+    /// domains, two campaigns.
+    pub fn small(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            n_domains: 2_000,
+            campaigns: vec![
+                CampaignConfig {
+                    name: "sea-turtle-like".into(),
+                    capability: "registrar".into(),
+                    hijacks: 6,
+                    t2_hijacks: 2,
+                    targeted_only: 2,
+                    no_infra_victims: 2,
+                    infra_ips: 3,
+                    active_from: 300,
+                    active_to: 900,
+                    harvest_windows: (2, 4),
+                    teardown_delay: (14, 90),
+                },
+                CampaignConfig {
+                    name: "late-wave".into(),
+                    capability: "credentials".into(),
+                    hijacks: 2,
+                    t2_hijacks: 0,
+                    targeted_only: 4,
+                    no_infra_victims: 0,
+                    infra_ips: 2,
+                    active_from: 1200,
+                    active_to: 1450,
+                    harvest_windows: (1, 3),
+                    teardown_delay: (7, 60),
+                },
+            ],
+            ..SimConfig::default()
+        }
+    }
+
+    /// Sanity-check fractions and campaign shapes; panics on nonsense.
+    /// Called by the world builder before planning.
+    pub fn validate(&self) {
+        let m = &self.mix;
+        let total = m.stable_geo
+            + m.stable_newcert
+            + m.transition_expand
+            + m.transition_expand_newcert
+            + m.transition_migrate
+            + m.noisy
+            + m.benign_transient
+            + m.no_tls;
+        assert!(total < 0.5, "profile mix leaves too few stable domains");
+        assert!((0.0..1.0).contains(&self.scan_miss_rate));
+        assert!(self.n_domains >= 100, "world too small to be meaningful");
+        for c in &self.campaigns {
+            assert!(c.t2_hijacks <= c.hijacks, "{}: t2_hijacks > hijacks", c.name);
+            assert!(c.infra_ips > 0, "{}: campaign needs at least one IP", c.name);
+            assert!(c.active_from < c.active_to, "{}: empty active window", c.name);
+            assert!(
+                c.harvest_windows.0 >= 1 && c.harvest_windows.0 <= c.harvest_windows.1,
+                "{}: bad harvest window range",
+                c.name
+            );
+            assert!(
+                matches!(c.capability.as_str(), "registrar" | "credentials" | "registry"),
+                "{}: unknown capability {:?}",
+                c.name,
+                c.capability
+            );
+        }
+    }
+}
+
+/// The default campaign set: an early wide campaign (Sea Turtle shape,
+/// 2018–2019), plus a post-disclosure 2020 wave of mostly targeted-only
+/// activity (Table 3: 21 of 24 targeted domains are from 2020).
+fn default_campaigns() -> Vec<CampaignConfig> {
+    vec![
+        CampaignConfig {
+            name: "sea-turtle-like".into(),
+            capability: "registrar".into(),
+            hijacks: 24,
+            t2_hijacks: 6,
+            targeted_only: 2,
+            no_infra_victims: 6,
+            infra_ips: 10,
+            active_from: 330,  // ~Dec 2017
+            active_to: 860,    // ~mid 2019
+            harvest_windows: (1, 4),
+            teardown_delay: (14, 150),
+        },
+        CampaignConfig {
+            name: "kg-wave".into(),
+            capability: "credentials".into(),
+            hijacks: 3,
+            t2_hijacks: 1,
+            targeted_only: 1,
+            no_infra_victims: 2,
+            infra_ips: 3,
+            active_from: 1430, // ~Dec 2020
+            active_to: 1500,   // ~Feb 2021
+            harvest_windows: (1, 3),
+            teardown_delay: (10, 60),
+        },
+        CampaignConfig {
+            name: "quiet-2020-wave".into(),
+            capability: "credentials".into(),
+            hijacks: 0,
+            t2_hijacks: 0,
+            targeted_only: 18,
+            no_infra_victims: 0,
+            infra_ips: 6,
+            active_from: 1150, // ~Mar 2020
+            active_to: 1430,   // ~Dec 2020
+            harvest_windows: (1, 1),
+            teardown_delay: (7, 45),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        SimConfig::default().validate();
+        SimConfig::small(1).validate();
+    }
+
+    #[test]
+    fn default_mix_is_mostly_stable() {
+        let m = ProfileMix::default();
+        let nonstable = m.transition_expand
+            + m.transition_expand_newcert
+            + m.transition_migrate
+            + m.noisy
+            + m.benign_transient;
+        assert!(nonstable < 0.06);
+    }
+
+    #[test]
+    #[should_panic(expected = "t2_hijacks > hijacks")]
+    fn validate_rejects_bad_campaign() {
+        let mut c = SimConfig::small(1);
+        c.campaigns[0].t2_hijacks = 99;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn validate_rejects_tiny_world() {
+        let mut c = SimConfig::small(1);
+        c.n_domains = 10;
+        c.validate();
+    }
+}

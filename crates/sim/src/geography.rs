@@ -1,0 +1,359 @@
+//! Countries, hosting providers, the address plan, and the derived
+//! network-metadata database.
+//!
+//! The world has two kinds of hosting:
+//!
+//! * **National providers** — one or two per country, originating address
+//!   space geolocated in that country. Government and local-business
+//!   infrastructure lives here (the paper's victims overwhelmingly host
+//!   on-premises or with national ISPs).
+//! * **Cloud/VPS providers** — global operators with regional blocks in
+//!   several countries. Legitimate domains migrate/expand here (patterns
+//!   X1–X3), and attackers stage their counterfeit infrastructure here
+//!   (Table 5: Digital Ocean, Vultr, Serverius, …).
+//!
+//! The address plan is fully deterministic: provider *i* owns the /16
+//! `1.(i).0.0/16` (wrapping into `2.x` past 256), cloud providers split
+//! theirs into four /18 regions. From this plan we derive the pfx2as,
+//! as2org and geolocation tables the annotation stage uses.
+
+use retrodns_asdb::{AsDatabase, GeoTableBuilder, OrgId, OrgTableBuilder, PrefixTableBuilder};
+use retrodns_types::{Asn, CountryCode, DomainName, Ipv4Addr, Ipv4Prefix};
+use serde::{Deserialize, Serialize};
+
+/// Index into [`Geography::providers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProviderId(pub usize);
+
+/// National ISP vs global cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProviderKind {
+    /// In-country hosting; where victims' legitimate infrastructure lives.
+    National,
+    /// Global VPS/cloud; where legitimate expansion goes and attackers
+    /// rent counterfeit infrastructure.
+    Cloud,
+}
+
+/// One routable region of a provider: an announced block with an origin
+/// ASN and a geolocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Origin ASN announcing the block.
+    pub asn: Asn,
+    /// Country the block geolocates to.
+    pub country: CountryCode,
+    /// The announced prefix.
+    pub block: Ipv4Prefix,
+}
+
+/// A hosting provider.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Provider {
+    /// Stable index.
+    pub id: ProviderId,
+    /// Display name (as2org organization name).
+    pub name: String,
+    /// National or cloud.
+    pub kind: ProviderKind,
+    /// Organization id in the as2org table (sibling ASNs share it).
+    pub org: OrgId,
+    /// Routable regions (national: one; cloud: up to four).
+    pub regions: Vec<Region>,
+    /// The two nameserver hostnames this provider runs for its customers.
+    pub ns_hosts: [DomainName; 2],
+}
+
+impl Provider {
+    /// The provider's primary country (first region).
+    pub fn primary_country(&self) -> CountryCode {
+        self.regions[0].country
+    }
+
+    /// The provider's primary ASN (first region).
+    pub fn primary_asn(&self) -> Asn {
+        self.regions[0].asn
+    }
+}
+
+/// Deterministic per-region address allocation cursors.
+#[derive(Debug, Clone, Default)]
+pub struct AddressAllocator {
+    cursors: Vec<Vec<u32>>,
+}
+
+impl AddressAllocator {
+    /// An allocator for the given geography.
+    pub fn new(geo: &Geography) -> AddressAllocator {
+        AddressAllocator {
+            cursors: geo.providers.iter().map(|p| vec![0; p.regions.len()]).collect(),
+        }
+    }
+
+    /// Allocate the next unused address in a provider region. Panics if
+    /// the region block is exhausted (the plan gives every region ≥ 2^14
+    /// addresses; worlds stay far below that).
+    pub fn alloc(&mut self, geo: &Geography, provider: ProviderId, region: usize) -> Ipv4Addr {
+        let block = geo.providers[provider.0].regions[region].block;
+        let cursor = &mut self.cursors[provider.0][region];
+        // Skip the network address itself.
+        *cursor += 1;
+        assert!(
+            (*cursor as u64) < block.size(),
+            "region {block} exhausted after {cursor} allocations"
+        );
+        Ipv4Addr(block.first().value() + *cursor)
+    }
+}
+
+/// The world's physical layer: countries, providers, address plan, and
+/// the derived [`AsDatabase`].
+#[derive(Debug, Clone)]
+pub struct Geography {
+    /// All countries in the world (victim countries first).
+    pub countries: Vec<CountryCode>,
+    /// All providers; index = `ProviderId`.
+    pub providers: Vec<Provider>,
+    /// Derived pfx2as + as2org + geolocation tables.
+    pub asdb: AsDatabase,
+}
+
+/// Victim-side countries (the paper's Tables 2/3 country codes).
+pub const VICTIM_COUNTRIES: &[&str] = &[
+    "AE", "AL", "CY", "EG", "GR", "IQ", "JO", "KG", "KW", "LB", "LY", "NL", "SE", "SY", "US",
+    "CH", "GH", "KZ", "LT", "LV", "MA", "MM", "PL", "SA", "TM", "VN",
+];
+
+/// Hosting-side countries attackers favor (plus generic filler).
+pub const HOSTING_COUNTRIES: &[&str] = &[
+    "DE", "FR", "GB", "RU", "SG", "HK", "JP", "RO", "AT", "TR", "UA", "IN", "BR",
+];
+
+/// Cloud provider roster: (name, primary ASN, extra sibling ASN, region
+/// countries). ASNs echo Table 5 so rendered tables read like the paper.
+const CLOUDS: &[(&str, u32, Option<u32>, [&str; 4])] = &[
+    ("Digital Ocean", 14061, None, ["NL", "DE", "US", "SG"]),
+    ("Vultr", 20473, None, ["NL", "DE", "FR", "JP"]),
+    ("Serverius", 50673, None, ["NL", "NL", "DE", "DE"]),
+    ("VDSINA", 48282, None, ["RU", "RU", "RU", "RU"]),
+    ("Alibaba", 45102, None, ["SG", "HK", "JP", "US"]),
+    ("ANTENA3", 47220, None, ["RO", "RO", "RO", "RO"]),
+    ("M247", 9009, None, ["AT", "GB", "US", "FR"]),
+    ("MYLOC", 24961, None, ["DE", "DE", "DE", "DE"]),
+    ("Linode", 63949, None, ["DE", "US", "SG", "JP"]),
+    ("Hetzner", 24940, None, ["DE", "DE", "DE", "DE"]),
+    ("IOMart", 20860, None, ["GB", "GB", "GB", "GB"]),
+    ("Packet Host", 54825, None, ["US", "US", "DE", "SG"]),
+    ("Kamatera", 64022, None, ["HK", "US", "DE", "GB"]),
+    ("CloudWebManage", 41436, None, ["NL", "NL", "DE", "US"]),
+    ("Zheye Network", 136574, None, ["JP", "HK", "HK", "SG"]),
+    // The org-relatedness case: two ASNs, one organization (the paper's
+    // AS16509/AS14618 Amazon example, heuristic #1 of §4.3).
+    ("Amazon", 16509, Some(14618), ["US", "DE", "SG", "JP"]),
+    ("BigCloud", 60781, Some(60782), ["NL", "US", "DE", "SG"]),
+    ("GenericCDN", 13335, None, ["US", "DE", "SG", "GB"]),
+];
+
+impl Geography {
+    /// Build the (static, deterministic) world geography.
+    pub fn build() -> Geography {
+        let countries: Vec<CountryCode> = VICTIM_COUNTRIES
+            .iter()
+            .chain(HOSTING_COUNTRIES)
+            .map(|s| s.parse().expect("static country code"))
+            .collect();
+
+        let mut providers: Vec<Provider> = Vec::new();
+        let mut prefixes = PrefixTableBuilder::new();
+        let mut orgs = OrgTableBuilder::new();
+        let mut geo = GeoTableBuilder::new();
+
+        let block_for = |index: usize| -> Ipv4Prefix {
+            Ipv4Prefix::new(Ipv4Addr(((index as u32) + 256) << 16), 16).expect("static plan")
+        };
+
+        // Two national providers per victim country, one per hosting
+        // country.
+        for (ci, cc_str) in VICTIM_COUNTRIES.iter().chain(HOSTING_COUNTRIES).enumerate() {
+            let cc: CountryCode = cc_str.parse().expect("static");
+            let national_count = if ci < VICTIM_COUNTRIES.len() { 2 } else { 1 };
+            for k in 0..national_count {
+                let id = ProviderId(providers.len());
+                let asn = Asn(30_000 + (ci as u32) * 4 + k as u32);
+                let org = OrgId(1_000 + id.0 as u32);
+                let name = format!("{} Telecom {}", cc.as_str(), k + 1);
+                let block = block_for(id.0);
+                let slug = format!("{}tel{}", cc.as_str().to_ascii_lowercase(), k + 1);
+                let tld = cc.as_str().to_ascii_lowercase();
+                providers.push(Provider {
+                    id,
+                    name: name.clone(),
+                    kind: ProviderKind::National,
+                    org,
+                    regions: vec![Region {
+                        asn,
+                        country: cc,
+                        block,
+                    }],
+                    ns_hosts: [
+                        format!("ns1.{slug}.{tld}").parse().expect("static name"),
+                        format!("ns2.{slug}.{tld}").parse().expect("static name"),
+                    ],
+                });
+                prefixes.insert(block, asn);
+                orgs.insert(asn, org, &name);
+                geo.insert_prefix(block, cc).expect("plan blocks are disjoint");
+            }
+        }
+
+        // Cloud providers: four /18 regions within the /16.
+        for (name, asn, sibling, region_ccs) in CLOUDS {
+            let id = ProviderId(providers.len());
+            let org = OrgId(1_000 + id.0 as u32);
+            let block = block_for(id.0);
+            let slug: String = name
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_ascii_lowercase();
+            let mut regions = Vec::new();
+            for (ri, cc_str) in region_ccs.iter().enumerate() {
+                let cc: CountryCode = cc_str.parse().expect("static");
+                let sub = Ipv4Prefix::new(
+                    Ipv4Addr(block.first().value() + (ri as u32) * (1 << 14)),
+                    18,
+                )
+                .expect("static plan");
+                // Sibling ASN (same org) announces the last region.
+                let region_asn = match sibling {
+                    Some(s) if ri == 3 => Asn(*s),
+                    _ => Asn(*asn),
+                };
+                regions.push(Region {
+                    asn: region_asn,
+                    country: cc,
+                    block: sub,
+                });
+                prefixes.insert(sub, region_asn);
+                geo.insert_prefix(sub, cc).expect("plan blocks are disjoint");
+            }
+            orgs.insert(Asn(*asn), org, name);
+            if let Some(s) = sibling {
+                orgs.insert(Asn(*s), org, name);
+            }
+            providers.push(Provider {
+                id,
+                name: name.to_string(),
+                kind: ProviderKind::Cloud,
+                org,
+                regions,
+                ns_hosts: [
+                    format!("ns1.{slug}.net").parse().expect("static name"),
+                    format!("ns2.{slug}.net").parse().expect("static name"),
+                ],
+            });
+        }
+
+        Geography {
+            countries,
+            providers,
+            asdb: AsDatabase {
+                prefixes: prefixes.build(),
+                orgs: orgs.build(),
+                geo: geo.build(),
+            },
+        }
+    }
+
+    /// All cloud providers.
+    pub fn clouds(&self) -> impl Iterator<Item = &Provider> {
+        self.providers.iter().filter(|p| p.kind == ProviderKind::Cloud)
+    }
+
+    /// National providers of a country.
+    pub fn nationals_of(&self, cc: CountryCode) -> Vec<&Provider> {
+        self.providers
+            .iter()
+            .filter(|p| p.kind == ProviderKind::National && p.primary_country() == cc)
+            .collect()
+    }
+
+    /// Find a provider by display name (experiments reference the roster).
+    pub fn provider_named(&self, name: &str) -> Option<&Provider> {
+        self.providers.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geography_builds_and_is_consistent() {
+        let g = Geography::build();
+        assert!(g.providers.len() > 50);
+        // Every region's addresses annotate back to its own ASN/country.
+        let mut alloc = AddressAllocator::new(&g);
+        for p in &g.providers {
+            for (ri, r) in p.regions.iter().enumerate() {
+                let ip = alloc.alloc(&g, p.id, ri);
+                let ann = g.asdb.annotate(ip);
+                assert_eq!(ann.asn, Some(r.asn), "{} region {ri}", p.name);
+                assert_eq!(ann.country, Some(r.country), "{} region {ri}", p.name);
+                assert_eq!(ann.org, Some(p.org));
+            }
+        }
+    }
+
+    #[test]
+    fn allocations_are_unique() {
+        let g = Geography::build();
+        let mut alloc = AddressAllocator::new(&g);
+        let p = g.providers[0].id;
+        let a = alloc.alloc(&g, p, 0);
+        let b = alloc.alloc(&g, p, 0);
+        assert_ne!(a, b);
+        assert!(g.providers[0].regions[0].block.contains(a));
+        assert!(g.providers[0].regions[0].block.contains(b));
+    }
+
+    #[test]
+    fn amazon_sibling_asns_are_org_related() {
+        let g = Geography::build();
+        assert!(g.asdb.related_asns(Asn(16509), Asn(14618)));
+        assert!(!g.asdb.related_asns(Asn(14061), Asn(20473)));
+    }
+
+    #[test]
+    fn table5_asns_exist() {
+        let g = Geography::build();
+        for name in ["Digital Ocean", "Vultr", "Serverius", "VDSINA", "Alibaba"] {
+            let p = g.provider_named(name).unwrap();
+            assert_eq!(p.kind, ProviderKind::Cloud);
+            assert_eq!(p.regions.len(), 4);
+        }
+        assert_eq!(g.provider_named("Vultr").unwrap().primary_asn(), Asn(20473));
+    }
+
+    #[test]
+    fn nationals_exist_for_victim_countries() {
+        let g = Geography::build();
+        for cc in VICTIM_COUNTRIES {
+            let nats = g.nationals_of(cc.parse().unwrap());
+            assert_eq!(nats.len(), 2, "{cc}");
+        }
+        // Hosting-only countries get one.
+        assert_eq!(g.nationals_of("RU".parse().unwrap()).len(), 1);
+    }
+
+    #[test]
+    fn ns_hosts_are_distinct_per_provider() {
+        let g = Geography::build();
+        let mut seen = std::collections::HashSet::new();
+        for p in &g.providers {
+            for h in &p.ns_hosts {
+                assert!(seen.insert(h.clone()), "duplicate NS host {h}");
+            }
+        }
+    }
+}

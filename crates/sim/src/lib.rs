@@ -1,0 +1,53 @@
+//! # retrodns-sim
+//!
+//! The synthetic Internet world.
+//!
+//! Every input the paper consumes is access-gated (Censys CUIDS,
+//! DomainTools pDNS, NetAcuity) or rate-limited (crt.sh, zone files), so
+//! the reproduction builds a *world simulator* that generates the same
+//! kinds of data with the same observation semantics — and, crucially,
+//! retains **ground truth** about which domains were attacked, which the
+//! paper never had. The pipeline in `retrodns-core` runs unchanged against
+//! either a simulated world or (in principle) the real feeds.
+//!
+//! The simulator is strictly deterministic: a [`SimConfig`] seed fixes the
+//! geography, the organizations, every legitimate deployment decision and
+//! every attacker move. Simulation proceeds in two phases — *planning*
+//! (pure data: who does what on which day) and *materialization* (apply
+//! DNS state, issue certificates chronologically through the ACME CAs,
+//! stand up servers, then sample the observation systems).
+//!
+//! Module map:
+//!
+//! * [`config`] — all tunables, with paper-shaped defaults.
+//! * [`geography`] — countries, hosting providers, the address plan, and
+//!   the derived [`retrodns_asdb::AsDatabase`].
+//! * [`orgs`] — organizations (sector × country) and domain naming.
+//! * [`farm`] — the server farm: which (ip, port) serves which certificate
+//!   when; implements [`retrodns_scan::EndpointSource`].
+//! * [`plan`] — legitimate deployment lifecycles for every profile
+//!   (S1–S4, X1–X3, noisy, the benign-transient false-positive classes).
+//! * [`attacker`] — campaign planning: capability acquisition, infra
+//!   staging, DV certificate theft, sub-day hijack windows, reuse.
+//! * [`observe`] — sampling the world into pDNS and zone-file archives.
+//! * [`world`] — orchestration: build everything, expose the data sets and
+//!   the ground truth.
+//! * [`archetypes`] — minimal hand-built worlds, one per deployment-map
+//!   pattern in Figures 3–5 (used by the pattern gallery and tests).
+
+#![warn(missing_docs)]
+pub mod archetypes;
+pub mod attacker;
+pub mod config;
+pub mod farm;
+pub mod geography;
+pub mod observe;
+pub mod orgs;
+pub mod plan;
+pub mod world;
+
+pub use config::SimConfig;
+pub use farm::ServerFarm;
+pub use geography::{Geography, Provider, ProviderId, ProviderKind};
+pub use orgs::{Organization, Sector};
+pub use world::{DomainMeta, GroundTruth, HijackKind, HijackRecord, TargetRecord, World};

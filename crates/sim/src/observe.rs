@@ -1,0 +1,371 @@
+//! Sampling the world into the observation systems the analyst gets.
+//!
+//! Passive DNS and zone-file archives both observe *resolution state over
+//! time*, which in the simulator is piecewise constant. Rather than
+//! replaying every (domain × day) query — quadratic and pointless — the
+//! generators walk [`DnsDb::resolution_segments`] /
+//! [`DnsDb::delegation_segments`] and sample each constant stretch:
+//!
+//! * **pDNS** — a domain with per-day observation probability *p* seen
+//!   over an *L*-day segment is captured at all with probability
+//!   `1-(1-p)^L`; its first/last-seen days are geometrically inset from
+//!   the segment edges, and the count is binomial. This reproduces the
+//!   paper's coverage caveats: unpopular domains are dark, and sub-day
+//!   hijack windows are caught only sometimes (§5.3: evidence for 51 % of
+//!   hijacks spans ≤ 1 day).
+//! * **Zone snapshots** — one delegation record per day per domain, for
+//!   accessible TLDs only. A sub-day flip (a 1-day segment in our model)
+//!   lands in the daily snapshot only with `zone_catch_prob` (§5.3: the
+//!   hijack is "entirely invisible in DNS zone files" with vanishingly few
+//!   exceptions).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use retrodns_dns::{DnsDb, DnssecArchive, PassiveDns, RecordType, ZoneSnapshotArchive};
+use retrodns_types::{Day, DomainName, StudyWindow};
+
+/// Per-domain input to the observation generators.
+#[derive(Debug, Clone)]
+pub struct ObservedDomain {
+    /// The registered domain.
+    pub domain: DomainName,
+    /// Per-day pDNS observation probability (0 = dark).
+    pub popularity: f64,
+    /// FQDNs whose A records the world actually queries (apex + services).
+    pub names: Vec<DomainName>,
+}
+
+/// Sample one constant segment `[start, end]` under per-day probability
+/// `p`: returns `(first_seen, last_seen, count)` or `None` if the segment
+/// went unobserved.
+pub(crate) fn sample_segment(
+    rng: &mut StdRng,
+    start: Day,
+    end: Day,
+    p: f64,
+) -> Option<(Day, Day, u64)> {
+    debug_assert!(start <= end);
+    if p <= 0.0 {
+        return None;
+    }
+    let len = (end - start + 1) as f64;
+    let p_any = 1.0 - (1.0 - p).powf(len);
+    if rng.gen::<f64>() >= p_any {
+        return None;
+    }
+    // Geometric insets from both edges, conditioned on at least one hit.
+    let inset = |rng: &mut StdRng| -> u32 {
+        let u: f64 = rng.gen();
+        ((1.0 - u).ln() / (1.0 - p).ln()).floor().max(0.0) as u32
+    };
+    let mut first = start + inset(rng).min(end - start);
+    let mut last = end.saturating_sub_days(inset(rng)).max(start);
+    if first > last {
+        std::mem::swap(&mut first, &mut last);
+    }
+    let expected = ((last - first + 1) as f64 * p).round() as u64;
+    let count = expected.max(1);
+    Some((first, last, count))
+}
+
+/// Generate the passive-DNS database for the whole world.
+pub fn generate_pdns(
+    db: &DnsDb,
+    domains: &[ObservedDomain],
+    window: &StudyWindow,
+    subday_factor: f64,
+    rng: &mut StdRng,
+) -> PassiveDns {
+    let mut pdns = PassiveDns::new();
+    let (from, to) = (window.start, window.end);
+    // A 1-day segment is a sub-day change in disguise (day granularity is
+    // our clock floor): sensors catch it with reduced probability.
+    let p_for = |popularity: f64, s: Day, e: Day| {
+        if s == e {
+            popularity * subday_factor
+        } else {
+            popularity
+        }
+    };
+    for od in domains {
+        if od.popularity <= 0.0 {
+            continue;
+        }
+        // A-record resolutions for every queried name.
+        for name in &od.names {
+            for (s, e, answers) in db.resolution_segments(name, RecordType::A, from, to) {
+                if answers.is_empty() {
+                    continue;
+                }
+                if let Some((first, last, count)) =
+                    sample_segment(rng, s, e, p_for(od.popularity, s, e))
+                {
+                    for rdata in answers {
+                        pdns.insert_aggregate(name, rdata, first, last, count);
+                    }
+                }
+            }
+        }
+        // NS-delegation observations for the registered domain. Sensors
+        // see delegations far more often than any single host's A record:
+        // every cache-miss for any name under the domain walks the
+        // delegation, so the effective query rate is the sum over all its
+        // names (this is why the paper could corroborate nearly every
+        // hijack's NS change while host-level evidence stayed thin).
+        let ns_popularity = (od.popularity * 2.0).min(0.95);
+        for (s, e, ns_set) in db.delegation_segments(&od.domain, from, to) {
+            if ns_set.is_empty() {
+                continue;
+            }
+            if let Some((first, last, count)) =
+                sample_segment(rng, s, e, p_for(ns_popularity, s, e))
+            {
+                for ns in ns_set {
+                    pdns.insert_aggregate(
+                        &od.domain,
+                        retrodns_dns::RecordData::Ns(ns),
+                        first,
+                        last,
+                        count,
+                    );
+                }
+            }
+        }
+    }
+    pdns
+}
+
+/// Generate the daily zone-file archive.
+pub fn generate_zone_archive(
+    db: &DnsDb,
+    domains: &[ObservedDomain],
+    window: &StudyWindow,
+    access: &[String],
+    zone_catch_prob: f64,
+    rng: &mut StdRng,
+) -> ZoneSnapshotArchive {
+    let mut archive = ZoneSnapshotArchive::with_access(access.iter().cloned());
+    let (from, to) = (window.start, window.end);
+    for od in domains {
+        if !archive.has_access(&od.domain) {
+            continue;
+        }
+        let segments = db.delegation_segments(&od.domain, from, to);
+        // Decide, per sub-day (1-day) segment, whether the snapshot ran
+        // while the flip was active; otherwise the day shows the
+        // neighbouring stable delegation.
+        let mut effective: Vec<(Day, Day, Vec<DomainName>)> = Vec::new();
+        for (i, (s, e, ns)) in segments.iter().enumerate() {
+            let is_subday_flip = s == e && segments.len() > 1;
+            let caught = !is_subday_flip || rng.gen::<f64>() < zone_catch_prob;
+            let value = if caught {
+                ns.clone()
+            } else {
+                // The snapshot sees the surrounding delegation instead.
+                segments
+                    .get(i.wrapping_sub(1))
+                    .or_else(|| segments.get(i + 1))
+                    .map(|(_, _, prev)| prev.clone())
+                    .unwrap_or_else(|| ns.clone())
+            };
+            match effective.last_mut() {
+                Some(last) if last.2 == value && last.1 + 1 == *s => last.1 = *e,
+                _ => effective.push((*s, *e, value)),
+            }
+        }
+        for (s, e, ns) in effective {
+            if ns.is_empty() {
+                continue;
+            }
+            archive.record_span(s, e, &od.domain, &ns);
+        }
+    }
+    archive
+}
+
+/// Generate the DNSSEC measurement archive: active-measurement projects
+/// probe every delegation daily, so coverage is complete (unlike pDNS)
+/// and day-granular.
+pub fn generate_dnssec_archive(
+    db: &DnsDb,
+    domains: &[ObservedDomain],
+    window: &StudyWindow,
+) -> DnssecArchive {
+    let mut archive = DnssecArchive::new();
+    for od in domains {
+        for (s, e, signed) in db.dnssec_segments(&od.domain, window.start, window.end) {
+            archive.record_span(s, e, &od.domain, signed);
+        }
+    }
+    archive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use retrodns_dns::{Actor, RecordData, RegistrarId};
+    use retrodns_types::Ipv4Addr;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// DnsDb with a stable domain hijacked for exactly day 300.
+    fn world() -> DnsDb {
+        let mut db = DnsDb::new();
+        db.registrars.add_registrar(RegistrarId(0), "R");
+        db.register_domain(d("victim.com"), RegistrarId(0), Day(0));
+        db.set_delegation(&Actor::Owner, &d("victim.com"), vec![d("ns1.legit.com")], Day(0))
+            .unwrap();
+        db.set_zone_record(&d("ns1.legit.com"), &d("mail.victim.com"), vec![RecordData::A(ip("10.0.0.1"))], Day(0));
+        db.set_zone_record(&d("ns1.evil.ru"), &d("mail.victim.com"), vec![RecordData::A(ip("6.6.6.6"))], Day(0));
+        let actor = Actor::StolenCredentials(d("victim.com"));
+        db.set_delegation(&actor, &d("victim.com"), vec![d("ns1.evil.ru")], Day(300)).unwrap();
+        db.set_delegation(&Actor::Owner, &d("victim.com"), vec![d("ns1.legit.com")], Day(301)).unwrap();
+        db
+    }
+
+    fn observed(pop: f64) -> Vec<ObservedDomain> {
+        vec![ObservedDomain {
+            domain: d("victim.com"),
+            popularity: pop,
+            names: vec![d("victim.com"), d("mail.victim.com")],
+        }]
+    }
+
+    #[test]
+    fn popular_domain_fully_observed() {
+        let db = world();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pdns = generate_pdns(&db, &observed(0.99), &StudyWindow::default(), 1.0, &mut rng);
+        let a = pdns.lookups(&d("mail.victim.com"), Some(RecordType::A));
+        // Both the stable and the attacker resolution should be captured.
+        assert_eq!(a.len(), 2, "stable + hijack A records");
+        let hijack = a.iter().find(|e| e.rdata.as_a() == Some(ip("6.6.6.6"))).unwrap();
+        assert_eq!(hijack.first_seen, Day(300));
+        assert_eq!(hijack.last_seen, Day(300));
+        let ns = pdns.ns_history(&d("victim.com"));
+        assert_eq!(ns.len(), 2);
+    }
+
+    #[test]
+    fn dark_domain_unobserved() {
+        let db = world();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pdns = generate_pdns(&db, &observed(0.0), &StudyWindow::default(), 1.0, &mut rng);
+        assert!(pdns.is_empty());
+    }
+
+    #[test]
+    fn low_popularity_often_misses_the_one_day_window() {
+        let db = world();
+        let mut catches = 0;
+        for seed in 0..200 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pdns = generate_pdns(&db, &observed(0.3), &StudyWindow::default(), 1.0, &mut rng);
+            if pdns
+                .lookups(&d("mail.victim.com"), Some(RecordType::A))
+                .iter()
+                .any(|e| e.rdata.as_a() == Some(ip("6.6.6.6")))
+            {
+                catches += 1;
+            }
+        }
+        // ~30% catch rate for a 1-day window at p=0.3.
+        assert!((30..=90).contains(&catches), "got {catches}/200");
+    }
+
+    #[test]
+    fn observation_windows_stay_inside_segments() {
+        let db = world();
+        let mut rng = StdRng::seed_from_u64(9);
+        let pdns = generate_pdns(&db, &observed(0.5), &StudyWindow::default(), 1.0, &mut rng);
+        for e in pdns.lookups(&d("mail.victim.com"), Some(RecordType::A)) {
+            assert!(e.first_seen <= e.last_seen);
+            if e.rdata.as_a() == Some(ip("6.6.6.6")) {
+                assert_eq!(e.first_seen, Day(300));
+                assert_eq!(e.last_seen, Day(300));
+            } else {
+                assert!(e.last_seen <= StudyWindow::default().end);
+            }
+        }
+    }
+
+    #[test]
+    fn zone_archive_rarely_catches_subday_flip() {
+        let db = world();
+        let mut caught = 0;
+        for seed in 0..100 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let archive = generate_zone_archive(
+                &db,
+                &observed(0.5),
+                &StudyWindow::default(),
+                &["com".to_string()],
+                0.25,
+                &mut rng,
+            );
+            if !archive
+                .days_with_nameserver(&d("victim.com"), &d("ns1.evil.ru"))
+                .is_empty()
+            {
+                caught += 1;
+            }
+        }
+        assert!((10..=45).contains(&caught), "got {caught}/100");
+    }
+
+    #[test]
+    fn zone_archive_respects_access_list() {
+        let db = world();
+        let mut rng = StdRng::seed_from_u64(3);
+        let archive = generate_zone_archive(
+            &db,
+            &observed(0.5),
+            &StudyWindow::default(),
+            &["net".to_string()],
+            1.0,
+            &mut rng,
+        );
+        assert!(archive.archived_days(&d("victim.com")).is_empty());
+    }
+
+    #[test]
+    fn zone_archive_uncaught_flip_shows_stable_ns() {
+        let db = world();
+        let mut rng = StdRng::seed_from_u64(3);
+        let archive = generate_zone_archive(
+            &db,
+            &observed(0.5),
+            &StudyWindow::default(),
+            &["com".to_string()],
+            0.0, // never catch
+            &mut rng,
+        );
+        assert_eq!(
+            archive.delegation_on(&d("victim.com"), Day(300)).unwrap(),
+            &[d("ns1.legit.com")],
+            "missed flip day shows the stable delegation"
+        );
+    }
+
+    #[test]
+    fn sample_segment_statistics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut total = 0u64;
+        let trials = 300;
+        for _ in 0..trials {
+            if let Some((f, l, c)) = sample_segment(&mut rng, Day(100), Day(199), 0.5) {
+                assert!(f >= Day(100) && l <= Day(199) && f <= l);
+                total += c;
+            }
+        }
+        let avg = total as f64 / trials as f64;
+        assert!((30.0..70.0).contains(&avg), "avg count {avg} for p=.5 L=100");
+    }
+}
+

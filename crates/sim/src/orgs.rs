@@ -1,0 +1,327 @@
+//! Organizations and domain naming.
+//!
+//! The attacker model is *targeted*: victims are overwhelmingly government
+//! ministries, government Internet services, and infrastructure providers
+//! (Table 4). The world therefore gives every victim country a government
+//! cluster (ministries, agencies, police, intelligence, postal, aviation,
+//! e-government services), one domain per national provider
+//! (`infocom.kg`-style), and fills the rest of the population with
+//! commercial registrations.
+
+use crate::geography::{Geography, ProviderKind};
+use rand::rngs::StdRng;
+use rand::Rng;
+use retrodns_types::{CountryCode, DomainName};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Organization sector, following the paper's Table 4 taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Sector {
+    /// Ministries (foreign affairs, interior, defence, …).
+    GovernmentMinistry,
+    /// Non-ministry agencies (statistics, customs, IT agencies, …).
+    GovernmentOrganization,
+    /// Shared government Internet services (webmail, govcloud, portals).
+    GovernmentInternetServices,
+    /// ISPs, IXPs, DNS operators, telecoms.
+    InfrastructureProvider,
+    /// Police and security directorates.
+    LawEnforcement,
+    /// Oil, gas, power.
+    EnergyCompany,
+    /// Intelligence services.
+    IntelligenceServices,
+    /// Postal operators.
+    PostalService,
+    /// Civil aviation authorities and airlines.
+    CivilAviation,
+    /// Municipal governments.
+    LocalGovernment,
+    /// Insurance companies.
+    Insurance,
+    /// IT/security firms.
+    ItFirm,
+    /// Generic commercial registrations (the population bulk).
+    Commercial,
+}
+
+impl Sector {
+    /// Is this the kind of organization sophisticated attackers target?
+    pub fn is_sensitive_target(self) -> bool {
+        !matches!(self, Sector::Commercial)
+    }
+}
+
+impl fmt::Display for Sector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sector::GovernmentMinistry => "Government Ministry",
+            Sector::GovernmentOrganization => "Government Organization",
+            Sector::GovernmentInternetServices => "Government Internet Services",
+            Sector::InfrastructureProvider => "Infrastructure Provider",
+            Sector::LawEnforcement => "Law Enforcement",
+            Sector::EnergyCompany => "Energy Company",
+            Sector::IntelligenceServices => "Intelligence Services",
+            Sector::PostalService => "Postal Service",
+            Sector::CivilAviation => "Civil Aviation",
+            Sector::LocalGovernment => "Local Government",
+            Sector::Insurance => "Insurance",
+            Sector::ItFirm => "IT Firm",
+            Sector::Commercial => "Commercial",
+        })
+    }
+}
+
+/// An organization owning one or more domains.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Organization {
+    /// Display name.
+    pub name: String,
+    /// Sector.
+    pub sector: Sector,
+    /// Home country.
+    pub country: CountryCode,
+}
+
+/// One registered domain with its owner and service surface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainSpec {
+    /// The registered domain.
+    pub domain: DomainName,
+    /// Index into the organization list.
+    pub org: usize,
+    /// Subdomain labels that run TLS services (`www`, `mail`, `vpn`, …).
+    pub services: Vec<String>,
+}
+
+/// Government domain blueprints: (slug, org name, sector, services).
+const GOV_BLUEPRINTS: &[(&str, &str, Sector, &[&str])] = &[
+    ("mfa", "Ministry of Foreign Affairs", Sector::GovernmentMinistry, &["www", "mail"]),
+    ("moi", "Ministry of Interior", Sector::GovernmentMinistry, &["www", "mail", "vpn"]),
+    ("mod", "Ministry of Defense", Sector::GovernmentMinistry, &["www", "mail"]),
+    ("moh", "Ministry of Health", Sector::GovernmentMinistry, &["www", "webmail"]),
+    ("mof", "Ministry of Finance", Sector::GovernmentMinistry, &["www", "webmail", "portal"]),
+    ("justice", "Ministry of Justice", Sector::GovernmentMinistry, &["www", "mail"]),
+    ("petroleum", "Petroleum Ministry", Sector::GovernmentMinistry, &["www", "mail"]),
+    ("stat", "Statistics Bureau", Sector::GovernmentOrganization, &["www", "mail"]),
+    ("customs", "Customs Authority", Sector::GovernmentOrganization, &["www", "mail", "portal"]),
+    ("nita", "National IT Agency", Sector::GovernmentOrganization, &["www", "mail", "api"]),
+    ("invest", "Investment Portal", Sector::GovernmentMinistry, &["www", "mail"]),
+    ("egov", "E-Government Portal", Sector::GovernmentInternetServices, &["www", "owa", "portal", "login"]),
+    ("govcloud", "Government Cloud", Sector::GovernmentInternetServices, &["www", "personal", "cloud"]),
+    ("webmail", "Government Webmail", Sector::GovernmentInternetServices, &["www", "mail"]),
+    ("police", "National Police", Sector::LawEnforcement, &["www", "mail", "vpn"]),
+    ("apc", "Police College", Sector::LawEnforcement, &["www", "mail"]),
+    ("sis", "State Intelligence Service", Sector::IntelligenceServices, &["www", "mail"]),
+    ("gid", "General Intelligence Directorate", Sector::IntelligenceServices, &["www", "mail"]),
+    ("post", "Postal Service", Sector::PostalService, &["www", "mail", "track"]),
+    ("dgca", "Civil Aviation Directorate", Sector::CivilAviation, &["www", "mail"]),
+    ("noc", "National Oil Corporation", Sector::EnergyCompany, &["www", "mail"]),
+    ("parliament", "Parliament", Sector::GovernmentOrganization, &["www", "mail"]),
+];
+
+/// Commercial name fragments (combined as `{a}{b}{n}.{tld}`).
+const COM_A: &[&str] = &[
+    "blue", "north", "prime", "delta", "nova", "astra", "global", "micro", "inter", "quantum",
+    "silver", "red", "urban", "bright", "core", "apex", "vertex", "solid", "swift", "clear",
+];
+const COM_B: &[&str] = &[
+    "soft", "net", "data", "media", "trade", "logistics", "consult", "systems", "labs", "works",
+    "group", "market", "travel", "finance", "energy", "foods", "retail", "design", "cargo", "tech",
+];
+const COM_TLDS: &[&str] = &["com", "net", "org"];
+
+/// Output of organization generation.
+#[derive(Debug, Clone, Default)]
+pub struct Population {
+    /// All organizations.
+    pub orgs: Vec<Organization>,
+    /// All registered domains (index order is the world's domain id).
+    pub domains: Vec<DomainSpec>,
+}
+
+/// Does this country use a `gov.<cc>` registry suffix in our suffix list?
+fn gov_suffix(cc: CountryCode) -> String {
+    let lc = cc.as_str().to_ascii_lowercase();
+    let candidate: DomainName = format!("probe.gov.{lc}").parse().expect("static");
+    if candidate.public_suffix() == format!("gov.{lc}") {
+        format!("gov.{lc}")
+    } else {
+        lc
+    }
+}
+
+/// Generate the world's organizations and domains.
+///
+/// The first chunk of the domain list is the government/infrastructure
+/// clusters of the victim countries (deterministic order), followed by
+/// commercial fill up to `n_domains`.
+pub fn generate(geo: &Geography, n_domains: usize, rng: &mut StdRng) -> Population {
+    let mut pop = Population::default();
+
+    // Government clusters for victim-side countries (those with two
+    // national providers, which is how geography marks them).
+    for cc in &geo.countries {
+        if geo.nationals_of(*cc).len() < 2 {
+            continue;
+        }
+        let suffix = gov_suffix(*cc);
+        for (slug, org_name, sector, services) in GOV_BLUEPRINTS {
+            let name = format!("{slug}.{suffix}");
+            let Ok(domain) = name.parse::<DomainName>() else {
+                continue;
+            };
+            pop.orgs.push(Organization {
+                name: format!("{org_name}, {cc}"),
+                sector: *sector,
+                country: *cc,
+            });
+            pop.domains.push(DomainSpec {
+                domain,
+                org: pop.orgs.len() - 1,
+                services: services.iter().map(|s| s.to_string()).collect(),
+            });
+        }
+    }
+
+    // One domain per national provider (infrastructure sector).
+    for p in geo.providers.iter().filter(|p| p.kind == ProviderKind::National) {
+        let cc = p.primary_country();
+        let lc = cc.as_str().to_ascii_lowercase();
+        let slug: String = p
+            .ns_hosts[0]
+            .labels()
+            .nth(1)
+            .expect("ns host has provider label")
+            .to_string();
+        pop.orgs.push(Organization {
+            name: p.name.clone(),
+            sector: Sector::InfrastructureProvider,
+            country: cc,
+        });
+        pop.domains.push(DomainSpec {
+            domain: format!("{slug}.{lc}").parse().expect("provider slug is valid"),
+            org: pop.orgs.len() - 1,
+            services: vec!["www".into(), "mail".into(), "portal".into()],
+        });
+    }
+
+    // Commercial fill.
+    let mut serial = 0usize;
+    while pop.domains.len() < n_domains {
+        let a = COM_A[rng.gen_range(0..COM_A.len())];
+        let b = COM_B[rng.gen_range(0..COM_B.len())];
+        let tld = COM_TLDS[rng.gen_range(0..COM_TLDS.len())];
+        serial += 1;
+        let name = format!("{a}{b}{serial}.{tld}");
+        let domain: DomainName = name.parse().expect("synthesized commercial name is valid");
+        let country = geo.countries[rng.gen_range(0..geo.countries.len())];
+        pop.orgs.push(Organization {
+            name: format!("{a}{b} {serial}"),
+            sector: Sector::Commercial,
+            country,
+        });
+        let mut services = vec!["www".to_string()];
+        if rng.gen_bool(0.5) {
+            services.push("mail".into());
+        }
+        if rng.gen_bool(0.15) {
+            services.push("api".into());
+        }
+        pop.domains.push(DomainSpec {
+            domain,
+            org: pop.orgs.len() - 1,
+            services,
+        });
+    }
+    pop.domains.truncate(n_domains);
+    pop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn pop(n: usize) -> (Geography, Population) {
+        let geo = Geography::build();
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = generate(&geo, n, &mut rng);
+        (geo, p)
+    }
+
+    #[test]
+    fn population_has_requested_size() {
+        let (_, p) = pop(3000);
+        assert_eq!(p.domains.len(), 3000);
+        assert!(p.orgs.len() >= 3000);
+    }
+
+    #[test]
+    fn domains_are_unique() {
+        let (_, p) = pop(3000);
+        let mut seen = std::collections::HashSet::new();
+        for d in &p.domains {
+            assert!(seen.insert(d.domain.clone()), "duplicate {}", d.domain);
+        }
+    }
+
+    #[test]
+    fn gov_clusters_exist_for_victim_countries() {
+        let (_, p) = pop(3000);
+        let mfa_kg: Vec<_> = p
+            .domains
+            .iter()
+            .filter(|d| d.domain.as_str() == "mfa.gov.kg")
+            .collect();
+        assert_eq!(mfa_kg.len(), 1);
+        assert_eq!(p.orgs[mfa_kg[0].org].sector, Sector::GovernmentMinistry);
+        // CH has no gov.ch suffix in our list: parliament lands on .ch.
+        assert!(p.domains.iter().any(|d| d.domain.as_str() == "parliament.ch"));
+    }
+
+    #[test]
+    fn infrastructure_providers_have_domains() {
+        let (_, p) = pop(3000);
+        let infra: Vec<_> = p
+            .domains
+            .iter()
+            .filter(|d| p.orgs[d.org].sector == Sector::InfrastructureProvider)
+            .collect();
+        assert!(infra.len() > 30);
+        assert!(infra.iter().any(|d| d.domain.as_str() == "kgtel1.kg"));
+    }
+
+    #[test]
+    fn sector_mix_is_mostly_commercial() {
+        let (_, p) = pop(5000);
+        let commercial = p
+            .domains
+            .iter()
+            .filter(|d| p.orgs[d.org].sector == Sector::Commercial)
+            .count();
+        assert!(commercial as f64 > 0.8 * p.domains.len() as f64);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let geo = Geography::build();
+        let a = generate(&geo, 1000, &mut StdRng::seed_from_u64(3));
+        let b = generate(&geo, 1000, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.domains, b.domains);
+    }
+
+    #[test]
+    fn services_include_sensitive_names_for_gov() {
+        let (_, p) = pop(2000);
+        let gov: Vec<_> = p
+            .domains
+            .iter()
+            .filter(|d| p.orgs[d.org].sector == Sector::GovernmentMinistry)
+            .collect();
+        assert!(gov
+            .iter()
+            .all(|d| d.services.iter().any(|s| s != "www")));
+    }
+}

@@ -1,0 +1,1018 @@
+//! Legitimate deployment lifecycles.
+//!
+//! Every domain gets a *profile* describing how its infrastructure evolves
+//! over the four-year window. The profiles are chosen to reproduce the
+//! paper's §4.2 population taxonomy — most domains stable (S1–S4), a few
+//! percent transitioning (X1–X3), a sliver noisy — plus the
+//! *benign-transient* classes that exist specifically to exercise each
+//! pruning heuristic of §4.3–4.4 with realistic false-positive pressure.
+//!
+//! Planning mutates the [`DnsDb`] directly (DNS state is time-indexed and
+//! order-independent) but keeps certificates and server deployments as
+//! *plans*: certificate issuance must later be materialized in
+//! chronological order through the CA/CT machinery, and deployments
+//! reference the certificate ids that materialization assigns.
+
+use crate::geography::{AddressAllocator, Geography, Provider, ProviderId};
+use crate::orgs::DomainSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use retrodns_cert::KeyId;
+use retrodns_dns::{Actor, DnsDb, RecordData, RegistrarId};
+use retrodns_types::{Day, DomainName, Ipv4Addr, StudyWindow};
+use serde::{Deserialize, Serialize};
+
+/// Which CA a planned certificate comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CaTag {
+    /// ACME DV, 90-day validity, OCSP-only (Let's Encrypt analog).
+    LetsEncrypt,
+    /// Free-trial DV, 90-day validity, publishes CRL (Comodo analog).
+    Comodo,
+    /// Paid DV, 730-day validity (DigiCert analog).
+    DigiCert,
+    /// Organization-internal CA: not browser-trusted, absent from CT.
+    Internal,
+}
+
+/// A certificate to be issued during materialization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedCert {
+    /// SAN list.
+    pub names: Vec<DomainName>,
+    /// Issuing CA.
+    pub ca: CaTag,
+    /// Issuance day.
+    pub day: Day,
+    /// Requester key (attacker certs share the campaign key).
+    pub key: KeyId,
+    /// Issue through real ACME DNS-01 validation (attacker certs) rather
+    /// than the unchecked owner path.
+    pub acme_validated: bool,
+}
+
+/// Index into the world's planned-certificate list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CertRef(pub usize);
+
+/// A server deployment to apply once certificates have ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedDeployment {
+    /// Endpoint address.
+    pub ip: Ipv4Addr,
+    /// Endpoint port.
+    pub port: u16,
+    /// Which planned certificate the endpoint presents.
+    pub cert: CertRef,
+    /// First live day.
+    pub from: Day,
+    /// First day no longer live (exclusive); `None` = open-ended.
+    pub until: Option<Day>,
+    /// Probe-answer probability (percent).
+    pub availability_pct: u8,
+}
+
+/// The benign false-positive classes, one per pruning rule they exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenignTransientKind {
+    /// Transient in a sibling ASN of the same organization
+    /// (pruned by the as2org check).
+    RelatedAsn,
+    /// Transient geolocated to the stable deployment's country
+    /// (pruned by the geolocation check).
+    SameCountry,
+    /// Domain missing from >20 % of scans (pruned by the visibility check).
+    LowVisibility,
+    /// Similar transients in three-plus consecutive periods
+    /// (pruned by the repetition check).
+    RepeatedEveryPeriod,
+    /// Transient cert secures only non-sensitive names
+    /// (dropped by the sensitive-subdomain filter).
+    NonSensitiveName,
+    /// Rarely-responding secondary deployment serving a months-old
+    /// certificate (survives shortlisting; rejected at inspection because
+    /// the certificate long predates the transient visibility).
+    StaleCertBlip,
+    /// Foreign transient with a fresh certificate but no pDNS coverage
+    /// (survives shortlisting; inspection finds no corroboration).
+    UncorroboratedForeign,
+    /// A brief, aborted nameserver migration: the delegation flips to a
+    /// new provider and rolls back within days, with hosting unchanged.
+    /// Produces exactly the short-lived NS change a pDNS-only detector
+    /// alarms on, with no transient deployment and no new certificate —
+    /// the pipeline ignores it, the B3 baseline does not.
+    NsFlipRollback,
+}
+
+/// All benign-transient kinds, for round-robin assignment.
+pub const BENIGN_KINDS: [BenignTransientKind; 8] = [
+    BenignTransientKind::RelatedAsn,
+    BenignTransientKind::SameCountry,
+    BenignTransientKind::LowVisibility,
+    BenignTransientKind::RepeatedEveryPeriod,
+    BenignTransientKind::NonSensitiveName,
+    BenignTransientKind::StaleCertBlip,
+    BenignTransientKind::UncorroboratedForeign,
+    BenignTransientKind::NsFlipRollback,
+];
+
+/// How a domain's deployment evolves over the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeploymentProfile {
+    /// S1/S2: one deployment; `rollover` decides 90-day LE churn (S2) vs a
+    /// long-validity certificate (S1).
+    Stable {
+        /// 90-day rollover (S2) instead of long-validity (S1).
+        rollover: bool,
+    },
+    /// S3: mid-window expansion into another region (different country) of
+    /// the *same* provider/AS.
+    StableGeo,
+    /// S4: a new certificate deployed on the same infrastructure.
+    StableNewCert,
+    /// X1/X2: expansion into an additional AS; `new_cert` distinguishes X2.
+    TransitionExpand {
+        /// The new deployment presents a new certificate (X2) rather than
+        /// the existing one (X1).
+        new_cert: bool,
+    },
+    /// X3: full migration to a new AS with brief overlap.
+    TransitionMigrate,
+    /// Continually moving deployments; no stable background.
+    Noisy,
+    /// Stable plus one engineered benign transient.
+    BenignTransient(BenignTransientKind),
+    /// DNS presence but no TLS endpoints at all.
+    NoTls,
+}
+
+/// A fully planned domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainPlan {
+    /// Index into the population's domain list.
+    pub spec: usize,
+    /// Assigned profile.
+    pub profile: DeploymentProfile,
+    /// Primary hosting provider.
+    pub provider: ProviderId,
+    /// Registrar administering the registration.
+    pub registrar: RegistrarId,
+    /// Per-day pDNS observation probability (0 = dark to sensors).
+    pub popularity: f64,
+    /// Legitimate certificates use an internal CA.
+    pub internal_ca: bool,
+    /// The primary service IP.
+    pub primary_ip: Option<Ipv4Addr>,
+    /// Planned certificate refs owned by this domain, in issuance order.
+    pub certs: Vec<CertRef>,
+    /// Planned deployments.
+    pub deployments: Vec<PlannedDeployment>,
+}
+
+impl DomainPlan {
+    /// The certificate the stable deployment presents on `day`, given the
+    /// global planned-cert list (used by the attacker's T2 proxy, which
+    /// mirrors the victim's current certificate).
+    pub fn stable_cert_on(&self, day: Day, certs: &[PlannedCert]) -> Option<CertRef> {
+        self.certs
+            .iter()
+            .rev()
+            .find(|c| certs[c.0].day <= day)
+            .copied()
+    }
+}
+
+/// Shared planning context.
+pub struct PlanCtx<'a> {
+    /// World geography (providers, address plan).
+    pub geo: &'a Geography,
+    /// Address allocation cursors.
+    pub alloc: &'a mut AddressAllocator,
+    /// Global planned-certificate accumulator.
+    pub certs: &'a mut Vec<PlannedCert>,
+    /// Next subject key id.
+    pub next_key: &'a mut u64,
+    /// The study window.
+    pub window: &'a StudyWindow,
+}
+
+impl<'a> PlanCtx<'a> {
+    /// Allocate a fresh subject key.
+    pub fn fresh_key(&mut self) -> KeyId {
+        let k = KeyId(*self.next_key);
+        *self.next_key += 1;
+        k
+    }
+
+    /// Push a planned certificate, returning its ref.
+    pub fn push_cert(&mut self, cert: PlannedCert) -> CertRef {
+        self.certs.push(cert);
+        CertRef(self.certs.len() - 1)
+    }
+}
+
+/// The TCP ports a service label listens on.
+pub fn ports_for(label: &str) -> Vec<u16> {
+    if label.contains("mail") || label.contains("owa") || label.contains("imap") {
+        vec![443, 993, 995]
+    } else if label.contains("smtp") {
+        vec![465, 587]
+    } else {
+        vec![443]
+    }
+}
+
+/// All SANs a domain's baseline certificate covers.
+fn baseline_sans(spec: &DomainSpec) -> Vec<DomainName> {
+    let mut names = vec![spec.domain.clone()];
+    for s in &spec.services {
+        if let Ok(n) = spec.domain.child(s) {
+            names.push(n);
+        }
+    }
+    names
+}
+
+/// Union of all service ports for a domain.
+fn all_ports(spec: &DomainSpec) -> Vec<u16> {
+    let mut ports: Vec<u16> = spec.services.iter().flat_map(|s| ports_for(s)).collect();
+    ports.sort_unstable();
+    ports.dedup();
+    ports
+}
+
+/// Plan one certificate timeline (issue + rollovers) for the given CA and
+/// SANs. Returns the refs in issuance order.
+fn plan_cert_timeline(
+    ctx: &mut PlanCtx,
+    names: &[DomainName],
+    ca: CaTag,
+    start: Day,
+    end: Day,
+    key: KeyId,
+) -> Vec<CertRef> {
+    let step = match ca {
+        CaTag::LetsEncrypt | CaTag::Comodo => 83, // renew within the 90-day validity
+        CaTag::DigiCert => 700,
+        CaTag::Internal => 1500,
+    };
+    let mut out = Vec::new();
+    let mut day = start;
+    while day <= end {
+        out.push(ctx.push_cert(PlannedCert {
+            names: names.to_vec(),
+            ca,
+            day,
+            key,
+            acme_validated: false,
+        }));
+        day += step;
+    }
+    out
+}
+
+/// Deploy a certificate timeline at `(ip, ports)`: each certificate is
+/// live from its issuance to the next one's (the last is open-ended until
+/// `until`).
+#[allow(clippy::too_many_arguments)]
+fn deploy_timeline(
+    plan: &mut Vec<PlannedDeployment>,
+    certs: &[CertRef],
+    all_certs: &[PlannedCert],
+    ip: Ipv4Addr,
+    ports: &[u16],
+    from: Day,
+    until: Option<Day>,
+    availability_pct: u8,
+) {
+    for (i, cref) in certs.iter().enumerate() {
+        let cert_start = all_certs[cref.0].day.max(from);
+        let cert_end = certs
+            .get(i + 1)
+            .map(|next| all_certs[next.0].day)
+            .or(until);
+        if let Some(e) = cert_end {
+            if cert_start >= e {
+                continue;
+            }
+        }
+        if let Some(u) = until {
+            if cert_start >= u {
+                continue;
+            }
+        }
+        let cert_end = match (cert_end, until) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        };
+        for &port in ports {
+            plan.push(PlannedDeployment {
+                ip,
+                port,
+                cert: *cref,
+                from: cert_start,
+                until: cert_end,
+                availability_pct,
+            });
+        }
+    }
+}
+
+/// Set the A records for every service of a domain on the given
+/// nameserver pair.
+fn set_service_records(
+    db: &mut DnsDb,
+    ns_hosts: &[DomainName],
+    spec: &DomainSpec,
+    ip: Ipv4Addr,
+    day: Day,
+) {
+    let mut names = vec![spec.domain.clone()];
+    for s in &spec.services {
+        if let Ok(n) = spec.domain.child(s) {
+            names.push(n);
+        }
+    }
+    for ns in ns_hosts {
+        for name in &names {
+            db.set_zone_record(ns, name, vec![RecordData::A(ip)], day);
+        }
+    }
+}
+
+/// Plan a single domain: registration, delegation, zone content,
+/// certificate timeline(s) and deployment(s) according to its profile.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_domain(
+    ctx: &mut PlanCtx,
+    db: &mut DnsDb,
+    spec_idx: usize,
+    spec: &DomainSpec,
+    profile: DeploymentProfile,
+    provider_id: ProviderId,
+    registrar: RegistrarId,
+    popularity: f64,
+    internal_ca: bool,
+    rng: &mut StdRng,
+) -> DomainPlan {
+    let start = ctx.window.start;
+    let end = ctx.window.end;
+    let provider = ctx.geo.providers[provider_id.0].clone();
+
+    // Registration + delegation to the provider's nameservers.
+    db.register_domain(spec.domain.clone(), registrar, start);
+    db.set_delegation(
+        &Actor::Owner,
+        &spec.domain,
+        provider.ns_hosts.to_vec(),
+        start,
+    )
+    .expect("owner can always delegate");
+
+    let mut plan = DomainPlan {
+        spec: spec_idx,
+        profile,
+        provider: provider_id,
+        registrar,
+        popularity,
+        internal_ca,
+        primary_ip: None,
+        certs: Vec::new(),
+        deployments: Vec::new(),
+    };
+
+    if matches!(profile, DeploymentProfile::NoTls) {
+        // DNS presence only.
+        let ip = ctx.alloc.alloc(ctx.geo, provider_id, 0);
+        plan.primary_ip = Some(ip);
+        set_service_records(db, &provider.ns_hosts, spec, ip, start);
+        return plan;
+    }
+
+    if matches!(profile, DeploymentProfile::Noisy) {
+        plan_noisy(ctx, db, spec, &provider, &mut plan, rng);
+        return plan;
+    }
+
+    // --- Stable baseline shared by every other profile -----------------
+    let region = 0usize;
+    let ip = ctx.alloc.alloc(ctx.geo, provider_id, region);
+    plan.primary_ip = Some(ip);
+    set_service_records(db, &provider.ns_hosts, spec, ip, start);
+
+    let sans = baseline_sans(spec);
+    let ports = all_ports(spec);
+    let key = ctx.fresh_key();
+    let base_ca = if internal_ca {
+        CaTag::Internal
+    } else {
+        match profile {
+            DeploymentProfile::Stable { rollover: true } => CaTag::LetsEncrypt,
+            DeploymentProfile::Stable { rollover: false } => CaTag::DigiCert,
+            _ => {
+                if rng.gen_bool(0.35) {
+                    CaTag::LetsEncrypt
+                } else {
+                    CaTag::DigiCert
+                }
+            }
+        }
+    };
+    let issue_start = start + rng.gen_range(0..21);
+    let base_availability = if matches!(
+        profile,
+        DeploymentProfile::BenignTransient(BenignTransientKind::LowVisibility)
+    ) {
+        70
+    } else {
+        100
+    };
+    let baseline_certs = plan_cert_timeline(ctx, &sans, base_ca, issue_start, end, key);
+    plan.certs = baseline_certs.clone();
+
+    // X3 migrates away; everyone else keeps the baseline to the end.
+    let baseline_until = match profile {
+        DeploymentProfile::TransitionMigrate => None, // truncated below
+        _ => None,
+    };
+    deploy_timeline(
+        &mut plan.deployments,
+        &baseline_certs,
+        ctx.certs,
+        ip,
+        &ports,
+        issue_start,
+        baseline_until,
+        base_availability,
+    );
+
+    // --- Profile-specific structure -------------------------------------
+    let mid = start + rng.gen_range(200..1100.min(end - start));
+    match profile {
+        DeploymentProfile::Stable { .. } => {}
+        DeploymentProfile::NoTls | DeploymentProfile::Noisy => unreachable!("handled above"),
+
+        DeploymentProfile::StableGeo => {
+            // Expansion into another region of the SAME provider (same
+            // ASN unless the provider has a sibling; geography gives
+            // clouds 4 regions). National providers have one region, so
+            // the world builder assigns this profile to cloud-hosted
+            // domains only.
+            let region2 = 1.min(provider.regions.len() - 1);
+            let ip2 = ctx.alloc.alloc(ctx.geo, provider_id, region2);
+            deploy_timeline(
+                &mut plan.deployments,
+                &baseline_certs,
+                ctx.certs,
+                ip2,
+                &ports,
+                mid,
+                None,
+                100,
+            );
+        }
+
+        DeploymentProfile::StableNewCert => {
+            // New key + cert on the same infrastructure from `mid`.
+            let key2 = ctx.fresh_key();
+            let ca2 = if internal_ca { CaTag::Internal } else { CaTag::LetsEncrypt };
+            let newcerts = plan_cert_timeline(ctx, &sans, ca2, mid, end, key2);
+            plan.certs.extend(newcerts.clone());
+            // The old cert's endpoints are replaced: truncate baseline
+            // deployments at `mid` and run the new timeline after.
+            for d in plan.deployments.iter_mut() {
+                if d.until.map(|u| u > mid).unwrap_or(true) && d.from < mid {
+                    d.until = Some(mid);
+                }
+            }
+            plan.deployments.retain(|d| d.from < mid || d.cert.0 >= newcerts[0].0);
+            plan.deployments.retain(|d| d.until.map(|u| u > d.from).unwrap_or(true));
+            deploy_timeline(
+                &mut plan.deployments,
+                &newcerts,
+                ctx.certs,
+                ip,
+                &ports,
+                mid,
+                None,
+                100,
+            );
+        }
+
+        DeploymentProfile::TransitionExpand { new_cert } => {
+            // Additional deployment in a cloud provider from `mid` on.
+            let cloud = random_cloud(ctx.geo, rng, Some(provider_id));
+            let region2 = rng.gen_range(0..cloud.regions.len());
+            let ip2 = ctx.alloc.alloc(ctx.geo, cloud.id, region2);
+            if new_cert {
+                let key2 = ctx.fresh_key();
+                let certs2 = plan_cert_timeline(ctx, &sans, CaTag::LetsEncrypt, mid, end, key2);
+                plan.certs.extend(certs2.clone());
+                deploy_timeline(&mut plan.deployments, &certs2, ctx.certs, ip2, &ports, mid, None, 100);
+            } else {
+                deploy_timeline(
+                    &mut plan.deployments,
+                    &baseline_certs,
+                    ctx.certs,
+                    ip2,
+                    &ports,
+                    mid,
+                    None,
+                    100,
+                );
+            }
+            // DNS starts answering with both addresses.
+            for ns in &provider.ns_hosts {
+                for s in &spec.services {
+                    if let Ok(n) = spec.domain.child(s) {
+                        db.set_zone_record(ns, &n, vec![RecordData::A(ip), RecordData::A(ip2)], mid);
+                    }
+                }
+            }
+        }
+
+        DeploymentProfile::TransitionMigrate => {
+            // New provider, new cert; old infrastructure overlaps briefly.
+            let cloud = random_cloud(ctx.geo, rng, Some(provider_id));
+            let region2 = rng.gen_range(0..cloud.regions.len());
+            let ip2 = ctx.alloc.alloc(ctx.geo, cloud.id, region2);
+            let key2 = ctx.fresh_key();
+            let certs2 = plan_cert_timeline(ctx, &sans, CaTag::LetsEncrypt, mid, end, key2);
+            plan.certs.extend(certs2.clone());
+            deploy_timeline(&mut plan.deployments, &certs2, ctx.certs, ip2, &ports, mid, None, 100);
+            let overlap_end = mid + rng.gen_range(7..28);
+            for d in plan.deployments.iter_mut() {
+                if d.cert.0 < certs2[0].0 && d.until.map(|u| u > overlap_end).unwrap_or(true) {
+                    d.until = Some(overlap_end);
+                }
+            }
+            plan.deployments.retain(|d| d.until.map(|u| u > d.from).unwrap_or(true));
+            // DNS moves to the new address (and delegation to the new
+            // provider's nameservers — the common "switched hosting" case).
+            db.set_delegation(&Actor::Owner, &spec.domain, cloud.ns_hosts.to_vec(), mid)
+                .expect("owner can always delegate");
+            set_service_records(db, &cloud.ns_hosts, spec, ip2, mid);
+        }
+
+        DeploymentProfile::BenignTransient(kind) => {
+            plan_benign_transient(ctx, db, spec, &provider, &mut plan, kind, &sans, &ports, mid, rng);
+        }
+    }
+
+    plan
+}
+
+/// Continually moving deployments (the §4.2 footnote-7 "too noisy to
+/// categorize" class).
+fn plan_noisy(
+    ctx: &mut PlanCtx,
+    db: &mut DnsDb,
+    spec: &DomainSpec,
+    provider: &Provider,
+    plan: &mut DomainPlan,
+    rng: &mut StdRng,
+) {
+    let start = ctx.window.start;
+    let end = ctx.window.end;
+    let sans = baseline_sans(spec);
+    let ports = all_ports(spec);
+    let key = ctx.fresh_key();
+    let mut t = start + rng.gen_range(0..14);
+    let mut first_ip = None;
+    while t < end {
+        let hop_len = rng.gen_range(21..70);
+        let hop_end = (t + hop_len).min(end + 1);
+        let cloud = random_cloud(ctx.geo, rng, None);
+        let region = rng.gen_range(0..cloud.regions.len());
+        let ip = ctx.alloc.alloc(ctx.geo, cloud.id, region);
+        first_ip.get_or_insert(ip);
+        let cert = ctx.push_cert(PlannedCert {
+            names: sans.clone(),
+            ca: CaTag::LetsEncrypt,
+            day: t,
+            key,
+            acme_validated: false,
+        });
+        plan.certs.push(cert);
+        for &port in &ports {
+            plan.deployments.push(PlannedDeployment {
+                ip,
+                port,
+                cert,
+                from: t,
+                until: Some(hop_end),
+                availability_pct: 100,
+            });
+        }
+        set_service_records(db, &provider.ns_hosts, spec, ip, t);
+        t = hop_end + rng.gen_range(0..5);
+    }
+    plan.primary_ip = first_ip;
+}
+
+/// The engineered benign-transient structures.
+#[allow(clippy::too_many_arguments)]
+fn plan_benign_transient(
+    ctx: &mut PlanCtx,
+    db: &mut DnsDb,
+    spec: &DomainSpec,
+    provider: &Provider,
+    plan: &mut DomainPlan,
+    kind: BenignTransientKind,
+    sans: &[DomainName],
+    ports: &[u16],
+    mid: Day,
+    rng: &mut StdRng,
+) {
+    let end = ctx.window.end;
+    let transient_len = rng.gen_range(14..56); // well under 3 months
+    let t_end = (mid + transient_len).min(end);
+    match kind {
+        BenignTransientKind::RelatedAsn => {
+            // Primary must be a sibling-ASN cloud (world builder ensures
+            // it); transient lands in the sibling-ASN region (index 3).
+            let region = provider.regions.len() - 1;
+            let ip = ctx.alloc.alloc(ctx.geo, provider.id, region);
+            let key = ctx.fresh_key();
+            let cert = ctx.push_cert(PlannedCert {
+                names: sans.to_vec(),
+                ca: CaTag::LetsEncrypt,
+                day: mid,
+                key,
+                acme_validated: false,
+            });
+            plan.certs.push(cert);
+            push_simple(plan, ip, ports, cert, mid, Some(t_end), 100);
+        }
+        BenignTransientKind::SameCountry => {
+            // Another national provider of the SAME country.
+            let cc = provider.primary_country();
+            let other = ctx
+                .geo
+                .nationals_of(cc)
+                .into_iter()
+                .find(|p| p.id != provider.id)
+                .map(|p| p.id)
+                .unwrap_or(provider.id);
+            let ip = ctx.alloc.alloc(ctx.geo, other, 0);
+            let key = ctx.fresh_key();
+            let cert = ctx.push_cert(PlannedCert {
+                names: sans.to_vec(),
+                ca: CaTag::LetsEncrypt,
+                day: mid,
+                key,
+                acme_validated: false,
+            });
+            plan.certs.push(cert);
+            push_simple(plan, ip, ports, cert, mid, Some(t_end), 100);
+        }
+        BenignTransientKind::LowVisibility => {
+            // Baseline already runs at 70 % availability; add a foreign
+            // transient that the visibility check will discard anyway.
+            let cloud = random_cloud(ctx.geo, rng, None);
+            let ip = ctx.alloc.alloc(ctx.geo, cloud.id, 0);
+            let key = ctx.fresh_key();
+            let cert = ctx.push_cert(PlannedCert {
+                names: sans.to_vec(),
+                ca: CaTag::LetsEncrypt,
+                day: mid,
+                key,
+                acme_validated: false,
+            });
+            plan.certs.push(cert);
+            push_simple(plan, ip, ports, cert, mid, Some(t_end), 70);
+        }
+        BenignTransientKind::RepeatedEveryPeriod => {
+            // A fresh foreign transient near the start of every period
+            // (CDN trials, load tests — whatever it is, it repeats).
+            let key = ctx.fresh_key();
+            for period in ctx.window.periods() {
+                let t = period.start + rng.gen_range(10..60);
+                if t >= end {
+                    continue;
+                }
+                let cloud = random_cloud(ctx.geo, rng, None);
+                let ip = ctx.alloc.alloc(ctx.geo, cloud.id, rng.gen_range(0..cloud.regions.len()));
+                let cert = ctx.push_cert(PlannedCert {
+                    names: sans.to_vec(),
+                    ca: CaTag::LetsEncrypt,
+                    day: t,
+                    key,
+                    acme_validated: false,
+                });
+                plan.certs.push(cert);
+                push_simple(plan, ip, ports, cert, t, Some((t + 28).min(end)), 100);
+            }
+        }
+        BenignTransientKind::NonSensitiveName => {
+            // Transient cert covers only the apex and www — never a
+            // sensitive label. A second transient in the next period keeps
+            // the map from the truly-anomalous shortlist path.
+            let www: Vec<DomainName> = vec![
+                spec.domain.clone(),
+                spec.domain.child("www").expect("www is a valid label"),
+            ];
+            let key = ctx.fresh_key();
+            for t in [mid, (mid + 200).min(end.saturating_sub_days(30))] {
+                let cloud = random_cloud(ctx.geo, rng, None);
+                let ip = ctx.alloc.alloc(ctx.geo, cloud.id, 0);
+                let cert = ctx.push_cert(PlannedCert {
+                    names: www.clone(),
+                    ca: CaTag::LetsEncrypt,
+                    day: t,
+                    key,
+                    acme_validated: false,
+                });
+                plan.certs.push(cert);
+                push_simple(plan, ip, ports, cert, t, Some((t + 21).min(end)), 100);
+            }
+        }
+        BenignTransientKind::StaleCertBlip => {
+            // A long-lived but rarely-responding foreign secondary whose
+            // certificate was issued at setup time — months before any
+            // scan finally catches it.
+            let cloud = random_cloud(ctx.geo, rng, None);
+            let ip = ctx.alloc.alloc(ctx.geo, cloud.id, rng.gen_range(0..cloud.regions.len()));
+            let key = ctx.fresh_key();
+            let setup = ctx.window.start + rng.gen_range(0..60);
+            let cert = ctx.push_cert(PlannedCert {
+                names: sans.to_vec(),
+                ca: CaTag::DigiCert,
+                day: setup,
+                key,
+                acme_validated: false,
+            });
+            plan.certs.push(cert);
+            push_simple(plan, ip, ports, cert, setup, None, 4);
+        }
+        BenignTransientKind::NsFlipRollback => {
+            // Flip the delegation to a cloud provider's nameservers for a
+            // few days, then roll back. Zone content on the new NS mirrors
+            // the real records, so resolution answers stay identical.
+            let cloud = random_cloud(ctx.geo, rng, None);
+            let revert = mid + rng.gen_range(2..9);
+            for ns in &cloud.ns_hosts {
+                for name in sans {
+                    if let Some(ip) = plan.primary_ip {
+                        db.set_zone_record(ns, name, vec![RecordData::A(ip)], mid);
+                    }
+                }
+            }
+            db.set_delegation(&Actor::Owner, &spec.domain, cloud.ns_hosts.to_vec(), mid)
+                .expect("owner can always delegate");
+            db.set_delegation(
+                &Actor::Owner,
+                &spec.domain,
+                provider.ns_hosts.to_vec(),
+                revert.min(end),
+            )
+            .expect("owner can always delegate");
+        }
+        BenignTransientKind::UncorroboratedForeign => {
+            // Fresh cert, foreign AS, sensitive SAN — but the domain is
+            // dark to pDNS (world builder zeroes its popularity), so
+            // inspection finds nothing. Half of these stay otherwise
+            // stable (truly anomalous); half get a second transient.
+            let cloud = random_cloud(ctx.geo, rng, None);
+            let ip = ctx.alloc.alloc(ctx.geo, cloud.id, 0);
+            let key = ctx.fresh_key();
+            let cert = ctx.push_cert(PlannedCert {
+                names: sans.to_vec(),
+                ca: CaTag::LetsEncrypt,
+                day: mid,
+                key,
+                acme_validated: false,
+            });
+            plan.certs.push(cert);
+            push_simple(plan, ip, ports, cert, mid, Some(t_end), 100);
+            if rng.gen_bool(0.5) {
+                let t2 = (mid + 210).min(end.saturating_sub_days(20));
+                let cloud2 = random_cloud(ctx.geo, rng, None);
+                let ip2 = ctx.alloc.alloc(ctx.geo, cloud2.id, 0);
+                let cert2 = ctx.push_cert(PlannedCert {
+                    names: sans.to_vec(),
+                    ca: CaTag::LetsEncrypt,
+                    day: t2,
+                    key,
+                    acme_validated: false,
+                });
+                plan.certs.push(cert2);
+                push_simple(plan, ip2, ports, cert2, t2, Some((t2 + 21).min(end)), 100);
+            }
+        }
+    }
+}
+
+fn push_simple(
+    plan: &mut DomainPlan,
+    ip: Ipv4Addr,
+    ports: &[u16],
+    cert: CertRef,
+    from: Day,
+    until: Option<Day>,
+    availability_pct: u8,
+) {
+    for &port in ports {
+        plan.deployments.push(PlannedDeployment {
+            ip,
+            port,
+            cert,
+            from,
+            until,
+            availability_pct,
+        });
+    }
+}
+
+/// A random cloud provider, optionally excluding one.
+fn random_cloud<'g>(geo: &'g Geography, rng: &mut StdRng, exclude: Option<ProviderId>) -> &'g Provider {
+    let clouds: Vec<&Provider> = geo
+        .clouds()
+        .filter(|p| Some(p.id) != exclude)
+        .collect();
+    clouds[rng.gen_range(0..clouds.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geography::{Geography, ProviderKind};
+    use rand::SeedableRng;
+    use retrodns_dns::RecordType;
+
+    fn setup() -> (Geography, DnsDb, AddressAllocator, Vec<PlannedCert>, StudyWindow) {
+        let geo = Geography::build();
+        let mut db = DnsDb::new();
+        db.registrars.add_registrar(RegistrarId(0), "TestReg");
+        let alloc = AddressAllocator::new(&geo);
+        (geo, db, alloc, Vec::new(), StudyWindow::default())
+    }
+
+    fn spec(domain: &str, services: &[&str]) -> DomainSpec {
+        DomainSpec {
+            domain: domain.parse().unwrap(),
+            org: 0,
+            services: services.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn plan_one(profile: DeploymentProfile, provider_kind: ProviderKind) -> (DomainPlan, Vec<PlannedCert>, DnsDb) {
+        let (geo, mut db, mut alloc, mut certs, window) = setup();
+        let mut next_key = 0;
+        let provider = geo
+            .providers
+            .iter()
+            .find(|p| p.kind == provider_kind)
+            .unwrap()
+            .id;
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = spec("mfa.gov.kg", &["www", "mail"]);
+        let plan = {
+            let mut ctx = PlanCtx {
+                geo: &geo,
+                alloc: &mut alloc,
+                certs: &mut certs,
+                next_key: &mut next_key,
+                window: &window,
+            };
+            plan_domain(&mut ctx, &mut db, 0, &s, profile, provider, RegistrarId(0), 0.5, false, &mut rng)
+        };
+        (plan, certs, db)
+    }
+
+    #[test]
+    fn stable_rollover_produces_many_le_certs() {
+        let (plan, certs, db) = plan_one(DeploymentProfile::Stable { rollover: true }, ProviderKind::National);
+        assert!(plan.certs.len() > 15, "90-day rollover over 4 years");
+        assert!(plan.certs.iter().all(|c| certs[c.0].ca == CaTag::LetsEncrypt));
+        // Deployments chain without overlap per port.
+        let mut on443: Vec<_> = plan
+            .deployments
+            .iter()
+            .filter(|d| d.port == 443)
+            .collect();
+        on443.sort_by_key(|d| d.from);
+        for w in on443.windows(2) {
+            assert!(w[0].until.unwrap() <= w[1].from);
+        }
+        // DNS answers for the service.
+        assert!(db.resolve_a(&"mail.mfa.gov.kg".parse().unwrap(), Day(100)).is_ok());
+    }
+
+    #[test]
+    fn stable_long_validity_has_few_certs() {
+        let (plan, certs, _) = plan_one(DeploymentProfile::Stable { rollover: false }, ProviderKind::National);
+        assert!(plan.certs.len() <= 3);
+        assert!(plan.certs.iter().all(|c| certs[c.0].ca == CaTag::DigiCert));
+    }
+
+    #[test]
+    fn migrate_truncates_old_deployments() {
+        let (plan, certs, _) = plan_one(DeploymentProfile::TransitionMigrate, ProviderKind::National);
+        // Some deployment must be open-ended (the new provider), and every
+        // baseline (pre-migration cert) deployment must be closed.
+        let new_cert_start = plan
+            .certs
+            .iter()
+            .map(|c| certs[c.0].day)
+            .max()
+            .unwrap();
+        assert!(plan.deployments.iter().any(|d| d.until.is_none()));
+        let open: Vec<_> = plan.deployments.iter().filter(|d| d.until.is_none()).collect();
+        assert!(open.iter().all(|d| certs[d.cert.0].day >= Day(200)), "open deployments are post-migration, last cert at {new_cert_start:?}");
+    }
+
+    #[test]
+    fn noisy_has_many_short_hops() {
+        let (plan, _, _) = plan_one(DeploymentProfile::Noisy, ProviderKind::National);
+        let distinct_ips: std::collections::HashSet<_> =
+            plan.deployments.iter().map(|d| d.ip).collect();
+        assert!(distinct_ips.len() > 10, "noisy domains hop constantly");
+        assert!(plan.deployments.iter().all(|d| d.until.is_some()));
+    }
+
+    #[test]
+    fn repeated_transient_touches_every_period() {
+        let (plan, certs, _) = plan_one(
+            DeploymentProfile::BenignTransient(BenignTransientKind::RepeatedEveryPeriod),
+            ProviderKind::National,
+        );
+        // At least 8 transient certs beyond the baseline timeline.
+        let transients = plan
+            .certs
+            .iter()
+            .filter(|c| {
+                let pc = &certs[c.0];
+                pc.ca == CaTag::LetsEncrypt && !pc.acme_validated
+            })
+            .count();
+        assert!(transients >= 8, "got {transients}");
+    }
+
+    #[test]
+    fn stale_cert_blip_is_low_availability_and_old_cert() {
+        let (plan, certs, _) = plan_one(
+            DeploymentProfile::BenignTransient(BenignTransientKind::StaleCertBlip),
+            ProviderKind::National,
+        );
+        let blip = plan
+            .deployments
+            .iter()
+            .find(|d| d.availability_pct < 10)
+            .expect("blip deployment exists");
+        assert!(certs[blip.cert.0].day < Day(61), "cert issued at setup time");
+        assert!(blip.until.is_none(), "stays up the whole window");
+    }
+
+    #[test]
+    fn no_tls_domain_has_dns_but_no_deployments() {
+        let (plan, _, db) = plan_one(DeploymentProfile::NoTls, ProviderKind::National);
+        assert!(plan.deployments.is_empty());
+        assert!(plan.certs.is_empty());
+        assert!(db
+            .resolve(&"mail.mfa.gov.kg".parse().unwrap(), RecordType::A, Day(100))
+            .is_ok());
+    }
+
+    #[test]
+    fn related_asn_transient_stays_within_org() {
+        let (geo, mut db, mut alloc, mut certs, window) = setup();
+        let mut next_key = 0;
+        // Amazon-like: sibling ASN in region 3.
+        let provider = geo.provider_named("Amazon").unwrap().id;
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = spec("bluesoft1.com", &["www", "mail"]);
+        let plan = {
+            let mut ctx = PlanCtx {
+                geo: &geo,
+                alloc: &mut alloc,
+                certs: &mut certs,
+                next_key: &mut next_key,
+                window: &window,
+            };
+            plan_domain(
+                &mut ctx,
+                &mut db,
+                0,
+                &s,
+                DeploymentProfile::BenignTransient(BenignTransientKind::RelatedAsn),
+                provider,
+                RegistrarId(0),
+                0.5,
+                false,
+                &mut rng,
+            )
+        };
+        // The transient's IP annotates to a different ASN but the same org.
+        let transient = plan
+            .deployments
+            .iter()
+            .find(|d| Some(d.ip) != plan.primary_ip)
+            .unwrap();
+        let primary_ann = geo.asdb.annotate(plan.primary_ip.unwrap());
+        let transient_ann = geo.asdb.annotate(transient.ip);
+        assert_ne!(primary_ann.asn, transient_ann.asn);
+        assert_eq!(primary_ann.org, transient_ann.org);
+    }
+}

@@ -1,0 +1,90 @@
+//! Randomized world fuzzing: invariants that must hold for *any* seed.
+//!
+//! World construction is expensive, so the case count is small — but each
+//! case exercises the entire planning/materialization stack (geography,
+//! orgs, profiles, campaigns, chronological ACME issuance, farm
+//! deployment, observation sampling) under a fresh random seed.
+
+use proptest::prelude::*;
+use retrodns_sim::{HijackKind, SimConfig, World};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn world_invariants_hold_for_any_seed(seed in any::<u64>()) {
+        let world = World::build(SimConfig::small(seed));
+
+        // CT log: chronological, chain-verified, index-consistent.
+        prop_assert!(world.ct.verify_chain());
+        let mut prev = retrodns_types::Day(0);
+        for e in world.ct.entries() {
+            prop_assert!(e.timestamp >= prev);
+            prev = e.timestamp;
+        }
+
+        // Every hijack's ground truth is internally consistent.
+        for h in &world.ground_truth.hijacked {
+            let cert_id = h.cert.expect("hijacks obtain certificates");
+            let cert = &world.certs[&cert_id];
+            // Malicious certs are browser-trusted DV certs for the
+            // targeted sensitive subdomain, issued on the flip day.
+            prop_assert!(world.trust.is_browser_trusted(cert.issuer));
+            prop_assert!(cert.covers(&h.sub));
+            prop_assert!(h.sub.is_sensitive());
+            prop_assert_eq!(cert.not_before, h.first_hijack);
+            // And they are in CT (both free DV CAs participate).
+            prop_assert!(world.crtsh.record(cert_id).is_some());
+
+            // The delegation was rogue on the flip day and restored after.
+            let during = world.dns.delegation_of(&h.domain, h.first_hijack);
+            prop_assert_eq!(during, Some(&h.attacker_ns[..]));
+            let after = world.dns.delegation_of(&h.domain, h.first_hijack + 1);
+            prop_assert!(after.is_some());
+            prop_assert!(after != Some(&h.attacker_ns[..]), "flip must be restored");
+
+            // During the flip, the targeted name resolved to attacker IP.
+            let ips = world.dns.resolve_a(&h.sub, h.first_hijack).unwrap_or_default();
+            prop_assert!(ips.contains(&h.attacker_ip));
+
+            // Harvest windows are strictly after the cert flip, each
+            // restored the next day.
+            for w in &h.windows {
+                prop_assert!(*w > h.first_hijack);
+                let during = world.dns.delegation_of(&h.domain, *w);
+                prop_assert_eq!(during, Some(&h.attacker_ns[..]));
+            }
+
+            // NoInfra victims really have no legitimate TLS surface: the
+            // only scans touching their domain would be the attacker's.
+            if h.kind == HijackKind::NoInfraHijack {
+                let meta = world.meta_of(&h.domain).expect("meta exists");
+                prop_assert_eq!(
+                    format!("{:?}", meta.profile),
+                    "NoTls".to_string()
+                );
+            }
+        }
+
+        // Targeted-only victims: no delegation changes at all.
+        for t in &world.ground_truth.targeted {
+            let w = &world.config.window;
+            let segs = world.dns.delegation_segments(&t.domain, w.start, w.end);
+            prop_assert_eq!(segs.len(), 1, "{} delegation must never change", t.domain);
+        }
+
+        // The attacked sets are disjoint.
+        for h in &world.ground_truth.hijacked {
+            prop_assert!(!world.ground_truth.is_targeted(&h.domain));
+        }
+    }
+
+    #[test]
+    fn scans_never_contradict_the_farm(seed in any::<u64>()) {
+        let world = World::build(SimConfig::small(seed));
+        let dataset = world.scan();
+        for r in dataset.records().iter().step_by(97) {
+            prop_assert_eq!(world.farm.cert_at(r.ip, r.port, r.date), Some(r.cert));
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Autonomous system numbers.
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An autonomous system number (32-bit, per RFC 6793).
+///
+/// The pipeline uses ASNs as the clustering key for deployment groups:
+/// observable infrastructure in the same AS on the same scan date belongs to
+/// the same group (§4.1 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use retrodns_types::Asn;
+///
+/// let a: Asn = "AS20473".parse().unwrap();
+/// assert_eq!(a, Asn(20473));
+/// assert_eq!(a.to_string(), "AS20473");
+/// assert_eq!("14061".parse::<Asn>().unwrap(), Asn(14061));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// The raw numeric value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl FromStr for Asn {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| ParseError::InvalidAsn(s.to_string()))
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_variants() {
+        assert_eq!("AS20473".parse::<Asn>().unwrap(), Asn(20473));
+        assert_eq!("as20473".parse::<Asn>().unwrap(), Asn(20473));
+        assert_eq!("20473".parse::<Asn>().unwrap(), Asn(20473));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("ASx".parse::<Asn>().is_err());
+        assert!("".parse::<Asn>().is_err());
+        assert!("AS-1".parse::<Asn>().is_err());
+        assert!("AS4294967296".parse::<Asn>().is_err()); // > u32::MAX
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let a = Asn(14061);
+        assert_eq!(a.to_string().parse::<Asn>().unwrap(), a);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Asn(9) < Asn(100));
+    }
+}

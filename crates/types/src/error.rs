@@ -1,0 +1,74 @@
+//! Error types for parsing the textual forms of the core value types.
+
+use std::fmt;
+
+/// An error produced when parsing a textual representation of one of the
+/// workspace value types (days, ASNs, country codes, addresses, domains).
+///
+/// Each variant carries enough context to produce an actionable message;
+/// the offending input (or the offending fragment of it) is always included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A calendar date string was not `YYYY-MM-DD`, or encoded an
+    /// impossible date (e.g. `2019-02-30`).
+    InvalidDate(String),
+    /// A date was valid but falls outside the representable range of
+    /// [`crate::Day`] (before the 2017-01-01 epoch).
+    DateOutOfRange(String),
+    /// An ASN string was not `AS<number>` or a plain non-negative integer.
+    InvalidAsn(String),
+    /// A country code was not exactly two ASCII letters.
+    InvalidCountryCode(String),
+    /// An IPv4 address string was not four dotted decimal octets.
+    InvalidIpv4(String),
+    /// A CIDR prefix was malformed (bad address, bad length, or length > 32).
+    InvalidPrefix(String),
+    /// A domain name was empty, had empty labels, illegal characters,
+    /// over-long labels (> 63 octets) or an over-long total length (> 253).
+    InvalidDomain(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::InvalidDate(s) => write!(f, "invalid date {s:?}: expected YYYY-MM-DD"),
+            ParseError::DateOutOfRange(s) => {
+                write!(f, "date {s:?} is before the 2017-01-01 study epoch")
+            }
+            ParseError::InvalidAsn(s) => {
+                write!(f, "invalid ASN {s:?}: expected e.g. \"AS20473\" or \"20473\"")
+            }
+            ParseError::InvalidCountryCode(s) => {
+                write!(f, "invalid country code {s:?}: expected two ASCII letters")
+            }
+            ParseError::InvalidIpv4(s) => {
+                write!(f, "invalid IPv4 address {s:?}: expected dotted quad")
+            }
+            ParseError::InvalidPrefix(s) => {
+                write!(f, "invalid IPv4 prefix {s:?}: expected e.g. \"192.0.2.0/24\"")
+            }
+            ParseError::InvalidDomain(s) => write!(f, "invalid domain name {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_input() {
+        let e = ParseError::InvalidAsn("ASfoo".into());
+        assert!(e.to_string().contains("ASfoo"));
+        let e = ParseError::InvalidDomain("bad..name".into());
+        assert!(e.to_string().contains("bad..name"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<ParseError>();
+    }
+}

@@ -1,0 +1,282 @@
+//! IPv4 addresses and CIDR prefixes.
+//!
+//! We deliberately use a local `Ipv4Addr` newtype over `u32` rather than
+//! `std::net::Ipv4Addr`: the asdb tables do heavy numeric range work
+//! (longest-prefix matching, range containment) and the simulator allocates
+//! addresses arithmetically, so a transparent integer representation keeps
+//! that code simple. Conversions to/from the std type are provided.
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address stored as a host-order `u32`.
+///
+/// # Examples
+///
+/// ```
+/// use retrodns_types::Ipv4Addr;
+///
+/// let ip: Ipv4Addr = "95.179.131.225".parse().unwrap();
+/// assert_eq!(ip.to_string(), "95.179.131.225");
+/// assert_eq!(ip.octets(), [95, 179, 131, 225]);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    /// Construct from four octets.
+    pub const fn from_octets(o: [u8; 4]) -> Ipv4Addr {
+        Ipv4Addr(u32::from_be_bytes(o))
+    }
+
+    /// The four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// The raw host-order integer value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// The next address numerically; wraps at 255.255.255.255.
+    pub const fn successor(self) -> Ipv4Addr {
+        Ipv4Addr(self.0.wrapping_add(1))
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl FromStr for Ipv4Addr {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in octets.iter_mut() {
+            let part = parts
+                .next()
+                .ok_or_else(|| ParseError::InvalidIpv4(s.to_string()))?;
+            // Reject empty and leading-plus forms that u8::parse would accept.
+            if part.is_empty() || !part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseError::InvalidIpv4(s.to_string()));
+            }
+            *slot = part
+                .parse::<u8>()
+                .map_err(|_| ParseError::InvalidIpv4(s.to_string()))?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseError::InvalidIpv4(s.to_string()));
+        }
+        Ok(Ipv4Addr::from_octets(octets))
+    }
+}
+
+impl From<std::net::Ipv4Addr> for Ipv4Addr {
+    fn from(ip: std::net::Ipv4Addr) -> Self {
+        Ipv4Addr::from_octets(ip.octets())
+    }
+}
+
+impl From<Ipv4Addr> for std::net::Ipv4Addr {
+    fn from(ip: Ipv4Addr) -> Self {
+        std::net::Ipv4Addr::from(ip.octets())
+    }
+}
+
+/// An IPv4 CIDR prefix: a network address plus a prefix length in `0..=32`.
+///
+/// The network address is canonicalized at construction (host bits zeroed),
+/// so two textual spellings of the same prefix compare equal.
+///
+/// # Examples
+///
+/// ```
+/// use retrodns_types::{Ipv4Addr, Ipv4Prefix};
+///
+/// let p: Ipv4Prefix = "95.179.128.0/18".parse().unwrap();
+/// assert!(p.contains("95.179.131.225".parse().unwrap()));
+/// assert!(!p.contains("95.180.0.1".parse().unwrap()));
+/// assert_eq!(p.len(), 18);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    network: Ipv4Addr,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Construct a prefix, canonicalizing the network address.
+    /// Returns an error if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Result<Ipv4Prefix, ParseError> {
+        if len > 32 {
+            return Err(ParseError::InvalidPrefix(format!("{addr}/{len}")));
+        }
+        Ok(Ipv4Prefix {
+            network: Ipv4Addr(addr.0 & mask(len)),
+            len,
+        })
+    }
+
+    /// The canonical network address (host bits zero).
+    pub fn network(&self) -> Ipv4Addr {
+        self.network
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True only for the zero-length default route `0.0.0.0/0`.
+    pub fn is_empty(&self) -> bool {
+        false // a prefix always covers at least one address
+    }
+
+    /// First address covered by the prefix.
+    pub fn first(&self) -> Ipv4Addr {
+        self.network
+    }
+
+    /// Last address covered by the prefix.
+    pub fn last(&self) -> Ipv4Addr {
+        Ipv4Addr(self.network.0 | !mask(self.len))
+    }
+
+    /// Number of addresses covered (2^(32-len)); saturates for /0.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len as u64)
+    }
+
+    /// Does the prefix cover `ip`?
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        ip.0 & mask(self.len) == self.network.0
+    }
+
+    /// Is `other` entirely within `self`?
+    pub fn covers(&self, other: &Ipv4Prefix) -> bool {
+        other.len >= self.len && self.contains(other.network)
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network, self.len)
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| ParseError::InvalidPrefix(s.to_string()))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| ParseError::InvalidPrefix(s.to_string()))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| ParseError::InvalidPrefix(s.to_string()))?;
+        Ipv4Prefix::new(addr, len)
+    }
+}
+
+/// Network mask for a prefix length; `mask(0) == 0`, `mask(32) == !0`.
+fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_round_trip() {
+        for s in ["0.0.0.0", "255.255.255.255", "84.205.248.69", "8.8.8.8"] {
+            assert_eq!(s.parse::<Ipv4Addr>().unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn addr_rejects_malformed() {
+        for s in ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "", "1..2.3", "1.2.3.+4"] {
+            assert!(s.parse::<Ipv4Addr>().is_err(), "{s} should not parse");
+        }
+    }
+
+    #[test]
+    fn std_conversion_round_trip() {
+        let ours: Ipv4Addr = "192.0.2.77".parse().unwrap();
+        let std: std::net::Ipv4Addr = ours.into();
+        assert_eq!(Ipv4Addr::from(std), ours);
+    }
+
+    #[test]
+    fn prefix_canonicalizes_network() {
+        let a: Ipv4Prefix = "95.179.131.225/18".parse().unwrap();
+        let b: Ipv4Prefix = "95.179.128.0/18".parse().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.network().to_string(), "95.179.128.0");
+    }
+
+    #[test]
+    fn prefix_containment_boundaries() {
+        let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        assert!(p.contains("10.0.0.0".parse().unwrap()));
+        assert!(p.contains("10.255.255.255".parse().unwrap()));
+        assert!(!p.contains("11.0.0.0".parse().unwrap()));
+        assert!(!p.contains("9.255.255.255".parse().unwrap()));
+        assert_eq!(p.first().to_string(), "10.0.0.0");
+        assert_eq!(p.last().to_string(), "10.255.255.255");
+        assert_eq!(p.size(), 1 << 24);
+    }
+
+    #[test]
+    fn default_route_and_host_route() {
+        let def: Ipv4Prefix = "0.0.0.0/0".parse().unwrap();
+        assert!(def.contains("203.0.113.9".parse().unwrap()));
+        assert_eq!(def.size(), 1 << 32);
+        let host: Ipv4Prefix = "203.0.113.9/32".parse().unwrap();
+        assert!(host.contains("203.0.113.9".parse().unwrap()));
+        assert!(!host.contains("203.0.113.10".parse().unwrap()));
+        assert_eq!(host.size(), 1);
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_hierarchical() {
+        let a: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let b: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        assert!(a.covers(&a));
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+    }
+
+    #[test]
+    fn prefix_rejects_bad_len() {
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/x".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn successor_wraps() {
+        let last = Ipv4Addr::from_octets([255, 255, 255, 255]);
+        assert_eq!(last.successor(), Ipv4Addr(0));
+        let ip: Ipv4Addr = "10.0.0.255".parse().unwrap();
+        assert_eq!(ip.successor().to_string(), "10.0.1.0");
+    }
+}

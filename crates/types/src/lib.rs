@@ -1,0 +1,30 @@
+//! # retrodns-types
+//!
+//! Foundational value types shared by every crate in the `retrodns`
+//! workspace: calendar days and study periods, autonomous-system numbers,
+//! ISO country codes, IPv4 addresses and prefixes, and DNS domain names
+//! (including the registered-domain suffix logic and the paper's
+//! sensitive-subdomain matching).
+//!
+//! The types here are deliberately small, `Copy` where possible, and free of
+//! I/O: they are the vocabulary the simulator substrates and the detection
+//! pipeline use to talk to each other.
+//!
+//! Design follows the conventions of event-driven network stacks such as
+//! smoltcp: simple explicit representations, no macro tricks, exhaustive
+//! documentation, and invariants enforced at construction time.
+
+#![warn(missing_docs)]
+pub mod asn;
+pub mod cc;
+pub mod domain;
+pub mod error;
+pub mod ip;
+pub mod time;
+
+pub use asn::Asn;
+pub use cc::CountryCode;
+pub use domain::{DomainName, SENSITIVE_SUBSTRINGS};
+pub use error::ParseError;
+pub use ip::{Ipv4Addr, Ipv4Prefix};
+pub use time::{Day, Period, PeriodId, StudyWindow};

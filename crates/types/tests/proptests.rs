@@ -1,0 +1,116 @@
+//! Property-based tests for the foundational value types.
+
+use proptest::prelude::*;
+use retrodns_types::{time::add_months, Asn, Day, DomainName, Ipv4Addr, Ipv4Prefix, StudyWindow};
+
+proptest! {
+    /// Day ↔ (y, m, d) ↔ string round-trips for every representable day in
+    /// a generous range (about 50 years past the epoch).
+    #[test]
+    fn day_round_trip(offset in 0u32..18_000) {
+        let day = Day(offset);
+        let (y, m, d) = day.ymd();
+        prop_assert_eq!(Day::from_ymd(y, m, d).unwrap(), day);
+        let s = day.to_string();
+        prop_assert_eq!(s.parse::<Day>().unwrap(), day);
+    }
+
+    /// Successive days have successive calendar dates (no gaps/overlaps).
+    #[test]
+    fn day_succession_is_dense(offset in 0u32..18_000) {
+        let a = Day(offset);
+        let b = Day(offset + 1);
+        let (ya, ma, da) = a.ymd();
+        let (yb, mb, db) = b.ymd();
+        // Either same month next day, or a month/year rollover to day 1.
+        if yb == ya && mb == ma {
+            prop_assert_eq!(db, da + 1);
+        } else {
+            prop_assert_eq!(db, 1);
+            prop_assert!(yb == ya && mb == ma + 1 || (yb == ya + 1 && mb == 1 && ma == 12));
+        }
+    }
+
+    /// add_months is monotone and keeps the day-of-month clamped.
+    #[test]
+    fn add_months_monotone(offset in 0u32..10_000, months in 0u32..48) {
+        let d = Day(offset);
+        let later = add_months(d, months);
+        prop_assert!(later >= d);
+        prop_assert!(later.day_of_month() <= d.day_of_month());
+    }
+
+    /// ASN display/parse round-trips.
+    #[test]
+    fn asn_round_trip(v in any::<u32>()) {
+        let a = Asn(v);
+        prop_assert_eq!(a.to_string().parse::<Asn>().unwrap(), a);
+    }
+
+    /// IPv4 display/parse round-trips.
+    #[test]
+    fn ipv4_round_trip(v in any::<u32>()) {
+        let ip = Ipv4Addr(v);
+        prop_assert_eq!(ip.to_string().parse::<Ipv4Addr>().unwrap(), ip);
+    }
+
+    /// Prefix containment agrees with numeric range containment.
+    #[test]
+    fn prefix_contains_equals_range(v in any::<u32>(), len in 0u8..=32, probe in any::<u32>()) {
+        let p = Ipv4Prefix::new(Ipv4Addr(v), len).unwrap();
+        let ip = Ipv4Addr(probe);
+        let in_range = ip >= p.first() && ip <= p.last();
+        prop_assert_eq!(p.contains(ip), in_range);
+    }
+
+    /// A prefix's size equals last - first + 1.
+    #[test]
+    fn prefix_size_consistent(v in any::<u32>(), len in 1u8..=32) {
+        let p = Ipv4Prefix::new(Ipv4Addr(v), len).unwrap();
+        let span = (p.last().value() as u64) - (p.first().value() as u64) + 1;
+        prop_assert_eq!(p.size(), span);
+    }
+
+    /// Valid synthesized domain names parse, and registered_domain is a
+    /// suffix of the name on a label boundary.
+    #[test]
+    fn domain_registered_is_suffix(
+        labels in prop::collection::vec("[a-z][a-z0-9]{0,8}", 1..5),
+        tld in "[a-z]{2,3}",
+    ) {
+        let name = format!("{}.{}", labels.join("."), tld);
+        let d = DomainName::new(&name).unwrap();
+        let reg = d.registered_domain();
+        prop_assert!(d.is_subdomain_of(&reg));
+        prop_assert!(reg.label_count() <= d.label_count());
+    }
+
+    /// Every study day belongs to exactly one period, for varied windows.
+    #[test]
+    fn periods_partition(
+        span_days in 30u32..2_000,
+        period_months in 1u32..13,
+        probe in 0u32..2_000,
+    ) {
+        let w = StudyWindow::new(Day::EPOCH, Day(span_days), period_months, 7);
+        let day = Day(probe.min(span_days));
+        let covering = w.periods().into_iter().filter(|p| p.contains(day)).count();
+        prop_assert_eq!(covering, 1);
+    }
+
+    /// Wildcard SAN matching: `*.base` matches exactly base + 1 label.
+    #[test]
+    fn wildcard_matches_single_label(
+        base in "[a-z]{3,8}\\.[a-z]{2,3}",
+        l1 in "[a-z]{1,8}",
+        l2 in "[a-z]{1,8}",
+    ) {
+        let wild = DomainName::new(&format!("*.{base}")).unwrap();
+        let one = DomainName::new(&format!("{l1}.{base}")).unwrap();
+        let two = DomainName::new(&format!("{l2}.{l1}.{base}")).unwrap();
+        let bare = DomainName::new(&base).unwrap();
+        prop_assert!(wild.san_matches(&one));
+        prop_assert!(!wild.san_matches(&two));
+        prop_assert!(!wild.san_matches(&bare));
+    }
+}

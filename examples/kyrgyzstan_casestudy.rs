@@ -1,0 +1,185 @@
+//! The Kyrgyzstan case study (paper §5.1), reconstructed end to end at
+//! the substrate level: a stable ministry domain is hijacked through a
+//! stolen registrar account, the attacker obtains a real DV certificate
+//! through the ACME DNS-01 flow *during* the sub-day delegation flip, and
+//! the retroactive analyst then pieces the attack together from pDNS, CT,
+//! and scan evidence — including the pivot that finds a second victim
+//! with no observable TLS infrastructure (the fiu.gov.kg case).
+//!
+//! ```text
+//! cargo run --example kyrgyzstan_casestudy
+//! ```
+
+use retrodns::cert::authority::{CaKind, CertAuthority};
+use retrodns::cert::{AcmeCa, CaId, ChallengeResponder, CrtShIndex, CtLog, KeyId};
+use retrodns::dns::{Actor, DnsDb, PassiveDns, RecordData, RegistrarId};
+use retrodns::types::{Day, DomainName};
+
+fn d(s: &str) -> DomainName {
+    s.parse().unwrap()
+}
+
+/// Lets the CA resolve through the live DNS database.
+struct Resolver<'a>(&'a DnsDb);
+impl ChallengeResponder for Resolver<'_> {
+    fn txt_lookup(&self, name: &DomainName, day: Day) -> Vec<String> {
+        self.0.resolve_txt(name, day).unwrap_or_default()
+    }
+}
+
+fn main() {
+    let mut dns = DnsDb::new();
+    let mut ct = CtLog::new();
+    let mut le = AcmeCa::new(
+        CertAuthority::new(CaId(1), "Let's Encrypt", CaKind::AcmeDv, 90),
+        3_810_000_000, // crt.sh-flavored id space
+    );
+
+    // --- Legitimate setup: mfa.gov.kg on Infocom nameservers ---------
+    dns.registrars.add_registrar(RegistrarId(1), "KG Registrar");
+    for dom in ["mfa.gov.kg", "fiu.gov.kg"] {
+        dns.register_domain(d(dom), RegistrarId(1), Day(0));
+        dns.set_delegation(
+            &Actor::Owner,
+            &d(dom),
+            vec![d("ns1.infocom.kg"), d("ns2.infocom.kg")],
+            Day(0),
+        )
+        .unwrap();
+    }
+    let legit_ip = "31.192.250.13".parse().unwrap();
+    for ns in ["ns1.infocom.kg", "ns2.infocom.kg"] {
+        dns.set_zone_record(&d(ns), &d("mail.mfa.gov.kg"), vec![RecordData::A(legit_ip)], Day(0));
+        dns.set_zone_record(&d(ns), &d("mail.fiu.gov.kg"), vec![RecordData::A(legit_ip)], Day(0));
+    }
+
+    // --- Attacker staging (December 2020) ------------------------------
+    let flip_day: Day = "2020-12-20".parse::<Day>().unwrap();
+    let attacker_key = KeyId(0x5EA);
+    let attacker_ip = "94.103.91.159".parse().unwrap();
+    let rogue = [d("ns1.kg-infocom.ru"), d("ns2.kg-infocom.ru")];
+    for ns in &rogue {
+        dns.set_glue(ns, vec!["94.103.90.2".parse().unwrap()], flip_day - 2);
+        dns.set_zone_record(ns, &d("mail.mfa.gov.kg"), vec![RecordData::A(attacker_ip)], flip_day - 1);
+    }
+
+    // The ACME challenge token, staged on the rogue nameservers.
+    let cert_day = flip_day + 1; // 2020-12-21: the paper's issuance date
+    let token = AcmeCa::challenge_token(&d("mail.mfa.gov.kg"), attacker_key, cert_day);
+    for ns in &rogue {
+        dns.set_zone_record(
+            ns,
+            &AcmeCa::challenge_name(&d("mail.mfa.gov.kg")),
+            vec![RecordData::Txt(token.clone())],
+            cert_day,
+        );
+    }
+
+    // --- The attack: flip, validate, restore ---------------------------
+    let stolen = Actor::StolenCredentials(d("mfa.gov.kg"));
+    dns.set_delegation(&stolen, &d("mfa.gov.kg"), rogue.to_vec(), cert_day).unwrap();
+
+    // Before the flip the CA would refuse:
+    let early = le.request(
+        vec![d("mail.mfa.gov.kg")],
+        attacker_key,
+        flip_day - 1,
+        &Resolver(&dns),
+        &mut ct,
+    );
+    println!("issuance before the flip: {:?}", early.map(|c| c.id).map_err(|e| e.to_string()));
+
+    // During the flip the DNS-01 challenge validates — the CA cannot tell
+    // the requester is not the owner:
+    let cert = le
+        .request(
+            vec![d("mail.mfa.gov.kg")],
+            attacker_key,
+            cert_day,
+            &Resolver(&dns),
+            &mut ct,
+        )
+        .expect("hijacked DNS satisfies domain validation");
+    println!(
+        "issuance during the flip: {} for {:?} (browser-trusted DV cert)",
+        cert.id, cert.names
+    );
+
+    // Restore the delegation the next day — total exposure under 24h.
+    dns.set_delegation(
+        &Actor::Owner,
+        &d("mfa.gov.kg"),
+        vec![d("ns1.infocom.kg"), d("ns2.infocom.kg")],
+        cert_day + 1,
+    )
+    .unwrap();
+
+    // A later harvest window, one day, 2020-12-28 style; also hit fiu.
+    let harvest: Day = "2020-12-28".parse().unwrap();
+    dns.set_delegation(&stolen, &d("mfa.gov.kg"), rogue.to_vec(), harvest).unwrap();
+    dns.set_delegation(&Actor::Owner, &d("mfa.gov.kg"), vec![d("ns1.infocom.kg"), d("ns2.infocom.kg")], harvest + 1).unwrap();
+    let stolen_fiu = Actor::StolenCredentials(d("fiu.gov.kg"));
+    for ns in &rogue {
+        dns.set_zone_record(ns, &d("mail.fiu.gov.kg"), vec![RecordData::A("178.20.41.140".parse().unwrap())], harvest);
+    }
+    dns.set_delegation(&stolen_fiu, &d("fiu.gov.kg"), rogue.to_vec(), harvest).unwrap();
+    dns.set_delegation(&Actor::Owner, &d("fiu.gov.kg"), vec![d("ns1.infocom.kg"), d("ns2.infocom.kg")], harvest + 1).unwrap();
+
+    // --- What the observation systems captured -------------------------
+    let mut pdns = PassiveDns::new();
+    for day in [Day(0), flip_day - 5, cert_day, harvest, harvest + 30] {
+        for name in [d("mail.mfa.gov.kg"), d("mail.fiu.gov.kg")] {
+            if let Ok(ips) = dns.resolve_a(&name, day) {
+                for ip in ips {
+                    pdns.observe(&name, RecordData::A(ip), day);
+                }
+            }
+        }
+        for dom in [d("mfa.gov.kg"), d("fiu.gov.kg")] {
+            if let Some(ns_set) = dns.delegation_of(&dom, day) {
+                for ns in ns_set {
+                    pdns.observe(&dom, RecordData::Ns(ns.clone()), day);
+                }
+            }
+        }
+    }
+
+    // --- Retroactive analysis ------------------------------------------
+    println!("\n--- the analyst's view, years later ---");
+    let crtsh = CrtShIndex::build(&ct);
+    for r in crtsh.search_registered(&d("mfa.gov.kg")) {
+        println!("crt.sh: cert {} for {:?} issued {}", r.id, r.names, r.issued);
+    }
+    for e in pdns.ns_history(&d("mfa.gov.kg")) {
+        println!(
+            "pDNS NS: {} -> {}  seen {}..{} ({}d)",
+            e.name,
+            e.rdata,
+            e.first_seen,
+            e.last_seen,
+            e.visibility_days()
+        );
+    }
+    for e in pdns.lookups(&d("mail.mfa.gov.kg"), None) {
+        println!(
+            "pDNS A:  {} -> {}  seen {}..{}",
+            e.name, e.rdata, e.first_seen, e.last_seen
+        );
+    }
+
+    // The pivot: who else used ns1.kg-infocom.ru?
+    println!("\npivot on {}:", rogue[0]);
+    for e in pdns.domains_delegated_to(&rogue[0]) {
+        println!(
+            "  {} delegated to rogue NS {}..{} — {}",
+            e.name,
+            e.first_seen,
+            e.last_seen,
+            if e.name == d("mfa.gov.kg") {
+                "the known victim"
+            } else {
+                "ANOTHER victim, despite no TLS infrastructure of its own"
+            }
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Reproduce the paper's §5.3 observability analysis: how visible are
+//! these attacks in zone files, passive DNS and weekly certificate scans?
+//! Spoiler (theirs and ours): barely — which is the whole point of
+//! combining sources.
+//!
+//! ```text
+//! cargo run --release --example observability_report
+//! ```
+
+use retrodns::core::observability::observability;
+use retrodns::core::pipeline::{AnalystInputs, Pipeline, PipelineConfig};
+use retrodns::sim::{SimConfig, World};
+
+fn main() {
+    let world = World::build(SimConfig::small(0x0B5E));
+    let dataset = world.scan();
+    let observations = world.observations(&dataset);
+    let pipeline = Pipeline::new(PipelineConfig {
+        window: world.config.window.clone(),
+        ..PipelineConfig::default()
+    });
+    let report = pipeline.run(&AnalystInputs {
+        observations: &observations,
+        asdb: &world.geo.asdb,
+        certs: &world.certs,
+        pdns: &world.pdns,
+        crtsh: &world.crtsh,
+        dnssec: Some(&world.dnssec),
+    });
+
+    let stats = observability(
+        &report.hijacked,
+        &world.pdns,
+        &dataset,
+        &world.zones,
+        &world.crtsh,
+    );
+
+    println!("detected hijacks analyzed: {}", report.hijacked.len());
+    println!();
+    println!("-- passive DNS (the attack itself) --");
+    println!(
+        "attack resolutions captured for {} hijacks; visible <=1 day for {:.0}%",
+        stats.with_pdns_attack_evidence,
+        stats.frac_pdns_one_day() * 100.0
+    );
+    println!("per-hijack visibility days: {:?}", stats.pdns_visibility_days);
+    println!("(paper: 51% of hijacked domains had at most one day of evidence)");
+    println!();
+    println!("-- weekly TLS scans (the attacker infrastructure) --");
+    println!(
+        "malicious certs reached by scans: {}; within 8 days of issuance: {:.0}%",
+        stats.cert_scanned,
+        stats.frac_cert_within_8_days() * 100.0
+    );
+    println!(
+        "seen in exactly one scan: {:.0}%  two scans: {:.0}%",
+        stats.frac_cert_in_n_scans(1) * 100.0,
+        stats.frac_cert_in_n_scans(2) * 100.0
+    );
+    println!("(paper: >50% within 8 days; >50% in one scan, ~20% in two)");
+    println!();
+    println!("-- daily zone files --");
+    println!(
+        "victims under zone-accessible TLDs: {}; rogue NS visible in a snapshot: {}",
+        stats.zone_accessible, stats.zone_visible
+    );
+    println!("(paper: invisible for 2 of 3 accessible victims; 1 day for the third)");
+    println!();
+    println!("Every source alone is nearly blind; their intersection is the method.");
+}

@@ -1,0 +1,293 @@
+//! `retrodns` — the command-line workflow.
+//!
+//! ```text
+//! retrodns simulate --out DIR [--seed N] [--domains N]   write a world's data sets as JSON
+//! retrodns analyze  --data DIR [--dnssec-signal] [--score]   run the pipeline over them
+//! retrodns info     --data DIR                            summarize the data sets
+//! ```
+//!
+//! `simulate` produces exactly the files a real deployment would convert
+//! from its feeds (scans, certificate contents, network metadata, passive
+//! DNS, crt.sh dump, zone and DNSSEC archives), so `analyze` is the
+//! adoption surface: swap the synthetic JSON for converted real data and
+//! the pipeline runs unchanged.
+
+use retrodns::asdb::AsDatabase;
+use retrodns::cert::{CertId, Certificate, CrtShIndex};
+use retrodns::core::inspect::InspectConfig;
+use retrodns::core::pipeline::{AnalystInputs, Pipeline, PipelineConfig};
+use retrodns::core::report::{render_table2, render_table3, DomainInfo};
+use retrodns::core::score_detection;
+use retrodns::dns::{DnssecArchive, PassiveDns};
+use retrodns::scan::ScanDataset;
+use retrodns::sim::{DomainMeta, SimConfig, World};
+use retrodns::types::DomainName;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Ground truth sidecar written by `simulate` for `analyze --score`.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct TruthFile {
+    hijacked: Vec<DomainName>,
+    targeted: Vec<DomainName>,
+}
+
+fn save<T: serde::Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
+    let path = dir.join(name);
+    let json = serde_json::to_vec(value).expect("serializable");
+    std::fs::write(&path, json)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+fn load<T: serde::de::DeserializeOwned>(dir: &Path, name: &str) -> Result<T, String> {
+    let path = dir.join(name);
+    let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde_json::from_slice(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn simulate(out: &Path, seed: u64, domains: usize) -> Result<(), String> {
+    std::fs::create_dir_all(out).map_err(|e| e.to_string())?;
+    let config = SimConfig {
+        seed,
+        n_domains: domains,
+        ..SimConfig::default()
+    };
+    eprintln!("building world ({domains} domains, seed {seed:#x})...");
+    let world = World::build(config);
+    let dataset = world.scan();
+    eprintln!(
+        "world ready: {} scan records, {} certificates, {} hijacks planted",
+        dataset.len(),
+        world.certs.len(),
+        world.ground_truth.hijacked.len()
+    );
+    let io = |e: std::io::Error| e.to_string();
+    save(out, "scans.json", &dataset).map_err(io)?;
+    save(out, "certs.json", &world.certs).map_err(io)?;
+    save(out, "asdb.json", &world.geo.asdb).map_err(io)?;
+    save(out, "pdns.json", &world.pdns).map_err(io)?;
+    save(out, "crtsh.json", &world.crtsh).map_err(io)?;
+    save(out, "zones.json", &world.zones).map_err(io)?;
+    save(out, "dnssec.json", &world.dnssec).map_err(io)?;
+    save(out, "trust.json", &world.trust).map_err(io)?;
+    save(out, "meta.json", &world.meta).map_err(io)?;
+    save(
+        out,
+        "truth.json",
+        &TruthFile {
+            hijacked: world
+                .ground_truth
+                .hijacked
+                .iter()
+                .map(|h| h.domain.clone())
+                .collect(),
+            targeted: world
+                .ground_truth
+                .targeted
+                .iter()
+                .map(|t| t.domain.clone())
+                .collect(),
+        },
+    )
+    .map_err(io)?;
+    Ok(())
+}
+
+struct LoadedData {
+    dataset: ScanDataset,
+    certs: HashMap<CertId, Certificate>,
+    asdb: AsDatabase,
+    pdns: PassiveDns,
+    crtsh: CrtShIndex,
+    dnssec: Option<DnssecArchive>,
+    trust: retrodns::cert::TrustStore,
+    meta: Vec<DomainMeta>,
+}
+
+fn load_data(dir: &Path) -> Result<LoadedData, String> {
+    Ok(LoadedData {
+        dataset: load(dir, "scans.json")?,
+        certs: load(dir, "certs.json")?,
+        asdb: load(dir, "asdb.json")?,
+        pdns: load(dir, "pdns.json")?,
+        crtsh: load(dir, "crtsh.json")?,
+        dnssec: load(dir, "dnssec.json").ok(),
+        trust: load(dir, "trust.json")?,
+        meta: load(dir, "meta.json").unwrap_or_default(),
+    })
+}
+
+fn analyze(dir: &Path, dnssec_signal: bool, score: bool) -> Result<(), String> {
+    let data = load_data(dir)?;
+    eprintln!(
+        "loaded: {} scan records, {} certs, {} pDNS tuples, {} CT records",
+        data.dataset.len(),
+        data.certs.len(),
+        data.pdns.len(),
+        data.crtsh.len()
+    );
+    let observations = retrodns::scan::domain_observations(
+        &data.dataset,
+        &data.certs,
+        &data.asdb,
+        &data.trust,
+    );
+    let pipeline = Pipeline::new(PipelineConfig {
+        workers: 4,
+        inspect: InspectConfig {
+            use_dnssec_signal: dnssec_signal,
+            ..InspectConfig::default()
+        },
+        ..PipelineConfig::default()
+    });
+    let report = pipeline.run(&AnalystInputs {
+        observations: &observations,
+        asdb: &data.asdb,
+        certs: &data.certs,
+        pdns: &data.pdns,
+        crtsh: &data.crtsh,
+        dnssec: data.dnssec.as_ref(),
+    });
+
+    let f = &report.funnel;
+    println!("funnel:");
+    println!("  domains observed        {}", f.domains_total);
+    println!("  transient maps          {}", f.transient_maps);
+    println!("  shortlisted             {}", f.shortlisted);
+    println!("  dismissed (stale cert)  {}", f.dismissed_stale);
+    println!("  inconclusive            {}", f.inconclusive);
+    println!("  hijacked                {} ({:?})", report.hijacked.len(), f.hijacks_by_type);
+    println!("  targeted                {}", report.targeted.len());
+
+    let info_map: HashMap<DomainName, DomainInfo> = data
+        .meta
+        .iter()
+        .map(|m| {
+            (
+                m.domain.clone(),
+                DomainInfo {
+                    sector: m.sector.to_string(),
+                    country: Some(m.country),
+                    org_name: m.org_name.clone(),
+                },
+            )
+        })
+        .collect();
+    let info = |d: &DomainName| info_map.get(d).cloned();
+    println!("\nhijacked domains:");
+    print!("{}", render_table2(&report.hijacked, &info));
+    println!("\ntargeted domains:");
+    print!("{}", render_table3(&report.targeted, &info));
+
+    if score {
+        let truth: TruthFile = load(dir, "truth.json")?;
+        let sh = score_detection(&report.hijacked_domains(), &truth.hijacked);
+        let st = score_detection(&report.targeted_domains(), &truth.targeted);
+        println!("\nscoring vs ground truth:");
+        println!(
+            "  hijacked: precision {:.2} recall {:.2} f1 {:.2}",
+            sh.precision(),
+            sh.recall(),
+            sh.f1()
+        );
+        println!(
+            "  targeted: precision {:.2} recall {:.2} f1 {:.2}",
+            st.precision(),
+            st.recall(),
+            st.f1()
+        );
+    }
+    Ok(())
+}
+
+fn info(dir: &Path) -> Result<(), String> {
+    let data = load_data(dir)?;
+    println!("data sets in {}:", dir.display());
+    println!("  scans.json   {} records over {} dates", data.dataset.len(), data.dataset.dates().len());
+    println!("  certs.json   {} certificates", data.certs.len());
+    println!("  pdns.json    {} aggregated tuples", data.pdns.len());
+    println!("  crtsh.json   {} CT records", data.crtsh.len());
+    println!("  dnssec.json  {}", match &data.dnssec {
+        Some(a) => format!("{} domains", a.len()),
+        None => "absent".to_string(),
+    });
+    println!("  meta.json    {} domain descriptions", data.meta.len());
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage:\n  retrodns simulate --out DIR [--seed N] [--domains N]\n  retrodns analyze --data DIR [--dnssec-signal] [--score]\n  retrodns info --data DIR"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let mut out: Option<PathBuf> = None;
+    let mut data: Option<PathBuf> = None;
+    let mut seed: u64 = 0xD05_11EC7;
+    let mut domains: usize = 20_000;
+    let mut dnssec_signal = false;
+    let mut score = false;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = it.next().map(PathBuf::from),
+            "--data" => data = it.next().map(PathBuf::from),
+            "--seed" => {
+                seed = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--seed expects an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--domains" => {
+                domains = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--domains expects an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--dnssec-signal" => dnssec_signal = true,
+            "--score" => score = true,
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let result = match cmd.as_str() {
+        "simulate" => match out {
+            Some(dir) => simulate(&dir, seed, domains),
+            None => Err("simulate requires --out DIR".into()),
+        },
+        "analyze" => match data {
+            Some(dir) => analyze(&dir, dnssec_signal, score),
+            None => Err("analyze requires --data DIR".into()),
+        },
+        "info" => match data {
+            Some(dir) => info(&dir),
+            None => Err("info requires --data DIR".into()),
+        },
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # retrodns — facade crate
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use retrodns::core::...` etc. See the individual
+//! crates for the real documentation:
+//!
+//! * [`types`] — days, periods, ASNs, country codes, IPs, domain names
+//! * [`asdb`] — prefix-to-AS, AS-to-org, geolocation tables
+//! * [`cert`] — certificates, CAs, CT logs, crt.sh index, ACME issuance
+//! * [`dns`] — zones, registrars, resolution, zone snapshots, passive DNS
+//! * [`scan`] — weekly TLS scanning and annotated CUIDS-like datasets
+//! * [`sim`] — the synthetic Internet world and attacker campaigns
+//! * [`core`] — deployment maps, pattern classification, shortlisting,
+//!   inspection, pivot analysis: the paper's contribution
+
+#![warn(missing_docs)]
+pub use retrodns_asdb as asdb;
+pub use retrodns_cert as cert;
+pub use retrodns_core as core;
+pub use retrodns_dns as dns;
+pub use retrodns_scan as scan;
+pub use retrodns_sim as sim;
+pub use retrodns_types as types;

@@ -1,0 +1,66 @@
+//! End-to-end test of the `retrodns` CLI: simulate → info → analyze
+//! --score over a temp directory.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_retrodns"))
+}
+
+#[test]
+fn simulate_analyze_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("retrodns-cli-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // simulate
+    let out = bin()
+        .args(["simulate", "--out"])
+        .arg(&dir)
+        .args(["--seed", "9", "--domains", "1500"])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for f in ["scans.json", "certs.json", "asdb.json", "pdns.json", "crtsh.json", "truth.json"] {
+        assert!(dir.join(f).exists(), "{f} missing");
+    }
+
+    // info
+    let out = bin().args(["info", "--data"]).arg(&dir).output().expect("run info");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scans.json"), "{stdout}");
+
+    // analyze --score
+    let out = bin()
+        .args(["analyze", "--data"])
+        .arg(&dir)
+        .arg("--score")
+        .output()
+        .expect("run analyze");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("funnel:"), "{stdout}");
+    assert!(stdout.contains("scoring vs ground truth"), "{stdout}");
+    assert!(stdout.contains("hijacked: precision"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analyze_missing_dir_fails_cleanly() {
+    let out = bin()
+        .args(["analyze", "--data", "/nonexistent/retrodns-data"])
+        .output()
+        .expect("run analyze");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}

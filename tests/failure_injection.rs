@@ -1,0 +1,137 @@
+//! Failure injection: the pipeline must degrade safely when observation
+//! sources are missing, truncated or lossy — never inventing hijack
+//! verdicts it cannot corroborate.
+
+use retrodns::cert::CrtShIndex;
+use retrodns::core::pipeline::{AnalystInputs, Pipeline, PipelineConfig};
+use retrodns::dns::PassiveDns;
+use retrodns::scan::ScanDataset;
+use retrodns::sim::{SimConfig, World};
+
+fn pipeline_for(world: &World) -> Pipeline {
+    Pipeline::new(PipelineConfig {
+        window: world.config.window.clone(),
+        ..PipelineConfig::default()
+    })
+}
+
+#[test]
+fn no_pdns_no_ct_means_no_hijack_verdicts() {
+    // Without corroborating sources, suspicious transients must stay
+    // inconclusive — the methodology's precision rests on this.
+    let world = World::build(SimConfig::small(101));
+    let dataset = world.scan();
+    let observations = world.observations(&dataset);
+    let empty_pdns = PassiveDns::new();
+    let empty_crtsh = CrtShIndex::default();
+    let report = pipeline_for(&world).run(&AnalystInputs {
+        observations: &observations,
+        asdb: &world.geo.asdb,
+        certs: &world.certs,
+        pdns: &empty_pdns,
+        crtsh: &empty_crtsh,
+        dnssec: None,
+    });
+    assert!(
+        report.hijacked.is_empty(),
+        "hijack verdicts without any corroborating source: {:?}",
+        report.hijacked_domains()
+    );
+    // Funnel still ran: candidates existed but none could be concluded.
+    assert!(report.funnel.transient_maps > 0);
+}
+
+#[test]
+fn empty_scan_dataset_is_handled() {
+    let world = World::build(SimConfig::small(102));
+    let report = pipeline_for(&world).run(&AnalystInputs {
+        observations: &[],
+        asdb: &world.geo.asdb,
+        certs: &world.certs,
+        pdns: &world.pdns,
+        crtsh: &world.crtsh,
+        dnssec: Some(&world.dnssec),
+    });
+    assert_eq!(report.funnel.maps_total, 0);
+    assert!(report.hijacked.is_empty());
+    assert!(report.targeted.is_empty());
+}
+
+#[test]
+fn truncated_scan_history_degrades_gracefully() {
+    // Only the first year of scans: attacks after that are simply not in
+    // the data; attacks inside it may still be found, and nothing crashes.
+    let world = World::build(SimConfig::small(103));
+    let dataset = world.scan();
+    let cutoff = retrodns::types::Day(365);
+    let truncated = ScanDataset::from_records(
+        dataset
+            .records()
+            .iter()
+            .copied()
+            .filter(|r| r.date < cutoff)
+            .collect(),
+    );
+    let observations = world.observations(&truncated);
+    let report = pipeline_for(&world).run(&AnalystInputs {
+        observations: &observations,
+        asdb: &world.geo.asdb,
+        certs: &world.certs,
+        pdns: &world.pdns,
+        crtsh: &world.crtsh,
+        dnssec: Some(&world.dnssec),
+    });
+    for h in &report.hijacked {
+        assert!(
+            world.ground_truth.is_attacked(&h.domain),
+            "false positive under truncation: {}",
+            h.domain
+        );
+    }
+}
+
+#[test]
+fn extreme_scan_loss_reduces_recall_not_precision() {
+    let mut config = SimConfig::small(104);
+    config.scan_miss_rate = 0.6; // 60% probe loss
+    let world = World::build(config);
+    let dataset = world.scan();
+    let observations = world.observations(&dataset);
+    let report = pipeline_for(&world).run(&AnalystInputs {
+        observations: &observations,
+        asdb: &world.geo.asdb,
+        certs: &world.certs,
+        pdns: &world.pdns,
+        crtsh: &world.crtsh,
+        dnssec: Some(&world.dnssec),
+    });
+    for h in &report.hijacked {
+        assert!(
+            world.ground_truth.is_attacked(&h.domain),
+            "false positive under heavy loss: {}",
+            h.domain
+        );
+    }
+}
+
+#[test]
+fn missing_cert_contents_are_tolerated() {
+    // The analyst's cert store is partial (e.g. scans that never captured
+    // full chains): shortlisting loses sensitivity info but must not
+    // panic or hallucinate.
+    let world = World::build(SimConfig::small(105));
+    let dataset = world.scan();
+    let observations = world.observations(&dataset);
+    let empty_certs = std::collections::HashMap::new();
+    let report = pipeline_for(&world).run(&AnalystInputs {
+        observations: &observations,
+        asdb: &world.geo.asdb,
+        certs: &empty_certs,
+        pdns: &world.pdns,
+        crtsh: &world.crtsh,
+        dnssec: Some(&world.dnssec),
+    });
+    for h in &report.hijacked {
+        assert!(world.ground_truth.is_attacked(&h.domain));
+    }
+}

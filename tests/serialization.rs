@@ -1,0 +1,85 @@
+//! Serde round-trips: the derives on the public types are part of the
+//! API contract (datasets, reports and configs must be archivable), so
+//! every major structure must survive a JSON round-trip unchanged.
+
+use retrodns::core::pipeline::{AnalystInputs, Pipeline, PipelineConfig, Report};
+use retrodns::scan::ScanDataset;
+use retrodns::sim::{GroundTruth, SimConfig, World};
+use retrodns::types::{Asn, Day, DomainName, Ipv4Addr, Ipv4Prefix, StudyWindow};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn value_types_round_trip() {
+    let day: Day = "2020-12-21".parse().unwrap();
+    assert_eq!(roundtrip(&day), day);
+    let asn = Asn(20473);
+    assert_eq!(roundtrip(&asn), asn);
+    let ip: Ipv4Addr = "94.103.91.159".parse().unwrap();
+    assert_eq!(roundtrip(&ip), ip);
+    let prefix: Ipv4Prefix = "95.179.128.0/18".parse().unwrap();
+    assert_eq!(roundtrip(&prefix), prefix);
+    let name: DomainName = "mail.mfa.gov.kg".parse().unwrap();
+    assert_eq!(roundtrip(&name), name);
+    let window = StudyWindow::default();
+    assert_eq!(roundtrip(&window), window);
+}
+
+#[test]
+fn scan_dataset_round_trips() {
+    let world = World::build(SimConfig::small(200));
+    let dataset = world.scan();
+    let back: ScanDataset = roundtrip(&dataset);
+    assert_eq!(back, dataset);
+}
+
+#[test]
+fn report_and_ground_truth_round_trip() {
+    let world = World::build(SimConfig::small(201));
+    let dataset = world.scan();
+    let observations = world.observations(&dataset);
+    let pipeline = Pipeline::new(PipelineConfig {
+        window: world.config.window.clone(),
+        ..PipelineConfig::default()
+    });
+    let report = pipeline.run(&AnalystInputs {
+        observations: &observations,
+        asdb: &world.geo.asdb,
+        certs: &world.certs,
+        pdns: &world.pdns,
+        crtsh: &world.crtsh,
+        dnssec: Some(&world.dnssec),
+    });
+    let back: Report = roundtrip(&report);
+    assert_eq!(back.hijacked_domains(), report.hijacked_domains());
+    assert_eq!(back.targeted_domains(), report.targeted_domains());
+    assert_eq!(back.funnel.shortlisted, report.funnel.shortlisted);
+
+    let gt: GroundTruth = roundtrip(&world.ground_truth);
+    assert_eq!(gt.hijacked.len(), world.ground_truth.hijacked.len());
+
+    let cfg: PipelineConfig = roundtrip(&pipeline.config);
+    assert_eq!(
+        cfg.classify.transient_max_days,
+        pipeline.config.classify.transient_max_days
+    );
+    let sim_cfg: SimConfig = roundtrip(&world.config);
+    assert_eq!(sim_cfg.n_domains, world.config.n_domains);
+}
+
+#[test]
+fn observation_archives_round_trip() {
+    let world = World::build(SimConfig::small(202));
+    let pdns: retrodns::dns::PassiveDns = roundtrip(&world.pdns);
+    assert_eq!(pdns.len(), world.pdns.len());
+    let zones: retrodns::dns::ZoneSnapshotArchive = roundtrip(&world.zones);
+    assert_eq!(zones.access_count(), world.zones.access_count());
+    let dnssec: retrodns::dns::DnssecArchive = roundtrip(&world.dnssec);
+    assert_eq!(dnssec.len(), world.dnssec.len());
+}

@@ -1,0 +1,172 @@
+//! Cross-crate substrate integration: the ACME/DNS hijack interplay, CT
+//! integrity after a full world build, and observation-system consistency
+//! with the authoritative DNS history.
+
+use retrodns::cert::authority::{CaKind, CertAuthority};
+use retrodns::cert::{AcmeCa, CaId, ChallengeResponder, CtLog, KeyId};
+use retrodns::dns::{Actor, DnsDb, RecordData, RecordType, RegistrarId};
+use retrodns::sim::{SimConfig, World};
+use retrodns::types::{Day, DomainName};
+
+fn d(s: &str) -> DomainName {
+    s.parse().unwrap()
+}
+
+struct Resolver<'a>(&'a DnsDb);
+impl ChallengeResponder for Resolver<'_> {
+    fn txt_lookup(&self, name: &DomainName, day: Day) -> Vec<String> {
+        self.0.resolve_txt(name, day).unwrap_or_default()
+    }
+}
+
+/// The attack's crux, demonstrated at the substrate level: DNS control is
+/// necessary AND sufficient for DV issuance.
+#[test]
+fn acme_issuance_tracks_delegation_control() {
+    let mut dns = DnsDb::new();
+    dns.registrars.add_registrar(RegistrarId(0), "R");
+    dns.register_domain(d("victim.com"), RegistrarId(0), Day(0));
+    dns.set_delegation(&Actor::Owner, &d("victim.com"), vec![d("ns1.legit.com")], Day(0))
+        .unwrap();
+
+    let key = KeyId(13);
+    let mut le = AcmeCa::new(CertAuthority::new(CaId(1), "LE", CaKind::AcmeDv, 90), 0);
+    let mut ct = CtLog::new();
+
+    // Rogue NS carries the token for days 100..; delegation flips only
+    // on day 100.
+    let token = AcmeCa::challenge_token(&d("mail.victim.com"), key, Day(100));
+    dns.set_zone_record(
+        &d("ns1.evil.ru"),
+        &AcmeCa::challenge_name(&d("mail.victim.com")),
+        vec![RecordData::Txt(token)],
+        Day(99),
+    );
+    let actor = Actor::StolenCredentials(d("victim.com"));
+    dns.set_delegation(&actor, &d("victim.com"), vec![d("ns1.evil.ru")], Day(100)).unwrap();
+    dns.set_delegation(&Actor::Owner, &d("victim.com"), vec![d("ns1.legit.com")], Day(101))
+        .unwrap();
+
+    // Day 99: token exists on rogue NS, but delegation still legit → fail.
+    assert!(le
+        .request(vec![d("mail.victim.com")], key, Day(99), &Resolver(&dns), &mut ct)
+        .is_err());
+    // Day 100: delegation flipped → success, logged to CT.
+    let cert = le
+        .request(vec![d("mail.victim.com")], key, Day(100), &Resolver(&dns), &mut ct)
+        .unwrap();
+    assert!(ct.find(cert.id).is_some());
+    // Day 101: restored → fail again (token day-bound anyway).
+    assert!(le
+        .request(vec![d("mail.victim.com")], key, Day(101), &Resolver(&dns), &mut ct)
+        .is_err());
+    assert!(ct.verify_chain());
+}
+
+#[test]
+fn world_ct_log_is_chronological_and_verifiable() {
+    let world = World::build(SimConfig::small(33));
+    assert!(world.ct.verify_chain());
+    let mut prev = Day(0);
+    for e in world.ct.entries() {
+        assert!(e.timestamp >= prev, "CT must be chronological");
+        prev = e.timestamp;
+    }
+    // Every CT-logged cert is resolvable through the crt.sh index.
+    for e in world.ct.entries().take(500) {
+        assert!(world.crtsh.record(e.cert.id).is_some());
+    }
+}
+
+#[test]
+fn internal_ca_certs_absent_from_ct_but_present_in_scans() {
+    let world = World::build(SimConfig::small(33));
+    let internal: Vec<_> = world
+        .certs
+        .values()
+        .filter(|c| !world.trust.is_browser_trusted(c.issuer))
+        .collect();
+    assert!(!internal.is_empty(), "some domains use internal CAs");
+    for c in internal.iter().take(50) {
+        assert!(
+            world.crtsh.record(c.id).is_none(),
+            "internal cert {} must not reach CT",
+            c.id
+        );
+    }
+}
+
+#[test]
+fn pdns_windows_are_consistent_with_authoritative_history() {
+    let world = World::build(SimConfig::small(33));
+    let window = &world.config.window;
+    // For a sample of pDNS A entries, the authoritative DNS must actually
+    // have resolved the name to that address at some day in the sighting
+    // window (passive DNS never hallucinates).
+    let mut checked = 0;
+    for e in world.pdns.iter_entries() {
+        if e.rtype != RecordType::A || checked >= 200 {
+            continue;
+        }
+        let Some(ip) = e.rdata.as_a() else { continue };
+        let segs = world
+            .dns
+            .resolution_segments(&e.name, RecordType::A, window.start, window.end);
+        let consistent = segs.iter().any(|(s, t, answers)| {
+            *s <= e.last_seen
+                && *t >= e.first_seen
+                && answers.iter().any(|a| a.as_a() == Some(ip))
+        });
+        assert!(
+            consistent,
+            "pDNS claims {} -> {} in {}..{} but authoritative history disagrees",
+            e.name, ip, e.first_seen, e.last_seen
+        );
+        checked += 1;
+    }
+    assert!(checked >= 100, "sample too small: {checked}");
+}
+
+#[test]
+fn zone_archive_agrees_with_delegation_history_on_long_runs() {
+    let world = World::build(SimConfig::small(33));
+    let window = &world.config.window;
+    let mut checked = 0;
+    for meta in &world.meta {
+        if !world.zones.has_access(&meta.domain) || checked >= 50 {
+            continue;
+        }
+        let segs = world
+            .dns
+            .delegation_segments(&meta.domain, window.start, window.end);
+        for (s, t, ns) in segs {
+            // Sub-day flips may be invisible; check only multi-week runs.
+            if t - s < 21 || ns.is_empty() {
+                continue;
+            }
+            let mid = Day((s.0 + t.0) / 2);
+            let archived = world.zones.delegation_on(&meta.domain, mid);
+            assert_eq!(
+                archived,
+                Some(ns.as_slice()),
+                "zone archive wrong for {} on {mid}",
+                meta.domain
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 20, "sample too small: {checked}");
+}
+
+#[test]
+fn scan_records_match_farm_state() {
+    let world = World::build(SimConfig::small(33));
+    let dataset = world.scan();
+    for r in dataset.records().iter().take(500) {
+        assert_eq!(
+            world.farm.cert_at(r.ip, r.port, r.date),
+            Some(r.cert),
+            "scan observed a cert the farm was not serving"
+        );
+    }
+}
