@@ -137,8 +137,10 @@ mod tests {
     #[test]
     fn lookup_inside_and_outside() {
         let mut b = GeoTableBuilder::new();
-        b.insert_range(ip("10.0.0.0"), ip("10.0.0.255"), cc("GR")).unwrap();
-        b.insert_range(ip("10.0.2.0"), ip("10.0.2.255"), cc("NL")).unwrap();
+        b.insert_range(ip("10.0.0.0"), ip("10.0.0.255"), cc("GR"))
+            .unwrap();
+        b.insert_range(ip("10.0.2.0"), ip("10.0.2.255"), cc("NL"))
+            .unwrap();
         let t = b.build();
         assert_eq!(t.lookup(ip("10.0.0.128")), Some(cc("GR")));
         assert_eq!(t.lookup(ip("10.0.2.0")), Some(cc("NL")));
@@ -150,7 +152,8 @@ mod tests {
     #[test]
     fn boundaries_are_inclusive() {
         let mut b = GeoTableBuilder::new();
-        b.insert_range(ip("10.0.0.0"), ip("10.0.0.255"), cc("GR")).unwrap();
+        b.insert_range(ip("10.0.0.0"), ip("10.0.0.255"), cc("GR"))
+            .unwrap();
         let t = b.build();
         assert_eq!(t.lookup(ip("10.0.0.0")), Some(cc("GR")));
         assert_eq!(t.lookup(ip("10.0.0.255")), Some(cc("GR")));
@@ -159,13 +162,16 @@ mod tests {
     #[test]
     fn rejects_overlap_and_inversion() {
         let mut b = GeoTableBuilder::new();
-        b.insert_range(ip("10.0.0.0"), ip("10.0.0.255"), cc("GR")).unwrap();
+        b.insert_range(ip("10.0.0.0"), ip("10.0.0.255"), cc("GR"))
+            .unwrap();
         assert_eq!(
-            b.insert_range(ip("10.0.0.255"), ip("10.0.1.0"), cc("NL")).err(),
+            b.insert_range(ip("10.0.0.255"), ip("10.0.1.0"), cc("NL"))
+                .err(),
             Some(GeoError::Overlap(ip("10.0.0.255"), ip("10.0.1.0")))
         );
         assert_eq!(
-            b.insert_range(ip("10.0.1.0"), ip("10.0.0.0"), cc("NL")).err(),
+            b.insert_range(ip("10.0.1.0"), ip("10.0.0.0"), cc("NL"))
+                .err(),
             Some(GeoError::InvertedRange(ip("10.0.1.0"), ip("10.0.0.0")))
         );
     }
@@ -173,8 +179,10 @@ mod tests {
     #[test]
     fn adjacent_ranges_allowed() {
         let mut b = GeoTableBuilder::new();
-        b.insert_range(ip("10.0.0.0"), ip("10.0.0.255"), cc("GR")).unwrap();
-        b.insert_range(ip("10.0.1.0"), ip("10.0.1.255"), cc("NL")).unwrap();
+        b.insert_range(ip("10.0.0.0"), ip("10.0.0.255"), cc("GR"))
+            .unwrap();
+        b.insert_range(ip("10.0.1.0"), ip("10.0.1.255"), cc("NL"))
+            .unwrap();
         let t = b.build();
         assert_eq!(t.lookup(ip("10.0.0.255")), Some(cc("GR")));
         assert_eq!(t.lookup(ip("10.0.1.0")), Some(cc("NL")));
@@ -184,7 +192,8 @@ mod tests {
     #[test]
     fn single_address_range() {
         let mut b = GeoTableBuilder::new();
-        b.insert_range(ip("1.2.3.4"), ip("1.2.3.4"), cc("US")).unwrap();
+        b.insert_range(ip("1.2.3.4"), ip("1.2.3.4"), cc("US"))
+            .unwrap();
         let t = b.build();
         assert_eq!(t.lookup(ip("1.2.3.4")), Some(cc("US")));
         assert_eq!(t.lookup(ip("1.2.3.5")), None);

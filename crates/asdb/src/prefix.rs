@@ -86,9 +86,9 @@ impl PrefixTableBuilder {
         let mut cursor: u64 = 0; // next address not yet covered by a segment
 
         let close_until = |stack: &mut Vec<(Ipv4Prefix, Asn)>,
-                               cursor: &mut u64,
-                               emit: &mut dyn FnMut(Asn, u64, u64),
-                               boundary: u64| {
+                           cursor: &mut u64,
+                           emit: &mut dyn FnMut(Asn, u64, u64),
+                           boundary: u64| {
             while let Some((top, asn)) = stack.last().copied() {
                 let top_end = top.last().value() as u64;
                 if top_end >= boundary {
@@ -201,7 +201,11 @@ mod tests {
 
     #[test]
     fn nested_more_specific_wins() {
-        let t = table(&[("10.0.0.0/8", 100), ("10.1.0.0/16", 200), ("10.1.2.0/24", 300)]);
+        let t = table(&[
+            ("10.0.0.0/8", 100),
+            ("10.1.0.0/16", 200),
+            ("10.1.2.0/24", 300),
+        ]);
         assert_eq!(t.lookup(ip("10.0.0.1")), Some(Asn(100)));
         assert_eq!(t.lookup(ip("10.1.0.1")), Some(Asn(200)));
         assert_eq!(t.lookup(ip("10.1.2.1")), Some(Asn(300)));
@@ -236,11 +240,7 @@ mod tests {
 
     #[test]
     fn deep_nesting_three_levels_with_gaps() {
-        let t = table(&[
-            ("0.0.0.0/0", 1),
-            ("128.0.0.0/2", 2),
-            ("128.64.0.0/12", 3),
-        ]);
+        let t = table(&[("0.0.0.0/0", 1), ("128.0.0.0/2", 2), ("128.64.0.0/12", 3)]);
         assert_eq!(t.lookup(ip("1.2.3.4")), Some(Asn(1)));
         assert_eq!(t.lookup(ip("129.0.0.1")), Some(Asn(2)));
         assert_eq!(t.lookup(ip("128.64.5.5")), Some(Asn(3)));
@@ -266,11 +266,7 @@ mod tests {
 
     #[test]
     fn siblings_inside_parent() {
-        let t = table(&[
-            ("10.0.0.0/8", 1),
-            ("10.16.0.0/12", 2),
-            ("10.32.0.0/12", 3),
-        ]);
+        let t = table(&[("10.0.0.0/8", 1), ("10.16.0.0/12", 2), ("10.32.0.0/12", 3)]);
         assert_eq!(t.lookup(ip("10.15.255.255")), Some(Asn(1)));
         assert_eq!(t.lookup(ip("10.16.0.0")), Some(Asn(2)));
         assert_eq!(t.lookup(ip("10.31.255.255")), Some(Asn(2)));

@@ -42,6 +42,63 @@ fn bench_map_build(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_stages(c: &mut Criterion) {
+    let f = fixture();
+    let serial = Pipeline::new(PipelineConfig {
+        window: f.world.config.window.clone(),
+        workers: 1,
+        ..PipelineConfig::default()
+    });
+    let parallel = Pipeline::new(PipelineConfig {
+        window: f.world.config.window.clone(),
+        workers: 4,
+        ..PipelineConfig::default()
+    });
+    let (maps, patterns) = serial.maps_and_patterns(&f.observations);
+    let shortlisted = shortlist(
+        &maps,
+        &patterns,
+        &f.world.geo.asdb,
+        &f.world.certs,
+        &ShortlistConfig::default(),
+    );
+    let inputs = AnalystInputs {
+        observations: &f.observations,
+        asdb: &f.world.geo.asdb,
+        certs: &f.world.certs,
+        pdns: &f.world.pdns,
+        crtsh: &f.world.crtsh,
+        dnssec: Some(&f.world.dnssec),
+    };
+
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(maps.len() as u64));
+    group.bench_function("classify_stage_serial", |b| {
+        b.iter(|| serial.classify_maps(black_box(&maps)).len())
+    });
+    group.bench_function("classify_stage_parallel4", |b| {
+        b.iter(|| parallel.classify_maps(black_box(&maps)).len())
+    });
+    group.throughput(Throughput::Elements(shortlisted.candidates.len() as u64));
+    group.bench_function("inspect_stage_serial", |b| {
+        b.iter(|| {
+            serial
+                .inspect_candidates(black_box(&shortlisted.candidates), &inputs)
+                .hijacked
+                .len()
+        })
+    });
+    group.bench_function("inspect_stage_parallel4", |b| {
+        b.iter(|| {
+            parallel
+                .inspect_candidates(black_box(&shortlisted.candidates), &inputs)
+                .hijacked
+                .len()
+        })
+    });
+    group.finish();
+}
+
 fn bench_classify_and_shortlist(c: &mut Criterion) {
     let f = fixture();
     let builder = MapBuilder::new(f.world.config.window.clone());
@@ -76,27 +133,35 @@ fn bench_classify_and_shortlist(c: &mut Criterion) {
 
 fn bench_full_pipeline(c: &mut Criterion) {
     let f = fixture();
-    let pipeline = Pipeline::new(PipelineConfig {
-        window: f.world.config.window.clone(),
-        ..PipelineConfig::default()
-    });
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
-    group.bench_function("end_to_end_2k_domains", |b| {
-        b.iter(|| {
-            pipeline
-                .run(&AnalystInputs {
-                    observations: black_box(&f.observations),
-                    asdb: &f.world.geo.asdb,
-                    certs: &f.world.certs,
-                    pdns: &f.world.pdns,
-                    crtsh: &f.world.crtsh,
-                    dnssec: Some(&f.world.dnssec),
-                })
-                .hijacked
-                .len()
-        })
-    });
+    for workers in [1usize, 4] {
+        let pipeline = Pipeline::new(PipelineConfig {
+            window: f.world.config.window.clone(),
+            workers,
+            ..PipelineConfig::default()
+        });
+        let id = if workers == 1 {
+            "end_to_end_2k_domains".to_string()
+        } else {
+            format!("end_to_end_2k_domains_parallel{workers}")
+        };
+        group.bench_function(&id, |b| {
+            b.iter(|| {
+                pipeline
+                    .run(&AnalystInputs {
+                        observations: black_box(&f.observations),
+                        asdb: &f.world.geo.asdb,
+                        certs: &f.world.certs,
+                        pdns: &f.world.pdns,
+                        crtsh: &f.world.crtsh,
+                        dnssec: Some(&f.world.dnssec),
+                    })
+                    .hijacked
+                    .len()
+            })
+        });
+    }
     group.finish();
 }
 
@@ -143,15 +208,13 @@ fn bench_world_build(c: &mut Criterion) {
         b.iter(|| World::build(SimConfig::small(black_box(7))).certs.len())
     });
     let f = fixture();
-    group.bench_function("weekly_scan_4_years", |b| {
-        b.iter(|| f.world.scan().len())
-    });
+    group.bench_function("weekly_scan_4_years", |b| b.iter(|| f.world.scan().len()));
     group.finish();
 }
 
 criterion_group!(
     name = pipeline;
     config = Criterion::default().sample_size(20);
-    targets = bench_map_build, bench_classify_and_shortlist, bench_full_pipeline, bench_reactive_monitor, bench_world_build
+    targets = bench_map_build, bench_classify_and_shortlist, bench_parallel_stages, bench_full_pipeline, bench_reactive_monitor, bench_world_build
 );
 criterion_main!(pipeline);

@@ -41,8 +41,12 @@ fn bench_geo(c: &mut Criterion) {
     let mut g = GeoTableBuilder::new();
     for i in 0..50_000u32 {
         let start = i * 4096;
-        g.insert_range(Ipv4Addr(start), Ipv4Addr(start + 4000), "NL".parse().unwrap())
-            .unwrap();
+        g.insert_range(
+            Ipv4Addr(start),
+            Ipv4Addr(start + 4000),
+            "NL".parse().unwrap(),
+        )
+        .unwrap();
     }
     let table = g.build();
     let mut rng = StdRng::seed_from_u64(2);
@@ -121,7 +125,14 @@ fn bench_crtsh(c: &mut Criterion) {
     for i in 0..20_000u64 {
         let name: DomainName = format!("mail.domain{}.com", i % 2000).parse().unwrap();
         log.submit(
-            Certificate::new(CertId(i), vec![name], CaId(1), Day((i / 20) as u32), 90, KeyId(i)),
+            Certificate::new(
+                CertId(i),
+                vec![name],
+                CaId(1),
+                Day((i / 20) as u32),
+                90,
+                KeyId(i),
+            ),
             Day((i / 20) as u32),
         );
     }

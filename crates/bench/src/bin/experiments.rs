@@ -2,11 +2,15 @@
 //! the paper's evaluation against a freshly simulated world.
 //!
 //! ```text
-//! experiments [--scale quick|standard|full] [--seed N] <id>... | all
+//! experiments [--scale quick|standard|full] [--seed N] [--workers N] <id>... | all
 //! ```
 //!
 //! Ids: table1 fig2 fig3 fig4 fig5 population funnel table2 table3 table4
 //! table5 observability table9 baselines ablation.
+//!
+//! The extra id `bench` (not part of `all`) times the parallelizable
+//! pipeline stages serial-vs-parallel and writes the machine-readable
+//! result to `BENCH_pipeline.json` in the working directory.
 
 use retrodns_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
 use retrodns_bench::{Bundle, Scale};
@@ -16,10 +20,22 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Standard;
     let mut seed: u64 = 0xD05_11EC7;
+    let mut workers: usize = 4;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--workers" => {
+                let Some(v) = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &usize| v >= 1)
+                else {
+                    eprintln!("--workers expects a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                workers = v;
+            }
             "--scale" => {
                 let Some(v) = it.next().and_then(|v| Scale::parse(&v)) else {
                     eprintln!("--scale expects quick|standard|full");
@@ -36,8 +52,8 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--scale quick|standard|full] [--seed N] <id>... | all\n\
-                     ids: {}",
+                    "usage: experiments [--scale quick|standard|full] [--seed N] [--workers N] <id>... | all\n\
+                     ids: {} bench",
                     ALL_EXPERIMENTS.join(" ")
                 );
                 return ExitCode::SUCCESS;
@@ -49,8 +65,11 @@ fn main() -> ExitCode {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
     for id in &ids {
-        if !ALL_EXPERIMENTS.contains(&id.as_str()) {
-            eprintln!("unknown experiment {id:?}; known: {}", ALL_EXPERIMENTS.join(" "));
+        if id != "bench" && !ALL_EXPERIMENTS.contains(&id.as_str()) {
+            eprintln!(
+                "unknown experiment {id:?}; known: {} bench",
+                ALL_EXPERIMENTS.join(" ")
+            );
             return ExitCode::FAILURE;
         }
     }
@@ -69,6 +88,18 @@ fn main() -> ExitCode {
 
     for id in &ids {
         let t = std::time::Instant::now();
+        if id == "bench" {
+            let report = retrodns_bench::bench_pipeline(&bundle, workers, 3);
+            let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+            let path = "BENCH_pipeline.json";
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("\n{}", report.summary());
+            eprintln!("[bench wrote {path}; took {:.1?}]", t.elapsed());
+            continue;
+        }
         let out = run_experiment(id, &bundle).expect("validated id");
         println!("\n{out}");
         eprintln!("[{id} took {:.1?}]", t.elapsed());

@@ -6,10 +6,10 @@
 use crate::bundle::Bundle;
 use retrodns_core::baseline;
 use retrodns_core::classify::{classify, ClassifyConfig};
+use retrodns_core::inspect::InspectConfig;
 use retrodns_core::map::MapBuilder;
 use retrodns_core::observability::observability;
 use retrodns_core::pipeline::{Pipeline, PipelineConfig};
-use retrodns_core::inspect::InspectConfig;
 use retrodns_core::reactive::{DelegationProbe, ReactiveConfig, ReactiveMonitor, ReactiveVerdict};
 use retrodns_core::render::render_map;
 use retrodns_core::report::{
@@ -107,7 +107,11 @@ fn render_gallery(title: &str, archetypes: &[Archetype]) -> String {
     for a in archetypes {
         let maps = builder.build(&a.observations);
         let pattern = classify(&maps[0], &cfg);
-        let verdict = if pattern.label() == a.expected { "ok" } else { "MISMATCH" };
+        let verdict = if pattern.label() == a.expected {
+            "ok"
+        } else {
+            "MISMATCH"
+        };
         let _ = writeln!(
             out,
             "\n-- {}: {} (expected {}, classified {}, {verdict})",
@@ -128,12 +132,18 @@ pub fn fig3() -> String {
 
 /// Figure 4: transition patterns gallery.
 pub fn fig4() -> String {
-    render_gallery("Figure 4: transition patterns (X1-X3)", &transition_archetypes())
+    render_gallery(
+        "Figure 4: transition patterns (X1-X3)",
+        &transition_archetypes(),
+    )
 }
 
 /// Figure 5: transient patterns gallery.
 pub fn fig5() -> String {
-    render_gallery("Figure 5: transient patterns (T1-T2)", &transient_archetypes())
+    render_gallery(
+        "Figure 5: transient patterns (T1-T2)",
+        &transient_archetypes(),
+    )
 }
 
 /// §4.2 population statistics.
@@ -152,11 +162,19 @@ pub fn population(b: &Bundle) -> String {
         ("transient", 0.13),
         ("noisy", 0.35),
     ];
-    let _ = writeln!(out, "{:<12} {:>10} {:>9}  {:>9}", "category", "domains", "measured", "paper");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>9}  {:>9}",
+        "category", "domains", "measured", "paper"
+    );
     for (cat, paper_pct) in paper {
         let n = f.domain_categories.get(cat).copied().unwrap_or(0);
         let pct = 100.0 * n as f64 / f.domains_total.max(1) as f64;
-        let _ = writeln!(out, "{:<12} {:>10} {:>8.2}% {:>8.2}%", cat, n, pct, paper_pct);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>8.2}% {:>8.2}%",
+            cat, n, pct, paper_pct
+        );
     }
     let _ = writeln!(out, "map-level: {:?}", f.map_categories);
     out
@@ -167,14 +185,42 @@ pub fn funnel(b: &Bundle) -> String {
     let mut out = String::new();
     let f = &b.report.funnel;
     let _ = writeln!(out, "== Detection funnel (paper §4.2-4.5) ==");
-    let _ = writeln!(out, "{:<42} {:>9} paper(22M-domain run)", "stage", "measured");
+    let _ = writeln!(
+        out,
+        "{:<42} {:>9} paper(22M-domain run)",
+        "stage", "measured"
+    );
     let rows = [
-        ("domains with deployment maps", f.domains_total.to_string(), "22M".to_string()),
-        ("transient deployment maps", f.transient_maps.to_string(), "28K".to_string()),
-        ("shortlisted candidates", f.shortlisted.to_string(), "8143".to_string()),
-        ("  of which truly anomalous", f.truly_anomalous.to_string(), "47".to_string()),
-        ("dismissed at inspection (stale certs)", f.dismissed_stale.to_string(), "~6887".to_string()),
-        ("inconclusive after inspection", f.inconclusive.to_string(), "-".to_string()),
+        (
+            "domains with deployment maps",
+            f.domains_total.to_string(),
+            "22M".to_string(),
+        ),
+        (
+            "transient deployment maps",
+            f.transient_maps.to_string(),
+            "28K".to_string(),
+        ),
+        (
+            "shortlisted candidates",
+            f.shortlisted.to_string(),
+            "8143".to_string(),
+        ),
+        (
+            "  of which truly anomalous",
+            f.truly_anomalous.to_string(),
+            "47".to_string(),
+        ),
+        (
+            "dismissed at inspection (stale certs)",
+            f.dismissed_stale.to_string(),
+            "~6887".to_string(),
+        ),
+        (
+            "inconclusive after inspection",
+            f.inconclusive.to_string(),
+            "-".to_string(),
+        ),
         (
             "hijacked via maps (T1 + T2 + T1*)",
             (f.hijacks_by_type.get("T1").copied().unwrap_or(0)
@@ -190,8 +236,16 @@ pub fn funnel(b: &Bundle) -> String {
             .to_string(),
             "13".to_string(),
         ),
-        ("total hijacked", b.report.hijacked.len().to_string(), "41".to_string()),
-        ("total targeted", b.report.targeted.len().to_string(), "24".to_string()),
+        (
+            "total hijacked",
+            b.report.hijacked.len().to_string(),
+            "41".to_string(),
+        ),
+        (
+            "total targeted",
+            b.report.targeted.len().to_string(),
+            "24".to_string(),
+        ),
     ];
     for (stage, measured, paper) in rows {
         let _ = writeln!(out, "{:<42} {:>9} {}", stage, measured, paper);
@@ -205,7 +259,9 @@ pub fn funnel(b: &Bundle) -> String {
     let mut by_suffix: std::collections::BTreeMap<String, usize> = Default::default();
     for h in &b.report.hijacked {
         *by_year.entry(h.first_evidence.year()).or_insert(0) += 1;
-        *by_suffix.entry(h.domain.public_suffix().to_string()).or_insert(0) += 1;
+        *by_suffix
+            .entry(h.domain.public_suffix().to_string())
+            .or_insert(0) += 1;
     }
     let _ = writeln!(out, "\n-- §5.2 longitudinal patterns --");
     let _ = writeln!(out, "hijacks by year: {by_year:?}");
@@ -267,7 +323,11 @@ pub fn table3(b: &Bundle) -> String {
         .map(|t| t.domain.clone())
         .collect();
     let score = score_detection(&b.report.targeted_domains(), &truth);
-    let _ = writeln!(out, "\nground truth: {} targeted domains planted", truth.len());
+    let _ = writeln!(
+        out,
+        "\nground truth: {} targeted domains planted",
+        truth.len()
+    );
     let _ = writeln!(
         out,
         "precision {:.2}  recall {:.2}  f1 {:.2}  (tp {}, fp {}, fn {})",
@@ -278,7 +338,10 @@ pub fn table3(b: &Bundle) -> String {
         score.false_positives,
         score.false_negatives
     );
-    let _ = writeln!(out, "paper: 24 targeted (21 of 24 in 2020), no ground truth available");
+    let _ = writeln!(
+        out,
+        "paper: 24 targeted (21 of 24 in 2020), no ground truth available"
+    );
     out
 }
 
@@ -288,7 +351,11 @@ pub fn table4(b: &Bundle) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Table 4: affected organizations by sector ==");
     let info = info_fn(b);
-    out.push_str(&render_table4(&b.report.hijacked, &b.report.targeted, &info));
+    out.push_str(&render_table4(
+        &b.report.hijacked,
+        &b.report.targeted,
+        &info,
+    ));
     let _ = writeln!(
         out,
         "paper: Government Ministry 23, Government Organization 10, Government\n\
@@ -367,8 +434,16 @@ pub fn observability_exp(b: &Bundle) -> String {
          (paper: 1 of 3 with zone access, visible a single day)",
         stats.zone_visible, stats.zone_accessible
     );
-    let _ = writeln!(out, "per-hijack pDNS visibility days: {:?}", stats.pdns_visibility_days);
-    let _ = writeln!(out, "per-hijack cert scan lag days: {:?}", stats.cert_scan_lag_days);
+    let _ = writeln!(
+        out,
+        "per-hijack pDNS visibility days: {:?}",
+        stats.pdns_visibility_days
+    );
+    let _ = writeln!(
+        out,
+        "per-hijack cert scan lag days: {:?}",
+        stats.cert_scan_lag_days
+    );
     out
 }
 
@@ -409,8 +484,14 @@ pub fn baselines(b: &Bundle) -> String {
             "B1b scans: any transient map",
             baseline::b1b_any_transient(&b.maps, &b.patterns),
         ),
-        ("B2 CT only: minority issuer", baseline::b2_ct_only(&b.world.crtsh)),
-        ("B3 pDNS only: short NS change", baseline::b3_pdns_only(&b.world.pdns, 45)),
+        (
+            "B2 CT only: minority issuer",
+            baseline::b2_ct_only(&b.world.crtsh),
+        ),
+        (
+            "B3 pDNS only: short NS change",
+            baseline::b3_pdns_only(&b.world.pdns, 45),
+        ),
         ("full pipeline (hijacked)", b.report.hijacked_domains()),
     ];
     let _ = writeln!(
@@ -469,11 +550,26 @@ pub fn ablation(b: &Bundle) -> String {
     type Tweak = Box<dyn Fn(&mut ShortlistConfig)>;
     let variants: Vec<(&str, Tweak)> = vec![
         ("baseline (all checks)", Box::new(|_| {})),
-        ("no org-relatedness check", Box::new(|c| c.disable_org_check = true)),
-        ("no geolocation check", Box::new(|c| c.disable_geo_check = true)),
-        ("no visibility check", Box::new(|c| c.disable_visibility_check = true)),
-        ("no repeat check", Box::new(|c| c.disable_repeat_check = true)),
-        ("no sensitive-name filter", Box::new(|c| c.disable_sensitive_filter = true)),
+        (
+            "no org-relatedness check",
+            Box::new(|c| c.disable_org_check = true),
+        ),
+        (
+            "no geolocation check",
+            Box::new(|c| c.disable_geo_check = true),
+        ),
+        (
+            "no visibility check",
+            Box::new(|c| c.disable_visibility_check = true),
+        ),
+        (
+            "no repeat check",
+            Box::new(|c| c.disable_repeat_check = true),
+        ),
+        (
+            "no sensitive-name filter",
+            Box::new(|c| c.disable_sensitive_filter = true),
+        ),
         (
             "no checks at all",
             Box::new(|c| {
@@ -501,7 +597,10 @@ pub fn ablation(b: &Bundle) -> String {
         );
     }
 
-    let _ = writeln!(out, "\n== Ablation B: transient threshold (paper: 3 months) ==");
+    let _ = writeln!(
+        out,
+        "\n== Ablation B: transient threshold (paper: 3 months) =="
+    );
     let _ = writeln!(
         out,
         "{:<28} {:>11} {:>9} {:>10} {:>8}",
@@ -568,7 +667,10 @@ pub fn ablation(b: &Bundle) -> String {
         );
     }
 
-    let _ = writeln!(out, "\n== Ablation C: analysis period length (paper: 6 months) ==");
+    let _ = writeln!(
+        out,
+        "\n== Ablation C: analysis period length (paper: 6 months) =="
+    );
     let _ = writeln!(
         out,
         "{:<28} {:>11} {:>9} {:>10} {:>8}",
@@ -611,14 +713,19 @@ pub fn reactive(b: &Bundle) -> String {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "== Reactive monitor (paper §7.1 future work, implemented) ==");
+    let _ = writeln!(
+        out,
+        "== Reactive monitor (paper §7.1 future work, implemented) =="
+    );
     let probe = Probe(&b.world.dns);
     let cfg = ReactiveConfig::default();
     let mut monitor = ReactiveMonitor::new();
     let mut hijack_alerts = Vec::new();
     let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
     for entry in b.world.ct.entries() {
-        let Some(record) = b.world.crtsh.record(entry.cert.id) else { continue };
+        let Some(record) = b.world.crtsh.record(entry.cert.id) else {
+            continue;
+        };
         if let Some(alert) = monitor.on_issuance(record, &probe, &cfg) {
             let key = match alert.verdict {
                 ReactiveVerdict::Consistent => "consistent",
@@ -683,7 +790,10 @@ pub fn reactive(b: &Bundle) -> String {
 /// substitutes for missing pDNS coverage.
 pub fn dnssec_signal(b: &Bundle) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== DNSSEC signal (paper §7.1 extension, implemented) ==");
+    let _ = writeln!(
+        out,
+        "== DNSSEC signal (paper §7.1 extension, implemented) =="
+    );
     let truth: Vec<DomainName> = b
         .world
         .ground_truth
@@ -854,12 +964,7 @@ mod tests {
         assert!(out.contains("precision"), "{out}");
         // Extract precision value.
         let line = out.lines().find(|l| l.starts_with("precision")).unwrap();
-        let p: f64 = line
-            .split_whitespace()
-            .nth(1)
-            .unwrap()
-            .parse()
-            .unwrap();
+        let p: f64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
         assert!(p >= 0.8, "precision {p} too low\n{out}");
     }
 }

@@ -9,5 +9,7 @@
 #![warn(missing_docs)]
 pub mod bundle;
 pub mod experiments;
+pub mod perf;
 
 pub use bundle::{Bundle, Scale};
+pub use perf::{bench_pipeline, PipelineBenchReport, StageBench};

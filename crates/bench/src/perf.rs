@@ -1,0 +1,203 @@
+//! Machine-readable pipeline performance measurements.
+//!
+//! [`bench_pipeline`] times each parallelizable pipeline stage — map
+//! building, classification, inspection — plus the end-to-end run, once
+//! serially and once with a worker pool, and reports wall time and
+//! ops/sec for both. The `experiments` binary serializes the result to
+//! `BENCH_pipeline.json` so perf regressions are diffable across
+//! commits, not locked in a terminal scrollback.
+
+use crate::Bundle;
+use retrodns_core::map::MapBuilder;
+use retrodns_core::pipeline::{Pipeline, PipelineConfig};
+use retrodns_core::shortlist::{shortlist, ShortlistConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Serial-vs-parallel timing for one pipeline stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageBench {
+    /// Stage name (`map_build`, `classify`, `inspect`, `end_to_end`).
+    pub stage: String,
+    /// Items the stage processes (its throughput unit).
+    pub items: usize,
+    /// Best-of-N serial wall milliseconds.
+    pub serial_ms: f64,
+    /// Best-of-N parallel wall milliseconds.
+    pub parallel_ms: f64,
+    /// Items per second, serial.
+    pub serial_ops_per_sec: f64,
+    /// Items per second, parallel.
+    pub parallel_ops_per_sec: f64,
+    /// serial_ms / parallel_ms.
+    pub speedup: f64,
+}
+
+impl StageBench {
+    fn new(stage: &str, items: usize, serial_ms: f64, parallel_ms: f64) -> StageBench {
+        let ops = |ms: f64| {
+            if ms > 0.0 {
+                items as f64 / (ms / 1e3)
+            } else {
+                0.0
+            }
+        };
+        StageBench {
+            stage: stage.to_string(),
+            items,
+            serial_ms,
+            parallel_ms,
+            serial_ops_per_sec: ops(serial_ms),
+            parallel_ops_per_sec: ops(parallel_ms),
+            speedup: if parallel_ms > 0.0 {
+                serial_ms / parallel_ms
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// The full pipeline perf report emitted as `BENCH_pipeline.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineBenchReport {
+    /// Worker-pool size used for the parallel measurements.
+    pub workers: usize,
+    /// Simulated domains in the bench world.
+    pub domains: usize,
+    /// Scan observations fed to the pipeline.
+    pub observations: usize,
+    /// Timing repetitions (best-of).
+    pub reps: usize,
+    /// Per-stage measurements in pipeline order.
+    pub stages: Vec<StageBench>,
+}
+
+impl PipelineBenchReport {
+    /// Human-readable table.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Pipeline stage benchmark ({} domains, {} observations, {} workers, best of {}) ==",
+            self.domains, self.observations, self.workers, self.reps
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>12} {:>12} {:>14} {:>14} {:>8}",
+            "stage", "items", "serial ms", "par ms", "serial ops/s", "par ops/s", "speedup"
+        );
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>8} {:>12.2} {:>12.2} {:>14.0} {:>14.0} {:>7.2}x",
+                s.stage,
+                s.items,
+                s.serial_ms,
+                s.parallel_ms,
+                s.serial_ops_per_sec,
+                s.parallel_ops_per_sec,
+                s.speedup
+            );
+        }
+        out
+    }
+}
+
+/// Best-of-`reps` wall milliseconds of `f`.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Benchmark the parallelizable pipeline stages, serial vs `workers`.
+pub fn bench_pipeline(bundle: &Bundle, workers: usize, reps: usize) -> PipelineBenchReport {
+    let observations = &bundle.observations;
+    let window = bundle.world.config.window.clone();
+    let serial = Pipeline::new(PipelineConfig {
+        window: window.clone(),
+        workers: 1,
+        ..PipelineConfig::default()
+    });
+    let parallel = Pipeline::new(PipelineConfig {
+        window: window.clone(),
+        workers,
+        ..PipelineConfig::default()
+    });
+
+    let builder = MapBuilder::new(window);
+    let map_serial = time_ms(reps, || builder.build(observations));
+    let map_parallel = time_ms(reps, || builder.build_parallel(observations, workers));
+
+    let (maps, patterns) = serial.maps_and_patterns(observations);
+    let classify_serial = time_ms(reps, || serial.classify_maps(&maps));
+    let classify_parallel = time_ms(reps, || parallel.classify_maps(&maps));
+
+    let shortlisted = shortlist(
+        &maps,
+        &patterns,
+        &bundle.world.geo.asdb,
+        &bundle.world.certs,
+        &ShortlistConfig::default(),
+    );
+    let inputs = bundle.inputs();
+    let inspect_serial = time_ms(reps, || {
+        serial.inspect_candidates(&shortlisted.candidates, &inputs)
+    });
+    let inspect_parallel = time_ms(reps, || {
+        parallel.inspect_candidates(&shortlisted.candidates, &inputs)
+    });
+
+    let e2e_serial = time_ms(reps, || serial.run(&inputs));
+    let e2e_parallel = time_ms(reps, || parallel.run(&inputs));
+
+    PipelineBenchReport {
+        workers,
+        domains: bundle.world.config.n_domains,
+        observations: observations.len(),
+        reps: reps.max(1),
+        stages: vec![
+            StageBench::new("map_build", observations.len(), map_serial, map_parallel),
+            StageBench::new("classify", maps.len(), classify_serial, classify_parallel),
+            StageBench::new(
+                "inspect",
+                shortlisted.candidates.len(),
+                inspect_serial,
+                inspect_parallel,
+            ),
+            StageBench::new("end_to_end", observations.len(), e2e_serial, e2e_parallel),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn bench_report_shape_and_json() {
+        let bundle = Bundle::build(Scale::Quick, 0xBE11);
+        let report = bench_pipeline(&bundle, 2, 1);
+        assert_eq!(report.stages.len(), 4);
+        assert!(report.stages.iter().all(|s| s.serial_ms >= 0.0));
+        let json = serde_json::to_string_pretty(&report).expect("serializes");
+        for key in [
+            "map_build",
+            "classify",
+            "inspect",
+            "end_to_end",
+            "ops_per_sec",
+        ] {
+            assert!(json.contains(key), "json missing {key}: {json}");
+        }
+        let back: PipelineBenchReport = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(back.stages.len(), 4);
+    }
+}

@@ -169,7 +169,12 @@ mod tests {
 
     fn store() -> TrustStore {
         let mut s = TrustStore::new();
-        s.register_public(CertAuthority::new(CaId(1), "Let's Encrypt", CaKind::AcmeDv, 90));
+        s.register_public(CertAuthority::new(
+            CaId(1),
+            "Let's Encrypt",
+            CaKind::AcmeDv,
+            90,
+        ));
         s.register(
             CertAuthority::new(CaId(2), "Comodo", CaKind::TrialDv, 90),
             true,

@@ -81,7 +81,10 @@ impl Certificate {
         validity_days: u32,
         key: KeyId,
     ) -> Certificate {
-        assert!(!names.is_empty(), "certificate must cover at least one name");
+        assert!(
+            !names.is_empty(),
+            "certificate must cover at least one name"
+        );
         assert!(validity_days > 0, "validity must be positive");
         Certificate {
             id,
@@ -134,7 +137,11 @@ impl Certificate {
             .names
             .iter()
             .filter_map(|san| {
-                let concrete = if san.is_wildcard() { san.parent()? } else { san.clone() };
+                let concrete = if san.is_wildcard() {
+                    san.parent()?
+                } else {
+                    san.clone()
+                };
                 Some(concrete.registered_domain())
             })
             .collect();
@@ -208,7 +215,12 @@ mod tests {
 
     #[test]
     fn registered_domains_deduplicates() {
-        let c = cert(&["mail.example.com", "www.example.com", "example.com", "mail.other.net"]);
+        let c = cert(&[
+            "mail.example.com",
+            "www.example.com",
+            "example.com",
+            "mail.other.net",
+        ]);
         let regs = c.registered_domains();
         assert_eq!(regs, vec![d("example.com"), d("other.net")]);
     }

@@ -222,11 +222,7 @@ mod tests {
 
     #[test]
     fn multi_san_cert_indexed_under_every_registered_domain() {
-        let idx = CrtShIndex::build(&log_with(vec![cert(
-            1,
-            &["mail.a.com", "mail.b.net"],
-            10,
-        )]));
+        let idx = CrtShIndex::build(&log_with(vec![cert(1, &["mail.a.com", "mail.b.net"], 10)]));
         assert_eq!(idx.search_registered(&d("a.com")).len(), 1);
         assert_eq!(idx.search_registered(&d("b.net")).len(), 1);
         assert_eq!(idx.len(), 1);

@@ -126,7 +126,8 @@ impl AcmeCa {
         for name in &names {
             // Wildcard requests validate the base name.
             let concrete = if name.is_wildcard() {
-                name.parent().ok_or_else(|| IssuanceError::ChallengeFailed(name.clone()))?
+                name.parent()
+                    .ok_or_else(|| IssuanceError::ChallengeFailed(name.clone()))?
             } else {
                 name.clone()
             };
@@ -198,7 +199,10 @@ mod tests {
 
     impl ChallengeResponder for FakeDns {
         fn txt_lookup(&self, name: &DomainName, day: Day) -> Vec<String> {
-            self.txt.get(&(name.clone(), day)).cloned().unwrap_or_default()
+            self.txt
+                .get(&(name.clone(), day))
+                .cloned()
+                .unwrap_or_default()
         }
     }
 
@@ -226,7 +230,9 @@ mod tests {
             day,
             AcmeCa::challenge_token(&name, key, day),
         );
-        let cert = ca.request(vec![name.clone()], key, day, &dns, &mut ct).unwrap();
+        let cert = ca
+            .request(vec![name.clone()], key, day, &dns, &mut ct)
+            .unwrap();
         assert_eq!(cert.id, CertId(1000));
         assert!(cert.covers(&name));
         assert_eq!(ct.len(), 1, "DV cert must appear in CT");
@@ -239,7 +245,13 @@ mod tests {
         let mut ct = CtLog::new();
         let dns = FakeDns::default();
         let err = ca
-            .request(vec![d("mail.mfa.gov.kg")], KeyId(666), Day(100), &dns, &mut ct)
+            .request(
+                vec![d("mail.mfa.gov.kg")],
+                KeyId(666),
+                Day(100),
+                &dns,
+                &mut ct,
+            )
             .unwrap_err();
         assert_eq!(err, IssuanceError::ChallengeFailed(d("mail.mfa.gov.kg")));
         assert!(ct.is_empty(), "failed validation must not log");
@@ -258,7 +270,9 @@ mod tests {
             day,
             AcmeCa::challenge_token(&name, KeyId(1), day),
         );
-        assert!(ca.request(vec![name], KeyId(2), day, &dns, &mut ct).is_err());
+        assert!(ca
+            .request(vec![name], KeyId(2), day, &dns, &mut ct)
+            .is_err());
     }
 
     #[test]
@@ -289,7 +303,11 @@ mod tests {
         let b = d("mail.b.com");
         let key = KeyId(5);
         let day = Day(50);
-        dns.place(AcmeCa::challenge_name(&a), day, AcmeCa::challenge_token(&a, key, day));
+        dns.place(
+            AcmeCa::challenge_name(&a),
+            day,
+            AcmeCa::challenge_token(&a, key, day),
+        );
         // b's challenge missing
         let err = ca
             .request(vec![a, b.clone()], key, day, &dns, &mut ct)
@@ -315,7 +333,8 @@ mod tests {
         let mut ct = CtLog::new();
         let dns = FakeDns::default();
         assert_eq!(
-            ca.request(vec![], KeyId(1), Day(1), &dns, &mut ct).unwrap_err(),
+            ca.request(vec![], KeyId(1), Day(1), &dns, &mut ct)
+                .unwrap_err(),
             IssuanceError::NoNames
         );
     }

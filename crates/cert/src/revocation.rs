@@ -106,7 +106,12 @@ mod tests {
 
     fn trust() -> TrustStore {
         let mut t = TrustStore::new();
-        t.register_public(CertAuthority::new(CaId(1), "Let's Encrypt", CaKind::AcmeDv, 90));
+        t.register_public(CertAuthority::new(
+            CaId(1),
+            "Let's Encrypt",
+            CaKind::AcmeDv,
+            90,
+        ));
         t.register_public(CertAuthority::new(CaId(2), "Comodo", CaKind::TrialDv, 90));
         t
     }

@@ -57,7 +57,11 @@ pub fn b2_ct_only(crtsh: &CrtShIndex) -> Vec<DomainName> {
             regs.insert(concrete.registered_domain());
         }
         for reg in regs {
-            *issuers.entry(reg).or_default().entry(r.issuer.0).or_insert(0) += 1;
+            *issuers
+                .entry(reg)
+                .or_default()
+                .entry(r.issuer.0)
+                .or_insert(0) += 1;
         }
     }
     let mut flagged: BTreeSet<DomainName> = BTreeSet::new();
@@ -67,7 +71,9 @@ pub fn b2_ct_only(crtsh: &CrtShIndex) -> Vec<DomainName> {
         }
         for n in &r.names {
             let reg = n.registered_domain();
-            let Some(hist) = issuers.get(&reg) else { continue };
+            let Some(hist) = issuers.get(&reg) else {
+                continue;
+            };
             if hist.len() < 2 {
                 continue;
             }
@@ -174,12 +180,26 @@ mod tests {
             );
         }
         log.submit(
-            Certificate::new(CertId(99), vec![d("mail.victim.gr")], CaId(2), Day(500), 90, KeyId(6)),
+            Certificate::new(
+                CertId(99),
+                vec![d("mail.victim.gr")],
+                CaId(2),
+                Day(500),
+                90,
+                KeyId(6),
+            ),
             Day(500),
         );
         // A single-issuer domain must not be flagged.
         log.submit(
-            Certificate::new(CertId(100), vec![d("mail.other.com")], CaId(1), Day(510), 90, KeyId(7)),
+            Certificate::new(
+                CertId(100),
+                vec![d("mail.other.com")],
+                CaId(1),
+                Day(510),
+                90,
+                KeyId(7),
+            ),
             Day(510),
         );
         let idx = CrtShIndex::build(&log);
@@ -189,11 +209,29 @@ mod tests {
     #[test]
     fn b3_flags_short_ns_change_only_with_history() {
         let mut p = PassiveDns::new();
-        p.insert_aggregate(&d("victim.gr"), RecordData::Ns(d("ns1.legit.gr")), Day(0), Day(400), 50);
-        p.insert_aggregate(&d("victim.gr"), RecordData::Ns(d("ns1.evil.ru")), Day(200), Day(201), 2);
+        p.insert_aggregate(
+            &d("victim.gr"),
+            RecordData::Ns(d("ns1.legit.gr")),
+            Day(0),
+            Day(400),
+            50,
+        );
+        p.insert_aggregate(
+            &d("victim.gr"),
+            RecordData::Ns(d("ns1.evil.ru")),
+            Day(200),
+            Day(201),
+            2,
+        );
         // A domain whose only NS record is short-lived (new registration)
         // must not be flagged.
-        p.insert_aggregate(&d("fresh.com"), RecordData::Ns(d("ns1.host.com")), Day(300), Day(310), 3);
+        p.insert_aggregate(
+            &d("fresh.com"),
+            RecordData::Ns(d("ns1.host.com")),
+            Day(300),
+            Day(310),
+            3,
+        );
         assert_eq!(b3_pdns_only(&p, 45), vec![d("victim.gr")]);
     }
 }

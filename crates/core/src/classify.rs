@@ -390,7 +390,10 @@ mod tests {
             })
             .collect();
         let maps = MapBuilder::new(StudyWindow::default()).build(&observations);
-        assert_eq!(classify(&maps[0], &ClassifyConfig::default()), Pattern::Noisy);
+        assert_eq!(
+            classify(&maps[0], &ClassifyConfig::default()),
+            Pattern::Noisy
+        );
     }
 
     #[test]
@@ -477,7 +480,10 @@ mod tests {
         let maps = MapBuilder::new(StudyWindow::default()).build(&obs);
         let p = classify(&maps[0], &ClassifyConfig::default());
         match p {
-            Pattern::Transient { findings, background } => {
+            Pattern::Transient {
+                findings,
+                background,
+            } => {
                 assert_eq!(findings.len(), 2);
                 let kinds: Vec<TransientKind> = findings.iter().map(|f| f.kind).collect();
                 assert!(kinds.contains(&TransientKind::T1));

@@ -173,11 +173,7 @@ struct PdnsEvidence {
     a_changes: Vec<PdnsEntry>,
 }
 
-fn gather_pdns(
-    pdns: &PassiveDns,
-    candidate: &Candidate,
-    cfg: &InspectConfig,
-) -> PdnsEvidence {
+fn gather_pdns(pdns: &PassiveDns, candidate: &Candidate, cfg: &InspectConfig) -> PdnsEvidence {
     let from = candidate
         .transient
         .first
@@ -302,10 +298,7 @@ pub fn inspect_candidate(
             let mut best: Option<(CertId, Day, Option<DomainName>)> = None;
             for id in &candidate.finding.new_certs {
                 let (issued, sub) = match crtsh.record(*id) {
-                    Some(r) => (
-                        r.issued,
-                        r.names.iter().find(|n| n.is_sensitive()).cloned(),
-                    ),
+                    Some(r) => (r.issued, r.names.iter().find(|n| n.is_sensitive()).cloned()),
                     None => match certs.get(id) {
                         Some(c) => (
                             c.not_before,
@@ -330,8 +323,9 @@ pub fn inspect_candidate(
                 return InspectOutcome::Inconclusive;
             };
 
-            let pdns_changes_near: bool = near_change(&pdns_ev.ns_changes, issued, cfg.issue_window_days)
-                || near_change(&pdns_ev.a_changes, issued, cfg.issue_window_days);
+            let pdns_changes_near: bool =
+                near_change(&pdns_ev.ns_changes, issued, cfg.issue_window_days)
+                    || near_change(&pdns_ev.a_changes, issued, cfg.issue_window_days);
 
             if pdns_changes_near {
                 return InspectOutcome::Hijacked(evidence_hijack(
@@ -422,15 +416,9 @@ pub fn inspect_candidate(
                     false,
                     None,
                 )),
-                (false, _) if candidate.truly_anomalous => {
-                    InspectOutcome::Targeted(evidence_target(
-                        candidate,
-                        candidate.transient.first,
-                        false,
-                        false,
-                        None,
-                    ))
-                }
+                (false, _) if candidate.truly_anomalous => InspectOutcome::Targeted(
+                    evidence_target(candidate, candidate.transient.first, false, false, None),
+                ),
                 _ => InspectOutcome::Inconclusive,
             }
         }
@@ -552,11 +540,29 @@ mod tests {
     fn pdns_with_hijack() -> PassiveDns {
         let mut p = PassiveDns::new();
         // Long-lived legitimate delegation.
-        p.insert_aggregate(&d("mfa.gov.kg"), RecordData::Ns(d("ns1.infocom.kg")), Day(0), Day(180), 100);
+        p.insert_aggregate(
+            &d("mfa.gov.kg"),
+            RecordData::Ns(d("ns1.infocom.kg")),
+            Day(0),
+            Day(180),
+            100,
+        );
         // Short-lived rogue delegation around day 100.
-        p.insert_aggregate(&d("mfa.gov.kg"), RecordData::Ns(d("ns1.kg-infocom.ru")), Day(100), Day(101), 2);
+        p.insert_aggregate(
+            &d("mfa.gov.kg"),
+            RecordData::Ns(d("ns1.kg-infocom.ru")),
+            Day(100),
+            Day(101),
+            2,
+        );
         // Targeted subdomain resolving to the attacker IP.
-        p.insert_aggregate(&d("mail.mfa.gov.kg"), RecordData::A(ip("94.103.91.159")), Day(100), Day(100), 1);
+        p.insert_aggregate(
+            &d("mail.mfa.gov.kg"),
+            RecordData::A(ip("94.103.91.159")),
+            Day(100),
+            Day(100),
+            1,
+        );
         p
     }
 
@@ -601,7 +607,13 @@ mod tests {
         // Cert issued day 0; transient first seen day 98 — stale.
         let (crtsh, certs) = crtsh_with(666, 0);
         let mut pdns = PassiveDns::new();
-        pdns.insert_aggregate(&d("mfa.gov.kg"), RecordData::Ns(d("ns1.infocom.kg")), Day(0), Day(180), 10);
+        pdns.insert_aggregate(
+            &d("mfa.gov.kg"),
+            RecordData::Ns(d("ns1.infocom.kg")),
+            Day(0),
+            Day(180),
+            10,
+        );
         let out = inspect_candidate(
             &candidate(TransientKind::T1, 666, false),
             &pdns,
@@ -621,7 +633,13 @@ mod tests {
         // Cert issued day 100 but the only pDNS change was in day 10.
         let (crtsh, certs) = crtsh_with(666, 100);
         let mut pdns = PassiveDns::new();
-        pdns.insert_aggregate(&d("mfa.gov.kg"), RecordData::Ns(d("ns1.kg-infocom.ru")), Day(10), Day(11), 2);
+        pdns.insert_aggregate(
+            &d("mfa.gov.kg"),
+            RecordData::Ns(d("ns1.kg-infocom.ru")),
+            Day(10),
+            Day(11),
+            2,
+        );
         let out = inspect_candidate(
             &candidate(TransientKind::T1, 666, false),
             &pdns,

@@ -40,5 +40,6 @@ pub mod shortlist;
 pub use classify::{Pattern, StableKind, TransientKind, TransitionKind};
 pub use inspect::{DetectedHijack, DetectedTarget, DetectionType, InspectOutcome};
 pub use map::{Deployment, DeploymentGroup, DeploymentMap, MapBuilder};
-pub use pipeline::{AnalystInputs, Pipeline, PipelineConfig, Report};
+pub use observability::{PipelineTimings, StageTiming};
+pub use pipeline::{AnalystInputs, InspectionResults, Pipeline, PipelineConfig, Report};
 pub use score::{score_detection, Score};

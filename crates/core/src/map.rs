@@ -12,7 +12,10 @@
 
 use retrodns_cert::CertId;
 use retrodns_scan::DomainObservation;
-use retrodns_types::{Asn, CountryCode, Day, DomainName, Period, StudyWindow};
+use retrodns_types::{
+    hash, Asn, CountryCode, Day, DomainId, DomainInterner, DomainName, Period, PeriodId,
+    StudyWindow,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -152,17 +155,34 @@ impl MapBuilder {
     /// Build deployment maps for every (domain, period) with data.
     /// Observations with no origin ASN are dropped (cannot be grouped).
     pub fn build(&self, observations: &[DomainObservation]) -> Vec<DeploymentMap> {
-        let periods = self.window.periods();
-        // (domain, period idx) → (date, asn) → group
-        let mut buckets: HashMap<(DomainName, usize), BTreeMap<(Day, Asn), DeploymentGroup>> =
+        self.build_refs(observations.iter())
+    }
+
+    /// [`Self::build`] over any iterator of borrowed observations. This is
+    /// the zero-copy core: callers (notably the parallel sharder) hand in
+    /// references and nothing is cloned until the final per-map
+    /// `DomainName` materialization.
+    ///
+    /// Domains are interned to dense [`DomainId`]s up front, so the hot
+    /// bucketing loop hashes a `(u32, usize)` key instead of a domain
+    /// string, and period membership is the O(1)
+    /// [`StudyWindow::period_of`] rather than a scan over all periods.
+    pub fn build_refs<'a, I>(&self, observations: I) -> Vec<DeploymentMap>
+    where
+        I: IntoIterator<Item = &'a DomainObservation>,
+    {
+        let mut interner = DomainInterner::new();
+        // (domain, period) → (date, asn) → group
+        let mut buckets: HashMap<(DomainId, PeriodId), BTreeMap<(Day, Asn), DeploymentGroup>> =
             HashMap::new();
         for obs in observations {
             let Some(asn) = obs.asn else { continue };
-            let Some(period) = periods.iter().find(|p| p.contains(obs.date)) else {
+            let Some(period) = self.window.period_of(obs.date) else {
                 continue;
             };
+            let domain = interner.intern(&obs.domain);
             let group = buckets
-                .entry((obs.domain.clone(), period.id))
+                .entry((domain, period.id))
                 .or_default()
                 .entry((obs.date, asn))
                 .or_insert_with(|| DeploymentGroup {
@@ -181,36 +201,44 @@ impl MapBuilder {
             group.trusted |= obs.trusted;
         }
 
+        let periods = self.window.periods();
         let mut maps: Vec<DeploymentMap> = buckets
             .into_iter()
-            .map(|((domain, pid), groups)| self.link(domain, periods[pid], groups))
+            .map(|((domain, pid), groups)| {
+                self.link(interner.resolve(domain).clone(), periods[pid], groups)
+            })
             .collect();
         maps.sort_by(|a, b| (&a.domain, a.period.id).cmp(&(&b.domain, b.period.id)));
         maps
     }
 
-    /// Build maps in parallel across worker threads (same output as
-    /// [`Self::build`]; used for the multi-million-observation runs).
-    pub fn build_parallel(&self, observations: &[DomainObservation], workers: usize) -> Vec<DeploymentMap> {
+    /// Build maps in parallel across worker threads (byte-identical output
+    /// to [`Self::build`]; used for the multi-million-observation runs).
+    ///
+    /// Observations are partitioned *by reference* — each worker receives
+    /// a shard of `&DomainObservation`s selected by the shared
+    /// [`hash::shard_of`] over the domain bytes, so whole domains stay on
+    /// one worker and nothing is deep-copied. The merged output is sorted
+    /// by `(domain, period)`, the same total order the serial path
+    /// produces.
+    pub fn build_parallel(
+        &self,
+        observations: &[DomainObservation],
+        workers: usize,
+    ) -> Vec<DeploymentMap> {
         assert!(workers >= 1);
-        if workers == 1 || observations.len() < 10_000 {
+        if workers == 1 {
             return self.build(observations);
         }
-        // Partition observations by domain hash so each worker sees whole
-        // domains, then merge.
-        let mut shards: Vec<Vec<DomainObservation>> = vec![Vec::new(); workers];
+        let mut shards: Vec<Vec<&DomainObservation>> = vec![Vec::new(); workers];
         for obs in observations {
-            let mut h = 0usize;
-            for b in obs.domain.as_str().bytes() {
-                h = h.wrapping_mul(131).wrapping_add(b as usize);
-            }
-            shards[h % workers].push(obs.clone());
+            shards[hash::shard_of(obs.domain.as_str().as_bytes(), workers)].push(obs);
         }
         let mut out: Vec<DeploymentMap> = Vec::new();
         crossbeam::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter()
-                .map(|shard| scope.spawn(move |_| self.build(shard)))
+                .map(|shard| scope.spawn(move |_| self.build_refs(shard.iter().copied())))
                 .collect();
             for h in handles {
                 out.extend(h.join().expect("map worker panicked"));
@@ -324,7 +352,9 @@ mod tests {
 
     #[test]
     fn one_stable_run_links_into_one_deployment() {
-        let observations: Vec<_> = (0..20).map(|i| obs("a.com", i * 7, 1, 100, "GR", 1)).collect();
+        let observations: Vec<_> = (0..20)
+            .map(|i| obs("a.com", i * 7, 1, 100, "GR", 1))
+            .collect();
         let maps = builder().build(&observations);
         assert_eq!(maps.len(), 1);
         let m = &maps[0];
@@ -337,20 +367,27 @@ mod tests {
     #[test]
     fn small_gap_links_big_gap_splits() {
         // Scans at weeks 0,1,2, then missing 3,4 (gap 2 → links), then 5.
-        let mut observations: Vec<_> =
-            [0u32, 1, 2, 5].iter().map(|i| obs("a.com", i * 7, 1, 100, "GR", 1)).collect();
+        let mut observations: Vec<_> = [0u32, 1, 2, 5]
+            .iter()
+            .map(|i| obs("a.com", i * 7, 1, 100, "GR", 1))
+            .collect();
         let maps = builder().build(&observations);
         assert_eq!(maps[0].deployments.len(), 1);
 
         // Missing 3,4,5 (gap 3 → splits).
-        observations = [0u32, 1, 2, 6].iter().map(|i| obs("a.com", i * 7, 1, 100, "GR", 1)).collect();
+        observations = [0u32, 1, 2, 6]
+            .iter()
+            .map(|i| obs("a.com", i * 7, 1, 100, "GR", 1))
+            .collect();
         let maps = builder().build(&observations);
         assert_eq!(maps[0].deployments.len(), 2);
     }
 
     #[test]
     fn different_asns_form_separate_deployments() {
-        let mut observations: Vec<_> = (0..20).map(|i| obs("a.com", i * 7, 1, 100, "GR", 1)).collect();
+        let mut observations: Vec<_> = (0..20)
+            .map(|i| obs("a.com", i * 7, 1, 100, "GR", 1))
+            .collect();
         observations.push(obs("a.com", 70, 99, 200, "NL", 666));
         let maps = builder().build(&observations);
         let m = &maps[0];
@@ -364,7 +401,10 @@ mod tests {
     #[test]
     fn periods_split_maps() {
         // One observation in period 0, one in period 1.
-        let observations = vec![obs("a.com", 0, 1, 100, "GR", 1), obs("a.com", 200, 1, 100, "GR", 1)];
+        let observations = vec![
+            obs("a.com", 0, 1, 100, "GR", 1),
+            obs("a.com", 200, 1, 100, "GR", 1),
+        ];
         let maps = builder().build(&observations);
         assert_eq!(maps.len(), 2);
         assert_eq!(maps[0].period.id, 0);
@@ -392,7 +432,9 @@ mod tests {
 
     #[test]
     fn visibility_counts_distinct_dates() {
-        let observations: Vec<_> = (0..13).map(|i| obs("a.com", i * 14, 1, 100, "GR", 1)).collect();
+        let observations: Vec<_> = (0..13)
+            .map(|i| obs("a.com", i * 14, 1, 100, "GR", 1))
+            .collect();
         // Every other weekly scan over period 0 (26 scans expected).
         let maps = builder().build(&observations);
         let m = &maps[0];
@@ -415,19 +457,20 @@ mod tests {
         let mut observations = Vec::new();
         for dom in 0..50 {
             for week in 0..20 {
-                observations.push(obs(&format!("dom{dom}.com"), week * 7, dom, 100 + dom, "GR", dom as u64));
+                observations.push(obs(
+                    &format!("dom{dom}.com"),
+                    week * 7,
+                    dom,
+                    100 + dom,
+                    "GR",
+                    dom as u64,
+                ));
             }
         }
-        // Force the parallel path despite the small input.
         let b = builder();
         let serial = b.build(&observations);
-        let mut par = Vec::new();
-        crossbeam::scope(|_| {
-            par = b.build_parallel(&observations, 4);
-        })
-        .unwrap();
-        // build_parallel falls back to serial under 10k observations; use
-        // the internal path by comparing outputs directly anyway.
-        assert_eq!(serial, par);
+        for workers in [2, 4, 8] {
+            assert_eq!(serial, b.build_parallel(&observations, workers));
+        }
     }
 }

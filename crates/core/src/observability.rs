@@ -8,11 +8,98 @@
 //!   issuance for >50 % of domains, and in only **one** weekly scan for
 //!   >50 % (two scans for another ~20 %);
 //! * daily zone files almost never catch the delegation flip.
+//!
+//! The module also hosts the *operational* observability of the pipeline
+//! itself: [`StageTiming`] / [`PipelineTimings`] record per-stage
+//! wall time and throughput so `Pipeline::run` can report where a run
+//! spent its time (and how much the `workers` knob bought).
 
 use crate::inspect::DetectedHijack;
 use retrodns_dns::{PassiveDns, RecordType, ZoneSnapshotArchive};
 use retrodns_scan::ScanDataset;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Wall time and item count of one pipeline stage.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Wall-clock milliseconds spent in the stage.
+    pub wall_ms: f64,
+    /// Items the stage processed (stage-specific unit: observations for
+    /// map building, maps for classification, candidates for inspection,
+    /// hijacks for pivoting).
+    pub items: usize,
+}
+
+impl StageTiming {
+    /// Record an elapsed duration over `items` items.
+    pub fn from_elapsed(elapsed: Duration, items: usize) -> StageTiming {
+        StageTiming {
+            wall_ms: elapsed.as_secs_f64() * 1e3,
+            items,
+        }
+    }
+
+    /// Items per second (0 when no time was observed).
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.items as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+/// Per-stage timing breakdown of one `Pipeline::run`.
+///
+/// Excluded from report serialization (`#[serde(skip)]` on the `Report`
+/// field) so report JSON stays byte-identical across worker counts and
+/// machines; consumers read it off the in-memory `Report`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PipelineTimings {
+    /// Stage 1: deployment-map building over scan observations.
+    pub map_build: StageTiming,
+    /// Stage 2: pattern classification over maps.
+    pub classify: StageTiming,
+    /// Stage 3: shortlist heuristics over classified maps.
+    pub shortlist: StageTiming,
+    /// Stage 4: candidate inspection (pDNS/CT corroboration).
+    pub inspect: StageTiming,
+    /// Stage 5: pivot expansion over confirmed hijacks.
+    pub pivot: StageTiming,
+    /// End-to-end wall milliseconds, including funnel accounting, the T1*
+    /// pass and dedup (≥ the sum of the stages).
+    pub total_ms: f64,
+}
+
+impl PipelineTimings {
+    /// The five stages in pipeline order, with display labels.
+    pub fn stages(&self) -> [(&'static str, StageTiming); 5] {
+        [
+            ("map_build", self.map_build),
+            ("classify", self.classify),
+            ("shortlist", self.shortlist),
+            ("inspect", self.inspect),
+            ("pivot", self.pivot),
+        ]
+    }
+
+    /// Multi-line human-readable breakdown.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (name, t) in self.stages() {
+            let _ = writeln!(
+                out,
+                "{name:<10} {:>9.2} ms  {:>8} items  {:>12.0} items/s",
+                t.wall_ms,
+                t.items,
+                t.throughput_per_sec()
+            );
+        }
+        let _ = writeln!(out, "{:<10} {:>9.2} ms", "total", self.total_ms);
+        out
+    }
+}
 
 /// The §5.3 statistics over a set of detected hijacks.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -177,7 +264,13 @@ mod tests {
     #[test]
     fn stats_cover_all_three_sources() {
         let mut pdns = PassiveDns::new();
-        pdns.insert_aggregate(&d("mail.victim.com"), RecordData::A(ip("6.6.6.6")), Day(100), Day(100), 1);
+        pdns.insert_aggregate(
+            &d("mail.victim.com"),
+            RecordData::A(ip("6.6.6.6")),
+            Day(100),
+            Day(100),
+            1,
+        );
 
         let scans = ScanDataset::from_records(vec![ScanRecord {
             date: Day(105),
@@ -188,7 +281,14 @@ mod tests {
 
         let mut log = CtLog::new();
         log.submit(
-            Certificate::new(CertId(666), vec![d("mail.victim.com")], CaId(1), Day(100), 90, KeyId(1)),
+            Certificate::new(
+                CertId(666),
+                vec![d("mail.victim.com")],
+                CaId(1),
+                Day(100),
+                90,
+                KeyId(1),
+            ),
             Day(100),
         );
         let crtsh = CrtShIndex::build(&log);
@@ -226,6 +326,32 @@ mod tests {
     }
 
     #[test]
+    fn stage_timing_throughput() {
+        let t = StageTiming::from_elapsed(std::time::Duration::from_millis(500), 1000);
+        assert!((t.wall_ms - 500.0).abs() < 1e-6);
+        assert!((t.throughput_per_sec() - 2000.0).abs() < 1e-6);
+        assert_eq!(StageTiming::default().throughput_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn timings_summary_lists_all_stages() {
+        let mut t = PipelineTimings::default();
+        t.map_build = StageTiming::from_elapsed(std::time::Duration::from_millis(12), 34);
+        t.total_ms = 15.0;
+        let s = t.summary();
+        for stage in [
+            "map_build",
+            "classify",
+            "shortlist",
+            "inspect",
+            "pivot",
+            "total",
+        ] {
+            assert!(s.contains(stage), "summary missing {stage}: {s}");
+        }
+    }
+
+    #[test]
     fn multi_scan_cert_lands_in_right_bucket() {
         let scans = ScanDataset::from_records(
             (0..3)
@@ -239,7 +365,14 @@ mod tests {
         );
         let mut log = CtLog::new();
         log.submit(
-            Certificate::new(CertId(666), vec![d("mail.victim.com")], CaId(1), Day(99), 90, KeyId(1)),
+            Certificate::new(
+                CertId(666),
+                vec![d("mail.victim.com")],
+                CaId(1),
+                Day(99),
+                90,
+                KeyId(1),
+            ),
             Day(99),
         );
         let crtsh = CrtShIndex::build(&log);

@@ -12,15 +12,17 @@ use crate::inspect::{
     InspectOutcome,
 };
 use crate::map::{DeploymentMap, MapBuilder};
+use crate::observability::{PipelineTimings, StageTiming};
 use crate::pivot::{pivot, PivotConfig};
 use crate::shortlist::{shortlist, Candidate, ShortlistConfig};
 use retrodns_asdb::AsDatabase;
 use retrodns_cert::{CertId, Certificate, CrtShIndex};
 use retrodns_dns::{DnssecArchive, PassiveDns};
 use retrodns_scan::DomainObservation;
-use retrodns_types::{Day, DomainName, StudyWindow};
+use retrodns_types::{Day, DomainInterner, DomainName, StudyWindow};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Instant;
 
 /// Everything a third-party analyst has access to.
 pub struct AnalystInputs<'a> {
@@ -54,7 +56,10 @@ pub struct PipelineConfig {
     pub inspect: InspectConfig,
     /// Stage-5 thresholds.
     pub pivot: PivotConfig,
-    /// Worker threads for map building (1 = serial).
+    /// Worker threads for the parallel stages — map building,
+    /// classification and inspection (1 = fully serial). Any value
+    /// produces a byte-identical [`Report`]; see `DESIGN.md` for the
+    /// execution model.
     pub workers: usize,
 }
 
@@ -111,6 +116,11 @@ pub struct Report {
     pub targeted: Vec<DetectedTarget>,
     /// Funnel accounting.
     pub funnel: FunnelStats,
+    /// Per-stage wall-time/throughput breakdown of the run. Skipped in
+    /// serialization so report JSON is byte-identical across worker
+    /// counts and machines.
+    #[serde(skip)]
+    pub timings: PipelineTimings,
 }
 
 impl Report {
@@ -143,72 +153,64 @@ impl Pipeline {
         &self,
         observations: &[DomainObservation],
     ) -> (Vec<DeploymentMap>, Vec<Pattern>) {
-        let mut builder = MapBuilder::new(self.config.window.clone());
-        builder.link_gap_scans = self.config.link_gap_scans;
-        let maps = builder.build_parallel(observations, self.config.workers);
-        let patterns = maps
-            .iter()
-            .map(|m| classify(m, &self.config.classify))
-            .collect();
+        let (maps, patterns, _, _) = self.maps_and_patterns_timed(observations);
         (maps, patterns)
     }
 
-    /// Run the full pipeline.
-    pub fn run(&self, inputs: &AnalystInputs) -> Report {
-        let (maps, patterns) = self.maps_and_patterns(inputs.observations);
+    /// Stage 1–2 with per-stage timings.
+    fn maps_and_patterns_timed(
+        &self,
+        observations: &[DomainObservation],
+    ) -> (Vec<DeploymentMap>, Vec<Pattern>, StageTiming, StageTiming) {
+        let mut builder = MapBuilder::new(self.config.window.clone());
+        builder.link_gap_scans = self.config.link_gap_scans;
+        let t = Instant::now();
+        let maps = builder.build_parallel(observations, self.config.workers);
+        let map_timing = StageTiming::from_elapsed(t.elapsed(), observations.len());
+        let t = Instant::now();
+        let patterns = self.classify_maps(&maps);
+        let classify_timing = StageTiming::from_elapsed(t.elapsed(), maps.len());
+        (maps, patterns, map_timing, classify_timing)
+    }
 
-        // ---- funnel: population statistics -------------------------
-        let mut funnel = FunnelStats {
-            maps_total: maps.len(),
-            ..FunnelStats::default()
-        };
-        let mut domain_worst: HashMap<&DomainName, &'static str> = HashMap::new();
-        let rank = |c: &str| match c {
-            "transient" => 3,
-            "noisy" => 2,
-            "transition" => 1,
-            _ => 0,
-        };
-        for (m, p) in maps.iter().zip(&patterns) {
-            let cat = p.category();
-            *funnel.map_categories.entry(cat.to_string()).or_insert(0) += 1;
-            if matches!(p, Pattern::Transient { .. }) {
-                funnel.transient_maps += 1;
+    /// Stage 2: classify every map, in parallel contiguous chunks when
+    /// `workers > 1`. Chunk results are concatenated in chunk order, so
+    /// the output vector is identical to the serial one.
+    pub fn classify_maps(&self, maps: &[DeploymentMap]) -> Vec<Pattern> {
+        let workers = self.config.workers;
+        if workers <= 1 || maps.len() < 2 {
+            return maps
+                .iter()
+                .map(|m| classify(m, &self.config.classify))
+                .collect();
+        }
+        let chunk = maps.len().div_ceil(workers);
+        let mut patterns: Vec<Pattern> = Vec::with_capacity(maps.len());
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = maps
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move |_| {
+                        slice
+                            .iter()
+                            .map(|m| classify(m, &self.config.classify))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                patterns.extend(h.join().expect("classify worker panicked"));
             }
-            let worst = domain_worst.entry(&m.domain).or_insert("stable");
-            if rank(cat) > rank(worst) {
-                *worst = cat;
-            }
-        }
-        funnel.domains_total = domain_worst.len();
-        for (_, cat) in domain_worst {
-            *funnel.domain_categories.entry(cat.to_string()).or_insert(0) += 1;
-        }
+        })
+        .expect("crossbeam scope");
+        patterns
+    }
 
-        // ---- stage 3: shortlist -------------------------------------
-        let shortlisted = shortlist(
-            &maps,
-            &patterns,
-            inputs.asdb,
-            inputs.certs,
-            &self.config.shortlist,
-        );
-        funnel.shortlisted = shortlisted.candidates.len();
-        funnel.truly_anomalous = shortlisted
-            .candidates
-            .iter()
-            .filter(|c| c.via_anomalous_route)
-            .count();
-        for (reason, n) in shortlisted.prune_histogram() {
-            funnel.pruned.insert(reason.label().to_string(), n);
-        }
-
-        // ---- stage 4: inspect ----------------------------------------
-        let mut hijacked: Vec<DetectedHijack> = Vec::new();
-        let mut targeted: Vec<DetectedTarget> = Vec::new();
-        let mut inconclusive: Vec<(Candidate, Day, Option<CertId>, Option<DomainName>)> =
-            Vec::new();
-        for candidate in &shortlisted.candidates {
+    /// Stage 4: inspect a contiguous chunk of candidates, accumulating a
+    /// mergeable partial result.
+    fn inspect_chunk(&self, candidates: &[Candidate], inputs: &AnalystInputs) -> InspectionResults {
+        let mut out = InspectionResults::default();
+        for candidate in candidates {
             match inspect_candidate(
                 candidate,
                 inputs.pdns,
@@ -217,10 +219,10 @@ impl Pipeline {
                 inputs.dnssec,
                 &self.config.inspect,
             ) {
-                InspectOutcome::Hijacked(h) => hijacked.push(h),
-                InspectOutcome::Targeted(t) => targeted.push(t),
+                InspectOutcome::Hijacked(h) => out.hijacked.push(h),
+                InspectOutcome::Targeted(t) => out.targeted.push(t),
                 InspectOutcome::Dismissed(DismissReason::StaleCert) => {
-                    funnel.dismissed_stale += 1;
+                    out.dismissed_stale += 1;
                 }
                 InspectOutcome::Inconclusive => {
                     // Retain what we know for the T1* pass.
@@ -238,10 +240,124 @@ impl Pipeline {
                         })
                         .next()
                         .unwrap_or((candidate.transient.first, None, None));
-                    inconclusive.push((candidate.clone(), issued, cert, sub));
+                    out.inconclusive
+                        .push((candidate.clone(), issued, cert, sub));
                 }
             }
         }
+        out
+    }
+
+    /// Stage 4 over all candidates: a crossbeam worker pool over
+    /// contiguous chunks when `workers > 1`. Inputs are shared by
+    /// reference (all read-only); per-worker partials merge in chunk
+    /// order, reproducing the serial output exactly.
+    pub fn inspect_candidates(
+        &self,
+        candidates: &[Candidate],
+        inputs: &AnalystInputs,
+    ) -> InspectionResults {
+        let workers = self.config.workers;
+        if workers <= 1 || candidates.len() < 2 {
+            return self.inspect_chunk(candidates, inputs);
+        }
+        let chunk = candidates.len().div_ceil(workers);
+        let mut partials: Vec<InspectionResults> = Vec::with_capacity(workers);
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|slice| scope.spawn(move |_| self.inspect_chunk(slice, inputs)))
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("inspect worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        let mut merged = InspectionResults::default();
+        for p in partials {
+            merged.hijacked.extend(p.hijacked);
+            merged.targeted.extend(p.targeted);
+            merged.inconclusive.extend(p.inconclusive);
+            merged.dismissed_stale += p.dismissed_stale;
+        }
+        merged
+    }
+
+    /// Run the full pipeline.
+    pub fn run(&self, inputs: &AnalystInputs) -> Report {
+        let run_start = Instant::now();
+        let mut timings = PipelineTimings::default();
+        let (maps, patterns, map_timing, classify_timing) =
+            self.maps_and_patterns_timed(inputs.observations);
+        timings.map_build = map_timing;
+        timings.classify = classify_timing;
+
+        // ---- funnel: population statistics -------------------------
+        let mut funnel = FunnelStats {
+            maps_total: maps.len(),
+            ..FunnelStats::default()
+        };
+        // Maps arrive sorted by domain, so interning assigns dense ids in
+        // first-seen order and the per-domain worst category can live in a
+        // flat vector indexed by id — no string re-hashing per map.
+        let mut interner = DomainInterner::with_capacity(maps.len());
+        let mut domain_worst: Vec<&'static str> = Vec::with_capacity(maps.len());
+        let rank = |c: &str| match c {
+            "transient" => 3,
+            "noisy" => 2,
+            "transition" => 1,
+            _ => 0,
+        };
+        for (m, p) in maps.iter().zip(&patterns) {
+            let cat = p.category();
+            *funnel.map_categories.entry(cat.to_string()).or_insert(0) += 1;
+            if matches!(p, Pattern::Transient { .. }) {
+                funnel.transient_maps += 1;
+            }
+            let id = interner.intern(&m.domain);
+            if id.index() == domain_worst.len() {
+                domain_worst.push("stable");
+            }
+            if rank(cat) > rank(domain_worst[id.index()]) {
+                domain_worst[id.index()] = cat;
+            }
+        }
+        funnel.domains_total = domain_worst.len();
+        for cat in &domain_worst {
+            *funnel.domain_categories.entry(cat.to_string()).or_insert(0) += 1;
+        }
+
+        // ---- stage 3: shortlist -------------------------------------
+        let t = Instant::now();
+        let shortlisted = shortlist(
+            &maps,
+            &patterns,
+            inputs.asdb,
+            inputs.certs,
+            &self.config.shortlist,
+        );
+        timings.shortlist = StageTiming::from_elapsed(t.elapsed(), maps.len());
+        funnel.shortlisted = shortlisted.candidates.len();
+        funnel.truly_anomalous = shortlisted
+            .candidates
+            .iter()
+            .filter(|c| c.via_anomalous_route)
+            .count();
+        for (reason, n) in shortlisted.prune_histogram() {
+            funnel.pruned.insert(reason.label().to_string(), n);
+        }
+
+        // ---- stage 4: inspect ----------------------------------------
+        let t = Instant::now();
+        let inspected = self.inspect_candidates(&shortlisted.candidates, inputs);
+        timings.inspect = StageTiming::from_elapsed(t.elapsed(), shortlisted.candidates.len());
+        let InspectionResults {
+            mut hijacked,
+            targeted,
+            inconclusive,
+            dismissed_stale,
+        } = inspected;
+        funnel.dismissed_stale = dismissed_stale;
 
         // ---- T1* pass -------------------------------------------------
         let confirmed_ips: BTreeSet<_> = hijacked
@@ -257,7 +373,9 @@ impl Pipeline {
         hijacked.extend(starred);
 
         // ---- stage 5: pivot -------------------------------------------
+        let t = Instant::now();
         let pivoted = pivot(&hijacked, inputs.pdns, inputs.crtsh, &self.config.pivot);
+        timings.pivot = StageTiming::from_elapsed(t.elapsed(), hijacked.len());
         hijacked.extend(pivoted);
 
         // Backfill attacker network annotations (pivot discoveries know
@@ -284,12 +402,30 @@ impl Pipeline {
                 .or_insert(0) += 1;
         }
 
+        timings.total_ms = run_start.elapsed().as_secs_f64() * 1e3;
         Report {
             hijacked,
             targeted,
             funnel,
+            timings,
         }
     }
+}
+
+/// Aggregated stage-4 outcomes for a set of candidates (before the T1*
+/// pass). Partials from parallel workers merge by concatenation, so the
+/// struct doubles as the per-chunk accumulator.
+#[derive(Debug, Default)]
+pub struct InspectionResults {
+    /// Candidates concluded hijacked.
+    pub hijacked: Vec<DetectedHijack>,
+    /// Candidates concluded targeted but not hijacked.
+    pub targeted: Vec<DetectedTarget>,
+    /// Inconclusive candidates with the evidence retained for the T1*
+    /// pass: (candidate, issuance day, certificate, sensitive name).
+    pub inconclusive: Vec<(Candidate, Day, Option<CertId>, Option<DomainName>)>,
+    /// Candidates dismissed for stale certificates.
+    pub dismissed_stale: usize,
 }
 
 /// Deduplicate hijacks by domain: earliest evidence wins the date; types,
@@ -399,7 +535,12 @@ mod tests {
         // The funnel monotonically narrows.
         let f = &report.funnel;
         assert!(f.transient_maps >= f.shortlisted);
-        assert!(f.shortlisted >= report.hijacked.len() - f.hijacks_by_type.get("P-IP").copied().unwrap_or(0) - f.hijacks_by_type.get("P-NS").copied().unwrap_or(0));
+        assert!(
+            f.shortlisted
+                >= report.hijacked.len()
+                    - f.hijacks_by_type.get("P-IP").copied().unwrap_or(0)
+                    - f.hijacks_by_type.get("P-NS").copied().unwrap_or(0)
+        );
         // Population is overwhelmingly stable.
         let stable = f.domain_categories.get("stable").copied().unwrap_or(0);
         assert!(stable as f64 > 0.9 * f.domains_total as f64);

@@ -104,10 +104,8 @@ pub fn pivot(
             }
             progressed = true;
             let entries = pdns.domains_resolving_to(ip);
-            let distinct: BTreeSet<DomainName> = entries
-                .iter()
-                .map(|e| e.name.registered_domain())
-                .collect();
+            let distinct: BTreeSet<DomainName> =
+                entries.iter().map(|e| e.name.registered_domain()).collect();
             if distinct.len() > cfg.max_domains_per_ip {
                 continue; // shared hosting, not attacker infra
             }
@@ -212,7 +210,8 @@ fn build_pivot_hit(
 
     // CT: a certificate for a sensitive name under the domain issued near
     // the sighting.
-    let window = first_seen.saturating_sub_days(cfg.ct_window_days)..=(first_seen + cfg.ct_window_days);
+    let window =
+        first_seen.saturating_sub_days(cfg.ct_window_days)..=(first_seen + cfg.ct_window_days);
     let cert = crtsh
         .search_registered_in(domain, window)
         .into_iter()
@@ -281,19 +280,50 @@ mod tests {
     /// the same rogue NS and its mail resolved to a sibling attacker IP.
     fn pdns() -> PassiveDns {
         let mut p = PassiveDns::new();
-        p.insert_aggregate(&d("fiu.gov.kg"), RecordData::Ns(d("ns1.kg-infocom.ru")), Day(110), Day(111), 2);
-        p.insert_aggregate(&d("fiu.gov.kg"), RecordData::Ns(d("ns1.infocom.kg")), Day(0), Day(300), 80);
-        p.insert_aggregate(&d("mail.fiu.gov.kg"), RecordData::A(ip("178.20.41.140")), Day(110), Day(110), 1);
+        p.insert_aggregate(
+            &d("fiu.gov.kg"),
+            RecordData::Ns(d("ns1.kg-infocom.ru")),
+            Day(110),
+            Day(111),
+            2,
+        );
+        p.insert_aggregate(
+            &d("fiu.gov.kg"),
+            RecordData::Ns(d("ns1.infocom.kg")),
+            Day(0),
+            Day(300),
+            80,
+        );
+        p.insert_aggregate(
+            &d("mail.fiu.gov.kg"),
+            RecordData::A(ip("178.20.41.140")),
+            Day(110),
+            Day(110),
+            1,
+        );
         // A long-lived legitimate customer of the same VPS /24 must NOT be
         // flagged: resolves to the attacker IP but for months.
-        p.insert_aggregate(&d("legit-tenant.com"), RecordData::A(ip("94.103.91.159")), Day(200), Day(400), 40);
+        p.insert_aggregate(
+            &d("legit-tenant.com"),
+            RecordData::A(ip("94.103.91.159")),
+            Day(200),
+            Day(400),
+            40,
+        );
         p
     }
 
     fn crtsh() -> CrtShIndex {
         let mut log = CtLog::new();
         log.submit(
-            Certificate::new(CertId(777), vec![d("mail.fiu.gov.kg")], CaId(1), Day(109), 90, KeyId(9)),
+            Certificate::new(
+                CertId(777),
+                vec![d("mail.fiu.gov.kg")],
+                CaId(1),
+                Day(109),
+                90,
+                KeyId(9),
+            ),
             Day(109),
         );
         CrtShIndex::build(&log)
@@ -302,7 +332,10 @@ mod tests {
     #[test]
     fn pivot_by_ns_finds_no_infra_victim() {
         let found = pivot(&[seed_hijack()], &pdns(), &crtsh(), &PivotConfig::default());
-        let fiu = found.iter().find(|h| h.domain == d("fiu.gov.kg")).expect("fiu found");
+        let fiu = found
+            .iter()
+            .find(|h| h.domain == d("fiu.gov.kg"))
+            .expect("fiu found");
         assert_eq!(fiu.dtype, DetectionType::PivotNs);
         assert!(fiu.ct_corroborated, "CT cert for mail.fiu.gov.kg found");
         assert_eq!(fiu.malicious_cert, Some(CertId(777)));
@@ -339,7 +372,9 @@ mod tests {
         }
         let found = pivot(&[seed_hijack()], &p, &crtsh(), &PivotConfig::default());
         assert!(
-            !found.iter().any(|h| h.domain.as_str().starts_with("tenant")),
+            !found
+                .iter()
+                .any(|h| h.domain.as_str().starts_with("tenant")),
             "shared-hosting tenants must not be flagged"
         );
         // The NS pivot still finds fiu.
@@ -350,8 +385,17 @@ mod tests {
     fn pivot_chains_through_new_evidence() {
         let mut p = pdns();
         // fiu's attacker IP also briefly served a third victim.
-        p.insert_aggregate(&d("mail.infocom.kg"), RecordData::A(ip("178.20.41.140")), Day(130), Day(131), 1);
+        p.insert_aggregate(
+            &d("mail.infocom.kg"),
+            RecordData::A(ip("178.20.41.140")),
+            Day(130),
+            Day(131),
+            1,
+        );
         let found = pivot(&[seed_hijack()], &p, &crtsh(), &PivotConfig::default());
-        assert!(found.iter().any(|h| h.domain == d("infocom.kg")), "{found:?}");
+        assert!(
+            found.iter().any(|h| h.domain == d("infocom.kg")),
+            "{found:?}"
+        );
     }
 }

@@ -219,10 +219,14 @@ mod tests {
         let cfg = ReactiveConfig::default();
         let probe = hijack_probe();
         // Routine issuance establishes the baseline.
-        let a = mon.on_issuance(&rec(1, "mail.mfa.gov.kg", 10), &probe, &cfg).unwrap();
+        let a = mon
+            .on_issuance(&rec(1, "mail.mfa.gov.kg", 10), &probe, &cfg)
+            .unwrap();
         assert_eq!(a.verdict, ReactiveVerdict::BaselineEstablished);
         // The malicious issuance during the flip is flagged immediately.
-        let a = mon.on_issuance(&rec(2, "mail.mfa.gov.kg", 100), &probe, &cfg).unwrap();
+        let a = mon
+            .on_issuance(&rec(2, "mail.mfa.gov.kg", 100), &probe, &cfg)
+            .unwrap();
         match a.verdict {
             ReactiveVerdict::HijackSuspected { rogue_ns } => {
                 assert_eq!(rogue_ns, vec![d("ns1.evil.ru")]);
@@ -243,10 +247,14 @@ mod tests {
         let mut mon = ReactiveMonitor::new();
         let cfg = ReactiveConfig::default();
         mon.on_issuance(&rec(1, "mail.x.com", 10), &probe, &cfg);
-        let a = mon.on_issuance(&rec(2, "mail.x.com", 100), &probe, &cfg).unwrap();
+        let a = mon
+            .on_issuance(&rec(2, "mail.x.com", 100), &probe, &cfg)
+            .unwrap();
         assert_eq!(a.verdict, ReactiveVerdict::MigrationObserved);
         // Post-migration issuance is consistent with the new baseline.
-        let a = mon.on_issuance(&rec(3, "mail.x.com", 200), &probe, &cfg).unwrap();
+        let a = mon
+            .on_issuance(&rec(3, "mail.x.com", 200), &probe, &cfg)
+            .unwrap();
         assert_eq!(a.verdict, ReactiveVerdict::Consistent);
     }
 
@@ -255,7 +263,11 @@ mod tests {
         let mut mon = ReactiveMonitor::new();
         let probe = hijack_probe();
         assert!(mon
-            .on_issuance(&rec(1, "www.mfa.gov.kg", 100), &probe, &ReactiveConfig::default())
+            .on_issuance(
+                &rec(1, "www.mfa.gov.kg", 100),
+                &probe,
+                &ReactiveConfig::default()
+            )
             .is_none());
     }
 
@@ -267,7 +279,11 @@ mod tests {
         let mut mon = ReactiveMonitor::new();
         let probe = hijack_probe();
         let a = mon
-            .on_issuance(&rec(1, "mail.mfa.gov.kg", 100), &probe, &ReactiveConfig::default())
+            .on_issuance(
+                &rec(1, "mail.mfa.gov.kg", 100),
+                &probe,
+                &ReactiveConfig::default(),
+            )
             .unwrap();
         assert_eq!(a.verdict, ReactiveVerdict::BaselineEstablished);
     }

@@ -53,7 +53,17 @@ pub fn render_table2(hijacks: &[DetectedHijack], info: InfoFn) -> String {
     let _ = writeln!(
         s,
         "{:<5} {:<7} {:<3} {:<26} {:<12} {:<5} {:<4} {:<16} {:<7} {:<3} {:<22} CCs",
-        "Type", "Hij.", "CC", "Domain", "Sub.", "pDNS", "crt", "Attacker IP", "ASN", "CC", "Victim ASNs"
+        "Type",
+        "Hij.",
+        "CC",
+        "Domain",
+        "Sub.",
+        "pDNS",
+        "crt",
+        "Attacker IP",
+        "ASN",
+        "CC",
+        "Victim ASNs"
     );
     for h in rows {
         let sub = h
@@ -67,7 +77,11 @@ pub fn render_table2(hijacks: &[DetectedHijack], info: InfoFn) -> String {
         } else {
             format!(
                 "[{}]",
-                h.victim_asns.iter().map(|a| a.value().to_string()).collect::<Vec<_>>().join(",")
+                h.victim_asns
+                    .iter()
+                    .map(|a| a.value().to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             )
         };
         let victim_ccs = if h.victim_ccs.is_empty() {
@@ -75,7 +89,11 @@ pub fn render_table2(hijacks: &[DetectedHijack], info: InfoFn) -> String {
         } else {
             format!(
                 "[{}]",
-                h.victim_ccs.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",")
+                h.victim_ccs
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             )
         };
         let _ = writeln!(
@@ -92,8 +110,12 @@ pub fn render_table2(hijacks: &[DetectedHijack], info: InfoFn) -> String {
                 .first()
                 .map(|ip| ip.to_string())
                 .unwrap_or_else(|| "-".into()),
-            h.attacker_asn.map(|a| a.value().to_string()).unwrap_or_else(|| "-".into()),
-            h.attacker_cc.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            h.attacker_asn
+                .map(|a| a.value().to_string())
+                .unwrap_or_else(|| "-".into()),
+            h.attacker_cc
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
             victim_asns,
             victim_ccs,
         );
@@ -126,11 +148,25 @@ pub fn render_table3(targets: &[DetectedTarget], info: InfoFn) -> String {
             sub,
             tick(t.pdns_corroborated),
             tick(t.ct_corroborated),
-            t.attacker_ip.map(|ip| ip.to_string()).unwrap_or_else(|| "-".into()),
-            t.attacker_asn.map(|a| a.value().to_string()).unwrap_or_else(|| "-".into()),
-            t.attacker_cc.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
-            t.victim_asns.iter().map(|a| a.value().to_string()).collect::<Vec<_>>().join(","),
-            t.victim_ccs.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(","),
+            t.attacker_ip
+                .map(|ip| ip.to_string())
+                .unwrap_or_else(|| "-".into()),
+            t.attacker_asn
+                .map(|a| a.value().to_string())
+                .unwrap_or_else(|| "-".into()),
+            t.attacker_cc
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
+            t.victim_asns
+                .iter()
+                .map(|a| a.value().to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            t.victim_ccs
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
         );
     }
     s
@@ -144,17 +180,19 @@ pub fn sector_breakdown(
 ) -> Vec<(String, usize, usize)> {
     let mut counts: BTreeMap<String, (usize, usize)> = BTreeMap::new();
     for h in hijacks {
-        let sector = info(&h.domain).map(|i| i.sector).unwrap_or_else(|| "Unknown".into());
+        let sector = info(&h.domain)
+            .map(|i| i.sector)
+            .unwrap_or_else(|| "Unknown".into());
         counts.entry(sector).or_default().0 += 1;
     }
     for t in targets {
-        let sector = info(&t.domain).map(|i| i.sector).unwrap_or_else(|| "Unknown".into());
+        let sector = info(&t.domain)
+            .map(|i| i.sector)
+            .unwrap_or_else(|| "Unknown".into());
         counts.entry(sector).or_default().1 += 1;
     }
-    let mut rows: Vec<(String, usize, usize)> = counts
-        .into_iter()
-        .map(|(s, (h, t))| (s, h, t))
-        .collect();
+    let mut rows: Vec<(String, usize, usize)> =
+        counts.into_iter().map(|(s, (h, t))| (s, h, t)).collect();
     rows.sort_by_key(|(s, h, t)| (usize::MAX - (h + t), s.clone()));
     rows
 }
@@ -167,7 +205,11 @@ pub fn render_table4(
 ) -> String {
     let rows = sector_breakdown(hijacks, targets, info);
     let mut s = String::new();
-    let _ = writeln!(s, "{:<32} {:>5} {:>5} {:>6}", "Sector", "Hij.", "Tar.", "Total");
+    let _ = writeln!(
+        s,
+        "{:<32} {:>5} {:>5} {:>6}",
+        "Sector", "Hij.", "Tar.", "Total"
+    );
     let (mut th, mut tt) = (0, 0);
     for (sector, h, t) in &rows {
         let _ = writeln!(s, "{:<32} {:>5} {:>5} {:>6}", sector, h, t, h + t);
@@ -197,14 +239,7 @@ pub fn attacker_networks(
     }
     let mut rows: Vec<(Asn, String, usize, usize)> = counts
         .into_iter()
-        .map(|(asn, (h, t))| {
-            (
-                asn,
-                orgs.asn_org_name(asn).unwrap_or("?").to_string(),
-                h,
-                t,
-            )
-        })
+        .map(|(asn, (h, t))| (asn, orgs.asn_org_name(asn).unwrap_or("?").to_string(), h, t))
         .collect();
     rows.sort_by_key(|(asn, _, h, t)| (usize::MAX - (h + t), asn.value()));
     rows
@@ -218,14 +253,34 @@ pub fn render_table5(
 ) -> String {
     let rows = attacker_networks(hijacks, targets, orgs);
     let mut s = String::new();
-    let _ = writeln!(s, "{:<8} {:<20} {:>5} {:>5} {:>6}", "ASN", "Network", "Hij.", "Tar.", "Total");
+    let _ = writeln!(
+        s,
+        "{:<8} {:<20} {:>5} {:>5} {:>6}",
+        "ASN", "Network", "Hij.", "Tar.", "Total"
+    );
     let (mut th, mut tt) = (0, 0);
     for (asn, name, h, t) in &rows {
-        let _ = writeln!(s, "{:<8} {:<20} {:>5} {:>5} {:>6}", asn.value(), name, h, t, h + t);
+        let _ = writeln!(
+            s,
+            "{:<8} {:<20} {:>5} {:>5} {:>6}",
+            asn.value(),
+            name,
+            h,
+            t,
+            h + t
+        );
         th += h;
         tt += t;
     }
-    let _ = writeln!(s, "{:<8} {:<20} {:>5} {:>5} {:>6}", "", "Total", th, tt, th + tt);
+    let _ = writeln!(
+        s,
+        "{:<8} {:<20} {:>5} {:>5} {:>6}",
+        "",
+        "Total",
+        th,
+        tt,
+        th + tt
+    );
     s
 }
 
@@ -377,17 +432,38 @@ mod tests {
     #[test]
     fn table9_reports_issuers_and_revocation() {
         use retrodns_cert::authority::{CaKind, CertAuthority};
-        use retrodns_cert::{CaId, CertId, Certificate, CrtShIndex, CtLog, KeyId, RevocationRegistry, TrustStore};
+        use retrodns_cert::{
+            CaId, CertId, Certificate, CrtShIndex, CtLog, KeyId, RevocationRegistry, TrustStore,
+        };
         let mut trust = TrustStore::new();
-        trust.register_public(CertAuthority::new(CaId(1), "Let's Encrypt", CaKind::AcmeDv, 90));
+        trust.register_public(CertAuthority::new(
+            CaId(1),
+            "Let's Encrypt",
+            CaKind::AcmeDv,
+            90,
+        ));
         trust.register_public(CertAuthority::new(CaId(2), "Comodo", CaKind::TrialDv, 90));
         let mut log = CtLog::new();
         log.submit(
-            Certificate::new(CertId(10), vec![d("mail.a.gov.kg")], CaId(1), Day(100), 90, KeyId(1)),
+            Certificate::new(
+                CertId(10),
+                vec![d("mail.a.gov.kg")],
+                CaId(1),
+                Day(100),
+                90,
+                KeyId(1),
+            ),
             Day(100),
         );
         log.submit(
-            Certificate::new(CertId(11), vec![d("mail.b.gov.kg")], CaId(2), Day(101), 90, KeyId(2)),
+            Certificate::new(
+                CertId(11),
+                vec![d("mail.b.gov.kg")],
+                CaId(2),
+                Day(101),
+                90,
+                KeyId(2),
+            ),
             Day(101),
         );
         let crtsh = CrtShIndex::build(&log);

@@ -22,7 +22,7 @@ use crate::classify::{Pattern, StableBackground, TransientFinding};
 use crate::map::{Deployment, DeploymentMap};
 use retrodns_asdb::AsDatabase;
 use retrodns_cert::{CertId, Certificate};
-use retrodns_types::{DomainName, Period};
+use retrodns_types::{DomainId, DomainInterner, DomainName, Period, PeriodId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -143,18 +143,24 @@ pub fn shortlist(
 ) -> ShortlistOutcome {
     assert_eq!(maps.len(), patterns.len(), "patterns must parallel maps");
     // Per-domain period → category index for the repeat / truly-anomalous
-    // cross-period checks.
-    let mut by_domain: HashMap<&DomainName, HashMap<usize, &'static str>> = HashMap::new();
+    // cross-period checks. Domains are interned to dense ids so the
+    // grouping is a flat vector indexed by id and each map's domain is
+    // hashed exactly once.
+    let mut interner = DomainInterner::with_capacity(maps.len());
+    let mut ids: Vec<DomainId> = Vec::with_capacity(maps.len());
+    let mut by_domain: Vec<HashMap<PeriodId, &'static str>> = Vec::new();
     for (m, p) in maps.iter().zip(patterns) {
-        by_domain
-            .entry(&m.domain)
-            .or_default()
-            .insert(m.period.id, p.category());
+        let id = interner.intern(&m.domain);
+        if id.index() == by_domain.len() {
+            by_domain.push(HashMap::new());
+        }
+        by_domain[id.index()].insert(m.period.id, p.category());
+        ids.push(id);
     }
 
-    let consecutive_transients = |domain: &DomainName, pid: usize| -> usize {
-        let periods = &by_domain[domain];
-        let is_t = |id: usize| periods.get(&id) == Some(&"transient");
+    let consecutive_transients = |domain: DomainId, pid: PeriodId| -> usize {
+        let periods = &by_domain[domain.index()];
+        let is_t = |id: PeriodId| periods.get(&id) == Some(&"transient");
         let mut run = 1;
         let mut i = pid;
         while i > 0 && is_t(i - 1) {
@@ -171,7 +177,7 @@ pub fn shortlist(
 
     let mut out = ShortlistOutcome::default();
 
-    for (m, p) in maps.iter().zip(patterns) {
+    for ((m, p), &domain_id) in maps.iter().zip(patterns).zip(&ids) {
         let Pattern::Transient {
             findings,
             background,
@@ -187,7 +193,7 @@ pub fn shortlist(
             continue;
         }
         if !cfg.disable_repeat_check
-            && consecutive_transients(&m.domain, m.period.id) >= cfg.repeat_periods
+            && consecutive_transients(domain_id, m.period.id) >= cfg.repeat_periods
         {
             out.pruned
                 .push((m.domain.clone(), m.period, PruneReason::RepeatedTransients));
@@ -196,7 +202,7 @@ pub fn shortlist(
 
         // Truly anomalous: a single transient finding, with fully stable
         // periods before and after. Edge periods don't qualify.
-        let neighbors = &by_domain[&m.domain];
+        let neighbors = &by_domain[domain_id.index()];
         let truly_anomalous = findings.len() == 1
             && m.period.id > 0
             && neighbors.get(&(m.period.id - 1)) == Some(&"stable")
@@ -299,7 +305,14 @@ mod tests {
         let mut m = HashMap::new();
         m.insert(
             CertId(1),
-            Certificate::new(CertId(1), vec!["www.victim.gr".parse().unwrap()], CaId(1), Day(0), 800, KeyId(1)),
+            Certificate::new(
+                CertId(1),
+                vec!["www.victim.gr".parse().unwrap()],
+                CaId(1),
+                Day(0),
+                800,
+                KeyId(1),
+            ),
         );
         m.insert(
             CertId(666),
@@ -314,7 +327,14 @@ mod tests {
         );
         m.insert(
             CertId(777),
-            Certificate::new(CertId(777), vec!["www.victim.gr".parse().unwrap()], CaId(1), Day(80), 90, KeyId(9)),
+            Certificate::new(
+                CertId(777),
+                vec!["www.victim.gr".parse().unwrap()],
+                CaId(1),
+                Day(80),
+                90,
+                KeyId(9),
+            ),
         );
         m
     }
@@ -322,32 +342,57 @@ mod tests {
     /// Stable GR background + one-scan transient with cert `cert` from
     /// (asn, cc).
     fn world(asn: u32, cc: &str, cert: u64) -> (Vec<DeploymentMap>, Vec<Pattern>) {
-        let mut o: Vec<DomainObservation> = (0..26).map(|i| obs("victim.gr", i, 1, 100, "GR", 1)).collect();
+        let mut o: Vec<DomainObservation> = (0..26)
+            .map(|i| obs("victim.gr", i, 1, 100, "GR", 1))
+            .collect();
         o.push(obs("victim.gr", 12, 99, asn, cc, cert));
         let maps = MapBuilder::new(StudyWindow::default()).build(&o);
-        let patterns: Vec<Pattern> = maps.iter().map(|m| classify(m, &ClassifyConfig::default())).collect();
+        let patterns: Vec<Pattern> = maps
+            .iter()
+            .map(|m| classify(m, &ClassifyConfig::default()))
+            .collect();
         (maps, patterns)
     }
 
     #[test]
     fn sensitive_foreign_transient_survives() {
         let (maps, patterns) = world(200, "NL", 666);
-        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        let out = shortlist(
+            &maps,
+            &patterns,
+            &asdb(),
+            &certs(),
+            &ShortlistConfig::default(),
+        );
         assert_eq!(out.candidates.len(), 1);
         let c = &out.candidates[0];
         assert_eq!(c.transient.asn, Asn(200));
         assert!(!c.truly_anomalous);
-        assert_eq!(c.sensitive_names, vec!["mail.victim.gr".parse::<DomainName>().unwrap()]);
+        assert_eq!(
+            c.sensitive_names,
+            vec!["mail.victim.gr".parse::<DomainName>().unwrap()]
+        );
     }
 
     #[test]
     fn related_org_pruned() {
         // Stable on AS200 (org 2); transient in sibling AS201 (same org).
-        let mut o: Vec<DomainObservation> = (0..26).map(|i| obs("victim.gr", i, 1, 200, "GR", 1)).collect();
+        let mut o: Vec<DomainObservation> = (0..26)
+            .map(|i| obs("victim.gr", i, 1, 200, "GR", 1))
+            .collect();
         o.push(obs("victim.gr", 12, 99, 201, "NL", 666));
         let maps = MapBuilder::new(StudyWindow::default()).build(&o);
-        let patterns: Vec<Pattern> = maps.iter().map(|m| classify(m, &ClassifyConfig::default())).collect();
-        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        let patterns: Vec<Pattern> = maps
+            .iter()
+            .map(|m| classify(m, &ClassifyConfig::default()))
+            .collect();
+        let out = shortlist(
+            &maps,
+            &patterns,
+            &asdb(),
+            &certs(),
+            &ShortlistConfig::default(),
+        );
         assert!(out.candidates.is_empty());
         assert_eq!(out.pruned[0].2, PruneReason::RelatedOrg);
         // Ablation: disabling the check lets it through.
@@ -367,7 +412,13 @@ mod tests {
     #[test]
     fn same_country_pruned() {
         let (maps, patterns) = world(200, "GR", 666);
-        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        let out = shortlist(
+            &maps,
+            &patterns,
+            &asdb(),
+            &certs(),
+            &ShortlistConfig::default(),
+        );
         assert!(out.candidates.is_empty());
         assert_eq!(out.pruned[0].2, PruneReason::SameCountry);
     }
@@ -375,12 +426,23 @@ mod tests {
     #[test]
     fn low_visibility_pruned() {
         // Background present in only half the scans.
-        let mut o: Vec<DomainObservation> =
-            (0..26).step_by(2).map(|i| obs("victim.gr", i, 1, 100, "GR", 1)).collect();
+        let mut o: Vec<DomainObservation> = (0..26)
+            .step_by(2)
+            .map(|i| obs("victim.gr", i, 1, 100, "GR", 1))
+            .collect();
         o.push(obs("victim.gr", 12, 99, 200, "NL", 666));
         let maps = MapBuilder::new(StudyWindow::default()).build(&o);
-        let patterns: Vec<Pattern> = maps.iter().map(|m| classify(m, &ClassifyConfig::default())).collect();
-        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        let patterns: Vec<Pattern> = maps
+            .iter()
+            .map(|m| classify(m, &ClassifyConfig::default()))
+            .collect();
+        let out = shortlist(
+            &maps,
+            &patterns,
+            &asdb(),
+            &certs(),
+            &ShortlistConfig::default(),
+        );
         // Either the map fragmented (no transient classified) or it was
         // pruned for visibility; it must not survive.
         assert!(out.candidates.is_empty());
@@ -389,14 +451,24 @@ mod tests {
     #[test]
     fn repeated_transients_pruned() {
         // The same foreign one-scan transient in periods 1, 2, 3.
-        let mut o: Vec<DomainObservation> =
-            (0..26 * 4).map(|i| obs("victim.gr", i, 1, 100, "GR", 1)).collect();
+        let mut o: Vec<DomainObservation> = (0..26 * 4)
+            .map(|i| obs("victim.gr", i, 1, 100, "GR", 1))
+            .collect();
         for p in 1..4u32 {
             o.push(obs("victim.gr", 26 * p + 10, 99, 200, "NL", 666));
         }
         let maps = MapBuilder::new(StudyWindow::default()).build(&o);
-        let patterns: Vec<Pattern> = maps.iter().map(|m| classify(m, &ClassifyConfig::default())).collect();
-        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        let patterns: Vec<Pattern> = maps
+            .iter()
+            .map(|m| classify(m, &ClassifyConfig::default()))
+            .collect();
+        let out = shortlist(
+            &maps,
+            &patterns,
+            &asdb(),
+            &certs(),
+            &ShortlistConfig::default(),
+        );
         assert!(out.candidates.is_empty());
         assert!(out
             .pruned
@@ -410,17 +482,33 @@ mod tests {
         // Transient cert 777 secures only www (not sensitive); single
         // period of data means it cannot be truly anomalous → pruned.
         let (maps, patterns) = world(200, "NL", 777);
-        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        let out = shortlist(
+            &maps,
+            &patterns,
+            &asdb(),
+            &certs(),
+            &ShortlistConfig::default(),
+        );
         assert!(out.candidates.is_empty());
         assert_eq!(out.pruned[0].2, PruneReason::NotSensitiveNotAnomalous);
 
         // Give it stable periods before and after → truly anomalous.
-        let mut o: Vec<DomainObservation> =
-            (0..26 * 3).map(|i| obs("victim.gr", i, 1, 100, "GR", 1)).collect();
+        let mut o: Vec<DomainObservation> = (0..26 * 3)
+            .map(|i| obs("victim.gr", i, 1, 100, "GR", 1))
+            .collect();
         o.push(obs("victim.gr", 26 + 12, 99, 200, "NL", 777));
         let maps = MapBuilder::new(StudyWindow::default()).build(&o);
-        let patterns: Vec<Pattern> = maps.iter().map(|m| classify(m, &ClassifyConfig::default())).collect();
-        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        let patterns: Vec<Pattern> = maps
+            .iter()
+            .map(|m| classify(m, &ClassifyConfig::default()))
+            .collect();
+        let out = shortlist(
+            &maps,
+            &patterns,
+            &asdb(),
+            &certs(),
+            &ShortlistConfig::default(),
+        );
         assert_eq!(out.candidates.len(), 1);
         assert!(out.candidates[0].truly_anomalous);
         assert!(out.candidates[0].via_anomalous_route);
@@ -429,7 +517,13 @@ mod tests {
     #[test]
     fn prune_histogram_counts() {
         let (maps, patterns) = world(200, "GR", 666);
-        let out = shortlist(&maps, &patterns, &asdb(), &certs(), &ShortlistConfig::default());
+        let out = shortlist(
+            &maps,
+            &patterns,
+            &asdb(),
+            &certs(),
+            &ShortlistConfig::default(),
+        );
         let h = out.prune_histogram();
         assert_eq!(h.get(&PruneReason::SameCountry), Some(&1));
     }

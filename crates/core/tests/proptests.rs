@@ -10,12 +10,12 @@ use retrodns_types::{Asn, Day, DomainName, Ipv4Addr, StudyWindow};
 
 fn arb_observation() -> impl Strategy<Value = DomainObservation> {
     (
-        0u8..4,     // domain index
-        0u32..220,  // scan week
-        0u32..40,   // ip
-        0u32..6,    // asn index
-        0u8..4,     // country index
-        0u64..10,   // cert
+        0u8..4,    // domain index
+        0u32..220, // scan week
+        0u32..40,  // ip
+        0u32..6,   // asn index
+        0u8..4,    // country index
+        0u64..10,  // cert
         any::<bool>(),
     )
         .prop_map(|(dom, week, ip, asn, cc, cert, trusted)| {

@@ -115,7 +115,10 @@ impl DnsDb {
         day: Day,
     ) -> Result<(), AuthError> {
         self.registrars.authorize(actor, domain)?;
-        self.dnssec.entry(domain.clone()).or_default().set(day, signed);
+        self.dnssec
+            .entry(domain.clone())
+            .or_default()
+            .set(day, signed);
         Ok(())
     }
 
@@ -138,7 +141,11 @@ impl DnsDb {
         assert!(from <= to, "inverted segment window");
         let mut breakpoints: Vec<Day> = vec![from];
         if let Some(ts) = self.dnssec.get(domain) {
-            breakpoints.extend(ts.changes().map(|(d, _)| d).filter(|d| *d > from && *d <= to));
+            breakpoints.extend(
+                ts.changes()
+                    .map(|(d, _)| d)
+                    .filter(|d| *d > from && *d <= to),
+            );
         }
         breakpoints.sort();
         breakpoints.dedup();
@@ -316,7 +323,11 @@ impl DnsDb {
         let registered = name.registered_domain();
         let mut breakpoints: Vec<Day> = vec![from];
         if let Some(ts) = self.delegations.get(&registered) {
-            breakpoints.extend(ts.changes().map(|(d, _)| d).filter(|d| *d > from && *d <= to));
+            breakpoints.extend(
+                ts.changes()
+                    .map(|(d, _)| d)
+                    .filter(|d| *d > from && *d <= to),
+            );
         }
         if let Some(days) = self.zone_change_days.get(&(name.clone(), rtype)) {
             breakpoints.extend(days.iter().copied().filter(|d| *d > from && *d <= to));
@@ -346,7 +357,11 @@ impl DnsDb {
         assert!(from <= to, "inverted segment window");
         let mut breakpoints: Vec<Day> = vec![from];
         if let Some(ts) = self.delegations.get(registered) {
-            breakpoints.extend(ts.changes().map(|(d, _)| d).filter(|d| *d > from && *d <= to));
+            breakpoints.extend(
+                ts.changes()
+                    .map(|(d, _)| d)
+                    .filter(|d| *d > from && *d <= to),
+            );
         }
         breakpoints.sort();
         breakpoints.dedup();
@@ -532,7 +547,10 @@ mod tests {
     #[test]
     fn glue_lookup_over_time() {
         let db = hijack_world();
-        assert_eq!(db.ns_addresses(&d("ns1.kg-infocom.ru"), Day(100)), &[ip("94.103.91.1")]);
+        assert_eq!(
+            db.ns_addresses(&d("ns1.kg-infocom.ru"), Day(100)),
+            &[ip("94.103.91.1")]
+        );
         assert!(db.ns_addresses(&d("ns1.kg-infocom.ru"), Day(50)).is_empty());
         assert!(db.ns_addresses(&d("nsX.nowhere.com"), Day(50)).is_empty());
     }
@@ -587,24 +605,32 @@ mod tests {
     #[test]
     fn dnssec_status_is_authorized_and_time_indexed() {
         let mut db = hijack_world();
-        db.set_dnssec(&Actor::Owner, &d("mfa.gov.kg"), true, Day(0)).unwrap();
+        db.set_dnssec(&Actor::Owner, &d("mfa.gov.kg"), true, Day(0))
+            .unwrap();
         assert!(db.dnssec_enabled(&d("mfa.gov.kg"), Day(50)));
         // The attacker disables it before the hijack.
         let actor = Actor::StolenCredentials(d("mfa.gov.kg"));
-        db.set_dnssec(&actor, &d("mfa.gov.kg"), false, Day(99)).unwrap();
-        db.set_dnssec(&Actor::Owner, &d("mfa.gov.kg"), true, Day(130)).unwrap();
+        db.set_dnssec(&actor, &d("mfa.gov.kg"), false, Day(99))
+            .unwrap();
+        db.set_dnssec(&Actor::Owner, &d("mfa.gov.kg"), true, Day(130))
+            .unwrap();
         assert!(!db.dnssec_enabled(&d("mfa.gov.kg"), Day(100)));
         assert!(db.dnssec_enabled(&d("mfa.gov.kg"), Day(130)));
         // Unauthorized actors cannot touch it.
         let wrong = Actor::StolenCredentials(d("other.gov.kg"));
-        assert!(db.set_dnssec(&wrong, &d("mfa.gov.kg"), false, Day(140)).is_err());
+        assert!(db
+            .set_dnssec(&wrong, &d("mfa.gov.kg"), false, Day(140))
+            .is_err());
         // Segments reflect the excursion.
         let segs = db.dnssec_segments(&d("mfa.gov.kg"), Day(0), Day(200));
-        assert_eq!(segs, vec![
-            (Day(0), Day(98), true),
-            (Day(99), Day(129), false),
-            (Day(130), Day(200), true),
-        ]);
+        assert_eq!(
+            segs,
+            vec![
+                (Day(0), Day(98), true),
+                (Day(99), Day(129), false),
+                (Day(130), Day(200), true),
+            ]
+        );
         // Unknown domains are simply unsigned.
         assert!(!db.dnssec_enabled(&d("unknown.kg"), Day(5)));
     }
@@ -621,7 +647,8 @@ mod tests {
             Day(100),
         );
         assert_eq!(
-            db.resolve_txt(&d("_acme-challenge.mail.mfa.gov.kg"), Day(101)).unwrap(),
+            db.resolve_txt(&d("_acme-challenge.mail.mfa.gov.kg"), Day(101))
+                .unwrap(),
             vec!["acme-token".to_string()]
         );
         // Before and after the hijack the legitimate NS have no such record.

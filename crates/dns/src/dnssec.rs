@@ -172,10 +172,22 @@ mod tests {
     #[test]
     fn disable_events_window_filter() {
         let a = archive();
-        assert_eq!(a.disable_events_in(&d("mfa.gov.kg"), Day(90), Day(105)).len(), 1);
-        assert_eq!(a.disable_events_in(&d("mfa.gov.kg"), Day(115), Day(130)).len(), 1);
-        assert!(a.disable_events_in(&d("mfa.gov.kg"), Day(0), Day(99)).is_empty());
-        assert!(a.disable_events_in(&d("mfa.gov.kg"), Day(130), Day(200)).is_empty());
+        assert_eq!(
+            a.disable_events_in(&d("mfa.gov.kg"), Day(90), Day(105))
+                .len(),
+            1
+        );
+        assert_eq!(
+            a.disable_events_in(&d("mfa.gov.kg"), Day(115), Day(130))
+                .len(),
+            1
+        );
+        assert!(a
+            .disable_events_in(&d("mfa.gov.kg"), Day(0), Day(99))
+            .is_empty());
+        assert!(a
+            .disable_events_in(&d("mfa.gov.kg"), Day(130), Day(200))
+            .is_empty());
     }
 
     #[test]
@@ -186,7 +198,10 @@ mod tests {
         let events = a.disable_events(&d("x.com"));
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].restored, None);
-        assert_eq!(a.disable_events_in(&d("x.com"), Day(300), Day(350)).len(), 1);
+        assert_eq!(
+            a.disable_events_in(&d("x.com"), Day(300), Day(350)).len(),
+            1
+        );
         assert!(a.ever_signed(&d("x.com")));
     }
 

@@ -268,18 +268,50 @@ mod tests {
         let mut p = PassiveDns::new();
         // Stable resolution seen across a long window.
         for day in [10, 20, 30, 100, 200] {
-            p.observe(&d("mail.mfa.gov.kg"), RecordData::A(ip("10.0.0.5")), Day(day));
+            p.observe(
+                &d("mail.mfa.gov.kg"),
+                RecordData::A(ip("10.0.0.5")),
+                Day(day),
+            );
         }
         // Hijack: brief resolution to attacker IP.
-        p.observe(&d("mail.mfa.gov.kg"), RecordData::A(ip("94.103.91.159")), Day(105));
+        p.observe(
+            &d("mail.mfa.gov.kg"),
+            RecordData::A(ip("94.103.91.159")),
+            Day(105),
+        );
         // Delegation history.
-        p.observe(&d("mfa.gov.kg"), RecordData::Ns(d("ns1.infocom.kg")), Day(10));
-        p.observe(&d("mfa.gov.kg"), RecordData::Ns(d("ns1.infocom.kg")), Day(200));
-        p.observe(&d("mfa.gov.kg"), RecordData::Ns(d("ns1.kg-infocom.ru")), Day(104));
-        p.observe(&d("mfa.gov.kg"), RecordData::Ns(d("ns1.kg-infocom.ru")), Day(106));
+        p.observe(
+            &d("mfa.gov.kg"),
+            RecordData::Ns(d("ns1.infocom.kg")),
+            Day(10),
+        );
+        p.observe(
+            &d("mfa.gov.kg"),
+            RecordData::Ns(d("ns1.infocom.kg")),
+            Day(200),
+        );
+        p.observe(
+            &d("mfa.gov.kg"),
+            RecordData::Ns(d("ns1.kg-infocom.ru")),
+            Day(104),
+        );
+        p.observe(
+            &d("mfa.gov.kg"),
+            RecordData::Ns(d("ns1.kg-infocom.ru")),
+            Day(106),
+        );
         // Second victim delegated to the same rogue NS.
-        p.observe(&d("fiu.gov.kg"), RecordData::Ns(d("ns1.kg-infocom.ru")), Day(110));
-        p.observe(&d("mail.fiu.gov.kg"), RecordData::A(ip("178.20.41.140")), Day(110));
+        p.observe(
+            &d("fiu.gov.kg"),
+            RecordData::Ns(d("ns1.kg-infocom.ru")),
+            Day(110),
+        );
+        p.observe(
+            &d("mail.fiu.gov.kg"),
+            RecordData::A(ip("178.20.41.140")),
+            Day(110),
+        );
         p
     }
 
@@ -288,11 +320,17 @@ mod tests {
         let p = seeded();
         let hits = p.lookups(&d("mail.mfa.gov.kg"), Some(RecordType::A));
         assert_eq!(hits.len(), 2);
-        let stable = hits.iter().find(|e| e.rdata.as_a() == Some(ip("10.0.0.5"))).unwrap();
+        let stable = hits
+            .iter()
+            .find(|e| e.rdata.as_a() == Some(ip("10.0.0.5")))
+            .unwrap();
         assert_eq!(stable.first_seen, Day(10));
         assert_eq!(stable.last_seen, Day(200));
         assert_eq!(stable.count, 5);
-        let hijack = hits.iter().find(|e| e.rdata.as_a() == Some(ip("94.103.91.159"))).unwrap();
+        let hijack = hits
+            .iter()
+            .find(|e| e.rdata.as_a() == Some(ip("94.103.91.159")))
+            .unwrap();
         assert_eq!(hijack.visibility_days(), 1, "hijack visible a single day");
     }
 
@@ -340,13 +378,25 @@ mod tests {
     fn insert_aggregate_merges_with_observations() {
         let mut p = PassiveDns::new();
         p.observe(&d("mail.x.com"), RecordData::A(ip("10.0.0.1")), Day(50));
-        p.insert_aggregate(&d("mail.x.com"), RecordData::A(ip("10.0.0.1")), Day(10), Day(40), 7);
+        p.insert_aggregate(
+            &d("mail.x.com"),
+            RecordData::A(ip("10.0.0.1")),
+            Day(10),
+            Day(40),
+            7,
+        );
         let e = &p.lookups(&d("mail.x.com"), None)[0];
         assert_eq!(e.first_seen, Day(10));
         assert_eq!(e.last_seen, Day(50));
         assert_eq!(e.count, 8);
         // Reverse index reachable for aggregate-only tuples.
-        p.insert_aggregate(&d("mail.y.com"), RecordData::A(ip("10.0.0.2")), Day(5), Day(6), 2);
+        p.insert_aggregate(
+            &d("mail.y.com"),
+            RecordData::A(ip("10.0.0.2")),
+            Day(5),
+            Day(6),
+            2,
+        );
         assert_eq!(p.domains_resolving_to(ip("10.0.0.2")).len(), 1);
     }
 

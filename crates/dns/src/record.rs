@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn rtype_tags_match() {
-        assert_eq!(RecordData::A("1.2.3.4".parse().unwrap()).rtype(), RecordType::A);
+        assert_eq!(
+            RecordData::A("1.2.3.4".parse().unwrap()).rtype(),
+            RecordType::A
+        );
         assert_eq!(
             RecordData::Ns("ns1.example.com".parse().unwrap()).rtype(),
             RecordType::Ns
@@ -115,6 +118,9 @@ mod tests {
     fn display_forms() {
         assert_eq!(RecordType::Ns.to_string(), "NS");
         assert_eq!(RecordData::Txt("v=spf1".into()).to_string(), "\"v=spf1\"");
-        assert_eq!(RecordData::A("8.8.8.8".parse().unwrap()).to_string(), "8.8.8.8");
+        assert_eq!(
+            RecordData::A("8.8.8.8".parse().unwrap()).to_string(),
+            "8.8.8.8"
+        );
     }
 }

@@ -115,7 +115,11 @@ impl RegistrarRegistry {
     }
 
     /// Enable or disable the registry lock for a domain.
-    pub fn set_registry_lock(&mut self, domain: &DomainName, locked: bool) -> Result<(), AuthError> {
+    pub fn set_registry_lock(
+        &mut self,
+        domain: &DomainName,
+        locked: bool,
+    ) -> Result<(), AuthError> {
         self.registrations
             .get_mut(domain)
             .map(|r| r.registry_locked = locked)
@@ -129,7 +133,10 @@ impl RegistrarRegistry {
 
     /// Registrar display name.
     pub fn registrar_name(&self, id: RegistrarId) -> &str {
-        self.registrar_names.get(&id).map(String::as_str).unwrap_or("?")
+        self.registrar_names
+            .get(&id)
+            .map(String::as_str)
+            .unwrap_or("?")
     }
 
     /// May `actor` change the delegation of `domain`?
@@ -170,8 +177,8 @@ impl RegistrarRegistry {
                 }
             }
             Actor::CompromisedRegistry(suffix) => {
-                let under = domain.as_str() == suffix
-                    || domain.as_str().ends_with(&format!(".{suffix}"));
+                let under =
+                    domain.as_str() == suffix || domain.as_str().ends_with(&format!(".{suffix}"));
                 if under {
                     Ok(())
                 } else {
@@ -273,12 +280,18 @@ mod tests {
             Err(AuthError::RegistryLocked(d("mfa.gov.kg")))
         );
         assert_eq!(
-            r.authorize(&Actor::CompromisedRegistrar(RegistrarId(1)), &d("mfa.gov.kg")),
+            r.authorize(
+                &Actor::CompromisedRegistrar(RegistrarId(1)),
+                &d("mfa.gov.kg")
+            ),
             Err(AuthError::RegistryLocked(d("mfa.gov.kg")))
         );
         // Registry compromise bypasses the lock; owner unaffected.
         assert!(r
-            .authorize(&Actor::CompromisedRegistry("gov.kg".into()), &d("mfa.gov.kg"))
+            .authorize(
+                &Actor::CompromisedRegistry("gov.kg".into()),
+                &d("mfa.gov.kg")
+            )
             .is_ok());
         assert!(r.authorize(&Actor::Owner, &d("mfa.gov.kg")).is_ok());
     }

@@ -59,7 +59,13 @@ impl ZoneSnapshotArchive {
     /// the same delegation. Spans must be appended in chronological order
     /// per domain (the simulator walks time forward); a span contiguous
     /// with the previous run and carrying the same NS set is merged.
-    pub fn record_span(&mut self, from: Day, to: Day, domain: &DomainName, nameservers: &[DomainName]) {
+    pub fn record_span(
+        &mut self,
+        from: Day,
+        to: Day,
+        domain: &DomainName,
+        nameservers: &[DomainName],
+    ) {
         assert!(from <= to, "inverted snapshot span");
         if !self.has_access(domain) {
             return;
@@ -169,9 +175,13 @@ mod tests {
     #[test]
     fn one_day_hijack_visible_exactly_once() {
         let a = archive();
-        assert_eq!(a.days_with_nameserver(&d("pch.net"), &d("ns1.evil.ru")), vec![Day(15)]);
         assert_eq!(
-            a.days_with_nameserver(&d("pch.net"), &d("ns1.pch.net")).len(),
+            a.days_with_nameserver(&d("pch.net"), &d("ns1.evil.ru")),
+            vec![Day(15)]
+        );
+        assert_eq!(
+            a.days_with_nameserver(&d("pch.net"), &d("ns1.pch.net"))
+                .len(),
             29
         );
     }
@@ -179,8 +189,14 @@ mod tests {
     #[test]
     fn delegation_on_exact_day() {
         let a = archive();
-        assert_eq!(a.delegation_on(&d("pch.net"), Day(15)).unwrap(), &[d("ns1.evil.ru")]);
-        assert_eq!(a.delegation_on(&d("pch.net"), Day(14)).unwrap(), &[d("ns1.pch.net")]);
+        assert_eq!(
+            a.delegation_on(&d("pch.net"), Day(15)).unwrap(),
+            &[d("ns1.evil.ru")]
+        );
+        assert_eq!(
+            a.delegation_on(&d("pch.net"), Day(14)).unwrap(),
+            &[d("ns1.pch.net")]
+        );
         assert!(a.delegation_on(&d("pch.net"), Day(99)).is_none());
     }
 
@@ -197,9 +213,20 @@ mod tests {
         let mut a = ZoneSnapshotArchive::with_access(vec!["com".into()]);
         a.record_span(Day(0), Day(99), &d("example.com"), &[d("ns1.example.com")]);
         a.record_span(Day(100), Day(100), &d("example.com"), &[d("ns1.evil.ru")]);
-        a.record_span(Day(101), Day(200), &d("example.com"), &[d("ns1.example.com")]);
-        assert_eq!(a.delegation_on(&d("example.com"), Day(50)).unwrap(), &[d("ns1.example.com")]);
-        assert_eq!(a.delegation_on(&d("example.com"), Day(100)).unwrap(), &[d("ns1.evil.ru")]);
+        a.record_span(
+            Day(101),
+            Day(200),
+            &d("example.com"),
+            &[d("ns1.example.com")],
+        );
+        assert_eq!(
+            a.delegation_on(&d("example.com"), Day(50)).unwrap(),
+            &[d("ns1.example.com")]
+        );
+        assert_eq!(
+            a.delegation_on(&d("example.com"), Day(100)).unwrap(),
+            &[d("ns1.evil.ru")]
+        );
         assert_eq!(
             a.days_with_nameserver(&d("example.com"), &d("ns1.evil.ru")),
             vec![Day(100)]

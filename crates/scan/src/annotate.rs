@@ -77,7 +77,10 @@ pub fn annotate_dataset(
     // Group ports per (date, ip, cert); BTreeMap for deterministic order.
     let mut groups: BTreeMap<(Day, Ipv4Addr, CertId), Vec<u16>> = BTreeMap::new();
     for r in dataset.records() {
-        groups.entry((r.date, r.ip, r.cert)).or_default().push(r.port);
+        groups
+            .entry((r.date, r.ip, r.cert))
+            .or_default()
+            .push(r.port);
     }
     groups
         .into_iter()
@@ -96,7 +99,9 @@ pub fn annotate_dataset(
                 issuer: cert
                     .map(|c| trust.ca_name(c.issuer).to_string())
                     .unwrap_or_else(|| "?".to_string()),
-                trusted: cert.map(|c| trust.is_browser_trusted(c.issuer)).unwrap_or(false),
+                trusted: cert
+                    .map(|c| trust.is_browser_trusted(c.issuer))
+                    .unwrap_or(false),
                 sensitive: cert.map(|c| c.has_sensitive_name()).unwrap_or(false),
                 names: cert.map(|c| c.names.clone()).unwrap_or_default(),
             }
@@ -150,31 +155,57 @@ pub fn render_table1(rows: &[AnnotatedRow], domain: &DomainName) -> String {
     let mut s = String::new();
     s.push_str(&format!(
         "{:<11} {:<16} {:<18} {:<7} {:<3} {:<12} {:<15} {:<5} {:<4} Name(s) Secured\n",
-        "Scan Date", "IP Address", "Ports (TCP)", "ASN", "CC", "crt.sh ID", "Issuing CA", "Trust", "Sens"
+        "Scan Date",
+        "IP Address",
+        "Ports (TCP)",
+        "ASN",
+        "CC",
+        "crt.sh ID",
+        "Issuing CA",
+        "Trust",
+        "Sens"
     ));
     for row in rows {
         let secures = row.names.iter().any(|n| {
-            let concrete = if n.is_wildcard() { n.parent() } else { Some(n.clone()) };
-            concrete.map(|c| c.registered_domain() == *domain).unwrap_or(false)
+            let concrete = if n.is_wildcard() {
+                n.parent()
+            } else {
+                Some(n.clone())
+            };
+            concrete
+                .map(|c| c.registered_domain() == *domain)
+                .unwrap_or(false)
         });
         if !secures {
             continue;
         }
         let ports = format!(
             "[{}]",
-            row.ports.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ")
+            row.ports
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         let names = format!(
             "[{}]",
-            row.names.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
+            row.names
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         s.push_str(&format!(
             "{:<11} {:<16} {:<18} {:<7} {:<3} {:<12} {:<15} {:<5} {:<4} {}\n",
             row.date.to_string(),
             row.ip.to_string(),
             ports,
-            row.asn.map(|a| a.value().to_string()).unwrap_or_else(|| "-".into()),
-            row.country.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            row.asn
+                .map(|a| a.value().to_string())
+                .unwrap_or_else(|| "-".into()),
+            row.country
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
             row.cert.0,
             row.issuer,
             if row.trusted { "T" } else { "F" },
@@ -197,27 +228,58 @@ mod tests {
         s.parse().unwrap()
     }
 
-    fn fixture() -> (ScanDataset, HashMap<CertId, Certificate>, AsDatabase, TrustStore) {
+    fn fixture() -> (
+        ScanDataset,
+        HashMap<CertId, Certificate>,
+        AsDatabase,
+        TrustStore,
+    ) {
         let mut trust = TrustStore::new();
-        trust.register_public(CertAuthority::new(CaId(1), "Let's Encrypt", CaKind::AcmeDv, 90));
-        trust.register_internal(CertAuthority::new(CaId(3), "Internal", CaKind::Internal, 730));
+        trust.register_public(CertAuthority::new(
+            CaId(1),
+            "Let's Encrypt",
+            CaKind::AcmeDv,
+            90,
+        ));
+        trust.register_internal(CertAuthority::new(
+            CaId(3),
+            "Internal",
+            CaKind::Internal,
+            730,
+        ));
 
         let mut certs = HashMap::new();
         certs.insert(
             CertId(100),
-            Certificate::new(CertId(100), vec![d("mail.kyvernisi.gr")], CaId(1), Day(0), 90, KeyId(1)),
+            Certificate::new(
+                CertId(100),
+                vec![d("mail.kyvernisi.gr")],
+                CaId(1),
+                Day(0),
+                90,
+                KeyId(1),
+            ),
         );
         certs.insert(
             CertId(200),
-            Certificate::new(CertId(200), vec![d("www.other.com")], CaId(3), Day(0), 730, KeyId(2)),
+            Certificate::new(
+                CertId(200),
+                vec![d("www.other.com")],
+                CaId(3),
+                Day(0),
+                730,
+                KeyId(2),
+            ),
         );
 
         let mut p = PrefixTableBuilder::new();
         p.insert("84.205.248.0/24".parse().unwrap(), Asn(35506));
         p.insert("95.179.128.0/18".parse().unwrap(), Asn(20473));
         let mut g = GeoTableBuilder::new();
-        g.insert_prefix("84.205.248.0/24".parse().unwrap(), "GR".parse().unwrap()).unwrap();
-        g.insert_prefix("95.179.128.0/18".parse().unwrap(), "NL".parse().unwrap()).unwrap();
+        g.insert_prefix("84.205.248.0/24".parse().unwrap(), "GR".parse().unwrap())
+            .unwrap();
+        g.insert_prefix("95.179.128.0/18".parse().unwrap(), "NL".parse().unwrap())
+            .unwrap();
         let mut o = OrgTableBuilder::new();
         o.insert(Asn(35506), OrgId(1), "Greek Gov NOC");
         o.insert(Asn(20473), OrgId(2), "Vultr");
@@ -228,10 +290,30 @@ mod tests {
         };
 
         let ds = ScanDataset::from_records(vec![
-            ScanRecord { date: Day(0), ip: "84.205.248.69".parse().unwrap(), port: 443, cert: CertId(100) },
-            ScanRecord { date: Day(0), ip: "84.205.248.69".parse().unwrap(), port: 993, cert: CertId(100) },
-            ScanRecord { date: Day(7), ip: "95.179.131.225".parse().unwrap(), port: 993, cert: CertId(100) },
-            ScanRecord { date: Day(7), ip: "1.2.3.4".parse().unwrap(), port: 443, cert: CertId(200) },
+            ScanRecord {
+                date: Day(0),
+                ip: "84.205.248.69".parse().unwrap(),
+                port: 443,
+                cert: CertId(100),
+            },
+            ScanRecord {
+                date: Day(0),
+                ip: "84.205.248.69".parse().unwrap(),
+                port: 993,
+                cert: CertId(100),
+            },
+            ScanRecord {
+                date: Day(7),
+                ip: "95.179.131.225".parse().unwrap(),
+                port: 993,
+                cert: CertId(100),
+            },
+            ScanRecord {
+                date: Day(7),
+                ip: "1.2.3.4".parse().unwrap(),
+                port: 443,
+                cert: CertId(200),
+            },
         ]);
         (ds, certs, asdb, trust)
     }
@@ -264,7 +346,10 @@ mod tests {
     fn observations_flatten_per_registered_domain() {
         let (ds, certs, asdb, trust) = fixture();
         let obs = domain_observations(&ds, &certs, &asdb, &trust);
-        let kyv: Vec<_> = obs.iter().filter(|o| o.domain == d("kyvernisi.gr")).collect();
+        let kyv: Vec<_> = obs
+            .iter()
+            .filter(|o| o.domain == d("kyvernisi.gr"))
+            .collect();
         // Two dates × one ip each (ports collapse into one obs per date/ip).
         assert_eq!(kyv.len(), 2);
         assert!(kyv.iter().all(|o| o.trusted));
@@ -299,6 +384,9 @@ mod tests {
         assert_eq!(rows[0].issuer, "?");
         assert!(!rows[0].trusted);
         let obs = domain_observations(&ds, &HashMap::new(), &asdb, &trust);
-        assert!(obs.is_empty(), "cert with unknown SANs attributes to no domain");
+        assert!(
+            obs.is_empty(),
+            "cert with unknown SANs attributes to no domain"
+        );
     }
 }

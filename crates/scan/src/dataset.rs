@@ -111,10 +111,8 @@ mod tests {
     #[test]
     fn merge_combines_and_dedups() {
         let a = ScanDataset::from_records(vec![rec(0, "10.0.0.1", 443, 1)]);
-        let b = ScanDataset::from_records(vec![
-            rec(0, "10.0.0.1", 443, 1),
-            rec(7, "10.0.0.2", 993, 2),
-        ]);
+        let b =
+            ScanDataset::from_records(vec![rec(0, "10.0.0.1", 443, 1), rec(7, "10.0.0.2", 993, 2)]);
         let m = a.merge(b);
         assert_eq!(m.len(), 2);
     }

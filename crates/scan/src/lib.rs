@@ -22,6 +22,8 @@ pub mod annotate;
 pub mod dataset;
 pub mod scanner;
 
-pub use annotate::{annotate_dataset, domain_observations, render_table1, AnnotatedRow, DomainObservation};
+pub use annotate::{
+    annotate_dataset, domain_observations, render_table1, AnnotatedRow, DomainObservation,
+};
 pub use dataset::{ScanDataset, ScanRecord};
 pub use scanner::{EndpointSource, ScanConfig, Scanner, TlsEndpoint, TLS_PORTS};

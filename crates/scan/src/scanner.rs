@@ -147,7 +147,11 @@ mod tests {
     #[test]
     fn lossless_scan_sees_everything_on_tls_ports() {
         let world = FixedWorld {
-            endpoints: vec![ep("10.0.0.1", 443, 1), ep("10.0.0.1", 993, 1), ep("10.0.0.2", 8443, 2)],
+            endpoints: vec![
+                ep("10.0.0.1", 443, 1),
+                ep("10.0.0.1", 993, 1),
+                ep("10.0.0.2", 8443, 2),
+            ],
         };
         let scanner = Scanner::new(ScanConfig {
             miss_rate: 0.0,
@@ -162,7 +166,9 @@ mod tests {
     #[test]
     fn scans_are_deterministic_for_a_seed() {
         let world = FixedWorld {
-            endpoints: (0..100).map(|i| ep(&format!("10.0.0.{i}"), 443, i as u64)).collect(),
+            endpoints: (0..100)
+                .map(|i| ep(&format!("10.0.0.{i}"), 443, i as u64))
+                .collect(),
         };
         let cfg = ScanConfig {
             miss_rate: 0.3,
@@ -179,7 +185,9 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let world = FixedWorld {
-            endpoints: (0..100).map(|i| ep(&format!("10.0.0.{i}"), 443, i as u64)).collect(),
+            endpoints: (0..100)
+                .map(|i| ep(&format!("10.0.0.{i}"), 443, i as u64))
+                .collect(),
         };
         let mk = |seed| {
             Scanner::new(ScanConfig {

@@ -45,7 +45,15 @@ fn obs(date: u32, ip: u32, asn: u32, cc: &str, cert: u64) -> DomainObservation {
 }
 
 /// Stable run of `cert` at `(ip, asn, cc)` for scan indices `[from, to)`.
-fn run(out: &mut Vec<DomainObservation>, from: u32, to: u32, ip: u32, asn: u32, cc: &str, cert: u64) {
+fn run(
+    out: &mut Vec<DomainObservation>,
+    from: u32,
+    to: u32,
+    ip: u32,
+    asn: u32,
+    cc: &str,
+    cert: u64,
+) {
     for i in from..to {
         out.push(obs(i, ip, asn, cc, cert));
     }
@@ -211,9 +219,15 @@ mod tests {
     fn archetypes_are_well_formed() {
         for a in all_archetypes() {
             assert!(!a.observations.is_empty(), "{}", a.label);
-            assert!(a.observations.iter().all(|o| o.domain == archetype_domain()));
+            assert!(a
+                .observations
+                .iter()
+                .all(|o| o.domain == archetype_domain()));
             // Observations fall on weekly scan dates within the period.
-            assert!(a.observations.iter().all(|o| o.date.0 % 7 == 0 && o.date.0 < 26 * 7));
+            assert!(a
+                .observations
+                .iter()
+                .all(|o| o.date.0 % 7 == 0 && o.date.0 < 26 * 7));
         }
     }
 

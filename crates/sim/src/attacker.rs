@@ -23,7 +23,9 @@
 use crate::config::CampaignConfig;
 use crate::geography::Geography;
 use crate::orgs::Population;
-use crate::plan::{CaTag, CertRef, DeploymentProfile, DomainPlan, PlanCtx, PlannedCert, PlannedDeployment};
+use crate::plan::{
+    CaTag, CertRef, DeploymentProfile, DomainPlan, PlanCtx, PlannedCert, PlannedDeployment,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -221,7 +223,10 @@ pub fn plan_campaign(
             return domain_plans[idx].registrar == r;
         }
         if let Some(s) = &capability_suffix {
-            return population.domains[domain_plans[idx].spec].domain.public_suffix() == s;
+            return population.domains[domain_plans[idx].spec]
+                .domain
+                .public_suffix()
+                == s;
         }
         true
     };
@@ -279,8 +284,16 @@ pub fn plan_campaign(
         .iter()
         .map(|i| (*i, TargetKind::HijackT1))
         .chain(t2_victims.iter().map(|i| (*i, TargetKind::HijackT2)))
-        .chain(targeted_victims.iter().map(|i| (*i, TargetKind::TargetedOnly)))
-        .chain(noinfra_victims.iter().map(|i| (*i, TargetKind::NoInfraHijack)))
+        .chain(
+            targeted_victims
+                .iter()
+                .map(|i| (*i, TargetKind::TargetedOnly)),
+        )
+        .chain(
+            noinfra_victims
+                .iter()
+                .map(|i| (*i, TargetKind::NoInfraHijack)),
+        )
         .collect();
 
     for (seq, (idx, kind)) in all.into_iter().enumerate() {
@@ -342,9 +355,18 @@ pub fn plan_campaign(
             let cert_day = stage_day + 1;
             db.set_delegation(&actor, &spec.domain, rogue_ns.to_vec(), cert_day)
                 .expect("campaign capability covers its victims");
-            db.set_delegation(&Actor::Owner, &spec.domain, restore_ns.clone(), cert_day + 1)
-                .expect("owner restore");
-            let ca = if rng.gen_bool(0.7) { CaTag::LetsEncrypt } else { CaTag::Comodo };
+            db.set_delegation(
+                &Actor::Owner,
+                &spec.domain,
+                restore_ns.clone(),
+                cert_day + 1,
+            )
+            .expect("owner restore");
+            let ca = if rng.gen_bool(0.7) {
+                CaTag::LetsEncrypt
+            } else {
+                CaTag::Comodo
+            };
             let token = AcmeCa::challenge_token(&sub, key, cert_day);
             for ns in &rogue_ns {
                 db.set_zone_record(
@@ -380,9 +402,9 @@ pub fn plan_campaign(
             }
 
             let last_activity = target.windows.last().copied().unwrap_or(cert_day);
-            let teardown =
-                (last_activity + rng.gen_range(cfg.teardown_delay.0..=cfg.teardown_delay.1))
-                    .min(window_end);
+            let teardown = (last_activity
+                + rng.gen_range(cfg.teardown_delay.0..=cfg.teardown_delay.1))
+            .min(window_end);
             target.teardown = teardown;
 
             // The victim eventually notices and re-signs.
@@ -513,7 +535,9 @@ mod tests {
             let profile = if i % 97 == 5 {
                 DeploymentProfile::NoTls
             } else {
-                DeploymentProfile::Stable { rollover: i % 2 == 0 }
+                DeploymentProfile::Stable {
+                    rollover: i % 2 == 0,
+                }
             };
             let mut ctx = PlanCtx {
                 geo: &geo,
@@ -538,7 +562,14 @@ mod tests {
         (geo, pop, plans, db, certs, alloc, next_key)
     }
 
-    fn run_campaign() -> (Geography, Population, Vec<DomainPlan>, DnsDb, Vec<PlannedCert>, CampaignPlan) {
+    fn run_campaign() -> (
+        Geography,
+        Population,
+        Vec<DomainPlan>,
+        DnsDb,
+        Vec<PlannedCert>,
+        CampaignPlan,
+    ) {
         let (geo, pop, plans, mut db, mut certs, mut alloc, mut next_key) = mini_world();
         let window = StudyWindow::default();
         let cfg = SimConfig::small(1).campaigns[0].clone();
@@ -568,10 +599,26 @@ mod tests {
     #[test]
     fn campaign_plans_requested_victims() {
         let (_, pop, _, _, _, plan) = run_campaign();
-        let t1 = plan.targets.iter().filter(|t| t.kind == TargetKind::HijackT1).count();
-        let t2 = plan.targets.iter().filter(|t| t.kind == TargetKind::HijackT2).count();
-        let targeted = plan.targets.iter().filter(|t| t.kind == TargetKind::TargetedOnly).count();
-        let noinfra = plan.targets.iter().filter(|t| t.kind == TargetKind::NoInfraHijack).count();
+        let t1 = plan
+            .targets
+            .iter()
+            .filter(|t| t.kind == TargetKind::HijackT1)
+            .count();
+        let t2 = plan
+            .targets
+            .iter()
+            .filter(|t| t.kind == TargetKind::HijackT2)
+            .count();
+        let targeted = plan
+            .targets
+            .iter()
+            .filter(|t| t.kind == TargetKind::TargetedOnly)
+            .count();
+        let noinfra = plan
+            .targets
+            .iter()
+            .filter(|t| t.kind == TargetKind::NoInfraHijack)
+            .count();
         assert!(t1 >= 3, "most T1 victims scheduled (got {t1})");
         assert!(t2 >= 1, "got {t2}");
         assert!(targeted >= 1, "got {targeted}");
@@ -614,7 +661,10 @@ mod tests {
         let cert_day = t.cert_day.unwrap();
         let challenge = AcmeCa::challenge_name(&t.sub);
         let expected = AcmeCa::challenge_token(&t.sub, plan.key, cert_day);
-        assert_eq!(db.resolve_txt(&challenge, cert_day).unwrap(), vec![expected]);
+        assert_eq!(
+            db.resolve_txt(&challenge, cert_day).unwrap(),
+            vec![expected]
+        );
         assert!(db.resolve_txt(&challenge, cert_day - 2).is_err());
     }
 
@@ -623,7 +673,10 @@ mod tests {
         let (_, _, _, _, _, plan) = run_campaign();
         let mut by_ip: std::collections::HashMap<Ipv4Addr, Vec<(Day, Day)>> = Default::default();
         for t in &plan.targets {
-            by_ip.entry(t.attacker_ip).or_default().push((t.stage_day, t.teardown));
+            by_ip
+                .entry(t.attacker_ip)
+                .or_default()
+                .push((t.stage_day, t.teardown));
         }
         for (ip, mut spans) in by_ip {
             spans.sort();
@@ -636,7 +689,11 @@ mod tests {
     #[test]
     fn targeted_only_never_touches_delegation() {
         let (_, pop, plans, db, _, plan) = run_campaign();
-        for t in plan.targets.iter().filter(|t| t.kind == TargetKind::TargetedOnly) {
+        for t in plan
+            .targets
+            .iter()
+            .filter(|t| t.kind == TargetKind::TargetedOnly)
+        {
             let domain = &pop.domains[plans[t.domain_idx].spec].domain;
             let segs = db.delegation_segments(domain, Day(0), Day(1550));
             assert_eq!(segs.len(), 1, "{domain} delegation never changed");
@@ -647,7 +704,11 @@ mod tests {
     #[test]
     fn t2_proxy_presents_victims_own_cert() {
         let (_, _, plans, _, certs, plan) = run_campaign();
-        for t in plan.targets.iter().filter(|t| t.kind == TargetKind::HijackT2) {
+        for t in plan
+            .targets
+            .iter()
+            .filter(|t| t.kind == TargetKind::HijackT2)
+        {
             let victim = &plans[t.domain_idx];
             let proxy_deploys: Vec<_> = plan
                 .deployments

@@ -212,16 +212,31 @@ impl SimConfig {
         assert!((0.0..1.0).contains(&self.scan_miss_rate));
         assert!(self.n_domains >= 100, "world too small to be meaningful");
         for c in &self.campaigns {
-            assert!(c.t2_hijacks <= c.hijacks, "{}: t2_hijacks > hijacks", c.name);
-            assert!(c.infra_ips > 0, "{}: campaign needs at least one IP", c.name);
-            assert!(c.active_from < c.active_to, "{}: empty active window", c.name);
+            assert!(
+                c.t2_hijacks <= c.hijacks,
+                "{}: t2_hijacks > hijacks",
+                c.name
+            );
+            assert!(
+                c.infra_ips > 0,
+                "{}: campaign needs at least one IP",
+                c.name
+            );
+            assert!(
+                c.active_from < c.active_to,
+                "{}: empty active window",
+                c.name
+            );
             assert!(
                 c.harvest_windows.0 >= 1 && c.harvest_windows.0 <= c.harvest_windows.1,
                 "{}: bad harvest window range",
                 c.name
             );
             assert!(
-                matches!(c.capability.as_str(), "registrar" | "credentials" | "registry"),
+                matches!(
+                    c.capability.as_str(),
+                    "registrar" | "credentials" | "registry"
+                ),
                 "{}: unknown capability {:?}",
                 c.name,
                 c.capability
@@ -243,8 +258,8 @@ fn default_campaigns() -> Vec<CampaignConfig> {
             targeted_only: 2,
             no_infra_victims: 6,
             infra_ips: 10,
-            active_from: 330,  // ~Dec 2017
-            active_to: 860,    // ~mid 2019
+            active_from: 330, // ~Dec 2017
+            active_to: 860,   // ~mid 2019
             harvest_windows: (1, 4),
             teardown_delay: (14, 150),
         },

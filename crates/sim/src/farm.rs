@@ -151,7 +151,10 @@ mod tests {
         assert_eq!(farm.cert_at(ip("10.0.0.1"), 443, Day(0)), Some(CertId(1)));
         assert_eq!(farm.cert_at(ip("10.0.0.1"), 443, Day(99)), Some(CertId(1)));
         assert_eq!(farm.cert_at(ip("10.0.0.1"), 443, Day(100)), Some(CertId(2)));
-        assert_eq!(farm.cert_at(ip("10.0.0.1"), 443, Day(5000)), Some(CertId(2)));
+        assert_eq!(
+            farm.cert_at(ip("10.0.0.1"), 443, Day(5000)),
+            Some(CertId(2))
+        );
         assert_eq!(farm.cert_at(ip("10.0.0.1"), 993, Day(5)), None);
     }
 

@@ -86,7 +86,11 @@ impl AddressAllocator {
     /// An allocator for the given geography.
     pub fn new(geo: &Geography) -> AddressAllocator {
         AddressAllocator {
-            cursors: geo.providers.iter().map(|p| vec![0; p.regions.len()]).collect(),
+            cursors: geo
+                .providers
+                .iter()
+                .map(|p| vec![0; p.regions.len()])
+                .collect(),
         }
     }
 
@@ -120,8 +124,8 @@ pub struct Geography {
 
 /// Victim-side countries (the paper's Tables 2/3 country codes).
 pub const VICTIM_COUNTRIES: &[&str] = &[
-    "AE", "AL", "CY", "EG", "GR", "IQ", "JO", "KG", "KW", "LB", "LY", "NL", "SE", "SY", "US",
-    "CH", "GH", "KZ", "LT", "LV", "MA", "MM", "PL", "SA", "TM", "VN",
+    "AE", "AL", "CY", "EG", "GR", "IQ", "JO", "KG", "KW", "LB", "LY", "NL", "SE", "SY", "US", "CH",
+    "GH", "KZ", "LT", "LV", "MA", "MM", "PL", "SA", "TM", "VN",
 ];
 
 /// Hosting-side countries attackers favor (plus generic filler).
@@ -202,7 +206,8 @@ impl Geography {
                 });
                 prefixes.insert(block, asn);
                 orgs.insert(asn, org, &name);
-                geo.insert_prefix(block, cc).expect("plan blocks are disjoint");
+                geo.insert_prefix(block, cc)
+                    .expect("plan blocks are disjoint");
             }
         }
 
@@ -235,7 +240,8 @@ impl Geography {
                     block: sub,
                 });
                 prefixes.insert(sub, region_asn);
-                geo.insert_prefix(sub, cc).expect("plan blocks are disjoint");
+                geo.insert_prefix(sub, cc)
+                    .expect("plan blocks are disjoint");
             }
             orgs.insert(Asn(*asn), org, name);
             if let Some(s) = sibling {
@@ -267,7 +273,9 @@ impl Geography {
 
     /// All cloud providers.
     pub fn clouds(&self) -> impl Iterator<Item = &Provider> {
-        self.providers.iter().filter(|p| p.kind == ProviderKind::Cloud)
+        self.providers
+            .iter()
+            .filter(|p| p.kind == ProviderKind::Cloud)
     }
 
     /// National providers of a country.

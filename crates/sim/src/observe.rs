@@ -219,13 +219,35 @@ mod tests {
         let mut db = DnsDb::new();
         db.registrars.add_registrar(RegistrarId(0), "R");
         db.register_domain(d("victim.com"), RegistrarId(0), Day(0));
-        db.set_delegation(&Actor::Owner, &d("victim.com"), vec![d("ns1.legit.com")], Day(0))
-            .unwrap();
-        db.set_zone_record(&d("ns1.legit.com"), &d("mail.victim.com"), vec![RecordData::A(ip("10.0.0.1"))], Day(0));
-        db.set_zone_record(&d("ns1.evil.ru"), &d("mail.victim.com"), vec![RecordData::A(ip("6.6.6.6"))], Day(0));
+        db.set_delegation(
+            &Actor::Owner,
+            &d("victim.com"),
+            vec![d("ns1.legit.com")],
+            Day(0),
+        )
+        .unwrap();
+        db.set_zone_record(
+            &d("ns1.legit.com"),
+            &d("mail.victim.com"),
+            vec![RecordData::A(ip("10.0.0.1"))],
+            Day(0),
+        );
+        db.set_zone_record(
+            &d("ns1.evil.ru"),
+            &d("mail.victim.com"),
+            vec![RecordData::A(ip("6.6.6.6"))],
+            Day(0),
+        );
         let actor = Actor::StolenCredentials(d("victim.com"));
-        db.set_delegation(&actor, &d("victim.com"), vec![d("ns1.evil.ru")], Day(300)).unwrap();
-        db.set_delegation(&Actor::Owner, &d("victim.com"), vec![d("ns1.legit.com")], Day(301)).unwrap();
+        db.set_delegation(&actor, &d("victim.com"), vec![d("ns1.evil.ru")], Day(300))
+            .unwrap();
+        db.set_delegation(
+            &Actor::Owner,
+            &d("victim.com"),
+            vec![d("ns1.legit.com")],
+            Day(301),
+        )
+        .unwrap();
         db
     }
 
@@ -245,7 +267,10 @@ mod tests {
         let a = pdns.lookups(&d("mail.victim.com"), Some(RecordType::A));
         // Both the stable and the attacker resolution should be captured.
         assert_eq!(a.len(), 2, "stable + hijack A records");
-        let hijack = a.iter().find(|e| e.rdata.as_a() == Some(ip("6.6.6.6"))).unwrap();
+        let hijack = a
+            .iter()
+            .find(|e| e.rdata.as_a() == Some(ip("6.6.6.6")))
+            .unwrap();
         assert_eq!(hijack.first_seen, Day(300));
         assert_eq!(hijack.last_seen, Day(300));
         let ns = pdns.ns_history(&d("victim.com"));
@@ -365,7 +390,9 @@ mod tests {
             }
         }
         let avg = total as f64 / trials as f64;
-        assert!((30.0..70.0).contains(&avg), "avg count {avg} for p=.5 L=100");
+        assert!(
+            (30.0..70.0).contains(&avg),
+            "avg count {avg} for p=.5 L=100"
+        );
     }
 }
-

@@ -97,28 +97,138 @@ pub struct DomainSpec {
 
 /// Government domain blueprints: (slug, org name, sector, services).
 const GOV_BLUEPRINTS: &[(&str, &str, Sector, &[&str])] = &[
-    ("mfa", "Ministry of Foreign Affairs", Sector::GovernmentMinistry, &["www", "mail"]),
-    ("moi", "Ministry of Interior", Sector::GovernmentMinistry, &["www", "mail", "vpn"]),
-    ("mod", "Ministry of Defense", Sector::GovernmentMinistry, &["www", "mail"]),
-    ("moh", "Ministry of Health", Sector::GovernmentMinistry, &["www", "webmail"]),
-    ("mof", "Ministry of Finance", Sector::GovernmentMinistry, &["www", "webmail", "portal"]),
-    ("justice", "Ministry of Justice", Sector::GovernmentMinistry, &["www", "mail"]),
-    ("petroleum", "Petroleum Ministry", Sector::GovernmentMinistry, &["www", "mail"]),
-    ("stat", "Statistics Bureau", Sector::GovernmentOrganization, &["www", "mail"]),
-    ("customs", "Customs Authority", Sector::GovernmentOrganization, &["www", "mail", "portal"]),
-    ("nita", "National IT Agency", Sector::GovernmentOrganization, &["www", "mail", "api"]),
-    ("invest", "Investment Portal", Sector::GovernmentMinistry, &["www", "mail"]),
-    ("egov", "E-Government Portal", Sector::GovernmentInternetServices, &["www", "owa", "portal", "login"]),
-    ("govcloud", "Government Cloud", Sector::GovernmentInternetServices, &["www", "personal", "cloud"]),
-    ("webmail", "Government Webmail", Sector::GovernmentInternetServices, &["www", "mail"]),
-    ("police", "National Police", Sector::LawEnforcement, &["www", "mail", "vpn"]),
-    ("apc", "Police College", Sector::LawEnforcement, &["www", "mail"]),
-    ("sis", "State Intelligence Service", Sector::IntelligenceServices, &["www", "mail"]),
-    ("gid", "General Intelligence Directorate", Sector::IntelligenceServices, &["www", "mail"]),
-    ("post", "Postal Service", Sector::PostalService, &["www", "mail", "track"]),
-    ("dgca", "Civil Aviation Directorate", Sector::CivilAviation, &["www", "mail"]),
-    ("noc", "National Oil Corporation", Sector::EnergyCompany, &["www", "mail"]),
-    ("parliament", "Parliament", Sector::GovernmentOrganization, &["www", "mail"]),
+    (
+        "mfa",
+        "Ministry of Foreign Affairs",
+        Sector::GovernmentMinistry,
+        &["www", "mail"],
+    ),
+    (
+        "moi",
+        "Ministry of Interior",
+        Sector::GovernmentMinistry,
+        &["www", "mail", "vpn"],
+    ),
+    (
+        "mod",
+        "Ministry of Defense",
+        Sector::GovernmentMinistry,
+        &["www", "mail"],
+    ),
+    (
+        "moh",
+        "Ministry of Health",
+        Sector::GovernmentMinistry,
+        &["www", "webmail"],
+    ),
+    (
+        "mof",
+        "Ministry of Finance",
+        Sector::GovernmentMinistry,
+        &["www", "webmail", "portal"],
+    ),
+    (
+        "justice",
+        "Ministry of Justice",
+        Sector::GovernmentMinistry,
+        &["www", "mail"],
+    ),
+    (
+        "petroleum",
+        "Petroleum Ministry",
+        Sector::GovernmentMinistry,
+        &["www", "mail"],
+    ),
+    (
+        "stat",
+        "Statistics Bureau",
+        Sector::GovernmentOrganization,
+        &["www", "mail"],
+    ),
+    (
+        "customs",
+        "Customs Authority",
+        Sector::GovernmentOrganization,
+        &["www", "mail", "portal"],
+    ),
+    (
+        "nita",
+        "National IT Agency",
+        Sector::GovernmentOrganization,
+        &["www", "mail", "api"],
+    ),
+    (
+        "invest",
+        "Investment Portal",
+        Sector::GovernmentMinistry,
+        &["www", "mail"],
+    ),
+    (
+        "egov",
+        "E-Government Portal",
+        Sector::GovernmentInternetServices,
+        &["www", "owa", "portal", "login"],
+    ),
+    (
+        "govcloud",
+        "Government Cloud",
+        Sector::GovernmentInternetServices,
+        &["www", "personal", "cloud"],
+    ),
+    (
+        "webmail",
+        "Government Webmail",
+        Sector::GovernmentInternetServices,
+        &["www", "mail"],
+    ),
+    (
+        "police",
+        "National Police",
+        Sector::LawEnforcement,
+        &["www", "mail", "vpn"],
+    ),
+    (
+        "apc",
+        "Police College",
+        Sector::LawEnforcement,
+        &["www", "mail"],
+    ),
+    (
+        "sis",
+        "State Intelligence Service",
+        Sector::IntelligenceServices,
+        &["www", "mail"],
+    ),
+    (
+        "gid",
+        "General Intelligence Directorate",
+        Sector::IntelligenceServices,
+        &["www", "mail"],
+    ),
+    (
+        "post",
+        "Postal Service",
+        Sector::PostalService,
+        &["www", "mail", "track"],
+    ),
+    (
+        "dgca",
+        "Civil Aviation Directorate",
+        Sector::CivilAviation,
+        &["www", "mail"],
+    ),
+    (
+        "noc",
+        "National Oil Corporation",
+        Sector::EnergyCompany,
+        &["www", "mail"],
+    ),
+    (
+        "parliament",
+        "Parliament",
+        Sector::GovernmentOrganization,
+        &["www", "mail"],
+    ),
 ];
 
 /// Commercial name fragments (combined as `{a}{b}{n}.{tld}`).
@@ -127,8 +237,26 @@ const COM_A: &[&str] = &[
     "silver", "red", "urban", "bright", "core", "apex", "vertex", "solid", "swift", "clear",
 ];
 const COM_B: &[&str] = &[
-    "soft", "net", "data", "media", "trade", "logistics", "consult", "systems", "labs", "works",
-    "group", "market", "travel", "finance", "energy", "foods", "retail", "design", "cargo", "tech",
+    "soft",
+    "net",
+    "data",
+    "media",
+    "trade",
+    "logistics",
+    "consult",
+    "systems",
+    "labs",
+    "works",
+    "group",
+    "market",
+    "travel",
+    "finance",
+    "energy",
+    "foods",
+    "retail",
+    "design",
+    "cargo",
+    "tech",
 ];
 const COM_TLDS: &[&str] = &["com", "net", "org"];
 
@@ -186,11 +314,14 @@ pub fn generate(geo: &Geography, n_domains: usize, rng: &mut StdRng) -> Populati
     }
 
     // One domain per national provider (infrastructure sector).
-    for p in geo.providers.iter().filter(|p| p.kind == ProviderKind::National) {
+    for p in geo
+        .providers
+        .iter()
+        .filter(|p| p.kind == ProviderKind::National)
+    {
         let cc = p.primary_country();
         let lc = cc.as_str().to_ascii_lowercase();
-        let slug: String = p
-            .ns_hosts[0]
+        let slug: String = p.ns_hosts[0]
             .labels()
             .nth(1)
             .expect("ns host has provider label")
@@ -201,7 +332,9 @@ pub fn generate(geo: &Geography, n_domains: usize, rng: &mut StdRng) -> Populati
             country: cc,
         });
         pop.domains.push(DomainSpec {
-            domain: format!("{slug}.{lc}").parse().expect("provider slug is valid"),
+            domain: format!("{slug}.{lc}")
+                .parse()
+                .expect("provider slug is valid"),
             org: pop.orgs.len() - 1,
             services: vec!["www".into(), "mail".into(), "portal".into()],
         });
@@ -278,7 +411,10 @@ mod tests {
         assert_eq!(mfa_kg.len(), 1);
         assert_eq!(p.orgs[mfa_kg[0].org].sector, Sector::GovernmentMinistry);
         // CH has no gov.ch suffix in our list: parliament lands on .ch.
-        assert!(p.domains.iter().any(|d| d.domain.as_str() == "parliament.ch"));
+        assert!(p
+            .domains
+            .iter()
+            .any(|d| d.domain.as_str() == "parliament.ch"));
     }
 
     #[test]
@@ -320,8 +456,6 @@ mod tests {
             .iter()
             .filter(|d| p.orgs[d.org].sector == Sector::GovernmentMinistry)
             .collect();
-        assert!(gov
-            .iter()
-            .all(|d| d.services.iter().any(|s| s != "www")));
+        assert!(gov.iter().all(|d| d.services.iter().any(|s| s != "www")));
     }
 }

@@ -287,10 +287,7 @@ fn deploy_timeline(
 ) {
     for (i, cref) in certs.iter().enumerate() {
         let cert_start = all_certs[cref.0].day.max(from);
-        let cert_end = certs
-            .get(i + 1)
-            .map(|next| all_certs[next.0].day)
-            .or(until);
+        let cert_end = certs.get(i + 1).map(|next| all_certs[next.0].day).or(until);
         if let Some(e) = cert_end {
             if cert_start >= e {
                 continue;
@@ -476,7 +473,11 @@ pub fn plan_domain(
         DeploymentProfile::StableNewCert => {
             // New key + cert on the same infrastructure from `mid`.
             let key2 = ctx.fresh_key();
-            let ca2 = if internal_ca { CaTag::Internal } else { CaTag::LetsEncrypt };
+            let ca2 = if internal_ca {
+                CaTag::Internal
+            } else {
+                CaTag::LetsEncrypt
+            };
             let newcerts = plan_cert_timeline(ctx, &sans, ca2, mid, end, key2);
             plan.certs.extend(newcerts.clone());
             // The old cert's endpoints are replaced: truncate baseline
@@ -486,8 +487,10 @@ pub fn plan_domain(
                     d.until = Some(mid);
                 }
             }
-            plan.deployments.retain(|d| d.from < mid || d.cert.0 >= newcerts[0].0);
-            plan.deployments.retain(|d| d.until.map(|u| u > d.from).unwrap_or(true));
+            plan.deployments
+                .retain(|d| d.from < mid || d.cert.0 >= newcerts[0].0);
+            plan.deployments
+                .retain(|d| d.until.map(|u| u > d.from).unwrap_or(true));
             deploy_timeline(
                 &mut plan.deployments,
                 &newcerts,
@@ -509,7 +512,16 @@ pub fn plan_domain(
                 let key2 = ctx.fresh_key();
                 let certs2 = plan_cert_timeline(ctx, &sans, CaTag::LetsEncrypt, mid, end, key2);
                 plan.certs.extend(certs2.clone());
-                deploy_timeline(&mut plan.deployments, &certs2, ctx.certs, ip2, &ports, mid, None, 100);
+                deploy_timeline(
+                    &mut plan.deployments,
+                    &certs2,
+                    ctx.certs,
+                    ip2,
+                    &ports,
+                    mid,
+                    None,
+                    100,
+                );
             } else {
                 deploy_timeline(
                     &mut plan.deployments,
@@ -526,7 +538,12 @@ pub fn plan_domain(
             for ns in &provider.ns_hosts {
                 for s in &spec.services {
                     if let Ok(n) = spec.domain.child(s) {
-                        db.set_zone_record(ns, &n, vec![RecordData::A(ip), RecordData::A(ip2)], mid);
+                        db.set_zone_record(
+                            ns,
+                            &n,
+                            vec![RecordData::A(ip), RecordData::A(ip2)],
+                            mid,
+                        );
                     }
                 }
             }
@@ -540,14 +557,24 @@ pub fn plan_domain(
             let key2 = ctx.fresh_key();
             let certs2 = plan_cert_timeline(ctx, &sans, CaTag::LetsEncrypt, mid, end, key2);
             plan.certs.extend(certs2.clone());
-            deploy_timeline(&mut plan.deployments, &certs2, ctx.certs, ip2, &ports, mid, None, 100);
+            deploy_timeline(
+                &mut plan.deployments,
+                &certs2,
+                ctx.certs,
+                ip2,
+                &ports,
+                mid,
+                None,
+                100,
+            );
             let overlap_end = mid + rng.gen_range(7..28);
             for d in plan.deployments.iter_mut() {
                 if d.cert.0 < certs2[0].0 && d.until.map(|u| u > overlap_end).unwrap_or(true) {
                     d.until = Some(overlap_end);
                 }
             }
-            plan.deployments.retain(|d| d.until.map(|u| u > d.from).unwrap_or(true));
+            plan.deployments
+                .retain(|d| d.until.map(|u| u > d.from).unwrap_or(true));
             // DNS moves to the new address (and delegation to the new
             // provider's nameservers — the common "switched hosting" case).
             db.set_delegation(&Actor::Owner, &spec.domain, cloud.ns_hosts.to_vec(), mid)
@@ -556,7 +583,9 @@ pub fn plan_domain(
         }
 
         DeploymentProfile::BenignTransient(kind) => {
-            plan_benign_transient(ctx, db, spec, &provider, &mut plan, kind, &sans, &ports, mid, rng);
+            plan_benign_transient(
+                ctx, db, spec, &provider, &mut plan, kind, &sans, &ports, mid, rng,
+            );
         }
     }
 
@@ -693,7 +722,9 @@ fn plan_benign_transient(
                     continue;
                 }
                 let cloud = random_cloud(ctx.geo, rng, None);
-                let ip = ctx.alloc.alloc(ctx.geo, cloud.id, rng.gen_range(0..cloud.regions.len()));
+                let ip = ctx
+                    .alloc
+                    .alloc(ctx.geo, cloud.id, rng.gen_range(0..cloud.regions.len()));
                 let cert = ctx.push_cert(PlannedCert {
                     names: sans.to_vec(),
                     ca: CaTag::LetsEncrypt,
@@ -733,7 +764,9 @@ fn plan_benign_transient(
             // certificate was issued at setup time — months before any
             // scan finally catches it.
             let cloud = random_cloud(ctx.geo, rng, None);
-            let ip = ctx.alloc.alloc(ctx.geo, cloud.id, rng.gen_range(0..cloud.regions.len()));
+            let ip = ctx
+                .alloc
+                .alloc(ctx.geo, cloud.id, rng.gen_range(0..cloud.regions.len()));
             let key = ctx.fresh_key();
             let setup = ctx.window.start + rng.gen_range(0..60);
             let cert = ctx.push_cert(PlannedCert {
@@ -826,11 +859,12 @@ fn push_simple(
 }
 
 /// A random cloud provider, optionally excluding one.
-fn random_cloud<'g>(geo: &'g Geography, rng: &mut StdRng, exclude: Option<ProviderId>) -> &'g Provider {
-    let clouds: Vec<&Provider> = geo
-        .clouds()
-        .filter(|p| Some(p.id) != exclude)
-        .collect();
+fn random_cloud<'g>(
+    geo: &'g Geography,
+    rng: &mut StdRng,
+    exclude: Option<ProviderId>,
+) -> &'g Provider {
+    let clouds: Vec<&Provider> = geo.clouds().filter(|p| Some(p.id) != exclude).collect();
     clouds[rng.gen_range(0..clouds.len())]
 }
 
@@ -841,7 +875,13 @@ mod tests {
     use rand::SeedableRng;
     use retrodns_dns::RecordType;
 
-    fn setup() -> (Geography, DnsDb, AddressAllocator, Vec<PlannedCert>, StudyWindow) {
+    fn setup() -> (
+        Geography,
+        DnsDb,
+        AddressAllocator,
+        Vec<PlannedCert>,
+        StudyWindow,
+    ) {
         let geo = Geography::build();
         let mut db = DnsDb::new();
         db.registrars.add_registrar(RegistrarId(0), "TestReg");
@@ -857,7 +897,10 @@ mod tests {
         }
     }
 
-    fn plan_one(profile: DeploymentProfile, provider_kind: ProviderKind) -> (DomainPlan, Vec<PlannedCert>, DnsDb) {
+    fn plan_one(
+        profile: DeploymentProfile,
+        provider_kind: ProviderKind,
+    ) -> (DomainPlan, Vec<PlannedCert>, DnsDb) {
         let (geo, mut db, mut alloc, mut certs, window) = setup();
         let mut next_key = 0;
         let provider = geo
@@ -876,51 +919,72 @@ mod tests {
                 next_key: &mut next_key,
                 window: &window,
             };
-            plan_domain(&mut ctx, &mut db, 0, &s, profile, provider, RegistrarId(0), 0.5, false, &mut rng)
+            plan_domain(
+                &mut ctx,
+                &mut db,
+                0,
+                &s,
+                profile,
+                provider,
+                RegistrarId(0),
+                0.5,
+                false,
+                &mut rng,
+            )
         };
         (plan, certs, db)
     }
 
     #[test]
     fn stable_rollover_produces_many_le_certs() {
-        let (plan, certs, db) = plan_one(DeploymentProfile::Stable { rollover: true }, ProviderKind::National);
+        let (plan, certs, db) = plan_one(
+            DeploymentProfile::Stable { rollover: true },
+            ProviderKind::National,
+        );
         assert!(plan.certs.len() > 15, "90-day rollover over 4 years");
-        assert!(plan.certs.iter().all(|c| certs[c.0].ca == CaTag::LetsEncrypt));
-        // Deployments chain without overlap per port.
-        let mut on443: Vec<_> = plan
-            .deployments
+        assert!(plan
+            .certs
             .iter()
-            .filter(|d| d.port == 443)
-            .collect();
+            .all(|c| certs[c.0].ca == CaTag::LetsEncrypt));
+        // Deployments chain without overlap per port.
+        let mut on443: Vec<_> = plan.deployments.iter().filter(|d| d.port == 443).collect();
         on443.sort_by_key(|d| d.from);
         for w in on443.windows(2) {
             assert!(w[0].until.unwrap() <= w[1].from);
         }
         // DNS answers for the service.
-        assert!(db.resolve_a(&"mail.mfa.gov.kg".parse().unwrap(), Day(100)).is_ok());
+        assert!(db
+            .resolve_a(&"mail.mfa.gov.kg".parse().unwrap(), Day(100))
+            .is_ok());
     }
 
     #[test]
     fn stable_long_validity_has_few_certs() {
-        let (plan, certs, _) = plan_one(DeploymentProfile::Stable { rollover: false }, ProviderKind::National);
+        let (plan, certs, _) = plan_one(
+            DeploymentProfile::Stable { rollover: false },
+            ProviderKind::National,
+        );
         assert!(plan.certs.len() <= 3);
         assert!(plan.certs.iter().all(|c| certs[c.0].ca == CaTag::DigiCert));
     }
 
     #[test]
     fn migrate_truncates_old_deployments() {
-        let (plan, certs, _) = plan_one(DeploymentProfile::TransitionMigrate, ProviderKind::National);
+        let (plan, certs, _) =
+            plan_one(DeploymentProfile::TransitionMigrate, ProviderKind::National);
         // Some deployment must be open-ended (the new provider), and every
         // baseline (pre-migration cert) deployment must be closed.
-        let new_cert_start = plan
-            .certs
-            .iter()
-            .map(|c| certs[c.0].day)
-            .max()
-            .unwrap();
+        let new_cert_start = plan.certs.iter().map(|c| certs[c.0].day).max().unwrap();
         assert!(plan.deployments.iter().any(|d| d.until.is_none()));
-        let open: Vec<_> = plan.deployments.iter().filter(|d| d.until.is_none()).collect();
-        assert!(open.iter().all(|d| certs[d.cert.0].day >= Day(200)), "open deployments are post-migration, last cert at {new_cert_start:?}");
+        let open: Vec<_> = plan
+            .deployments
+            .iter()
+            .filter(|d| d.until.is_none())
+            .collect();
+        assert!(
+            open.iter().all(|d| certs[d.cert.0].day >= Day(200)),
+            "open deployments are post-migration, last cert at {new_cert_start:?}"
+        );
     }
 
     #[test]
@@ -961,7 +1025,10 @@ mod tests {
             .iter()
             .find(|d| d.availability_pct < 10)
             .expect("blip deployment exists");
-        assert!(certs[blip.cert.0].day < Day(61), "cert issued at setup time");
+        assert!(
+            certs[blip.cert.0].day < Day(61),
+            "cert issued at setup time"
+        );
         assert!(blip.until.is_none(), "stays up the whole window");
     }
 

@@ -274,18 +274,23 @@ impl World {
                 )
                 && rng.gen_bool(0.7)
             {
-                profile = DeploymentProfile::Stable { rollover: rng.gen_bool(0.5) };
+                profile = DeploymentProfile::Stable {
+                    rollover: rng.gen_bool(0.5),
+                };
             }
 
             // Provider choice, honoring profile constraints.
             let provider: ProviderId = match profile {
-                DeploymentProfile::StableGeo => {
-                    random_cloud_id(&geo, &mut rng)
-                }
-                DeploymentProfile::BenignTransient(BenignTransientKind::RelatedAsn) => geo
-                    .provider_named(if rng.gen_bool(0.5) { "Amazon" } else { "BigCloud" })
+                DeploymentProfile::StableGeo => random_cloud_id(&geo, &mut rng),
+                DeploymentProfile::BenignTransient(BenignTransientKind::RelatedAsn) => {
+                    geo.provider_named(if rng.gen_bool(0.5) {
+                        "Amazon"
+                    } else {
+                        "BigCloud"
+                    })
                     .expect("sibling providers exist")
-                    .id,
+                    .id
+                }
                 _ => {
                     let nationals = geo.nationals_of(org.country);
                     if is_gov || rng.gen_bool(0.6) {
@@ -339,8 +344,13 @@ impl World {
                 )
             };
             if rng.gen_bool(config.dnssec_fraction) {
-                dns.set_dnssec(&retrodns_dns::Actor::Owner, &spec.domain, true, config.window.start)
-                    .expect("owner signs own domain");
+                dns.set_dnssec(
+                    &retrodns_dns::Actor::Owner,
+                    &spec.domain,
+                    true,
+                    config.window.start,
+                )
+                .expect("owner signs own domain");
             }
             meta.push(DomainMeta {
                 domain: spec.domain.clone(),
@@ -413,12 +423,26 @@ impl World {
         let mut farm = ServerFarm::new();
         for plan in &plans {
             for d in &plan.deployments {
-                farm.deploy(d.ip, d.port, cert_id(d.cert), d.availability_pct, d.from, d.until);
+                farm.deploy(
+                    d.ip,
+                    d.port,
+                    cert_id(d.cert),
+                    d.availability_pct,
+                    d.from,
+                    d.until,
+                );
             }
         }
         for c in &campaigns {
             for d in &c.deployments {
-                farm.deploy(d.ip, d.port, cert_id(d.cert), d.availability_pct, d.from, d.until);
+                farm.deploy(
+                    d.ip,
+                    d.port,
+                    cert_id(d.cert),
+                    d.availability_pct,
+                    d.from,
+                    d.until,
+                );
             }
         }
 
@@ -487,7 +511,13 @@ impl World {
                 }
             })
             .collect();
-        let pdns = generate_pdns(&dns, &observed, &config.window, config.pdns_subday_factor, &mut rng);
+        let pdns = generate_pdns(
+            &dns,
+            &observed,
+            &config.window,
+            config.pdns_subday_factor,
+            &mut rng,
+        );
         let zones = generate_zone_archive(
             &dns,
             &observed,
@@ -557,7 +587,9 @@ fn random_cloud_id(geo: &Geography, rng: &mut StdRng) -> ProviderId {
 }
 
 fn country_hash(cc: CountryCode) -> u32 {
-    cc.as_str().bytes().fold(0u32, |a, b| a.wrapping_mul(31).wrapping_add(b as u32))
+    cc.as_str()
+        .bytes()
+        .fold(0u32, |a, b| a.wrapping_mul(31).wrapping_add(b as u32))
 }
 
 #[cfg(test)]
@@ -572,7 +604,11 @@ mod tests {
     fn world_builds_and_is_attacked() {
         let w = small_world();
         assert_eq!(w.plans.len(), 2000);
-        assert!(w.ground_truth.hijacked.len() >= 6, "got {}", w.ground_truth.hijacked.len());
+        assert!(
+            w.ground_truth.hijacked.len() >= 6,
+            "got {}",
+            w.ground_truth.hijacked.len()
+        );
         assert!(!w.ground_truth.targeted.is_empty());
         assert!(w.ct.verify_chain(), "CT chain must be intact");
         assert!(w.ct.len() > 1000, "plenty of certificates logged");
@@ -586,7 +622,10 @@ mod tests {
             let cert = &w.certs[&cid];
             assert!(w.trust.is_browser_trusted(cert.issuer));
             assert!(cert.covers(&h.sub));
-            assert!(w.crtsh.record(cid).is_some(), "malicious cert searchable in CT");
+            assert!(
+                w.crtsh.record(cid).is_some(),
+                "malicious cert searchable in CT"
+            );
             // Issued via real ACME validation during the flip.
             assert_eq!(cert.not_before, h.first_hijack);
         }
@@ -607,7 +646,11 @@ mod tests {
         let mut seen = 0;
         for h in &t1 {
             let cid = h.cert.unwrap();
-            if ds.records().iter().any(|r| r.ip == h.attacker_ip && r.cert == cid) {
+            if ds
+                .records()
+                .iter()
+                .any(|r| r.ip == h.attacker_ip && r.cert == cid)
+            {
                 seen += 1;
             }
         }

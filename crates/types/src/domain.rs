@@ -149,7 +149,9 @@ impl DomainName {
 
     /// The parent name (one label removed), or `None` at the TLD.
     pub fn parent(&self) -> Option<DomainName> {
-        self.0.split_once('.').map(|(_, rest)| DomainName(rest.to_string()))
+        self.0
+            .split_once('.')
+            .map(|(_, rest)| DomainName(rest.to_string()))
     }
 
     /// Prepend a label, producing a child name.
@@ -274,7 +276,10 @@ mod tests {
     fn registered_domain_with_multilabel_suffix() {
         assert_eq!(d("mail.mfa.gov.kg").registered_domain(), d("mfa.gov.kg"));
         assert_eq!(d("mfa.gov.kg").registered_domain(), d("mfa.gov.kg"));
-        assert_eq!(d("a.b.c.kyvernisi.gr").registered_domain(), d("kyvernisi.gr"));
+        assert_eq!(
+            d("a.b.c.kyvernisi.gr").registered_domain(),
+            d("kyvernisi.gr")
+        );
         assert_eq!(d("mbox.cyta.com.cy").registered_domain(), d("cyta.com.cy"));
     }
 

@@ -36,7 +36,10 @@ impl fmt::Display for ParseError {
                 write!(f, "date {s:?} is before the 2017-01-01 study epoch")
             }
             ParseError::InvalidAsn(s) => {
-                write!(f, "invalid ASN {s:?}: expected e.g. \"AS20473\" or \"20473\"")
+                write!(
+                    f,
+                    "invalid ASN {s:?}: expected e.g. \"AS20473\" or \"20473\""
+                )
             }
             ParseError::InvalidCountryCode(s) => {
                 write!(f, "invalid country code {s:?}: expected two ASCII letters")
@@ -45,7 +48,10 @@ impl fmt::Display for ParseError {
                 write!(f, "invalid IPv4 address {s:?}: expected dotted quad")
             }
             ParseError::InvalidPrefix(s) => {
-                write!(f, "invalid IPv4 prefix {s:?}: expected e.g. \"192.0.2.0/24\"")
+                write!(
+                    f,
+                    "invalid IPv4 prefix {s:?}: expected e.g. \"192.0.2.0/24\""
+                )
             }
             ParseError::InvalidDomain(s) => write!(f, "invalid domain name {s:?}"),
         }

@@ -1,0 +1,74 @@
+//! The workspace's shared byte-string hash.
+//!
+//! One polynomial hash (base 131, the classic BKDR constant) serves every
+//! place that needs a cheap, deterministic, platform-stable hash of domain
+//! bytes: worker sharding in the parallel map builder and the bucket index
+//! of [`crate::intern::DomainInterner`]. Keeping a single definition means
+//! a domain always lands in the same shard *and* the same intern bucket,
+//! and perf work on the hash benefits both call sites.
+//!
+//! This is deliberately not `std::hash::Hash`: SipHash is randomly keyed
+//! per process, which would make shard assignment (and therefore any
+//! debugging output keyed by shard) unstable across runs.
+
+/// BKDR polynomial hash over a byte string (base 131, wrapping).
+///
+/// Deterministic across runs and platforms.
+///
+/// # Examples
+///
+/// ```
+/// use retrodns_types::hash::bytes_hash;
+///
+/// assert_eq!(bytes_hash(b"example.com"), bytes_hash(b"example.com"));
+/// assert_ne!(bytes_hash(b"example.com"), bytes_hash(b"example.org"));
+/// ```
+#[inline]
+pub fn bytes_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0;
+    for &b in bytes {
+        h = h.wrapping_mul(131).wrapping_add(b as u64);
+    }
+    h
+}
+
+/// Deterministic shard index in `0..shards` for a byte string.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+#[inline]
+pub fn shard_of(bytes: &[u8], shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    (bytes_hash(bytes) % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_discriminates() {
+        assert_eq!(bytes_hash(b""), 0);
+        assert_eq!(bytes_hash(b"a"), b'a' as u64);
+        assert_eq!(bytes_hash(b"ab"), (b'a' as u64) * 131 + b'b' as u64);
+        assert_ne!(bytes_hash(b"victim.gr"), bytes_hash(b"victim.kg"));
+    }
+
+    #[test]
+    fn shard_of_is_in_range_and_stable() {
+        for shards in 1..=8 {
+            for name in ["a.com", "b.org", "mail.victim.gr", ""] {
+                let s = shard_of(name.as_bytes(), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(name.as_bytes(), shards));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_panics() {
+        shard_of(b"a.com", 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Interned domain symbols.
+//!
+//! The pipeline touches the same registered domain many times: every scan
+//! observation names it, every per-period map is keyed by it, and the
+//! funnel and shortlist group by it again. Keying those structures by
+//! [`DomainName`] means re-hashing (and often re-cloning) the string at
+//! each touch. A [`DomainInterner`] assigns each distinct domain a dense
+//! [`DomainId`] once; everything downstream then keys by a `u32` — `Copy`,
+//! hashable in one instruction, and usable as a direct index into
+//! per-domain side tables.
+//!
+//! The interner's bucket index uses the workspace-wide
+//! [`bytes_hash`](crate::hash::bytes_hash), the same hash the parallel map
+//! builder shards by, so hashing behaviour is deterministic across runs
+//! and consistent between sharding and interning.
+
+use crate::domain::DomainName;
+use crate::hash::bytes_hash;
+use serde::{Deserialize, Serialize};
+
+/// A dense handle for an interned [`DomainName`].
+///
+/// Ids are assigned in first-seen order starting at 0, so they double as
+/// indices into `Vec` side tables sized by [`DomainInterner::len`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct DomainId(pub u32);
+
+impl DomainId {
+    /// The id as a table index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A symbol table mapping [`DomainName`]s to dense [`DomainId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use retrodns_types::{DomainInterner, DomainName};
+///
+/// let mut interner = DomainInterner::new();
+/// let a: DomainName = "victim.gr".parse().unwrap();
+/// let b: DomainName = "benign.com".parse().unwrap();
+/// let ia = interner.intern(&a);
+/// assert_eq!(interner.intern(&a), ia); // stable on re-intern
+/// let ib = interner.intern(&b);
+/// assert_ne!(ia, ib);
+/// assert_eq!(interner.resolve(ia), &a);
+/// assert_eq!(interner.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DomainInterner {
+    /// Interned names, indexed by `DomainId`.
+    names: Vec<DomainName>,
+    /// Open hash table of indices into `names`; bucket count is a power
+    /// of two.
+    buckets: Vec<Vec<u32>>,
+}
+
+impl DomainInterner {
+    /// An empty interner.
+    pub fn new() -> DomainInterner {
+        DomainInterner::default()
+    }
+
+    /// An empty interner pre-sized for roughly `capacity` distinct domains.
+    pub fn with_capacity(capacity: usize) -> DomainInterner {
+        let buckets = (capacity * 2).next_power_of_two().max(16);
+        DomainInterner {
+            names: Vec::with_capacity(capacity),
+            buckets: vec![Vec::new(); buckets],
+        }
+    }
+
+    /// Number of distinct domains interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Intern `domain`, returning its stable id. The name is cloned only
+    /// on first sight.
+    pub fn intern(&mut self, domain: &DomainName) -> DomainId {
+        if self.buckets.is_empty() {
+            self.buckets = vec![Vec::new(); 16];
+        }
+        let h = bytes_hash(domain.as_str().as_bytes());
+        let slot = (h & (self.buckets.len() as u64 - 1)) as usize;
+        for &idx in &self.buckets[slot] {
+            if self.names[idx as usize] == *domain {
+                return DomainId(idx);
+            }
+        }
+        let id = u32::try_from(self.names.len()).expect("more than u32::MAX domains interned");
+        self.names.push(domain.clone());
+        self.buckets[slot].push(id);
+        if self.names.len() > self.buckets.len() {
+            self.grow();
+        }
+        DomainId(id)
+    }
+
+    /// The id of an already-interned domain, if any.
+    pub fn lookup(&self, domain: &DomainName) -> Option<DomainId> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let h = bytes_hash(domain.as_str().as_bytes());
+        let slot = (h & (self.buckets.len() as u64 - 1)) as usize;
+        self.buckets[slot]
+            .iter()
+            .find(|&&idx| self.names[idx as usize] == *domain)
+            .map(|&idx| DomainId(idx))
+    }
+
+    /// The name behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not produced by this interner.
+    pub fn resolve(&self, id: DomainId) -> &DomainName {
+        &self.names[id.index()]
+    }
+
+    /// Iterate `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (DomainId, &DomainName)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (DomainId(i as u32), n))
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.buckets.len() * 2;
+        let mut buckets = vec![Vec::new(); new_len];
+        for (idx, name) in self.names.iter().enumerate() {
+            let h = bytes_hash(name.as_str().as_bytes());
+            let slot = (h & (new_len as u64 - 1)) as usize;
+            buckets[slot].push(idx as u32);
+        }
+        self.buckets = buckets;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ids_are_dense_and_first_seen_ordered() {
+        let mut i = DomainInterner::new();
+        assert!(i.is_empty());
+        let a = i.intern(&d("a.com"));
+        let b = i.intern(&d("b.com"));
+        let c = i.intern(&d("c.com"));
+        assert_eq!((a, b, c), (DomainId(0), DomainId(1), DomainId(2)));
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.intern(&d("b.com")), b);
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn resolve_and_lookup_round_trip() {
+        let mut i = DomainInterner::with_capacity(4);
+        let id = i.intern(&d("mail.victim.gr"));
+        assert_eq!(i.resolve(id), &d("mail.victim.gr"));
+        assert_eq!(i.lookup(&d("mail.victim.gr")), Some(id));
+        assert_eq!(i.lookup(&d("absent.com")), None);
+        assert_eq!(DomainInterner::new().lookup(&d("absent.com")), None);
+    }
+
+    #[test]
+    fn survives_growth_past_initial_buckets() {
+        let mut i = DomainInterner::new();
+        let ids: Vec<_> = (0..500)
+            .map(|n| i.intern(&d(&format!("dom{n}.com"))))
+            .collect();
+        for (n, id) in ids.iter().enumerate() {
+            assert_eq!(i.resolve(*id), &d(&format!("dom{n}.com")));
+            assert_eq!(i.lookup(&d(&format!("dom{n}.com"))), Some(*id));
+        }
+        let seen: std::collections::BTreeSet<_> = ids.iter().map(|i| i.0).collect();
+        assert_eq!(seen.len(), 500, "ids are unique");
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut i = DomainInterner::new();
+        i.intern(&d("z.com"));
+        i.intern(&d("a.com"));
+        let got: Vec<_> = i
+            .iter()
+            .map(|(id, n)| (id.0, n.as_str().to_string()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![(0, "z.com".to_string()), (1, "a.com".to_string())]
+        );
+    }
+}

@@ -213,7 +213,15 @@ mod tests {
 
     #[test]
     fn addr_rejects_malformed() {
-        for s in ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "", "1..2.3", "1.2.3.+4"] {
+        for s in [
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.0.0.1",
+            "a.b.c.d",
+            "",
+            "1..2.3",
+            "1.2.3.+4",
+        ] {
             assert!(s.parse::<Ipv4Addr>().is_err(), "{s} should not parse");
         }
     }

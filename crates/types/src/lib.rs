@@ -19,6 +19,8 @@ pub mod asn;
 pub mod cc;
 pub mod domain;
 pub mod error;
+pub mod hash;
+pub mod intern;
 pub mod ip;
 pub mod time;
 
@@ -26,5 +28,7 @@ pub use asn::Asn;
 pub use cc::CountryCode;
 pub use domain::{DomainName, SENSITIVE_SUBSTRINGS};
 pub use error::ParseError;
+pub use hash::{bytes_hash, shard_of};
+pub use intern::{DomainId, DomainInterner};
 pub use ip::{Ipv4Addr, Ipv4Prefix};
 pub use time::{Day, Period, PeriodId, StudyWindow};

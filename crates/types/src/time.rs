@@ -321,11 +321,32 @@ impl StudyWindow {
     }
 
     /// The period containing `day`, if the day is within the window.
+    ///
+    /// Runs in O(1): the period index is the number of whole calendar
+    /// months elapsed since `start`, divided by `period_months`. The
+    /// arithmetic is exact whenever the window starts on day-of-month
+    /// ≤ 28, because then [`add_months`] never clamps and every period
+    /// boundary falls on the same day-of-month as `start`. Windows
+    /// anchored on the 29th–31st (where clamping shifts boundaries) fall
+    /// back to scanning [`Self::periods`].
     pub fn period_of(&self, day: Day) -> Option<Period> {
         if day < self.start || day > self.end {
             return None;
         }
-        self.periods().into_iter().find(|p| p.contains(day))
+        let (sy, sm, sd) = self.start.ymd();
+        if sd > 28 {
+            return self.periods().into_iter().find(|p| p.contains(day));
+        }
+        let (y, m, d) = day.ymd();
+        let mut months = (y - sy) as i64 * 12 + (m as i64 - sm as i64);
+        if d < sd {
+            months -= 1;
+        }
+        let id = (months / self.period_months as i64) as PeriodId;
+        let start = add_months(self.start, (id as u32) * self.period_months);
+        let end = add_months(start, self.period_months).min(self.end + 1);
+        debug_assert!(start <= day && day < end);
+        Some(Period { id, start, end })
     }
 
     /// All scan dates in the window: `start`, `start + interval`, …
@@ -379,7 +400,13 @@ mod tests {
 
     #[test]
     fn parse_and_display_round_trip() {
-        for s in ["2017-01-01", "2019-04-23", "2020-02-29", "2021-03-31", "2020-12-31"] {
+        for s in [
+            "2017-01-01",
+            "2019-04-23",
+            "2020-02-29",
+            "2021-03-31",
+            "2020-12-31",
+        ] {
             let d: Day = s.parse().unwrap();
             assert_eq!(d.to_string(), s);
         }
@@ -430,7 +457,11 @@ mod tests {
     fn default_window_has_nine_periods() {
         let w = StudyWindow::default();
         let p = w.periods();
-        assert_eq!(p.len(), 9, "Jan 2017 – Mar 2021 splits into 9 six-month periods");
+        assert_eq!(
+            p.len(),
+            9,
+            "Jan 2017 – Mar 2021 splits into 9 six-month periods"
+        );
         assert_eq!(p[0].start.to_string(), "2017-01-01");
         assert_eq!(p[0].end.to_string(), "2017-07-01");
         assert_eq!(p[8].start.to_string(), "2021-01-01");
@@ -461,6 +492,73 @@ mod tests {
     }
 
     #[test]
+    fn period_of_window_edges() {
+        let w = StudyWindow::default();
+        let periods = w.periods();
+        // First and last day of the window.
+        assert_eq!(w.period_of(w.start), Some(periods[0]));
+        assert_eq!(w.period_of(w.end), Some(periods[8]));
+        // Outside the window on both sides.
+        assert!(w.period_of(w.end + 1).is_none());
+        let late_start = StudyWindow::new(Day(10), Day(400), 6, 7);
+        assert!(late_start.period_of(Day(9)).is_none());
+        assert_eq!(late_start.period_of(Day(10)).unwrap().id, 0);
+        // Every period boundary: last day in, first day of the next.
+        for p in &periods {
+            assert_eq!(w.period_of(p.start), Some(*p));
+            assert_eq!(w.period_of(p.end - 1).unwrap().id, p.id);
+            if p.end <= w.end {
+                assert_eq!(w.period_of(p.end).unwrap().id, p.id + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn period_of_agrees_with_linear_scan() {
+        // Several windows, including 1- and 3-month periods and a
+        // mid-month anchor.
+        let windows = [
+            StudyWindow::default(),
+            StudyWindow::new(Day::EPOCH, Day::from_ymd(2018, 1, 1).unwrap(), 3, 7),
+            StudyWindow::new(
+                Day::from_ymd(2017, 5, 15).unwrap(),
+                Day::from_ymd(2019, 2, 3).unwrap(),
+                1,
+                7,
+            ),
+        ];
+        for w in windows {
+            let periods = w.periods();
+            let mut day = w.start;
+            while day <= w.end {
+                let linear = periods.iter().find(|p| p.contains(day)).copied();
+                assert_eq!(w.period_of(day), linear, "window {w:?} day {day}");
+                day += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn period_of_clamped_month_start_uses_fallback() {
+        // Anchored on Jan 31: add_months clamps, so boundaries drift to
+        // shorter months; the scan fallback must still agree with
+        // periods() everywhere.
+        let w = StudyWindow::new(
+            Day::from_ymd(2017, 1, 31).unwrap(),
+            Day::from_ymd(2018, 6, 30).unwrap(),
+            1,
+            7,
+        );
+        let periods = w.periods();
+        let mut day = w.start;
+        while day <= w.end {
+            let linear = periods.iter().find(|p| p.contains(day)).copied();
+            assert_eq!(w.period_of(day), linear, "day {day}");
+            day += 1;
+        }
+    }
+
+    #[test]
     fn weekly_scans_are_about_26_per_period() {
         let w = StudyWindow::default();
         let p = w.periods();
@@ -480,12 +578,7 @@ mod tests {
 
     #[test]
     fn custom_window_three_month_periods() {
-        let w = StudyWindow::new(
-            Day::EPOCH,
-            Day::from_ymd(2018, 1, 1).unwrap(),
-            3,
-            7,
-        );
+        let w = StudyWindow::new(Day::EPOCH, Day::from_ymd(2018, 1, 1).unwrap(), 3, 7);
         let p = w.periods();
         assert_eq!(p.len(), 5); // 4 full quarters + the 2018-01-01 stub
         assert_eq!(p[1].start.to_string(), "2017-04-01");

@@ -49,8 +49,18 @@ fn main() {
     }
     let legit_ip = "31.192.250.13".parse().unwrap();
     for ns in ["ns1.infocom.kg", "ns2.infocom.kg"] {
-        dns.set_zone_record(&d(ns), &d("mail.mfa.gov.kg"), vec![RecordData::A(legit_ip)], Day(0));
-        dns.set_zone_record(&d(ns), &d("mail.fiu.gov.kg"), vec![RecordData::A(legit_ip)], Day(0));
+        dns.set_zone_record(
+            &d(ns),
+            &d("mail.mfa.gov.kg"),
+            vec![RecordData::A(legit_ip)],
+            Day(0),
+        );
+        dns.set_zone_record(
+            &d(ns),
+            &d("mail.fiu.gov.kg"),
+            vec![RecordData::A(legit_ip)],
+            Day(0),
+        );
     }
 
     // --- Attacker staging (December 2020) ------------------------------
@@ -60,7 +70,12 @@ fn main() {
     let rogue = [d("ns1.kg-infocom.ru"), d("ns2.kg-infocom.ru")];
     for ns in &rogue {
         dns.set_glue(ns, vec!["94.103.90.2".parse().unwrap()], flip_day - 2);
-        dns.set_zone_record(ns, &d("mail.mfa.gov.kg"), vec![RecordData::A(attacker_ip)], flip_day - 1);
+        dns.set_zone_record(
+            ns,
+            &d("mail.mfa.gov.kg"),
+            vec![RecordData::A(attacker_ip)],
+            flip_day - 1,
+        );
     }
 
     // The ACME challenge token, staged on the rogue nameservers.
@@ -77,7 +92,8 @@ fn main() {
 
     // --- The attack: flip, validate, restore ---------------------------
     let stolen = Actor::StolenCredentials(d("mfa.gov.kg"));
-    dns.set_delegation(&stolen, &d("mfa.gov.kg"), rogue.to_vec(), cert_day).unwrap();
+    dns.set_delegation(&stolen, &d("mfa.gov.kg"), rogue.to_vec(), cert_day)
+        .unwrap();
 
     // Before the flip the CA would refuse:
     let early = le.request(
@@ -87,7 +103,10 @@ fn main() {
         &Resolver(&dns),
         &mut ct,
     );
-    println!("issuance before the flip: {:?}", early.map(|c| c.id).map_err(|e| e.to_string()));
+    println!(
+        "issuance before the flip: {:?}",
+        early.map(|c| c.id).map_err(|e| e.to_string())
+    );
 
     // During the flip the DNS-01 challenge validates — the CA cannot tell
     // the requester is not the owner:
@@ -116,14 +135,33 @@ fn main() {
 
     // A later harvest window, one day, 2020-12-28 style; also hit fiu.
     let harvest: Day = "2020-12-28".parse().unwrap();
-    dns.set_delegation(&stolen, &d("mfa.gov.kg"), rogue.to_vec(), harvest).unwrap();
-    dns.set_delegation(&Actor::Owner, &d("mfa.gov.kg"), vec![d("ns1.infocom.kg"), d("ns2.infocom.kg")], harvest + 1).unwrap();
+    dns.set_delegation(&stolen, &d("mfa.gov.kg"), rogue.to_vec(), harvest)
+        .unwrap();
+    dns.set_delegation(
+        &Actor::Owner,
+        &d("mfa.gov.kg"),
+        vec![d("ns1.infocom.kg"), d("ns2.infocom.kg")],
+        harvest + 1,
+    )
+    .unwrap();
     let stolen_fiu = Actor::StolenCredentials(d("fiu.gov.kg"));
     for ns in &rogue {
-        dns.set_zone_record(ns, &d("mail.fiu.gov.kg"), vec![RecordData::A("178.20.41.140".parse().unwrap())], harvest);
+        dns.set_zone_record(
+            ns,
+            &d("mail.fiu.gov.kg"),
+            vec![RecordData::A("178.20.41.140".parse().unwrap())],
+            harvest,
+        );
     }
-    dns.set_delegation(&stolen_fiu, &d("fiu.gov.kg"), rogue.to_vec(), harvest).unwrap();
-    dns.set_delegation(&Actor::Owner, &d("fiu.gov.kg"), vec![d("ns1.infocom.kg"), d("ns2.infocom.kg")], harvest + 1).unwrap();
+    dns.set_delegation(&stolen_fiu, &d("fiu.gov.kg"), rogue.to_vec(), harvest)
+        .unwrap();
+    dns.set_delegation(
+        &Actor::Owner,
+        &d("fiu.gov.kg"),
+        vec![d("ns1.infocom.kg"), d("ns2.infocom.kg")],
+        harvest + 1,
+    )
+    .unwrap();
 
     // --- What the observation systems captured -------------------------
     let mut pdns = PassiveDns::new();
@@ -148,7 +186,10 @@ fn main() {
     println!("\n--- the analyst's view, years later ---");
     let crtsh = CrtShIndex::build(&ct);
     for r in crtsh.search_registered(&d("mfa.gov.kg")) {
-        println!("crt.sh: cert {} for {:?} issued {}", r.id, r.names, r.issued);
+        println!(
+            "crt.sh: cert {} for {:?} issued {}",
+            r.id, r.names, r.issued
+        );
     }
     for e in pdns.ns_history(&d("mfa.gov.kg")) {
         println!(

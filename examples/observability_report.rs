@@ -44,7 +44,10 @@ fn main() {
         stats.with_pdns_attack_evidence,
         stats.frac_pdns_one_day() * 100.0
     );
-    println!("per-hijack visibility days: {:?}", stats.pdns_visibility_days);
+    println!(
+        "per-hijack visibility days: {:?}",
+        stats.pdns_visibility_days
+    );
     println!("(paper: 51% of hijacked domains had at most one day of evidence)");
     println!();
     println!("-- weekly TLS scans (the attacker infrastructure) --");

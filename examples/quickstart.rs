@@ -51,7 +51,10 @@ fn main() {
             "  {:<5} {}  sub={}  attacker={}  pDNS={} CT={}",
             h.dtype.label(),
             h.domain,
-            h.sub.as_ref().map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            h.sub
+                .as_ref()
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
             h.attacker_ips
                 .first()
                 .map(|ip| ip.to_string())
@@ -66,7 +69,12 @@ fn main() {
     }
 
     // 5. The simulator retains ground truth — score the detection.
-    let truth: Vec<_> = world.ground_truth.hijacked.iter().map(|h| h.domain.clone()).collect();
+    let truth: Vec<_> = world
+        .ground_truth
+        .hijacked
+        .iter()
+        .map(|h| h.domain.clone())
+        .collect();
     let score = score_detection(&report.hijacked_domains(), &truth);
     println!(
         "\nhijack detection: precision {:.2}, recall {:.2}, f1 {:.2}",

@@ -61,9 +61,19 @@ fn main() {
     let f = &report.funnel;
     println!("  {} domains observed", f.domains_total);
     println!("  {} transient deployment maps", f.transient_maps);
-    println!("  {} shortlisted after heuristics (pruned: {:?})", f.shortlisted, f.pruned);
-    println!("  {} dismissed at inspection (stale certs)", f.dismissed_stale);
-    println!("  {} hijacked ({:?})", report.hijacked.len(), f.hijacks_by_type);
+    println!(
+        "  {} shortlisted after heuristics (pruned: {:?})",
+        f.shortlisted, f.pruned
+    );
+    println!(
+        "  {} dismissed at inspection (stale certs)",
+        f.dismissed_stale
+    );
+    println!(
+        "  {} hijacked ({:?})",
+        report.hijacked.len(),
+        f.hijacks_by_type
+    );
     println!("  {} targeted", report.targeted.len());
 
     println!("\n== Table 2 (detected) ==");

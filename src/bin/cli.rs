@@ -128,12 +128,8 @@ fn analyze(dir: &Path, dnssec_signal: bool, score: bool) -> Result<(), String> {
         data.pdns.len(),
         data.crtsh.len()
     );
-    let observations = retrodns::scan::domain_observations(
-        &data.dataset,
-        &data.certs,
-        &data.asdb,
-        &data.trust,
-    );
+    let observations =
+        retrodns::scan::domain_observations(&data.dataset, &data.certs, &data.asdb, &data.trust);
     let pipeline = Pipeline::new(PipelineConfig {
         workers: 4,
         inspect: InspectConfig {
@@ -151,6 +147,9 @@ fn analyze(dir: &Path, dnssec_signal: bool, score: bool) -> Result<(), String> {
         dnssec: data.dnssec.as_ref(),
     });
 
+    println!("stage timings:");
+    print!("{}", report.timings.summary());
+
     let f = &report.funnel;
     println!("funnel:");
     println!("  domains observed        {}", f.domains_total);
@@ -158,7 +157,11 @@ fn analyze(dir: &Path, dnssec_signal: bool, score: bool) -> Result<(), String> {
     println!("  shortlisted             {}", f.shortlisted);
     println!("  dismissed (stale cert)  {}", f.dismissed_stale);
     println!("  inconclusive            {}", f.inconclusive);
-    println!("  hijacked                {} ({:?})", report.hijacked.len(), f.hijacks_by_type);
+    println!(
+        "  hijacked                {} ({:?})",
+        report.hijacked.len(),
+        f.hijacks_by_type
+    );
     println!("  targeted                {}", report.targeted.len());
 
     let info_map: HashMap<DomainName, DomainInfo> = data
@@ -205,14 +208,21 @@ fn analyze(dir: &Path, dnssec_signal: bool, score: bool) -> Result<(), String> {
 fn info(dir: &Path) -> Result<(), String> {
     let data = load_data(dir)?;
     println!("data sets in {}:", dir.display());
-    println!("  scans.json   {} records over {} dates", data.dataset.len(), data.dataset.dates().len());
+    println!(
+        "  scans.json   {} records over {} dates",
+        data.dataset.len(),
+        data.dataset.dates().len()
+    );
     println!("  certs.json   {} certificates", data.certs.len());
     println!("  pdns.json    {} aggregated tuples", data.pdns.len());
     println!("  crtsh.json   {} CT records", data.crtsh.len());
-    println!("  dnssec.json  {}", match &data.dnssec {
-        Some(a) => format!("{} domains", a.len()),
-        None => "absent".to_string(),
-    });
+    println!(
+        "  dnssec.json  {}",
+        match &data.dnssec {
+            Some(a) => format!("{} domains", a.len()),
+            None => "absent".to_string(),
+        }
+    );
     println!("  meta.json    {} domain descriptions", data.meta.len());
     Ok(())
 }

@@ -19,13 +19,28 @@ fn simulate_analyze_roundtrip() {
         .args(["--seed", "9", "--domains", "1500"])
         .output()
         .expect("run simulate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    for f in ["scans.json", "certs.json", "asdb.json", "pdns.json", "crtsh.json", "truth.json"] {
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for f in [
+        "scans.json",
+        "certs.json",
+        "asdb.json",
+        "pdns.json",
+        "crtsh.json",
+        "truth.json",
+    ] {
         assert!(dir.join(f).exists(), "{f} missing");
     }
 
     // info
-    let out = bin().args(["info", "--data"]).arg(&dir).output().expect("run info");
+    let out = bin()
+        .args(["info", "--data"])
+        .arg(&dir)
+        .output()
+        .expect("run info");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("scans.json"), "{stdout}");
@@ -37,7 +52,11 @@ fn simulate_analyze_roundtrip() {
         .arg("--score")
         .output()
         .expect("run analyze");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("funnel:"), "{stdout}");
     assert!(stdout.contains("scoring vs ground truth"), "{stdout}");

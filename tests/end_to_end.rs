@@ -100,7 +100,10 @@ fn pivot_finds_victims_without_observable_infrastructure() {
             }
         }
     }
-    assert!(found_any, "pivot never recovered a no-infra victim in any seed");
+    assert!(
+        found_any,
+        "pivot never recovered a no-infra victim in any seed"
+    );
 }
 
 #[test]
@@ -141,7 +144,10 @@ fn unattacked_world_produces_no_hijack_verdicts() {
     // The benign-transient machinery still produces candidates — they
     // must all be pruned, dismissed or at worst "targeted", never
     // "hijacked".
-    assert!(report.funnel.transient_maps > 0, "benign transients should exist");
+    assert!(
+        report.funnel.transient_maps > 0,
+        "benign transients should exist"
+    );
 }
 
 #[test]

@@ -35,16 +35,25 @@ fn maps_partition_observations() {
         if o.asn.is_none() {
             continue;
         }
-        let period = periods.iter().find(|p| p.contains(o.date)).expect("in window");
+        let period = periods
+            .iter()
+            .find(|p| p.contains(o.date))
+            .expect("in window");
         let key = (o.domain.clone(), period.id);
         assert!(
-            dates_by_map.get(&key).map(|s| s.contains(&o.date)).unwrap_or(false),
+            dates_by_map
+                .get(&key)
+                .map(|s| s.contains(&o.date))
+                .unwrap_or(false),
             "observation date missing from maps: {} {}",
             o.domain,
             o.date
         );
         assert!(
-            ips_by_map.get(&key).map(|s| s.contains(&o.ip)).unwrap_or(false),
+            ips_by_map
+                .get(&key)
+                .map(|s| s.contains(&o.ip))
+                .unwrap_or(false),
             "observation ip missing from maps: {} {}",
             o.domain,
             o.ip
@@ -139,11 +148,15 @@ fn hijack_verdicts_carry_evidence() {
         );
         // Detected attacker infrastructure must match ground truth for
         // true positives.
-        if let Some(gt) = world.ground_truth.hijacked.iter().find(|g| g.domain == h.domain) {
+        if let Some(gt) = world
+            .ground_truth
+            .hijacked
+            .iter()
+            .find(|g| g.domain == h.domain)
+        {
             if h.pdns_corroborated && !h.attacker_ips.is_empty() {
                 assert!(
-                    h.attacker_ips.contains(&gt.attacker_ip)
-                        || !h.attacker_ns.is_empty(),
+                    h.attacker_ips.contains(&gt.attacker_ip) || !h.attacker_ns.is_empty(),
                     "{}: detected infra {:?} does not include true {}",
                     h.domain,
                     h.attacker_ips,

@@ -26,8 +26,13 @@ fn acme_issuance_tracks_delegation_control() {
     let mut dns = DnsDb::new();
     dns.registrars.add_registrar(RegistrarId(0), "R");
     dns.register_domain(d("victim.com"), RegistrarId(0), Day(0));
-    dns.set_delegation(&Actor::Owner, &d("victim.com"), vec![d("ns1.legit.com")], Day(0))
-        .unwrap();
+    dns.set_delegation(
+        &Actor::Owner,
+        &d("victim.com"),
+        vec![d("ns1.legit.com")],
+        Day(0),
+    )
+    .unwrap();
 
     let key = KeyId(13);
     let mut le = AcmeCa::new(CertAuthority::new(CaId(1), "LE", CaKind::AcmeDv, 90), 0);
@@ -43,22 +48,46 @@ fn acme_issuance_tracks_delegation_control() {
         Day(99),
     );
     let actor = Actor::StolenCredentials(d("victim.com"));
-    dns.set_delegation(&actor, &d("victim.com"), vec![d("ns1.evil.ru")], Day(100)).unwrap();
-    dns.set_delegation(&Actor::Owner, &d("victim.com"), vec![d("ns1.legit.com")], Day(101))
+    dns.set_delegation(&actor, &d("victim.com"), vec![d("ns1.evil.ru")], Day(100))
         .unwrap();
+    dns.set_delegation(
+        &Actor::Owner,
+        &d("victim.com"),
+        vec![d("ns1.legit.com")],
+        Day(101),
+    )
+    .unwrap();
 
     // Day 99: token exists on rogue NS, but delegation still legit → fail.
     assert!(le
-        .request(vec![d("mail.victim.com")], key, Day(99), &Resolver(&dns), &mut ct)
+        .request(
+            vec![d("mail.victim.com")],
+            key,
+            Day(99),
+            &Resolver(&dns),
+            &mut ct
+        )
         .is_err());
     // Day 100: delegation flipped → success, logged to CT.
     let cert = le
-        .request(vec![d("mail.victim.com")], key, Day(100), &Resolver(&dns), &mut ct)
+        .request(
+            vec![d("mail.victim.com")],
+            key,
+            Day(100),
+            &Resolver(&dns),
+            &mut ct,
+        )
         .unwrap();
     assert!(ct.find(cert.id).is_some());
     // Day 101: restored → fail again (token day-bound anyway).
     assert!(le
-        .request(vec![d("mail.victim.com")], key, Day(101), &Resolver(&dns), &mut ct)
+        .request(
+            vec![d("mail.victim.com")],
+            key,
+            Day(101),
+            &Resolver(&dns),
+            &mut ct
+        )
         .is_err());
     assert!(ct.verify_chain());
 }
@@ -113,9 +142,7 @@ fn pdns_windows_are_consistent_with_authoritative_history() {
             .dns
             .resolution_segments(&e.name, RecordType::A, window.start, window.end);
         let consistent = segs.iter().any(|(s, t, answers)| {
-            *s <= e.last_seen
-                && *t >= e.first_seen
-                && answers.iter().any(|a| a.as_a() == Some(ip))
+            *s <= e.last_seen && *t >= e.first_seen && answers.iter().any(|a| a.as_a() == Some(ip))
         });
         assert!(
             consistent,

@@ -1,0 +1,515 @@
+//! Offline stand-in for `serde_derive`. Parses the item's token stream by
+//! hand (no `syn`/`quote` available offline) and emits `impl` blocks for the
+//! value-tree `Serialize`/`Deserialize` traits in the vendored `serde`.
+//!
+//! Supported shapes — exactly what the workspace uses:
+//! - named structs, tuple structs (newtype + n-ary), unit structs
+//! - enums with unit / tuple / struct variants (externally tagged, the
+//!   serde default: `"Variant"`, `{"Variant": payload}`)
+//! - a single list of simple generic params (`TimeSeries<T>`)
+//! - container attrs `#[serde(from = "T", into = "T")]`
+//! - field attr `#[serde(skip)]` (field omitted on write, `Default` on read)
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+    from_ty: Option<String>,
+    into_ty: Option<String>,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item).parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let mut from_ty = None;
+    let mut into_ty = None;
+    while let Some(attr) = take_attr(&toks, &mut i) {
+        for (key, value) in attr {
+            match key.as_str() {
+                "from" => from_ty = Some(value),
+                "into" => into_ty = Some(value),
+                _ => {}
+            }
+        }
+    }
+    skip_visibility(&toks, &mut i);
+
+    let item_kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, got {other}"),
+    };
+    i += 1;
+
+    let mut generics = Vec::new();
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut at_param = true;
+        while depth > 0 {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => at_param = true,
+                TokenTree::Punct(p) if p.as_char() == ':' => at_param = false,
+                TokenTree::Ident(id) if depth == 1 && at_param => {
+                    generics.push(id.to_string());
+                    at_param = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    let kind = match item_kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_top_level_segments(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("derive supports struct/enum only, got {other}"),
+    };
+
+    Input {
+        name,
+        generics,
+        kind,
+        from_ty,
+        into_ty,
+    }
+}
+
+/// If `toks[*i]` starts an attribute (`#[...]`), consume it and return the
+/// `key = "value"` / bare-flag pairs found inside any `serde(...)` group.
+fn take_attr(toks: &[TokenTree], i: &mut usize) -> Option<Vec<(String, String)>> {
+    match toks.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {}
+        _ => return None,
+    }
+    let group = match toks.get(*i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+        _ => return None,
+    };
+    *i += 2;
+
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    let is_serde = matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return Some(Vec::new());
+    }
+    let args = match inner.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Some(Vec::new()),
+    };
+
+    let mut pairs = Vec::new();
+    let args: Vec<TokenTree> = args.into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        if let TokenTree::Ident(id) = &args[j] {
+            let key = id.to_string();
+            if matches!(args.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                if let Some(TokenTree::Literal(lit)) = args.get(j + 2) {
+                    pairs.push((key, strip_str_literal(&lit.to_string())));
+                    j += 3;
+                    continue;
+                }
+            }
+            pairs.push((key, String::new()));
+        }
+        j += 1;
+    }
+    Some(pairs)
+}
+
+fn strip_str_literal(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut skip = false;
+        while let Some(attr) = take_attr(&toks, &mut i) {
+            if attr.iter().any(|(k, _)| k == "skip") {
+                skip = true;
+            }
+        }
+        skip_visibility(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        i += 1;
+        // Skip `: Type` — commas inside angle brackets are not separators.
+        assert!(
+            matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected ':' after field {name}"
+        );
+        i += 1;
+        let mut angle_depth = 0usize;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_top_level_segments(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut in_segment = false;
+    let mut angle_depth = 0usize;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => in_segment = false,
+            _ => {
+                if !in_segment {
+                    count += 1;
+                    in_segment = true;
+                }
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while take_attr(&toks, &mut i).is_some() {}
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_segments(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn impl_header(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), input.name.clone())
+    } else {
+        let params: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", input.name, input.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (params, ty) = impl_header(input, "serde::Serialize");
+    let body = if let Some(into_ty) = &input.into_ty {
+        format!(
+            "let __proxy: {into_ty} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             serde::Serialize::to_value(&__proxy)"
+        )
+    } else {
+        match &input.kind {
+            Kind::UnitStruct => "serde::Value::Null".to_string(),
+            Kind::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            Kind::NamedStruct(fields) => {
+                let mut pushes = String::new();
+                for f in fields.iter().filter(|f| !f.skip) {
+                    pushes.push_str(&format!(
+                        "__fields.push((::std::string::String::from(\"{0}\"), serde::Serialize::to_value(&self.{0})));\n",
+                        f.name
+                    ));
+                }
+                format!(
+                    "let mut __fields: ::std::vec::Vec<(::std::string::String, serde::Value)> = ::std::vec::Vec::new();\n\
+                     {pushes}serde::Value::Object(__fields)"
+                )
+            }
+            Kind::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    let name = &input.name;
+                    match &v.kind {
+                        VariantKind::Unit => arms.push_str(&format!(
+                            "{name}::{vname} => serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                        )),
+                        VariantKind::Tuple(1) => arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => serde::Value::Object(vec![(::std::string::String::from(\"{vname}\"), serde::Serialize::to_value(__f0))]),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{vname}({}) => serde::Value::Object(vec![(::std::string::String::from(\"{vname}\"), serde::Value::Array(vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            ));
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{vname} {{ {} }} => serde::Value::Object(vec![(::std::string::String::from(\"{vname}\"), serde::Value::Object(vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{params} serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (params, ty) = impl_header(input, "serde::Deserialize");
+    let name = &input.name;
+    let body = if let Some(from_ty) = &input.from_ty {
+        format!(
+            "let __proxy: {from_ty} = serde::Deserialize::from_value(__v)?;\n\
+             ::std::result::Result::Ok(::core::convert::From::from(__proxy))"
+        )
+    } else {
+        match &input.kind {
+            Kind::UnitStruct => format!(
+                "match __v {{\n\
+                     serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                     __other => ::std::result::Result::Err(serde::Error::expected(\"null for {name}\", __other)),\n\
+                 }}"
+            ),
+            Kind::TupleStruct(1) => format!(
+                "::std::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))"
+            ),
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                         serde::Value::Array(__a) if __a.len() == {n} => ::std::result::Result::Ok({name}({})),\n\
+                         __other => ::std::result::Result::Err(serde::Error::expected(\"{n}-element array for {name}\", __other)),\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+            Kind::NamedStruct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            format!("{}: ::core::default::Default::default()", f.name)
+                        } else {
+                            format!("{0}: serde::__field(__o, \"{0}\")?", f.name)
+                        }
+                    })
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                         serde::Value::Object(__o) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                         __other => ::std::result::Result::Err(serde::Error::expected(\"object for {name}\", __other)),\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+            Kind::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut payload_arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        )),
+                        VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(serde::Deserialize::from_value(_serde_payload)?)),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                                .collect();
+                            payload_arms.push_str(&format!(
+                                "\"{vname}\" => match _serde_payload {{\n\
+                                     serde::Value::Array(__a) if __a.len() == {n} => ::std::result::Result::Ok({name}::{vname}({})),\n\
+                                     __other => ::std::result::Result::Err(serde::Error::expected(\"{n}-element array for {name}::{vname}\", __other)),\n\
+                                 }},\n",
+                                items.join(", ")
+                            ));
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    if f.skip {
+                                        format!("{}: ::core::default::Default::default()", f.name)
+                                    } else {
+                                        format!("{0}: serde::__field(__io, \"{0}\")?", f.name)
+                                    }
+                                })
+                                .collect();
+                            payload_arms.push_str(&format!(
+                                "\"{vname}\" => match _serde_payload {{\n\
+                                     serde::Value::Object(__io) => ::std::result::Result::Ok({name}::{vname} {{ {} }}),\n\
+                                     __other => ::std::result::Result::Err(serde::Error::expected(\"object for {name}::{vname}\", __other)),\n\
+                                 }},\n",
+                                inits.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                         serde::Value::Str(__s) => match __s.as_str() {{\n\
+                             {unit_arms}\
+                             __other => ::std::result::Result::Err(serde::Error::custom(format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                         }},\n\
+                         serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                             let (__tag, _serde_payload) = &__o[0];\n\
+                             match __tag.as_str() {{\n\
+                                 {payload_arms}\
+                                 __other => ::std::result::Result::Err(serde::Error::custom(format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         __other => ::std::result::Result::Err(serde::Error::expected(\"{name} variant\", __other)),\n\
+                     }}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{params} serde::Deserialize for {ty} {{\n\
+             fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

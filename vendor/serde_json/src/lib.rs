@@ -1,0 +1,59 @@
+//! Offline stand-in for `serde_json`: JSON text over the vendored `serde`
+//! value tree. Struct fields serialize in declaration order and map entries
+//! are key-sorted, so output is deterministic byte-for-byte.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+
+pub use serde::{Number, Value};
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error(e.0)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+pub fn from_value<T: DeserializeOwned>(value: &Value) -> Result<T> {
+    T::from_value(value).map_err(Error::from)
+}
+
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    Ok(serde::json::to_string(&value.to_value()))
+}
+
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    Ok(serde::json::to_string_pretty(&value.to_value()))
+}
+
+pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
+    let value = serde::json::from_str(s)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid utf-8: {e}")))?;
+    from_str(s)
+}
