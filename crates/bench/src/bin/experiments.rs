@@ -11,6 +11,12 @@
 //! The extra id `bench` (not part of `all`) times the parallelizable
 //! pipeline stages serial-vs-parallel and writes the machine-readable
 //! result to `BENCH_pipeline.json` in the working directory.
+//!
+//! The extra id `faults` (also not part of `all`) runs the
+//! fault-injection survival campaign — five seeds × every fault kind
+//! plus a corroboration-stripped row per seed — writes the matrix to
+//! `FAULTS_matrix.json`, and fails the process if any cell fabricated a
+//! hijack verdict.
 
 use retrodns_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
 use retrodns_bench::{Bundle, Scale};
@@ -65,13 +71,19 @@ fn main() -> ExitCode {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
     for id in &ids {
-        if id != "bench" && !ALL_EXPERIMENTS.contains(&id.as_str()) {
+        if id != "bench" && id != "faults" && !ALL_EXPERIMENTS.contains(&id.as_str()) {
             eprintln!(
-                "unknown experiment {id:?}; known: {} bench",
+                "unknown experiment {id:?}; known: {} bench faults",
                 ALL_EXPERIMENTS.join(" ")
             );
             return ExitCode::FAILURE;
         }
+    }
+
+    // The faults campaign builds its own (damaged) worlds; run it before
+    // paying for the shared bundle if it is the only id requested.
+    if ids.iter().all(|i| i == "faults") {
+        return run_faults(seed, workers);
     }
 
     eprintln!("building world (scale {scale:?}, seed {seed:#x})...");
@@ -88,6 +100,14 @@ fn main() -> ExitCode {
 
     for id in &ids {
         let t = std::time::Instant::now();
+        if id == "faults" {
+            let code = run_faults(seed, workers);
+            if code != ExitCode::SUCCESS {
+                return code;
+            }
+            eprintln!("[faults took {:.1?}]", t.elapsed());
+            continue;
+        }
         if id == "bench" {
             let report = retrodns_bench::bench_pipeline(&bundle, workers, 3);
             let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
@@ -105,4 +125,26 @@ fn main() -> ExitCode {
         eprintln!("[{id} took {:.1?}]", t.elapsed());
     }
     ExitCode::SUCCESS
+}
+
+/// Run the fault-injection survival campaign and write
+/// `FAULTS_matrix.json`; fails when any cell fabricated a verdict.
+fn run_faults(seed: u64, workers: usize) -> ExitCode {
+    let seeds: Vec<u64> = (0..5).map(|i| seed.wrapping_add(i)).collect();
+    eprintln!("fault campaign: seeds {seeds:?} x 5 fault kinds + no-corroboration...");
+    let matrix = retrodns_bench::run_fault_campaign(&seeds, workers);
+    let json = serde_json::to_string_pretty(&matrix).expect("fault matrix serializes");
+    let path = "FAULTS_matrix.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("failed to write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\n{}", matrix.summary());
+    eprintln!("[faults wrote {path}]");
+    if matrix.all_survived() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FABRICATED VERDICTS under fault injection");
+        ExitCode::FAILURE
+    }
 }

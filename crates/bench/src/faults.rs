@@ -1,0 +1,168 @@
+//! The fault-injection survival campaign (`experiments faults`).
+//!
+//! Sweeps seeds × fault kinds: for every cell a world is damaged by a
+//! single deterministic [`FaultPlan`], the full pipeline runs over the
+//! damaged inputs, and the cell records whether the pipeline *survived*
+//! — no panic (a panic aborts the campaign), no fabricated hijack
+//! verdict (precision holds under loss; recall is allowed to drop), and
+//! every rejected record accounted for in the report's quarantine
+//! histogram. A per-seed `no-corroboration` row additionally strips
+//! passive DNS and CT entirely and requires zero hijack verdicts — the
+//! methodology's core conservativeness property.
+
+use retrodns_cert::CrtShIndex;
+use retrodns_core::pipeline::{AnalystInputs, Pipeline, PipelineConfig};
+use retrodns_dns::PassiveDns;
+use retrodns_sim::{FaultKind, FaultPlan, SimConfig, World};
+use serde::{Deserialize, Serialize};
+
+/// One (seed, fault) cell of the survival matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultCell {
+    /// World seed.
+    pub seed: u64,
+    /// Fault label ([`FaultKind::label`], or `no-corroboration`).
+    pub fault: String,
+    /// Records rejected by input validation, summed over reasons.
+    pub quarantined: usize,
+    /// Hijack verdicts emitted.
+    pub hijacked: usize,
+    /// Verdicts naming a genuinely attacked domain.
+    pub true_positives: usize,
+    /// Verdicts naming a benign domain (fabrications; must be zero).
+    pub false_positives: usize,
+    /// Did the pipeline survive this cell (zero fabrications)?
+    pub survived: bool,
+}
+
+/// The machine-readable campaign result (`FAULTS_matrix.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultMatrix {
+    /// Seeds swept.
+    pub seeds: Vec<u64>,
+    /// Fault labels swept (columns).
+    pub faults: Vec<String>,
+    /// All cells, row-major (seed-major) order.
+    pub cells: Vec<FaultCell>,
+}
+
+impl FaultMatrix {
+    /// True when every cell survived.
+    pub fn all_survived(&self) -> bool {
+        self.cells.iter().all(|c| c.survived)
+    }
+
+    /// Human-readable table.
+    pub fn summary(&self) -> String {
+        let mut out = String::from(
+            "fault-injection survival matrix\n\
+             seed        fault                     quarantined  hijacked  tp  fp  verdict\n",
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<10}  {:<24}  {:>11}  {:>8}  {:>2}  {:>2}  {}\n",
+                c.seed,
+                c.fault,
+                c.quarantined,
+                c.hijacked,
+                c.true_positives,
+                c.false_positives,
+                if c.survived { "ok" } else { "FABRICATED" }
+            ));
+        }
+        let survived = self.cells.iter().filter(|c| c.survived).count();
+        out.push_str(&format!(
+            "{survived}/{} cells survived (fabricated-verdict-free)\n",
+            self.cells.len()
+        ));
+        out
+    }
+}
+
+fn run_cell(
+    world: &World,
+    seed: u64,
+    fault: &str,
+    observations: &[retrodns_scan::DomainObservation],
+    pdns: &PassiveDns,
+    crtsh: &CrtShIndex,
+    workers: usize,
+) -> FaultCell {
+    let pipeline = Pipeline::new(PipelineConfig {
+        window: world.config.window.clone(),
+        workers,
+        ..PipelineConfig::default()
+    });
+    let report = pipeline.run(&AnalystInputs {
+        observations,
+        asdb: &world.geo.asdb,
+        certs: &world.certs,
+        pdns,
+        crtsh,
+        dnssec: Some(&world.dnssec),
+    });
+    let true_positives = report
+        .hijacked
+        .iter()
+        .filter(|h| world.ground_truth.is_attacked(&h.domain))
+        .count();
+    let false_positives = report.hijacked.len() - true_positives;
+    FaultCell {
+        seed,
+        fault: fault.to_string(),
+        quarantined: report.funnel.quarantined.values().sum(),
+        hijacked: report.hijacked.len(),
+        true_positives,
+        false_positives,
+        survived: false_positives == 0,
+    }
+}
+
+/// Sweep `seeds` × every [`FaultKind`] (plus the `no-corroboration`
+/// stripped-inputs row per seed) over `SimConfig::small` worlds.
+pub fn run_fault_campaign(seeds: &[u64], workers: usize) -> FaultMatrix {
+    let mut faults: Vec<String> = FaultKind::ALL
+        .iter()
+        .map(|k| k.label().to_string())
+        .collect();
+    faults.push("no-corroboration".to_string());
+    let mut cells = Vec::with_capacity(seeds.len() * faults.len());
+    for &seed in seeds {
+        let world = World::build(SimConfig::small(seed));
+        for kind in FaultKind::ALL {
+            let plan = FaultPlan::single(seed, kind);
+            let damaged = plan.apply_world(&world);
+            cells.push(run_cell(
+                &world,
+                seed,
+                kind.label(),
+                &damaged.observations,
+                &damaged.pdns,
+                &world.crtsh,
+                workers,
+            ));
+        }
+        // Corroboration-stripped: no pDNS, no CT. Conservativeness demands
+        // zero hijack verdicts here, not merely zero fabrications.
+        let dataset = world.scan();
+        let observations = world.observations(&dataset);
+        let empty_pdns = PassiveDns::new();
+        let empty_crtsh = CrtShIndex::default();
+        let mut cell = run_cell(
+            &world,
+            seed,
+            "no-corroboration",
+            &observations,
+            &empty_pdns,
+            &empty_crtsh,
+            workers,
+        );
+        cell.survived = cell.hijacked == 0;
+        cells.push(cell);
+    }
+    FaultMatrix {
+        seeds: seeds.to_vec(),
+        faults,
+        cells,
+    }
+}

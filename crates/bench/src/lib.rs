@@ -9,7 +9,9 @@
 #![warn(missing_docs)]
 pub mod bundle;
 pub mod experiments;
+pub mod faults;
 pub mod perf;
 
 pub use bundle::{Bundle, Scale};
+pub use faults::{run_fault_campaign, FaultCell, FaultMatrix};
 pub use perf::{bench_pipeline, PipelineBenchReport, StageBench};

@@ -1,0 +1,388 @@
+//! Checkpointed pipeline execution.
+//!
+//! The pipeline runs over years of longitudinal data; at production scale
+//! a crash (or an operator interrupt) partway through a run should not
+//! forfeit the stages already computed. After each resumable stage —
+//! map building, classification, shortlisting, inspection —
+//! [`Pipeline::run_resumable`](crate::pipeline::Pipeline::run_resumable)
+//! serializes the stage output into a [`CheckpointStore`] directory. A
+//! later invocation over the same configuration and inputs detects the
+//! valid checkpoint chain and restarts from the first missing or invalid
+//! stage, producing a `Report` byte-identical to an uninterrupted run
+//! (the same guarantee the worker knob gives; see `DESIGN.md` §7).
+//!
+//! ## On-disk format
+//!
+//! Each stage writes two files into the run directory:
+//!
+//! * `stage_<name>.json` — the stage payload, plain serde JSON;
+//! * `stage_<name>.meta.json` — a [`StageMeta`] envelope: format version,
+//!   stage name, fingerprints of the pipeline configuration and the input
+//!   observations, and the BKDR hash of the payload bytes.
+//!
+//! A checkpoint is *valid* only if every envelope field matches the
+//! current run and the payload bytes hash to `payload_hash`. Any mismatch
+//! — version bump, different config, different inputs, truncated or
+//! bit-flipped payload — invalidates the stage, and chain semantics
+//! invalidate everything downstream of the first bad stage (later files
+//! are recomputed and overwritten, never trusted across a break).
+
+use retrodns_scan::DomainObservation;
+use retrodns_types::hash::bytes_hash;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Bumped whenever a stage payload's serialized shape changes; old
+/// checkpoints are then invalid wholesale.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+/// Resumable stage names, in execution order.
+pub const STAGE_NAMES: [&str; 4] = ["maps", "classify", "shortlist", "inspect"];
+
+/// Fingerprints binding a checkpoint to one (config, inputs) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// Hash of the serialized [`PipelineConfig`](crate::pipeline::PipelineConfig).
+    pub config: u64,
+    /// Hash over every input observation's fields.
+    pub inputs: u64,
+}
+
+/// The validation envelope written beside each stage payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageMeta {
+    /// Checkpoint format version.
+    pub version: u32,
+    /// Stage name (defense against renamed files).
+    pub stage: String,
+    /// Config fingerprint at write time.
+    pub config_hash: u64,
+    /// Input fingerprint at write time.
+    pub inputs_hash: u64,
+    /// BKDR hash of the payload file's bytes.
+    pub payload_hash: u64,
+}
+
+/// Fingerprint a pipeline configuration (any serializable config works;
+/// the pipeline passes its full `PipelineConfig`).
+pub fn config_fingerprint<C: Serialize>(config: &C) -> u64 {
+    let bytes = serde_json::to_vec(config).expect("config serializes");
+    bytes_hash(&bytes)
+}
+
+/// Fingerprint the input observations without serializing them: a
+/// field-order fold of every record through the workspace BKDR hash.
+/// Deterministic across runs and platforms, and sensitive to any record
+/// edit, insertion, deletion or reordering.
+pub fn inputs_fingerprint(observations: &[DomainObservation]) -> u64 {
+    let mut h: u64 = bytes_hash(b"retrodns-observations-v1");
+    let mut fold = |v: u64| h = h.wrapping_mul(131).wrapping_add(v);
+    for o in observations {
+        fold(bytes_hash(o.domain.as_str().as_bytes()));
+        fold(o.date.0 as u64);
+        fold(o.ip.0 as u64);
+        fold(o.asn.map(|a| 1 + a.0 as u64).unwrap_or(0));
+        fold(
+            o.country
+                .map(|c| bytes_hash(c.as_str().as_bytes()))
+                .unwrap_or(0),
+        );
+        fold(o.cert.0);
+        fold(o.trusted as u64);
+    }
+    h
+}
+
+/// Why a stage checkpoint failed validation (diagnostic; resume treats
+/// every variant the same — recompute from here on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidReason {
+    /// Payload or meta file absent.
+    Missing,
+    /// Meta file unreadable or not valid JSON.
+    BadMeta,
+    /// Format version mismatch.
+    Version,
+    /// Stage name in the envelope does not match the file.
+    WrongStage,
+    /// Config fingerprint mismatch (thresholds changed between runs).
+    ConfigChanged,
+    /// Input fingerprint mismatch (observations changed between runs).
+    InputsChanged,
+    /// Payload bytes do not hash to the recorded `payload_hash`.
+    Corrupt,
+    /// Payload hashed correctly but failed to deserialize.
+    Undeserializable,
+}
+
+/// A directory of stage checkpoints for one pipeline run.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    /// Stages served from a valid checkpoint in the last resumable run.
+    pub resumed: Vec<String>,
+    /// Stages computed (and written) in the last resumable run.
+    pub computed: Vec<String>,
+}
+
+impl CheckpointStore {
+    /// Open (creating if necessary) a checkpoint directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<CheckpointStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore {
+            dir,
+            resumed: Vec::new(),
+            computed: Vec::new(),
+        })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Remove every stage checkpoint (fresh-run semantics).
+    pub fn clear(&mut self) -> std::io::Result<()> {
+        for stage in STAGE_NAMES {
+            for path in [self.payload_path(stage), self.meta_path(stage)] {
+                match std::fs::remove_file(&path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        self.resumed.clear();
+        self.computed.clear();
+        Ok(())
+    }
+
+    /// Path of a stage's payload file.
+    pub fn payload_path(&self, stage: &str) -> PathBuf {
+        self.dir.join(format!("stage_{stage}.json"))
+    }
+
+    /// Path of a stage's meta envelope.
+    pub fn meta_path(&self, stage: &str) -> PathBuf {
+        self.dir.join(format!("stage_{stage}.meta.json"))
+    }
+
+    /// Validate and load one stage checkpoint against `fp`.
+    pub fn load<T: DeserializeOwned>(
+        &self,
+        stage: &str,
+        fp: &Fingerprint,
+    ) -> Result<T, InvalidReason> {
+        let meta_bytes =
+            std::fs::read(self.meta_path(stage)).map_err(|_| InvalidReason::Missing)?;
+        let meta: StageMeta =
+            serde_json::from_slice(&meta_bytes).map_err(|_| InvalidReason::BadMeta)?;
+        if meta.version != CHECKPOINT_FORMAT_VERSION {
+            return Err(InvalidReason::Version);
+        }
+        if meta.stage != stage {
+            return Err(InvalidReason::WrongStage);
+        }
+        if meta.config_hash != fp.config {
+            return Err(InvalidReason::ConfigChanged);
+        }
+        if meta.inputs_hash != fp.inputs {
+            return Err(InvalidReason::InputsChanged);
+        }
+        let payload =
+            std::fs::read(self.payload_path(stage)).map_err(|_| InvalidReason::Missing)?;
+        if bytes_hash(&payload) != meta.payload_hash {
+            return Err(InvalidReason::Corrupt);
+        }
+        serde_json::from_slice(&payload).map_err(|_| InvalidReason::Undeserializable)
+    }
+
+    /// Write one stage checkpoint (payload first, envelope last, so a
+    /// crash mid-write leaves a detectably incomplete checkpoint).
+    pub fn save<T: Serialize>(
+        &self,
+        stage: &str,
+        fp: &Fingerprint,
+        payload: &T,
+    ) -> std::io::Result<()> {
+        let bytes = serde_json::to_vec(payload).expect("stage payload serializes");
+        let meta = StageMeta {
+            version: CHECKPOINT_FORMAT_VERSION,
+            stage: stage.to_string(),
+            config_hash: fp.config,
+            inputs_hash: fp.inputs,
+            payload_hash: bytes_hash(&bytes),
+        };
+        // Remove any stale envelope first: if the payload write below
+        // succeeds but the envelope write crashes, the old envelope must
+        // not validate the new payload (it won't — hash mismatch — but a
+        // missing envelope is the cleaner failure).
+        match std::fs::remove_file(self.meta_path(stage)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        std::fs::write(self.payload_path(stage), &bytes)?;
+        std::fs::write(
+            self.meta_path(stage),
+            serde_json::to_vec(&meta).expect("meta serializes"),
+        )
+    }
+
+    /// The stages whose checkpoints currently validate against `fp`, in
+    /// chain order: stops at the first missing/invalid stage (everything
+    /// after a break is untrusted even if present on disk).
+    pub fn valid_chain(&self, fp: &Fingerprint) -> Vec<&'static str> {
+        let mut chain = Vec::new();
+        for stage in STAGE_NAMES {
+            match self.validate(stage, fp) {
+                Ok(()) => chain.push(stage),
+                Err(_) => break,
+            }
+        }
+        chain
+    }
+
+    /// Validate a stage checkpoint without deserializing its payload.
+    pub fn validate(&self, stage: &str, fp: &Fingerprint) -> Result<(), InvalidReason> {
+        let meta_bytes =
+            std::fs::read(self.meta_path(stage)).map_err(|_| InvalidReason::Missing)?;
+        let meta: StageMeta =
+            serde_json::from_slice(&meta_bytes).map_err(|_| InvalidReason::BadMeta)?;
+        if meta.version != CHECKPOINT_FORMAT_VERSION {
+            return Err(InvalidReason::Version);
+        }
+        if meta.stage != stage {
+            return Err(InvalidReason::WrongStage);
+        }
+        if meta.config_hash != fp.config {
+            return Err(InvalidReason::ConfigChanged);
+        }
+        if meta.inputs_hash != fp.inputs {
+            return Err(InvalidReason::InputsChanged);
+        }
+        let payload =
+            std::fs::read(self.payload_path(stage)).map_err(|_| InvalidReason::Missing)?;
+        if bytes_hash(&payload) != meta.payload_hash {
+            return Err(InvalidReason::Corrupt);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp() -> Fingerprint {
+        Fingerprint {
+            config: 11,
+            inputs: 22,
+        }
+    }
+
+    fn store() -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!(
+            "retrodns-ckpt-unit-{}-{:p}",
+            std::process::id(),
+            &CHECKPOINT_FORMAT_VERSION
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let s = store();
+        s.save("maps", &fp(), &vec![1u32, 2, 3]).unwrap();
+        let back: Vec<u32> = s.load("maps", &fp()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_invalidates() {
+        let s = store();
+        s.save("maps", &fp(), &vec![1u32]).unwrap();
+        let other = Fingerprint {
+            config: 99,
+            inputs: 22,
+        };
+        assert_eq!(
+            s.load::<Vec<u32>>("maps", &other).unwrap_err(),
+            InvalidReason::ConfigChanged
+        );
+        let other = Fingerprint {
+            config: 11,
+            inputs: 99,
+        };
+        assert_eq!(
+            s.load::<Vec<u32>>("maps", &other).unwrap_err(),
+            InvalidReason::InputsChanged
+        );
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let s = store();
+        s.save("maps", &fp(), &vec![1u32, 2, 3]).unwrap();
+        let path = s.payload_path("maps");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            s.load::<Vec<u32>>("maps", &fp()).unwrap_err(),
+            InvalidReason::Corrupt
+        );
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn chain_stops_at_first_break() {
+        let s = store();
+        s.save("maps", &fp(), &1u32).unwrap();
+        s.save("classify", &fp(), &2u32).unwrap();
+        // "shortlist" missing, "inspect" present: chain must stop at the
+        // break and never trust the stage beyond it.
+        s.save("inspect", &fp(), &4u32).unwrap();
+        assert_eq!(s.valid_chain(&fp()), vec!["maps", "classify"]);
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn clear_removes_all_stages() {
+        let mut s = store();
+        for stage in STAGE_NAMES {
+            s.save(stage, &fp(), &0u32).unwrap();
+        }
+        assert_eq!(s.valid_chain(&fp()).len(), 4);
+        s.clear().unwrap();
+        assert!(s.valid_chain(&fp()).is_empty());
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn inputs_fingerprint_is_order_and_field_sensitive() {
+        use retrodns_cert::CertId;
+        use retrodns_types::{Day, Ipv4Addr};
+        let obs = |dom: &str, date: u32| DomainObservation {
+            domain: dom.parse().unwrap(),
+            date: Day(date),
+            ip: Ipv4Addr(1),
+            asn: None,
+            country: None,
+            cert: CertId(5),
+            trusted: false,
+        };
+        let a = vec![obs("a.com", 1), obs("b.com", 2)];
+        let b = vec![obs("b.com", 2), obs("a.com", 1)];
+        assert_ne!(inputs_fingerprint(&a), inputs_fingerprint(&b));
+        let mut c = a.clone();
+        c[0].date = Day(3);
+        assert_ne!(inputs_fingerprint(&a), inputs_fingerprint(&c));
+        assert_eq!(inputs_fingerprint(&a), inputs_fingerprint(&a.clone()));
+    }
+}

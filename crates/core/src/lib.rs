@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 pub mod baseline;
+pub mod checkpoint;
 pub mod classify;
 pub mod inspect;
 pub mod map;
@@ -37,6 +38,7 @@ pub mod report;
 pub mod score;
 pub mod shortlist;
 
+pub use checkpoint::{CheckpointStore, Fingerprint};
 pub use classify::{Pattern, StableKind, TransientKind, TransitionKind};
 pub use inspect::{DetectedHijack, DetectedTarget, DetectionType, InspectOutcome};
 pub use map::{Deployment, DeploymentGroup, DeploymentMap, MapBuilder};

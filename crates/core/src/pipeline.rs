@@ -6,6 +6,7 @@
 //! detected hijacks (Table 2), detected targets (Table 3), and the full
 //! funnel accounting (§4.2–4.5) the experiments reproduce.
 
+use crate::checkpoint::{config_fingerprint, inputs_fingerprint, CheckpointStore, Fingerprint};
 use crate::classify::{classify, ClassifyConfig, Pattern};
 use crate::inspect::{
     inspect_candidate, t1_star_pass, DetectedHijack, DetectedTarget, DismissReason, InspectConfig,
@@ -20,7 +21,9 @@ use retrodns_cert::{CertId, Certificate, CrtShIndex};
 use retrodns_dns::{DnssecArchive, PassiveDns};
 use retrodns_scan::DomainObservation;
 use retrodns_types::{Day, DomainInterner, DomainName, StudyWindow};
+use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Instant;
 
@@ -80,6 +83,12 @@ impl Default for PipelineConfig {
 /// Funnel accounting across the five stages.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FunnelStats {
+    /// Input records rejected by validation before map building, by
+    /// reason (`out-of-window`, `unrouted`, `unknown-cert`, `duplicate`).
+    /// Empty on clean inputs. Quarantined records are counted, never
+    /// silently dropped — and never analyzed.
+    #[serde(default)]
+    pub quarantined: BTreeMap<String, usize>,
     /// Domains with at least one deployment map.
     pub domains_total: usize,
     /// (domain, period) maps built.
@@ -285,15 +294,76 @@ impl Pipeline {
 
     /// Run the full pipeline.
     pub fn run(&self, inputs: &AnalystInputs) -> Report {
+        self.run_internal(inputs, None)
+    }
+
+    /// Run the full pipeline with stage checkpointing.
+    ///
+    /// After each resumable stage (map build, classify, shortlist,
+    /// inspect) the stage output is written into `store`. If `store`
+    /// already holds a checkpoint chain valid for this configuration and
+    /// these inputs, the leading valid stages are loaded instead of
+    /// recomputed and execution restarts from the first missing or
+    /// invalid stage. The returned [`Report`] is byte-identical (as
+    /// JSON) to an uninterrupted [`Pipeline::run`] over the same inputs
+    /// — checkpointing extends the determinism guarantee of `DESIGN.md`
+    /// §6; see `core::checkpoint` for the validation rules.
+    ///
+    /// Checkpoint *write* failures are non-fatal (the run proceeds and
+    /// reports; only resumability is lost); a warning goes to stderr.
+    pub fn run_resumable(&self, inputs: &AnalystInputs, store: &mut CheckpointStore) -> Report {
+        self.run_internal(inputs, Some(store))
+    }
+
+    fn run_internal(&self, inputs: &AnalystInputs, store: Option<&mut CheckpointStore>) -> Report {
         let run_start = Instant::now();
         let mut timings = PipelineTimings::default();
-        let (maps, patterns, map_timing, classify_timing) =
-            self.maps_and_patterns_timed(inputs.observations);
-        timings.map_build = map_timing;
-        timings.classify = classify_timing;
+
+        // Checkpoint context: fingerprints bind stage snapshots to this
+        // exact (config, inputs) pair; `chain_intact` tracks whether every
+        // stage so far was served from a valid checkpoint — once a stage
+        // misses, everything downstream is recomputed and overwritten.
+        let mut store = store;
+        if let Some(s) = store.as_deref_mut() {
+            s.resumed.clear();
+            s.computed.clear();
+        }
+        let fp = store.as_ref().map(|_| Fingerprint {
+            config: config_fingerprint(&self.config),
+            inputs: inputs_fingerprint(inputs.observations),
+        });
+        let mut chain_intact = store.is_some();
+
+        // ---- stage 0: validate + quarantine ---------------------------
+        // Always recomputed (cheap, and the quarantine histogram feeds the
+        // funnel even on a fully resumed run).
+        let (kept, quarantined) =
+            quarantine(inputs.observations, &self.config.window, inputs.certs);
+
+        // ---- stage 1: deployment maps ---------------------------------
+        let t = Instant::now();
+        let maps: Vec<DeploymentMap> =
+            run_stage(&mut store, fp.as_ref(), &mut chain_intact, "maps", || {
+                let mut builder = MapBuilder::new(self.config.window.clone());
+                builder.link_gap_scans = self.config.link_gap_scans;
+                builder.build_parallel(&kept, self.config.workers)
+            });
+        timings.map_build = StageTiming::from_elapsed(t.elapsed(), kept.len());
+
+        // ---- stage 2: classify ----------------------------------------
+        let t = Instant::now();
+        let patterns: Vec<Pattern> = run_stage(
+            &mut store,
+            fp.as_ref(),
+            &mut chain_intact,
+            "classify",
+            || self.classify_maps(&maps),
+        );
+        timings.classify = StageTiming::from_elapsed(t.elapsed(), maps.len());
 
         // ---- funnel: population statistics -------------------------
         let mut funnel = FunnelStats {
+            quarantined,
             maps_total: maps.len(),
             ..FunnelStats::default()
         };
@@ -329,12 +399,20 @@ impl Pipeline {
 
         // ---- stage 3: shortlist -------------------------------------
         let t = Instant::now();
-        let shortlisted = shortlist(
-            &maps,
-            &patterns,
-            inputs.asdb,
-            inputs.certs,
-            &self.config.shortlist,
+        let shortlisted: crate::shortlist::ShortlistOutcome = run_stage(
+            &mut store,
+            fp.as_ref(),
+            &mut chain_intact,
+            "shortlist",
+            || {
+                shortlist(
+                    &maps,
+                    &patterns,
+                    inputs.asdb,
+                    inputs.certs,
+                    &self.config.shortlist,
+                )
+            },
         );
         timings.shortlist = StageTiming::from_elapsed(t.elapsed(), maps.len());
         funnel.shortlisted = shortlisted.candidates.len();
@@ -349,7 +427,13 @@ impl Pipeline {
 
         // ---- stage 4: inspect ----------------------------------------
         let t = Instant::now();
-        let inspected = self.inspect_candidates(&shortlisted.candidates, inputs);
+        let inspected: InspectionResults = run_stage(
+            &mut store,
+            fp.as_ref(),
+            &mut chain_intact,
+            "inspect",
+            || self.inspect_candidates(&shortlisted.candidates, inputs),
+        );
         timings.inspect = StageTiming::from_elapsed(t.elapsed(), shortlisted.candidates.len());
         let InspectionResults {
             mut hijacked,
@@ -412,10 +496,107 @@ impl Pipeline {
     }
 }
 
+/// Run (or resume) one checkpointable stage.
+///
+/// While the chain is intact, a valid checkpoint is loaded instead of
+/// computing; the first invalid stage breaks the chain, and every stage
+/// from there on is computed and (re)written. Without a store this is
+/// just `compute()`.
+fn run_stage<T, F>(
+    store: &mut Option<&mut CheckpointStore>,
+    fp: Option<&Fingerprint>,
+    chain_intact: &mut bool,
+    name: &str,
+    compute: F,
+) -> T
+where
+    T: Serialize + DeserializeOwned,
+    F: FnOnce() -> T,
+{
+    let Some(s) = store.as_deref_mut() else {
+        return compute();
+    };
+    let fp = fp.expect("fingerprint accompanies store");
+    if *chain_intact {
+        match s.load::<T>(name, fp) {
+            Ok(v) => {
+                s.resumed.push(name.to_string());
+                return v;
+            }
+            Err(_) => *chain_intact = false,
+        }
+    }
+    let v = compute();
+    if let Err(e) = s.save(name, fp, &v) {
+        eprintln!("warning: could not write checkpoint stage '{name}': {e}");
+    }
+    s.computed.push(name.to_string());
+    v
+}
+
+/// Input validation: reject observations the pipeline cannot analyze,
+/// with a per-reason histogram, instead of panicking or silently
+/// skipping them inside the stages.
+///
+/// Reasons (checked in this order; a record counts once):
+/// * `out-of-window` — the scan date falls in no study period;
+/// * `unrouted` — no origin AS (the map builder needs network identity);
+/// * `unknown-cert` — the certificate id is absent from the analyst's
+///   cert store, so nothing about the endpoint can be corroborated;
+/// * `duplicate` — an exact repeat of a kept record.
+///
+/// Clean, sorted input is returned as `Cow::Borrowed` with an empty
+/// histogram (zero copies on the fast path). Otherwise the surviving
+/// records are re-sorted and deduplicated, restoring the ordering
+/// contract of [`retrodns_scan::domain_observations`] for the stages
+/// downstream.
+pub fn quarantine<'a>(
+    observations: &'a [DomainObservation],
+    window: &StudyWindow,
+    certs: &HashMap<CertId, Certificate>,
+) -> (Cow<'a, [DomainObservation]>, BTreeMap<String, usize>) {
+    let reject = |o: &DomainObservation| -> Option<&'static str> {
+        if window.period_of(o.date).is_none() {
+            Some("out-of-window")
+        } else if o.asn.is_none() {
+            Some("unrouted")
+        } else if !certs.contains_key(&o.cert) {
+            Some("unknown-cert")
+        } else {
+            None
+        }
+    };
+
+    let clean = observations
+        .iter()
+        .enumerate()
+        .all(|(i, o)| reject(o).is_none() && (i == 0 || observations[i - 1] < *o));
+    if clean {
+        return (Cow::Borrowed(observations), BTreeMap::new());
+    }
+
+    let mut reasons: BTreeMap<String, usize> = BTreeMap::new();
+    let mut kept: Vec<DomainObservation> = Vec::with_capacity(observations.len());
+    for o in observations {
+        match reject(o) {
+            Some(r) => *reasons.entry(r.to_string()).or_insert(0) += 1,
+            None => kept.push(o.clone()),
+        }
+    }
+    kept.sort();
+    let before = kept.len();
+    kept.dedup();
+    if before > kept.len() {
+        *reasons.entry("duplicate".to_string()).or_insert(0) += before - kept.len();
+    }
+    (Cow::Owned(kept), reasons)
+}
+
 /// Aggregated stage-4 outcomes for a set of candidates (before the T1*
 /// pass). Partials from parallel workers merge by concatenation, so the
-/// struct doubles as the per-chunk accumulator.
-#[derive(Debug, Default)]
+/// struct doubles as the per-chunk accumulator — and as the `inspect`
+/// stage's checkpoint payload.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct InspectionResults {
     /// Candidates concluded hijacked.
     pub hijacked: Vec<DetectedHijack>,

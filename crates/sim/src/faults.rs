@@ -1,0 +1,260 @@
+//! Deterministic fault injection over a simulated world.
+//!
+//! Real longitudinal DNS data is patchy: scan snapshots go missing,
+//! archives arrive truncated, records are duplicated by collection
+//! plumbing, certificate fingerprints get mangled, and passive-DNS
+//! coverage has gaps. A [`FaultPlan`] reproduces those pathologies
+//! *deterministically* — the same seed and fault set always damage a
+//! [`World`]'s data sets identically — so robustness tests and the
+//! `experiments faults` campaign can assert exact pipeline behavior
+//! under loss: degraded recall is acceptable, fabricated verdicts and
+//! panics are not (the quarantine layer in `retrodns-core` accounts for
+//! every record these faults reject).
+//!
+//! Each fault kind draws from its own RNG stream (seeded from the plan
+//! seed and the kind's index), so enabling one fault never perturbs
+//! another's sampling.
+
+use crate::world::World;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retrodns_cert::CertId;
+use retrodns_dns::PassiveDns;
+use retrodns_scan::{DomainObservation, ScanDataset, ScanRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One injectable data pathology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// An entire scan snapshot (~10% of scan dates) never happened.
+    DropScanWeek,
+    /// The scan archive is truncated: the last ~25% of the window is
+    /// missing entirely.
+    TruncateObservations,
+    /// ~2% of observations carry a mangled certificate fingerprint that
+    /// matches nothing in the analyst's cert store.
+    CorruptCertFingerprint,
+    /// ~2% of observations are exact duplicates appended out of order
+    /// (collection-plumbing replay).
+    DuplicateRecords,
+    /// ~25% of passive-DNS tuples were never collected (sensor outage).
+    PdnsGap,
+}
+
+impl FaultKind {
+    /// Every fault kind, in a fixed order (campaign sweep order).
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::DropScanWeek,
+        FaultKind::TruncateObservations,
+        FaultKind::CorruptCertFingerprint,
+        FaultKind::DuplicateRecords,
+        FaultKind::PdnsGap,
+    ];
+
+    /// Stable machine-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::DropScanWeek => "drop-scan-week",
+            FaultKind::TruncateObservations => "truncate-observations",
+            FaultKind::CorruptCertFingerprint => "corrupt-cert-fingerprint",
+            FaultKind::DuplicateRecords => "duplicate-records",
+            FaultKind::PdnsGap => "pdns-gap",
+        }
+    }
+
+    /// Position in [`FaultKind::ALL`] (per-kind RNG stream index).
+    fn index(&self) -> u64 {
+        FaultKind::ALL.iter().position(|k| k == self).unwrap() as u64
+    }
+}
+
+/// The damaged analyst inputs produced by [`FaultPlan::apply_world`].
+#[derive(Debug, Clone)]
+pub struct FaultedInputs {
+    /// The scan dataset after dataset-level faults.
+    pub dataset: ScanDataset,
+    /// Annotated observations after observation-level faults.
+    pub observations: Vec<DomainObservation>,
+    /// Passive DNS after sensor-outage faults.
+    pub pdns: PassiveDns,
+}
+
+/// A seeded, deterministic set of faults to apply to a world's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the fault RNG streams (independent of the world seed).
+    pub seed: u64,
+    /// The faults to inject.
+    pub faults: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// A plan injecting a single fault kind.
+    pub fn single(seed: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: vec![kind],
+        }
+    }
+
+    /// A plan injecting every fault kind at once.
+    pub fn all(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: FaultKind::ALL.to_vec(),
+        }
+    }
+
+    fn has(&self, kind: FaultKind) -> bool {
+        self.faults.contains(&kind)
+    }
+
+    /// Per-kind RNG stream: independent of which other faults are on.
+    fn rng_for(&self, kind: FaultKind) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(kind.index() + 1)))
+    }
+
+    /// Apply the dataset-level faults (snapshot loss, truncation).
+    pub fn apply_dataset(&self, dataset: &ScanDataset) -> ScanDataset {
+        let mut records: Vec<ScanRecord> = dataset.records().to_vec();
+        if self.has(FaultKind::DropScanWeek) && !records.is_empty() {
+            let dates = dataset.dates();
+            let n_drop = (dates.len() / 10).max(1);
+            let mut rng = self.rng_for(FaultKind::DropScanWeek);
+            let mut dropped = BTreeSet::new();
+            while dropped.len() < n_drop {
+                dropped.insert(dates[rng.gen_range(0..dates.len())]);
+            }
+            records.retain(|r| !dropped.contains(&r.date));
+        }
+        if self.has(FaultKind::TruncateObservations) && !records.is_empty() {
+            let first = records.iter().map(|r| r.date).min().unwrap();
+            let last = records.iter().map(|r| r.date).max().unwrap();
+            let span = last - first;
+            let mut rng = self.rng_for(FaultKind::TruncateObservations);
+            // Keep roughly the leading 70–80% of the covered span.
+            let keep_days = span * 70 / 100 + rng.gen_range(0..=span / 10);
+            let cutoff = first + keep_days;
+            records.retain(|r| r.date <= cutoff);
+        }
+        ScanDataset::from_records(records)
+    }
+
+    /// Apply the observation-level faults (fingerprint corruption,
+    /// duplicated records) in place.
+    pub fn apply_observations(&self, observations: &mut Vec<DomainObservation>) {
+        if self.has(FaultKind::CorruptCertFingerprint) && !observations.is_empty() {
+            let n = (observations.len() / 50).max(1);
+            let mut rng = self.rng_for(FaultKind::CorruptCertFingerprint);
+            for i in 0..n {
+                let at = rng.gen_range(0..observations.len());
+                // High-half ids the simulator never allocates: guaranteed
+                // absent from any world's cert store.
+                observations[at].cert = CertId(0xDEAD_0000_0000_0000 | i as u64);
+            }
+        }
+        if self.has(FaultKind::DuplicateRecords) && !observations.is_empty() {
+            let n = (observations.len() / 50).max(1);
+            let mut rng = self.rng_for(FaultKind::DuplicateRecords);
+            let mut dups = Vec::with_capacity(n);
+            for _ in 0..n {
+                dups.push(observations[rng.gen_range(0..observations.len())].clone());
+            }
+            // Appended out of order, as replayed collection batches are.
+            observations.extend(dups);
+        }
+    }
+
+    /// Apply the passive-DNS faults: rebuild the database with ~25% of
+    /// tuples missing. Entries are sorted before sampling so the outcome
+    /// is independent of `PassiveDns`'s internal (hash) iteration order.
+    pub fn apply_pdns(&self, pdns: &PassiveDns) -> PassiveDns {
+        if !self.has(FaultKind::PdnsGap) || pdns.is_empty() {
+            return pdns.clone();
+        }
+        let mut entries: Vec<_> = pdns.iter_entries().collect();
+        entries.sort_by(|a, b| {
+            (&a.name, a.rdata.to_string(), a.first_seen).cmp(&(
+                &b.name,
+                b.rdata.to_string(),
+                b.first_seen,
+            ))
+        });
+        let mut rng = self.rng_for(FaultKind::PdnsGap);
+        let mut out = PassiveDns::new();
+        for e in entries {
+            if rng.gen_bool(0.25) {
+                continue;
+            }
+            out.insert_aggregate(&e.name, e.rdata, e.first_seen, e.last_seen, e.count);
+        }
+        out
+    }
+
+    /// Damage a world's full analyst-visible input set: scan the world,
+    /// then apply dataset faults, re-annotate, apply observation faults,
+    /// and apply passive-DNS faults.
+    pub fn apply_world(&self, world: &World) -> FaultedInputs {
+        let dataset = self.apply_dataset(&world.scan());
+        let mut observations = world.observations(&dataset);
+        self.apply_observations(&mut observations);
+        let pdns = self.apply_pdns(&world.pdns);
+        FaultedInputs {
+            dataset,
+            observations,
+            pdns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+
+    #[test]
+    fn faults_are_deterministic() {
+        let world = World::build(SimConfig::small(7));
+        let plan = FaultPlan::all(42);
+        let a = plan.apply_world(&world);
+        let b = plan.apply_world(&world);
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.observations, b.observations);
+        assert_eq!(a.pdns.len(), b.pdns.len());
+    }
+
+    #[test]
+    fn each_fault_damages_its_layer() {
+        let world = World::build(SimConfig::small(8));
+        let dataset = world.scan();
+        let observations = world.observations(&dataset);
+
+        let dropped = FaultPlan::single(1, FaultKind::DropScanWeek).apply_dataset(&dataset);
+        assert!(dropped.dates().len() < dataset.dates().len());
+
+        let truncated =
+            FaultPlan::single(1, FaultKind::TruncateObservations).apply_dataset(&dataset);
+        let last = |d: &ScanDataset| d.records().iter().map(|r| r.date).max().unwrap();
+        assert!(last(&truncated) < last(&dataset));
+
+        let mut corrupted = observations.clone();
+        FaultPlan::single(1, FaultKind::CorruptCertFingerprint).apply_observations(&mut corrupted);
+        assert!(corrupted.iter().any(|o| !world.certs.contains_key(&o.cert)));
+
+        let mut duplicated = observations.clone();
+        FaultPlan::single(1, FaultKind::DuplicateRecords).apply_observations(&mut duplicated);
+        assert!(duplicated.len() > observations.len());
+
+        let gapped = FaultPlan::single(1, FaultKind::PdnsGap).apply_pdns(&world.pdns);
+        assert!(gapped.len() < world.pdns.len());
+    }
+
+    #[test]
+    fn different_seeds_damage_differently() {
+        let world = World::build(SimConfig::small(9));
+        let a = FaultPlan::single(1, FaultKind::DropScanWeek).apply_dataset(&world.scan());
+        let b = FaultPlan::single(2, FaultKind::DropScanWeek).apply_dataset(&world.scan());
+        assert_ne!(a.dates(), b.dates());
+    }
+}

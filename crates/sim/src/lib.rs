@@ -40,6 +40,7 @@ pub mod archetypes;
 pub mod attacker;
 pub mod config;
 pub mod farm;
+pub mod faults;
 pub mod geography;
 pub mod observe;
 pub mod orgs;
@@ -48,6 +49,7 @@ pub mod world;
 
 pub use config::SimConfig;
 pub use farm::ServerFarm;
+pub use faults::{FaultKind, FaultPlan, FaultedInputs};
 pub use geography::{Geography, Provider, ProviderId, ProviderKind};
 pub use orgs::{Organization, Sector};
 pub use world::{DomainMeta, GroundTruth, HijackKind, HijackRecord, TargetRecord, World};

@@ -1,7 +1,20 @@
 //! Property-based tests for the foundational value types.
 
 use proptest::prelude::*;
-use retrodns_types::{time::add_months, Asn, Day, DomainName, Ipv4Addr, Ipv4Prefix, StudyWindow};
+use retrodns_types::{
+    time::add_months, Asn, Day, DomainInterner, DomainName, Ipv4Addr, Ipv4Prefix, StudyWindow,
+};
+
+/// Strategy: a plausible synthetic domain name.
+fn arb_domain() -> impl Strategy<Value = DomainName> {
+    (
+        prop::collection::vec("[a-z][a-z0-9]{0,8}", 1..4),
+        "[a-z]{2,3}",
+    )
+        .prop_map(|(labels, tld)| {
+            DomainName::new(&format!("{}.{}", labels.join("."), tld)).unwrap()
+        })
+}
 
 proptest! {
     /// Day ↔ (y, m, d) ↔ string round-trips for every representable day in
@@ -112,5 +125,63 @@ proptest! {
         prop_assert!(wild.san_matches(&one));
         prop_assert!(!wild.san_matches(&two));
         prop_assert!(!wild.san_matches(&bare));
+    }
+
+    /// Interning then resolving returns the original name, and `lookup`
+    /// agrees with `intern`, for arbitrary (duplicate-laden) inputs.
+    #[test]
+    fn interner_intern_resolve_round_trip(
+        domains in prop::collection::vec(arb_domain(), 1..60),
+    ) {
+        let mut interner = DomainInterner::new();
+        for d in &domains {
+            let id = interner.intern(d);
+            prop_assert_eq!(interner.resolve(id), d);
+            prop_assert_eq!(interner.lookup(d), Some(id));
+        }
+    }
+
+    /// Re-interning any permutation-with-repeats of already-seen names
+    /// never mints a new id: ids are stable and the table size equals the
+    /// number of distinct names.
+    #[test]
+    fn interner_ids_stable_under_reinterning(
+        domains in prop::collection::vec(arb_domain(), 1..60),
+        revisit in prop::collection::vec(0usize..4096, 1..120),
+    ) {
+        let mut interner = DomainInterner::new();
+        let first_ids: Vec<_> = domains.iter().map(|d| interner.intern(d)).collect();
+        let len_after_first = interner.len();
+        for idx in revisit {
+            let pick = idx % domains.len();
+            prop_assert_eq!(interner.intern(&domains[pick]), first_ids[pick]);
+        }
+        prop_assert_eq!(interner.len(), len_after_first);
+        let distinct: std::collections::BTreeSet<_> =
+            domains.iter().map(|d| d.as_str().to_string()).collect();
+        prop_assert_eq!(interner.len(), distinct.len());
+    }
+
+    /// Ids are dense: every id indexes inside `[0, len)`, assigned in
+    /// first-seen order, and `iter` yields them densely in order.
+    #[test]
+    fn interner_ids_are_dense_indices(
+        domains in prop::collection::vec(arb_domain(), 1..60),
+    ) {
+        let mut interner = DomainInterner::new();
+        let mut next_fresh = 0u32;
+        for d in &domains {
+            let before = interner.len();
+            let id = interner.intern(d);
+            prop_assert!(id.index() < interner.len());
+            if interner.len() > before {
+                // Fresh name: gets exactly the next dense id.
+                prop_assert_eq!(id.0, next_fresh);
+                next_fresh += 1;
+            }
+        }
+        let ids: Vec<_> = interner.iter().map(|(id, _)| id.0).collect();
+        let expected: Vec<_> = (0..interner.len() as u32).collect();
+        prop_assert_eq!(ids, expected);
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! retrodns simulate --out DIR [--seed N] [--domains N]   write a world's data sets as JSON
-//! retrodns analyze  --data DIR [--dnssec-signal] [--score]   run the pipeline over them
+//! retrodns analyze  --data DIR [--dnssec-signal] [--score]
+//!                   [--checkpoint-dir DIR [--resume]]    run the pipeline over them
 //! retrodns info     --data DIR                            summarize the data sets
 //! ```
 //!
@@ -119,7 +120,20 @@ fn load_data(dir: &Path) -> Result<LoadedData, String> {
     })
 }
 
-fn analyze(dir: &Path, dnssec_signal: bool, score: bool) -> Result<(), String> {
+/// Checkpointing options for `analyze`.
+struct CheckpointOpts {
+    /// Stage-snapshot directory (`--checkpoint-dir`).
+    dir: PathBuf,
+    /// Reuse a valid checkpoint chain instead of clearing it (`--resume`).
+    resume: bool,
+}
+
+fn analyze(
+    dir: &Path,
+    dnssec_signal: bool,
+    score: bool,
+    ckpt: Option<CheckpointOpts>,
+) -> Result<(), String> {
     let data = load_data(dir)?;
     eprintln!(
         "loaded: {} scan records, {} certs, {} pDNS tuples, {} CT records",
@@ -138,14 +152,36 @@ fn analyze(dir: &Path, dnssec_signal: bool, score: bool) -> Result<(), String> {
         },
         ..PipelineConfig::default()
     });
-    let report = pipeline.run(&AnalystInputs {
+    let inputs = AnalystInputs {
         observations: &observations,
         asdb: &data.asdb,
         certs: &data.certs,
         pdns: &data.pdns,
         crtsh: &data.crtsh,
         dnssec: data.dnssec.as_ref(),
-    });
+    };
+    let report = match &ckpt {
+        None => pipeline.run(&inputs),
+        Some(opts) => {
+            let mut store = retrodns::core::CheckpointStore::open(&opts.dir)
+                .map_err(|e| format!("{}: {e}", opts.dir.display()))?;
+            if !opts.resume {
+                store.clear().map_err(|e| e.to_string())?;
+            }
+            let report = pipeline.run_resumable(&inputs, &mut store);
+            eprintln!(
+                "checkpoints in {}: resumed {:?}, computed {:?}",
+                opts.dir.display(),
+                store.resumed,
+                store.computed
+            );
+            // Archive the report beside the stage snapshots: the artifact
+            // a resumed run must reproduce byte-for-byte.
+            let json = serde_json::to_string_pretty(&report).expect("report serializes");
+            std::fs::write(opts.dir.join("report.json"), json).map_err(|e| e.to_string())?;
+            report
+        }
+    };
 
     println!("stage timings:");
     print!("{}", report.timings.summary());
@@ -228,7 +264,7 @@ fn info(dir: &Path) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  retrodns simulate --out DIR [--seed N] [--domains N]\n  retrodns analyze --data DIR [--dnssec-signal] [--score]\n  retrodns info --data DIR"
+    "usage:\n  retrodns simulate --out DIR [--seed N] [--domains N]\n  retrodns analyze --data DIR [--dnssec-signal] [--score] [--checkpoint-dir DIR [--resume]]\n  retrodns info --data DIR"
 }
 
 fn main() -> ExitCode {
@@ -243,11 +279,15 @@ fn main() -> ExitCode {
     let mut domains: usize = 20_000;
     let mut dnssec_signal = false;
     let mut score = false;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut resume = false;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out = it.next().map(PathBuf::from),
             "--data" => data = it.next().map(PathBuf::from),
+            "--checkpoint-dir" => checkpoint_dir = it.next().map(PathBuf::from),
+            "--resume" => resume = true,
             "--seed" => {
                 seed = match it.next().and_then(|v| v.parse().ok()) {
                     Some(v) => v,
@@ -280,7 +320,14 @@ fn main() -> ExitCode {
             None => Err("simulate requires --out DIR".into()),
         },
         "analyze" => match data {
-            Some(dir) => analyze(&dir, dnssec_signal, score),
+            Some(dir) => {
+                if resume && checkpoint_dir.is_none() {
+                    Err("--resume requires --checkpoint-dir DIR".into())
+                } else {
+                    let ckpt = checkpoint_dir.map(|dir| CheckpointOpts { dir, resume });
+                    analyze(&dir, dnssec_signal, score, ckpt)
+                }
+            }
             None => Err("analyze requires --data DIR".into()),
         },
         "info" => match data {

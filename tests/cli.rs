@@ -1,10 +1,30 @@
 //! End-to-end test of the `retrodns` CLI: simulate → info → analyze
-//! --score over a temp directory.
+//! --score over a temp directory, plus the checkpoint/resume flags and
+//! the `experiments` harness's machine-readable outputs.
 
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_retrodns"))
+}
+
+/// The `experiments` binary (package `retrodns-bench`) lands in the same
+/// target directory as `retrodns`; `CARGO_BIN_EXE_*` only covers bins of
+/// the package under test, so locate it relative to ours. Workspace-wide
+/// `cargo test` builds every member's bins before running any test.
+fn experiments_exe() -> PathBuf {
+    Path::new(env!("CARGO_BIN_EXE_retrodns"))
+        .parent()
+        .expect("bin dir")
+        .join(format!("experiments{}", std::env::consts::EXE_SUFFIX))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("retrodns-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
 }
 
 #[test]
@@ -62,6 +82,163 @@ fn simulate_analyze_roundtrip() {
     assert!(stdout.contains("scoring vs ground truth"), "{stdout}");
     assert!(stdout.contains("hijacked: precision"), "{stdout}");
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analyze_checkpoint_resume_is_byte_identical() {
+    let base = temp_dir("ckpt");
+    let data = base.join("data");
+    let ckpt = base.join("checkpoints");
+
+    let out = bin()
+        .args(["simulate", "--out"])
+        .arg(&data)
+        .args(["--seed", "7", "--domains", "1500"])
+        .output()
+        .expect("run simulate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Full checkpointed run: every stage computed, snapshots + report
+    // archived in the checkpoint directory.
+    let out = bin()
+        .args(["analyze", "--data"])
+        .arg(&data)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt)
+        .output()
+        .expect("run analyze");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for stage in ["maps", "classify", "shortlist", "inspect"] {
+        assert!(
+            ckpt.join(format!("stage_{stage}.json")).exists(),
+            "stage_{stage}.json missing"
+        );
+        assert!(
+            ckpt.join(format!("stage_{stage}.meta.json")).exists(),
+            "stage_{stage}.meta.json missing"
+        );
+    }
+    let full_report = std::fs::read(ckpt.join("report.json")).expect("report.json");
+
+    // Emulate a crash after the classify stage: the last two stage
+    // snapshots never made it to disk.
+    for stage in ["shortlist", "inspect"] {
+        std::fs::remove_file(ckpt.join(format!("stage_{stage}.json"))).unwrap();
+        std::fs::remove_file(ckpt.join(format!("stage_{stage}.meta.json"))).unwrap();
+    }
+
+    let out = bin()
+        .args(["analyze", "--data"])
+        .arg(&data)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt)
+        .arg("--resume")
+        .output()
+        .expect("run analyze --resume");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("resumed [\"maps\", \"classify\"]"),
+        "expected resume from the checkpoint chain: {stderr}"
+    );
+    let resumed_report = std::fs::read(ckpt.join("report.json")).expect("report.json");
+    assert!(
+        full_report == resumed_report,
+        "resumed report is not byte-identical to the uninterrupted run"
+    );
+
+    // Resuming an intact chain loads all four stages and still
+    // reproduces the same report.
+    let out = bin()
+        .args(["analyze", "--data"])
+        .arg(&data)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt)
+        .arg("--resume")
+        .output()
+        .expect("run analyze --resume again");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("resumed [\"maps\", \"classify\", \"shortlist\", \"inspect\"]"),
+        "expected a fully resumed chain: {stderr}"
+    );
+    let resumed_again = std::fs::read(ckpt.join("report.json")).expect("report.json");
+    assert!(full_report == resumed_again);
+
+    // --resume without --checkpoint-dir is a usage error.
+    let out = bin()
+        .args(["analyze", "--data"])
+        .arg(&data)
+        .arg("--resume")
+        .output()
+        .expect("run analyze --resume without dir");
+    assert!(!out.status.success());
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn experiments_bench_emits_schema_valid_json() {
+    let exe = experiments_exe();
+    assert!(
+        exe.exists(),
+        "experiments binary not built at {} — run via workspace `cargo test`",
+        exe.display()
+    );
+    let dir = temp_dir("bench");
+    let out = Command::new(&exe)
+        .current_dir(&dir)
+        .args(["--scale", "quick", "--seed", "5", "--workers", "2", "bench"])
+        .output()
+        .expect("run experiments bench");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(dir.join("BENCH_pipeline.json")).expect("bench json");
+    let v: serde::Value = serde::json::from_str(&json).expect("valid JSON");
+    for key in ["workers", "domains", "observations", "reps"] {
+        assert!(
+            matches!(v.get(key), Some(serde::Value::Num(_))),
+            "{key} missing or not a number"
+        );
+    }
+    let stages = v
+        .get("stages")
+        .and_then(|s| s.as_array())
+        .expect("stages array");
+    assert!(!stages.is_empty(), "no stages benchmarked");
+    for stage in stages {
+        assert!(matches!(stage.get("stage"), Some(serde::Value::Str(_))));
+        for key in [
+            "items",
+            "serial_ms",
+            "parallel_ms",
+            "serial_ops_per_sec",
+            "parallel_ops_per_sec",
+            "speedup",
+        ] {
+            assert!(
+                matches!(stage.get(key), Some(serde::Value::Num(_))),
+                "stage field {key} missing or not a number"
+            );
+        }
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

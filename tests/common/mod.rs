@@ -1,0 +1,52 @@
+//! Shared world-building and pipeline helpers for the integration tests.
+//!
+//! Each integration-test binary compiles this module separately and uses
+//! only a subset of the helpers, hence the crate-level `dead_code` allow.
+
+#![allow(dead_code)]
+
+use retrodns::core::pipeline::{AnalystInputs, Pipeline, PipelineConfig, Report};
+use retrodns::scan::DomainObservation;
+use retrodns::sim::{SimConfig, World};
+
+/// A small (`SimConfig::small`) world for the given seed.
+pub fn small_world(seed: u64) -> World {
+    World::build(SimConfig::small(seed))
+}
+
+/// Scan a world and annotate the records into observations.
+pub fn observations_of(world: &World) -> Vec<DomainObservation> {
+    let dataset = world.scan();
+    world.observations(&dataset)
+}
+
+/// A default pipeline configured for the world's study window.
+pub fn pipeline_for(world: &World) -> Pipeline {
+    Pipeline::new(PipelineConfig {
+        window: world.config.window.clone(),
+        ..PipelineConfig::default()
+    })
+}
+
+/// Full analyst inputs over a world's own data sets (DNSSEC included).
+pub fn inputs_for<'a>(
+    world: &'a World,
+    observations: &'a [DomainObservation],
+) -> AnalystInputs<'a> {
+    AnalystInputs {
+        observations,
+        asdb: &world.geo.asdb,
+        certs: &world.certs,
+        pdns: &world.pdns,
+        crtsh: &world.crtsh,
+        dnssec: Some(&world.dnssec),
+    }
+}
+
+/// Build a small world for `seed`, scan it, and run the full pipeline.
+pub fn run_world(seed: u64) -> (World, Report) {
+    let world = small_world(seed);
+    let observations = observations_of(&world);
+    let report = pipeline_for(&world).run(&inputs_for(&world, &observations));
+    (world, report)
+}

@@ -1,29 +1,12 @@
 //! End-to-end integration: simulated world → scans → five-stage pipeline
 //! → scored detections.
 
-use retrodns::core::pipeline::{AnalystInputs, Pipeline, PipelineConfig};
+mod common;
+
+use common::{inputs_for, pipeline_for, run_world};
 use retrodns::core::score_detection;
 use retrodns::sim::{HijackKind, SimConfig, World};
 use std::collections::BTreeSet;
-
-fn run_world(seed: u64) -> (World, retrodns::core::pipeline::Report) {
-    let world = World::build(SimConfig::small(seed));
-    let dataset = world.scan();
-    let observations = world.observations(&dataset);
-    let pipeline = Pipeline::new(PipelineConfig {
-        window: world.config.window.clone(),
-        ..PipelineConfig::default()
-    });
-    let report = pipeline.run(&AnalystInputs {
-        observations: &observations,
-        asdb: &world.geo.asdb,
-        certs: &world.certs,
-        pdns: &world.pdns,
-        crtsh: &world.crtsh,
-        dnssec: Some(&world.dnssec),
-    });
-    (world, report)
-}
 
 #[test]
 fn hijack_detection_is_precise_across_seeds() {
@@ -122,20 +105,8 @@ fn unattacked_world_produces_no_hijack_verdicts() {
     config.campaigns.clear();
     let world = World::build(config);
     assert!(world.ground_truth.hijacked.is_empty());
-    let dataset = world.scan();
-    let observations = world.observations(&dataset);
-    let pipeline = Pipeline::new(PipelineConfig {
-        window: world.config.window.clone(),
-        ..PipelineConfig::default()
-    });
-    let report = pipeline.run(&AnalystInputs {
-        observations: &observations,
-        asdb: &world.geo.asdb,
-        certs: &world.certs,
-        pdns: &world.pdns,
-        crtsh: &world.crtsh,
-        dnssec: Some(&world.dnssec),
-    });
+    let observations = common::observations_of(&world);
+    let report = pipeline_for(&world).run(&inputs_for(&world, &observations));
     assert!(
         report.hijacked.is_empty(),
         "hijack verdicts in a benign world: {:?}",

@@ -2,26 +2,22 @@
 //! sources are missing, truncated or lossy — never inventing hijack
 //! verdicts it cannot corroborate.
 
+mod common;
+
+use common::{observations_of, pipeline_for, small_world};
 use retrodns::cert::CrtShIndex;
-use retrodns::core::pipeline::{AnalystInputs, Pipeline, PipelineConfig};
+use retrodns::core::pipeline::AnalystInputs;
 use retrodns::dns::PassiveDns;
 use retrodns::scan::ScanDataset;
-use retrodns::sim::{SimConfig, World};
-
-fn pipeline_for(world: &World) -> Pipeline {
-    Pipeline::new(PipelineConfig {
-        window: world.config.window.clone(),
-        ..PipelineConfig::default()
-    })
-}
+use retrodns::sim::SimConfig;
+use retrodns::sim::World;
 
 #[test]
 fn no_pdns_no_ct_means_no_hijack_verdicts() {
     // Without corroborating sources, suspicious transients must stay
     // inconclusive — the methodology's precision rests on this.
-    let world = World::build(SimConfig::small(101));
-    let dataset = world.scan();
-    let observations = world.observations(&dataset);
+    let world = small_world(101);
+    let observations = observations_of(&world);
     let empty_pdns = PassiveDns::new();
     let empty_crtsh = CrtShIndex::default();
     let report = pipeline_for(&world).run(&AnalystInputs {
@@ -43,7 +39,7 @@ fn no_pdns_no_ct_means_no_hijack_verdicts() {
 
 #[test]
 fn empty_scan_dataset_is_handled() {
-    let world = World::build(SimConfig::small(102));
+    let world = small_world(102);
     let report = pipeline_for(&world).run(&AnalystInputs {
         observations: &[],
         asdb: &world.geo.asdb,
@@ -61,7 +57,7 @@ fn empty_scan_dataset_is_handled() {
 fn truncated_scan_history_degrades_gracefully() {
     // Only the first year of scans: attacks after that are simply not in
     // the data; attacks inside it may still be found, and nothing crashes.
-    let world = World::build(SimConfig::small(103));
+    let world = small_world(103);
     let dataset = world.scan();
     let cutoff = retrodns::types::Day(365);
     let truncated = ScanDataset::from_records(
@@ -95,8 +91,7 @@ fn extreme_scan_loss_reduces_recall_not_precision() {
     let mut config = SimConfig::small(104);
     config.scan_miss_rate = 0.6; // 60% probe loss
     let world = World::build(config);
-    let dataset = world.scan();
-    let observations = world.observations(&dataset);
+    let observations = observations_of(&world);
     let report = pipeline_for(&world).run(&AnalystInputs {
         observations: &observations,
         asdb: &world.geo.asdb,
@@ -119,10 +114,11 @@ fn missing_cert_contents_are_tolerated() {
     // The analyst's cert store is partial (e.g. scans that never captured
     // full chains): shortlisting loses sensitivity info but must not
     // panic or hallucinate.
-    let world = World::build(SimConfig::small(105));
-    let dataset = world.scan();
-    let observations = world.observations(&dataset);
+    let world = small_world(105);
+    let observations = observations_of(&world);
     let empty_certs = std::collections::HashMap::new();
+    // With no cert contents at all, validation quarantines every record
+    // (nothing can be corroborated) rather than analyzing blind.
     let report = pipeline_for(&world).run(&AnalystInputs {
         observations: &observations,
         asdb: &world.geo.asdb,
@@ -133,5 +129,51 @@ fn missing_cert_contents_are_tolerated() {
     });
     for h in &report.hijacked {
         assert!(world.ground_truth.is_attacked(&h.domain));
+    }
+    assert!(
+        report.funnel.quarantined.contains_key("unknown-cert"),
+        "quarantine must account for the uncorroboratable records: {:?}",
+        report.funnel.quarantined
+    );
+}
+
+#[test]
+fn faulted_inputs_are_quarantined_and_counted() {
+    // Deterministically damaged inputs: corrupt fingerprints and replayed
+    // duplicates are rejected *and accounted for* in the report funnel,
+    // while precision on the surviving data holds.
+    use retrodns::sim::{FaultKind, FaultPlan};
+    let world = small_world(106);
+    let plan = FaultPlan {
+        seed: 9,
+        faults: vec![
+            FaultKind::CorruptCertFingerprint,
+            FaultKind::DuplicateRecords,
+        ],
+    };
+    let damaged = plan.apply_world(&world);
+    let report = pipeline_for(&world).run(&AnalystInputs {
+        observations: &damaged.observations,
+        asdb: &world.geo.asdb,
+        certs: &world.certs,
+        pdns: &damaged.pdns,
+        crtsh: &world.crtsh,
+        dnssec: Some(&world.dnssec),
+    });
+    let q = &report.funnel.quarantined;
+    assert!(
+        q.get("unknown-cert").copied().unwrap_or(0) > 0,
+        "corrupt fingerprints not quarantined: {q:?}"
+    );
+    assert!(
+        q.get("duplicate").copied().unwrap_or(0) > 0,
+        "duplicate records not quarantined: {q:?}"
+    );
+    for h in &report.hijacked {
+        assert!(
+            world.ground_truth.is_attacked(&h.domain),
+            "false positive under fault injection: {}",
+            h.domain
+        );
     }
 }

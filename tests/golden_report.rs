@@ -1,0 +1,42 @@
+//! Golden-report snapshot: the canonical pipeline output for
+//! `SimConfig::small(101)` is committed under `tests/golden/` and the
+//! current pipeline must reproduce it byte for byte. This pins the
+//! entire observable behavior of the five-stage pipeline — verdicts,
+//! funnel accounting, quarantine histogram, field ordering — against
+//! unintentional drift.
+//!
+//! When a pipeline change *intentionally* alters the report, regenerate
+//! the snapshot and commit it alongside the change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_report
+//! ```
+
+mod common;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/report_small_101.json"
+);
+
+#[test]
+fn report_matches_golden_snapshot() {
+    let (_, report) = common::run_world(101);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &json).expect("write golden snapshot");
+        eprintln!("regenerated {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden snapshot missing; create it with UPDATE_GOLDEN=1 cargo test --test golden_report",
+    );
+    assert!(
+        json == golden,
+        "report JSON diverged from the golden snapshot ({} vs {} bytes); \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1 \
+         cargo test --test golden_report",
+        json.len(),
+        golden.len()
+    );
+}

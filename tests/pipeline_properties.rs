@@ -1,19 +1,19 @@
 //! Property-style integration tests over randomized worlds: invariants
 //! that must hold for any seed.
 
+mod common;
+
+use common::{inputs_for, observations_of, pipeline_for, small_world};
 use retrodns::core::classify::{classify, ClassifyConfig};
 use retrodns::core::map::MapBuilder;
-use retrodns::core::pipeline::{AnalystInputs, Pipeline, PipelineConfig};
-use retrodns::sim::{SimConfig, World};
 use std::collections::BTreeSet;
 
 /// Deployment maps partition the observations: every routed observation
 /// lands in exactly one deployment of exactly one map.
 #[test]
 fn maps_partition_observations() {
-    let world = World::build(SimConfig::small(77));
-    let dataset = world.scan();
-    let observations = world.observations(&dataset);
+    let world = small_world(77);
+    let observations = observations_of(&world);
     let builder = MapBuilder::new(world.config.window.clone());
     let maps = builder.build(&observations);
 
@@ -65,9 +65,8 @@ fn maps_partition_observations() {
 /// pattern, and re-classification agrees.
 #[test]
 fn classification_is_total_and_stable() {
-    let world = World::build(SimConfig::small(78));
-    let dataset = world.scan();
-    let observations = world.observations(&dataset);
+    let world = small_world(78);
+    let observations = observations_of(&world);
     let builder = MapBuilder::new(world.config.window.clone());
     let maps = builder.build(&observations);
     let cfg = ClassifyConfig::default();
@@ -85,9 +84,8 @@ fn classification_is_total_and_stable() {
 /// Serial and parallel map building agree on a full world's observations.
 #[test]
 fn parallel_map_building_agrees_with_serial() {
-    let world = World::build(SimConfig::small(79));
-    let dataset = world.scan();
-    let observations = world.observations(&dataset);
+    let world = small_world(79);
+    let observations = observations_of(&world);
     let builder = MapBuilder::new(world.config.window.clone());
     let serial = builder.build(&observations);
     let parallel = builder.build_parallel(&observations, 4);
@@ -97,9 +95,8 @@ fn parallel_map_building_agrees_with_serial() {
 /// Tightening the transient threshold can only shrink the transient set.
 #[test]
 fn transient_threshold_is_monotone() {
-    let world = World::build(SimConfig::small(80));
-    let dataset = world.scan();
-    let observations = world.observations(&dataset);
+    let world = small_world(80);
+    let observations = observations_of(&world);
     let builder = MapBuilder::new(world.config.window.clone());
     let maps = builder.build(&observations);
     let count_at = |days: u32| {
@@ -120,21 +117,9 @@ fn transient_threshold_is_monotone() {
 /// rogue nameserver, and at least one corroborating source.
 #[test]
 fn hijack_verdicts_carry_evidence() {
-    let world = World::build(SimConfig::small(81));
-    let dataset = world.scan();
-    let observations = world.observations(&dataset);
-    let pipeline = Pipeline::new(PipelineConfig {
-        window: world.config.window.clone(),
-        ..PipelineConfig::default()
-    });
-    let report = pipeline.run(&AnalystInputs {
-        observations: &observations,
-        asdb: &world.geo.asdb,
-        certs: &world.certs,
-        pdns: &world.pdns,
-        crtsh: &world.crtsh,
-        dnssec: Some(&world.dnssec),
-    });
+    let world = small_world(81);
+    let observations = observations_of(&world);
+    let report = pipeline_for(&world).run(&inputs_for(&world, &observations));
     for h in &report.hijacked {
         assert!(
             !h.attacker_ips.is_empty() || !h.attacker_ns.is_empty(),
