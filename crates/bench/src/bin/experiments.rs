@@ -109,15 +109,35 @@ fn main() -> ExitCode {
             continue;
         }
         if id == "bench" {
-            let report = retrodns_bench::bench_pipeline(&bundle, workers, 3);
-            let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+            let mut report = retrodns_bench::bench_pipeline(&bundle, workers, 3);
             let path = "BENCH_pipeline.json";
+            // Carry the trajectory forward: load the previous report (if
+            // any), keep its history, and append this run as a new point.
+            if let Ok(prev) = std::fs::read_to_string(path) {
+                if let Ok(prev) = serde_json::from_str::<retrodns_bench::PipelineBenchReport>(&prev)
+                {
+                    report.trajectory = prev.trajectory;
+                }
+            }
+            let e2e = report.stages.iter().find(|s| s.stage == "end_to_end");
+            report.trajectory.push(retrodns_bench::TrajectoryPoint {
+                workers: report.workers,
+                observations: report.observations,
+                e2e_serial_ms: e2e.map_or(0.0, |s| s.serial_ms),
+                e2e_parallel_ms: e2e.map_or(0.0, |s| s.parallel_ms),
+                metrics_overhead_pct: report.metrics_overhead_pct,
+            });
+            let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
             if let Err(e) = std::fs::write(path, &json) {
                 eprintln!("failed to write {path}: {e}");
                 return ExitCode::FAILURE;
             }
             println!("\n{}", report.summary());
-            eprintln!("[bench wrote {path}; took {:.1?}]", t.elapsed());
+            eprintln!(
+                "[bench wrote {path} (trajectory now {} points); took {:.1?}]",
+                report.trajectory.len(),
+                t.elapsed()
+            );
             continue;
         }
         let out = run_experiment(id, &bundle).expect("validated id");

@@ -11,9 +11,10 @@
 //! methodology's core conservativeness property.
 
 use retrodns_cert::CrtShIndex;
+use retrodns_core::metrics::MetricsRegistry;
 use retrodns_core::pipeline::{AnalystInputs, Pipeline, PipelineConfig};
 use retrodns_dns::PassiveDns;
-use retrodns_sim::{FaultKind, FaultPlan, SimConfig, World};
+use retrodns_sim::{FaultEffects, FaultKind, FaultPlan, SimConfig, World};
 use serde::{Deserialize, Serialize};
 
 /// One (seed, fault) cell of the survival matrix.
@@ -23,6 +24,10 @@ pub struct FaultCell {
     pub seed: u64,
     /// Fault label ([`FaultKind::label`], or `no-corroboration`).
     pub fault: String,
+    /// Records the fault plan actually damaged (dropped, truncated,
+    /// corrupted, duplicated, or lost pDNS tuples).
+    #[serde(default)]
+    pub injected: usize,
     /// Records rejected by input validation, summed over reasons.
     pub quarantined: usize,
     /// Hijack verdicts emitted.
@@ -56,13 +61,14 @@ impl FaultMatrix {
     pub fn summary(&self) -> String {
         let mut out = String::from(
             "fault-injection survival matrix\n\
-             seed        fault                     quarantined  hijacked  tp  fp  verdict\n",
+             seed        fault                     injected  quarantined  hijacked  tp  fp  verdict\n",
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "{:<10}  {:<24}  {:>11}  {:>8}  {:>2}  {:>2}  {}\n",
+                "{:<10}  {:<24}  {:>8}  {:>11}  {:>8}  {:>2}  {:>2}  {}\n",
                 c.seed,
                 c.fault,
+                c.injected,
                 c.quarantined,
                 c.hijacked,
                 c.true_positives,
@@ -79,13 +85,19 @@ impl FaultMatrix {
     }
 }
 
+/// The damaged corroboration sources one cell runs against.
+struct CellInputs<'a> {
+    observations: &'a [retrodns_scan::DomainObservation],
+    pdns: &'a PassiveDns,
+    crtsh: &'a CrtShIndex,
+}
+
 fn run_cell(
     world: &World,
     seed: u64,
     fault: &str,
-    observations: &[retrodns_scan::DomainObservation],
-    pdns: &PassiveDns,
-    crtsh: &CrtShIndex,
+    effects: FaultEffects,
+    cell: CellInputs<'_>,
     workers: usize,
 ) -> FaultCell {
     let pipeline = Pipeline::new(PipelineConfig {
@@ -93,14 +105,36 @@ fn run_cell(
         workers,
         ..PipelineConfig::default()
     });
-    let report = pipeline.run(&AnalystInputs {
-        observations,
-        asdb: &world.geo.asdb,
-        certs: &world.certs,
-        pdns,
-        crtsh,
-        dnssec: Some(&world.dnssec),
-    });
+    // Fault-plan applications are a metrics source like any other stage:
+    // the per-kind damage counts land under `faults.*` next to the
+    // pipeline's own counters, so one snapshot holds both the injected
+    // damage and the funnel's reaction to it.
+    let mut metrics = MetricsRegistry::new();
+    for (label, n) in effects.by_label() {
+        if n > 0 {
+            metrics.count(&format!("faults.{label}"), n as u64);
+        }
+    }
+    let report = pipeline.run_metered(
+        &AnalystInputs {
+            observations: cell.observations,
+            asdb: &world.geo.asdb,
+            certs: &world.certs,
+            pdns: cell.pdns,
+            crtsh: cell.crtsh,
+            dnssec: Some(&world.dnssec),
+        },
+        &mut metrics,
+    );
+    let quarantined: usize = report.funnel.quarantined.values().sum();
+    let metered: u64 = metrics
+        .snapshot()
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("funnel.quarantined."))
+        .map(|(_, v)| v)
+        .sum();
+    debug_assert_eq!(metered as usize, quarantined, "metrics/funnel drift");
     let true_positives = report
         .hijacked
         .iter()
@@ -110,7 +144,8 @@ fn run_cell(
     FaultCell {
         seed,
         fault: fault.to_string(),
-        quarantined: report.funnel.quarantined.values().sum(),
+        injected: effects.total(),
+        quarantined,
         hijacked: report.hijacked.len(),
         true_positives,
         false_positives,
@@ -136,9 +171,12 @@ pub fn run_fault_campaign(seeds: &[u64], workers: usize) -> FaultMatrix {
                 &world,
                 seed,
                 kind.label(),
-                &damaged.observations,
-                &damaged.pdns,
-                &world.crtsh,
+                damaged.effects,
+                CellInputs {
+                    observations: &damaged.observations,
+                    pdns: &damaged.pdns,
+                    crtsh: &world.crtsh,
+                },
                 workers,
             ));
         }
@@ -152,9 +190,12 @@ pub fn run_fault_campaign(seeds: &[u64], workers: usize) -> FaultMatrix {
             &world,
             seed,
             "no-corroboration",
-            &observations,
-            &empty_pdns,
-            &empty_crtsh,
+            FaultEffects::default(),
+            CellInputs {
+                observations: &observations,
+                pdns: &empty_pdns,
+                crtsh: &empty_crtsh,
+            },
             workers,
         );
         cell.survived = cell.hijacked == 0;

@@ -14,4 +14,4 @@ pub mod perf;
 
 pub use bundle::{Bundle, Scale};
 pub use faults::{run_fault_campaign, FaultCell, FaultMatrix};
-pub use perf::{bench_pipeline, PipelineBenchReport, StageBench};
+pub use perf::{bench_pipeline, PipelineBenchReport, StageBench, TrajectoryPoint};

@@ -9,6 +9,7 @@
 
 use crate::Bundle;
 use retrodns_core::map::MapBuilder;
+use retrodns_core::metrics::MetricsRegistry;
 use retrodns_core::pipeline::{Pipeline, PipelineConfig};
 use retrodns_core::shortlist::{shortlist, ShortlistConfig};
 use serde::{Deserialize, Serialize};
@@ -59,6 +60,23 @@ impl StageBench {
     }
 }
 
+/// One appended point of the bench trajectory: the end-to-end numbers of
+/// a single `experiments bench` run, kept across runs so perf drift is
+/// visible in `BENCH_pipeline.json` itself.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Worker-pool size of the run.
+    pub workers: usize,
+    /// Scan observations fed to the pipeline.
+    pub observations: usize,
+    /// Best-of-N serial end-to-end wall milliseconds.
+    pub e2e_serial_ms: f64,
+    /// Best-of-N parallel end-to-end wall milliseconds.
+    pub e2e_parallel_ms: f64,
+    /// Metrics-collection overhead of the run, percent.
+    pub metrics_overhead_pct: f64,
+}
+
 /// The full pipeline perf report emitted as `BENCH_pipeline.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineBenchReport {
@@ -72,6 +90,19 @@ pub struct PipelineBenchReport {
     pub reps: usize,
     /// Per-stage measurements in pipeline order.
     pub stages: Vec<StageBench>,
+    /// Best-of-N parallel end-to-end wall milliseconds with metrics
+    /// collection enabled ([`Pipeline::run_metered`]).
+    #[serde(default)]
+    pub metered_ms: f64,
+    /// Relative cost of metrics collection on the parallel end-to-end
+    /// run, percent: `(metered - plain) / plain × 100`. Budgeted at
+    /// under 5% (`DESIGN.md` §8).
+    #[serde(default)]
+    pub metrics_overhead_pct: f64,
+    /// End-to-end history across `experiments bench` runs; each run
+    /// appends one [`TrajectoryPoint`].
+    #[serde(default)]
+    pub trajectory: Vec<TrajectoryPoint>,
 }
 
 impl PipelineBenchReport {
@@ -101,6 +132,11 @@ impl PipelineBenchReport {
                 s.speedup
             );
         }
+        let _ = writeln!(
+            out,
+            "metrics overhead: {:.2} ms metered vs plain parallel e2e ({:+.1}%)",
+            self.metered_ms, self.metrics_overhead_pct
+        );
         out
     }
 }
@@ -156,12 +192,24 @@ pub fn bench_pipeline(bundle: &Bundle, workers: usize, reps: usize) -> PipelineB
 
     let e2e_serial = time_ms(reps, || serial.run(&inputs));
     let e2e_parallel = time_ms(reps, || parallel.run(&inputs));
+    let metered_ms = time_ms(reps, || {
+        let mut metrics = MetricsRegistry::new();
+        parallel.run_metered(&inputs, &mut metrics)
+    });
+    let metrics_overhead_pct = if e2e_parallel > 0.0 {
+        (metered_ms - e2e_parallel) / e2e_parallel * 100.0
+    } else {
+        0.0
+    };
 
     PipelineBenchReport {
         workers,
         domains: bundle.world.config.n_domains,
         observations: observations.len(),
         reps: reps.max(1),
+        metered_ms,
+        metrics_overhead_pct,
+        trajectory: Vec::new(),
         stages: vec![
             StageBench::new("map_build", observations.len(), map_serial, map_parallel),
             StageBench::new("classify", maps.len(), classify_serial, classify_parallel),
@@ -194,10 +242,27 @@ mod tests {
             "inspect",
             "end_to_end",
             "ops_per_sec",
+            "metered_ms",
+            "metrics_overhead_pct",
+            "trajectory",
         ] {
             assert!(json.contains(key), "json missing {key}: {json}");
         }
         let back: PipelineBenchReport = serde_json::from_str(&json).expect("round-trips");
         assert_eq!(back.stages.len(), 4);
+        assert!(back.metered_ms > 0.0);
+    }
+
+    /// Reports written before the metrics fields existed still load (the
+    /// trajectory append path reads the previous file).
+    #[test]
+    fn legacy_report_json_still_deserializes() {
+        let legacy = r#"{
+            "workers": 2, "domains": 10, "observations": 100, "reps": 1,
+            "stages": []
+        }"#;
+        let back: PipelineBenchReport = serde_json::from_str(legacy).expect("legacy loads");
+        assert_eq!(back.metered_ms, 0.0);
+        assert!(back.trajectory.is_empty());
     }
 }

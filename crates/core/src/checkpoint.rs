@@ -116,6 +116,22 @@ pub enum InvalidReason {
     Undeserializable,
 }
 
+impl InvalidReason {
+    /// Stable machine-readable label (metric key suffix).
+    pub fn label(&self) -> &'static str {
+        match self {
+            InvalidReason::Missing => "missing",
+            InvalidReason::BadMeta => "bad-meta",
+            InvalidReason::Version => "version",
+            InvalidReason::WrongStage => "wrong-stage",
+            InvalidReason::ConfigChanged => "config-changed",
+            InvalidReason::InputsChanged => "inputs-changed",
+            InvalidReason::Corrupt => "corrupt",
+            InvalidReason::Undeserializable => "undeserializable",
+        }
+    }
+}
+
 /// A directory of stage checkpoints for one pipeline run.
 #[derive(Debug)]
 pub struct CheckpointStore {

@@ -29,6 +29,7 @@ pub mod checkpoint;
 pub mod classify;
 pub mod inspect;
 pub mod map;
+pub mod metrics;
 pub mod observability;
 pub mod pipeline;
 pub mod pivot;
@@ -42,6 +43,7 @@ pub use checkpoint::{CheckpointStore, Fingerprint};
 pub use classify::{Pattern, StableKind, TransientKind, TransitionKind};
 pub use inspect::{DetectedHijack, DetectedTarget, DetectionType, InspectOutcome};
 pub use map::{Deployment, DeploymentGroup, DeploymentMap, MapBuilder};
+pub use metrics::{CountingAlloc, MetricsRegistry, MetricsShard, MetricsSnapshot};
 pub use observability::{PipelineTimings, StageTiming};
 pub use pipeline::{AnalystInputs, InspectionResults, Pipeline, PipelineConfig, Report};
 pub use score::{score_detection, Score};

@@ -226,14 +226,26 @@ impl MapBuilder {
         observations: &[DomainObservation],
         workers: usize,
     ) -> Vec<DeploymentMap> {
+        self.build_sharded(observations, workers).0
+    }
+
+    /// [`build_parallel`](Self::build_parallel), additionally reporting
+    /// the per-worker shard sizes (observations routed to each worker by
+    /// the domain hash) so callers can meter shard balance.
+    pub fn build_sharded(
+        &self,
+        observations: &[DomainObservation],
+        workers: usize,
+    ) -> (Vec<DeploymentMap>, Vec<usize>) {
         assert!(workers >= 1);
         if workers == 1 {
-            return self.build(observations);
+            return (self.build(observations), vec![observations.len()]);
         }
         let mut shards: Vec<Vec<&DomainObservation>> = vec![Vec::new(); workers];
         for obs in observations {
             shards[hash::shard_of(obs.domain.as_str().as_bytes(), workers)].push(obs);
         }
+        let shard_sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
         let mut out: Vec<DeploymentMap> = Vec::new();
         crossbeam::scope(|scope| {
             let handles: Vec<_> = shards
@@ -246,7 +258,7 @@ impl MapBuilder {
         })
         .expect("crossbeam scope");
         out.sort_by(|a, b| (&a.domain, a.period.id).cmp(&(&b.domain, b.period.id)));
-        out
+        (out, shard_sizes)
     }
 
     /// Link one (domain, period) bucket of groups into deployments.

@@ -112,12 +112,22 @@ pub struct ObservabilityStats {
     pub pdns_visibility_days: Vec<u32>,
     /// Hijacks whose malicious certificate appeared in any scan.
     pub cert_scanned: usize,
-    /// Of those, how many appeared within 8 days of issuance.
+    /// Of those, how many appeared within 8 days of issuance (lag in
+    /// `0..=8`; certs first scanned *before* their recorded issuance
+    /// are excluded and counted in `cert_scan_before_issuance`).
     pub cert_scanned_within_8_days: usize,
-    /// Per-hijack (issuance → first scan) lag in days.
-    pub cert_scan_lag_days: Vec<u32>,
+    /// Certs whose first scan sighting predates their recorded
+    /// issuance day (CT backdating / clock skew) — anomalous, and
+    /// never silently clamped into the within-8-days count.
+    pub cert_scan_before_issuance: usize,
+    /// Per-hijack (issuance → first scan) lag in days, signed:
+    /// negative when the first scan sighting predates issuance.
+    pub cert_scan_lag_days: Vec<i64>,
     /// Histogram of how many scans the malicious cert appeared in
-    /// (index 0 = one scan, 1 = two scans, …; last bucket = more).
+    /// (index 0 = one scan, 1 = two scans, …). The **last** bucket is
+    /// an *overflow* bucket: it counts certs seen in `len()` **or
+    /// more** scans, not exactly `len()` — see
+    /// [`frac_cert_in_at_least_n_scans`](Self::frac_cert_in_at_least_n_scans).
     pub cert_scan_count_histogram: Vec<usize>,
     /// Hijacked domains with zone-file access.
     pub zone_accessible: usize,
@@ -143,12 +153,27 @@ impl ObservabilityStats {
     }
 
     /// Fraction of scanned malicious certs appearing in exactly `n` scans
-    /// (1-based).
+    /// (1-based). Exact counts exist only below the histogram's overflow
+    /// bucket, so `n` must be less than the histogram length; for the
+    /// overflow bucket ("`len()` or more scans") use
+    /// [`frac_cert_in_at_least_n_scans`](Self::frac_cert_in_at_least_n_scans)
+    /// — asking for an exact count there returns 0.
     pub fn frac_cert_in_n_scans(&self, n: usize) -> f64 {
-        if self.cert_scanned == 0 || n == 0 || n > self.cert_scan_count_histogram.len() {
+        if self.cert_scanned == 0 || n == 0 || n >= self.cert_scan_count_histogram.len() {
             return 0.0;
         }
         self.cert_scan_count_histogram[n - 1] as f64 / self.cert_scanned as f64
+    }
+
+    /// Fraction of scanned malicious certs appearing in at least `n`
+    /// scans (1-based). Well-defined for every `n` up to and including
+    /// the overflow bucket (`n == histogram.len()` means "`n` or more").
+    pub fn frac_cert_in_at_least_n_scans(&self, n: usize) -> f64 {
+        if self.cert_scanned == 0 || n == 0 || n > self.cert_scan_count_histogram.len() {
+            return 0.0;
+        }
+        let tail: usize = self.cert_scan_count_histogram[n - 1..].iter().sum();
+        tail as f64 / self.cert_scanned as f64
     }
 }
 
@@ -199,9 +224,15 @@ pub fn observability(
             if let Some(first) = dates.first() {
                 stats.cert_scanned += 1;
                 let issued = crtsh.record(cert).map(|r| r.issued).unwrap_or(*first);
-                let lag = *first - issued.min(*first);
+                // Signed lag: a cert whose recorded issuance postdates its
+                // first scan sighting (CT backdating, clock skew) must not
+                // be clamped to lag 0 — that would silently inflate the
+                // within-8-days count.
+                let lag = first.0 as i64 - issued.0 as i64;
                 stats.cert_scan_lag_days.push(lag);
-                if lag <= 8 {
+                if lag < 0 {
+                    stats.cert_scan_before_issuance += 1;
+                } else if lag <= 8 {
                     stats.cert_scanned_within_8_days += 1;
                 }
                 let bucket = (dates.len() - 1).min(stats.cert_scan_count_histogram.len() - 1);
@@ -349,6 +380,97 @@ mod tests {
         ] {
             assert!(s.contains(stage), "summary missing {stage}: {s}");
         }
+    }
+
+    /// Regression: a certificate whose recorded issuance *postdates* its
+    /// first scan sighting (CT backdating / clock skew) used to clamp to
+    /// lag 0 and silently inflate `cert_scanned_within_8_days`. The true
+    /// signed lag must be recorded and the cert counted separately.
+    #[test]
+    fn backdated_cert_is_not_counted_within_8_days() {
+        let scans = ScanDataset::from_records(vec![ScanRecord {
+            date: Day(105),
+            ip: ip("6.6.6.6"),
+            port: 443,
+            cert: CertId(666),
+        }]);
+        let mut log = CtLog::new();
+        log.submit(
+            Certificate::new(
+                CertId(666),
+                vec![d("mail.victim.com")],
+                CaId(1),
+                Day(110), // issued five days *after* the scan sighting
+                90,
+                KeyId(1),
+            ),
+            Day(110),
+        );
+        let crtsh = CrtShIndex::build(&log);
+        let stats = observability(
+            &[hijack(Some(666))],
+            &PassiveDns::new(),
+            &scans,
+            &ZoneSnapshotArchive::with_access(Vec::<String>::new()),
+            &crtsh,
+        );
+        assert_eq!(stats.cert_scanned, 1);
+        assert_eq!(stats.cert_scan_lag_days, vec![-5]);
+        assert_eq!(
+            stats.cert_scanned_within_8_days, 0,
+            "backdated cert clamped into the within-8-days count"
+        );
+        assert_eq!(stats.cert_scan_before_issuance, 1);
+        assert_eq!(stats.frac_cert_within_8_days(), 0.0);
+    }
+
+    /// Regression: the last histogram bucket is an overflow bucket ("6+
+    /// scans"); `frac_cert_in_n_scans(6)` used to report it as "exactly
+    /// 6". Exact fractions stop below the overflow bucket; the overflow
+    /// mass is exposed via `frac_cert_in_at_least_n_scans`.
+    #[test]
+    fn overflow_bucket_is_at_least_not_exactly() {
+        // Cert seen in 7 distinct scans: lands in the overflow bucket.
+        let scans = ScanDataset::from_records(
+            (0..7)
+                .map(|i| ScanRecord {
+                    date: Day(100 + i * 7),
+                    ip: ip("6.6.6.6"),
+                    port: 443,
+                    cert: CertId(666),
+                })
+                .collect(),
+        );
+        let mut log = CtLog::new();
+        log.submit(
+            Certificate::new(
+                CertId(666),
+                vec![d("mail.victim.com")],
+                CaId(1),
+                Day(99),
+                90,
+                KeyId(1),
+            ),
+            Day(99),
+        );
+        let crtsh = CrtShIndex::build(&log);
+        let stats = observability(
+            &[hijack(Some(666))],
+            &PassiveDns::new(),
+            &scans,
+            &ZoneSnapshotArchive::with_access(Vec::<String>::new()),
+            &crtsh,
+        );
+        let overflow = stats.cert_scan_count_histogram.len(); // 6
+        assert_eq!(stats.cert_scan_count_histogram[overflow - 1], 1);
+        assert_eq!(
+            stats.frac_cert_in_n_scans(overflow),
+            0.0,
+            "overflow bucket reported as an exact scan count"
+        );
+        assert!((stats.frac_cert_in_at_least_n_scans(overflow) - 1.0).abs() < 1e-9);
+        assert!((stats.frac_cert_in_at_least_n_scans(1) - 1.0).abs() < 1e-9);
+        assert_eq!(stats.frac_cert_in_at_least_n_scans(overflow + 1), 0.0);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::inspect::{
     InspectOutcome,
 };
 use crate::map::{DeploymentMap, MapBuilder};
+use crate::metrics::{self, MetricsRegistry, MetricsShard};
 use crate::observability::{PipelineTimings, StageTiming};
 use crate::pivot::{pivot, PivotConfig};
 use crate::shortlist::{shortlist, Candidate, ShortlistConfig};
@@ -186,32 +187,54 @@ impl Pipeline {
     /// `workers > 1`. Chunk results are concatenated in chunk order, so
     /// the output vector is identical to the serial one.
     pub fn classify_maps(&self, maps: &[DeploymentMap]) -> Vec<Pattern> {
+        self.classify_maps_metered(maps, &mut MetricsShard::default())
+    }
+
+    /// [`classify_maps`](Self::classify_maps) with per-worker metering:
+    /// each worker's wall time and item count land in `shard` under
+    /// `classify.worker.<i>.*`, plus a `classify.utilization` gauge
+    /// (sum of worker time over `workers × slowest`; 1.0 = perfectly
+    /// balanced chunks).
+    pub fn classify_maps_metered(
+        &self,
+        maps: &[DeploymentMap],
+        shard: &mut MetricsShard,
+    ) -> Vec<Pattern> {
         let workers = self.config.workers;
         if workers <= 1 || maps.len() < 2 {
-            return maps
+            let t = Instant::now();
+            let patterns: Vec<Pattern> = maps
                 .iter()
                 .map(|m| classify(m, &self.config.classify))
                 .collect();
+            record_workers(shard, "classify", &[(maps.len(), t.elapsed())]);
+            return patterns;
         }
         let chunk = maps.len().div_ceil(workers);
         let mut patterns: Vec<Pattern> = Vec::with_capacity(maps.len());
+        let mut worker_stats: Vec<(usize, std::time::Duration)> = Vec::with_capacity(workers);
         crossbeam::scope(|scope| {
             let handles: Vec<_> = maps
                 .chunks(chunk)
                 .map(|slice| {
                     scope.spawn(move |_| {
-                        slice
+                        let t = Instant::now();
+                        let out = slice
                             .iter()
                             .map(|m| classify(m, &self.config.classify))
-                            .collect::<Vec<_>>()
+                            .collect::<Vec<_>>();
+                        (out, slice.len(), t.elapsed())
                     })
                 })
                 .collect();
             for h in handles {
-                patterns.extend(h.join().expect("classify worker panicked"));
+                let (out, items, wall) = h.join().expect("classify worker panicked");
+                patterns.extend(out);
+                worker_stats.push((items, wall));
             }
         })
         .expect("crossbeam scope");
+        record_workers(shard, "classify", &worker_stats);
         patterns
     }
 
@@ -266,22 +289,48 @@ impl Pipeline {
         candidates: &[Candidate],
         inputs: &AnalystInputs,
     ) -> InspectionResults {
+        self.inspect_candidates_metered(candidates, inputs, &mut MetricsShard::default())
+    }
+
+    /// [`inspect_candidates`](Self::inspect_candidates) with per-worker
+    /// metering (`inspect.worker.<i>.*` gauges plus
+    /// `inspect.utilization`), mirroring
+    /// [`classify_maps_metered`](Self::classify_maps_metered).
+    pub fn inspect_candidates_metered(
+        &self,
+        candidates: &[Candidate],
+        inputs: &AnalystInputs,
+        shard: &mut MetricsShard,
+    ) -> InspectionResults {
         let workers = self.config.workers;
         if workers <= 1 || candidates.len() < 2 {
-            return self.inspect_chunk(candidates, inputs);
+            let t = Instant::now();
+            let out = self.inspect_chunk(candidates, inputs);
+            record_workers(shard, "inspect", &[(candidates.len(), t.elapsed())]);
+            return out;
         }
         let chunk = candidates.len().div_ceil(workers);
         let mut partials: Vec<InspectionResults> = Vec::with_capacity(workers);
+        let mut worker_stats: Vec<(usize, std::time::Duration)> = Vec::with_capacity(workers);
         crossbeam::scope(|scope| {
             let handles: Vec<_> = candidates
                 .chunks(chunk)
-                .map(|slice| scope.spawn(move |_| self.inspect_chunk(slice, inputs)))
+                .map(|slice| {
+                    scope.spawn(move |_| {
+                        let t = Instant::now();
+                        let out = self.inspect_chunk(slice, inputs);
+                        (out, slice.len(), t.elapsed())
+                    })
+                })
                 .collect();
             for h in handles {
-                partials.push(h.join().expect("inspect worker panicked"));
+                let (out, items, wall) = h.join().expect("inspect worker panicked");
+                partials.push(out);
+                worker_stats.push((items, wall));
             }
         })
         .expect("crossbeam scope");
+        record_workers(shard, "inspect", &worker_stats);
         let mut merged = InspectionResults::default();
         for p in partials {
             merged.hijacked.extend(p.hijacked);
@@ -294,7 +343,19 @@ impl Pipeline {
 
     /// Run the full pipeline.
     pub fn run(&self, inputs: &AnalystInputs) -> Report {
-        self.run_internal(inputs, None)
+        self.run_internal(inputs, None, &mut MetricsRegistry::new())
+    }
+
+    /// Run the full pipeline, recording counters, gauges, histograms and
+    /// spans into `metrics`. The returned [`Report`] is byte-identical
+    /// (as JSON) to [`Pipeline::run`] — metrics never touch report
+    /// serialization. After the run, `metrics.snapshot()` holds the full
+    /// observability picture: the `funnel.*` counters reconcile exactly
+    /// with [`Report::funnel`], `stage.*` gauges carry per-stage wall
+    /// time / items / RSS / allocation deltas, and `*.worker.*` gauges
+    /// expose shard balance.
+    pub fn run_metered(&self, inputs: &AnalystInputs, metrics: &mut MetricsRegistry) -> Report {
+        self.run_internal(inputs, None, metrics)
     }
 
     /// Run the full pipeline with stage checkpointing.
@@ -312,11 +373,30 @@ impl Pipeline {
     /// Checkpoint *write* failures are non-fatal (the run proceeds and
     /// reports; only resumability is lost); a warning goes to stderr.
     pub fn run_resumable(&self, inputs: &AnalystInputs, store: &mut CheckpointStore) -> Report {
-        self.run_internal(inputs, Some(store))
+        self.run_internal(inputs, Some(store), &mut MetricsRegistry::new())
     }
 
-    fn run_internal(&self, inputs: &AnalystInputs, store: Option<&mut CheckpointStore>) -> Report {
+    /// [`run_resumable`](Self::run_resumable) with metrics collection:
+    /// checkpoint load/save/invalidation events land in `metrics` under
+    /// `checkpoint.*` alongside everything [`run_metered`](Self::run_metered)
+    /// records.
+    pub fn run_resumable_metered(
+        &self,
+        inputs: &AnalystInputs,
+        store: &mut CheckpointStore,
+        metrics: &mut MetricsRegistry,
+    ) -> Report {
+        self.run_internal(inputs, Some(store), metrics)
+    }
+
+    fn run_internal(
+        &self,
+        inputs: &AnalystInputs,
+        store: Option<&mut CheckpointStore>,
+        metrics: &mut MetricsRegistry,
+    ) -> Report {
         let run_start = Instant::now();
+        let run_span = metrics.span_open("pipeline.run");
         let mut timings = PipelineTimings::default();
 
         // Checkpoint context: fingerprints bind stage snapshots to this
@@ -337,29 +417,73 @@ impl Pipeline {
         // ---- stage 0: validate + quarantine ---------------------------
         // Always recomputed (cheap, and the quarantine histogram feeds the
         // funnel even on a fully resumed run).
+        let span = metrics.span_open("stage.quarantine");
+        let alloc0 = metrics::allocated_bytes_total();
+        let t = Instant::now();
         let (kept, quarantined) =
             quarantine(inputs.observations, &self.config.window, inputs.certs);
+        stage_sample(
+            metrics,
+            "quarantine",
+            inputs.observations.len(),
+            t.elapsed(),
+            alloc0,
+        );
+        metrics.span_close(span);
 
         // ---- stage 1: deployment maps ---------------------------------
+        let span = metrics.span_open("stage.map_build");
+        let alloc0 = metrics::allocated_bytes_total();
+        let mut ckpt_shard = MetricsShard::default();
+        let mut stage_shard = MetricsShard::default();
         let t = Instant::now();
-        let maps: Vec<DeploymentMap> =
-            run_stage(&mut store, fp.as_ref(), &mut chain_intact, "maps", || {
+        let maps: Vec<DeploymentMap> = run_stage(
+            &mut store,
+            fp.as_ref(),
+            &mut chain_intact,
+            "maps",
+            &mut ckpt_shard,
+            || {
                 let mut builder = MapBuilder::new(self.config.window.clone());
                 builder.link_gap_scans = self.config.link_gap_scans;
-                builder.build_parallel(&kept, self.config.workers)
-            });
+                let (maps, shard_sizes) = builder.build_sharded(&kept, self.config.workers);
+                for (i, n) in shard_sizes.iter().enumerate() {
+                    stage_shard.gauge(&format!("map_build.shard.{i}.items"), *n as f64);
+                    stage_shard.observe("map_build.shard_items", *n as f64);
+                }
+                let max = shard_sizes.iter().copied().max().unwrap_or(0);
+                if max > 0 {
+                    let mean = shard_sizes.iter().sum::<usize>() as f64 / shard_sizes.len() as f64;
+                    stage_shard.gauge("map_build.shard_balance", mean / max as f64);
+                }
+                maps
+            },
+        );
         timings.map_build = StageTiming::from_elapsed(t.elapsed(), kept.len());
+        metrics.merge(ckpt_shard);
+        metrics.merge(stage_shard);
+        stage_sample(metrics, "map_build", kept.len(), t.elapsed(), alloc0);
+        metrics.span_close(span);
 
         // ---- stage 2: classify ----------------------------------------
+        let span = metrics.span_open("stage.classify");
+        let alloc0 = metrics::allocated_bytes_total();
+        let mut ckpt_shard = MetricsShard::default();
+        let mut stage_shard = MetricsShard::default();
         let t = Instant::now();
         let patterns: Vec<Pattern> = run_stage(
             &mut store,
             fp.as_ref(),
             &mut chain_intact,
             "classify",
-            || self.classify_maps(&maps),
+            &mut ckpt_shard,
+            || self.classify_maps_metered(&maps, &mut stage_shard),
         );
         timings.classify = StageTiming::from_elapsed(t.elapsed(), maps.len());
+        metrics.merge(ckpt_shard);
+        metrics.merge(stage_shard);
+        stage_sample(metrics, "classify", maps.len(), t.elapsed(), alloc0);
+        metrics.span_close(span);
 
         // ---- funnel: population statistics -------------------------
         let mut funnel = FunnelStats {
@@ -398,12 +522,16 @@ impl Pipeline {
         }
 
         // ---- stage 3: shortlist -------------------------------------
+        let span = metrics.span_open("stage.shortlist");
+        let alloc0 = metrics::allocated_bytes_total();
+        let mut ckpt_shard = MetricsShard::default();
         let t = Instant::now();
         let shortlisted: crate::shortlist::ShortlistOutcome = run_stage(
             &mut store,
             fp.as_ref(),
             &mut chain_intact,
             "shortlist",
+            &mut ckpt_shard,
             || {
                 shortlist(
                     &maps,
@@ -415,6 +543,9 @@ impl Pipeline {
             },
         );
         timings.shortlist = StageTiming::from_elapsed(t.elapsed(), maps.len());
+        metrics.merge(ckpt_shard);
+        stage_sample(metrics, "shortlist", maps.len(), t.elapsed(), alloc0);
+        metrics.span_close(span);
         funnel.shortlisted = shortlisted.candidates.len();
         funnel.truly_anomalous = shortlisted
             .candidates
@@ -426,15 +557,30 @@ impl Pipeline {
         }
 
         // ---- stage 4: inspect ----------------------------------------
+        let span = metrics.span_open("stage.inspect");
+        let alloc0 = metrics::allocated_bytes_total();
+        let mut ckpt_shard = MetricsShard::default();
+        let mut stage_shard = MetricsShard::default();
         let t = Instant::now();
         let inspected: InspectionResults = run_stage(
             &mut store,
             fp.as_ref(),
             &mut chain_intact,
             "inspect",
-            || self.inspect_candidates(&shortlisted.candidates, inputs),
+            &mut ckpt_shard,
+            || self.inspect_candidates_metered(&shortlisted.candidates, inputs, &mut stage_shard),
         );
         timings.inspect = StageTiming::from_elapsed(t.elapsed(), shortlisted.candidates.len());
+        metrics.merge(ckpt_shard);
+        metrics.merge(stage_shard);
+        stage_sample(
+            metrics,
+            "inspect",
+            shortlisted.candidates.len(),
+            t.elapsed(),
+            alloc0,
+        );
+        metrics.span_close(span);
         let InspectionResults {
             mut hijacked,
             targeted,
@@ -449,6 +595,7 @@ impl Pipeline {
             .flat_map(|h| h.attacker_ips.iter().copied())
             .collect();
         let starred = t1_star_pass(&inconclusive, &confirmed_ips);
+        metrics.count("t1_star.promoted", starred.len() as u64);
         let starred_domains: BTreeSet<_> = starred.iter().map(|h| h.domain.clone()).collect();
         funnel.inconclusive = inconclusive
             .iter()
@@ -457,9 +604,14 @@ impl Pipeline {
         hijacked.extend(starred);
 
         // ---- stage 5: pivot -------------------------------------------
+        let span = metrics.span_open("stage.pivot");
+        let alloc0 = metrics::allocated_bytes_total();
         let t = Instant::now();
         let pivoted = pivot(&hijacked, inputs.pdns, inputs.crtsh, &self.config.pivot);
         timings.pivot = StageTiming::from_elapsed(t.elapsed(), hijacked.len());
+        metrics.count("pivot.discovered", pivoted.len() as u64);
+        stage_sample(metrics, "pivot", hijacked.len(), t.elapsed(), alloc0);
+        metrics.span_close(span);
         hijacked.extend(pivoted);
 
         // Backfill attacker network annotations (pivot discoveries know
@@ -487,6 +639,21 @@ impl Pipeline {
         }
 
         timings.total_ms = run_start.elapsed().as_secs_f64() * 1e3;
+        record_funnel(metrics, &funnel);
+        if let Some(kb) = metrics::peak_rss_kb() {
+            metrics.gauge("process.peak_rss_kb", kb as f64);
+        }
+        if metrics::alloc_counting_active() {
+            metrics.gauge(
+                "process.alloc_bytes_total",
+                metrics::allocated_bytes_total() as f64,
+            );
+            metrics.gauge(
+                "process.alloc_count_total",
+                metrics::allocation_count_total() as f64,
+            );
+        }
+        metrics.span_close(run_span);
         Report {
             hijacked,
             targeted,
@@ -496,17 +663,97 @@ impl Pipeline {
     }
 }
 
+/// Record one stage's point-in-time samples: wall time and item count as
+/// `stage.<name>.*` gauges, the wall time into the shared `stage.wall_ms`
+/// histogram, plus RSS (Linux) and the allocation delta since `alloc0`
+/// (when [`CountingAlloc`](crate::metrics::CountingAlloc) is installed).
+fn stage_sample(
+    metrics: &mut MetricsRegistry,
+    name: &str,
+    items: usize,
+    wall: std::time::Duration,
+    alloc0: u64,
+) {
+    let ms = wall.as_secs_f64() * 1e3;
+    metrics.gauge(&format!("stage.{name}.wall_ms"), ms);
+    metrics.gauge(&format!("stage.{name}.items"), items as f64);
+    metrics.observe("stage.wall_ms", ms);
+    if let Some(kb) = metrics::rss_kb_now() {
+        metrics.gauge(&format!("stage.{name}.rss_kb"), kb as f64);
+    }
+    if metrics::alloc_counting_active() {
+        let delta = metrics::allocated_bytes_total().saturating_sub(alloc0);
+        metrics.gauge(&format!("stage.{name}.alloc_bytes"), delta as f64);
+    }
+}
+
+/// Record per-worker wall time and item counts for one parallel stage,
+/// plus a `<stage>.utilization` gauge: the total worker time over
+/// `workers × slowest worker` (1.0 = perfectly balanced chunks, lower =
+/// idle workers waiting on a straggler).
+fn record_workers(shard: &mut MetricsShard, stage: &str, workers: &[(usize, std::time::Duration)]) {
+    let mut max_ms = 0.0f64;
+    let mut sum_ms = 0.0f64;
+    for (i, (items, wall)) in workers.iter().enumerate() {
+        let ms = wall.as_secs_f64() * 1e3;
+        shard.gauge(&format!("{stage}.worker.{i}.ms"), ms);
+        shard.gauge(&format!("{stage}.worker.{i}.items"), *items as f64);
+        max_ms = max_ms.max(ms);
+        sum_ms += ms;
+    }
+    shard.gauge(&format!("{stage}.workers"), workers.len() as f64);
+    if max_ms > 0.0 {
+        shard.gauge(
+            &format!("{stage}.utilization"),
+            sum_ms / (workers.len() as f64 * max_ms),
+        );
+    }
+}
+
+/// Mirror every [`FunnelStats`] field into the `funnel.*` counter
+/// namespace. The mapping is exact and exhaustive — the
+/// `tests/metrics.rs` reconciliation test asserts counter-for-field
+/// equality against [`Report::funnel`], so a new funnel field must be
+/// added here (and there) to compile the accounting loop shut.
+fn record_funnel(metrics: &mut MetricsRegistry, funnel: &FunnelStats) {
+    for (reason, n) in &funnel.quarantined {
+        metrics.count(&format!("funnel.quarantined.{reason}"), *n as u64);
+    }
+    metrics.count("funnel.domains_total", funnel.domains_total as u64);
+    metrics.count("funnel.maps_total", funnel.maps_total as u64);
+    for (cat, n) in &funnel.domain_categories {
+        metrics.count(&format!("funnel.domain_category.{cat}"), *n as u64);
+    }
+    for (cat, n) in &funnel.map_categories {
+        metrics.count(&format!("funnel.map_category.{cat}"), *n as u64);
+    }
+    metrics.count("funnel.transient_maps", funnel.transient_maps as u64);
+    metrics.count("funnel.shortlisted", funnel.shortlisted as u64);
+    metrics.count("funnel.truly_anomalous", funnel.truly_anomalous as u64);
+    for (reason, n) in &funnel.pruned {
+        metrics.count(&format!("funnel.pruned.{reason}"), *n as u64);
+    }
+    metrics.count("funnel.dismissed_stale", funnel.dismissed_stale as u64);
+    metrics.count("funnel.inconclusive", funnel.inconclusive as u64);
+    for (t, n) in &funnel.hijacks_by_type {
+        metrics.count(&format!("funnel.hijacks.{t}"), *n as u64);
+    }
+}
+
 /// Run (or resume) one checkpointable stage.
 ///
 /// While the chain is intact, a valid checkpoint is loaded instead of
 /// computing; the first invalid stage breaks the chain, and every stage
 /// from there on is computed and (re)written. Without a store this is
-/// just `compute()`.
+/// just `compute()`. Checkpoint events land in `shard`:
+/// `checkpoint.loaded.<stage>` / `checkpoint.saved.<stage>` /
+/// `checkpoint.invalid.<reason>` / `checkpoint.save_failed`.
 fn run_stage<T, F>(
     store: &mut Option<&mut CheckpointStore>,
     fp: Option<&Fingerprint>,
     chain_intact: &mut bool,
     name: &str,
+    shard: &mut MetricsShard,
     compute: F,
 ) -> T
 where
@@ -520,15 +767,23 @@ where
     if *chain_intact {
         match s.load::<T>(name, fp) {
             Ok(v) => {
+                shard.count(&format!("checkpoint.loaded.{name}"), 1);
                 s.resumed.push(name.to_string());
                 return v;
             }
-            Err(_) => *chain_intact = false,
+            Err(reason) => {
+                shard.count(&format!("checkpoint.invalid.{}", reason.label()), 1);
+                *chain_intact = false;
+            }
         }
     }
     let v = compute();
-    if let Err(e) = s.save(name, fp, &v) {
-        eprintln!("warning: could not write checkpoint stage '{name}': {e}");
+    match s.save(name, fp, &v) {
+        Ok(()) => shard.count(&format!("checkpoint.saved.{name}"), 1),
+        Err(e) => {
+            shard.count("checkpoint.save_failed", 1);
+            eprintln!("warning: could not write checkpoint stage '{name}': {e}");
+        }
     }
     s.computed.push(name.to_string());
     v

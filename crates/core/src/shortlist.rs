@@ -22,9 +22,9 @@ use crate::classify::{Pattern, StableBackground, TransientFinding};
 use crate::map::{Deployment, DeploymentMap};
 use retrodns_asdb::AsDatabase;
 use retrodns_cert::{CertId, Certificate};
-use retrodns_types::{DomainId, DomainInterner, DomainName, Period, PeriodId};
+use retrodns_types::{Asn, DomainId, DomainInterner, DomainName, Period, PeriodId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Why a transient map was pruned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -142,33 +142,69 @@ pub fn shortlist(
     cfg: &ShortlistConfig,
 ) -> ShortlistOutcome {
     assert_eq!(maps.len(), patterns.len(), "patterns must parallel maps");
-    // Per-domain period → category index for the repeat / truly-anomalous
-    // cross-period checks. Domains are interned to dense ids so the
-    // grouping is a flat vector indexed by id and each map's domain is
-    // hashed exactly once.
+    // Per-domain period → (category, transient ASNs) index for the
+    // repeat / truly-anomalous cross-period checks. Domains are interned
+    // to dense ids so the grouping is a flat vector indexed by id and
+    // each map's domain is hashed exactly once.
+    struct PeriodClass {
+        category: &'static str,
+        /// ASNs of the transient deployments in this period's map
+        /// (empty unless the period classified transient).
+        transient_asns: BTreeSet<Asn>,
+    }
     let mut interner = DomainInterner::with_capacity(maps.len());
     let mut ids: Vec<DomainId> = Vec::with_capacity(maps.len());
-    let mut by_domain: Vec<HashMap<PeriodId, &'static str>> = Vec::new();
+    let mut by_domain: Vec<HashMap<PeriodId, PeriodClass>> = Vec::new();
     for (m, p) in maps.iter().zip(patterns) {
         let id = interner.intern(&m.domain);
         if id.index() == by_domain.len() {
             by_domain.push(HashMap::new());
         }
-        by_domain[id.index()].insert(m.period.id, p.category());
+        let transient_asns = match p {
+            Pattern::Transient { findings, .. } => findings
+                .iter()
+                .map(|f| m.deployments[f.deployment].asn)
+                .collect(),
+            _ => BTreeSet::new(),
+        };
+        by_domain[id.index()].insert(
+            m.period.id,
+            PeriodClass {
+                category: p.category(),
+                transient_asns,
+            },
+        );
         ids.push(id);
     }
 
+    // §4.3 prunes on *similar* transients across consecutive periods:
+    // adjacent transient periods extend the run only when they share a
+    // transient ASN (a recurring benign visitor), not merely because
+    // both happened to classify transient. Two unrelated transients in
+    // adjacent periods are two separate one-period runs.
     let consecutive_transients = |domain: DomainId, pid: PeriodId| -> usize {
         let periods = &by_domain[domain.index()];
-        let is_t = |id: PeriodId| periods.get(&id) == Some(&"transient");
+        let similar = |a: PeriodId, b: PeriodId| -> bool {
+            match (periods.get(&a), periods.get(&b)) {
+                (Some(x), Some(y)) => {
+                    x.category == "transient"
+                        && y.category == "transient"
+                        && x.transient_asns
+                            .intersection(&y.transient_asns)
+                            .next()
+                            .is_some()
+                }
+                _ => false,
+            }
+        };
         let mut run = 1;
         let mut i = pid;
-        while i > 0 && is_t(i - 1) {
+        while i > 0 && similar(i - 1, i) {
             run += 1;
             i -= 1;
         }
         let mut i = pid;
-        while is_t(i + 1) {
+        while similar(i, i + 1) {
             run += 1;
             i += 1;
         }
@@ -203,10 +239,11 @@ pub fn shortlist(
         // Truly anomalous: a single transient finding, with fully stable
         // periods before and after. Edge periods don't qualify.
         let neighbors = &by_domain[domain_id.index()];
+        let stable_at = |id: PeriodId| neighbors.get(&id).map(|c| c.category) == Some("stable");
         let truly_anomalous = findings.len() == 1
             && m.period.id > 0
-            && neighbors.get(&(m.period.id - 1)) == Some(&"stable")
-            && neighbors.get(&(m.period.id + 1)) == Some(&"stable");
+            && stable_at(m.period.id - 1)
+            && stable_at(m.period.id + 1);
 
         let mut kept_any = false;
         let mut last_prune: Option<PruneReason> = None;
@@ -475,6 +512,50 @@ mod tests {
             .iter()
             .all(|(_, _, r)| *r == PruneReason::RepeatedTransients));
         assert_eq!(out.pruned.len(), 3);
+    }
+
+    /// Regression: the repeat check used to count *any*
+    /// transient-classified period as a repeat; §4.3 prunes on *similar*
+    /// transients (same transient ASN recurring). Three adjacent periods
+    /// with three unrelated transient ASNs are three independent
+    /// anomalies, not one repeated benign visitor — none may be pruned
+    /// as `RepeatedTransients`.
+    #[test]
+    fn unrelated_adjacent_transients_are_not_repeats() {
+        let mut o: Vec<DomainObservation> = (0..26 * 4)
+            .map(|i| obs("victim.gr", i, 1, 100, "GR", 1))
+            .collect();
+        // Periods 1, 2, 3: one-scan transients from three unrelated
+        // foreign ASNs (no shared org, none in the asdb org table).
+        for (p, asn) in [(1u32, 300u32), (2, 400), (3, 500)] {
+            o.push(obs("victim.gr", 26 * p + 10, 99, asn, "NL", 666));
+        }
+        let maps = MapBuilder::new(StudyWindow::default()).build(&o);
+        let patterns: Vec<Pattern> = maps
+            .iter()
+            .map(|m| classify(m, &ClassifyConfig::default()))
+            .collect();
+        let out = shortlist(
+            &maps,
+            &patterns,
+            &asdb(),
+            &certs(),
+            &ShortlistConfig::default(),
+        );
+        assert!(
+            !out.pruned
+                .iter()
+                .any(|(_, _, r)| *r == PruneReason::RepeatedTransients),
+            "unrelated adjacent transients pruned as repeats: {:?}",
+            out.pruned
+        );
+        assert_eq!(
+            out.candidates.len(),
+            3,
+            "all three unrelated transients should survive the shortlist"
+        );
+        let asns: Vec<Asn> = out.candidates.iter().map(|c| c.transient.asn).collect();
+        assert_eq!(asns, vec![Asn(300), Asn(400), Asn(500)]);
     }
 
     #[test]

@@ -69,6 +69,50 @@ impl FaultKind {
     }
 }
 
+/// Per-kind damage tallies from one fault-plan application: exactly how
+/// many records each enabled fault destroyed, mangled, or fabricated.
+/// Harnesses feed these into the pipeline metrics registry (the
+/// `faults.*` counters) so an analyst can reconcile degraded funnel
+/// numbers against the injected damage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEffects {
+    /// Scan records lost to [`FaultKind::DropScanWeek`].
+    pub records_dropped: usize,
+    /// Scan records lost to [`FaultKind::TruncateObservations`].
+    pub records_truncated: usize,
+    /// Observations mangled by [`FaultKind::CorruptCertFingerprint`].
+    pub certs_corrupted: usize,
+    /// Observations fabricated by [`FaultKind::DuplicateRecords`].
+    pub records_duplicated: usize,
+    /// Passive-DNS tuples lost to [`FaultKind::PdnsGap`].
+    pub pdns_tuples_dropped: usize,
+}
+
+impl FaultEffects {
+    /// The tallies as `(fault label, count)` pairs in
+    /// [`FaultKind::ALL`] order — the shape metric recorders want.
+    pub fn by_label(&self) -> [(&'static str, usize); 5] {
+        [
+            (FaultKind::DropScanWeek.label(), self.records_dropped),
+            (
+                FaultKind::TruncateObservations.label(),
+                self.records_truncated,
+            ),
+            (
+                FaultKind::CorruptCertFingerprint.label(),
+                self.certs_corrupted,
+            ),
+            (FaultKind::DuplicateRecords.label(), self.records_duplicated),
+            (FaultKind::PdnsGap.label(), self.pdns_tuples_dropped),
+        ]
+    }
+
+    /// Total records damaged across every fault kind.
+    pub fn total(&self) -> usize {
+        self.by_label().iter().map(|(_, n)| n).sum()
+    }
+}
+
 /// The damaged analyst inputs produced by [`FaultPlan::apply_world`].
 #[derive(Debug, Clone)]
 pub struct FaultedInputs {
@@ -78,6 +122,8 @@ pub struct FaultedInputs {
     pub observations: Vec<DomainObservation>,
     /// Passive DNS after sensor-outage faults.
     pub pdns: PassiveDns,
+    /// How much damage each fault actually did.
+    pub effects: FaultEffects,
 }
 
 /// A seeded, deterministic set of faults to apply to a world's data.
@@ -117,6 +163,16 @@ impl FaultPlan {
 
     /// Apply the dataset-level faults (snapshot loss, truncation).
     pub fn apply_dataset(&self, dataset: &ScanDataset) -> ScanDataset {
+        self.apply_dataset_counted(dataset, &mut FaultEffects::default())
+    }
+
+    /// [`apply_dataset`](Self::apply_dataset), tallying the damage into
+    /// `effects`.
+    pub fn apply_dataset_counted(
+        &self,
+        dataset: &ScanDataset,
+        effects: &mut FaultEffects,
+    ) -> ScanDataset {
         let mut records: Vec<ScanRecord> = dataset.records().to_vec();
         if self.has(FaultKind::DropScanWeek) && !records.is_empty() {
             let dates = dataset.dates();
@@ -126,7 +182,9 @@ impl FaultPlan {
             while dropped.len() < n_drop {
                 dropped.insert(dates[rng.gen_range(0..dates.len())]);
             }
+            let before = records.len();
             records.retain(|r| !dropped.contains(&r.date));
+            effects.records_dropped += before - records.len();
         }
         if self.has(FaultKind::TruncateObservations) && !records.is_empty() {
             let first = records.iter().map(|r| r.date).min().unwrap();
@@ -136,7 +194,9 @@ impl FaultPlan {
             // Keep roughly the leading 70–80% of the covered span.
             let keep_days = span * 70 / 100 + rng.gen_range(0..=span / 10);
             let cutoff = first + keep_days;
+            let before = records.len();
             records.retain(|r| r.date <= cutoff);
+            effects.records_truncated += before - records.len();
         }
         ScanDataset::from_records(records)
     }
@@ -144,6 +204,16 @@ impl FaultPlan {
     /// Apply the observation-level faults (fingerprint corruption,
     /// duplicated records) in place.
     pub fn apply_observations(&self, observations: &mut Vec<DomainObservation>) {
+        self.apply_observations_counted(observations, &mut FaultEffects::default());
+    }
+
+    /// [`apply_observations`](Self::apply_observations), tallying the
+    /// damage into `effects`.
+    pub fn apply_observations_counted(
+        &self,
+        observations: &mut Vec<DomainObservation>,
+        effects: &mut FaultEffects,
+    ) {
         if self.has(FaultKind::CorruptCertFingerprint) && !observations.is_empty() {
             let n = (observations.len() / 50).max(1);
             let mut rng = self.rng_for(FaultKind::CorruptCertFingerprint);
@@ -153,6 +223,7 @@ impl FaultPlan {
                 // absent from any world's cert store.
                 observations[at].cert = CertId(0xDEAD_0000_0000_0000 | i as u64);
             }
+            effects.certs_corrupted += n;
         }
         if self.has(FaultKind::DuplicateRecords) && !observations.is_empty() {
             let n = (observations.len() / 50).max(1);
@@ -161,6 +232,7 @@ impl FaultPlan {
             for _ in 0..n {
                 dups.push(observations[rng.gen_range(0..observations.len())].clone());
             }
+            effects.records_duplicated += dups.len();
             // Appended out of order, as replayed collection batches are.
             observations.extend(dups);
         }
@@ -170,6 +242,12 @@ impl FaultPlan {
     /// tuples missing. Entries are sorted before sampling so the outcome
     /// is independent of `PassiveDns`'s internal (hash) iteration order.
     pub fn apply_pdns(&self, pdns: &PassiveDns) -> PassiveDns {
+        self.apply_pdns_counted(pdns, &mut FaultEffects::default())
+    }
+
+    /// [`apply_pdns`](Self::apply_pdns), tallying the damage into
+    /// `effects`.
+    pub fn apply_pdns_counted(&self, pdns: &PassiveDns, effects: &mut FaultEffects) -> PassiveDns {
         if !self.has(FaultKind::PdnsGap) || pdns.is_empty() {
             return pdns.clone();
         }
@@ -185,6 +263,7 @@ impl FaultPlan {
         let mut out = PassiveDns::new();
         for e in entries {
             if rng.gen_bool(0.25) {
+                effects.pdns_tuples_dropped += 1;
                 continue;
             }
             out.insert_aggregate(&e.name, e.rdata, e.first_seen, e.last_seen, e.count);
@@ -194,16 +273,19 @@ impl FaultPlan {
 
     /// Damage a world's full analyst-visible input set: scan the world,
     /// then apply dataset faults, re-annotate, apply observation faults,
-    /// and apply passive-DNS faults.
+    /// and apply passive-DNS faults. The returned inputs carry the
+    /// per-kind damage tallies in [`FaultedInputs::effects`].
     pub fn apply_world(&self, world: &World) -> FaultedInputs {
-        let dataset = self.apply_dataset(&world.scan());
+        let mut effects = FaultEffects::default();
+        let dataset = self.apply_dataset_counted(&world.scan(), &mut effects);
         let mut observations = world.observations(&dataset);
-        self.apply_observations(&mut observations);
-        let pdns = self.apply_pdns(&world.pdns);
+        self.apply_observations_counted(&mut observations, &mut effects);
+        let pdns = self.apply_pdns_counted(&world.pdns, &mut effects);
         FaultedInputs {
             dataset,
             observations,
             pdns,
+            effects,
         }
     }
 }
@@ -248,6 +330,30 @@ mod tests {
 
         let gapped = FaultPlan::single(1, FaultKind::PdnsGap).apply_pdns(&world.pdns);
         assert!(gapped.len() < world.pdns.len());
+    }
+
+    #[test]
+    fn effects_tally_the_damage() {
+        let world = World::build(SimConfig::small(7));
+        let inputs = FaultPlan::all(42).apply_world(&world);
+        let e = inputs.effects;
+        assert!(e.records_dropped > 0);
+        assert!(e.records_truncated > 0);
+        assert!(e.certs_corrupted > 0);
+        assert!(e.records_duplicated > 0);
+        assert!(e.pdns_tuples_dropped > 0);
+        assert_eq!(e.pdns_tuples_dropped, world.pdns.len() - inputs.pdns.len());
+        assert_eq!(
+            e.total(),
+            e.by_label().iter().map(|(_, n)| n).sum::<usize>()
+        );
+
+        // A clean plan damages nothing.
+        let clean = FaultPlan {
+            seed: 42,
+            faults: Vec::new(),
+        };
+        assert_eq!(clean.apply_world(&world).effects, FaultEffects::default());
     }
 
     #[test]

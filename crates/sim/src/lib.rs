@@ -49,7 +49,7 @@ pub mod world;
 
 pub use config::SimConfig;
 pub use farm::ServerFarm;
-pub use faults::{FaultKind, FaultPlan, FaultedInputs};
+pub use faults::{FaultEffects, FaultKind, FaultPlan, FaultedInputs};
 pub use geography::{Geography, Provider, ProviderId, ProviderKind};
 pub use orgs::{Organization, Sector};
 pub use world::{DomainMeta, GroundTruth, HijackKind, HijackRecord, TargetRecord, World};

@@ -4,6 +4,7 @@
 //! retrodns simulate --out DIR [--seed N] [--domains N]   write a world's data sets as JSON
 //! retrodns analyze  --data DIR [--dnssec-signal] [--score]
 //!                   [--checkpoint-dir DIR [--resume]]    run the pipeline over them
+//!                   [--metrics-out PATH [--metrics-format json|prom]] [--trace]
 //! retrodns info     --data DIR                            summarize the data sets
 //! ```
 //!
@@ -16,6 +17,7 @@
 use retrodns::asdb::AsDatabase;
 use retrodns::cert::{CertId, Certificate, CrtShIndex};
 use retrodns::core::inspect::InspectConfig;
+use retrodns::core::metrics::{CountingAlloc, MetricsRegistry};
 use retrodns::core::pipeline::{AnalystInputs, Pipeline, PipelineConfig};
 use retrodns::core::report::{render_table2, render_table3, DomainInfo};
 use retrodns::core::score_detection;
@@ -26,6 +28,11 @@ use retrodns::types::DomainName;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+// Count allocations so `--metrics-out` can report per-stage allocation
+// deltas (`stage.*.alloc_bytes`); without this the hooks stay silent.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// Ground truth sidecar written by `simulate` for `analyze --score`.
 #[derive(serde::Serialize, serde::Deserialize)]
@@ -128,11 +135,31 @@ struct CheckpointOpts {
     resume: bool,
 }
 
+/// Metrics exposition format for `--metrics-out` (`--metrics-format`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    /// Deterministic pretty JSON (the default).
+    Json,
+    /// Prometheus text exposition 0.0.4.
+    Prom,
+}
+
+/// Observability options for `analyze`.
+struct MetricsOpts {
+    /// Where to write the metrics snapshot (`--metrics-out`).
+    out: Option<PathBuf>,
+    /// Exposition format for the snapshot file.
+    format: MetricsFormat,
+    /// Narrate span open/close events to stderr (`--trace`).
+    trace: bool,
+}
+
 fn analyze(
     dir: &Path,
     dnssec_signal: bool,
     score: bool,
     ckpt: Option<CheckpointOpts>,
+    metrics_opts: MetricsOpts,
 ) -> Result<(), String> {
     let data = load_data(dir)?;
     eprintln!(
@@ -160,15 +187,16 @@ fn analyze(
         crtsh: &data.crtsh,
         dnssec: data.dnssec.as_ref(),
     };
+    let mut metrics = MetricsRegistry::with_trace(metrics_opts.trace);
     let report = match &ckpt {
-        None => pipeline.run(&inputs),
+        None => pipeline.run_metered(&inputs, &mut metrics),
         Some(opts) => {
             let mut store = retrodns::core::CheckpointStore::open(&opts.dir)
                 .map_err(|e| format!("{}: {e}", opts.dir.display()))?;
             if !opts.resume {
                 store.clear().map_err(|e| e.to_string())?;
             }
-            let report = pipeline.run_resumable(&inputs, &mut store);
+            let report = pipeline.run_resumable_metered(&inputs, &mut store, &mut metrics);
             eprintln!(
                 "checkpoints in {}: resumed {:?}, computed {:?}",
                 opts.dir.display(),
@@ -182,6 +210,15 @@ fn analyze(
             report
         }
     };
+    if let Some(path) = &metrics_opts.out {
+        let snapshot = metrics.snapshot();
+        let body = match metrics_opts.format {
+            MetricsFormat::Json => snapshot.to_json(),
+            MetricsFormat::Prom => snapshot.to_prometheus(),
+        };
+        std::fs::write(path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("wrote metrics to {}", path.display());
+    }
 
     println!("stage timings:");
     print!("{}", report.timings.summary());
@@ -264,7 +301,7 @@ fn info(dir: &Path) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  retrodns simulate --out DIR [--seed N] [--domains N]\n  retrodns analyze --data DIR [--dnssec-signal] [--score] [--checkpoint-dir DIR [--resume]]\n  retrodns info --data DIR"
+    "usage:\n  retrodns simulate --out DIR [--seed N] [--domains N]\n  retrodns analyze --data DIR [--dnssec-signal] [--score] [--checkpoint-dir DIR [--resume]]\n                   [--metrics-out PATH [--metrics-format json|prom]] [--trace]\n  retrodns info --data DIR"
 }
 
 fn main() -> ExitCode {
@@ -281,6 +318,9 @@ fn main() -> ExitCode {
     let mut score = false;
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut resume = false;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut metrics_format = MetricsFormat::Json;
+    let mut trace = false;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -288,6 +328,18 @@ fn main() -> ExitCode {
             "--data" => data = it.next().map(PathBuf::from),
             "--checkpoint-dir" => checkpoint_dir = it.next().map(PathBuf::from),
             "--resume" => resume = true,
+            "--metrics-out" => metrics_out = it.next().map(PathBuf::from),
+            "--metrics-format" => {
+                metrics_format = match it.next().map(String::as_str) {
+                    Some("json") => MetricsFormat::Json,
+                    Some("prom") => MetricsFormat::Prom,
+                    _ => {
+                        eprintln!("--metrics-format expects json or prom");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--trace" => trace = true,
             "--seed" => {
                 seed = match it.next().and_then(|v| v.parse().ok()) {
                     Some(v) => v,
@@ -325,7 +377,12 @@ fn main() -> ExitCode {
                     Err("--resume requires --checkpoint-dir DIR".into())
                 } else {
                     let ckpt = checkpoint_dir.map(|dir| CheckpointOpts { dir, resume });
-                    analyze(&dir, dnssec_signal, score, ckpt)
+                    let metrics_opts = MetricsOpts {
+                        out: metrics_out,
+                        format: metrics_format,
+                        trace,
+                    };
+                    analyze(&dir, dnssec_signal, score, ckpt, metrics_opts)
                 }
             }
             None => Err("analyze requires --data DIR".into()),

@@ -239,7 +239,150 @@ fn experiments_bench_emits_schema_valid_json() {
             );
         }
     }
+    for key in ["metered_ms", "metrics_overhead_pct"] {
+        assert!(
+            matches!(v.get(key), Some(serde::Value::Num(_))),
+            "{key} missing or not a number"
+        );
+    }
+    let trajectory = v
+        .get("trajectory")
+        .and_then(|t| t.as_array())
+        .expect("trajectory array");
+    assert_eq!(trajectory.len(), 1, "first bench run appends one point");
+
+    // A second run in the same directory appends to the trajectory
+    // instead of overwriting it.
+    let out = Command::new(&exe)
+        .current_dir(&dir)
+        .args(["--scale", "quick", "--seed", "5", "--workers", "2", "bench"])
+        .output()
+        .expect("run experiments bench again");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(dir.join("BENCH_pipeline.json")).expect("bench json");
+    let v: serde::Value = serde::json::from_str(&json).expect("valid JSON");
+    let trajectory = v
+        .get("trajectory")
+        .and_then(|t| t.as_array())
+        .expect("trajectory array");
+    assert_eq!(trajectory.len(), 2, "second bench run appends a point");
+    for point in trajectory {
+        for key in [
+            "workers",
+            "observations",
+            "e2e_serial_ms",
+            "e2e_parallel_ms",
+            "metrics_overhead_pct",
+        ] {
+            assert!(
+                matches!(point.get(key), Some(serde::Value::Num(_))),
+                "trajectory field {key} missing or not a number"
+            );
+        }
+    }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analyze_metrics_out_and_trace() {
+    let base = temp_dir("metrics");
+    let data = base.join("data");
+    let out = bin()
+        .args(["simulate", "--out"])
+        .arg(&data)
+        .args(["--seed", "11", "--domains", "1500"])
+        .output()
+        .expect("run simulate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // JSON exposition + --trace narration.
+    let metrics_json = base.join("metrics.json");
+    let out = bin()
+        .args(["analyze", "--data"])
+        .arg(&data)
+        .arg("--metrics-out")
+        .arg(&metrics_json)
+        .arg("--trace")
+        .output()
+        .expect("run analyze --metrics-out");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("-> pipeline.run"),
+        "no trace open: {stderr}"
+    );
+    assert!(
+        stderr.contains("<- pipeline.run"),
+        "no trace close: {stderr}"
+    );
+    assert!(stderr.contains("-> stage.inspect"), "{stderr}");
+
+    let json = std::fs::read_to_string(&metrics_json).expect("metrics json");
+    let v: serde::Value = serde::json::from_str(&json).expect("valid metrics JSON");
+    let keys: Vec<&str> = v
+        .as_object()
+        .expect("metrics snapshot is an object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(keys, ["counters", "gauges", "histograms", "spans"]);
+    let counters = v.get("counters").and_then(|c| c.as_object()).unwrap();
+    assert!(
+        counters.iter().any(|(k, _)| k.starts_with("funnel.")),
+        "no funnel counters in {json}"
+    );
+    // The CLI installs the counting allocator, so the sampling hooks
+    // must have produced per-stage allocation gauges.
+    let gauges = v.get("gauges").and_then(|g| g.as_object()).unwrap();
+    assert!(
+        gauges.iter().any(|(k, _)| k.ends_with(".alloc_bytes")),
+        "no allocation gauges in {json}"
+    );
+
+    // Prometheus exposition.
+    let metrics_prom = base.join("metrics.prom");
+    let out = bin()
+        .args(["analyze", "--data"])
+        .arg(&data)
+        .arg("--metrics-out")
+        .arg(&metrics_prom)
+        .args(["--metrics-format", "prom"])
+        .output()
+        .expect("run analyze --metrics-format prom");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let prom = std::fs::read_to_string(&metrics_prom).expect("metrics prom");
+    assert!(
+        prom.contains("# TYPE retrodns_funnel_domains_total counter"),
+        "{prom}"
+    );
+    assert!(prom.contains("_bucket{le=\"+Inf\"}"), "{prom}");
+
+    // Bad format is a usage error.
+    let out = bin()
+        .args(["analyze", "--data"])
+        .arg(&data)
+        .args(["--metrics-out", "x.json", "--metrics-format", "xml"])
+        .output()
+        .expect("run analyze with bad format");
+    assert!(!out.status.success());
+
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 #[test]

@@ -135,6 +135,18 @@ pub fn __field<T: Deserialize>(obj: &[(String, Value)], key: &str) -> Result<T, 
     }
 }
 
+/// Like [`__field`], but a missing key yields `T::default()` — the
+/// backing of the `#[serde(default)]` field attribute.
+pub fn __field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    key: &str,
+) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::context(key, e)),
+        None => Ok(T::default()),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Primitive impls
 // ---------------------------------------------------------------------------

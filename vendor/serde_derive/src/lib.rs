@@ -8,7 +8,8 @@
 //!   serde default: `"Variant"`, `{"Variant": payload}`)
 //! - a single list of simple generic params (`TimeSeries<T>`)
 //! - container attrs `#[serde(from = "T", into = "T")]`
-//! - field attr `#[serde(skip)]` (field omitted on write, `Default` on read)
+//! - field attrs `#[serde(skip)]` (field omitted on write, `Default` on read)
+//!   and `#[serde(default)]` (`Default` when the field is absent on read)
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -30,6 +31,7 @@ enum Kind {
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 struct Variant {
@@ -200,9 +202,13 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut i = 0;
     while i < toks.len() {
         let mut skip = false;
+        let mut default = false;
         while let Some(attr) = take_attr(&toks, &mut i) {
             if attr.iter().any(|(k, _)| k == "skip") {
                 skip = true;
+            }
+            if attr.iter().any(|(k, _)| k == "default") {
+                default = true;
             }
         }
         skip_visibility(&toks, &mut i);
@@ -230,7 +236,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, skip });
+        fields.push(Field { name, skip, default });
     }
     fields
 }
@@ -429,6 +435,8 @@ fn gen_deserialize(input: &Input) -> String {
                     .map(|f| {
                         if f.skip {
                             format!("{}: ::core::default::Default::default()", f.name)
+                        } else if f.default {
+                            format!("{0}: serde::__field_or_default(__o, \"{0}\")?", f.name)
                         } else {
                             format!("{0}: serde::__field(__o, \"{0}\")?", f.name)
                         }
@@ -472,6 +480,8 @@ fn gen_deserialize(input: &Input) -> String {
                                 .map(|f| {
                                     if f.skip {
                                         format!("{}: ::core::default::Default::default()", f.name)
+                                    } else if f.default {
+                                        format!("{0}: serde::__field_or_default(__io, \"{0}\")?", f.name)
                                     } else {
                                         format!("{0}: serde::__field(__io, \"{0}\")?", f.name)
                                     }
