@@ -69,6 +69,7 @@ fn bench_parallel_stages(c: &mut Criterion) {
         pdns: &f.world.pdns,
         crtsh: &f.world.crtsh,
         dnssec: Some(&f.world.dnssec),
+        source_faults: None,
     };
 
     let mut group = c.benchmark_group("pipeline");
@@ -156,6 +157,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
                         pdns: &f.world.pdns,
                         crtsh: &f.world.crtsh,
                         dnssec: Some(&f.world.dnssec),
+                        source_faults: None,
                     })
                     .hijacked
                     .len()

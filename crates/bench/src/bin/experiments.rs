@@ -151,7 +151,9 @@ fn main() -> ExitCode {
 /// `FAULTS_matrix.json`; fails when any cell fabricated a verdict.
 fn run_faults(seed: u64, workers: usize) -> ExitCode {
     let seeds: Vec<u64> = (0..5).map(|i| seed.wrapping_add(i)).collect();
-    eprintln!("fault campaign: seeds {seeds:?} x 5 fault kinds + no-corroboration...");
+    eprintln!(
+        "fault campaign: seeds {seeds:?} x (5 data faults + 12 source outages + no-corroboration)..."
+    );
     let matrix = retrodns_bench::run_fault_campaign(&seeds, workers);
     let json = serde_json::to_string_pretty(&matrix).expect("fault matrix serializes");
     let path = "FAULTS_matrix.json";
@@ -164,7 +166,7 @@ fn run_faults(seed: u64, workers: usize) -> ExitCode {
     if matrix.all_survived() {
         ExitCode::SUCCESS
     } else {
-        eprintln!("FABRICATED VERDICTS under fault injection");
+        eprintln!("unsurvived fault cells (fabricated verdicts or tally drift)");
         ExitCode::FAILURE
     }
 }

@@ -95,6 +95,7 @@ impl Bundle {
             pdns: &world.pdns,
             crtsh: &world.crtsh,
             dnssec: Some(&world.dnssec),
+            source_faults: None,
         });
         let info_map = world
             .meta
@@ -131,6 +132,7 @@ impl Bundle {
             pdns: &self.world.pdns,
             crtsh: &self.world.crtsh,
             dnssec: Some(&self.world.dnssec),
+            source_faults: None,
         }
     }
 

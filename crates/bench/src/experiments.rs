@@ -654,6 +654,7 @@ pub fn ablation(b: &Bundle) -> String {
             pdns: &b.world.pdns,
             crtsh: &b.world.crtsh,
             dnssec: Some(&b.world.dnssec),
+            source_faults: None,
         });
         let s = score_detection(&r.hijacked_domains(), &truth);
         let _ = writeln!(

@@ -9,13 +9,27 @@
 //! histogram. A per-seed `no-corroboration` row additionally strips
 //! passive DNS and CT entirely and requires zero hijack verdicts — the
 //! methodology's core conservativeness property.
+//!
+//! Source-outage rows (`<source>:<fault>`, e.g. `pdns:source-timeout`)
+//! leave the data intact but make one corroboration *source* misbehave
+//! at query time through a [`SourceFaultPlan`]. A fully dead source must
+//! turn would-be verdicts into explicit `Degraded` entries — never into
+//! hijack verdicts — and every cell (faulted or not) must *reconcile*:
+//! the `source.<name>.exhausted` tallies match the degraded verdicts
+//! that name the source, the `funnel.degraded` histogram matches the
+//! report's degraded entries, and the quarantine metrics match the
+//! funnel's quarantine histogram.
 
 use retrodns_cert::CrtShIndex;
 use retrodns_core::metrics::MetricsRegistry;
 use retrodns_core::pipeline::{AnalystInputs, Pipeline, PipelineConfig};
 use retrodns_dns::PassiveDns;
-use retrodns_sim::{FaultEffects, FaultKind, FaultPlan, SimConfig, World};
+use retrodns_sim::{
+    FaultEffects, FaultKind, FaultPlan, SimConfig, SourceFaultKind, SourceFaultPlan, World,
+};
+use retrodns_types::SourceFaults;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// One (seed, fault) cell of the survival matrix.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -36,7 +50,19 @@ pub struct FaultCell {
     pub true_positives: usize,
     /// Verdicts naming a benign domain (fabrications; must be zero).
     pub false_positives: usize,
-    /// Did the pipeline survive this cell (zero fabrications)?
+    /// Candidates that survived shortlisting (degradation denominator).
+    #[serde(default)]
+    pub shortlisted: usize,
+    /// Explicit degraded verdicts emitted (`Report::degraded`).
+    #[serde(default)]
+    pub degraded: usize,
+    /// Did the source/funnel/quarantine tallies reconcile with the
+    /// report (see the module docs)? Folded into `survived`.
+    #[serde(default)]
+    pub reconciled: bool,
+    /// Did the pipeline survive this cell (zero fabrications, tallies
+    /// reconciled, and — for full source outages — zero hijack verdicts
+    /// with the loss surfaced as degraded entries)?
     pub survived: bool,
 }
 
@@ -61,24 +87,31 @@ impl FaultMatrix {
     pub fn summary(&self) -> String {
         let mut out = String::from(
             "fault-injection survival matrix\n\
-             seed        fault                     injected  quarantined  hijacked  tp  fp  verdict\n",
+             seed        fault                           injected  quarantined  hijacked  degraded  tp  fp  verdict\n",
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "{:<10}  {:<24}  {:>8}  {:>11}  {:>8}  {:>2}  {:>2}  {}\n",
+                "{:<10}  {:<30}  {:>8}  {:>11}  {:>8}  {:>8}  {:>2}  {:>2}  {}\n",
                 c.seed,
                 c.fault,
                 c.injected,
                 c.quarantined,
                 c.hijacked,
+                c.degraded,
                 c.true_positives,
                 c.false_positives,
-                if c.survived { "ok" } else { "FABRICATED" }
+                if c.survived {
+                    "ok"
+                } else if c.reconciled {
+                    "FABRICATED"
+                } else {
+                    "DRIFT"
+                }
             ));
         }
         let survived = self.cells.iter().filter(|c| c.survived).count();
         out.push_str(&format!(
-            "{survived}/{} cells survived (fabricated-verdict-free)\n",
+            "{survived}/{} cells survived (fabrication-free, tallies reconciled)\n",
             self.cells.len()
         ));
         out
@@ -90,6 +123,7 @@ struct CellInputs<'a> {
     observations: &'a [retrodns_scan::DomainObservation],
     pdns: &'a PassiveDns,
     crtsh: &'a CrtShIndex,
+    source_faults: Option<&'a dyn SourceFaults>,
 }
 
 fn run_cell(
@@ -123,18 +157,40 @@ fn run_cell(
             pdns: cell.pdns,
             crtsh: cell.crtsh,
             dnssec: Some(&world.dnssec),
+            source_faults: cell.source_faults,
         },
         &mut metrics,
     );
     let quarantined: usize = report.funnel.quarantined.values().sum();
-    let metered: u64 = metrics
-        .snapshot()
+    let snapshot = metrics.snapshot();
+    let counter = |k: &str| snapshot.counters.get(k).copied().unwrap_or(0) as usize;
+    let metered: u64 = snapshot
         .counters
         .iter()
         .filter(|(k, _)| k.starts_with("funnel.quarantined."))
         .map(|(_, v)| v)
         .sum();
-    debug_assert_eq!(metered as usize, quarantined, "metrics/funnel drift");
+    // A degraded verdict names every source it is missing; each named
+    // mention must be backed by an exhausted guarded call — and vice
+    // versa (pivot frontier lookups and geo annotation failures degrade
+    // lookups/annotations, not verdicts, so they reconcile separately).
+    let mentions = |src: &str| {
+        report
+            .degraded
+            .iter()
+            .filter(|d| d.missing_sources.iter().any(|s| s == src))
+            .count()
+    };
+    let mut stage_hist: BTreeMap<String, usize> = BTreeMap::new();
+    for d in &report.degraded {
+        *stage_hist.entry(d.stage.clone()).or_insert(0) += 1;
+    }
+    let reconciled = metered as usize == quarantined
+        && counter("source.as2org.exhausted") == mentions("as2org")
+        && counter("source.ct.exhausted") == mentions("ct")
+        && counter("source.pdns.exhausted") == mentions("pdns") + counter("pivot.degraded_lookups")
+        && counter("source.geo.exhausted") == counter("pivot.annotation_degraded")
+        && stage_hist == report.funnel.degraded;
     let true_positives = report
         .hijacked
         .iter()
@@ -149,17 +205,31 @@ fn run_cell(
         hijacked: report.hijacked.len(),
         true_positives,
         false_positives,
-        survived: false_positives == 0,
+        shortlisted: report.funnel.shortlisted,
+        degraded: report.degraded.len(),
+        reconciled,
+        survived: false_positives == 0 && reconciled,
     }
 }
 
-/// Sweep `seeds` × every [`FaultKind`] (plus the `no-corroboration`
-/// stripped-inputs row per seed) over `SimConfig::small` worlds.
+/// The corroboration sources swept by the source-outage rows. `geo` is
+/// annotation-only (its loss never degrades a verdict), so it has no
+/// outage row; its reconciliation is checked on every cell instead.
+pub const OUTAGE_SOURCES: [&str; 3] = ["pdns", "ct", "as2org"];
+
+/// Sweep `seeds` × every [`FaultKind`], every
+/// source × [`SourceFaultKind`] outage, plus the `no-corroboration`
+/// stripped-inputs row per seed, over `SimConfig::small` worlds.
 pub fn run_fault_campaign(seeds: &[u64], workers: usize) -> FaultMatrix {
     let mut faults: Vec<String> = FaultKind::ALL
         .iter()
         .map(|k| k.label().to_string())
         .collect();
+    for source in OUTAGE_SOURCES {
+        for kind in SourceFaultKind::ALL {
+            faults.push(format!("{source}:{}", kind.label()));
+        }
+    }
     faults.push("no-corroboration".to_string());
     let mut cells = Vec::with_capacity(seeds.len() * faults.len());
     for &seed in seeds {
@@ -176,14 +246,45 @@ pub fn run_fault_campaign(seeds: &[u64], workers: usize) -> FaultMatrix {
                     observations: &damaged.observations,
                     pdns: &damaged.pdns,
                     crtsh: &world.crtsh,
+                    source_faults: None,
                 },
                 workers,
             ));
         }
-        // Corroboration-stripped: no pDNS, no CT. Conservativeness demands
-        // zero hijack verdicts here, not merely zero fabrications.
+        // Source outages: data intact, one source misbehaving for every
+        // query. A fully dead source must yield zero hijack verdicts and
+        // surface the loss as degraded entries (unless nothing was ever
+        // shortlisted); latency spikes let retries recover some queries,
+        // so they only demand fabrication-freedom and reconciliation.
         let dataset = world.scan();
         let observations = world.observations(&dataset);
+        for source in OUTAGE_SOURCES {
+            for kind in SourceFaultKind::ALL {
+                let plan = SourceFaultPlan::outage(seed, source, kind);
+                let label = format!("{source}:{}", kind.label());
+                let mut cell = run_cell(
+                    &world,
+                    seed,
+                    &label,
+                    FaultEffects::default(),
+                    CellInputs {
+                        observations: &observations,
+                        pdns: &world.pdns,
+                        crtsh: &world.crtsh,
+                        source_faults: Some(&plan),
+                    },
+                    workers,
+                );
+                if kind.is_full_outage_at_100() {
+                    cell.survived = cell.survived
+                        && cell.hijacked == 0
+                        && (cell.shortlisted == 0 || cell.degraded > 0);
+                }
+                cells.push(cell);
+            }
+        }
+        // Corroboration-stripped: no pDNS, no CT. Conservativeness demands
+        // zero hijack verdicts here, not merely zero fabrications.
         let empty_pdns = PassiveDns::new();
         let empty_crtsh = CrtShIndex::default();
         let mut cell = run_cell(
@@ -195,10 +296,11 @@ pub fn run_fault_campaign(seeds: &[u64], workers: usize) -> FaultMatrix {
                 observations: &observations,
                 pdns: &empty_pdns,
                 crtsh: &empty_crtsh,
+                source_faults: None,
             },
             workers,
         );
-        cell.survived = cell.hijacked == 0;
+        cell.survived = cell.survived && cell.hijacked == 0;
         cells.push(cell);
     }
     FaultMatrix {

@@ -34,8 +34,10 @@ use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
 /// Bumped whenever a stage payload's serialized shape changes; old
-/// checkpoints are then invalid wholesale.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+/// checkpoints are then invalid wholesale. Version 2: the classify
+/// payload became `Vec<Option<Pattern>>` (worker-panic isolation) and
+/// the shortlist/inspect payloads carry degraded-mode fields.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
 
 /// Resumable stage names, in execution order.
 pub const STAGE_NAMES: [&str; 4] = ["maps", "classify", "shortlist", "inspect"];

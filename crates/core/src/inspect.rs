@@ -110,6 +110,25 @@ pub struct DetectedTarget {
     pub victim_ccs: Vec<CountryCode>,
 }
 
+/// A verdict the pipeline could not reach with full corroboration: one
+/// or more sources stayed unavailable past their retry budget, so the
+/// candidate (or pivot discovery) is reported under an explicit
+/// *degraded* confidence tier — never silently dismissed and never
+/// upgraded to hijacked.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DegradedVerdict {
+    /// The registered domain whose verdict is degraded.
+    pub domain: DomainName,
+    /// Pipeline stage at which the degradation surfaced (`inspect` for
+    /// shortlist/inspect candidates, `pivot` for pivot discoveries).
+    pub stage: String,
+    /// First day of the suspicious evidence that made the domain a
+    /// candidate.
+    pub first_evidence: Day,
+    /// Canonical names of the unavailable sources, sorted.
+    pub missing_sources: Vec<String>,
+}
+
 /// Why a candidate was dropped at inspection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DismissReason {
@@ -129,6 +148,9 @@ pub enum InspectOutcome {
     Dismissed(DismissReason),
     /// Suspicious but uncorroborated (kept for the T1* pass).
     Inconclusive,
+    /// A corroboration source stayed unavailable past its retry budget:
+    /// the candidate is reported degraded instead of being judged.
+    Degraded(DegradedVerdict),
 }
 
 /// Inspection thresholds.
@@ -516,6 +538,7 @@ mod tests {
             truly_anomalous,
             via_anomalous_route: false,
             sensitive_names: vec![d("mail.mfa.gov.kg")],
+            degraded_sources: Vec::new(),
         }
     }
 

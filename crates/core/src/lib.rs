@@ -38,12 +38,14 @@ pub mod render;
 pub mod report;
 pub mod score;
 pub mod shortlist;
+pub mod sources;
 
 pub use checkpoint::{CheckpointStore, Fingerprint};
 pub use classify::{Pattern, StableKind, TransientKind, TransitionKind};
-pub use inspect::{DetectedHijack, DetectedTarget, DetectionType, InspectOutcome};
+pub use inspect::{DegradedVerdict, DetectedHijack, DetectedTarget, DetectionType, InspectOutcome};
 pub use map::{Deployment, DeploymentGroup, DeploymentMap, MapBuilder};
 pub use metrics::{CountingAlloc, MetricsRegistry, MetricsShard, MetricsSnapshot};
 pub use observability::{PipelineTimings, StageTiming};
 pub use pipeline::{AnalystInputs, InspectionResults, Pipeline, PipelineConfig, Report};
 pub use score::{score_detection, Score};
+pub use sources::{ResilientSource, Source, SourceGuard, SourcePolicy};

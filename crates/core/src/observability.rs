@@ -41,12 +41,25 @@ impl StageTiming {
         }
     }
 
-    /// Items per second (0 when no time was observed).
+    /// Items per second (0 when no meaningful time was observed).
+    ///
+    /// Stages over tiny inputs can finish in well under a millisecond;
+    /// dividing by a near-zero (or zero) wall time would report absurd
+    /// or non-finite throughput. Below one microsecond of wall time the
+    /// rate is reported as 0 instead, and any non-finite result of the
+    /// division is clamped to 0 as a belt-and-braces guard.
     pub fn throughput_per_sec(&self) -> f64 {
-        if self.wall_ms <= 0.0 {
-            return 0.0;
+        if self.wall_ms >= 1e-3 {
+            let rate = self.items as f64 / (self.wall_ms / 1e3);
+            if rate.is_finite() {
+                rate
+            } else {
+                0.0
+            }
+        } else {
+            // Covers zero, sub-microsecond, negative, and NaN wall times.
+            0.0
         }
-        self.items as f64 / (self.wall_ms / 1e3)
     }
 }
 
@@ -364,11 +377,49 @@ mod tests {
         assert_eq!(StageTiming::default().throughput_per_sec(), 0.0);
     }
 
+    /// Regression: a stage finishing in under a microsecond used to
+    /// divide by a near-zero wall time and report absurd (potentially
+    /// non-finite) throughput. Sub-microsecond timings now report 0 and
+    /// the result is always finite.
+    #[test]
+    fn sub_millisecond_timing_reports_finite_throughput() {
+        let nano = StageTiming::from_elapsed(std::time::Duration::from_nanos(1), 1_000_000);
+        assert_eq!(nano.throughput_per_sec(), 0.0);
+
+        let zero = StageTiming {
+            wall_ms: 0.0,
+            items: 42,
+        };
+        assert_eq!(zero.throughput_per_sec(), 0.0);
+
+        let nan = StageTiming {
+            wall_ms: f64::NAN,
+            items: 42,
+        };
+        assert_eq!(nan.throughput_per_sec(), 0.0);
+
+        // One microsecond is the floor: still finite, never inf/NaN.
+        let micro = StageTiming {
+            wall_ms: 1e-3,
+            items: 7,
+        };
+        assert!(micro.throughput_per_sec().is_finite());
+        assert!((micro.throughput_per_sec() - 7_000_000.0).abs() < 1e-3);
+        let summary_user = PipelineTimings {
+            inspect: nano,
+            ..PipelineTimings::default()
+        };
+        assert!(!summary_user.summary().contains("inf"));
+        assert!(!summary_user.summary().contains("NaN"));
+    }
+
     #[test]
     fn timings_summary_lists_all_stages() {
-        let mut t = PipelineTimings::default();
-        t.map_build = StageTiming::from_elapsed(std::time::Duration::from_millis(12), 34);
-        t.total_ms = 15.0;
+        let t = PipelineTimings {
+            map_build: StageTiming::from_elapsed(std::time::Duration::from_millis(12), 34),
+            total_ms: 15.0,
+            ..PipelineTimings::default()
+        };
         let s = t.summary();
         for stage in [
             "map_build",

@@ -9,23 +9,25 @@
 use crate::checkpoint::{config_fingerprint, inputs_fingerprint, CheckpointStore, Fingerprint};
 use crate::classify::{classify, ClassifyConfig, Pattern};
 use crate::inspect::{
-    inspect_candidate, t1_star_pass, DetectedHijack, DetectedTarget, DismissReason, InspectConfig,
-    InspectOutcome,
+    inspect_candidate, t1_star_pass, DegradedVerdict, DetectedHijack, DetectedTarget,
+    DismissReason, InspectConfig, InspectOutcome,
 };
 use crate::map::{DeploymentMap, MapBuilder};
 use crate::metrics::{self, MetricsRegistry, MetricsShard};
 use crate::observability::{PipelineTimings, StageTiming};
-use crate::pivot::{pivot, PivotConfig};
-use crate::shortlist::{shortlist, Candidate, ShortlistConfig};
+use crate::pivot::{pivot_guarded, PivotConfig};
+use crate::shortlist::{shortlist_guarded, Candidate, ShortlistConfig};
+use crate::sources::{query_key, ResilientSource, SourceGuard, SourcePolicy, SRC_GEO};
 use retrodns_asdb::AsDatabase;
 use retrodns_cert::{CertId, Certificate, CrtShIndex};
 use retrodns_dns::{DnssecArchive, PassiveDns};
 use retrodns_scan::DomainObservation;
-use retrodns_types::{Day, DomainInterner, DomainName, StudyWindow};
+use retrodns_types::{Day, DomainInterner, DomainName, SourceFaults, StudyWindow};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Everything a third-party analyst has access to.
@@ -43,6 +45,11 @@ pub struct AnalystInputs<'a> {
     /// Optional DNSSEC measurement archive (§7.1 extension signal; only
     /// consulted when `InspectConfig::use_dnssec_signal` is set).
     pub dnssec: Option<&'a DnssecArchive>,
+    /// Optional source-level fault injection (the fault harness and the
+    /// resilience tests). `None` means every source call succeeds
+    /// instantly, making the run byte-identical to one without the
+    /// resilience layer.
+    pub source_faults: Option<&'a dyn SourceFaults>,
 }
 
 /// Pipeline configuration: all stage thresholds plus execution knobs.
@@ -65,6 +72,10 @@ pub struct PipelineConfig {
     /// produces a byte-identical [`Report`]; see `DESIGN.md` for the
     /// execution model.
     pub workers: usize,
+    /// Retry/deadline/circuit-breaker policy for the corroboration
+    /// sources (pdns, ct, as2org, geo); see `core::sources`.
+    #[serde(default)]
+    pub sources: SourcePolicy,
 }
 
 impl Default for PipelineConfig {
@@ -77,6 +88,7 @@ impl Default for PipelineConfig {
             inspect: InspectConfig::default(),
             pivot: PivotConfig::default(),
             workers: 1,
+            sources: SourcePolicy::default(),
         }
     }
 }
@@ -112,6 +124,13 @@ pub struct FunnelStats {
     pub dismissed_stale: usize,
     /// Candidates left inconclusive after inspection and the T1* pass.
     pub inconclusive: usize,
+    /// Degraded verdicts per stage (`inspect` for shortlist/inspect
+    /// candidates, `pivot` for pivot discoveries): verdicts whose
+    /// corroboration sources stayed unavailable past their retry
+    /// budget. Empty — and omitted from serialization — on a fault-free
+    /// run.
+    #[serde(default, skip_serializing_if = "serde::__is_default")]
+    pub degraded: BTreeMap<String, usize>,
     /// Hijacks found per detection type.
     pub hijacks_by_type: BTreeMap<String, usize>,
 }
@@ -124,6 +143,14 @@ pub struct Report {
     pub hijacked: Vec<DetectedHijack>,
     /// Domains concluded targeted but not hijacked (Table 3).
     pub targeted: Vec<DetectedTarget>,
+    /// Verdicts the pipeline could not corroborate because sources were
+    /// unavailable past their retry budget, sorted (degraded mode —
+    /// explicit, never silently upgraded or dropped). Empty — and
+    /// omitted from serialization, keeping fault-free report JSON
+    /// byte-identical to a build without the resilience layer — unless
+    /// faults fired.
+    #[serde(default, skip_serializing_if = "serde::__is_default")]
+    pub degraded: Vec<DegradedVerdict>,
     /// Funnel accounting.
     pub funnel: FunnelStats,
     /// Per-stage wall-time/throughput breakdown of the run. Skipped in
@@ -200,18 +227,35 @@ impl Pipeline {
         maps: &[DeploymentMap],
         shard: &mut MetricsShard,
     ) -> Vec<Pattern> {
+        self.classify_maps_guarded(maps, shard)
+            .into_iter()
+            .map(|p| p.expect("classify panicked"))
+            .collect()
+    }
+
+    /// [`classify_maps_metered`](Self::classify_maps_metered) with
+    /// per-map panic isolation: a map whose classification panics
+    /// yields `None` in its slot instead of taking its worker (and the
+    /// run) down. The pipeline quarantines `None` slots under the
+    /// `worker_panic` reason; the plain entry points above treat any
+    /// `None` as fatal, preserving their historical contract.
+    fn classify_maps_guarded(
+        &self,
+        maps: &[DeploymentMap],
+        shard: &mut MetricsShard,
+    ) -> Vec<Option<Pattern>> {
         let workers = self.config.workers;
         if workers <= 1 || maps.len() < 2 {
             let t = Instant::now();
-            let patterns: Vec<Pattern> = maps
+            let patterns: Vec<Option<Pattern>> = maps
                 .iter()
-                .map(|m| classify(m, &self.config.classify))
+                .map(|m| catch_item(|| classify(m, &self.config.classify)))
                 .collect();
             record_workers(shard, "classify", &[(maps.len(), t.elapsed())]);
             return patterns;
         }
         let chunk = maps.len().div_ceil(workers);
-        let mut patterns: Vec<Pattern> = Vec::with_capacity(maps.len());
+        let mut patterns: Vec<Option<Pattern>> = Vec::with_capacity(maps.len());
         let mut worker_stats: Vec<(usize, std::time::Duration)> = Vec::with_capacity(workers);
         crossbeam::scope(|scope| {
             let handles: Vec<_> = maps
@@ -221,14 +265,14 @@ impl Pipeline {
                         let t = Instant::now();
                         let out = slice
                             .iter()
-                            .map(|m| classify(m, &self.config.classify))
+                            .map(|m| catch_item(|| classify(m, &self.config.classify)))
                             .collect::<Vec<_>>();
                         (out, slice.len(), t.elapsed())
                     })
                 })
                 .collect();
             for h in handles {
-                let (out, items, wall) = h.join().expect("classify worker panicked");
+                let (out, items, wall) = h.join().expect("classify worker thread died");
                 patterns.extend(out);
                 worker_stats.push((items, wall));
             }
@@ -239,20 +283,32 @@ impl Pipeline {
     }
 
     /// Stage 4: inspect a contiguous chunk of candidates, accumulating a
-    /// mergeable partial result.
-    fn inspect_chunk(&self, candidates: &[Candidate], inputs: &AnalystInputs) -> InspectionResults {
+    /// mergeable partial result. Each chunk owns its source guards (so
+    /// breaker history needs no locks and is deterministic for a given
+    /// chunking) and its panic isolation: a candidate whose inspection
+    /// panics is counted in `worker_panics` instead of killing the run.
+    /// Guard tallies land in `shard` under `source.<name>.*`.
+    fn inspect_chunk(
+        &self,
+        candidates: &[Candidate],
+        inputs: &AnalystInputs,
+        shard: &mut MetricsShard,
+    ) -> InspectionResults {
+        let mut pdns = ResilientSource::new(inputs.pdns, self.config.sources, inputs.source_faults);
+        let mut crtsh =
+            ResilientSource::new(inputs.crtsh, self.config.sources, inputs.source_faults);
         let mut out = InspectionResults::default();
         for candidate in candidates {
-            match inspect_candidate(
-                candidate,
-                inputs.pdns,
-                inputs.crtsh,
-                inputs.certs,
-                inputs.dnssec,
-                &self.config.inspect,
-            ) {
+            let Some(outcome) =
+                catch_item(|| self.inspect_one(candidate, inputs, &mut pdns, &mut crtsh))
+            else {
+                out.worker_panics += 1;
+                continue;
+            };
+            match outcome {
                 InspectOutcome::Hijacked(h) => out.hijacked.push(h),
                 InspectOutcome::Targeted(t) => out.targeted.push(t),
+                InspectOutcome::Degraded(d) => out.degraded.push(d),
                 InspectOutcome::Dismissed(DismissReason::StaleCert) => {
                     out.dismissed_stale += 1;
                 }
@@ -277,7 +333,52 @@ impl Pipeline {
                 }
             }
         }
+        pdns.record(shard);
+        crtsh.record(shard);
         out
+    }
+
+    /// Inspect one candidate through the guarded sources. One logical
+    /// call per source — keyed by (domain, period) — models the
+    /// transport round for all of that candidate's sub-queries; only
+    /// when every source answers does the pure decision procedure run.
+    /// Any exhausted source (or a degradation inherited from the
+    /// shortlist) turns the verdict into an explicit
+    /// [`InspectOutcome::Degraded`].
+    fn inspect_one(
+        &self,
+        candidate: &Candidate,
+        inputs: &AnalystInputs,
+        pdns: &mut ResilientSource<PassiveDns>,
+        crtsh: &mut ResilientSource<CrtShIndex>,
+    ) -> InspectOutcome {
+        let key = query_key(&[
+            candidate.domain.as_str().as_bytes(),
+            &candidate.period.id.to_le_bytes(),
+        ]);
+        let mut missing: BTreeSet<String> = candidate.degraded_sources.iter().cloned().collect();
+        if pdns.call(key, |_| ()).is_err() {
+            missing.insert(pdns.guard().name().to_string());
+        }
+        if crtsh.call(key, |_| ()).is_err() {
+            missing.insert(crtsh.guard().name().to_string());
+        }
+        if !missing.is_empty() {
+            return InspectOutcome::Degraded(DegradedVerdict {
+                domain: candidate.domain.clone(),
+                stage: "inspect".to_string(),
+                first_evidence: candidate.transient.first,
+                missing_sources: missing.into_iter().collect(),
+            });
+        }
+        inspect_candidate(
+            candidate,
+            inputs.pdns,
+            inputs.crtsh,
+            inputs.certs,
+            inputs.dnssec,
+            &self.config.inspect,
+        )
     }
 
     /// Stage 4 over all candidates: a crossbeam worker pool over
@@ -305,7 +406,7 @@ impl Pipeline {
         let workers = self.config.workers;
         if workers <= 1 || candidates.len() < 2 {
             let t = Instant::now();
-            let out = self.inspect_chunk(candidates, inputs);
+            let out = self.inspect_chunk(candidates, inputs, shard);
             record_workers(shard, "inspect", &[(candidates.len(), t.elapsed())]);
             return out;
         }
@@ -318,14 +419,16 @@ impl Pipeline {
                 .map(|slice| {
                     scope.spawn(move |_| {
                         let t = Instant::now();
-                        let out = self.inspect_chunk(slice, inputs);
-                        (out, slice.len(), t.elapsed())
+                        let mut chunk_shard = MetricsShard::default();
+                        let out = self.inspect_chunk(slice, inputs, &mut chunk_shard);
+                        (out, chunk_shard, slice.len(), t.elapsed())
                     })
                 })
                 .collect();
             for h in handles {
-                let (out, items, wall) = h.join().expect("inspect worker panicked");
+                let (out, chunk_shard, items, wall) = h.join().expect("inspect worker thread died");
                 partials.push(out);
+                shard.merge(chunk_shard);
                 worker_stats.push((items, wall));
             }
         })
@@ -337,6 +440,8 @@ impl Pipeline {
             merged.targeted.extend(p.targeted);
             merged.inconclusive.extend(p.inconclusive);
             merged.dismissed_stale += p.dismissed_stale;
+            merged.degraded.extend(p.degraded);
+            merged.worker_panics += p.worker_panics;
         }
         merged
     }
@@ -471,19 +576,26 @@ impl Pipeline {
         let mut ckpt_shard = MetricsShard::default();
         let mut stage_shard = MetricsShard::default();
         let t = Instant::now();
-        let patterns: Vec<Pattern> = run_stage(
+        let patterns: Vec<Option<Pattern>> = run_stage(
             &mut store,
             fp.as_ref(),
             &mut chain_intact,
             "classify",
             &mut ckpt_shard,
-            || self.classify_maps_metered(&maps, &mut stage_shard),
+            || self.classify_maps_guarded(&maps, &mut stage_shard),
         );
         timings.classify = StageTiming::from_elapsed(t.elapsed(), maps.len());
         metrics.merge(ckpt_shard);
         metrics.merge(stage_shard);
         stage_sample(metrics, "classify", maps.len(), t.elapsed(), alloc0);
         metrics.span_close(span);
+        // Maps whose classification panicked are quarantined, not
+        // analyzed — and not silently dropped.
+        let (maps, patterns, classify_panics) = drop_panicked(maps, patterns);
+        let mut quarantined = quarantined;
+        if classify_panics > 0 {
+            *quarantined.entry("worker_panic".to_string()).or_insert(0) += classify_panics;
+        }
 
         // ---- funnel: population statistics -------------------------
         let mut funnel = FunnelStats {
@@ -526,6 +638,8 @@ impl Pipeline {
         let alloc0 = metrics::allocated_bytes_total();
         let mut ckpt_shard = MetricsShard::default();
         let t = Instant::now();
+        let mut as2org =
+            ResilientSource::new(inputs.asdb, self.config.sources, inputs.source_faults);
         let shortlisted: crate::shortlist::ShortlistOutcome = run_stage(
             &mut store,
             fp.as_ref(),
@@ -533,16 +647,19 @@ impl Pipeline {
             "shortlist",
             &mut ckpt_shard,
             || {
-                shortlist(
+                shortlist_guarded(
                     &maps,
                     &patterns,
-                    inputs.asdb,
+                    &mut as2org,
                     inputs.certs,
                     &self.config.shortlist,
                 )
             },
         );
         timings.shortlist = StageTiming::from_elapsed(t.elapsed(), maps.len());
+        let mut src_shard = MetricsShard::default();
+        as2org.record(&mut src_shard);
+        metrics.merge(src_shard);
         metrics.merge(ckpt_shard);
         stage_sample(metrics, "shortlist", maps.len(), t.elapsed(), alloc0);
         metrics.span_close(span);
@@ -586,8 +703,17 @@ impl Pipeline {
             targeted,
             inconclusive,
             dismissed_stale,
+            degraded,
+            worker_panics,
         } = inspected;
         funnel.dismissed_stale = dismissed_stale;
+        let mut degraded = degraded;
+        if worker_panics > 0 {
+            *funnel
+                .quarantined
+                .entry("worker_panic".to_string())
+                .or_insert(0) += worker_panics;
+        }
 
         // ---- T1* pass -------------------------------------------------
         let confirmed_ips: BTreeSet<_> = hijacked
@@ -607,24 +733,59 @@ impl Pipeline {
         let span = metrics.span_open("stage.pivot");
         let alloc0 = metrics::allocated_bytes_total();
         let t = Instant::now();
-        let pivoted = pivot(&hijacked, inputs.pdns, inputs.crtsh, &self.config.pivot);
+        let mut pdns_src =
+            ResilientSource::new(inputs.pdns, self.config.sources, inputs.source_faults);
+        let mut crtsh_src =
+            ResilientSource::new(inputs.crtsh, self.config.sources, inputs.source_faults);
+        let pivoted = pivot_guarded(&hijacked, &mut pdns_src, &mut crtsh_src, &self.config.pivot);
         timings.pivot = StageTiming::from_elapsed(t.elapsed(), hijacked.len());
-        metrics.count("pivot.discovered", pivoted.len() as u64);
+        metrics.count("pivot.discovered", pivoted.found.len() as u64);
+        if pivoted.degraded_lookups > 0 {
+            metrics.count("pivot.degraded_lookups", pivoted.degraded_lookups as u64);
+        }
+        let mut src_shard = MetricsShard::default();
+        pdns_src.record(&mut src_shard);
+        crtsh_src.record(&mut src_shard);
+        metrics.merge(src_shard);
         stage_sample(metrics, "pivot", hijacked.len(), t.elapsed(), alloc0);
         metrics.span_close(span);
-        hijacked.extend(pivoted);
+        hijacked.extend(pivoted.found);
+        degraded.extend(pivoted.degraded);
 
         // Backfill attacker network annotations (pivot discoveries know
         // only the IP; the as-database supplies ASN and country for the
-        // Table 2/5 columns).
+        // Table 2/5 columns). The annotation is advisory, so an
+        // unavailable geolocation source degrades only the annotation —
+        // the verdict stands, and the gap is counted, never guessed.
+        let mut geo = SourceGuard::new(SRC_GEO, self.config.sources, inputs.source_faults);
+        let mut annotation_degraded = 0u64;
         for h in hijacked.iter_mut() {
-            if h.attacker_asn.is_none() {
-                if let Some(ip) = h.attacker_ips.first() {
-                    let ann = inputs.asdb.annotate(*ip);
+            if h.attacker_asn.is_some() {
+                continue;
+            }
+            let Some(ip) = h.attacker_ips.first().copied() else {
+                continue;
+            };
+            let key = query_key(&[h.domain.as_str().as_bytes(), &ip.0.to_le_bytes()]);
+            match geo.call(key, || inputs.asdb.annotate(ip)) {
+                Ok(ann) => {
                     h.attacker_asn = ann.asn;
                     h.attacker_cc = ann.country;
                 }
+                Err(_) => annotation_degraded += 1,
             }
+        }
+        if annotation_degraded > 0 {
+            metrics.count("pivot.annotation_degraded", annotation_degraded);
+        }
+        let mut src_shard = MetricsShard::default();
+        geo.record(&mut src_shard);
+        metrics.merge(src_shard);
+
+        // ---- degraded-mode accounting ---------------------------------
+        degraded.sort();
+        for d in &degraded {
+            *funnel.degraded.entry(d.stage.clone()).or_insert(0) += 1;
         }
 
         // ---- dedup + ordering -----------------------------------------
@@ -657,10 +818,45 @@ impl Pipeline {
         Report {
             hijacked,
             targeted,
+            degraded,
             funnel,
             timings,
         }
     }
+}
+
+/// Run one work item, converting a panic into `None` so a poisoned
+/// record cannot take down its worker (or the run). The caller counts
+/// `None` under the `worker_panic` quarantine reason. The default panic
+/// hook still prints to stderr; suppressing it globally would hide
+/// panics from unrelated threads.
+fn catch_item<T>(f: impl FnOnce() -> T) -> Option<T> {
+    catch_unwind(AssertUnwindSafe(f)).ok()
+}
+
+/// Drop maps whose classification panicked (a `None` slot), keeping the
+/// maps/patterns vectors aligned for the shortlist. Returns the
+/// filtered pair plus the number dropped; the zero-panic fast path
+/// reuses both allocations untouched.
+fn drop_panicked(
+    maps: Vec<DeploymentMap>,
+    patterns: Vec<Option<Pattern>>,
+) -> (Vec<DeploymentMap>, Vec<Pattern>, usize) {
+    debug_assert_eq!(maps.len(), patterns.len(), "patterns must parallel maps");
+    let panicked = patterns.iter().filter(|p| p.is_none()).count();
+    if panicked == 0 {
+        return (maps, patterns.into_iter().flatten().collect(), 0);
+    }
+    let keep = maps.len() - panicked;
+    let mut kept_maps = Vec::with_capacity(keep);
+    let mut kept_patterns = Vec::with_capacity(keep);
+    for (m, p) in maps.into_iter().zip(patterns) {
+        if let Some(p) = p {
+            kept_maps.push(m);
+            kept_patterns.push(p);
+        }
+    }
+    (kept_maps, kept_patterns, panicked)
 }
 
 /// Record one stage's point-in-time samples: wall time and item count as
@@ -735,6 +931,9 @@ fn record_funnel(metrics: &mut MetricsRegistry, funnel: &FunnelStats) {
     }
     metrics.count("funnel.dismissed_stale", funnel.dismissed_stale as u64);
     metrics.count("funnel.inconclusive", funnel.inconclusive as u64);
+    for (stage, n) in &funnel.degraded {
+        metrics.count(&format!("funnel.degraded.{stage}"), *n as u64);
+    }
     for (t, n) in &funnel.hijacks_by_type {
         metrics.count(&format!("funnel.hijacks.{t}"), *n as u64);
     }
@@ -862,6 +1061,14 @@ pub struct InspectionResults {
     pub inconclusive: Vec<(Candidate, Day, Option<CertId>, Option<DomainName>)>,
     /// Candidates dismissed for stale certificates.
     pub dismissed_stale: usize,
+    /// Candidates whose verdict degraded: a corroboration source stayed
+    /// unavailable past its retry budget.
+    #[serde(default)]
+    pub degraded: Vec<DegradedVerdict>,
+    /// Candidates skipped because their inspection panicked; the
+    /// pipeline quarantines them under `worker_panic`.
+    #[serde(default)]
+    pub worker_panics: usize,
 }
 
 /// Deduplicate hijacks by domain: earliest evidence wins the date; types,
@@ -938,6 +1145,7 @@ mod tests {
             pdns: &world.pdns,
             crtsh: &world.crtsh,
             dnssec: Some(&world.dnssec),
+            source_faults: None,
         });
 
         let truth_hijacked: BTreeSet<_> = world
@@ -1008,10 +1216,57 @@ mod tests {
             pdns: &world.pdns,
             crtsh: &world.crtsh,
             dnssec: Some(&world.dnssec),
+            source_faults: None,
         };
         let r1 = base.run(&inputs);
         let r2 = loose.run(&inputs);
         assert!(r2.funnel.shortlisted >= r1.funnel.shortlisted);
         assert!(r2.funnel.pruned.values().sum::<usize>() == 0);
+    }
+
+    /// A panicking work item becomes `None` instead of killing the run.
+    #[test]
+    fn catch_item_converts_panics() {
+        assert_eq!(catch_item(|| 5), Some(5));
+        assert_eq!(catch_item::<i32>(|| panic!("poisoned record")), None);
+    }
+
+    /// Dropping panicked classifications keeps maps and patterns
+    /// aligned and counts exactly the panicked slots.
+    #[test]
+    fn drop_panicked_keeps_vectors_aligned() {
+        use retrodns_types::Period;
+        let mk = |name: &str| DeploymentMap {
+            domain: name.parse().unwrap(),
+            period: Period {
+                id: 0,
+                start: Day(0),
+                end: Day(7),
+            },
+            deployments: Vec::new(),
+            dates_present: Vec::new(),
+            expected_scans: 0,
+        };
+        let maps = vec![mk("a.com"), mk("b.com"), mk("c.com")];
+        let noisy = classify(&maps[0], &ClassifyConfig::default());
+        let patterns = vec![Some(noisy.clone()), None, Some(noisy.clone())];
+
+        let (kept_maps, kept_patterns, dropped) = drop_panicked(maps.clone(), patterns);
+        assert_eq!(dropped, 1);
+        assert_eq!(kept_maps.len(), kept_patterns.len());
+        assert_eq!(
+            kept_maps
+                .iter()
+                .map(|m| m.domain.as_str())
+                .collect::<Vec<_>>(),
+            ["a.com", "c.com"]
+        );
+
+        // Zero-panic fast path keeps everything.
+        let patterns = vec![Some(noisy.clone()), Some(noisy.clone()), Some(noisy)];
+        let (kept_maps, kept_patterns, dropped) = drop_panicked(maps, patterns);
+        assert_eq!(dropped, 0);
+        assert_eq!(kept_maps.len(), 3);
+        assert_eq!(kept_patterns.len(), 3);
     }
 }

@@ -11,7 +11,8 @@
 //! The pivot runs to fixpoint: every newly confirmed victim contributes
 //! its own attacker IPs/nameservers to the frontier.
 
-use crate::inspect::{DetectedHijack, DetectionType};
+use crate::inspect::{DegradedVerdict, DetectedHijack, DetectionType};
+use crate::sources::{query_key, ResilientSource, SourcePolicy};
 use retrodns_cert::CrtShIndex;
 use retrodns_dns::{PassiveDns, RecordType};
 use retrodns_types::{Day, DomainName, Ipv4Addr};
@@ -43,14 +44,53 @@ impl Default for PivotConfig {
     }
 }
 
+/// The pivot stage's full result, including degraded-mode accounting.
+#[derive(Debug, Clone, Default)]
+pub struct PivotOutcome {
+    /// Newly discovered hijacks.
+    pub found: Vec<DetectedHijack>,
+    /// Pivot discoveries whose corroborating detail queries stayed
+    /// unavailable: reported under the degraded tier, never upgraded to
+    /// hijacked, and never used to extend the frontier.
+    pub degraded: Vec<DegradedVerdict>,
+    /// Frontier expansions (reverse pDNS lookups) skipped because the
+    /// source was unavailable past its retry budget.
+    pub degraded_lookups: usize,
+}
+
 /// Expand the confirmed-hijack set by pivoting on attacker infrastructure.
-/// Returns only the newly discovered hijacks.
+/// Returns only the newly discovered hijacks. Sources run unguarded (no
+/// faults, no budget); the pipeline uses [`pivot_guarded`] instead.
 pub fn pivot(
     confirmed: &[DetectedHijack],
     pdns: &PassiveDns,
     crtsh: &CrtShIndex,
     cfg: &PivotConfig,
 ) -> Vec<DetectedHijack> {
+    let mut pdns = ResilientSource::new(pdns, SourcePolicy::default(), None);
+    let mut crtsh = ResilientSource::new(crtsh, SourcePolicy::default(), None);
+    pivot_guarded(confirmed, &mut pdns, &mut crtsh, cfg).found
+}
+
+/// [`pivot`] with both sources behind [`ResilientSource`] guards.
+///
+/// Two kinds of guarded calls exist here, with different degraded
+/// behavior:
+///
+/// * **frontier expansion** (reverse pDNS lookup of an attacker IP or
+///   rogue NS) — on exhaustion the expansion is skipped and counted in
+///   [`PivotOutcome::degraded_lookups`]; nothing is guessed;
+/// * **discovery detail** (the per-domain pDNS/CT corroboration of one
+///   pivot hit) — on exhaustion the discovery is demoted to a
+///   [`DegradedVerdict`] (stage `pivot`), remembered as known so it is
+///   not re-litigated, and contributes nothing to the frontier.
+pub fn pivot_guarded(
+    confirmed: &[DetectedHijack],
+    pdns: &mut ResilientSource<PassiveDns>,
+    crtsh: &mut ResilientSource<CrtShIndex>,
+    cfg: &PivotConfig,
+) -> PivotOutcome {
+    let mut out = PivotOutcome::default();
     let mut known: HashSet<DomainName> = confirmed.iter().map(|h| h.domain.clone()).collect();
     let mut found: Vec<DetectedHijack> = Vec::new();
 
@@ -74,7 +114,15 @@ pub fn pivot(
                 continue;
             }
             progressed = true;
-            for entry in pdns.domains_delegated_to(&ns) {
+            let key = query_key(&[b"delegated-to", ns.as_str().as_bytes()]);
+            let entries = match pdns.call(key, |p| p.domains_delegated_to(&ns)) {
+                Ok(entries) => entries,
+                Err(_) => {
+                    out.degraded_lookups += 1;
+                    continue;
+                }
+            };
+            for entry in entries {
                 if entry.visibility_days() > cfg.short_change_max_days {
                     continue; // long-lived: legitimately hosted there
                 }
@@ -82,12 +130,22 @@ pub fn pivot(
                 if known.contains(&domain) {
                     continue;
                 }
+                if let Err(missing) = corroborate(&domain, pdns, crtsh) {
+                    out.degraded.push(DegradedVerdict {
+                        domain: domain.clone(),
+                        stage: "pivot".to_string(),
+                        first_evidence: entry.first_seen,
+                        missing_sources: missing,
+                    });
+                    known.insert(domain);
+                    continue;
+                }
                 let hijack = build_pivot_hit(
                     &domain,
                     DetectionType::PivotNs,
                     entry.first_seen,
-                    pdns,
-                    crtsh,
+                    pdns.inner(),
+                    crtsh.inner(),
                     cfg,
                     Some(ns.clone()),
                 );
@@ -103,7 +161,14 @@ pub fn pivot(
                 continue;
             }
             progressed = true;
-            let entries = pdns.domains_resolving_to(ip);
+            let key = query_key(&[b"resolving-to", &ip.0.to_le_bytes()]);
+            let entries = match pdns.call(key, |p| p.domains_resolving_to(ip)) {
+                Ok(entries) => entries,
+                Err(_) => {
+                    out.degraded_lookups += 1;
+                    continue;
+                }
+            };
             let distinct: BTreeSet<DomainName> =
                 entries.iter().map(|e| e.name.registered_domain()).collect();
             if distinct.len() > cfg.max_domains_per_ip {
@@ -117,12 +182,22 @@ pub fn pivot(
                 if known.contains(&domain) {
                     continue;
                 }
+                if let Err(missing) = corroborate(&domain, pdns, crtsh) {
+                    out.degraded.push(DegradedVerdict {
+                        domain: domain.clone(),
+                        stage: "pivot".to_string(),
+                        first_evidence: entry.first_seen,
+                        missing_sources: missing,
+                    });
+                    known.insert(domain);
+                    continue;
+                }
                 let mut hijack = build_pivot_hit(
                     &domain,
                     DetectionType::PivotIp,
                     entry.first_seen,
-                    pdns,
-                    crtsh,
+                    pdns.inner(),
+                    crtsh.inner(),
                     cfg,
                     None,
                 );
@@ -143,7 +218,31 @@ pub fn pivot(
         }
     }
 
-    found
+    out.found = found;
+    out
+}
+
+/// One guarded transport round per source for a pivot discovery's
+/// detail queries. `Err` carries the canonical names of the sources
+/// that stayed unavailable (in pdns-then-ct order).
+fn corroborate(
+    domain: &DomainName,
+    pdns: &mut ResilientSource<PassiveDns>,
+    crtsh: &mut ResilientSource<CrtShIndex>,
+) -> Result<(), Vec<String>> {
+    let key = query_key(&[b"pivot-detail", domain.as_str().as_bytes()]);
+    let mut missing: Vec<String> = Vec::new();
+    if pdns.call(key, |_| ()).is_err() {
+        missing.push(pdns.guard().name().to_string());
+    }
+    if crtsh.call(key, |_| ()).is_err() {
+        missing.push(crtsh.guard().name().to_string());
+    }
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(missing)
+    }
 }
 
 fn pop_first<T: Ord + Clone>(set: &mut BTreeSet<T>) -> Option<T> {

@@ -20,6 +20,7 @@
 
 use crate::classify::{Pattern, StableBackground, TransientFinding};
 use crate::map::{Deployment, DeploymentMap};
+use crate::sources::{query_key, ResilientSource, SourcePolicy};
 use retrodns_asdb::AsDatabase;
 use retrodns_cert::{CertId, Certificate};
 use retrodns_types::{Asn, DomainId, DomainInterner, DomainName, Period, PeriodId};
@@ -77,6 +78,12 @@ pub struct Candidate {
     pub via_anomalous_route: bool,
     /// The sensitive names secured by the transient's trusted certs.
     pub sensitive_names: Vec<DomainName>,
+    /// Sources that stayed unavailable while judging this candidate
+    /// (currently only `as2org`): the shortlist kept it rather than
+    /// prune on missing evidence, and inspection must report it under
+    /// the degraded tier.
+    #[serde(default)]
+    pub degraded_sources: Vec<String>,
 }
 
 /// Shortlisting thresholds and ablation switches.
@@ -133,11 +140,30 @@ impl ShortlistOutcome {
 }
 
 /// Run the shortlist heuristics over classified maps. `patterns` is
-/// parallel to `maps`.
+/// parallel to `maps`. The as2org lookups run unguarded (no faults, no
+/// budget); the pipeline uses [`shortlist_guarded`] instead.
 pub fn shortlist(
     maps: &[DeploymentMap],
     patterns: &[Pattern],
     asdb: &AsDatabase,
+    certs: &HashMap<CertId, Certificate>,
+    cfg: &ShortlistConfig,
+) -> ShortlistOutcome {
+    let mut as2org = ResilientSource::new(asdb, SourcePolicy::default(), None);
+    shortlist_guarded(maps, patterns, &mut as2org, certs, cfg)
+}
+
+/// [`shortlist`] with the as2org relatedness oracle behind a
+/// [`ResilientSource`]. When the oracle stays unavailable past its
+/// retry budget for a finding, the candidate is *kept* (we cannot
+/// prove it benign) with the source recorded in
+/// [`Candidate::degraded_sources`], and the remaining prune heuristics
+/// are skipped — every exhausted as2org call surfaces as exactly one
+/// degraded verdict downstream, never as a silent prune.
+pub fn shortlist_guarded(
+    maps: &[DeploymentMap],
+    patterns: &[Pattern],
+    as2org: &mut ResilientSource<AsDatabase>,
     certs: &HashMap<CertId, Certificate>,
     cfg: &ShortlistConfig,
 ) -> ShortlistOutcome {
@@ -249,17 +275,30 @@ pub fn shortlist(
         let mut last_prune: Option<PruneReason> = None;
         for finding in findings {
             let transient = &m.deployments[finding.deployment];
+            let mut degraded_sources: Vec<String> = Vec::new();
 
-            if !cfg.disable_org_check
-                && background
-                    .asns
-                    .iter()
-                    .any(|stable_asn| asdb.related_asns(transient.asn, *stable_asn))
-            {
-                last_prune = Some(PruneReason::RelatedOrg);
-                continue;
+            if !cfg.disable_org_check {
+                let key =
+                    query_key(&[m.domain.as_str().as_bytes(), &transient.asn.0.to_le_bytes()]);
+                match as2org.call(key, |db| {
+                    background
+                        .asns
+                        .iter()
+                        .any(|stable_asn| db.related_asns(transient.asn, *stable_asn))
+                }) {
+                    Ok(true) => {
+                        last_prune = Some(PruneReason::RelatedOrg);
+                        continue;
+                    }
+                    Ok(false) => {}
+                    // Oracle unavailable: keep the candidate, degraded,
+                    // and skip the remaining prunes (we cannot prove it
+                    // benign without the evidence we just lost).
+                    Err(_) => degraded_sources.push(as2org.guard().name().to_string()),
+                }
             }
-            if !cfg.disable_geo_check
+            if degraded_sources.is_empty()
+                && !cfg.disable_geo_check
                 && transient
                     .countries
                     .iter()
@@ -277,7 +316,11 @@ pub fn shortlist(
                 .flat_map(|c| c.sensitive_names().into_iter().cloned())
                 .collect();
             let sensitive_ok = !sensitive_names.is_empty();
-            if !cfg.disable_sensitive_filter && !sensitive_ok && !truly_anomalous {
+            if degraded_sources.is_empty()
+                && !cfg.disable_sensitive_filter
+                && !sensitive_ok
+                && !truly_anomalous
+            {
                 last_prune = Some(PruneReason::NotSensitiveNotAnomalous);
                 continue;
             }
@@ -292,6 +335,7 @@ pub fn shortlist(
                 truly_anomalous,
                 via_anomalous_route: truly_anomalous && !sensitive_ok,
                 sensitive_names,
+                degraded_sources,
             });
         }
         if !kept_any {

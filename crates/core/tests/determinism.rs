@@ -26,6 +26,7 @@ fn report_is_byte_identical_across_worker_counts() {
         pdns: &world.pdns,
         crtsh: &world.crtsh,
         dnssec: Some(&world.dnssec),
+        source_faults: None,
     };
 
     let run = |workers: usize| {
@@ -89,6 +90,7 @@ fn faulted_report_is_byte_identical_across_worker_counts() {
         pdns: &damaged.pdns,
         crtsh: &world.crtsh,
         dnssec: Some(&world.dnssec),
+        source_faults: None,
     };
 
     let run = |workers: usize| {
@@ -130,6 +132,7 @@ fn resumed_report_is_byte_identical_to_uninterrupted_run() {
         pdns: &world.pdns,
         crtsh: &world.crtsh,
         dnssec: Some(&world.dnssec),
+        source_faults: None,
     };
     let pipeline = Pipeline::new(PipelineConfig {
         window: world.config.window.clone(),

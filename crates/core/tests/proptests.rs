@@ -1,12 +1,15 @@
-//! Property-based tests for deployment-map construction and pattern
-//! classification over arbitrary observation sets.
+//! Property-based tests for deployment-map construction, pattern
+//! classification over arbitrary observation sets, and checkpoint
+//! corruption detection.
 
 use proptest::prelude::*;
 use retrodns_cert::CertId;
+use retrodns_core::checkpoint::{CheckpointStore, Fingerprint};
 use retrodns_core::classify::{classify, ClassifyConfig};
 use retrodns_core::map::MapBuilder;
 use retrodns_scan::DomainObservation;
 use retrodns_types::{Asn, Day, DomainName, Ipv4Addr, StudyWindow};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn arb_observation() -> impl Strategy<Value = DomainObservation> {
     (
@@ -125,6 +128,53 @@ proptest! {
         shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
         let b = builder.build(&shuffled);
         prop_assert_eq!(a, b);
+    }
+
+    /// Any truncation or bit flip of a checkpoint payload file is
+    /// detected by the payload hash: `load` refuses the damaged
+    /// checkpoint (forcing a clean recompute) rather than resuming from
+    /// garbage, and a re-save fully recovers.
+    #[test]
+    fn checkpoint_corruption_is_always_detected(
+        payload in prop::collection::vec(any::<u64>(), 1..64),
+        truncate in any::<bool>(),
+        pos_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "retrodns-ckpt-prop-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = CheckpointStore::open(&dir).expect("open store");
+        let fp = Fingerprint { config: 7, inputs: 13 };
+        store.save("maps", &fp, &payload).expect("save");
+
+        let path = store.payload_path("maps");
+        let mut bytes = std::fs::read(&path).expect("read payload");
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        if truncate {
+            bytes.truncate(pos);
+        } else {
+            bytes[pos] ^= 1 << bit;
+        }
+        std::fs::write(&path, &bytes).expect("write damaged payload");
+
+        let damaged = store.load::<Vec<u64>>("maps", &fp);
+        prop_assert!(
+            damaged.is_err(),
+            "corruption went undetected ({} at byte {pos} of {})",
+            if truncate { "truncation" } else { "bit flip" },
+            bytes.len(),
+        );
+        // The invalid stage breaks the chain, so a resumed run
+        // recomputes from scratch...
+        prop_assert!(store.valid_chain(&fp).is_empty());
+        // ...and re-saving restores a loadable checkpoint.
+        store.save("maps", &fp, &payload).expect("re-save");
+        prop_assert_eq!(store.load::<Vec<u64>>("maps", &fp).unwrap(), payload);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// A domain name never appears in a map it does not own.

@@ -21,6 +21,7 @@ use rand::{Rng, SeedableRng};
 use retrodns_cert::CertId;
 use retrodns_dns::PassiveDns;
 use retrodns_scan::{DomainObservation, ScanDataset, ScanRecord};
+use retrodns_types::{bytes_hash, CallFate, SourceFaults};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -290,6 +291,130 @@ impl FaultPlan {
     }
 }
 
+/// One injectable *source-level* pathology: instead of damaging data at
+/// rest, these make a corroboration backend (passive DNS, the CT index,
+/// as2org, geolocation) misbehave at query time. The resilience layer
+/// in `retrodns-core` (`core::sources`) consumes these through the
+/// [`SourceFaults`] trait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SourceFaultKind {
+    /// Every faulted attempt hangs past any reasonable deadline.
+    Timeout,
+    /// Every faulted attempt fails outright (connection refused,
+    /// 5xx-burst): retryable, but a full outage defeats the budget.
+    ErrorBurst,
+    /// ~75% of faulted attempts are pathologically slow; retries can
+    /// still land on a fast one, so some queries recover.
+    LatencySpike,
+    /// The source answers, but with a detectably incomplete payload —
+    /// terminal: retrying returns the same truncated answer.
+    PartialResponse,
+}
+
+impl SourceFaultKind {
+    /// Every source-fault kind, in campaign sweep order.
+    pub const ALL: [SourceFaultKind; 4] = [
+        SourceFaultKind::Timeout,
+        SourceFaultKind::ErrorBurst,
+        SourceFaultKind::LatencySpike,
+        SourceFaultKind::PartialResponse,
+    ];
+
+    /// Stable machine-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SourceFaultKind::Timeout => "source-timeout",
+            SourceFaultKind::ErrorBurst => "source-error-burst",
+            SourceFaultKind::LatencySpike => "source-latency-spike",
+            SourceFaultKind::PartialResponse => "source-partial-response",
+        }
+    }
+
+    /// Does a 100%-rate plan of this kind make every query to the
+    /// source fail past its retry budget (a full outage)? Latency
+    /// spikes don't: retries can land on a fast attempt.
+    pub fn is_full_outage_at_100(&self) -> bool {
+        !matches!(self, SourceFaultKind::LatencySpike)
+    }
+}
+
+/// A virtual latency far beyond any plausible per-attempt deadline.
+const PATHOLOGICAL_LATENCY_MS: u64 = 1 << 32;
+
+/// A seeded, deterministic plan making one corroboration source
+/// misbehave for a fraction of its queries.
+///
+/// Whether a query is hit depends only on `(seed, key)` — the key being
+/// the stable query identity the guard passes in — never on global call
+/// order, so the same queries degrade no matter how candidates are
+/// chunked across workers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceFaultPlan {
+    /// Seed mixed into the per-query hit decision.
+    pub seed: u64,
+    /// Canonical source name to afflict (`"pdns"`, `"ct"`, `"as2org"`,
+    /// `"geo"`); other sources are untouched.
+    pub source: String,
+    /// The pathology to inject.
+    pub kind: SourceFaultKind,
+    /// Percentage of queries hit, `0..=100`.
+    pub rate_pct: u8,
+}
+
+impl SourceFaultPlan {
+    /// A plan afflicting every query to `source` (a full-rate fault).
+    pub fn outage(seed: u64, source: &str, kind: SourceFaultKind) -> SourceFaultPlan {
+        SourceFaultPlan {
+            seed,
+            source: source.to_string(),
+            kind,
+            rate_pct: 100,
+        }
+    }
+
+    /// splitmix64 finalizer over the mixed inputs.
+    fn mix(a: u64, b: u64) -> u64 {
+        let mut z = a
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(b)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn hits(&self, key: u64) -> bool {
+        (Self::mix(self.seed, key) % 100) < self.rate_pct as u64
+    }
+}
+
+impl SourceFaults for SourceFaultPlan {
+    fn fate(&self, source: &str, key: u64, attempt: u32) -> CallFate {
+        if source != self.source || !self.hits(key) {
+            return CallFate::Ok { latency_ms: 0 };
+        }
+        match self.kind {
+            SourceFaultKind::Timeout => CallFate::Ok {
+                latency_ms: PATHOLOGICAL_LATENCY_MS,
+            },
+            SourceFaultKind::ErrorBurst => CallFate::Fail { latency_ms: 1 },
+            SourceFaultKind::LatencySpike => {
+                // 3 in 4 attempts are pathologically slow; the draw is
+                // keyed by (seed, key, attempt) so retries re-roll.
+                let slow = Self::mix(
+                    self.seed ^ bytes_hash(b"spike"),
+                    Self::mix(key, attempt as u64),
+                ) % 4
+                    < 3;
+                CallFate::Ok {
+                    latency_ms: if slow { PATHOLOGICAL_LATENCY_MS } else { 1 },
+                }
+            }
+            SourceFaultKind::PartialResponse => CallFate::Partial { latency_ms: 1 },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,5 +487,64 @@ mod tests {
         let a = FaultPlan::single(1, FaultKind::DropScanWeek).apply_dataset(&world.scan());
         let b = FaultPlan::single(2, FaultKind::DropScanWeek).apply_dataset(&world.scan());
         assert_ne!(a.dates(), b.dates());
+    }
+
+    #[test]
+    fn source_fault_hits_only_its_source() {
+        let plan = SourceFaultPlan::outage(1, "pdns", SourceFaultKind::ErrorBurst);
+        assert_eq!(plan.fate("ct", 7, 0), CallFate::Ok { latency_ms: 0 });
+        assert_eq!(plan.fate("pdns", 7, 0), CallFate::Fail { latency_ms: 1 });
+    }
+
+    #[test]
+    fn source_fault_is_keyed_not_ordered() {
+        let plan = SourceFaultPlan {
+            seed: 3,
+            source: "ct".to_string(),
+            kind: SourceFaultKind::PartialResponse,
+            rate_pct: 50,
+        };
+        // Same key → same fate, regardless of when it is asked.
+        let fates: Vec<_> = (0..64).map(|k| plan.fate("ct", k, 0)).collect();
+        let again: Vec<_> = (0..64).map(|k| plan.fate("ct", k, 0)).collect();
+        assert_eq!(fates, again);
+        // A 50% rate actually splits the key space.
+        let hit = fates
+            .iter()
+            .filter(|f| !matches!(f, CallFate::Ok { .. }))
+            .count();
+        assert!(hit > 0 && hit < 64, "rate 50 hit {hit}/64 keys");
+    }
+
+    #[test]
+    fn latency_spike_rerolls_per_attempt() {
+        let plan = SourceFaultPlan::outage(5, "pdns", SourceFaultKind::LatencySpike);
+        // Some key must see both a slow and a fast attempt within a
+        // small retry budget (overwhelmingly likely over 64 keys).
+        let mut saw_recovery = false;
+        for key in 0..64 {
+            let latencies: Vec<u64> = (0..4)
+                .map(|a| plan.fate("pdns", key, a).latency_ms())
+                .collect();
+            if latencies.iter().any(|&l| l > 1_000) && latencies.iter().any(|&l| l <= 1_000) {
+                saw_recovery = true;
+                break;
+            }
+        }
+        assert!(
+            saw_recovery,
+            "latency spikes never rerolled across attempts"
+        );
+    }
+
+    #[test]
+    fn full_outage_kinds_are_labelled() {
+        for kind in SourceFaultKind::ALL {
+            assert!(kind.label().starts_with("source-"));
+        }
+        assert!(SourceFaultKind::Timeout.is_full_outage_at_100());
+        assert!(SourceFaultKind::ErrorBurst.is_full_outage_at_100());
+        assert!(SourceFaultKind::PartialResponse.is_full_outage_at_100());
+        assert!(!SourceFaultKind::LatencySpike.is_full_outage_at_100());
     }
 }

@@ -49,7 +49,9 @@ pub mod world;
 
 pub use config::SimConfig;
 pub use farm::ServerFarm;
-pub use faults::{FaultEffects, FaultKind, FaultPlan, FaultedInputs};
+pub use faults::{
+    FaultEffects, FaultKind, FaultPlan, FaultedInputs, SourceFaultKind, SourceFaultPlan,
+};
 pub use geography::{Geography, Provider, ProviderId, ProviderKind};
 pub use orgs::{Organization, Sector};
 pub use world::{DomainMeta, GroundTruth, HijackKind, HijackRecord, TargetRecord, World};

@@ -22,6 +22,7 @@ pub mod error;
 pub mod hash;
 pub mod intern;
 pub mod ip;
+pub mod source;
 pub mod time;
 
 pub use asn::Asn;
@@ -31,4 +32,5 @@ pub use error::ParseError;
 pub use hash::{bytes_hash, shard_of};
 pub use intern::{DomainId, DomainInterner};
 pub use ip::{Ipv4Addr, Ipv4Prefix};
+pub use source::{CallFate, SourceError, SourceFaults};
 pub use time::{Day, Period, PeriodId, StudyWindow};

@@ -1,0 +1,143 @@
+//! Corroboration-source error taxonomy and the fault-injection seam.
+//!
+//! The detection pipeline corroborates verdicts against external
+//! sources (passive DNS, the CT index, as2org, geolocation). Real
+//! deployments see those sources time out, rate-limit, and return
+//! partial answers; the resilience layer in `retrodns-core::sources`
+//! retries the retryable failures and degrades verdicts on the rest.
+//! This module holds the pieces both sides of that boundary share:
+//! the [`SourceError`] taxonomy (retryable vs terminal) and the
+//! [`SourceFaults`] trait through which the simulator injects
+//! deterministic source-level failures without `core` depending on
+//! `sim`.
+//!
+//! Everything here is purely simulated time: a [`CallFate`] carries a
+//! latency in *virtual* milliseconds which the caller accumulates on a
+//! virtual clock and compares against its deadline — no thread ever
+//! sleeps, so fault campaigns stay fast and bit-reproducible.
+
+/// An error from one logical corroboration-source call, after the
+/// resilience layer has classified it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceError {
+    /// The call did not answer within its per-attempt deadline.
+    /// Retryable: the next attempt may land on a healthy replica.
+    Timeout,
+    /// The backend reported a transient failure (5xx, connection
+    /// reset, rate limit). Retryable.
+    Unavailable,
+    /// The backend answered but the response was incomplete.
+    /// Terminal for the call: retrying returns the same truncated
+    /// view, and acting on it could fabricate evidence.
+    PartialResponse,
+    /// The circuit breaker for this source is open; the call was
+    /// failed fast without touching the backend. Terminal for the
+    /// call (the breaker's cooldown governs when traffic resumes).
+    BreakerOpen,
+}
+
+impl SourceError {
+    /// Whether the resilience layer should spend another attempt on
+    /// this failure.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SourceError::Timeout | SourceError::Unavailable)
+    }
+
+    /// Stable machine-readable label (metric names, reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SourceError::Timeout => "timeout",
+            SourceError::Unavailable => "unavailable",
+            SourceError::PartialResponse => "partial-response",
+            SourceError::BreakerOpen => "breaker-open",
+        }
+    }
+}
+
+impl core::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The simulated outcome of one *attempt* of a source call, as decided
+/// by a fault injector. Latency is virtual milliseconds; the caller
+/// compares it against its per-attempt deadline, so an injector can
+/// force a timeout simply by answering slower than any deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallFate {
+    /// The attempt completes with a full answer after `latency_ms`.
+    Ok {
+        /// Virtual milliseconds until the answer arrives.
+        latency_ms: u64,
+    },
+    /// The attempt completes after `latency_ms` but the answer is
+    /// truncated (maps to [`SourceError::PartialResponse`]).
+    Partial {
+        /// Virtual milliseconds until the truncated answer arrives.
+        latency_ms: u64,
+    },
+    /// The attempt fails with a transient backend error after
+    /// `latency_ms` (maps to [`SourceError::Unavailable`]).
+    Fail {
+        /// Virtual milliseconds until the failure surfaces.
+        latency_ms: u64,
+    },
+}
+
+impl CallFate {
+    /// The virtual latency of this attempt, whatever its outcome.
+    pub fn latency_ms(&self) -> u64 {
+        match self {
+            CallFate::Ok { latency_ms }
+            | CallFate::Partial { latency_ms }
+            | CallFate::Fail { latency_ms } => *latency_ms,
+        }
+    }
+}
+
+/// A deterministic source-level fault injector.
+///
+/// Implemented by `retrodns-sim`'s fault plans and consumed by the
+/// `retrodns-core` resilience layer. Outcomes are keyed by the *query
+/// identity* (`key`, a stable hash of what is being asked), never by
+/// global call order, so the same world degrades identically no matter
+/// how work is chunked across pipeline workers.
+pub trait SourceFaults: Sync {
+    /// The fate of attempt number `attempt` (0-based) of the logical
+    /// call identified by `key` against the source named `source`.
+    fn fate(&self, source: &str, key: u64, attempt: u32) -> CallFate;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_splits_retryable_from_terminal() {
+        assert!(SourceError::Timeout.is_retryable());
+        assert!(SourceError::Unavailable.is_retryable());
+        assert!(!SourceError::PartialResponse.is_retryable());
+        assert!(!SourceError::BreakerOpen.is_retryable());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        for (e, label) in [
+            (SourceError::Timeout, "timeout"),
+            (SourceError::Unavailable, "unavailable"),
+            (SourceError::PartialResponse, "partial-response"),
+            (SourceError::BreakerOpen, "breaker-open"),
+        ] {
+            assert_eq!(e.label(), label);
+            assert_eq!(e.to_string(), label);
+        }
+    }
+
+    #[test]
+    fn fate_exposes_latency() {
+        assert_eq!(CallFate::Ok { latency_ms: 3 }.latency_ms(), 3);
+        assert_eq!(CallFate::Partial { latency_ms: 4 }.latency_ms(), 4);
+        assert_eq!(CallFate::Fail { latency_ms: 5 }.latency_ms(), 5);
+    }
+}

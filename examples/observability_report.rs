@@ -26,6 +26,7 @@ fn main() {
         pdns: &world.pdns,
         crtsh: &world.crtsh,
         dnssec: Some(&world.dnssec),
+        source_faults: None,
     });
 
     let stats = observability(

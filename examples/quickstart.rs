@@ -42,6 +42,7 @@ fn main() {
         pdns: &world.pdns,
         crtsh: &world.crtsh,
         dnssec: Some(&world.dnssec),
+        source_faults: None,
     });
 
     // 4. Inspect the findings.

@@ -55,6 +55,7 @@ fn main() {
         pdns: &world.pdns,
         crtsh: &world.crtsh,
         dnssec: Some(&world.dnssec),
+        source_faults: None,
     });
 
     println!("\n== the funnel ==");

@@ -5,6 +5,7 @@
 //! retrodns analyze  --data DIR [--dnssec-signal] [--score]
 //!                   [--checkpoint-dir DIR [--resume]]    run the pipeline over them
 //!                   [--metrics-out PATH [--metrics-format json|prom]] [--trace]
+//!                   [--source-deadline-ms N] [--source-retries N] [--allow-degraded]
 //! retrodns info     --data DIR                            summarize the data sets
 //! ```
 //!
@@ -21,6 +22,7 @@ use retrodns::core::metrics::{CountingAlloc, MetricsRegistry};
 use retrodns::core::pipeline::{AnalystInputs, Pipeline, PipelineConfig};
 use retrodns::core::report::{render_table2, render_table3, DomainInfo};
 use retrodns::core::score_detection;
+use retrodns::core::SourcePolicy;
 use retrodns::dns::{DnssecArchive, PassiveDns};
 use retrodns::scan::ScanDataset;
 use retrodns::sim::{DomainMeta, SimConfig, World};
@@ -154,12 +156,23 @@ struct MetricsOpts {
     trace: bool,
 }
 
+/// Corroboration-source resilience options for `analyze`.
+struct SourceOpts {
+    /// Per-call deadline and retry budget (`--source-deadline-ms`,
+    /// `--source-retries`); breaker settings keep their defaults.
+    policy: SourcePolicy,
+    /// Treat degraded verdicts as an acceptable outcome (`--allow-degraded`).
+    /// Without it any degraded verdict fails the run after reporting.
+    allow_degraded: bool,
+}
+
 fn analyze(
     dir: &Path,
     dnssec_signal: bool,
     score: bool,
     ckpt: Option<CheckpointOpts>,
     metrics_opts: MetricsOpts,
+    source_opts: SourceOpts,
 ) -> Result<(), String> {
     let data = load_data(dir)?;
     eprintln!(
@@ -177,6 +190,7 @@ fn analyze(
             use_dnssec_signal: dnssec_signal,
             ..InspectConfig::default()
         },
+        sources: source_opts.policy,
         ..PipelineConfig::default()
     });
     let inputs = AnalystInputs {
@@ -186,6 +200,7 @@ fn analyze(
         pdns: &data.pdns,
         crtsh: &data.crtsh,
         dnssec: data.dnssec.as_ref(),
+        source_faults: None,
     };
     let mut metrics = MetricsRegistry::with_trace(metrics_opts.trace);
     let report = match &ckpt {
@@ -236,6 +251,13 @@ fn analyze(
         f.hijacks_by_type
     );
     println!("  targeted                {}", report.targeted.len());
+    if !report.degraded.is_empty() {
+        println!(
+            "  degraded                {} ({:?})",
+            report.degraded.len(),
+            f.degraded
+        );
+    }
 
     let info_map: HashMap<DomainName, DomainInfo> = data
         .meta
@@ -275,6 +297,13 @@ fn analyze(
             st.f1()
         );
     }
+    if !report.degraded.is_empty() && !source_opts.allow_degraded {
+        return Err(format!(
+            "{} verdict(s) degraded by unavailable corroboration sources \
+             (rerun with --allow-degraded to accept them)",
+            report.degraded.len()
+        ));
+    }
     Ok(())
 }
 
@@ -301,7 +330,7 @@ fn info(dir: &Path) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  retrodns simulate --out DIR [--seed N] [--domains N]\n  retrodns analyze --data DIR [--dnssec-signal] [--score] [--checkpoint-dir DIR [--resume]]\n                   [--metrics-out PATH [--metrics-format json|prom]] [--trace]\n  retrodns info --data DIR"
+    "usage:\n  retrodns simulate --out DIR [--seed N] [--domains N]\n  retrodns analyze --data DIR [--dnssec-signal] [--score] [--checkpoint-dir DIR [--resume]]\n                   [--metrics-out PATH [--metrics-format json|prom]] [--trace]\n                   [--source-deadline-ms N] [--source-retries N] [--allow-degraded]\n  retrodns info --data DIR"
 }
 
 fn main() -> ExitCode {
@@ -321,6 +350,8 @@ fn main() -> ExitCode {
     let mut metrics_out: Option<PathBuf> = None;
     let mut metrics_format = MetricsFormat::Json;
     let mut trace = false;
+    let mut source_policy = SourcePolicy::default();
+    let mut allow_degraded = false;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -360,6 +391,25 @@ fn main() -> ExitCode {
             }
             "--dnssec-signal" => dnssec_signal = true,
             "--score" => score = true,
+            "--source-deadline-ms" => {
+                source_policy.deadline_ms = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--source-deadline-ms expects an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--source-retries" => {
+                source_policy.retries = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--source-retries expects an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--allow-degraded" => allow_degraded = true,
             other => {
                 eprintln!("unknown argument {other:?}\n{}", usage());
                 return ExitCode::FAILURE;
@@ -382,7 +432,11 @@ fn main() -> ExitCode {
                         format: metrics_format,
                         trace,
                     };
-                    analyze(&dir, dnssec_signal, score, ckpt, metrics_opts)
+                    let source_opts = SourceOpts {
+                        policy: source_policy,
+                        allow_degraded,
+                    };
+                    analyze(&dir, dnssec_signal, score, ckpt, metrics_opts, source_opts)
                 }
             }
             None => Err("analyze requires --data DIR".into()),

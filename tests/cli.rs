@@ -386,6 +386,69 @@ fn analyze_metrics_out_and_trace() {
 }
 
 #[test]
+fn analyze_source_resilience_flags() {
+    let base = temp_dir("source-flags");
+    let data = base.join("data");
+    let out = bin()
+        .args(["simulate", "--out"])
+        .arg(&data)
+        .args(["--seed", "13", "--domains", "1500"])
+        .output()
+        .expect("run simulate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The resilience knobs parse and a clean run (no injector reachable
+    // from the CLI) emits no degraded verdicts, so the run succeeds even
+    // without --allow-degraded.
+    let out = bin()
+        .args(["analyze", "--data"])
+        .arg(&data)
+        .args(["--source-deadline-ms", "500", "--source-retries", "1"])
+        .output()
+        .expect("run analyze with source flags");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("funnel:"), "{stdout}");
+    assert!(
+        !stdout.contains("degraded"),
+        "clean run reported degradation: {stdout}"
+    );
+
+    // --allow-degraded is accepted.
+    let out = bin()
+        .args(["analyze", "--data"])
+        .arg(&data)
+        .arg("--allow-degraded")
+        .output()
+        .expect("run analyze --allow-degraded");
+    assert!(out.status.success());
+
+    // Non-numeric knob values are usage errors.
+    for bad in [
+        ["--source-deadline-ms", "soon"],
+        ["--source-retries", "lots"],
+    ] {
+        let out = bin()
+            .args(["analyze", "--data"])
+            .arg(&data)
+            .args(bad)
+            .output()
+            .expect("run analyze with bad value");
+        assert!(!out.status.success(), "{bad:?} accepted");
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
 fn analyze_missing_dir_fails_cleanly() {
     let out = bin()
         .args(["analyze", "--data", "/nonexistent/retrodns-data"])

@@ -40,6 +40,7 @@ pub fn inputs_for<'a>(
         pdns: &world.pdns,
         crtsh: &world.crtsh,
         dnssec: Some(&world.dnssec),
+        source_faults: None,
     }
 }
 

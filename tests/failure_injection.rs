@@ -27,6 +27,7 @@ fn no_pdns_no_ct_means_no_hijack_verdicts() {
         pdns: &empty_pdns,
         crtsh: &empty_crtsh,
         dnssec: None,
+        source_faults: None,
     });
     assert!(
         report.hijacked.is_empty(),
@@ -47,6 +48,7 @@ fn empty_scan_dataset_is_handled() {
         pdns: &world.pdns,
         crtsh: &world.crtsh,
         dnssec: Some(&world.dnssec),
+        source_faults: None,
     });
     assert_eq!(report.funnel.maps_total, 0);
     assert!(report.hijacked.is_empty());
@@ -76,6 +78,7 @@ fn truncated_scan_history_degrades_gracefully() {
         pdns: &world.pdns,
         crtsh: &world.crtsh,
         dnssec: Some(&world.dnssec),
+        source_faults: None,
     });
     for h in &report.hijacked {
         assert!(
@@ -99,6 +102,7 @@ fn extreme_scan_loss_reduces_recall_not_precision() {
         pdns: &world.pdns,
         crtsh: &world.crtsh,
         dnssec: Some(&world.dnssec),
+        source_faults: None,
     });
     for h in &report.hijacked {
         assert!(
@@ -126,6 +130,7 @@ fn missing_cert_contents_are_tolerated() {
         pdns: &world.pdns,
         crtsh: &world.crtsh,
         dnssec: Some(&world.dnssec),
+        source_faults: None,
     });
     for h in &report.hijacked {
         assert!(world.ground_truth.is_attacked(&h.domain));
@@ -159,6 +164,7 @@ fn faulted_inputs_are_quarantined_and_counted() {
         pdns: &damaged.pdns,
         crtsh: &world.crtsh,
         dnssec: Some(&world.dnssec),
+        source_faults: None,
     });
     let q = &report.funnel.quarantined;
     assert!(
@@ -175,5 +181,130 @@ fn faulted_inputs_are_quarantined_and_counted() {
             "false positive under fault injection: {}",
             h.domain
         );
+    }
+}
+
+#[test]
+fn source_outage_degrades_instead_of_dying() {
+    // A fully dead corroboration source (timeout, error burst, or
+    // truncated answers) must complete the run with explicit degraded
+    // verdicts — zero hijack verdicts, never a panic — and reproduce
+    // the same report bytes on a second run.
+    use retrodns::sim::{SourceFaultKind, SourceFaultPlan};
+    let world = small_world(107);
+    let observations = observations_of(&world);
+    for source in ["pdns", "ct", "as2org"] {
+        for kind in [
+            SourceFaultKind::Timeout,
+            SourceFaultKind::ErrorBurst,
+            SourceFaultKind::PartialResponse,
+        ] {
+            let plan = SourceFaultPlan::outage(0xDE6, source, kind);
+            let run = || {
+                pipeline_for(&world).run(&AnalystInputs {
+                    observations: &observations,
+                    asdb: &world.geo.asdb,
+                    certs: &world.certs,
+                    pdns: &world.pdns,
+                    crtsh: &world.crtsh,
+                    dnssec: Some(&world.dnssec),
+                    source_faults: Some(&plan),
+                })
+            };
+            let report = run();
+            assert!(
+                report.hijacked.is_empty(),
+                "hijack verdicts despite {source} outage ({kind:?}): {:?}",
+                report.hijacked_domains()
+            );
+            assert!(
+                !report.degraded.is_empty(),
+                "{source} outage ({kind:?}) produced no degraded verdicts"
+            );
+            for d in &report.degraded {
+                assert!(
+                    d.missing_sources.iter().any(|s| s == source),
+                    "degraded verdict for {} does not name the dead source {source}: {:?}",
+                    d.domain,
+                    d.missing_sources
+                );
+            }
+            // Funnel mirrors the report's degraded entries per stage.
+            let total: usize = report.funnel.degraded.values().sum();
+            assert_eq!(total, report.degraded.len());
+            assert_eq!(
+                serde_json::to_string_pretty(&report).unwrap(),
+                serde_json::to_string_pretty(&run()).unwrap(),
+                "degraded report not reproducible for {source} ({kind:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn latency_spikes_keep_precision() {
+    // Spiky latency lets retries recover some queries: the run may
+    // conclude fewer candidates, but whatever it convicts must be real
+    // and whatever it cannot corroborate must surface as degraded.
+    use retrodns::sim::{SourceFaultKind, SourceFaultPlan};
+    let world = small_world(108);
+    let observations = observations_of(&world);
+    let plan = SourceFaultPlan::outage(0xDE7, "pdns", SourceFaultKind::LatencySpike);
+    let report = pipeline_for(&world).run(&AnalystInputs {
+        observations: &observations,
+        asdb: &world.geo.asdb,
+        certs: &world.certs,
+        pdns: &world.pdns,
+        crtsh: &world.crtsh,
+        dnssec: Some(&world.dnssec),
+        source_faults: Some(&plan),
+    });
+    for h in &report.hijacked {
+        assert!(
+            world.ground_truth.is_attacked(&h.domain),
+            "false positive under latency spikes: {}",
+            h.domain
+        );
+    }
+}
+
+#[test]
+fn idle_injector_changes_nothing_at_any_worker_count() {
+    // An injector that never fires must leave the report byte-identical
+    // to a run without any injector, at every worker count: the
+    // resilience layer is invisible until a source actually fails.
+    use retrodns::core::pipeline::{Pipeline, PipelineConfig};
+    use retrodns::sim::{SourceFaultKind, SourceFaultPlan};
+    let world = small_world(109);
+    let observations = observations_of(&world);
+    let idle = SourceFaultPlan {
+        seed: 1,
+        source: "pdns".to_string(),
+        kind: SourceFaultKind::ErrorBurst,
+        rate_pct: 0,
+    };
+    let inputs = |faults| AnalystInputs {
+        observations: &observations,
+        asdb: &world.geo.asdb,
+        certs: &world.certs,
+        pdns: &world.pdns,
+        crtsh: &world.crtsh,
+        dnssec: Some(&world.dnssec),
+        source_faults: faults,
+    };
+    let baseline = serde_json::to_string_pretty(&pipeline_for(&world).run(&inputs(None))).unwrap();
+    for workers in [1, 2, 8] {
+        let pipeline = Pipeline::new(PipelineConfig {
+            window: world.config.window.clone(),
+            workers,
+            ..PipelineConfig::default()
+        });
+        let report = pipeline.run(&inputs(Some(&idle)));
+        assert_eq!(
+            serde_json::to_string_pretty(&report).unwrap(),
+            baseline,
+            "idle injector perturbed the report at workers={workers}"
+        );
+        assert!(report.degraded.is_empty());
     }
 }

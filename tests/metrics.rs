@@ -33,6 +33,9 @@ fn expected_funnel_counters(f: &FunnelStats) -> BTreeMap<String, u64> {
     }
     c.insert("funnel.dismissed_stale".into(), f.dismissed_stale as u64);
     c.insert("funnel.inconclusive".into(), f.inconclusive as u64);
+    for (stage, n) in &f.degraded {
+        c.insert(format!("funnel.degraded.{stage}"), *n as u64);
+    }
     for (t, n) in &f.hijacks_by_type {
         c.insert(format!("funnel.hijacks.{t}"), *n as u64);
     }

@@ -55,6 +55,7 @@ fn report_and_ground_truth_round_trip() {
         pdns: &world.pdns,
         crtsh: &world.crtsh,
         dnssec: Some(&world.dnssec),
+        source_faults: None,
     });
     let back: Report = roundtrip(&report);
     assert_eq!(back.hijacked_domains(), report.hijacked_domains());

@@ -147,6 +147,15 @@ pub fn __field_or_default<T: Deserialize + Default>(
     }
 }
 
+/// Derive-macro backing of the `#[serde(skip_serializing_if = ...)]`
+/// field attribute. The offline shim ignores the attribute's path
+/// argument and always compares against `Default`: the field is omitted
+/// from the serialized object when it equals `T::default()`, and
+/// `default` semantics apply when the key is absent on read.
+pub fn __is_default<T: Default + PartialEq>(v: &T) -> bool {
+    *v == T::default()
+}
+
 // ---------------------------------------------------------------------------
 // Primitive impls
 // ---------------------------------------------------------------------------

@@ -10,6 +10,10 @@
 //! - container attrs `#[serde(from = "T", into = "T")]`
 //! - field attrs `#[serde(skip)]` (field omitted on write, `Default` on read)
 //!   and `#[serde(default)]` (`Default` when the field is absent on read)
+//! - field attr `#[serde(skip_serializing_if = "...")]` on *named structs*
+//!   only, with simplified semantics: the path argument is ignored and the
+//!   field is omitted when it equals `Default::default()` (see
+//!   `serde::__is_default`); implies `default` on read
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -32,6 +36,7 @@ struct Field {
     name: String,
     skip: bool,
     default: bool,
+    skip_if_default: bool,
 }
 
 struct Variant {
@@ -203,11 +208,18 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     while i < toks.len() {
         let mut skip = false;
         let mut default = false;
+        let mut skip_if_default = false;
         while let Some(attr) = take_attr(&toks, &mut i) {
             if attr.iter().any(|(k, _)| k == "skip") {
                 skip = true;
             }
             if attr.iter().any(|(k, _)| k == "default") {
+                default = true;
+            }
+            if attr.iter().any(|(k, _)| k == "skip_serializing_if") {
+                // Simplified shim semantics: omit when `Default`, and a
+                // field that can be omitted must default on read.
+                skip_if_default = true;
                 default = true;
             }
         }
@@ -236,7 +248,12 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, skip, default });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+            skip_if_default,
+        });
     }
     fields
 }
@@ -331,10 +348,18 @@ fn gen_serialize(input: &Input) -> String {
             Kind::NamedStruct(fields) => {
                 let mut pushes = String::new();
                 for f in fields.iter().filter(|f| !f.skip) {
-                    pushes.push_str(&format!(
+                    let push = format!(
                         "__fields.push((::std::string::String::from(\"{0}\"), serde::Serialize::to_value(&self.{0})));\n",
                         f.name
-                    ));
+                    );
+                    if f.skip_if_default {
+                        pushes.push_str(&format!(
+                            "if !serde::__is_default(&self.{0}) {{ {push} }}\n",
+                            f.name
+                        ));
+                    } else {
+                        pushes.push_str(&push);
+                    }
                 }
                 format!(
                     "let mut __fields: ::std::vec::Vec<(::std::string::String, serde::Value)> = ::std::vec::Vec::new();\n\
