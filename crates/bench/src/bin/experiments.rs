@@ -10,7 +10,15 @@
 //!
 //! The extra id `bench` (not part of `all`) times the parallelizable
 //! pipeline stages serial-vs-parallel and writes the machine-readable
-//! result to `BENCH_pipeline.json` in the working directory.
+//! result to `BENCH_pipeline.json` in the working directory; pass
+//! `--min-e2e-speedup X` to fail the process when the end-to-end
+//! speedup drops below `X` (the CI regression gate).
+//!
+//! The extra id `matrix` (also not part of `all`) sweeps the map build
+//! over a workers (1/2/4/8) × domain-count (2k → 1M synthetic) grid —
+//! no world build, so it runs in seconds per small cell — and persists
+//! the grid into `BENCH_pipeline.json` alongside the bench trajectory.
+//! `--max-domains N` caps the largest grid column.
 //!
 //! The extra id `faults` (also not part of `all`) runs the
 //! fault-injection survival campaign — five seeds × every fault kind
@@ -22,11 +30,20 @@ use retrodns_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
 use retrodns_bench::{Bundle, Scale};
 use std::process::ExitCode;
 
+/// Worker counts the `matrix` id sweeps.
+const MATRIX_WORKERS: [usize; 4] = [1, 2, 4, 8];
+/// Domain-count columns the `matrix` id sweeps (capped by
+/// `--max-domains`).
+const MATRIX_DOMAINS: [usize; 4] = [2_000, 20_000, 100_000, 1_000_000];
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Standard;
     let mut seed: u64 = 0xD05_11EC7;
     let mut workers: usize = 4;
+    let mut reps: usize = 3;
+    let mut max_domains: usize = 1_000_000;
+    let mut min_e2e_speedup: Option<f64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -41,6 +58,39 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 workers = v;
+            }
+            "--reps" => {
+                let Some(v) = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &usize| v >= 1)
+                else {
+                    eprintln!("--reps expects a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                reps = v;
+            }
+            "--max-domains" => {
+                let Some(v) = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &usize| v >= 1)
+                else {
+                    eprintln!("--max-domains expects a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                max_domains = v;
+            }
+            "--min-e2e-speedup" => {
+                let Some(v) = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &f64| v > 0.0)
+                else {
+                    eprintln!("--min-e2e-speedup expects a positive number");
+                    return ExitCode::FAILURE;
+                };
+                min_e2e_speedup = Some(v);
             }
             "--scale" => {
                 let Some(v) = it.next().and_then(|v| Scale::parse(&v)) else {
@@ -58,8 +108,9 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--scale quick|standard|full] [--seed N] [--workers N] <id>... | all\n\
-                     ids: {} bench",
+                    "usage: experiments [--scale quick|standard|full] [--seed N] [--workers N] \
+                     [--reps N] [--max-domains N] [--min-e2e-speedup X] <id>... | all\n\
+                     ids: {} bench matrix faults",
                     ALL_EXPERIMENTS.join(" ")
                 );
                 return ExitCode::SUCCESS;
@@ -71,19 +122,33 @@ fn main() -> ExitCode {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
     for id in &ids {
-        if id != "bench" && id != "faults" && !ALL_EXPERIMENTS.contains(&id.as_str()) {
+        if id != "bench"
+            && id != "faults"
+            && id != "matrix"
+            && !ALL_EXPERIMENTS.contains(&id.as_str())
+        {
             eprintln!(
-                "unknown experiment {id:?}; known: {} bench faults",
+                "unknown experiment {id:?}; known: {} bench matrix faults",
                 ALL_EXPERIMENTS.join(" ")
             );
             return ExitCode::FAILURE;
         }
     }
 
-    // The faults campaign builds its own (damaged) worlds; run it before
-    // paying for the shared bundle if it is the only id requested.
-    if ids.iter().all(|i| i == "faults") {
-        return run_faults(seed, workers);
+    // The faults campaign builds its own (damaged) worlds, and the
+    // matrix sweep generates synthetic streams directly; run them
+    // before paying for the shared bundle if no other id needs it.
+    if ids.iter().all(|i| i == "faults" || i == "matrix") {
+        for id in &ids {
+            let code = match id.as_str() {
+                "faults" => run_faults(seed, workers),
+                _ => run_matrix(max_domains, reps),
+            };
+            if code != ExitCode::SUCCESS {
+                return code;
+            }
+        }
+        return ExitCode::SUCCESS;
     }
 
     eprintln!("building world (scale {scale:?}, seed {seed:#x})...");
@@ -108,24 +173,36 @@ fn main() -> ExitCode {
             eprintln!("[faults took {:.1?}]", t.elapsed());
             continue;
         }
+        if id == "matrix" {
+            let code = run_matrix(max_domains, reps);
+            if code != ExitCode::SUCCESS {
+                return code;
+            }
+            eprintln!("[matrix took {:.1?}]", t.elapsed());
+            continue;
+        }
         if id == "bench" {
-            let mut report = retrodns_bench::bench_pipeline(&bundle, workers, 3);
+            let mut report = retrodns_bench::bench_pipeline(&bundle, workers, reps);
             let path = "BENCH_pipeline.json";
-            // Carry the trajectory forward: load the previous report (if
-            // any), keep its history, and append this run as a new point.
+            // Carry the trajectory and matrix forward: load the previous
+            // report (if any), keep its history, and append this run as
+            // a new point.
             if let Ok(prev) = std::fs::read_to_string(path) {
                 if let Ok(prev) = serde_json::from_str::<retrodns_bench::PipelineBenchReport>(&prev)
                 {
                     report.trajectory = prev.trajectory;
+                    report.matrix = prev.matrix;
                 }
             }
             let e2e = report.stages.iter().find(|s| s.stage == "end_to_end");
             report.trajectory.push(retrodns_bench::TrajectoryPoint {
                 workers: report.workers,
+                domains: report.domains,
                 observations: report.observations,
                 e2e_serial_ms: e2e.map_or(0.0, |s| s.serial_ms),
                 e2e_parallel_ms: e2e.map_or(0.0, |s| s.parallel_ms),
                 metrics_overhead_pct: report.metrics_overhead_pct,
+                git_rev: report.git_rev.clone(),
             });
             let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
             if let Err(e) = std::fs::write(path, &json) {
@@ -138,12 +215,71 @@ fn main() -> ExitCode {
                 report.trajectory.len(),
                 t.elapsed()
             );
+            if let Some(min) = min_e2e_speedup {
+                let speedup = e2e.map_or(0.0, |s| s.speedup);
+                if speedup < min {
+                    eprintln!(
+                        "REGRESSION: end-to-end speedup {speedup:.2}x at {} workers is below \
+                         the {min:.2}x gate",
+                        report.workers
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("e2e speedup gate: {speedup:.2}x >= {min:.2}x, ok");
+            }
             continue;
         }
         let out = run_experiment(id, &bundle).expect("validated id");
         println!("\n{out}");
         eprintln!("[{id} took {:.1?}]", t.elapsed());
     }
+    ExitCode::SUCCESS
+}
+
+/// Sweep the map build over the workers × domain-count grid and persist
+/// the cells (plus `git_rev`) into `BENCH_pipeline.json`, preserving
+/// whatever bench report is already there.
+fn run_matrix(max_domains: usize, reps: usize) -> ExitCode {
+    let domain_counts: Vec<usize> = MATRIX_DOMAINS
+        .iter()
+        .copied()
+        .filter(|&d| d <= max_domains)
+        .collect();
+    if domain_counts.is_empty() {
+        eprintln!("--max-domains {max_domains} excludes every matrix column {MATRIX_DOMAINS:?}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "map-build matrix: workers {MATRIX_WORKERS:?} x domains {domain_counts:?}, best of {reps}..."
+    );
+    let cells = retrodns_bench::bench_map_matrix(&MATRIX_WORKERS, &domain_counts, reps);
+    let path = "BENCH_pipeline.json";
+    let mut report = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<retrodns_bench::PipelineBenchReport>(&s).ok())
+        .unwrap_or_else(|| retrodns_bench::PipelineBenchReport {
+            workers: 0,
+            domains: 0,
+            observations: 0,
+            reps,
+            stages: Vec::new(),
+            metered_ms: 0.0,
+            metrics_overhead_pct: 0.0,
+            metrics_overhead_raw_pct: 0.0,
+            metrics_overhead_noise: false,
+            git_rev: String::new(),
+            matrix: Vec::new(),
+            trajectory: Vec::new(),
+        });
+    report.matrix = cells;
+    report.git_rev = retrodns_bench::git_rev();
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("failed to write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\n{}", report.summary());
+    eprintln!("[matrix wrote {path} ({} cells)]", report.matrix.len());
     ExitCode::SUCCESS
 }
 

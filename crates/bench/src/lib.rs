@@ -14,4 +14,7 @@ pub mod perf;
 
 pub use bundle::{Bundle, Scale};
 pub use faults::{run_fault_campaign, FaultCell, FaultMatrix};
-pub use perf::{bench_pipeline, PipelineBenchReport, StageBench, TrajectoryPoint};
+pub use perf::{
+    bench_map_matrix, bench_pipeline, git_rev, MatrixCell, PipelineBenchReport, StageBench,
+    TrajectoryPoint,
+};

@@ -13,11 +13,12 @@
 use retrodns_cert::CertId;
 use retrodns_scan::DomainObservation;
 use retrodns_types::{
-    hash, Asn, CountryCode, Day, DomainId, DomainInterner, DomainName, Period, PeriodId,
-    StudyWindow,
+    Asn, CountryCode, Day, DomainId, DomainInterner, DomainName, Period, PeriodId, StudyWindow,
 };
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::{Duration, Instant};
 
 /// Observable infrastructure of a domain in one ASN on one scan date.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -140,7 +141,16 @@ pub struct MapBuilder {
     /// Maximum number of *missed scans* between sightings that still link
     /// two groups into one deployment.
     pub link_gap_scans: u32,
+    /// Adaptive serial-fallback threshold for the sharded build: when a
+    /// worker would receive fewer than this many observations, the input
+    /// is too small to amortize thread spawn and the reference serial
+    /// builder runs instead. Tests force the sharded path by setting 0.
+    pub min_obs_per_worker: usize,
 }
+
+/// Default [`MapBuilder::min_obs_per_worker`]: a shard below this size
+/// finishes in well under a thread-spawn's worth of work.
+pub const DEFAULT_MIN_OBS_PER_WORKER: usize = 4096;
 
 impl MapBuilder {
     /// A builder with the paper's defaults (weekly scans, gap of 2 missed
@@ -149,6 +159,7 @@ impl MapBuilder {
         MapBuilder {
             window,
             link_gap_scans: 2,
+            min_obs_per_worker: DEFAULT_MIN_OBS_PER_WORKER,
         }
     }
 
@@ -215,50 +226,278 @@ impl MapBuilder {
     /// Build maps in parallel across worker threads (byte-identical output
     /// to [`Self::build`]; used for the multi-million-observation runs).
     ///
-    /// Observations are partitioned *by reference* — each worker receives
-    /// a shard of `&DomainObservation`s selected by the shared
-    /// [`hash::shard_of`] over the domain bytes, so whole domains stay on
-    /// one worker and nothing is deep-copied. The merged output is sorted
-    /// by `(domain, period)`, the same total order the serial path
-    /// produces.
+    /// Observations are partitioned into `workers` *contiguous ranges cut
+    /// at domain boundaries* of the `(domain, date)`-sorted input, so each
+    /// worker owns a disjoint domain key range and builds its maps to
+    /// completion in a per-shard [`ShardArena`]. Because the ranges are
+    /// ordered, the final output is a stable-by-key concatenation of the
+    /// per-shard outputs — no global merge, no order-preserving re-sort,
+    /// no deep copies across the join barrier.
     pub fn build_parallel(
         &self,
         observations: &[DomainObservation],
         workers: usize,
     ) -> Vec<DeploymentMap> {
-        self.build_sharded(observations, workers).0
+        self.build_sharded_stats(observations, workers).0
     }
 
     /// [`build_parallel`](Self::build_parallel), additionally reporting
-    /// the per-worker shard sizes (observations routed to each worker by
-    /// the domain hash) so callers can meter shard balance.
+    /// the per-worker shard sizes (observations in each worker's domain
+    /// range) so callers can meter shard balance.
     pub fn build_sharded(
         &self,
         observations: &[DomainObservation],
         workers: usize,
     ) -> (Vec<DeploymentMap>, Vec<usize>) {
+        let (maps, stats) = self.build_sharded_stats(observations, workers);
+        let sizes = stats.iter().map(|s| s.observations).collect();
+        (maps, sizes)
+    }
+
+    /// The sharded build with full per-shard statistics (observation and
+    /// map counts, wall time, arena footprint) for the metrics layer.
+    ///
+    /// Falls back to the reference serial builder when `workers == 1` or
+    /// the input is smaller than `workers ×`
+    /// [`min_obs_per_worker`](Self::min_obs_per_worker) — tiny inputs
+    /// never pay thread-spawn overhead.
+    pub fn build_sharded_stats(
+        &self,
+        observations: &[DomainObservation],
+        workers: usize,
+    ) -> (Vec<DeploymentMap>, Vec<ShardStats>) {
         assert!(workers >= 1);
-        if workers == 1 {
-            return (self.build(observations), vec![observations.len()]);
+        if workers == 1 || observations.len() < workers.saturating_mul(self.min_obs_per_worker) {
+            let t = Instant::now();
+            let maps = self.build(observations);
+            let stats = ShardStats {
+                observations: observations.len(),
+                maps: maps.len(),
+                wall: t.elapsed(),
+                arena_bytes: 0,
+            };
+            return (maps, vec![stats]);
         }
-        let mut shards: Vec<Vec<&DomainObservation>> = vec![Vec::new(); workers];
-        for obs in observations {
-            shards[hash::shard_of(obs.domain.as_str().as_bytes(), workers)].push(obs);
+        // The pipeline hands in quarantine-sorted input; arbitrary callers
+        // (and the equivalence proptests) may not. The fast path needs
+        // domain-contiguous, date-ordered runs, so unsorted input pays one
+        // reference-sorting pass over borrowed observations first.
+        if is_domain_date_sorted(observations) {
+            self.build_ranges(observations, workers)
+        } else {
+            let mut refs: Vec<&DomainObservation> = observations.iter().collect();
+            refs.sort_by(|a, b| (&a.domain, a.date).cmp(&(&b.domain, b.date)));
+            self.build_ranges(&refs, workers)
         }
-        let shard_sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
-        let mut out: Vec<DeploymentMap> = Vec::new();
+    }
+
+    /// Cut `observations` into `workers` domain-aligned ranges, build each
+    /// range's maps in a scoped worker with its own [`ShardArena`], and
+    /// concatenate the per-range outputs in range order. Range order is
+    /// domain order, so the concatenation is already the serial builder's
+    /// `(domain, period)` total order.
+    fn build_ranges<O>(
+        &self,
+        observations: &[O],
+        workers: usize,
+    ) -> (Vec<DeploymentMap>, Vec<ShardStats>)
+    where
+        O: Borrow<DomainObservation> + Sync,
+    {
+        let periods = PeriodIndex::new(&self.window);
+        let cuts = domain_range_cuts(observations, workers);
+        let mut maps: Vec<DeploymentMap> = Vec::new();
+        let mut stats: Vec<ShardStats> = Vec::with_capacity(workers);
         crossbeam::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter()
-                .map(|shard| scope.spawn(move |_| self.build_refs(shard.iter().copied())))
+            let handles: Vec<_> = cuts
+                .windows(2)
+                .map(|w| {
+                    let range = &observations[w[0]..w[1]];
+                    let periods = &periods;
+                    scope.spawn(move |_| {
+                        let t = Instant::now();
+                        let mut arena = ShardArena::default();
+                        let out = self.build_range(range, periods, &mut arena);
+                        let stat = ShardStats {
+                            observations: range.len(),
+                            maps: out.len(),
+                            wall: t.elapsed(),
+                            arena_bytes: arena.footprint_bytes(),
+                        };
+                        (out, stat)
+                    })
+                })
                 .collect();
             for h in handles {
-                out.extend(h.join().expect("map worker panicked"));
+                let (out, stat) = h.join().expect("map worker panicked");
+                maps.extend(out);
+                stats.push(stat);
             }
         })
         .expect("crossbeam scope");
-        out.sort_by(|a, b| (&a.domain, a.period.id).cmp(&(&b.domain, b.period.id)));
-        (out, shard_sizes)
+        debug_assert!(
+            maps.windows(2)
+                .all(|w| (&w[0].domain, w[0].period.id) < (&w[1].domain, w[1].period.id)),
+            "range concatenation broke the (domain, period) total order"
+        );
+        (maps, stats)
+    }
+
+    /// Build every map of one domain-aligned observation range.
+    ///
+    /// The range is `(domain, date)`-sorted, so domains form contiguous
+    /// runs and periods form contiguous sub-runs within them: one linear
+    /// pass flushes a `(domain, period)` bucket whenever either changes.
+    /// All intermediate state lives in the shard's arena; the only
+    /// per-map allocations are the output containers themselves.
+    fn build_range<O>(
+        &self,
+        observations: &[O],
+        periods: &PeriodIndex,
+        arena: &mut ShardArena,
+    ) -> Vec<DeploymentMap>
+    where
+        O: Borrow<DomainObservation>,
+    {
+        assert!(
+            observations.len() <= u32::MAX as usize,
+            "a single shard range cannot exceed u32::MAX observations"
+        );
+        let mut maps: Vec<DeploymentMap> = Vec::new();
+        let mut run_start = 0usize;
+        let mut cur_period: Option<PeriodId> = None;
+        for i in 0..observations.len() {
+            let obs = observations[i].borrow();
+            let new_domain = i > run_start && observations[run_start].borrow().domain != obs.domain;
+            if new_domain {
+                let domain = &observations[run_start].borrow().domain;
+                if let Some(pid) = cur_period.take() {
+                    self.flush_bucket(observations, domain, pid, periods, arena, &mut maps);
+                }
+                run_start = i;
+            }
+            if obs.asn.is_none() {
+                continue;
+            }
+            let Some(pid) = periods.lookup(obs.date) else {
+                continue;
+            };
+            if cur_period != Some(pid) {
+                if let Some(prev) = cur_period.take() {
+                    let domain = &observations[run_start].borrow().domain;
+                    self.flush_bucket(observations, domain, prev, periods, arena, &mut maps);
+                }
+                cur_period = Some(pid);
+            }
+            arena.kept.push(i as u32);
+        }
+        if let Some(pid) = cur_period.take() {
+            let domain = &observations[run_start].borrow().domain;
+            self.flush_bucket(observations, domain, pid, periods, arena, &mut maps);
+        }
+        maps
+    }
+
+    /// Turn the arena's pending `(domain, period)` observation indices
+    /// into one [`DeploymentMap`], clearing the arena for the next
+    /// bucket. This is the reference [`Self::link`] restated over flat
+    /// arrays: group by `(asn, date)` via one unstable sort, link runs
+    /// with the gap rule, and batch-deduplicate the accumulated ip /
+    /// cert-fingerprint / country columns with sort+dedup instead of
+    /// per-insert tree rebalancing.
+    #[allow(clippy::too_many_arguments)]
+    fn flush_bucket<O>(
+        &self,
+        observations: &[O],
+        domain: &DomainName,
+        pid: PeriodId,
+        periods: &PeriodIndex,
+        arena: &mut ShardArena,
+        maps: &mut Vec<DeploymentMap>,
+    ) where
+        O: Borrow<DomainObservation>,
+    {
+        if arena.kept.is_empty() {
+            return;
+        }
+        let max_gap_days = (self.link_gap_scans + 1) * self.window.scan_interval_days;
+
+        // (asn, date, index) triples; sorting by (asn, date) yields each
+        // ASN's date-ordered group sequence — the same iteration order as
+        // the reference path's nested BTreeMaps.
+        arena.triples.clear();
+        arena.map_dates.clear();
+        for &idx in &arena.kept {
+            let o = observations[idx as usize].borrow();
+            if arena.map_dates.last() != Some(&o.date) {
+                arena.map_dates.push(o.date);
+            }
+            arena
+                .triples
+                .push((o.asn.expect("kept observations are routed"), o.date, idx));
+        }
+        arena.kept.clear();
+        arena.triples.sort_unstable();
+
+        let mut deployments: Vec<Deployment> = Vec::new();
+        let triples = std::mem::take(&mut arena.triples);
+        let mut i = 0;
+        while i < triples.len() {
+            let asn = triples[i].0;
+            arena.clear_deployment();
+            let mut first = triples[i].1;
+            let mut last = first;
+            while i < triples.len() && triples[i].0 == asn {
+                let date = triples[i].1;
+                if date - last > max_gap_days {
+                    deployments.push(arena.finish_deployment(asn, first, last));
+                    arena.clear_deployment();
+                    first = date;
+                }
+                // One (asn, date) group: collect its columns and the
+                // group-level trust flag (any trusted endpoint marks every
+                // certificate of the group as trusted, as in the
+                // reference's `DeploymentGroup::trusted`).
+                let group_start = i;
+                let mut trusted = false;
+                while i < triples.len() && triples[i].0 == asn && triples[i].1 == date {
+                    let o = observations[triples[i].2 as usize].borrow();
+                    arena.ips.push(o.ip);
+                    arena.certs.push(o.cert);
+                    arena.cert_dates.push((o.cert, date));
+                    if let Some(cc) = o.country {
+                        arena.countries.push(cc);
+                        arena.cc_dates.push((cc, date));
+                    }
+                    trusted |= o.trusted;
+                    i += 1;
+                }
+                if trusted {
+                    for t in group_start..i {
+                        arena
+                            .trusted_certs
+                            .push(observations[triples[t].2 as usize].borrow().cert);
+                    }
+                }
+                if arena.dates.last() != Some(&date) {
+                    arena.dates.push(date);
+                }
+                last = date;
+            }
+            deployments.push(arena.finish_deployment(asn, first, last));
+        }
+        arena.triples = triples;
+        arena.triples.clear();
+        deployments.sort_by_key(|d| (d.first, d.asn));
+
+        let period = periods.period(pid);
+        maps.push(DeploymentMap {
+            domain: domain.clone(),
+            period,
+            deployments,
+            dates_present: arena.map_dates.clone(),
+            expected_scans: periods.expected_scans(pid),
+        });
     }
 
     /// Link one (domain, period) bucket of groups into deployments.
@@ -339,6 +578,215 @@ impl MapBuilder {
             expected_scans,
         }
     }
+}
+
+/// Per-shard execution statistics from
+/// [`MapBuilder::build_sharded_stats`], consumed by the pipeline's
+/// metrics layer (`map_build.shard.*` / `map_build.utilization` gauges).
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Observations in this worker's domain range.
+    pub observations: usize,
+    /// Deployment maps the worker produced.
+    pub maps: usize,
+    /// Worker wall time.
+    pub wall: Duration,
+    /// Final footprint of the worker's [`ShardArena`] scratch space.
+    pub arena_bytes: usize,
+}
+
+/// Per-shard bump-style scratch space for the sharded map build.
+///
+/// Every intermediate column of the hot loop — kept-observation indices,
+/// `(asn, date, index)` grouping triples, the ip / cert / country columns
+/// of the deployment under construction — lives in these flat vectors.
+/// They are cleared (length reset, capacity retained) between buckets, so
+/// after the first few domains a shard builds maps with no intermediate
+/// allocation at all; memory is only allocated for the output containers.
+#[derive(Debug, Default)]
+pub struct ShardArena {
+    /// Indices of routed, in-window observations of the current
+    /// `(domain, period)` bucket.
+    kept: Vec<u32>,
+    /// `(asn, date, index)` triples of the bucket being flushed.
+    triples: Vec<(Asn, Day, u32)>,
+    /// Distinct scan dates of the bucket, in order (→ `dates_present`).
+    map_dates: Vec<Day>,
+    /// Address column of the deployment under construction.
+    ips: Vec<retrodns_types::Ipv4Addr>,
+    /// Certificate-fingerprint column (batched; deduplicated on finish).
+    certs: Vec<CertId>,
+    /// Country column.
+    countries: Vec<CountryCode>,
+    /// Certificates seen in a browser-trusted group.
+    trusted_certs: Vec<CertId>,
+    /// `(cert, date)` sightings (→ `cert_windows`).
+    cert_dates: Vec<(CertId, Day)>,
+    /// `(country, date)` sightings (→ `country_windows`).
+    cc_dates: Vec<(CountryCode, Day)>,
+    /// Distinct scan dates of the deployment, in order.
+    dates: Vec<Day>,
+}
+
+impl ShardArena {
+    /// Reset the per-deployment columns (capacity retained).
+    fn clear_deployment(&mut self) {
+        self.ips.clear();
+        self.certs.clear();
+        self.countries.clear();
+        self.trusted_certs.clear();
+        self.cert_dates.clear();
+        self.cc_dates.clear();
+        self.dates.clear();
+    }
+
+    /// Materialize the accumulated columns into a [`Deployment`]:
+    /// batch-deduplicate each column with one sort+dedup pass and
+    /// bulk-load the already-sorted results into the output sets — no
+    /// per-element tree inserts.
+    fn finish_deployment(&mut self, asn: Asn, first: Day, last: Day) -> Deployment {
+        self.ips.sort_unstable();
+        self.ips.dedup();
+        self.certs.sort_unstable();
+        self.certs.dedup();
+        self.countries.sort_unstable();
+        self.countries.dedup();
+        self.trusted_certs.sort_unstable();
+        self.trusted_certs.dedup();
+        Deployment {
+            asn,
+            first,
+            last,
+            dates: self.dates.clone(),
+            ips: self.ips.iter().copied().collect(),
+            certs: self.certs.iter().copied().collect(),
+            countries: self.countries.iter().copied().collect(),
+            trusted_certs: self.trusted_certs.iter().copied().collect(),
+            cert_windows: sighting_windows(&mut self.cert_dates),
+            country_windows: sighting_windows(&mut self.cc_dates),
+        }
+    }
+
+    /// Total bytes currently reserved by the arena's scratch vectors.
+    pub fn footprint_bytes(&self) -> usize {
+        fn bytes<T>(v: &Vec<T>) -> usize {
+            v.capacity() * std::mem::size_of::<T>()
+        }
+        bytes(&self.kept)
+            + bytes(&self.triples)
+            + bytes(&self.map_dates)
+            + bytes(&self.ips)
+            + bytes(&self.certs)
+            + bytes(&self.countries)
+            + bytes(&self.trusted_certs)
+            + bytes(&self.cert_dates)
+            + bytes(&self.cc_dates)
+            + bytes(&self.dates)
+    }
+}
+
+/// Collapse `(key, date)` sightings into per-key first/last windows.
+/// Sorting groups each key's dates contiguously and ascending, so a run's
+/// endpoints are its window; the run-boundary keys arrive in sorted order
+/// and bulk-load into the `BTreeMap`.
+fn sighting_windows<K: Ord + Copy>(sightings: &mut Vec<(K, Day)>) -> BTreeMap<K, (Day, Day)> {
+    sightings.sort_unstable();
+    let mut out: Vec<(K, (Day, Day))> = Vec::new();
+    for &(key, date) in sightings.iter() {
+        match out.last_mut() {
+            Some((k, w)) if *k == key => w.1 = date,
+            _ => out.push((key, (date, date))),
+        }
+    }
+    sightings.clear();
+    out.into_iter().collect()
+}
+
+/// Precomputed period table for amortized-O(1) date→period lookup inside
+/// the shard workers (the reference path's
+/// [`StudyWindow::period_of`] re-derives calendar months per call).
+struct PeriodIndex {
+    periods: Vec<Period>,
+    expected_scans: Vec<usize>,
+    start: Day,
+    end: Day,
+}
+
+impl PeriodIndex {
+    fn new(window: &StudyWindow) -> PeriodIndex {
+        let periods = window.periods();
+        let expected_scans = periods
+            .iter()
+            .map(|p| window.scan_dates_in(p).len())
+            .collect();
+        PeriodIndex {
+            start: window.start,
+            end: window.end,
+            periods,
+            expected_scans,
+        }
+    }
+
+    /// The period containing `day`, if inside the window. Periods
+    /// partition the window contiguously, so a binary search over the
+    /// start days suffices.
+    #[inline]
+    fn lookup(&self, day: Day) -> Option<PeriodId> {
+        if day < self.start || day > self.end {
+            return None;
+        }
+        let idx = self.periods.partition_point(|p| p.start <= day) - 1;
+        debug_assert!(self.periods[idx].contains(day));
+        Some(self.periods[idx].id)
+    }
+
+    #[inline]
+    fn period(&self, pid: PeriodId) -> Period {
+        self.periods[pid]
+    }
+
+    #[inline]
+    fn expected_scans(&self, pid: PeriodId) -> usize {
+        self.expected_scans[pid]
+    }
+}
+
+/// Is the input sorted by `(domain, date)` (the order
+/// [`crate::pipeline::quarantine`] guarantees)?
+fn is_domain_date_sorted<O: Borrow<DomainObservation>>(observations: &[O]) -> bool {
+    observations.windows(2).all(|w| {
+        let (a, b) = (w[0].borrow(), w[1].borrow());
+        (&a.domain, a.date) <= (&b.domain, b.date)
+    })
+}
+
+/// Cut points (exactly `workers + 1`, starting at 0 and ending at
+/// `observations.len()`) splitting sorted observations into `workers`
+/// contiguous ranges that never split a domain: each tentative
+/// equal-size cut advances to the next domain boundary. Ranges can be
+/// empty when there are fewer domains than workers.
+fn domain_range_cuts<O: Borrow<DomainObservation>>(
+    observations: &[O],
+    workers: usize,
+) -> Vec<usize> {
+    let len = observations.len();
+    let target = len.div_ceil(workers).max(1);
+    let mut cuts = Vec::with_capacity(workers + 1);
+    cuts.push(0);
+    for w in 1..workers {
+        let mut cut = (target * w).min(len).max(*cuts.last().expect("nonempty"));
+        while cut > 0 && cut < len {
+            let prev = observations[cut - 1].borrow();
+            let here = observations[cut].borrow();
+            if prev.domain != here.domain {
+                break;
+            }
+            cut += 1;
+        }
+        cuts.push(cut);
+    }
+    cuts.push(len);
+    cuts
 }
 
 #[cfg(test)]
@@ -464,8 +912,14 @@ mod tests {
         assert!(!d.has_trusted_cert());
     }
 
-    #[test]
-    fn parallel_build_matches_serial() {
+    /// A builder whose sharded path engages regardless of input size.
+    fn sharded_builder() -> MapBuilder {
+        let mut b = builder();
+        b.min_obs_per_worker = 0;
+        b
+    }
+
+    fn mixed_observations() -> Vec<DomainObservation> {
         let mut observations = Vec::new();
         for dom in 0..50 {
             for week in 0..20 {
@@ -478,11 +932,100 @@ mod tests {
                     dom as u64,
                 ));
             }
+            // A transient in a second ASN, a gap-split run, and an
+            // unrouted record, to exercise every linking branch.
+            observations.push(obs(&format!("dom{dom}.com"), 70, 999, 65000, "NL", 666));
+            let mut unrouted = obs(&format!("dom{dom}.com"), 77, 1, 100 + dom, "GR", 1);
+            unrouted.asn = None;
+            observations.push(unrouted);
         }
-        let b = builder();
+        observations
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let observations = mixed_observations();
+        let b = sharded_builder();
         let serial = b.build(&observations);
-        for workers in [2, 4, 8] {
+        for workers in [2, 3, 4, 8, 16] {
             assert_eq!(serial, b.build_parallel(&observations, workers));
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_on_unsorted_input() {
+        let mut observations = mixed_observations();
+        // Deterministic shuffle: reverse, then interleave halves.
+        observations.reverse();
+        let half = observations.len() / 2;
+        let tail = observations.split_off(half);
+        let mut interleaved = Vec::with_capacity(observations.len() + tail.len());
+        for pair in observations.into_iter().zip(tail.clone()) {
+            interleaved.push(pair.0);
+            interleaved.push(pair.1);
+        }
+        interleaved.extend(tail.into_iter().skip(interleaved.len() / 2));
+        let b = sharded_builder();
+        let serial = b.build(&interleaved);
+        for workers in [2, 4, 8] {
+            assert_eq!(serial, b.build_parallel(&interleaved, workers));
+        }
+    }
+
+    #[test]
+    fn sharded_build_handles_empty_and_single_domain_inputs() {
+        let b = sharded_builder();
+        let (maps, stats) = b.build_sharded_stats(&[], 4);
+        assert!(maps.is_empty());
+        assert_eq!(stats.iter().map(|s| s.observations).sum::<usize>(), 0);
+
+        // One domain, eight workers: one range holds everything, the
+        // rest are empty — output still matches the reference build.
+        let observations: Vec<_> = (0..20)
+            .map(|i| obs("only.com", i * 7, 1, 100, "GR", 1))
+            .collect();
+        let (maps, stats) = b.build_sharded_stats(&observations, 8);
+        assert_eq!(maps, b.build(&observations));
+        assert_eq!(stats.len(), 8);
+        assert_eq!(
+            stats.iter().map(|s| s.observations).sum::<usize>(),
+            observations.len()
+        );
+        assert_eq!(stats.iter().filter(|s| s.observations > 0).count(), 1);
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_serial() {
+        // Default threshold: 40 observations over 4 workers is far below
+        // 4 × DEFAULT_MIN_OBS_PER_WORKER, so one serial "shard" runs.
+        let observations: Vec<_> = (0..40)
+            .map(|i| obs("tiny.com", i * 7, 1, 100, "GR", 1))
+            .collect();
+        let b = builder();
+        let (maps, stats) = b.build_sharded_stats(&observations, 4);
+        assert_eq!(maps, b.build(&observations));
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].observations, observations.len());
+    }
+
+    #[test]
+    fn domain_range_cuts_never_split_a_domain() {
+        let observations = mixed_observations();
+        for workers in [2, 3, 4, 7, 8, 16] {
+            let cuts = domain_range_cuts(&observations, workers);
+            assert_eq!(cuts.len(), workers + 1);
+            assert_eq!(cuts[0], 0);
+            assert_eq!(*cuts.last().unwrap(), observations.len());
+            for w in cuts.windows(2) {
+                assert!(w[0] <= w[1]);
+                if w[1] > 0 && w[1] < observations.len() {
+                    assert_ne!(
+                        observations[w[1] - 1].domain,
+                        observations[w[1]].domain,
+                        "cut splits a domain"
+                    );
+                }
+            }
         }
     }
 }

@@ -142,6 +142,31 @@ impl MetricsShard {
             .observe(value);
     }
 
+    /// Record per-worker wall time and item counts for one parallel
+    /// stage, plus a `<stage>.utilization` gauge: total worker time over
+    /// `workers × slowest worker` (1.0 = perfectly balanced chunks,
+    /// lower = idle workers waiting on a straggler). A serial run is a
+    /// one-element slice, so `<stage>.workers` doubles as a record of
+    /// whether the adaptive fallback fired.
+    pub fn record_worker_stats(&mut self, stage: &str, workers: &[(usize, std::time::Duration)]) {
+        let mut max_ms = 0.0f64;
+        let mut sum_ms = 0.0f64;
+        for (i, (items, wall)) in workers.iter().enumerate() {
+            let ms = wall.as_secs_f64() * 1e3;
+            self.gauge(&format!("{stage}.worker.{i}.ms"), ms);
+            self.gauge(&format!("{stage}.worker.{i}.items"), *items as f64);
+            max_ms = max_ms.max(ms);
+            sum_ms += ms;
+        }
+        self.gauge(&format!("{stage}.workers"), workers.len() as f64);
+        if max_ms > 0.0 {
+            self.gauge(
+                &format!("{stage}.utilization"),
+                sum_ms / (workers.len() as f64 * max_ms),
+            );
+        }
+    }
+
     /// Fold another shard into this one. Counters and histograms add;
     /// gauges are last-write-wins in merge order (workers should use
     /// per-worker gauge keys to avoid clobbering).

@@ -244,41 +244,42 @@ impl Pipeline {
         maps: &[DeploymentMap],
         shard: &mut MetricsShard,
     ) -> Vec<Option<Pattern>> {
-        let workers = self.config.workers;
-        if workers <= 1 || maps.len() < 2 {
+        let Some(chunk) = parallel_chunk(maps.len(), self.config.workers, MIN_CLASSIFY_PER_WORKER)
+        else {
             let t = Instant::now();
             let patterns: Vec<Option<Pattern>> = maps
                 .iter()
                 .map(|m| catch_item(|| classify(m, &self.config.classify)))
                 .collect();
-            record_workers(shard, "classify", &[(maps.len(), t.elapsed())]);
+            shard.record_worker_stats("classify", &[(maps.len(), t.elapsed())]);
             return patterns;
-        }
-        let chunk = maps.len().div_ceil(workers);
-        let mut patterns: Vec<Option<Pattern>> = Vec::with_capacity(maps.len());
-        let mut worker_stats: Vec<(usize, std::time::Duration)> = Vec::with_capacity(workers);
+        };
+        // Pre-sized output written in place: each worker owns a disjoint
+        // `&mut` window of the final vector, so there is nothing to
+        // collect, merge, or re-order after the join.
+        let mut patterns: Vec<Option<Pattern>> = Vec::new();
+        patterns.resize_with(maps.len(), || None);
+        let mut worker_stats: Vec<(usize, std::time::Duration)> = Vec::new();
         crossbeam::scope(|scope| {
             let handles: Vec<_> = maps
                 .chunks(chunk)
-                .map(|slice| {
+                .zip(patterns.chunks_mut(chunk))
+                .map(|(slice, out)| {
                     scope.spawn(move |_| {
                         let t = Instant::now();
-                        let out = slice
-                            .iter()
-                            .map(|m| catch_item(|| classify(m, &self.config.classify)))
-                            .collect::<Vec<_>>();
-                        (out, slice.len(), t.elapsed())
+                        for (m, o) in slice.iter().zip(out.iter_mut()) {
+                            *o = catch_item(|| classify(m, &self.config.classify));
+                        }
+                        (slice.len(), t.elapsed())
                     })
                 })
                 .collect();
             for h in handles {
-                let (out, items, wall) = h.join().expect("classify worker thread died");
-                patterns.extend(out);
-                worker_stats.push((items, wall));
+                worker_stats.push(h.join().expect("classify worker thread died"));
             }
         })
         .expect("crossbeam scope");
-        record_workers(shard, "classify", &worker_stats);
+        shard.record_worker_stats("classify", &worker_stats);
         patterns
     }
 
@@ -403,14 +404,17 @@ impl Pipeline {
         inputs: &AnalystInputs,
         shard: &mut MetricsShard,
     ) -> InspectionResults {
-        let workers = self.config.workers;
-        if workers <= 1 || candidates.len() < 2 {
+        let Some(chunk) = parallel_chunk(
+            candidates.len(),
+            self.config.workers,
+            MIN_INSPECT_PER_WORKER,
+        ) else {
             let t = Instant::now();
             let out = self.inspect_chunk(candidates, inputs, shard);
-            record_workers(shard, "inspect", &[(candidates.len(), t.elapsed())]);
+            shard.record_worker_stats("inspect", &[(candidates.len(), t.elapsed())]);
             return out;
-        }
-        let chunk = candidates.len().div_ceil(workers);
+        };
+        let workers = self.config.workers;
         let mut partials: Vec<InspectionResults> = Vec::with_capacity(workers);
         let mut worker_stats: Vec<(usize, std::time::Duration)> = Vec::with_capacity(workers);
         crossbeam::scope(|scope| {
@@ -433,7 +437,7 @@ impl Pipeline {
             }
         })
         .expect("crossbeam scope");
-        record_workers(shard, "inspect", &worker_stats);
+        shard.record_worker_stats("inspect", &worker_stats);
         let mut merged = InspectionResults::default();
         for p in partials {
             merged.hijacked.extend(p.hijacked);
@@ -551,16 +555,25 @@ impl Pipeline {
             || {
                 let mut builder = MapBuilder::new(self.config.window.clone());
                 builder.link_gap_scans = self.config.link_gap_scans;
-                let (maps, shard_sizes) = builder.build_sharded(&kept, self.config.workers);
-                for (i, n) in shard_sizes.iter().enumerate() {
-                    stage_shard.gauge(&format!("map_build.shard.{i}.items"), *n as f64);
-                    stage_shard.observe("map_build.shard_items", *n as f64);
+                let (maps, shards) = builder.build_sharded_stats(&kept, self.config.workers);
+                for (i, s) in shards.iter().enumerate() {
+                    stage_shard.gauge(&format!("map_build.shard.{i}.items"), s.observations as f64);
+                    stage_shard.gauge(&format!("map_build.shard.{i}.maps"), s.maps as f64);
+                    stage_shard.gauge(
+                        &format!("map_build.shard.{i}.arena_bytes"),
+                        s.arena_bytes as f64,
+                    );
+                    stage_shard.observe("map_build.shard_items", s.observations as f64);
                 }
-                let max = shard_sizes.iter().copied().max().unwrap_or(0);
+                let max = shards.iter().map(|s| s.observations).max().unwrap_or(0);
                 if max > 0 {
-                    let mean = shard_sizes.iter().sum::<usize>() as f64 / shard_sizes.len() as f64;
+                    let mean = shards.iter().map(|s| s.observations).sum::<usize>() as f64
+                        / shards.len() as f64;
                     stage_shard.gauge("map_build.shard_balance", mean / max as f64);
                 }
+                let worker_stats: Vec<(usize, std::time::Duration)> =
+                    shards.iter().map(|s| (s.observations, s.wall)).collect();
+                stage_shard.record_worker_stats("map_build", &worker_stats);
                 maps
             },
         );
@@ -883,27 +896,26 @@ fn stage_sample(
     }
 }
 
-/// Record per-worker wall time and item counts for one parallel stage,
-/// plus a `<stage>.utilization` gauge: the total worker time over
-/// `workers × slowest worker` (1.0 = perfectly balanced chunks, lower =
-/// idle workers waiting on a straggler).
-fn record_workers(shard: &mut MetricsShard, stage: &str, workers: &[(usize, std::time::Duration)]) {
-    let mut max_ms = 0.0f64;
-    let mut sum_ms = 0.0f64;
-    for (i, (items, wall)) in workers.iter().enumerate() {
-        let ms = wall.as_secs_f64() * 1e3;
-        shard.gauge(&format!("{stage}.worker.{i}.ms"), ms);
-        shard.gauge(&format!("{stage}.worker.{i}.items"), *items as f64);
-        max_ms = max_ms.max(ms);
-        sum_ms += ms;
+/// Below this many maps per worker, classification runs serially:
+/// classifying a map is microseconds of column math, so thread spawn
+/// plus join dominates until chunks are in the thousands.
+const MIN_CLASSIFY_PER_WORKER: usize = 1024;
+
+/// Below this many candidates per worker, inspection runs serially.
+/// Inspection does real corroboration work per candidate, so the
+/// break-even chunk is much smaller than classify's — but the typical
+/// shortlist (single digits of candidates) must never pay thread spawn.
+const MIN_INSPECT_PER_WORKER: usize = 32;
+
+/// Chunk size for splitting `items` across `workers`, or `None` when the
+/// stage should run serially: a single worker, or too few items for the
+/// per-thread spawn cost to pay for itself (`min_per_worker` is the
+/// stage-specific break-even point).
+fn parallel_chunk(items: usize, workers: usize, min_per_worker: usize) -> Option<usize> {
+    if workers <= 1 || items < 2 || items < workers.saturating_mul(min_per_worker) {
+        return None;
     }
-    shard.gauge(&format!("{stage}.workers"), workers.len() as f64);
-    if max_ms > 0.0 {
-        shard.gauge(
-            &format!("{stage}.utilization"),
-            sum_ms / (workers.len() as f64 * max_ms),
-        );
-    }
+    Some(items.div_ceil(workers))
 }
 
 /// Mirror every [`FunnelStats`] field into the `funnel.*` counter

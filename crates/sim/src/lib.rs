@@ -34,6 +34,8 @@
 //!   the ground truth.
 //! * [`archetypes`] — minimal hand-built worlds, one per deployment-map
 //!   pattern in Figures 3–5 (used by the pattern gallery and tests).
+//! * [`synth`] — direct synthetic observation streams (no world build)
+//!   for the million-domain bench matrix.
 
 #![warn(missing_docs)]
 pub mod archetypes;
@@ -45,6 +47,7 @@ pub mod geography;
 pub mod observe;
 pub mod orgs;
 pub mod plan;
+pub mod synth;
 pub mod world;
 
 pub use config::SimConfig;
@@ -54,4 +57,5 @@ pub use faults::{
 };
 pub use geography::{Geography, Provider, ProviderId, ProviderKind};
 pub use orgs::{Organization, Sector};
+pub use synth::synthetic_observations;
 pub use world::{DomainMeta, GroundTruth, HijackKind, HijackRecord, TargetRecord, World};

@@ -1,0 +1,170 @@
+//! Cheap synthetic observation streams for scale benchmarking.
+//!
+//! The full [`crate::world::World`] simulator materializes DNS state,
+//! ACME issuance, server farms and observation systems — faithful, but
+//! far too slow to generate the million-domain corpora the workers ×
+//! scale bench matrix sweeps. [`synthetic_observations`] skips the
+//! world entirely and emits *annotated scan rows directly*: every
+//! domain gets a plausible multi-year weekly deployment history, a
+//! deterministic minority gets a transient second-ASN row (so classify
+//! and shortlist have something to chew on), and a sprinkle of
+//! unrouted records exercises the map builder's drop path.
+//!
+//! Two properties matter for the bench harness:
+//!
+//! * **Determinism** — the same `(n_domains, scans_per_domain, seed)`
+//!   triple always produces byte-identical output, so matrix cells are
+//!   comparable across runs and machines.
+//! * **Sortedness** — domain names are zero-padded (`d0000042.…`), so
+//!   generation order *is* `(domain, date)` order and the stream enters
+//!   the pipeline exactly as the quarantine stage would emit it,
+//!   letting the sharded map builder take its contiguous-range path.
+
+use retrodns_cert::CertId;
+use retrodns_scan::DomainObservation;
+use retrodns_types::{Asn, CountryCode, Day, DomainName, Ipv4Addr, StudyWindow};
+
+/// ASN/country pool the synthetic deployments draw from. Small enough
+/// that deployments collide across domains (like real hosting does),
+/// large enough that a transient lands in a *different* ASN.
+const POOL: [(u32, [u8; 2]); 8] = [
+    (13335, *b"US"),
+    (16509, *b"US"),
+    (24940, *b"DE"),
+    (14061, *b"NL"),
+    (20473, *b"SG"),
+    (16276, *b"FR"),
+    (63949, *b"JP"),
+    (9009, *b"GB"),
+];
+
+/// SplitMix64 step — the workspace-standard cheap deterministic RNG.
+#[inline]
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generate `n_domains × scans_per_domain` (plus transient extras)
+/// annotated observations inside `window`, sorted by `(domain, date)`.
+///
+/// Each domain runs one stable deployment: weekly scans from a
+/// seed-chosen phase, a stable ASN/country from the pool, an IP derived
+/// from the domain index, and a trusted cert renewed every ~13 scans.
+/// Every 37th domain gains one transient same-date observation at a
+/// different ASN with an untrusted cert (the paper's hijack-shaped
+/// blip); every 101st domain gets one unrouted (`asn: None`) row that
+/// the map builder must drop.
+pub fn synthetic_observations(
+    n_domains: usize,
+    scans_per_domain: usize,
+    seed: u64,
+) -> Vec<DomainObservation> {
+    let window = StudyWindow::default();
+    let interval = window.scan_interval_days;
+    let total_days = window.end.0.saturating_sub(window.start.0);
+    let max_scans = (total_days / interval.max(1)) as usize + 1;
+    let scans = scans_per_domain.clamp(1, max_scans);
+    let mut out = Vec::with_capacity(n_domains * scans + n_domains / 37 + n_domains / 101);
+    for i in 0..n_domains {
+        let mut rng = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let r = splitmix(&mut rng);
+        let domain = DomainName::new(&format!("d{i:07}.synth.example")).expect("valid label");
+        let (asn, cc) = POOL[(r % POOL.len() as u64) as usize];
+        let ip = Ipv4Addr(0x0A00_0000 | (i as u32 & 0x00FF_FFFF));
+        // Phase-shift the weekly cadence so domains don't all scan on
+        // the same day, then clamp the run inside the study window.
+        let phase = (splitmix(&mut rng) % interval.max(1) as u64) as u32;
+        let start = window.start.0 + phase;
+        let base_cert = 1 + splitmix(&mut rng) % 1_000_000_000;
+        for s in 0..scans {
+            let date = Day(start + (s as u32 * interval).min(total_days.saturating_sub(phase)));
+            let cert = CertId(base_cert + (s / 13) as u64);
+            out.push(DomainObservation {
+                domain: domain.clone(),
+                date,
+                ip,
+                asn: Some(Asn(asn)),
+                country: Some(CountryCode::new(cc)),
+                cert,
+                trusted: true,
+            });
+            if i % 37 == 0 && s == scans / 2 {
+                // Transient: same scan date, different ASN, untrusted
+                // cert — shaped like the paper's Table 1 hijack row.
+                let (t_asn, t_cc) =
+                    POOL[((r >> 8) as usize + 1 + i % (POOL.len() - 1)) % POOL.len()];
+                out.push(DomainObservation {
+                    domain: domain.clone(),
+                    date,
+                    ip: Ipv4Addr(0xC000_0200 | (i as u32 & 0xFF)),
+                    asn: Some(Asn(if t_asn == asn { POOL[0].0 + 1 } else { t_asn })),
+                    country: Some(CountryCode::new(t_cc)),
+                    cert: CertId(2_000_000_000 + i as u64),
+                    trusted: false,
+                });
+            }
+            if i % 101 == 0 && s == 0 {
+                // Unrouted row: the map builder must drop it.
+                out.push(DomainObservation {
+                    domain: domain.clone(),
+                    date,
+                    ip,
+                    asn: None,
+                    country: None,
+                    cert,
+                    trusted: false,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sorted_by_domain_date() {
+        let a = synthetic_observations(200, 8, 0x5EED);
+        let b = synthetic_observations(200, 8, 0x5EED);
+        assert_eq!(a, b, "same triple must reproduce byte-identical output");
+        assert!(
+            a.windows(2)
+                .all(|w| (&w[0].domain, w[0].date) <= (&w[1].domain, w[1].date)),
+            "stream must arrive in (domain, date) order"
+        );
+        let c = synthetic_observations(200, 8, 0x5EEE);
+        assert_ne!(a, c, "different seed must vary the stream");
+    }
+
+    #[test]
+    fn covers_transient_and_unrouted_paths() {
+        let obs = synthetic_observations(202, 8, 1);
+        assert!(obs.iter().any(|o| o.asn.is_none()), "no unrouted rows");
+        let transients: Vec<_> = obs
+            .iter()
+            .filter(|o| !o.trusted && o.asn.is_some())
+            .collect();
+        assert!(!transients.is_empty(), "no transient rows");
+        // A transient shares its date with a stable row of the same
+        // domain but sits at a different ASN.
+        for t in transients {
+            assert!(obs
+                .iter()
+                .any(|o| o.domain == t.domain && o.date == t.date && o.asn != t.asn));
+        }
+    }
+
+    #[test]
+    fn all_dates_inside_default_window() {
+        let w = StudyWindow::default();
+        assert!(synthetic_observations(50, 500, 7)
+            .iter()
+            .all(|o| o.date >= w.start && o.date <= w.end));
+    }
+}

@@ -19,4 +19,10 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> bench worker sweep (quick fixture, workers 1/2/4; 4-worker e2e gate 2.0x)"
+cargo run --release -p retrodns-bench --bin experiments -- --scale quick --workers 1 bench
+cargo run --release -p retrodns-bench --bin experiments -- --scale quick --workers 2 bench
+cargo run --release -p retrodns-bench --bin experiments -- --scale quick --workers 4 \
+    --min-e2e-speedup 2.0 bench
+
 echo "tier-1 verification passed"
