@@ -25,16 +25,29 @@
 //! plus a corroboration-stripped row per seed — writes the matrix to
 //! `FAULTS_matrix.json`, and fails the process if any cell fabricated a
 //! hijack verdict.
+//!
+//! The extra id `mem` (also not part of `all`) sweeps the columnar
+//! observation store's memory footprint over 100k/1M/5M synthetic
+//! observations (streamed, never materialized as rows) and persists the
+//! points into `BENCH_pipeline.json`. `--max-bytes-per-obs X` and
+//! `--min-mem-reduction X` are the CI regression gates; `--max-obs N`
+//! caps the largest sweep column.
 
 use retrodns_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
 use retrodns_bench::{Bundle, Scale};
 use std::process::ExitCode;
+
+#[global_allocator]
+static ALLOC: retrodns_core::metrics::CountingAlloc = retrodns_core::metrics::CountingAlloc;
 
 /// Worker counts the `matrix` id sweeps.
 const MATRIX_WORKERS: [usize; 4] = [1, 2, 4, 8];
 /// Domain-count columns the `matrix` id sweeps (capped by
 /// `--max-domains`).
 const MATRIX_DOMAINS: [usize; 4] = [2_000, 20_000, 100_000, 1_000_000];
+/// Observation-count columns the `mem` id sweeps (capped by
+/// `--max-obs`).
+const MEM_SIZES: [usize; 3] = [100_000, 1_000_000, 5_000_000];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,7 +56,10 @@ fn main() -> ExitCode {
     let mut workers: usize = 4;
     let mut reps: usize = 3;
     let mut max_domains: usize = 1_000_000;
+    let mut max_obs: usize = 5_000_000;
     let mut min_e2e_speedup: Option<f64> = None;
+    let mut max_bytes_per_obs: Option<f64> = None;
+    let mut min_mem_reduction: Option<f64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -81,6 +97,39 @@ fn main() -> ExitCode {
                 };
                 max_domains = v;
             }
+            "--max-obs" => {
+                let Some(v) = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &usize| v >= 1)
+                else {
+                    eprintln!("--max-obs expects a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                max_obs = v;
+            }
+            "--max-bytes-per-obs" => {
+                let Some(v) = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &f64| v > 0.0)
+                else {
+                    eprintln!("--max-bytes-per-obs expects a positive number");
+                    return ExitCode::FAILURE;
+                };
+                max_bytes_per_obs = Some(v);
+            }
+            "--min-mem-reduction" => {
+                let Some(v) = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &f64| v > 0.0)
+                else {
+                    eprintln!("--min-mem-reduction expects a positive number");
+                    return ExitCode::FAILURE;
+                };
+                min_mem_reduction = Some(v);
+            }
             "--min-e2e-speedup" => {
                 let Some(v) = it
                     .next()
@@ -109,8 +158,9 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--scale quick|standard|full] [--seed N] [--workers N] \
-                     [--reps N] [--max-domains N] [--min-e2e-speedup X] <id>... | all\n\
-                     ids: {} bench matrix faults",
+                     [--reps N] [--max-domains N] [--max-obs N] [--min-e2e-speedup X] \
+                     [--max-bytes-per-obs X] [--min-mem-reduction X] <id>... | all\n\
+                     ids: {} bench matrix faults mem",
                     ALL_EXPERIMENTS.join(" ")
                 );
                 return ExitCode::SUCCESS;
@@ -125,10 +175,11 @@ fn main() -> ExitCode {
         if id != "bench"
             && id != "faults"
             && id != "matrix"
+            && id != "mem"
             && !ALL_EXPERIMENTS.contains(&id.as_str())
         {
             eprintln!(
-                "unknown experiment {id:?}; known: {} bench matrix faults",
+                "unknown experiment {id:?}; known: {} bench matrix faults mem",
                 ALL_EXPERIMENTS.join(" ")
             );
             return ExitCode::FAILURE;
@@ -136,12 +187,16 @@ fn main() -> ExitCode {
     }
 
     // The faults campaign builds its own (damaged) worlds, and the
-    // matrix sweep generates synthetic streams directly; run them
-    // before paying for the shared bundle if no other id needs it.
-    if ids.iter().all(|i| i == "faults" || i == "matrix") {
+    // matrix and mem sweeps generate synthetic streams directly; run
+    // them before paying for the shared bundle if no other id needs it.
+    if ids
+        .iter()
+        .all(|i| i == "faults" || i == "matrix" || i == "mem")
+    {
         for id in &ids {
             let code = match id.as_str() {
                 "faults" => run_faults(seed, workers),
+                "mem" => run_mem(max_obs, max_bytes_per_obs, min_mem_reduction),
                 _ => run_matrix(max_domains, reps),
             };
             if code != ExitCode::SUCCESS {
@@ -181,6 +236,14 @@ fn main() -> ExitCode {
             eprintln!("[matrix took {:.1?}]", t.elapsed());
             continue;
         }
+        if id == "mem" {
+            let code = run_mem(max_obs, max_bytes_per_obs, min_mem_reduction);
+            if code != ExitCode::SUCCESS {
+                return code;
+            }
+            eprintln!("[mem took {:.1?}]", t.elapsed());
+            continue;
+        }
         if id == "bench" {
             let mut report = retrodns_bench::bench_pipeline(&bundle, workers, reps);
             let path = "BENCH_pipeline.json";
@@ -203,6 +266,11 @@ fn main() -> ExitCode {
                 e2e_parallel_ms: e2e.map_or(0.0, |s| s.parallel_ms),
                 metrics_overhead_pct: report.metrics_overhead_pct,
                 git_rev: report.git_rev.clone(),
+                peak_rss_bytes: retrodns_core::metrics::peak_rss_kb().unwrap_or(0) * 1024,
+                bytes_per_observation: retrodns_store::rows_footprint_bytes(
+                    bundle.observations.iter(),
+                ) as f64
+                    / report.observations.max(1) as f64,
             });
             let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
             if let Err(e) = std::fs::write(path, &json) {
@@ -270,6 +338,7 @@ fn run_matrix(max_domains: usize, reps: usize) -> ExitCode {
             git_rev: String::new(),
             matrix: Vec::new(),
             trajectory: Vec::new(),
+            memory: Vec::new(),
         });
     report.matrix = cells;
     report.git_rev = retrodns_bench::git_rev();
@@ -283,12 +352,103 @@ fn run_matrix(max_domains: usize, reps: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Sweep the columnar store's memory footprint over the `MEM_SIZES`
+/// observation counts and persist the points into
+/// `BENCH_pipeline.json`, preserving whatever report is already there.
+/// Fails when a point exceeds `--max-bytes-per-obs`, or when the
+/// largest swept cell shrinks less than `--min-mem-reduction`× vs the
+/// row-vector baseline.
+fn run_mem(
+    max_obs: usize,
+    max_bytes_per_obs: Option<f64>,
+    min_mem_reduction: Option<f64>,
+) -> ExitCode {
+    let sizes: Vec<usize> = MEM_SIZES
+        .iter()
+        .copied()
+        .filter(|&n| n <= max_obs)
+        .collect();
+    if sizes.is_empty() {
+        eprintln!("--max-obs {max_obs} excludes every mem column {MEM_SIZES:?}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "memory trajectory: observations {sizes:?} ({} scans/domain, streamed)...",
+        retrodns_bench::MEM_SCANS_PER_DOMAIN
+    );
+    let points = retrodns_bench::bench_mem(&sizes);
+    let path = "BENCH_pipeline.json";
+    let mut report = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<retrodns_bench::PipelineBenchReport>(&s).ok())
+        .unwrap_or_else(|| retrodns_bench::PipelineBenchReport {
+            workers: 0,
+            domains: 0,
+            observations: 0,
+            reps: 1,
+            stages: Vec::new(),
+            metered_ms: 0.0,
+            metrics_overhead_pct: 0.0,
+            metrics_overhead_raw_pct: 0.0,
+            metrics_overhead_noise: false,
+            git_rev: String::new(),
+            matrix: Vec::new(),
+            trajectory: Vec::new(),
+            memory: Vec::new(),
+        });
+    report.memory = points;
+    report.git_rev = retrodns_bench::git_rev();
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("failed to write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\n{}", report.summary());
+    eprintln!("[mem wrote {path} ({} points)]", report.memory.len());
+    if let Some(max) = max_bytes_per_obs {
+        for p in &report.memory {
+            if p.bytes_per_observation > max {
+                eprintln!(
+                    "REGRESSION: {:.1} bytes/observation at {} observations exceeds the \
+                     {max:.1} gate",
+                    p.bytes_per_observation, p.observations
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("bytes/observation gate: all points <= {max:.1}, ok");
+    }
+    if let Some(min) = min_mem_reduction {
+        // Gate on the largest cell: dictionaries amortize with scale, so
+        // it is the hardest honest cell the sweep ran.
+        let p = report
+            .memory
+            .iter()
+            .max_by_key(|p| p.observations)
+            .expect("sizes is non-empty");
+        if p.reduction < min {
+            eprintln!(
+                "REGRESSION: columnar store only {:.2}x smaller than rows at {} \
+                 observations, below the {min:.2}x gate",
+                p.reduction, p.observations
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "mem reduction gate: {:.2}x at {} observations >= {min:.2}x, ok",
+            p.reduction, p.observations
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 /// Run the fault-injection survival campaign and write
 /// `FAULTS_matrix.json`; fails when any cell fabricated a verdict.
 fn run_faults(seed: u64, workers: usize) -> ExitCode {
     let seeds: Vec<u64> = (0..5).map(|i| seed.wrapping_add(i)).collect();
     eprintln!(
-        "fault campaign: seeds {seeds:?} x (5 data faults + 12 source outages + no-corroboration)..."
+        "fault campaign: seeds {seeds:?} x (5 data faults + 12 source outages + 2 store \
+         corruptions + no-corroboration)..."
     );
     let matrix = retrodns_bench::run_fault_campaign(&seeds, workers);
     let json = serde_json::to_string_pretty(&matrix).expect("fault matrix serializes");

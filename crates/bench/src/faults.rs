@@ -19,6 +19,14 @@
 //! that name the source, the `funnel.degraded` histogram matches the
 //! report's degraded entries, and the quarantine metrics match the
 //! funnel's quarantine histogram.
+//!
+//! Store-corruption rows (`store:truncated-chunk`, `store:bitflip-chunk`)
+//! damage the *columnar checkpoint bytes* instead of the data: one chunk
+//! payload gets a torn (zeroed-tail) write or a flipped bit, recovery
+//! goes through [`StoreReader::decode_lossy`], and survival additionally
+//! requires the corruption to be *detected* — the chunk quarantined by
+//! content hash, its rows counted as `injected` losses, and the pipeline
+//! run only over the rows that verified.
 
 use retrodns_cert::CrtShIndex;
 use retrodns_core::metrics::MetricsRegistry;
@@ -27,6 +35,7 @@ use retrodns_dns::PassiveDns;
 use retrodns_sim::{
     FaultEffects, FaultKind, FaultPlan, SimConfig, SourceFaultKind, SourceFaultPlan, World,
 };
+use retrodns_store::{ObservationStore, StoreReader};
 use retrodns_types::SourceFaults;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -120,7 +129,7 @@ impl FaultMatrix {
 
 /// The damaged corroboration sources one cell runs against.
 struct CellInputs<'a> {
-    observations: &'a [retrodns_scan::DomainObservation],
+    observations: &'a dyn retrodns_store::ObservationView,
     pdns: &'a PassiveDns,
     crtsh: &'a CrtShIndex,
     source_faults: Option<&'a dyn SourceFaults>,
@@ -217,6 +226,10 @@ fn run_cell(
 /// outage row; its reconciliation is checked on every cell instead.
 pub const OUTAGE_SOURCES: [&str; 3] = ["pdns", "ct", "as2org"];
 
+/// The store-corruption rows swept per seed: a torn (zeroed-tail) chunk
+/// write and a single flipped payload bit.
+pub const STORE_FAULTS: [&str; 2] = ["store:truncated-chunk", "store:bitflip-chunk"];
+
 /// Sweep `seeds` × every [`FaultKind`], every
 /// source × [`SourceFaultKind`] outage, plus the `no-corroboration`
 /// stripped-inputs row per seed, over `SimConfig::small` worlds.
@@ -229,6 +242,9 @@ pub fn run_fault_campaign(seeds: &[u64], workers: usize) -> FaultMatrix {
         for kind in SourceFaultKind::ALL {
             faults.push(format!("{source}:{}", kind.label()));
         }
+    }
+    for label in STORE_FAULTS {
+        faults.push(label.to_string());
     }
     faults.push("no-corroboration".to_string());
     let mut cells = Vec::with_capacity(seeds.len() * faults.len());
@@ -282,6 +298,53 @@ pub fn run_fault_campaign(seeds: &[u64], workers: usize) -> FaultMatrix {
                 }
                 cells.push(cell);
             }
+        }
+        // Store corruption: the columnar checkpoint bytes are damaged —
+        // a torn (zeroed-tail) chunk write and a single flipped bit —
+        // and lossy recovery must detect it, quarantine the chunk by
+        // content hash, and hand the pipeline only rows that verified.
+        let store =
+            ObservationStore::from_observations(&observations).expect("observations fit the store");
+        let encoded = store.encode();
+        let (payload_start, payload_len) = {
+            let reader = StoreReader::open(&encoded).expect("pristine store opens");
+            let chunk = reader.chunk(0);
+            (
+                chunk.bytes.as_ptr() as usize - encoded.as_ptr() as usize,
+                chunk.bytes.len(),
+            )
+        };
+        for label in STORE_FAULTS {
+            let mut bytes = encoded.clone();
+            match label {
+                "store:truncated-chunk" => {
+                    bytes[payload_start + payload_len / 2..payload_start + payload_len].fill(0)
+                }
+                _ => bytes[payload_start + payload_len / 2] ^= 0x10,
+            }
+            let lossy = StoreReader::open(&bytes)
+                .expect("chunk-payload damage leaves the frame parseable")
+                .decode_lossy()
+                .expect("dictionary is intact");
+            let detected = !lossy.bad_chunks.is_empty()
+                && lossy.lost_rows > 0
+                && lossy.store.len() + lossy.lost_rows == observations.len();
+            let mut cell = run_cell(
+                &world,
+                seed,
+                label,
+                FaultEffects::default(),
+                CellInputs {
+                    observations: &lossy.store,
+                    pdns: &world.pdns,
+                    crtsh: &world.crtsh,
+                    source_faults: None,
+                },
+                workers,
+            );
+            cell.injected = lossy.lost_rows;
+            cell.survived = cell.survived && detected;
+            cells.push(cell);
         }
         // Corroboration-stripped: no pDNS, no CT. Conservativeness demands
         // zero hijack verdicts here, not merely zero fabrications.

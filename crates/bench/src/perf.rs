@@ -84,6 +84,15 @@ pub struct TrajectoryPoint {
     /// commit. Empty in entries recorded before this field existed.
     #[serde(default)]
     pub git_rev: String,
+    /// Peak resident set size of the bench process in bytes (0 off
+    /// Linux and in entries recorded before this field existed).
+    #[serde(default)]
+    pub peak_rss_bytes: u64,
+    /// Exact `Vec<DomainObservation>` bytes per observation of the run's
+    /// input (0.0 in pre-existing entries) — speed and memory regress
+    /// together in one trajectory.
+    #[serde(default)]
+    pub bytes_per_observation: f64,
 }
 
 /// One cell of the workers × domain-count map-build matrix: the
@@ -105,6 +114,45 @@ pub struct MatrixCell {
     pub sharded_ms: f64,
     /// serial_ms / sharded_ms.
     pub speedup: f64,
+}
+
+/// One cell of the memory-trajectory sweep (`experiments mem`): the
+/// columnar store built by streaming a synthetic corpus of the given
+/// size, measured against the exact bytes an equivalent
+/// `Vec<DomainObservation>` would hold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemPoint {
+    /// Observations streamed into the store.
+    pub observations: usize,
+    /// Distinct synthetic domains in the stream.
+    pub domains: usize,
+    /// In-memory bytes held by the columnar store
+    /// ([`ObservationStore::footprint_bytes`][fb]).
+    ///
+    /// [fb]: retrodns_store::ObservationStore::footprint_bytes
+    pub store_bytes: usize,
+    /// Exact bytes an exactly-sized row vector would hold
+    /// ([`retrodns_store::rows_footprint_bytes`]).
+    pub row_bytes: usize,
+    /// `store_bytes / observations` — the regression-gated figure.
+    pub bytes_per_observation: f64,
+    /// `row_bytes / observations`, the baseline unit cost.
+    pub row_bytes_per_observation: f64,
+    /// `row_bytes / store_bytes` — how many times smaller the columnar
+    /// form is (gated at ≥ 3× at the million-observation cell).
+    pub reduction: f64,
+    /// Cumulative allocator bytes requested while streaming the corpus
+    /// into the store — allocation *churn*, not live bytes (0 when
+    /// [`CountingAlloc`](retrodns_core::metrics::CountingAlloc) is not
+    /// installed).
+    pub build_alloc_bytes: u64,
+    /// Peak resident set size after the build, bytes (0 off Linux).
+    pub peak_rss_bytes: u64,
+    /// Chunks the store sealed (`⌈observations / CHUNK_ROWS⌉`).
+    pub chunks: usize,
+    /// Git revision the sweep ran from.
+    #[serde(default)]
+    pub git_rev: String,
 }
 
 /// The full pipeline perf report emitted as `BENCH_pipeline.json`.
@@ -152,6 +200,10 @@ pub struct PipelineBenchReport {
     /// appends one [`TrajectoryPoint`].
     #[serde(default)]
     pub trajectory: Vec<TrajectoryPoint>,
+    /// The memory-trajectory sweep, regenerated by `experiments mem`
+    /// (empty when only `bench`/`matrix` ran).
+    #[serde(default)]
+    pub memory: Vec<MemPoint>,
 }
 
 impl PipelineBenchReport {
@@ -195,6 +247,40 @@ impl PipelineBenchReport {
                 String::new()
             }
         );
+        if !self.memory.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n== Memory trajectory (columnar store vs row vector) =="
+            );
+            let _ = writeln!(
+                out,
+                "{:<12} {:>9} {:>14} {:>14} {:>8} {:>8} {:>8} {:>14} {:>12}",
+                "observations",
+                "domains",
+                "store B",
+                "rows B",
+                "B/obs",
+                "rows/obs",
+                "shrink",
+                "build alloc B",
+                "peak RSS MB"
+            );
+            for m in &self.memory {
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:>9} {:>14} {:>14} {:>8.1} {:>8.1} {:>7.2}x {:>14} {:>12.1}",
+                    m.observations,
+                    m.domains,
+                    m.store_bytes,
+                    m.row_bytes,
+                    m.bytes_per_observation,
+                    m.row_bytes_per_observation,
+                    m.reduction,
+                    m.build_alloc_bytes,
+                    m.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+                );
+            }
+        }
         if !self.matrix.is_empty() {
             let _ = writeln!(out, "\n== Map-build scaling matrix (serial vs sharded) ==");
             let _ = writeln!(
@@ -311,6 +397,7 @@ pub fn bench_pipeline(bundle: &Bundle, workers: usize, reps: usize) -> PipelineB
         git_rev: git_rev(),
         matrix: Vec::new(),
         trajectory: Vec::new(),
+        memory: Vec::new(),
         stages: vec![
             StageBench::new("map_build", observations.len(), map_serial, map_parallel),
             StageBench::new("classify", maps.len(), classify_serial, classify_parallel),
@@ -323,6 +410,65 @@ pub fn bench_pipeline(bundle: &Bundle, workers: usize, reps: usize) -> PipelineB
             StageBench::new("end_to_end", observations.len(), e2e_serial, e2e_parallel),
         ],
     }
+}
+
+/// Scans per synthetic domain in the memory sweep: thirty-two weekly
+/// observations per domain is the multi-year retention shape the store
+/// exists for — dictionaries amortize across repeat sightings of the
+/// same domain, which an eight-scan stream would understate.
+pub const MEM_SCANS_PER_DOMAIN: usize = 32;
+
+/// Stream seed of the memory sweep (fixed: cells are comparable across
+/// runs and machines).
+pub const MEM_SEED: u64 = 0x3E3E;
+
+/// Sweep the columnar store's memory footprint across observation
+/// counts.
+///
+/// Each cell lazily streams a synthetic corpus
+/// ([`retrodns_sim::synthetic_stream`]) straight into a
+/// [`StoreBuilder`](retrodns_store::StoreBuilder) — the generator never
+/// materializes, so peak RSS measures the *store* — and compares the
+/// sealed store's footprint against the exact bytes an equivalent row
+/// vector would hold (computed row-by-row during the same pass, also
+/// without materializing it).
+pub fn bench_mem(observation_targets: &[usize]) -> Vec<MemPoint> {
+    let rev = git_rev();
+    observation_targets
+        .iter()
+        .map(|&target| {
+            let domains = (target / MEM_SCANS_PER_DOMAIN).max(1);
+            let stream = retrodns_sim::synthetic_stream(domains, MEM_SCANS_PER_DOMAIN, MEM_SEED);
+            let expected = stream.len();
+            let alloc_before = retrodns_core::metrics::allocated_bytes_total();
+            let mut builder = retrodns_store::StoreBuilder::with_capacity(expected, domains);
+            let mut row_bytes = 0usize;
+            for o in stream {
+                row_bytes += retrodns_store::rows_footprint_bytes(std::iter::once(&o));
+                builder
+                    .push(&o)
+                    .expect("synthetic dates fit the default-epoch day range");
+            }
+            let store = builder.finish();
+            let build_alloc_bytes =
+                retrodns_core::metrics::allocated_bytes_total().saturating_sub(alloc_before);
+            let observations = store.len();
+            let store_bytes = store.footprint_bytes();
+            MemPoint {
+                observations,
+                domains,
+                store_bytes,
+                row_bytes,
+                bytes_per_observation: store_bytes as f64 / observations.max(1) as f64,
+                row_bytes_per_observation: row_bytes as f64 / observations.max(1) as f64,
+                reduction: row_bytes as f64 / store_bytes.max(1) as f64,
+                build_alloc_bytes,
+                peak_rss_bytes: retrodns_core::metrics::peak_rss_kb().unwrap_or(0) * 1024,
+                chunks: store.n_chunks(),
+                git_rev: rev.clone(),
+            }
+        })
+        .collect()
 }
 
 /// Scans per synthetic domain in the matrix streams: eight weekly
@@ -436,6 +582,38 @@ mod tests {
             assert_eq!(report.metrics_overhead_pct, report.metrics_overhead_raw_pct);
         }
         assert!(!report.git_rev.is_empty());
+    }
+
+    /// The memory sweep reports consistent unit costs and a columnar
+    /// footprint well under the row baseline even at small scale.
+    #[test]
+    fn mem_sweep_shapes_and_shrinks() {
+        let points = bench_mem(&[10_000, 50_000]);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            // Streams append transient/unrouted extras past the target.
+            assert!(p.observations >= p.domains * MEM_SCANS_PER_DOMAIN);
+            assert!(p.store_bytes > 0 && p.row_bytes > p.store_bytes);
+            assert!(
+                (p.bytes_per_observation - p.store_bytes as f64 / p.observations as f64).abs()
+                    < 1e-9
+            );
+            assert!(
+                p.reduction >= 3.0,
+                "columnar store only {:.2}x smaller than rows at {} observations",
+                p.reduction,
+                p.observations
+            );
+            assert!(p.chunks >= 1);
+        }
+        // Row baseline must match the exact helper over a materialized
+        // vector of the same stream.
+        let rows =
+            retrodns_sim::synthetic_observations(points[0].domains, MEM_SCANS_PER_DOMAIN, MEM_SEED);
+        assert_eq!(
+            points[0].row_bytes,
+            retrodns_store::rows_footprint_bytes(&rows)
+        );
     }
 
     /// The matrix covers the full workers × domains grid, shares one

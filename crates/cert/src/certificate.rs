@@ -8,7 +8,7 @@
 //! distinction in the pattern taxonomy).
 
 use crate::authority::CaId;
-use retrodns_types::{Day, DomainName};
+use retrodns_types::{bytes_hash, Day, DomainName, InternKey};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -17,6 +17,13 @@ use std::fmt;
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
 )]
 pub struct CertId(pub u64);
+
+impl InternKey for CertId {
+    #[inline]
+    fn intern_hash(&self) -> u64 {
+        bytes_hash(&self.0.to_be_bytes())
+    }
+}
 
 impl fmt::Display for CertId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

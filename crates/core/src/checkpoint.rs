@@ -28,6 +28,7 @@
 //! are recomputed and overwritten, never trusted across a break).
 
 use retrodns_scan::DomainObservation;
+use retrodns_store::{ObservationStore, StoreManifest};
 use retrodns_types::hash::bytes_hash;
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
@@ -77,23 +78,15 @@ pub fn config_fingerprint<C: Serialize>(config: &C) -> u64 {
 /// field-order fold of every record through the workspace BKDR hash.
 /// Deterministic across runs and platforms, and sensitive to any record
 /// edit, insertion, deletion or reordering.
+///
+/// This is [`retrodns_store::rows_fingerprint`] — the canonical
+/// definition both input representations share, so a checkpoint written
+/// from a row vector validates when the same data arrives as a columnar
+/// [`retrodns_store::ObservationStore`] (whose
+/// [`fingerprint`](retrodns_store::ObservationStore::fingerprint) is
+/// computed from its columns, bit-identically).
 pub fn inputs_fingerprint(observations: &[DomainObservation]) -> u64 {
-    let mut h: u64 = bytes_hash(b"retrodns-observations-v1");
-    let mut fold = |v: u64| h = h.wrapping_mul(131).wrapping_add(v);
-    for o in observations {
-        fold(bytes_hash(o.domain.as_str().as_bytes()));
-        fold(o.date.0 as u64);
-        fold(o.ip.0 as u64);
-        fold(o.asn.map(|a| 1 + a.0 as u64).unwrap_or(0));
-        fold(
-            o.country
-                .map(|c| bytes_hash(c.as_str().as_bytes()))
-                .unwrap_or(0),
-        );
-        fold(o.cert.0);
-        fold(o.trusted as u64);
-    }
-    h
+    retrodns_store::rows_fingerprint(observations)
 }
 
 /// Why a stage checkpoint failed validation (diagnostic; resume treats
@@ -263,6 +256,66 @@ impl CheckpointStore {
         chain
     }
 
+    /// Directory holding the content-addressed observation checkpoint.
+    pub fn observations_dir(&self) -> PathBuf {
+        self.dir.join("observations")
+    }
+
+    /// Checkpoint a columnar observation store incrementally: the
+    /// dictionary and every chunk are written to files *named by their
+    /// content hash* (already computed when the store was sealed — no
+    /// re-hashing here), so a part whose file already exists is skipped
+    /// without being re-serialized. A store that shares chunks with the
+    /// previous checkpoint only pays for the chunks that changed; an
+    /// identical store writes nothing but the manifest.
+    ///
+    /// Returns the number of part files actually written.
+    pub fn save_observations(&self, store: &ObservationStore) -> std::io::Result<usize> {
+        let dir = self.observations_dir();
+        std::fs::create_dir_all(&dir)?;
+        let manifest = store.manifest();
+        let mut written = 0usize;
+        let dict_path = dir.join(format!("dict-{:016x}.bin", manifest.dict_hash));
+        if !dict_path.exists() {
+            std::fs::write(&dict_path, store.encode_dict())?;
+            written += 1;
+        }
+        for (c, hash) in manifest.chunk_hashes.iter().enumerate() {
+            let chunk_path = dir.join(format!("chunk-{hash:016x}.bin"));
+            if !chunk_path.exists() {
+                std::fs::write(&chunk_path, store.encode_chunk(c))?;
+                written += 1;
+            }
+        }
+        // Manifest last: a crash mid-write leaves either the previous
+        // manifest (still valid — its parts are never deleted here) or
+        // none.
+        std::fs::write(
+            dir.join("manifest.json"),
+            serde_json::to_vec(&manifest).expect("manifest serializes"),
+        )?;
+        Ok(written)
+    }
+
+    /// Load the observation checkpoint written by
+    /// [`save_observations`](Self::save_observations), re-verifying every
+    /// part against the manifest's content hashes. Any missing, corrupt,
+    /// or undecodable part yields `None` — resume semantics are the same
+    /// as for stage checkpoints: recompute rather than trust damaged
+    /// state.
+    pub fn load_observations(&self) -> Option<ObservationStore> {
+        let dir = self.observations_dir();
+        let manifest: StoreManifest =
+            serde_json::from_slice(&std::fs::read(dir.join("manifest.json")).ok()?).ok()?;
+        let dict = std::fs::read(dir.join(format!("dict-{:016x}.bin", manifest.dict_hash))).ok()?;
+        let chunks: Vec<Vec<u8>> = manifest
+            .chunk_hashes
+            .iter()
+            .map(|hash| std::fs::read(dir.join(format!("chunk-{hash:016x}.bin"))).ok())
+            .collect::<Option<_>>()?;
+        ObservationStore::from_parts(&manifest, &dict, &chunks).ok()
+    }
+
     /// Validate a stage checkpoint without deserializing its payload.
     pub fn validate(&self, stage: &str, fp: &Fingerprint) -> Result<(), InvalidReason> {
         let meta_bytes =
@@ -317,6 +370,58 @@ mod tests {
         s.save("maps", &fp(), &vec![1u32, 2, 3]).unwrap();
         let back: Vec<u32> = s.load("maps", &fp()).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn observation_checkpoints_are_incremental() {
+        use retrodns_cert::CertId;
+        use retrodns_types::{Asn, Day, Ipv4Addr};
+        let rows = |n: usize| -> Vec<DomainObservation> {
+            (0..n)
+                .map(|i| DomainObservation {
+                    // A fixed pool of domains/certs keeps the dictionary
+                    // identical when more rows are appended.
+                    domain: format!("d{:05}.example.com", i % 1024).parse().unwrap(),
+                    date: Day((i / 1024) as u32 * 7),
+                    ip: Ipv4Addr(i as u32),
+                    asn: Some(Asn(13335)),
+                    country: "US".parse().ok(),
+                    cert: CertId((i % 1024) as u64),
+                    trusted: true,
+                })
+                .collect()
+        };
+        let dir = std::env::temp_dir().join(format!("retrodns-ckpt-obs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = CheckpointStore::open(dir).unwrap();
+        let chunk = retrodns_store::CHUNK_ROWS;
+
+        // Two chunks (one full, one half): first save writes dict + both.
+        let a = ObservationStore::from_observations(&rows(chunk + chunk / 2)).unwrap();
+        assert_eq!(s.save_observations(&a).unwrap(), 3);
+        // Identical store: nothing to write.
+        assert_eq!(s.save_observations(&a).unwrap(), 0);
+        assert_eq!(s.load_observations().unwrap(), a);
+
+        // Grow the data: chunk 0 and the dictionary are unchanged (the
+        // appended rows reuse existing domains/certs), so only the
+        // changed tail chunk and the new third chunk are written.
+        let b = ObservationStore::from_observations(&rows(2 * chunk + 100)).unwrap();
+        assert_eq!(b.chunk_hashes()[0], a.chunk_hashes()[0]);
+        assert_eq!(s.save_observations(&b).unwrap(), 2);
+        assert_eq!(s.load_observations().unwrap(), b);
+
+        // A damaged part is detected: the load refuses rather than
+        // resuming from corrupt observations.
+        let path = s
+            .observations_dir()
+            .join(format!("chunk-{:016x}.bin", b.chunk_hashes()[1]));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(s.load_observations().is_none());
         let _ = std::fs::remove_dir_all(s.dir());
     }
 

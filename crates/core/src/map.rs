@@ -12,13 +12,177 @@
 
 use retrodns_cert::CertId;
 use retrodns_scan::DomainObservation;
+use retrodns_store::{ObsColumns, ObservationStore, ASN_NONE, COUNTRY_NONE};
 use retrodns_types::{
-    Asn, CountryCode, Day, DomainId, DomainInterner, DomainName, Period, PeriodId, StudyWindow,
+    Asn, CountryCode, Day, DomainId, DomainInterner, DomainName, Ipv4Addr, Period, PeriodId,
+    StudyWindow,
 };
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
+
+/// Field access the sharded builder needs from an observation batch,
+/// abstracted over representation: the legacy row slice, or columnar
+/// store slices read in place (no row rehydration — the arena build
+/// pulls each field straight out of its column).
+///
+/// Indices are positions in the *logical* stream (after any selection),
+/// which the hot loops carry as `u32` in the arena.
+trait ObsSource: Sync {
+    /// Observations in the batch.
+    fn len(&self) -> usize;
+    /// Scan date of observation `i`.
+    fn date(&self, i: usize) -> Day;
+    /// Address of observation `i`.
+    fn ip(&self, i: usize) -> Ipv4Addr;
+    /// Origin ASN of observation `i` (`None` = unrouted).
+    fn asn(&self, i: usize) -> Option<Asn>;
+    /// Country of observation `i`.
+    fn country(&self, i: usize) -> Option<CountryCode>;
+    /// Certificate of observation `i`.
+    fn cert(&self, i: usize) -> CertId;
+    /// Trust bit of observation `i`.
+    fn trusted(&self, i: usize) -> bool;
+    /// Do observations `a` and `b` name the same domain? (For columns
+    /// this is one integer compare — interned ids are bijective with
+    /// names.)
+    fn same_domain(&self, a: usize, b: usize) -> bool;
+    /// The domain name of observation `i` (only touched once per output
+    /// map, at bucket flush).
+    fn domain_at(&self, i: usize) -> &DomainName;
+    /// `(domain, date)` ordering of observations `a` and `b` — the
+    /// sort key the quarantine stage emits.
+    fn cmp_domain_date(&self, a: usize, b: usize) -> Ordering;
+}
+
+/// Row-slice source: any slice of borrowable observations.
+struct RowSource<'a, O>(&'a [O]);
+
+impl<O: Borrow<DomainObservation> + Sync> ObsSource for RowSource<'_, O> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    #[inline]
+    fn date(&self, i: usize) -> Day {
+        self.0[i].borrow().date
+    }
+    #[inline]
+    fn ip(&self, i: usize) -> Ipv4Addr {
+        self.0[i].borrow().ip
+    }
+    #[inline]
+    fn asn(&self, i: usize) -> Option<Asn> {
+        self.0[i].borrow().asn
+    }
+    #[inline]
+    fn country(&self, i: usize) -> Option<CountryCode> {
+        self.0[i].borrow().country
+    }
+    #[inline]
+    fn cert(&self, i: usize) -> CertId {
+        self.0[i].borrow().cert
+    }
+    #[inline]
+    fn trusted(&self, i: usize) -> bool {
+        self.0[i].borrow().trusted
+    }
+    #[inline]
+    fn same_domain(&self, a: usize, b: usize) -> bool {
+        self.0[a].borrow().domain == self.0[b].borrow().domain
+    }
+    #[inline]
+    fn domain_at(&self, i: usize) -> &DomainName {
+        &self.0[i].borrow().domain
+    }
+    #[inline]
+    fn cmp_domain_date(&self, a: usize, b: usize) -> Ordering {
+        let (a, b) = (self.0[a].borrow(), self.0[b].borrow());
+        (&a.domain, a.date).cmp(&(&b.domain, b.date))
+    }
+}
+
+/// Columnar source: borrowed store columns, optionally routed through a
+/// selection (the quarantine stage's kept-row indices).
+struct ColSource<'a> {
+    cols: ObsColumns<'a>,
+    sel: Option<&'a [u32]>,
+}
+
+impl ColSource<'_> {
+    /// Logical index → physical row in the store.
+    #[inline]
+    fn at(&self, i: usize) -> usize {
+        match self.sel {
+            Some(s) => s[i] as usize,
+            None => i,
+        }
+    }
+}
+
+impl ObsSource for ColSource<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        match self.sel {
+            Some(s) => s.len(),
+            None => self.cols.len(),
+        }
+    }
+    #[inline]
+    fn date(&self, i: usize) -> Day {
+        self.cols.date(self.at(i))
+    }
+    #[inline]
+    fn ip(&self, i: usize) -> Ipv4Addr {
+        Ipv4Addr(self.cols.ip[self.at(i)])
+    }
+    #[inline]
+    fn asn(&self, i: usize) -> Option<Asn> {
+        match self.cols.asn[self.at(i)] {
+            ASN_NONE => None,
+            a => Some(Asn(a)),
+        }
+    }
+    #[inline]
+    fn country(&self, i: usize) -> Option<CountryCode> {
+        match self.cols.country[self.at(i)] {
+            COUNTRY_NONE => None,
+            c => Some(CountryCode::new(c.to_be_bytes())),
+        }
+    }
+    #[inline]
+    fn cert(&self, i: usize) -> CertId {
+        self.cols.certs[self.cols.cert[self.at(i)] as usize]
+    }
+    #[inline]
+    fn trusted(&self, i: usize) -> bool {
+        self.cols.trusted_bit(self.at(i))
+    }
+    #[inline]
+    fn same_domain(&self, a: usize, b: usize) -> bool {
+        self.cols.domain_id[self.at(a)] == self.cols.domain_id[self.at(b)]
+    }
+    #[inline]
+    fn domain_at(&self, i: usize) -> &DomainName {
+        &self.cols.domains[self.cols.domain_id[self.at(i)] as usize]
+    }
+    #[inline]
+    fn cmp_domain_date(&self, a: usize, b: usize) -> Ordering {
+        let (pa, pb) = (self.at(a), self.at(b));
+        let (ida, idb) = (self.cols.domain_id[pa], self.cols.domain_id[pb]);
+        // Interned ids are first-seen, not lexicographic: equal ids mean
+        // equal names (skip the string compare), different ids fall back
+        // to name order.
+        let by_domain = if ida == idb {
+            Ordering::Equal
+        } else {
+            self.cols.domains[ida as usize].cmp(&self.cols.domains[idb as usize])
+        };
+        by_domain.then(self.cols.day[pa].cmp(&self.cols.day[pb]))
+    }
+}
 
 /// Observable infrastructure of a domain in one ASN on one scan date.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -282,13 +446,86 @@ impl MapBuilder {
         // (and the equivalence proptests) may not. The fast path needs
         // domain-contiguous, date-ordered runs, so unsorted input pays one
         // reference-sorting pass over borrowed observations first.
-        if is_domain_date_sorted(observations) {
-            self.build_ranges(observations, workers)
+        let src = RowSource(observations);
+        if source_is_sorted(&src) {
+            self.build_ranges(&src, workers)
         } else {
             let mut refs: Vec<&DomainObservation> = observations.iter().collect();
             refs.sort_by(|a, b| (&a.domain, a.date).cmp(&(&b.domain, b.date)));
-            self.build_ranges(&refs, workers)
+            self.build_ranges(&RowSource(&refs), workers)
         }
+    }
+
+    /// Build deployment maps straight from a columnar
+    /// [`ObservationStore`] — fields are read out of the store's columns
+    /// in place; no `DomainObservation` row is ever rehydrated.
+    pub fn build_store(&self, store: &ObservationStore, workers: usize) -> Vec<DeploymentMap> {
+        self.build_store_stats(store, None, workers).0
+    }
+
+    /// [`build_store`](Self::build_store) with per-shard statistics and
+    /// an optional *selection*: indices of the store rows to analyze, in
+    /// analysis order (the quarantine stage's kept-row output). `None`
+    /// means every row.
+    ///
+    /// Output is byte-identical to [`Self::build`] over the equivalent
+    /// (selected) row vector. Small inputs still skip thread spawn, but
+    /// the columnar serial fallback is a single-range arena pass — never
+    /// a row-slice round trip.
+    pub fn build_store_stats(
+        &self,
+        store: &ObservationStore,
+        selection: Option<&[u32]>,
+        workers: usize,
+    ) -> (Vec<DeploymentMap>, Vec<ShardStats>) {
+        assert!(workers >= 1);
+        let cols = store.columns();
+        let src = ColSource {
+            cols,
+            sel: selection,
+        };
+        if source_is_sorted(&src) {
+            return self.build_source(&src, workers);
+        }
+        // Unsorted input: sort a selection by (domain, date) — stable,
+        // mirroring the row path's reference sort — and route the build
+        // through it. The columns themselves never move.
+        let mut sel: Vec<u32> = match selection {
+            Some(s) => s.to_vec(),
+            None => (0..store.len() as u32).collect(),
+        };
+        let phys = ColSource { cols, sel: None };
+        sel.sort_by(|&a, &b| phys.cmp_domain_date(a as usize, b as usize));
+        let src = ColSource {
+            cols,
+            sel: Some(&sel),
+        };
+        self.build_source(&src, workers)
+    }
+
+    /// Sharded build over an already-sorted source, with the adaptive
+    /// serial fallback. The fallback builds through a single-range arena
+    /// pass over the same source — representation-preserving, unlike the
+    /// row path's historical fallback to [`Self::build`].
+    fn build_source<S: ObsSource>(
+        &self,
+        src: &S,
+        workers: usize,
+    ) -> (Vec<DeploymentMap>, Vec<ShardStats>) {
+        if workers == 1 || src.len() < workers.saturating_mul(self.min_obs_per_worker) {
+            let t = Instant::now();
+            let periods = PeriodIndex::new(&self.window);
+            let mut arena = ShardArena::default();
+            let maps = self.build_range(src, 0, src.len(), &periods, &mut arena);
+            let stats = ShardStats {
+                observations: src.len(),
+                maps: maps.len(),
+                wall: t.elapsed(),
+                arena_bytes: arena.footprint_bytes(),
+            };
+            return (maps, vec![stats]);
+        }
+        self.build_ranges(src, workers)
     }
 
     /// Cut `observations` into `workers` domain-aligned ranges, build each
@@ -296,30 +533,27 @@ impl MapBuilder {
     /// concatenate the per-range outputs in range order. Range order is
     /// domain order, so the concatenation is already the serial builder's
     /// `(domain, period)` total order.
-    fn build_ranges<O>(
+    fn build_ranges<S: ObsSource>(
         &self,
-        observations: &[O],
+        src: &S,
         workers: usize,
-    ) -> (Vec<DeploymentMap>, Vec<ShardStats>)
-    where
-        O: Borrow<DomainObservation> + Sync,
-    {
+    ) -> (Vec<DeploymentMap>, Vec<ShardStats>) {
         let periods = PeriodIndex::new(&self.window);
-        let cuts = domain_range_cuts(observations, workers);
+        let cuts = domain_range_cuts(src, workers);
         let mut maps: Vec<DeploymentMap> = Vec::new();
         let mut stats: Vec<ShardStats> = Vec::with_capacity(workers);
         crossbeam::scope(|scope| {
             let handles: Vec<_> = cuts
                 .windows(2)
                 .map(|w| {
-                    let range = &observations[w[0]..w[1]];
+                    let (lo, hi) = (w[0], w[1]);
                     let periods = &periods;
                     scope.spawn(move |_| {
                         let t = Instant::now();
                         let mut arena = ShardArena::default();
-                        let out = self.build_range(range, periods, &mut arena);
+                        let out = self.build_range(src, lo, hi, periods, &mut arena);
                         let stat = ShardStats {
-                            observations: range.len(),
+                            observations: hi - lo,
                             maps: out.len(),
                             wall: t.elapsed(),
                             arena_bytes: arena.footprint_bytes(),
@@ -343,57 +577,53 @@ impl MapBuilder {
         (maps, stats)
     }
 
-    /// Build every map of one domain-aligned observation range.
+    /// Build every map of one domain-aligned index range `[lo, hi)` of
+    /// the source.
     ///
     /// The range is `(domain, date)`-sorted, so domains form contiguous
     /// runs and periods form contiguous sub-runs within them: one linear
     /// pass flushes a `(domain, period)` bucket whenever either changes.
     /// All intermediate state lives in the shard's arena; the only
     /// per-map allocations are the output containers themselves.
-    fn build_range<O>(
+    fn build_range<S: ObsSource>(
         &self,
-        observations: &[O],
+        src: &S,
+        lo: usize,
+        hi: usize,
         periods: &PeriodIndex,
         arena: &mut ShardArena,
-    ) -> Vec<DeploymentMap>
-    where
-        O: Borrow<DomainObservation>,
-    {
+    ) -> Vec<DeploymentMap> {
         assert!(
-            observations.len() <= u32::MAX as usize,
-            "a single shard range cannot exceed u32::MAX observations"
+            hi <= u32::MAX as usize,
+            "a shard range cannot extend past u32::MAX observations"
         );
         let mut maps: Vec<DeploymentMap> = Vec::new();
-        let mut run_start = 0usize;
+        let mut run_start = lo;
         let mut cur_period: Option<PeriodId> = None;
-        for i in 0..observations.len() {
-            let obs = observations[i].borrow();
-            let new_domain = i > run_start && observations[run_start].borrow().domain != obs.domain;
+        for i in lo..hi {
+            let new_domain = i > run_start && !src.same_domain(run_start, i);
             if new_domain {
-                let domain = &observations[run_start].borrow().domain;
                 if let Some(pid) = cur_period.take() {
-                    self.flush_bucket(observations, domain, pid, periods, arena, &mut maps);
+                    self.flush_bucket(src, run_start, pid, periods, arena, &mut maps);
                 }
                 run_start = i;
             }
-            if obs.asn.is_none() {
+            if src.asn(i).is_none() {
                 continue;
             }
-            let Some(pid) = periods.lookup(obs.date) else {
+            let Some(pid) = periods.lookup(src.date(i)) else {
                 continue;
             };
             if cur_period != Some(pid) {
                 if let Some(prev) = cur_period.take() {
-                    let domain = &observations[run_start].borrow().domain;
-                    self.flush_bucket(observations, domain, prev, periods, arena, &mut maps);
+                    self.flush_bucket(src, run_start, prev, periods, arena, &mut maps);
                 }
                 cur_period = Some(pid);
             }
             arena.kept.push(i as u32);
         }
         if let Some(pid) = cur_period.take() {
-            let domain = &observations[run_start].borrow().domain;
-            self.flush_bucket(observations, domain, pid, periods, arena, &mut maps);
+            self.flush_bucket(src, run_start, pid, periods, arena, &mut maps);
         }
         maps
     }
@@ -406,17 +636,15 @@ impl MapBuilder {
     /// cert-fingerprint / country columns with sort+dedup instead of
     /// per-insert tree rebalancing.
     #[allow(clippy::too_many_arguments)]
-    fn flush_bucket<O>(
+    fn flush_bucket<S: ObsSource>(
         &self,
-        observations: &[O],
-        domain: &DomainName,
+        src: &S,
+        domain_row: usize,
         pid: PeriodId,
         periods: &PeriodIndex,
         arena: &mut ShardArena,
         maps: &mut Vec<DeploymentMap>,
-    ) where
-        O: Borrow<DomainObservation>,
-    {
+    ) {
         if arena.kept.is_empty() {
             return;
         }
@@ -428,13 +656,15 @@ impl MapBuilder {
         arena.triples.clear();
         arena.map_dates.clear();
         for &idx in &arena.kept {
-            let o = observations[idx as usize].borrow();
-            if arena.map_dates.last() != Some(&o.date) {
-                arena.map_dates.push(o.date);
+            let date = src.date(idx as usize);
+            if arena.map_dates.last() != Some(&date) {
+                arena.map_dates.push(date);
             }
-            arena
-                .triples
-                .push((o.asn.expect("kept observations are routed"), o.date, idx));
+            arena.triples.push((
+                src.asn(idx as usize).expect("kept observations are routed"),
+                date,
+                idx,
+            ));
         }
         arena.kept.clear();
         arena.triples.sort_unstable();
@@ -461,22 +691,21 @@ impl MapBuilder {
                 let group_start = i;
                 let mut trusted = false;
                 while i < triples.len() && triples[i].0 == asn && triples[i].1 == date {
-                    let o = observations[triples[i].2 as usize].borrow();
-                    arena.ips.push(o.ip);
-                    arena.certs.push(o.cert);
-                    arena.cert_dates.push((o.cert, date));
-                    if let Some(cc) = o.country {
+                    let j = triples[i].2 as usize;
+                    let cert = src.cert(j);
+                    arena.ips.push(src.ip(j));
+                    arena.certs.push(cert);
+                    arena.cert_dates.push((cert, date));
+                    if let Some(cc) = src.country(j) {
                         arena.countries.push(cc);
                         arena.cc_dates.push((cc, date));
                     }
-                    trusted |= o.trusted;
+                    trusted |= src.trusted(j);
                     i += 1;
                 }
                 if trusted {
-                    for t in group_start..i {
-                        arena
-                            .trusted_certs
-                            .push(observations[triples[t].2 as usize].borrow().cert);
+                    for triple in &triples[group_start..i] {
+                        arena.trusted_certs.push(src.cert(triple.2 as usize));
                     }
                 }
                 if arena.dates.last() != Some(&date) {
@@ -492,7 +721,7 @@ impl MapBuilder {
 
         let period = periods.period(pid);
         maps.push(DeploymentMap {
-            domain: domain.clone(),
+            domain: src.domain_at(domain_row).clone(),
             period,
             deployments,
             dates_present: arena.map_dates.clone(),
@@ -751,34 +980,26 @@ impl PeriodIndex {
     }
 }
 
-/// Is the input sorted by `(domain, date)` (the order
+/// Is the source sorted by `(domain, date)` (the order
 /// [`crate::pipeline::quarantine`] guarantees)?
-fn is_domain_date_sorted<O: Borrow<DomainObservation>>(observations: &[O]) -> bool {
-    observations.windows(2).all(|w| {
-        let (a, b) = (w[0].borrow(), w[1].borrow());
-        (&a.domain, a.date) <= (&b.domain, b.date)
-    })
+fn source_is_sorted<S: ObsSource>(src: &S) -> bool {
+    (1..src.len()).all(|i| src.cmp_domain_date(i - 1, i) != Ordering::Greater)
 }
 
 /// Cut points (exactly `workers + 1`, starting at 0 and ending at
-/// `observations.len()`) splitting sorted observations into `workers`
-/// contiguous ranges that never split a domain: each tentative
-/// equal-size cut advances to the next domain boundary. Ranges can be
-/// empty when there are fewer domains than workers.
-fn domain_range_cuts<O: Borrow<DomainObservation>>(
-    observations: &[O],
-    workers: usize,
-) -> Vec<usize> {
-    let len = observations.len();
+/// `src.len()`) splitting a sorted source into `workers` contiguous
+/// ranges that never split a domain: each tentative equal-size cut
+/// advances to the next domain boundary. Ranges can be empty when there
+/// are fewer domains than workers.
+fn domain_range_cuts<S: ObsSource>(src: &S, workers: usize) -> Vec<usize> {
+    let len = src.len();
     let target = len.div_ceil(workers).max(1);
     let mut cuts = Vec::with_capacity(workers + 1);
     cuts.push(0);
     for w in 1..workers {
         let mut cut = (target * w).min(len).max(*cuts.last().expect("nonempty"));
         while cut > 0 && cut < len {
-            let prev = observations[cut - 1].borrow();
-            let here = observations[cut].borrow();
-            if prev.domain != here.domain {
+            if !src.same_domain(cut - 1, cut) {
                 break;
             }
             cut += 1;
@@ -792,7 +1013,6 @@ fn domain_range_cuts<O: Borrow<DomainObservation>>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use retrodns_types::Ipv4Addr;
 
     fn obs(domain: &str, date: u32, ip: u32, asn: u32, cc: &str, cert: u64) -> DomainObservation {
         DomainObservation {
@@ -1009,10 +1229,75 @@ mod tests {
     }
 
     #[test]
+    fn columnar_build_matches_rows() {
+        let observations = mixed_observations();
+        let store = ObservationStore::from_observations(&observations).unwrap();
+        let b = sharded_builder();
+        let serial = b.build(&observations);
+        for workers in [1, 2, 4, 8] {
+            let (maps, stats) = b.build_store_stats(&store, None, workers);
+            assert_eq!(serial, maps, "columnar diverged at {workers} workers");
+            assert_eq!(
+                stats.iter().map(|s| s.observations).sum::<usize>(),
+                observations.len()
+            );
+        }
+        assert_eq!(serial, b.build_store(&store, 3));
+    }
+
+    #[test]
+    fn columnar_build_handles_unsorted_store() {
+        let mut observations = mixed_observations();
+        observations.reverse();
+        let store = ObservationStore::from_observations(&observations).unwrap();
+        let b = sharded_builder();
+        let serial = b.build(&observations);
+        for workers in [1, 4] {
+            assert_eq!(serial, b.build_store(&store, workers));
+        }
+    }
+
+    #[test]
+    fn columnar_build_honors_selection() {
+        let observations = mixed_observations();
+        let store = ObservationStore::from_observations(&observations).unwrap();
+        // Keep only every other row; the row baseline sees the same subset.
+        let sel: Vec<u32> = (0..observations.len() as u32)
+            .filter(|i| i % 2 == 0)
+            .collect();
+        let subset: Vec<DomainObservation> = sel
+            .iter()
+            .map(|&i| observations[i as usize].clone())
+            .collect();
+        let b = sharded_builder();
+        let serial = b.build(&subset);
+        for workers in [1, 4] {
+            let (maps, _) = b.build_store_stats(&store, Some(&sel), workers);
+            assert_eq!(serial, maps);
+        }
+    }
+
+    #[test]
+    fn columnar_serial_fallback_never_rehydrates() {
+        // Below the per-worker threshold the columnar path must still go
+        // through the arena build (stats report its footprint, unlike the
+        // row path's reference fallback which reports 0).
+        let observations: Vec<_> = (0..40)
+            .map(|i| obs("tiny.com", i * 7, 1, 100, "GR", 1))
+            .collect();
+        let store = ObservationStore::from_observations(&observations).unwrap();
+        let b = builder();
+        let (maps, stats) = b.build_store_stats(&store, None, 4);
+        assert_eq!(maps, b.build(&observations));
+        assert_eq!(stats.len(), 1);
+        assert!(stats[0].arena_bytes > 0);
+    }
+
+    #[test]
     fn domain_range_cuts_never_split_a_domain() {
         let observations = mixed_observations();
         for workers in [2, 3, 4, 7, 8, 16] {
-            let cuts = domain_range_cuts(&observations, workers);
+            let cuts = domain_range_cuts(&RowSource(&observations), workers);
             assert_eq!(cuts.len(), workers + 1);
             assert_eq!(cuts[0], 0);
             assert_eq!(*cuts.last().unwrap(), observations.len());

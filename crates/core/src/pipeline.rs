@@ -6,7 +6,7 @@
 //! detected hijacks (Table 2), detected targets (Table 3), and the full
 //! funnel accounting (§4.2–4.5) the experiments reproduce.
 
-use crate::checkpoint::{config_fingerprint, inputs_fingerprint, CheckpointStore, Fingerprint};
+use crate::checkpoint::{config_fingerprint, CheckpointStore, Fingerprint};
 use crate::classify::{classify, ClassifyConfig, Pattern};
 use crate::inspect::{
     inspect_candidate, t1_star_pass, DegradedVerdict, DetectedHijack, DetectedTarget,
@@ -22,18 +22,25 @@ use retrodns_asdb::AsDatabase;
 use retrodns_cert::{CertId, Certificate, CrtShIndex};
 use retrodns_dns::{DnssecArchive, PassiveDns};
 use retrodns_scan::DomainObservation;
+use retrodns_store::{ObservationStore, ObservationView};
 use retrodns_types::{Day, DomainInterner, DomainName, SourceFaults, StudyWindow};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Everything a third-party analyst has access to.
 pub struct AnalystInputs<'a> {
-    /// Annotated per-domain scan observations (Censys CUIDS analog).
-    pub observations: &'a [DomainObservation],
+    /// Annotated per-domain scan observations (Censys CUIDS analog), in
+    /// either representation: a row vector / [`retrodns_store::RowsView`]
+    /// (the correctness oracle) or a columnar
+    /// [`ObservationStore`](retrodns_store::ObservationStore). The
+    /// pipeline produces byte-identical reports for equivalent inputs in
+    /// either form.
+    pub observations: &'a dyn ObservationView,
     /// pfx2as + as2org + geolocation.
     pub asdb: &'a AsDatabase,
     /// Certificate contents by id (retrievable from the scans themselves).
@@ -519,18 +526,37 @@ impl Pipeline {
         }
         let fp = store.as_ref().map(|_| Fingerprint {
             config: config_fingerprint(&self.config),
-            inputs: inputs_fingerprint(inputs.observations),
+            inputs: inputs.observations.fingerprint(),
         });
         let mut chain_intact = store.is_some();
 
         // ---- stage 0: validate + quarantine ---------------------------
         // Always recomputed (cheap, and the quarantine histogram feeds the
-        // funnel even on a fully resumed run).
+        // funnel even on a fully resumed run). Each input representation
+        // is validated natively: rows through [`quarantine`], a columnar
+        // store through [`quarantine_store`] (which emits a kept-row
+        // selection instead of copying records).
         let span = metrics.span_open("stage.quarantine");
         let alloc0 = metrics::allocated_bytes_total();
         let t = Instant::now();
-        let (kept, quarantined) =
-            quarantine(inputs.observations, &self.config.window, inputs.certs);
+        let (kept, quarantined) = if let Some(rows) = inputs.observations.as_rows() {
+            let (kept, quarantined) = quarantine(rows, &self.config.window, inputs.certs);
+            (KeptObs::Rows(kept), quarantined)
+        } else {
+            let obs_store = inputs
+                .observations
+                .as_store()
+                .expect("an ObservationView exposes rows or a store");
+            let (selection, quarantined) =
+                quarantine_store(obs_store, &self.config.window, inputs.certs);
+            (
+                KeptObs::Store {
+                    store: obs_store,
+                    selection,
+                },
+                quarantined,
+            )
+        };
         stage_sample(
             metrics,
             "quarantine",
@@ -555,7 +581,12 @@ impl Pipeline {
             || {
                 let mut builder = MapBuilder::new(self.config.window.clone());
                 builder.link_gap_scans = self.config.link_gap_scans;
-                let (maps, shards) = builder.build_sharded_stats(&kept, self.config.workers);
+                let (maps, shards) = match &kept {
+                    KeptObs::Rows(rows) => builder.build_sharded_stats(rows, self.config.workers),
+                    KeptObs::Store { store, selection } => {
+                        builder.build_store_stats(store, selection.as_deref(), self.config.workers)
+                    }
+                };
                 for (i, s) in shards.iter().enumerate() {
                     stage_shard.gauge(&format!("map_build.shard.{i}.items"), s.observations as f64);
                     stage_shard.gauge(&format!("map_build.shard.{i}.maps"), s.maps as f64);
@@ -1017,6 +1048,111 @@ where
 /// contract of [`retrodns_scan::domain_observations`] for the stages
 /// downstream.
 pub fn quarantine<'a>(
+    observations: &'a [DomainObservation],
+    window: &StudyWindow,
+    certs: &HashMap<CertId, Certificate>,
+) -> (Cow<'a, [DomainObservation]>, BTreeMap<String, usize>) {
+    quarantine_rows(observations, window, certs)
+}
+
+/// Stage-0 output, in whichever representation the input arrived.
+enum KeptObs<'a> {
+    /// Row path: the surviving records (borrowed when the input was
+    /// already clean and sorted).
+    Rows(Cow<'a, [DomainObservation]>),
+    /// Columnar path: the store plus the kept-row selection in analysis
+    /// order. `None` means every row, already sorted — the zero-copy
+    /// fast path.
+    Store {
+        store: &'a ObservationStore,
+        selection: Option<Vec<u32>>,
+    },
+}
+
+impl KeptObs<'_> {
+    fn len(&self) -> usize {
+        match self {
+            KeptObs::Rows(rows) => rows.len(),
+            KeptObs::Store { store, selection } => {
+                selection.as_ref().map_or(store.len(), |s| s.len())
+            }
+        }
+    }
+}
+
+/// Full-`Ord` comparison of two store rows, matching the derived
+/// [`DomainObservation`] ordering field for field. Domain order is
+/// resolved through the dictionary (interned codes are first-seen, not
+/// lexicographic — equal codes short-circuit the string compare);
+/// `None` sentinels map back to `Option` ordering (`None` first) via
+/// the store's `Option` accessors; certificate order compares resolved
+/// [`CertId`] values, never dictionary codes.
+fn cmp_store_rows(s: &ObservationStore, a: usize, b: usize) -> Ordering {
+    let by_domain = if s.domain_code(a) == s.domain_code(b) {
+        Ordering::Equal
+    } else {
+        s.domain_name(a).cmp(s.domain_name(b))
+    };
+    by_domain
+        .then_with(|| s.date(a).cmp(&s.date(b)))
+        .then_with(|| s.ip(a).cmp(&s.ip(b)))
+        .then_with(|| s.asn(a).cmp(&s.asn(b)))
+        .then_with(|| s.country(a).cmp(&s.country(b)))
+        .then_with(|| s.cert_id(a).cmp(&s.cert_id(b)))
+        .then_with(|| s.trusted(a).cmp(&s.trusted(b)))
+}
+
+/// [`quarantine`] restated over store columns: identical reasons,
+/// identical ordering contract, but the survivors are returned as a row
+/// *selection* into the store instead of cloned records — the columns
+/// themselves never move. A clean, sorted store returns `None` (analyze
+/// every row in place) with an empty histogram.
+pub fn quarantine_store(
+    store: &ObservationStore,
+    window: &StudyWindow,
+    certs: &HashMap<CertId, Certificate>,
+) -> (Option<Vec<u32>>, BTreeMap<String, usize>) {
+    let reject = |i: usize| -> Option<&'static str> {
+        if window.period_of(store.date(i)).is_none() {
+            Some("out-of-window")
+        } else if store.asn(i).is_none() {
+            Some("unrouted")
+        } else if !certs.contains_key(&store.cert_id(i)) {
+            Some("unknown-cert")
+        } else {
+            None
+        }
+    };
+
+    let n = store.len();
+    let clean = (0..n).all(|i| {
+        reject(i).is_none() && (i == 0 || cmp_store_rows(store, i - 1, i) == Ordering::Less)
+    });
+    if clean {
+        return (None, BTreeMap::new());
+    }
+
+    let mut reasons: BTreeMap<String, usize> = BTreeMap::new();
+    let mut kept: Vec<u32> = Vec::with_capacity(n);
+    for i in 0..n {
+        match reject(i) {
+            Some(r) => *reasons.entry(r.to_string()).or_insert(0) += 1,
+            None => kept.push(i as u32),
+        }
+    }
+    // Stable sort + full-order dedup, mirroring the row path's
+    // `sort` + `dedup` exactly (`Equal` under the full comparator means
+    // field-for-field identical records).
+    kept.sort_by(|&a, &b| cmp_store_rows(store, a as usize, b as usize));
+    let before = kept.len();
+    kept.dedup_by(|a, b| cmp_store_rows(store, *a as usize, *b as usize) == Ordering::Equal);
+    if before > kept.len() {
+        *reasons.entry("duplicate".to_string()).or_insert(0) += before - kept.len();
+    }
+    (Some(kept), reasons)
+}
+
+fn quarantine_rows<'a>(
     observations: &'a [DomainObservation],
     window: &StudyWindow,
     certs: &HashMap<CertId, Certificate>,

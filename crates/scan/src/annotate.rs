@@ -17,7 +17,8 @@ use retrodns_asdb::AsDatabase;
 use retrodns_cert::{CertId, Certificate, TrustStore};
 use retrodns_types::{Asn, CountryCode, Day, DomainName, Ipv4Addr};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One annotated scan row (Table 1 of the paper).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -34,14 +35,15 @@ pub struct AnnotatedRow {
     pub country: Option<CountryCode>,
     /// Certificate id (crt.sh-style).
     pub cert: CertId,
-    /// Issuing CA display name.
-    pub issuer: String,
+    /// Issuing CA display name (shared — one allocation per distinct
+    /// certificate, not per row).
+    pub issuer: Arc<str>,
     /// Browser-trusted (Apple ∨ Microsoft ∨ Mozilla)?
     pub trusted: bool,
     /// Does any SAN match the sensitive-subdomain criterion?
     pub sensitive: bool,
-    /// SANs on the certificate.
-    pub names: Vec<DomainName>,
+    /// SANs on the certificate (shared across every row presenting it).
+    pub names: Arc<[DomainName]>,
 }
 
 /// One scan observation attributed to a registered domain — the unit the
@@ -74,39 +76,71 @@ pub fn annotate_dataset(
     asdb: &AsDatabase,
     trust: &TrustStore,
 ) -> Vec<AnnotatedRow> {
-    // Group ports per (date, ip, cert); BTreeMap for deterministic order.
-    let mut groups: BTreeMap<(Day, Ipv4Addr, CertId), Vec<u16>> = BTreeMap::new();
-    for r in dataset.records() {
-        groups
-            .entry((r.date, r.ip, r.cert))
-            .or_default()
-            .push(r.port);
+    // Cert-derived fields resolved once per distinct certificate and
+    // shared by every row presenting it.
+    struct CertMeta {
+        issuer: Arc<str>,
+        trusted: bool,
+        sensitive: bool,
+        names: Arc<[DomainName]>,
     }
-    groups
-        .into_iter()
-        .map(|((date, ip, cert_id), mut ports)| {
-            ports.sort_unstable();
-            ports.dedup();
-            let ann = asdb.annotate(ip);
-            let cert = certs.get(&cert_id);
-            AnnotatedRow {
-                date,
-                ip,
-                ports,
-                asn: ann.asn,
-                country: ann.country,
-                cert: cert_id,
-                issuer: cert
-                    .map(|c| trust.ca_name(c.issuer).to_string())
-                    .unwrap_or_else(|| "?".to_string()),
-                trusted: cert
-                    .map(|c| trust.is_browser_trusted(c.issuer))
-                    .unwrap_or(false),
-                sensitive: cert.map(|c| c.has_sensitive_name()).unwrap_or(false),
-                names: cert.map(|c| c.names.clone()).unwrap_or_default(),
-            }
-        })
-        .collect()
+    // Sort-then-run grouping: one flat record vector sorted on the group
+    // key, then a linear scan over runs. The sort key ends on the port,
+    // so ports inside a run arrive sorted and dedup in place — no
+    // per-group `Vec<u16>` map entries, no tree rebalancing.
+    let mut recs: Vec<(Day, Ipv4Addr, CertId, u16)> = dataset
+        .records()
+        .iter()
+        .map(|r| (r.date, r.ip, r.cert, r.port))
+        .collect();
+    recs.sort_unstable();
+    let mut cert_meta: HashMap<CertId, CertMeta> = HashMap::new();
+    let mut ip_ann: HashMap<Ipv4Addr, (Option<Asn>, Option<CountryCode>)> = HashMap::new();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < recs.len() {
+        let (date, ip, cert_id, _) = recs[i];
+        let mut j = i + 1;
+        while j < recs.len() && (recs[j].0, recs[j].1, recs[j].2) == (date, ip, cert_id) {
+            j += 1;
+        }
+        let mut ports: Vec<u16> = recs[i..j].iter().map(|r| r.3).collect();
+        ports.dedup();
+        let (asn, country) = *ip_ann.entry(ip).or_insert_with(|| {
+            let a = asdb.annotate(ip);
+            (a.asn, a.country)
+        });
+        let meta = cert_meta
+            .entry(cert_id)
+            .or_insert_with(|| match certs.get(&cert_id) {
+                Some(c) => CertMeta {
+                    issuer: Arc::from(trust.ca_name(c.issuer)),
+                    trusted: trust.is_browser_trusted(c.issuer),
+                    sensitive: c.has_sensitive_name(),
+                    names: Arc::from(c.names.as_slice()),
+                },
+                None => CertMeta {
+                    issuer: Arc::from("?"),
+                    trusted: false,
+                    sensitive: false,
+                    names: Arc::from(&[][..]),
+                },
+            });
+        out.push(AnnotatedRow {
+            date,
+            ip,
+            ports,
+            asn,
+            country,
+            cert: cert_id,
+            issuer: Arc::clone(&meta.issuer),
+            trusted: meta.trusted,
+            sensitive: meta.sensitive,
+            names: Arc::clone(&meta.names),
+        });
+        i = j;
+    }
+    out
 }
 
 /// Flatten scan records into per-registered-domain observations.
@@ -329,7 +363,7 @@ mod tests {
         assert_eq!(first.country.unwrap().as_str(), "GR");
         assert!(first.trusted);
         assert!(first.sensitive);
-        assert_eq!(first.issuer, "Let's Encrypt");
+        assert_eq!(&*first.issuer, "Let's Encrypt");
     }
 
     #[test]
@@ -339,7 +373,7 @@ mod tests {
         let internal = rows.iter().find(|r| r.cert == CertId(200)).unwrap();
         assert!(!internal.trusted);
         assert_eq!(internal.asn, None);
-        assert_eq!(internal.issuer, "Internal");
+        assert_eq!(&*internal.issuer, "Internal");
     }
 
     #[test]
@@ -381,7 +415,7 @@ mod tests {
             cert: CertId(999),
         }]);
         let rows = annotate_dataset(&ds, &HashMap::new(), &asdb, &trust);
-        assert_eq!(rows[0].issuer, "?");
+        assert_eq!(&*rows[0].issuer, "?");
         assert!(!rows[0].trusted);
         let obs = domain_observations(&ds, &HashMap::new(), &asdb, &trust);
         assert!(

@@ -57,5 +57,5 @@ pub use faults::{
 };
 pub use geography::{Geography, Provider, ProviderId, ProviderKind};
 pub use orgs::{Organization, Sector};
-pub use synth::synthetic_observations;
+pub use synth::{synthetic_observations, synthetic_stream, SyntheticObservations};
 pub use world::{DomainMeta, GroundTruth, HijackKind, HijackRecord, TargetRecord, World};

@@ -63,13 +63,70 @@ pub fn synthetic_observations(
     scans_per_domain: usize,
     seed: u64,
 ) -> Vec<DomainObservation> {
+    let stream = synthetic_stream(n_domains, scans_per_domain, seed);
+    let mut out = Vec::with_capacity(stream.len());
+    out.extend(stream);
+    out
+}
+
+/// Lazily yield the exact stream [`synthetic_observations`] would
+/// collect — byte-identical, row by row — without ever materializing
+/// the corpus. Scale benches feed this straight into a columnar store
+/// builder so peak memory measures the *store*, not the generator.
+pub fn synthetic_stream(
+    n_domains: usize,
+    scans_per_domain: usize,
+    seed: u64,
+) -> SyntheticObservations {
     let window = StudyWindow::default();
     let interval = window.scan_interval_days;
     let total_days = window.end.0.saturating_sub(window.start.0);
     let max_scans = (total_days / interval.max(1)) as usize + 1;
     let scans = scans_per_domain.clamp(1, max_scans);
-    let mut out = Vec::with_capacity(n_domains * scans + n_domains / 37 + n_domains / 101);
-    for i in 0..n_domains {
+    // Every 37th domain (i = 0, 37, …) emits one transient; every 101st
+    // one unrouted row — exact totals, so the iterator is exact-size.
+    let remaining = n_domains * scans + n_domains.div_ceil(37) + n_domains.div_ceil(101);
+    SyntheticObservations {
+        seed,
+        n_domains,
+        scans,
+        interval,
+        total_days,
+        window_start: window.start.0,
+        i: 0,
+        s: 0,
+        stage: Stage::Stable,
+        cur: None,
+        remaining,
+    }
+}
+
+/// Which of the up-to-three rows of one `(domain, scan)` step comes
+/// next: the stable deployment row, then (for every 37th domain's
+/// middle scan) the transient, then (for every 101st domain's first
+/// scan) the unrouted row.
+#[derive(Clone, Copy)]
+enum Stage {
+    Stable,
+    Transient,
+    Unrouted,
+}
+
+/// Per-domain generator state, derived deterministically from the seed
+/// and domain index exactly as the eager loop did.
+struct DomainState {
+    domain: DomainName,
+    asn: u32,
+    cc: [u8; 2],
+    ip: Ipv4Addr,
+    phase: u32,
+    start: u32,
+    base_cert: u64,
+    r: u64,
+}
+
+impl DomainState {
+    fn new(seed: u64, i: usize, interval: u32, window_start: u32) -> DomainState {
         let mut rng = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let r = splitmix(&mut rng);
         let domain = DomainName::new(&format!("d{i:07}.synth.example")).expect("valid label");
@@ -78,51 +135,133 @@ pub fn synthetic_observations(
         // Phase-shift the weekly cadence so domains don't all scan on
         // the same day, then clamp the run inside the study window.
         let phase = (splitmix(&mut rng) % interval.max(1) as u64) as u32;
-        let start = window.start.0 + phase;
+        let start = window_start + phase;
         let base_cert = 1 + splitmix(&mut rng) % 1_000_000_000;
-        for s in 0..scans {
-            let date = Day(start + (s as u32 * interval).min(total_days.saturating_sub(phase)));
-            let cert = CertId(base_cert + (s / 13) as u64);
-            out.push(DomainObservation {
-                domain: domain.clone(),
-                date,
-                ip,
-                asn: Some(Asn(asn)),
-                country: Some(CountryCode::new(cc)),
-                cert,
-                trusted: true,
-            });
-            if i % 37 == 0 && s == scans / 2 {
-                // Transient: same scan date, different ASN, untrusted
-                // cert — shaped like the paper's Table 1 hijack row.
-                let (t_asn, t_cc) =
-                    POOL[((r >> 8) as usize + 1 + i % (POOL.len() - 1)) % POOL.len()];
-                out.push(DomainObservation {
-                    domain: domain.clone(),
-                    date,
-                    ip: Ipv4Addr(0xC000_0200 | (i as u32 & 0xFF)),
-                    asn: Some(Asn(if t_asn == asn { POOL[0].0 + 1 } else { t_asn })),
-                    country: Some(CountryCode::new(t_cc)),
-                    cert: CertId(2_000_000_000 + i as u64),
-                    trusted: false,
-                });
+        DomainState {
+            domain,
+            asn,
+            cc,
+            ip,
+            phase,
+            start,
+            base_cert,
+            r,
+        }
+    }
+}
+
+/// Lazy equivalent of [`synthetic_observations`]; see
+/// [`synthetic_stream`].
+pub struct SyntheticObservations {
+    seed: u64,
+    n_domains: usize,
+    scans: usize,
+    interval: u32,
+    total_days: u32,
+    window_start: u32,
+    i: usize,
+    s: usize,
+    stage: Stage,
+    cur: Option<DomainState>,
+    remaining: usize,
+}
+
+impl Iterator for SyntheticObservations {
+    type Item = DomainObservation;
+
+    fn next(&mut self) -> Option<DomainObservation> {
+        loop {
+            if self.i >= self.n_domains {
+                return None;
             }
-            if i % 101 == 0 && s == 0 {
-                // Unrouted row: the map builder must drop it.
-                out.push(DomainObservation {
-                    domain: domain.clone(),
-                    date,
-                    ip,
-                    asn: None,
-                    country: None,
-                    cert,
-                    trusted: false,
-                });
+            if self.cur.is_none() {
+                self.cur = Some(DomainState::new(
+                    self.seed,
+                    self.i,
+                    self.interval,
+                    self.window_start,
+                ));
+            }
+            let (i, s, stage) = (self.i, self.s, self.stage);
+            let emits = match stage {
+                Stage::Stable => true,
+                Stage::Transient => i % 37 == 0 && s == self.scans / 2,
+                Stage::Unrouted => i % 101 == 0 && s == 0,
+            };
+            // Build the row before advancing: the Unrouted stage retires
+            // the per-domain state when the last scan completes.
+            let row = emits.then(|| {
+                let cur = self.cur.as_ref().expect("state built above");
+                let date = Day(cur.start
+                    + (s as u32 * self.interval).min(self.total_days.saturating_sub(cur.phase)));
+                let cert = CertId(cur.base_cert + (s / 13) as u64);
+                match stage {
+                    Stage::Stable => DomainObservation {
+                        domain: cur.domain.clone(),
+                        date,
+                        ip: cur.ip,
+                        asn: Some(Asn(cur.asn)),
+                        country: Some(CountryCode::new(cur.cc)),
+                        cert,
+                        trusted: true,
+                    },
+                    Stage::Transient => {
+                        // Same scan date, different ASN, untrusted cert —
+                        // shaped like the paper's Table 1 hijack row.
+                        let (t_asn, t_cc) =
+                            POOL[((cur.r >> 8) as usize + 1 + i % (POOL.len() - 1)) % POOL.len()];
+                        DomainObservation {
+                            domain: cur.domain.clone(),
+                            date,
+                            ip: Ipv4Addr(0xC000_0200 | (i as u32 & 0xFF)),
+                            asn: Some(Asn(if t_asn == cur.asn {
+                                POOL[0].0 + 1
+                            } else {
+                                t_asn
+                            })),
+                            country: Some(CountryCode::new(t_cc)),
+                            cert: CertId(2_000_000_000 + i as u64),
+                            trusted: false,
+                        }
+                    }
+                    // Unrouted row: the map builder must drop it.
+                    Stage::Unrouted => DomainObservation {
+                        domain: cur.domain.clone(),
+                        date,
+                        ip: cur.ip,
+                        asn: None,
+                        country: None,
+                        cert,
+                        trusted: false,
+                    },
+                }
+            });
+            match stage {
+                Stage::Stable => self.stage = Stage::Transient,
+                Stage::Transient => self.stage = Stage::Unrouted,
+                Stage::Unrouted => {
+                    self.stage = Stage::Stable;
+                    self.s += 1;
+                    if self.s == self.scans {
+                        self.s = 0;
+                        self.i += 1;
+                        self.cur = None;
+                    }
+                }
+            }
+            if let Some(row) = row {
+                self.remaining -= 1;
+                return Some(row);
             }
         }
     }
-    out
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
 }
+
+impl ExactSizeIterator for SyntheticObservations {}
 
 #[cfg(test)]
 mod tests {
@@ -157,6 +296,17 @@ mod tests {
             assert!(obs
                 .iter()
                 .any(|o| o.domain == t.domain && o.date == t.date && o.asn != t.asn));
+        }
+    }
+
+    #[test]
+    fn stream_matches_eager_collect_exactly() {
+        for (n, s, seed) in [(0, 8, 1u64), (1, 1, 2), (203, 8, 0x5EED), (120, 3, 9)] {
+            let eager = synthetic_observations(n, s, seed);
+            let stream = synthetic_stream(n, s, seed);
+            assert_eq!(stream.len(), eager.len(), "exact-size hint off at n={n}");
+            let lazy: Vec<_> = stream.collect();
+            assert_eq!(lazy, eager, "lazy stream diverged at n={n} s={s}");
         }
     }
 

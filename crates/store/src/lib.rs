@@ -1,0 +1,41 @@
+//! # retrodns-store
+//!
+//! Compressed, columnar, content-hashed storage for scan observations —
+//! the representation that lets 200+ scan-weeks of `(domain, date, ip,
+//! cert)` rows fit in memory at millions-of-domains scale.
+//!
+//! Three layers:
+//!
+//! * [`ObservationStore`] / [`StoreBuilder`] — the in-memory
+//!   structure-of-arrays form: interned domain and certificate
+//!   dictionaries, `u32`/`u16` columns with sentinels for `None`, a
+//!   packed trust bitset, and per-chunk content hashes computed once at
+//!   build time (~20 bytes per observation vs ~80 for the row structs).
+//! * the wire format ([`ObservationStore::encode`], [`StoreReader`]) —
+//!   a versioned binary layout with delta/RLE/dictionary column codecs
+//!   and a content-hashed chunk table; [`StoreReader::open`] borrows
+//!   chunk payloads zero-copy and [`StoreReader::decode_lossy`]
+//!   quarantines corrupt chunks instead of analyzing them.
+//! * [`ObservationView`] — the trait the pipeline consumes, implemented
+//!   by both the legacy row slice (the correctness oracle) and the
+//!   store, with representation-independent fingerprints so checkpoints
+//!   transfer between paths.
+//!
+//! The [`StoreManifest`] names the dictionary and every chunk by content
+//! hash, which is what makes checkpoints incremental: an unchanged chunk
+//! is never re-hashed or re-serialized.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod store;
+pub mod varint;
+pub mod view;
+
+pub use codec::{
+    ChunkRef, LossyLoad, StoreManifest, StoreReader, STORE_FORMAT_VERSION, STORE_MAGIC,
+};
+pub use store::{
+    ObsColumns, ObservationStore, StoreBuilder, StoreError, ASN_NONE, CHUNK_ROWS, COUNTRY_NONE,
+};
+pub use view::{rows_fingerprint, rows_footprint_bytes, ObservationView, RowsView};

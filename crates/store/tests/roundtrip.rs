@@ -1,0 +1,188 @@
+//! Round-trip and corruption-detection properties of the columnar store:
+//! encode→decode must reproduce arbitrary observation batches exactly
+//! (including empty, single-domain, and None-ASN edge cases), damaged
+//! bytes must never be silently analyzed, and the lossy loader must
+//! quarantine exactly the damaged chunks.
+
+use proptest::prelude::*;
+use retrodns_cert::CertId;
+use retrodns_scan::DomainObservation;
+use retrodns_store::{rows_fingerprint, ObservationStore, StoreError, StoreReader, CHUNK_ROWS};
+use retrodns_types::{Asn, Day, Ipv4Addr};
+
+fn arb_observation() -> impl Strategy<Value = DomainObservation> {
+    (
+        0u8..6,        // domain index
+        0u32..3000,    // day
+        any::<u32>(),  // ip
+        0u32..100_001, // asn; the top value maps to None (unrouted)
+        0u8..5,        // country index, 4 = None
+        0u64..50,      // cert
+        any::<bool>(),
+    )
+        .prop_map(|(dom, day, ip, asn, cc, cert, trusted)| {
+            const CCS: [&str; 4] = ["KG", "NL", "DE", "US"];
+            DomainObservation {
+                domain: format!("dom{dom}.example{dom}.com").parse().unwrap(),
+                date: Day(day),
+                ip: Ipv4Addr(ip),
+                asn: (asn < 100_000).then_some(Asn(asn)),
+                country: CCS.get(cc as usize).and_then(|s| s.parse().ok()),
+                cert: CertId(cert),
+                trusted,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// encode→open→decode reproduces the input batch exactly — order,
+    /// duplicates, None fields and all — and the fingerprint matches the
+    /// row-path fold.
+    #[test]
+    fn encode_decode_round_trips(rows in prop::collection::vec(arb_observation(), 0..400)) {
+        let store = ObservationStore::from_observations(&rows).unwrap();
+        let bytes = store.encode();
+        let reader = StoreReader::open(&bytes).unwrap();
+        prop_assert_eq!(reader.rows(), rows.len() as u64);
+        let decoded = reader.decode().unwrap();
+        prop_assert_eq!(&decoded, &store);
+        let back: Vec<DomainObservation> = decoded.iter().collect();
+        prop_assert_eq!(&back, &rows);
+        prop_assert_eq!(decoded.fingerprint(), rows_fingerprint(&rows));
+    }
+
+    /// A manifest plus its parts rebuilds the identical store (the
+    /// incremental-checkpoint load path).
+    #[test]
+    fn manifest_parts_round_trip(rows in prop::collection::vec(arb_observation(), 0..300)) {
+        let store = ObservationStore::from_observations(&rows).unwrap();
+        let manifest = store.manifest();
+        let dict = store.encode_dict();
+        let chunks: Vec<Vec<u8>> = (0..store.n_chunks()).map(|c| store.encode_chunk(c)).collect();
+        let rebuilt = ObservationStore::from_parts(&manifest, &dict, &chunks).unwrap();
+        prop_assert_eq!(&rebuilt, &store);
+    }
+
+    /// Any single flipped byte is detected: the strict decoder errors
+    /// out, it never silently returns different observations.
+    #[test]
+    fn single_bitflip_never_silently_accepted(
+        rows in prop::collection::vec(arb_observation(), 1..200),
+        pos_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let store = ObservationStore::from_observations(&rows).unwrap();
+        let mut bytes = store.encode();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << bit;
+        match StoreReader::open(&bytes).and_then(|r| r.decode()) {
+            Err(_) => {} // detected — good
+            Ok(decoded) => {
+                // A flip that decodes cleanly must decode to the *same*
+                // observations (e.g. a flip in unused varint padding is
+                // impossible with LEB128, so equality is the only
+                // acceptable outcome).
+                let back: Vec<DomainObservation> = decoded.iter().collect();
+                prop_assert_eq!(&back, &rows, "corrupt bytes decoded to different data");
+            }
+        }
+    }
+}
+
+fn fixture(n: usize) -> Vec<DomainObservation> {
+    (0..n)
+        .map(|i| DomainObservation {
+            domain: format!("d{:06}.example.com", i / 8).parse().unwrap(),
+            date: Day((i % 8) as u32 * 7),
+            ip: Ipv4Addr(i as u32),
+            asn: if i % 101 == 0 { None } else { Some(Asn(13335)) },
+            country: if i % 101 == 0 {
+                None
+            } else {
+                "US".parse().ok()
+            },
+            cert: CertId(i as u64 / 8),
+            trusted: i % 3 != 0,
+        })
+        .collect()
+}
+
+#[test]
+fn multi_chunk_round_trip_and_chunk_table() {
+    let rows = fixture(CHUNK_ROWS + CHUNK_ROWS / 2);
+    let store = ObservationStore::from_observations(&rows).unwrap();
+    assert_eq!(store.n_chunks(), 2);
+    let bytes = store.encode();
+    let reader = StoreReader::open(&bytes).unwrap();
+    assert_eq!(reader.n_chunks(), 2);
+    assert_eq!(reader.chunk(0).rows as usize, CHUNK_ROWS);
+    assert_eq!(reader.chunk(1).rows as usize, CHUNK_ROWS / 2);
+    let decoded = reader.decode().unwrap();
+    assert_eq!(decoded, store);
+}
+
+#[test]
+fn truncated_bytes_are_rejected_not_analyzed() {
+    let rows = fixture(5000);
+    let store = ObservationStore::from_observations(&rows).unwrap();
+    let bytes = store.encode();
+    for cut in [bytes.len() * 3 / 5, 40, 7, 0] {
+        let res = StoreReader::open(&bytes[..cut]).and_then(|r| r.decode());
+        assert!(res.is_err(), "truncation at {cut} bytes must be detected");
+    }
+}
+
+#[test]
+fn lossy_decode_quarantines_only_damaged_chunks() {
+    let rows = fixture(CHUNK_ROWS * 2 + 500);
+    let store = ObservationStore::from_observations(&rows).unwrap();
+    let bytes = store.encode();
+    let reader = StoreReader::open(&bytes).unwrap();
+    // Flip a byte in the middle of chunk 1's payload.
+    let chunk1 = reader.chunk(1);
+    let offset_in_file = chunk1.bytes.as_ptr() as usize - bytes.as_ptr() as usize;
+    let mut damaged = bytes.clone();
+    damaged[offset_in_file + chunk1.bytes.len() / 2] ^= 0x40;
+
+    let reader = StoreReader::open(&damaged).unwrap();
+    assert!(reader.decode().is_err(), "strict decode must fail");
+    let lossy = reader.decode_lossy().unwrap();
+    assert_eq!(lossy.bad_chunks, vec![1]);
+    assert_eq!(lossy.lost_rows, CHUNK_ROWS);
+    assert_eq!(lossy.store.len(), CHUNK_ROWS + 500);
+    assert_eq!(lossy.errors.len(), 1);
+    // Surviving rows are exactly the original rows minus chunk 1.
+    let mut expect = rows[..CHUNK_ROWS].to_vec();
+    expect.extend_from_slice(&rows[2 * CHUNK_ROWS..]);
+    let got: Vec<DomainObservation> = lossy.store.iter().collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn bad_magic_and_version_are_rejected() {
+    let store = ObservationStore::from_observations(&fixture(10)).unwrap();
+    let bytes = store.encode();
+    let mut bad = bytes.clone();
+    bad[0] = b'X';
+    assert_eq!(StoreReader::open(&bad).unwrap_err(), StoreError::BadMagic);
+    let mut bad = bytes.clone();
+    bad[8] = 0xFE; // version word
+    assert!(matches!(
+        StoreReader::open(&bad).unwrap_err(),
+        StoreError::Version(_)
+    ));
+}
+
+#[test]
+fn empty_store_round_trips() {
+    let store = ObservationStore::from_observations(&[]).unwrap();
+    let bytes = store.encode();
+    let reader = StoreReader::open(&bytes).unwrap();
+    assert_eq!(reader.rows(), 0);
+    assert_eq!(reader.n_chunks(), 0);
+    let decoded = reader.decode().unwrap();
+    assert!(decoded.is_empty());
+    assert_eq!(decoded, store);
+}

@@ -30,7 +30,7 @@ pub use cc::CountryCode;
 pub use domain::{DomainName, SENSITIVE_SUBSTRINGS};
 pub use error::ParseError;
 pub use hash::{bytes_hash, shard_of};
-pub use intern::{DomainId, DomainInterner};
+pub use intern::{DomainId, DomainInterner, InternKey, Interner};
 pub use ip::{Ipv4Addr, Ipv4Prefix};
 pub use source::{CallFate, SourceError, SourceFaults};
 pub use time::{Day, Period, PeriodId, StudyWindow};

@@ -25,4 +25,8 @@ cargo run --release -p retrodns-bench --bin experiments -- --scale quick --worke
 cargo run --release -p retrodns-bench --bin experiments -- --scale quick --workers 4 \
     --min-e2e-speedup 2.0 bench
 
+echo "==> memory trajectory (100k/1M streamed; 24 B/obs + 3.0x reduction gates)"
+cargo run --release -p retrodns-bench --bin experiments -- --max-obs 1000000 \
+    --max-bytes-per-obs 24.0 --min-mem-reduction 3.0 mem
+
 echo "tier-1 verification passed"

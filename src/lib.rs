@@ -9,6 +9,7 @@
 //! * [`cert`] — certificates, CAs, CT logs, crt.sh index, ACME issuance
 //! * [`dns`] — zones, registrars, resolution, zone snapshots, passive DNS
 //! * [`scan`] — weekly TLS scanning and annotated CUIDS-like datasets
+//! * [`store`] — compressed columnar observation store with zero-copy views
 //! * [`sim`] — the synthetic Internet world and attacker campaigns
 //! * [`core`] — deployment maps, pattern classification, shortlisting,
 //!   inspection, pivot analysis: the paper's contribution
@@ -20,4 +21,5 @@ pub use retrodns_core as core;
 pub use retrodns_dns as dns;
 pub use retrodns_scan as scan;
 pub use retrodns_sim as sim;
+pub use retrodns_store as store;
 pub use retrodns_types as types;

@@ -8,6 +8,7 @@
 use retrodns::core::pipeline::{AnalystInputs, Pipeline, PipelineConfig, Report};
 use retrodns::scan::DomainObservation;
 use retrodns::sim::{SimConfig, World};
+use retrodns::store::ObservationView;
 
 /// A small (`SimConfig::small`) world for the given seed.
 pub fn small_world(seed: u64) -> World {
@@ -29,9 +30,11 @@ pub fn pipeline_for(world: &World) -> Pipeline {
 }
 
 /// Full analyst inputs over a world's own data sets (DNSSEC included).
+/// `observations` may be a row vector or a columnar store — anything
+/// implementing [`ObservationView`].
 pub fn inputs_for<'a>(
     world: &'a World,
-    observations: &'a [DomainObservation],
+    observations: &'a dyn ObservationView,
 ) -> AnalystInputs<'a> {
     AnalystInputs {
         observations,

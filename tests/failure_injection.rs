@@ -11,6 +11,7 @@ use retrodns::dns::PassiveDns;
 use retrodns::scan::ScanDataset;
 use retrodns::sim::SimConfig;
 use retrodns::sim::World;
+use retrodns::store::RowsView;
 
 #[test]
 fn no_pdns_no_ct_means_no_hijack_verdicts() {
@@ -42,7 +43,7 @@ fn no_pdns_no_ct_means_no_hijack_verdicts() {
 fn empty_scan_dataset_is_handled() {
     let world = small_world(102);
     let report = pipeline_for(&world).run(&AnalystInputs {
-        observations: &[],
+        observations: &RowsView(&[]),
         asdb: &world.geo.asdb,
         certs: &world.certs,
         pdns: &world.pdns,
