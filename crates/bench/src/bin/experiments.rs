@@ -32,6 +32,14 @@
 //! points into `BENCH_pipeline.json`. `--max-bytes-per-obs X` and
 //! `--min-mem-reduction X` are the CI regression gates; `--max-obs N`
 //! caps the largest sweep column.
+//!
+//! The extra id `stream` (also not part of `all`) measures incremental
+//! week-at-a-time ingestion against full batch re-analysis on a
+//! quick-scale world and persists the points into
+//! `BENCH_pipeline.json`. `--stream-weeks N` sets the largest history
+//! length (default 20); `--min-stream-speedup X` fails the process when
+//! ingesting the latest week is less than `X`x faster than re-analyzing
+//! the whole history at that point (the CI regression gate).
 
 use retrodns_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
 use retrodns_bench::{Bundle, Scale};
@@ -48,6 +56,9 @@ const MATRIX_DOMAINS: [usize; 4] = [2_000, 20_000, 100_000, 1_000_000];
 /// Observation-count columns the `mem` id sweeps (capped by
 /// `--max-obs`).
 const MEM_SIZES: [usize; 3] = [100_000, 1_000_000, 5_000_000];
+/// History lengths (scan-weeks) the `stream` id sweeps (capped by
+/// `--stream-weeks`).
+const STREAM_WEEK_COUNTS: [usize; 3] = [5, 10, 20];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,6 +68,8 @@ fn main() -> ExitCode {
     let mut reps: usize = 3;
     let mut max_domains: usize = 1_000_000;
     let mut max_obs: usize = 5_000_000;
+    let mut stream_weeks: usize = 20;
+    let mut min_stream_speedup: Option<f64> = None;
     let mut min_e2e_speedup: Option<f64> = None;
     let mut max_bytes_per_obs: Option<f64> = None;
     let mut min_mem_reduction: Option<f64> = None;
@@ -107,6 +120,28 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 max_obs = v;
+            }
+            "--stream-weeks" => {
+                let Some(v) = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &usize| v >= 2)
+                else {
+                    eprintln!("--stream-weeks expects an integer >= 2");
+                    return ExitCode::FAILURE;
+                };
+                stream_weeks = v;
+            }
+            "--min-stream-speedup" => {
+                let Some(v) = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &f64| v > 0.0)
+                else {
+                    eprintln!("--min-stream-speedup expects a positive number");
+                    return ExitCode::FAILURE;
+                };
+                min_stream_speedup = Some(v);
             }
             "--max-bytes-per-obs" => {
                 let Some(v) = it
@@ -159,8 +194,9 @@ fn main() -> ExitCode {
                 println!(
                     "usage: experiments [--scale quick|standard|full] [--seed N] [--workers N] \
                      [--reps N] [--max-domains N] [--max-obs N] [--min-e2e-speedup X] \
-                     [--max-bytes-per-obs X] [--min-mem-reduction X] <id>... | all\n\
-                     ids: {} bench matrix faults mem",
+                     [--max-bytes-per-obs X] [--min-mem-reduction X] [--stream-weeks N] \
+                     [--min-stream-speedup X] <id>... | all\n\
+                     ids: {} bench matrix faults mem stream",
                     ALL_EXPERIMENTS.join(" ")
                 );
                 return ExitCode::SUCCESS;
@@ -176,10 +212,11 @@ fn main() -> ExitCode {
             && id != "faults"
             && id != "matrix"
             && id != "mem"
+            && id != "stream"
             && !ALL_EXPERIMENTS.contains(&id.as_str())
         {
             eprintln!(
-                "unknown experiment {id:?}; known: {} bench matrix faults mem",
+                "unknown experiment {id:?}; known: {} bench matrix faults mem stream",
                 ALL_EXPERIMENTS.join(" ")
             );
             return ExitCode::FAILURE;
@@ -191,12 +228,13 @@ fn main() -> ExitCode {
     // them before paying for the shared bundle if no other id needs it.
     if ids
         .iter()
-        .all(|i| i == "faults" || i == "matrix" || i == "mem")
+        .all(|i| i == "faults" || i == "matrix" || i == "mem" || i == "stream")
     {
         for id in &ids {
             let code = match id.as_str() {
                 "faults" => run_faults(seed, workers),
                 "mem" => run_mem(max_obs, max_bytes_per_obs, min_mem_reduction),
+                "stream" => run_stream(stream_weeks, workers, reps, min_stream_speedup),
                 _ => run_matrix(max_domains, reps),
             };
             if code != ExitCode::SUCCESS {
@@ -242,6 +280,14 @@ fn main() -> ExitCode {
                 return code;
             }
             eprintln!("[mem took {:.1?}]", t.elapsed());
+            continue;
+        }
+        if id == "stream" {
+            let code = run_stream(stream_weeks, workers, reps, min_stream_speedup);
+            if code != ExitCode::SUCCESS {
+                return code;
+            }
+            eprintln!("[stream took {:.1?}]", t.elapsed());
             continue;
         }
         if id == "bench" {
@@ -339,6 +385,7 @@ fn run_matrix(max_domains: usize, reps: usize) -> ExitCode {
             matrix: Vec::new(),
             trajectory: Vec::new(),
             memory: Vec::new(),
+            stream: Vec::new(),
         });
     report.matrix = cells;
     report.git_rev = retrodns_bench::git_rev();
@@ -395,6 +442,7 @@ fn run_mem(
             matrix: Vec::new(),
             trajectory: Vec::new(),
             memory: Vec::new(),
+            stream: Vec::new(),
         });
     report.memory = points;
     report.git_rev = retrodns_bench::git_rev();
@@ -437,6 +485,83 @@ fn run_mem(
         eprintln!(
             "mem reduction gate: {:.2}x at {} observations >= {min:.2}x, ok",
             p.reduction, p.observations
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Sweep incremental week-at-a-time ingestion against full batch
+/// re-analysis over the `STREAM_WEEK_COUNTS` history lengths and
+/// persist the points into `BENCH_pipeline.json`, preserving whatever
+/// report is already there. Fails when the largest swept history shows
+/// a week-ingest speedup below `--min-stream-speedup`.
+fn run_stream(
+    stream_weeks: usize,
+    workers: usize,
+    reps: usize,
+    min_stream_speedup: Option<f64>,
+) -> ExitCode {
+    let week_counts: Vec<usize> = STREAM_WEEK_COUNTS
+        .iter()
+        .copied()
+        .filter(|&w| w <= stream_weeks)
+        .chain((!STREAM_WEEK_COUNTS.contains(&stream_weeks)).then_some(stream_weeks))
+        .collect();
+    eprintln!(
+        "streaming ingestion: weeks {week_counts:?} x {workers} workers, best of {reps} \
+         (quick-scale world, seed {:#x})...",
+        retrodns_bench::STREAM_SEED
+    );
+    let points = retrodns_bench::bench_stream(&week_counts, workers, reps);
+    let path = "BENCH_pipeline.json";
+    let mut report = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<retrodns_bench::PipelineBenchReport>(&s).ok())
+        .unwrap_or_else(|| retrodns_bench::PipelineBenchReport {
+            workers: 0,
+            domains: 0,
+            observations: 0,
+            reps,
+            stages: Vec::new(),
+            metered_ms: 0.0,
+            metrics_overhead_pct: 0.0,
+            metrics_overhead_raw_pct: 0.0,
+            metrics_overhead_noise: false,
+            git_rev: String::new(),
+            matrix: Vec::new(),
+            trajectory: Vec::new(),
+            memory: Vec::new(),
+            stream: Vec::new(),
+        });
+    report.stream = points;
+    report.git_rev = retrodns_bench::git_rev();
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("failed to write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\n{}", report.summary());
+    eprintln!("[stream wrote {path} ({} points)]", report.stream.len());
+    if let Some(min) = min_stream_speedup {
+        // Gate on the longest history: that is where re-analysis hurts
+        // most and where an O(history) regression in the incremental
+        // path would hide at smaller cells.
+        let p = report
+            .stream
+            .iter()
+            .max_by_key(|p| p.weeks)
+            .expect("week_counts is non-empty");
+        if p.speedup < min {
+            eprintln!(
+                "REGRESSION: week ingest only {:.2}x faster than full re-analysis at {} \
+                 weeks, below the {min:.2}x gate",
+                p.speedup, p.weeks
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "stream speedup gate: {:.2}x at {} weeks >= {min:.2}x, ok",
+            p.speedup, p.weeks
         );
     }
     ExitCode::SUCCESS

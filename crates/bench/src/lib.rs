@@ -15,6 +15,7 @@ pub mod perf;
 pub use bundle::{Bundle, Scale};
 pub use faults::{run_fault_campaign, FaultCell, FaultMatrix};
 pub use perf::{
-    bench_map_matrix, bench_mem, bench_pipeline, git_rev, MatrixCell, MemPoint,
-    PipelineBenchReport, StageBench, TrajectoryPoint, MEM_SCANS_PER_DOMAIN,
+    bench_map_matrix, bench_mem, bench_pipeline, bench_stream, git_rev, MatrixCell, MemPoint,
+    PipelineBenchReport, StageBench, StreamPoint, TrajectoryPoint, MEM_SCANS_PER_DOMAIN,
+    STREAM_SEED,
 };

@@ -155,6 +155,37 @@ pub struct MemPoint {
     pub git_rev: String,
 }
 
+/// One cell of the streaming-ingestion sweep (`experiments stream`): the
+/// marginal cost of ingesting the latest scan-week through
+/// [`IncrementalAnalyzer`](retrodns_core::IncrementalAnalyzer) versus
+/// re-analyzing the entire history from scratch at that point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamPoint {
+    /// Scan-weeks of history at the measurement point.
+    pub weeks: usize,
+    /// Worker-pool size of both paths.
+    pub workers: usize,
+    /// Observations across the whole truncated history.
+    pub observations: usize,
+    /// Observations in the final (timed) week alone.
+    pub week_observations: usize,
+    /// Best-of-N wall milliseconds to ingest the final week into an
+    /// analyzer already holding the preceding `weeks - 1`.
+    pub week_ingest_ms: f64,
+    /// Mean wall milliseconds per week across one full stream of the
+    /// history (every week, not just the last).
+    pub mean_week_ms: f64,
+    /// Best-of-N wall milliseconds of a full batch re-analysis over the
+    /// same `weeks` of history.
+    pub full_reanalysis_ms: f64,
+    /// `full_reanalysis_ms / week_ingest_ms` — the regression-gated
+    /// figure: how much cheaper staying incremental is than re-running.
+    pub speedup: f64,
+    /// Git revision the sweep ran from.
+    #[serde(default)]
+    pub git_rev: String,
+}
+
 /// The full pipeline perf report emitted as `BENCH_pipeline.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineBenchReport {
@@ -204,6 +235,10 @@ pub struct PipelineBenchReport {
     /// (empty when only `bench`/`matrix` ran).
     #[serde(default)]
     pub memory: Vec<MemPoint>,
+    /// The streaming-ingestion sweep, regenerated by `experiments
+    /// stream` (empty when it has not run).
+    #[serde(default)]
+    pub stream: Vec<StreamPoint>,
 }
 
 impl PipelineBenchReport {
@@ -278,6 +313,38 @@ impl PipelineBenchReport {
                     m.reduction,
                     m.build_alloc_bytes,
                     m.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+                );
+            }
+        }
+        if !self.stream.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n== Streaming ingestion (week ingest vs full re-analysis) =="
+            );
+            let _ = writeln!(
+                out,
+                "{:<8} {:>8} {:>10} {:>10} {:>14} {:>14} {:>14} {:>8}",
+                "weeks",
+                "workers",
+                "obs",
+                "week obs",
+                "ingest ms",
+                "mean wk ms",
+                "full ms",
+                "speedup"
+            );
+            for s in &self.stream {
+                let _ = writeln!(
+                    out,
+                    "{:<8} {:>8} {:>10} {:>10} {:>14.2} {:>14.2} {:>14.2} {:>7.2}x",
+                    s.weeks,
+                    s.workers,
+                    s.observations,
+                    s.week_observations,
+                    s.week_ingest_ms,
+                    s.mean_week_ms,
+                    s.full_reanalysis_ms,
+                    s.speedup
                 );
             }
         }
@@ -398,6 +465,7 @@ pub fn bench_pipeline(bundle: &Bundle, workers: usize, reps: usize) -> PipelineB
         matrix: Vec::new(),
         trajectory: Vec::new(),
         memory: Vec::new(),
+        stream: Vec::new(),
         stages: vec![
             StageBench::new("map_build", observations.len(), map_serial, map_parallel),
             StageBench::new("classify", maps.len(), classify_serial, classify_parallel),
@@ -465,6 +533,119 @@ pub fn bench_mem(observation_targets: &[usize]) -> Vec<MemPoint> {
                 build_alloc_bytes,
                 peak_rss_bytes: retrodns_core::metrics::peak_rss_kb().unwrap_or(0) * 1024,
                 chunks: store.n_chunks(),
+                git_rev: rev.clone(),
+            }
+        })
+        .collect()
+}
+
+/// World seed of the streaming sweep (fixed: cells are comparable
+/// across runs and machines).
+pub const STREAM_SEED: u64 = 0x57AE;
+
+/// Measure incremental week-at-a-time ingestion against full batch
+/// re-analysis on a quick-scale world.
+///
+/// For each requested week count `n` the sweep truncates the world's
+/// observation history to its first `n` scan-weeks, primes an
+/// [`IncrementalAnalyzer`](retrodns_core::IncrementalAnalyzer) with
+/// weeks `0..n-1`, then times (best of `reps`, priming excluded —
+/// each rep clones the primed analyzer outside the timer):
+///
+/// * ingesting the final week into the primed analyzer, and
+/// * a full batch [`Pipeline::run`] over all `n` weeks,
+///
+/// plus one untimed-rep full stream to report the mean per-week cost.
+/// The ratio of the two timed figures is the `speedup` the CI gate
+/// (`--min-stream-speedup`) checks: how much cheaper staying
+/// incremental is than re-analyzing history every week.
+pub fn bench_stream(week_counts: &[usize], workers: usize, reps: usize) -> Vec<StreamPoint> {
+    use retrodns_core::pipeline::AnalystInputs;
+    use retrodns_core::IncrementalAnalyzer;
+    use retrodns_store::RowsView;
+
+    let world = retrodns_sim::World::build(retrodns_sim::SimConfig::small(STREAM_SEED));
+    let dataset = world.scan();
+    let observations = world.observations(&dataset);
+    let scan_dates = world.config.window.scan_dates();
+    let rev = git_rev();
+
+    week_counts
+        .iter()
+        .map(|&weeks| {
+            let cutoff = scan_dates
+                .get(..weeks)
+                .and_then(|head| head.last().copied());
+            let history: Vec<_> = observations
+                .iter()
+                .filter(|o| cutoff.is_none_or(|c| o.date <= c))
+                .cloned()
+                .collect();
+            let view = RowsView(&history);
+            let inputs = AnalystInputs {
+                observations: &view,
+                asdb: &world.geo.asdb,
+                certs: &world.certs,
+                pdns: &world.pdns,
+                crtsh: &world.crtsh,
+                dnssec: Some(&world.dnssec),
+                source_faults: None,
+            };
+            let config = PipelineConfig {
+                window: world.config.window.clone(),
+                workers,
+                ..PipelineConfig::default()
+            };
+
+            // Per-date slices, ascending — the stream.
+            let mut by_date: std::collections::BTreeMap<_, Vec<_>> = Default::default();
+            for o in &history {
+                by_date
+                    .entry(o.date)
+                    .or_insert_with(Vec::new)
+                    .push(o.clone());
+            }
+            let slices: Vec<Vec<_>> = by_date.into_values().collect();
+            let (last_week, prefix) = slices.split_last().expect("at least one week");
+
+            // One full stream, timed per week, for the mean figure.
+            let mut streamer = IncrementalAnalyzer::new(config.clone());
+            let t = Instant::now();
+            for week in &slices {
+                streamer.ingest_week(week, &inputs);
+            }
+            let mean_week_ms = t.elapsed().as_secs_f64() * 1e3 / slices.len() as f64;
+
+            // Prime with everything but the last week, once; each timed
+            // rep restarts from a clone of the primed state.
+            let mut primed = IncrementalAnalyzer::new(config.clone());
+            for week in prefix {
+                primed.ingest_week(week, &inputs);
+            }
+            let mut week_ingest_ms = f64::INFINITY;
+            for _ in 0..reps.max(1) {
+                let mut analyzer = primed.clone(); // untimed: rep setup
+                let t = Instant::now();
+                std::hint::black_box(analyzer.ingest_week(last_week, &inputs));
+                week_ingest_ms = week_ingest_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            }
+
+            let pipeline = Pipeline::new(config);
+            let full_reanalysis_ms = time_ms(reps, || pipeline.run(&inputs));
+
+            StreamPoint {
+                weeks: slices.len(),
+                workers,
+                observations: history.len(),
+                week_observations: last_week.len(),
+                week_ingest_ms,
+                mean_week_ms,
+                full_reanalysis_ms,
+                speedup: if week_ingest_ms > 0.0 {
+                    full_reanalysis_ms / week_ingest_ms
+                } else {
+                    0.0
+                },
                 git_rev: rev.clone(),
             }
         })
@@ -561,6 +742,7 @@ mod tests {
         let back: PipelineBenchReport = serde_json::from_str(legacy).expect("legacy loads");
         assert_eq!(back.metered_ms, 0.0);
         assert!(back.matrix.is_empty());
+        assert!(back.stream.is_empty());
         assert_eq!(back.git_rev, "");
         // Pre-existing trajectory points load with empty attribution.
         assert_eq!(back.trajectory.len(), 1);
@@ -614,6 +796,25 @@ mod tests {
             points[0].row_bytes,
             retrodns_store::rows_footprint_bytes(&rows)
         );
+    }
+
+    /// The streaming sweep reports coherent shapes: the timed week is
+    /// part of the history, both paths were actually measured, and the
+    /// speedup is the ratio of the two.
+    #[test]
+    fn stream_sweep_shapes_are_coherent() {
+        let points = bench_stream(&[3, 5], 2, 1);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.workers, 2);
+            assert!(p.week_observations > 0 && p.week_observations < p.observations);
+            assert!(p.week_ingest_ms > 0.0 && p.full_reanalysis_ms > 0.0);
+            assert!(p.mean_week_ms > 0.0);
+            assert!((p.speedup - p.full_reanalysis_ms / p.week_ingest_ms).abs() < 1e-9);
+        }
+        assert_eq!(points[0].weeks, 3);
+        assert_eq!(points[1].weeks, 5);
+        assert!(points[1].observations > points[0].observations);
     }
 
     /// The matrix covers the full workers × domains grid, shares one

@@ -1,0 +1,472 @@
+//! Incremental week-at-a-time ingestion (§7.1 direction).
+//!
+//! The batch pipeline re-consumes the entire scan history on every run;
+//! this module ingests one new scan batch (typically a week) at a time
+//! and keeps the deployment maps, classifications, shortlist, and report
+//! current in O(changes) rather than O(history):
+//!
+//! * **Quarantine** validates only the new batch; rejection reasons are
+//!   per-record, so per-week histograms accumulate to the batch
+//!   histogram exactly.
+//! * **Map build** goes through [`MapBuilder::append_scan`]: only maps
+//!   whose observation set changed are touched, and the merge is
+//!   provably identical to relinking the full history under the stream
+//!   discipline (appended dates strictly exceed everything ingested).
+//! * **Classify** re-runs only on the dirty maps reported by the append.
+//! * **Shortlist/inspect** re-run over the updated state (they are
+//!   O(maps), a small fraction of O(observations) — the repeat-period
+//!   and T1* checks are inherently cross-week, so their inputs cannot
+//!   be windowed without changing verdicts).
+//! * The resulting [`Report`] is byte-identical (as JSON) to a batch
+//!   [`Pipeline::run`] over the concatenated history on fault-free
+//!   inputs, at any worker count — `tests/streaming_equivalence.rs`
+//!   pins this with golden tests and proptests.
+//!
+//! Each ingested week yields a [`WeekDelta`] — the verdict changes the
+//! week introduced, the feed `core::reactive` and a future serve layer
+//! consume. Deltas compose: replaying them over the week-0 report
+//! reconstructs the final report exactly.
+//!
+//! Persistence reuses the checkpoint/manifest layer: the kept-row
+//! observation log is saved through the content-addressed store
+//! manifest (only changed tail chunks rewrite, see
+//! [`ObservationStore::append`]) and the analyzer state is one extra
+//! checkpoint stage whose inputs-fingerprint *is* the log's, so a
+//! killed analyzer resumes mid-stream if and only if the state on disk
+//! provably matches the logged stream and configuration.
+
+use crate::checkpoint::{config_fingerprint, CheckpointStore, Fingerprint};
+use crate::classify::{classify, Pattern};
+use crate::inspect::{DegradedVerdict, DetectedHijack, DetectedTarget};
+use crate::map::{DeploymentMap, MapBuilder};
+use crate::metrics::MetricsRegistry;
+use crate::observability::PipelineTimings;
+use crate::pipeline::{
+    apply_shortlist_funnel, funnel_population, quarantine, AnalystInputs, FunnelStats, Pipeline,
+    PipelineConfig, Report,
+};
+use crate::shortlist::shortlist_guarded;
+use crate::sources::ResilientSource;
+use retrodns_scan::DomainObservation;
+use retrodns_store::{DictCodes, ObservationStore, StoreBuilder};
+use retrodns_types::{Day, DomainName};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Checkpoint stage name for the analyzer state (rides alongside the
+/// batch pipeline's `maps`/`classify`/`shortlist`/`inspect` stages).
+pub const INCREMENTAL_STAGE: &str = "incremental";
+
+/// The verdict changes one ingested week introduced, relative to the
+/// report before it. Keyed by domain (reports hold at most one hijack
+/// and one target verdict per domain); [`apply`](WeekDelta::apply)
+/// replays a delta over the prior report to reconstruct the next one
+/// exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeekDelta {
+    /// Zero-based index of the ingested batch in the stream.
+    pub week: u32,
+    /// Latest scan date the batch carried (`Day(0)` for an empty batch).
+    pub date: Day,
+    /// Hijack verdicts that appeared or changed this week.
+    pub hijacked_upserts: Vec<DetectedHijack>,
+    /// Domains whose hijack verdict disappeared this week.
+    pub hijacked_removed: Vec<DomainName>,
+    /// Target verdicts that appeared or changed this week.
+    pub targeted_upserts: Vec<DetectedTarget>,
+    /// Domains whose target verdict disappeared this week (including
+    /// promotions to hijacked).
+    pub targeted_removed: Vec<DomainName>,
+    /// Full replacement for [`Report::degraded`] when it changed, else
+    /// `None`. Degraded verdicts are not unique per domain, so they
+    /// cannot be keyed like the verdict lists; fault-free streams never
+    /// produce any, so the replacement is almost always `None` or tiny.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub degraded: Option<Vec<DegradedVerdict>>,
+    /// The funnel after this week (population counters move every week,
+    /// so the funnel is carried wholesale rather than diffed).
+    pub funnel: FunnelStats,
+}
+
+impl WeekDelta {
+    /// Diff two consecutive reports into the delta that turns `old`
+    /// into `new`.
+    pub fn between(week: u32, date: Day, old: &Report, new: &Report) -> WeekDelta {
+        fn diff<T: Clone + PartialEq>(
+            old: &[T],
+            new: &[T],
+            domain: impl Fn(&T) -> &DomainName,
+        ) -> (Vec<T>, Vec<DomainName>) {
+            let old_by: BTreeMap<&DomainName, &T> = old.iter().map(|v| (domain(v), v)).collect();
+            let new_by: BTreeMap<&DomainName, &T> = new.iter().map(|v| (domain(v), v)).collect();
+            let upserts = new
+                .iter()
+                .filter(|v| old_by.get(domain(v)) != Some(v))
+                .cloned()
+                .collect();
+            let removed = old
+                .iter()
+                .map(domain)
+                .filter(|d| !new_by.contains_key(*d))
+                .cloned()
+                .collect();
+            (upserts, removed)
+        }
+        let (hijacked_upserts, hijacked_removed) =
+            diff(&old.hijacked, &new.hijacked, |h: &DetectedHijack| &h.domain);
+        let (targeted_upserts, targeted_removed) =
+            diff(&old.targeted, &new.targeted, |t: &DetectedTarget| &t.domain);
+        WeekDelta {
+            week,
+            date,
+            hijacked_upserts,
+            hijacked_removed,
+            targeted_upserts,
+            targeted_removed,
+            degraded: (old.degraded != new.degraded).then(|| new.degraded.clone()),
+            funnel: new.funnel.clone(),
+        }
+    }
+
+    /// Replay this delta over `report` (the report the delta was diffed
+    /// against), producing the next week's report in place. Verdicts are
+    /// rebuilt through a domain-keyed `BTreeMap`, which is exactly the
+    /// ordering the pipeline's dedup stage produces — so a replayed
+    /// report serializes byte-identically to the analyzed one.
+    pub fn apply(&self, report: &mut Report) {
+        fn patch<T: Clone>(
+            into: &mut Vec<T>,
+            upserts: &[T],
+            removed: &[DomainName],
+            domain: impl Fn(&T) -> DomainName,
+        ) {
+            let mut by: BTreeMap<DomainName, T> = into.drain(..).map(|v| (domain(&v), v)).collect();
+            for d in removed {
+                by.remove(d);
+            }
+            for v in upserts {
+                by.insert(domain(v), v.clone());
+            }
+            *into = by.into_values().collect();
+        }
+        patch(
+            &mut report.hijacked,
+            &self.hijacked_upserts,
+            &self.hijacked_removed,
+            |h| h.domain.clone(),
+        );
+        patch(
+            &mut report.targeted,
+            &self.targeted_upserts,
+            &self.targeted_removed,
+            |t| t.domain.clone(),
+        );
+        if let Some(d) = &self.degraded {
+            report.degraded = d.clone();
+        }
+        report.funnel = self.funnel.clone();
+    }
+
+    /// Did this week change any verdict (as opposed to only moving
+    /// population counters)?
+    pub fn has_verdict_changes(&self) -> bool {
+        !self.hijacked_upserts.is_empty()
+            || !self.hijacked_removed.is_empty()
+            || !self.targeted_upserts.is_empty()
+            || !self.targeted_removed.is_empty()
+            || self.degraded.is_some()
+    }
+}
+
+/// Serialized analyzer state (everything except the observation log,
+/// which persists through the content-addressed store manifest).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct IncrementalState {
+    maps: Vec<DeploymentMap>,
+    patterns: Vec<Pattern>,
+    quarantined: BTreeMap<String, usize>,
+    weeks: u32,
+    last_date: Option<Day>,
+    report: Report,
+}
+
+/// Streaming analyzer: feed it one scan batch at a time and it keeps a
+/// [`Report`] current that is byte-identical to batch-analyzing the
+/// concatenated history. See the module docs for the dataflow and
+/// `DESIGN.md` §11 for the dirty-set propagation argument.
+#[derive(Debug, Clone)]
+pub struct IncrementalAnalyzer {
+    pipeline: Pipeline,
+    builder: MapBuilder,
+    maps: Vec<DeploymentMap>,
+    patterns: Vec<Pattern>,
+    quarantined: BTreeMap<String, usize>,
+    weeks: u32,
+    last_date: Option<Day>,
+    report: Report,
+    log: ObservationStore,
+    /// Interning tables mirroring `log`'s dictionaries, carried across
+    /// appends so the weekly write stays O(batch), not O(dictionary).
+    log_codes: DictCodes,
+}
+
+impl IncrementalAnalyzer {
+    /// A fresh analyzer (no weeks ingested) for `config`.
+    pub fn new(config: PipelineConfig) -> IncrementalAnalyzer {
+        let mut builder = MapBuilder::new(config.window.clone());
+        builder.link_gap_scans = config.link_gap_scans;
+        IncrementalAnalyzer {
+            pipeline: Pipeline::new(config),
+            builder,
+            maps: Vec::new(),
+            patterns: Vec::new(),
+            quarantined: BTreeMap::new(),
+            weeks: 0,
+            last_date: None,
+            report: Report::default(),
+            log: StoreBuilder::new().finish(),
+            log_codes: DictCodes::default(),
+        }
+    }
+
+    /// The analyzer's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.pipeline.config
+    }
+
+    /// The current report (after all ingested weeks).
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+
+    /// Number of batches ingested so far.
+    pub fn weeks(&self) -> u32 {
+        self.weeks
+    }
+
+    /// Latest scan date ingested, if any.
+    pub fn last_date(&self) -> Option<Day> {
+        self.last_date
+    }
+
+    /// Ingest one scan batch. Every observation date must be strictly
+    /// greater than all previously ingested dates (the stream
+    /// discipline [`MapBuilder::append_scan`] requires); batches
+    /// arriving in scan order — the natural feed — satisfy this.
+    ///
+    /// `inputs` supplies the corroboration sources (as-db, certificates,
+    /// pDNS, CT, DNSSEC) — its `observations` field is ignored; the
+    /// batch itself is the input. Returns the [`WeekDelta`] of verdict
+    /// changes the batch introduced.
+    pub fn ingest_week(&mut self, week: &[DomainObservation], inputs: &AnalystInputs) -> WeekDelta {
+        self.ingest_week_metered(week, inputs, &mut MetricsRegistry::new())
+    }
+
+    /// [`ingest_week`](Self::ingest_week) recording per-ingest metrics
+    /// (classification counts, T1*/pivot counters, source guard
+    /// tallies) into `metrics`.
+    pub fn ingest_week_metered(
+        &mut self,
+        week: &[DomainObservation],
+        inputs: &AnalystInputs,
+        metrics: &mut MetricsRegistry,
+    ) -> WeekDelta {
+        let date = week.iter().map(|o| o.date).max().unwrap_or(Day(0));
+        let cfg = &self.pipeline.config;
+
+        // Stage 0 over the batch only. Reasons are per-record, so the
+        // accumulated histogram equals the batch histogram; duplicates
+        // cannot span weeks (a full-record repeat implies an equal scan
+        // date, which the stream discipline forbids across batches).
+        let (kept, rejected) = quarantine(week, &cfg.window, inputs.certs);
+        for (reason, n) in rejected {
+            *self.quarantined.entry(reason).or_insert(0) += n;
+        }
+        debug_assert!(
+            self.last_date
+                .is_none_or(|last| kept.iter().all(|o| o.date > last)),
+            "stream discipline violated: batch dates must exceed all ingested dates"
+        );
+        self.log
+            .append_with_codes(&kept, &mut self.log_codes)
+            .expect("quarantine-kept dates fit the log epoch range");
+
+        // Stage 1 in O(batch): merge the batch into the existing maps
+        // and collect the dirty set.
+        let outcome = self.builder.append_scan(&mut self.maps, &kept);
+
+        // Stage 2 over the dirty set only. Inserted indices arrive
+        // ascending and post-merge, so in-order insertion keeps
+        // `patterns` parallel to `maps` throughout.
+        for &i in &outcome.inserted {
+            self.patterns
+                .insert(i, classify(&self.maps[i], &cfg.classify));
+        }
+        for &i in &outcome.updated {
+            self.patterns[i] = classify(&self.maps[i], &cfg.classify);
+        }
+
+        // Stages 3–5 over the full state: these are O(maps) — the
+        // repeat-period shortlist checks and the T1* confirmed-IP pass
+        // are cross-week by construction, so their inputs cannot shrink
+        // without changing verdicts.
+        let mut funnel = funnel_population(&self.maps, &self.patterns, self.quarantined.clone());
+        let mut as2org = ResilientSource::new(inputs.asdb, cfg.sources, inputs.source_faults);
+        let shortlisted = shortlist_guarded(
+            &self.maps,
+            &self.patterns,
+            &mut as2org,
+            inputs.certs,
+            &cfg.shortlist,
+        );
+        apply_shortlist_funnel(&mut funnel, &shortlisted);
+        let inspected = self
+            .pipeline
+            .inspect_candidates(&shortlisted.candidates, inputs);
+        let mut timings = PipelineTimings::default();
+        let report = self
+            .pipeline
+            .finish_report(inputs, funnel, inspected, metrics, &mut timings);
+
+        let delta = WeekDelta::between(self.weeks, date, &self.report, &report);
+        self.report = report;
+        self.weeks += 1;
+        if !kept.is_empty() {
+            self.last_date = Some(self.last_date.map_or(date, |d| d.max(date)));
+        }
+        delta
+    }
+
+    /// Persist the analyzer into `store`: the kept-row observation log
+    /// through the content-addressed manifest (unchanged chunks are
+    /// skipped — the weekly delta writes O(batch) bytes) and the
+    /// analyzer state as the [`INCREMENTAL_STAGE`] checkpoint, bound to
+    /// the configuration and the log's fingerprint.
+    pub fn checkpoint(&self, store: &CheckpointStore) -> std::io::Result<()> {
+        store.save_observations(&self.log)?;
+        let fp = Fingerprint {
+            config: config_fingerprint(&self.pipeline.config),
+            inputs: self.log.fingerprint(),
+        };
+        let state = IncrementalState {
+            maps: self.maps.clone(),
+            patterns: self.patterns.clone(),
+            quarantined: self.quarantined.clone(),
+            weeks: self.weeks,
+            last_date: self.last_date,
+            report: self.report.clone(),
+        };
+        store.save(INCREMENTAL_STAGE, &fp, &state)
+    }
+
+    /// Resume a previously checkpointed analyzer from `store`. Returns
+    /// `None` when there is nothing valid to resume: no log, a damaged
+    /// log (content hashes fail), or a state checkpoint that does not
+    /// match this `config` and the logged stream — callers then start
+    /// from [`new`](Self::new) and re-ingest.
+    pub fn resume(config: PipelineConfig, store: &CheckpointStore) -> Option<IncrementalAnalyzer> {
+        let log = store.load_observations()?;
+        let fp = Fingerprint {
+            config: config_fingerprint(&config),
+            inputs: log.fingerprint(),
+        };
+        let state: IncrementalState = store.load(INCREMENTAL_STAGE, &fp).ok()?;
+        let mut analyzer = IncrementalAnalyzer::new(config);
+        analyzer.maps = state.maps;
+        analyzer.patterns = state.patterns;
+        analyzer.quarantined = state.quarantined;
+        analyzer.weeks = state.weeks;
+        analyzer.last_date = state.last_date;
+        analyzer.report = state.report;
+        analyzer.log_codes = DictCodes::of(&log);
+        analyzer.log = log;
+        Some(analyzer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_week_yields_empty_delta() {
+        let delta = WeekDelta::between(0, Day(0), &Report::default(), &Report::default());
+        assert!(!delta.has_verdict_changes());
+        let mut r = Report::default();
+        delta.apply(&mut r);
+        assert_eq!(
+            serde_json::to_string(&r).unwrap(),
+            serde_json::to_string(&Report::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn delta_upsert_and_remove_round_trip() {
+        let hij = |d: &str, day: u32| DetectedHijack {
+            domain: d.parse().unwrap(),
+            dtype: crate::inspect::DetectionType::T1,
+            sub: None,
+            first_evidence: Day(day),
+            pdns_corroborated: true,
+            ct_corroborated: false,
+            dnssec_corroborated: false,
+            malicious_cert: None,
+            attacker_ips: vec![],
+            attacker_asn: None,
+            attacker_cc: None,
+            attacker_ns: vec![],
+            victim_asns: vec![],
+            victim_ccs: vec![],
+        };
+        let old = Report {
+            hijacked: vec![hij("a.com", 1), hij("b.com", 2)],
+            ..Report::default()
+        };
+        let new = Report {
+            hijacked: vec![hij("b.com", 2), hij("c.com", 3)],
+            ..Report::default()
+        };
+        let delta = WeekDelta::between(1, Day(7), &old, &new);
+        assert_eq!(delta.hijacked_upserts.len(), 1, "only c.com is new");
+        assert_eq!(delta.hijacked_removed.len(), 1, "a.com disappeared");
+        let mut replay = old.clone();
+        delta.apply(&mut replay);
+        assert_eq!(
+            serde_json::to_string(&replay).unwrap(),
+            serde_json::to_string(&new).unwrap()
+        );
+    }
+
+    #[test]
+    fn changed_verdict_is_an_upsert() {
+        let t = |d: &str, day: u32| DetectedTarget {
+            domain: d.parse().unwrap(),
+            sub: None,
+            first_evidence: Day(day),
+            pdns_corroborated: false,
+            ct_corroborated: false,
+            attacker_ip: None,
+            attacker_asn: None,
+            attacker_cc: None,
+            victim_asns: vec![],
+            victim_ccs: vec![],
+        };
+        let old = Report {
+            targeted: vec![t("a.com", 1)],
+            ..Report::default()
+        };
+        let new = Report {
+            targeted: vec![t("a.com", 9)],
+            ..Report::default()
+        };
+        let delta = WeekDelta::between(2, Day(14), &old, &new);
+        assert_eq!(delta.targeted_upserts.len(), 1, "changed evidence re-emits");
+        assert!(delta.targeted_removed.is_empty());
+        let mut replay = old.clone();
+        delta.apply(&mut replay);
+        assert_eq!(
+            serde_json::to_string(&replay).unwrap(),
+            serde_json::to_string(&new).unwrap()
+        );
+    }
+}

@@ -53,7 +53,7 @@ impl DetectionType {
 }
 
 /// A domain concluded hijacked, with its evidence (one Table 2 row).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DetectedHijack {
     /// The victim registered domain.
     pub domain: DomainName,
@@ -86,7 +86,7 @@ pub struct DetectedHijack {
 }
 
 /// A domain concluded targeted-but-not-hijacked (one Table 3 row).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DetectedTarget {
     /// The victim registered domain.
     pub domain: DomainName,

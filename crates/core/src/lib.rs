@@ -27,6 +27,7 @@
 pub mod baseline;
 pub mod checkpoint;
 pub mod classify;
+pub mod incremental;
 pub mod inspect;
 pub mod map;
 pub mod metrics;
@@ -42,6 +43,7 @@ pub mod sources;
 
 pub use checkpoint::{CheckpointStore, Fingerprint};
 pub use classify::{Pattern, StableKind, TransientKind, TransitionKind};
+pub use incremental::{IncrementalAnalyzer, WeekDelta};
 pub use inspect::{DegradedVerdict, DetectedHijack, DetectedTarget, DetectionType, InspectOutcome};
 pub use map::{Deployment, DeploymentGroup, DeploymentMap, MapBuilder};
 pub use metrics::{CountingAlloc, MetricsRegistry, MetricsShard, MetricsSnapshot};

@@ -745,50 +745,17 @@ impl MapBuilder {
             by_asn.entry(asn).or_default().push(group);
         }
         let mut deployments = Vec::new();
-        let absorb = |d: &mut Deployment, g: &DeploymentGroup| {
-            d.last = g.date;
-            if d.dates.last() != Some(&g.date) {
-                d.dates.push(g.date);
-            }
-            d.ips.extend(g.ips.iter().copied());
-            d.certs.extend(g.certs.iter().copied());
-            d.countries.extend(g.countries.iter().copied());
-            if g.trusted {
-                d.trusted_certs.extend(g.certs.iter().copied());
-            }
-            for c in &g.certs {
-                let w = d.cert_windows.entry(*c).or_insert((g.date, g.date));
-                w.0 = w.0.min(g.date);
-                w.1 = w.1.max(g.date);
-            }
-            for cc in &g.countries {
-                let w = d.country_windows.entry(*cc).or_insert((g.date, g.date));
-                w.0 = w.0.min(g.date);
-                w.1 = w.1.max(g.date);
-            }
-        };
         for (asn, groups) in by_asn {
             let mut current: Option<Deployment> = None;
             for g in groups {
                 match current.as_mut() {
-                    Some(d) if g.date - d.last <= max_gap_days => absorb(d, &g),
+                    Some(d) if g.date - d.last <= max_gap_days => absorb_group(d, &g),
                     _ => {
                         if let Some(done) = current.take() {
                             deployments.push(done);
                         }
-                        let mut d = Deployment {
-                            asn,
-                            first: g.date,
-                            last: g.date,
-                            dates: Vec::new(),
-                            ips: BTreeSet::new(),
-                            certs: BTreeSet::new(),
-                            countries: BTreeSet::new(),
-                            trusted_certs: BTreeSet::new(),
-                            cert_windows: BTreeMap::new(),
-                            country_windows: BTreeMap::new(),
-                        };
-                        absorb(&mut d, &g);
+                        let mut d = new_deployment(asn, g.date);
+                        absorb_group(&mut d, &g);
                         current = Some(d);
                     }
                 }
@@ -806,6 +773,234 @@ impl MapBuilder {
             dates_present: dates_present.into_iter().collect(),
             expected_scans,
         }
+    }
+
+    /// Merge one new scan batch into already-built maps — the incremental
+    /// ingestion path. `maps` must be sorted by `(domain, period.id)` (the
+    /// order every build method produces) and every observation date must
+    /// be strictly greater than all dates previously ingested into `maps`;
+    /// under that stream discipline the result is byte-identical to
+    /// rebuilding from the concatenated history, in O(batch) not
+    /// O(history).
+    ///
+    /// Equivalence argument: appended dates exceed every existing
+    /// deployment's `last`, so the only linking decision the batch can
+    /// affect is "extend the ASN's most recent run or open a new one" —
+    /// exactly what [`link`](Self::link) would decide seeing the full
+    /// group sequence. An ASN's most recent run is its deployment with
+    /// maximal `first`, i.e. its last occurrence in the `(first, asn)`
+    /// sorted vector.
+    ///
+    /// Returns the dirty set: indices (into the post-merge `maps`) of
+    /// maps that changed or appeared, so callers re-classify only those.
+    pub fn append_scan(
+        &self,
+        maps: &mut Vec<DeploymentMap>,
+        observations: &[DomainObservation],
+    ) -> AppendOutcome {
+        let max_gap_days = (self.link_gap_scans + 1) * self.window.scan_interval_days;
+        // Sort row references into (domain, period, date, asn) order —
+        // the exact visit order nested BTreeMap bucketing would produce
+        // — then walk contiguous groups. A weekly batch touches most
+        // (domain, period) buckets exactly once, so sort-and-scan beats
+        // per-row tree inserts (no node allocation, batch stays in
+        // cache). Group contents are order-independent set unions, so
+        // an unstable sort is safe.
+        let mut rows: Vec<(&DomainName, PeriodId, Day, Asn, &DomainObservation)> = observations
+            .iter()
+            .filter_map(|obs| {
+                let asn = obs.asn?;
+                let period = self.window.period_of(obs.date)?;
+                Some((&obs.domain, period.id, obs.date, asn, obs))
+            })
+            .collect();
+        rows.sort_unstable_by(|a, b| (a.0, a.1, a.2, a.3).cmp(&(b.0, b.1, b.2, b.3)));
+
+        let periods = self.window.periods();
+        let mut outcome = AppendOutcome::default();
+        // Merge-join against the (domain, period.id)-sorted maps:
+        // buckets arrive in that same order, so a forward cursor finds
+        // each bucket's position with ~one comparison instead of a
+        // binary search per bucket (whose probes scatter across the
+        // whole map vector). The cursor lands exactly where the binary
+        // search would: on the matching map, or on the insertion point.
+        let mut cursor = 0usize;
+        let mut i = 0usize;
+        while i < rows.len() {
+            let (domain, pid) = (rows[i].0, rows[i].1);
+            let mut end = i + 1;
+            while end < rows.len() && rows[end].0 == domain && rows[end].1 == pid {
+                end += 1;
+            }
+            while cursor < maps.len()
+                && (&maps[cursor].domain, maps[cursor].period.id) < (domain, pid)
+            {
+                cursor += 1;
+            }
+            let found = cursor < maps.len()
+                && maps[cursor].domain == *domain
+                && maps[cursor].period.id == pid;
+            if found {
+                let map = &mut maps[cursor];
+                let mut j = i;
+                while j < end {
+                    let (date, asn) = (rows[j].2, rows[j].3);
+                    let mut k = j + 1;
+                    while k < end && rows[k].2 == date && rows[k].3 == asn {
+                        k += 1;
+                    }
+                    let g = group_rows(date, asn, &rows[j..k]);
+                    if map.dates_present.last() != Some(&date) {
+                        map.dates_present.push(date);
+                    }
+                    // Per-ASN most recent run: last occurrence in the
+                    // (first, asn) sorted vector, so scan backwards
+                    // (deployments per map are few — a lookup table
+                    // costs more than it saves).
+                    let current = map.deployments.iter().rposition(|d| d.asn == asn);
+                    match current {
+                        Some(di) if date - map.deployments[di].last <= max_gap_days => {
+                            absorb_group(&mut map.deployments[di], &g)
+                        }
+                        _ => {
+                            let mut d = new_deployment(asn, date);
+                            absorb_group(&mut d, &g);
+                            // Appended dates strictly exceed every
+                            // existing `first`, and groups arrive in
+                            // (date, asn) order, so pushing keeps the
+                            // (first, asn) sort invariant.
+                            map.deployments.push(d);
+                        }
+                    }
+                    j = k;
+                }
+                debug_assert!(
+                    map.deployments
+                        .windows(2)
+                        .all(|w| (w[0].first, w[0].asn) <= (w[1].first, w[1].asn)),
+                    "append broke the (first, asn) deployment order"
+                );
+                outcome.updated.push(cursor);
+            } else {
+                // First sighting of this (domain, period): the batch is
+                // its entire history, so the reference linker builds it
+                // outright.
+                let mut groups: BTreeMap<(Day, Asn), DeploymentGroup> = BTreeMap::new();
+                let mut j = i;
+                while j < end {
+                    let (date, asn) = (rows[j].2, rows[j].3);
+                    let mut k = j + 1;
+                    while k < end && rows[k].2 == date && rows[k].3 == asn {
+                        k += 1;
+                    }
+                    groups.insert((date, asn), group_rows(date, asn, &rows[j..k]));
+                    j = k;
+                }
+                maps.insert(cursor, self.link(domain.clone(), periods[pid], groups));
+                outcome.inserted.push(cursor);
+            }
+            // Step past the map this bucket matched or inserted; later
+            // buckets are strictly greater, so earlier recorded indices
+            // stay valid.
+            cursor += 1;
+            i = end;
+        }
+        outcome
+    }
+}
+
+/// Fold a contiguous run of rows sharing one (date, asn) into a
+/// [`DeploymentGroup`] — the same set unions the nested-BTreeMap
+/// bucketing performed row by row.
+fn group_rows(
+    date: Day,
+    asn: Asn,
+    rows: &[(&DomainName, PeriodId, Day, Asn, &DomainObservation)],
+) -> DeploymentGroup {
+    let mut g = DeploymentGroup {
+        date,
+        asn,
+        ips: BTreeSet::new(),
+        certs: BTreeSet::new(),
+        countries: BTreeSet::new(),
+        trusted: false,
+    };
+    for (_, _, _, _, obs) in rows {
+        g.ips.insert(obs.ip);
+        g.certs.insert(obs.cert);
+        if let Some(cc) = obs.country {
+            g.countries.insert(cc);
+        }
+        g.trusted |= obs.trusted;
+    }
+    g
+}
+
+/// Dirty set reported by [`MapBuilder::append_scan`]: which maps the
+/// batch touched, as ascending indices into the post-merge map vector.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Pre-existing maps the batch extended.
+    pub updated: Vec<usize>,
+    /// Brand-new (domain, period) maps the batch introduced.
+    pub inserted: Vec<usize>,
+}
+
+impl AppendOutcome {
+    /// All touched indices, ascending (the re-classify worklist).
+    pub fn dirty(&self) -> Vec<usize> {
+        let mut all: Vec<usize> = self
+            .updated
+            .iter()
+            .chain(self.inserted.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all
+    }
+}
+
+/// Fold one scan-date group into a deployment run: extend the sighting
+/// span, union the infrastructure columns, and widen the per-certificate
+/// and per-country windows. Shared verbatim by the batch linker and the
+/// incremental append so the two paths cannot drift.
+fn absorb_group(d: &mut Deployment, g: &DeploymentGroup) {
+    d.last = g.date;
+    if d.dates.last() != Some(&g.date) {
+        d.dates.push(g.date);
+    }
+    d.ips.extend(g.ips.iter().copied());
+    d.certs.extend(g.certs.iter().copied());
+    d.countries.extend(g.countries.iter().copied());
+    if g.trusted {
+        d.trusted_certs.extend(g.certs.iter().copied());
+    }
+    for c in &g.certs {
+        let w = d.cert_windows.entry(*c).or_insert((g.date, g.date));
+        w.0 = w.0.min(g.date);
+        w.1 = w.1.max(g.date);
+    }
+    for cc in &g.countries {
+        let w = d.country_windows.entry(*cc).or_insert((g.date, g.date));
+        w.0 = w.0.min(g.date);
+        w.1 = w.1.max(g.date);
+    }
+}
+
+/// An empty deployment run opening at `first`, ready for its first
+/// [`absorb_group`].
+fn new_deployment(asn: Asn, first: Day) -> Deployment {
+    Deployment {
+        asn,
+        first,
+        last: first,
+        dates: Vec::new(),
+        ips: BTreeSet::new(),
+        certs: BTreeSet::new(),
+        countries: BTreeSet::new(),
+        trusted_certs: BTreeSet::new(),
+        cert_windows: BTreeMap::new(),
+        country_windows: BTreeMap::new(),
     }
 }
 
@@ -1108,6 +1303,68 @@ mod tests {
         o.asn = None;
         let maps = builder().build(&[o]);
         assert!(maps.is_empty());
+    }
+
+    #[test]
+    fn append_scan_week_by_week_equals_batch() {
+        // Stable host + a transient ASN week 10 + a second domain that
+        // first appears mid-stream + a gap long enough to split a run.
+        let mut all: Vec<_> = (0..20)
+            .filter(|i| !(12..=15).contains(i))
+            .map(|i| obs("a.com", i * 7, 1, 100, "GR", 1))
+            .collect();
+        all.push(obs("a.com", 70, 99, 200, "NL", 666));
+        all.extend((8..20).map(|i| obs("b.com", i * 7, 2, 300, "DE", 2)));
+        let mut unrouted = obs("a.com", 35, 5, 0, "GR", 9);
+        unrouted.asn = None;
+        all.push(unrouted);
+
+        let b = builder();
+        let batch = b.build(&all);
+        let mut streamed: Vec<DeploymentMap> = Vec::new();
+        let mut dates: Vec<Day> = all.iter().map(|o| o.date).collect();
+        dates.sort_unstable();
+        dates.dedup();
+        for date in dates {
+            let week: Vec<_> = all.iter().filter(|o| o.date == date).cloned().collect();
+            let out = b.append_scan(&mut streamed, &week);
+            for &i in out.updated.iter().chain(&out.inserted) {
+                assert!(i < streamed.len());
+            }
+        }
+        assert_eq!(streamed, batch, "incremental append must equal rebuild");
+    }
+
+    #[test]
+    fn append_scan_reports_dirty_indices() {
+        let b = builder();
+        let mut maps = b.build(&[obs("a.com", 0, 1, 100, "GR", 1)]);
+        let out = b.append_scan(
+            &mut maps,
+            &[
+                obs("a.com", 7, 1, 100, "GR", 1),
+                obs("b.com", 7, 2, 200, "NL", 2),
+            ],
+        );
+        assert_eq!(out.updated, vec![0]);
+        assert_eq!(out.inserted, vec![1]);
+        assert_eq!(out.dirty(), vec![0, 1]);
+        assert_eq!(maps[1].domain.as_str(), "b.com");
+    }
+
+    #[test]
+    fn append_scan_crossing_period_boundary_opens_new_map() {
+        let b = builder();
+        let mut maps = b.build(&[obs("a.com", 0, 1, 100, "GR", 1)]);
+        // Day 200 falls in period 1: a fresh map, not an extension.
+        let out = b.append_scan(&mut maps, &[obs("a.com", 200, 1, 100, "GR", 1)]);
+        assert_eq!(out.updated, Vec::<usize>::new());
+        assert_eq!(out.inserted, vec![1]);
+        let batch = b.build(&[
+            obs("a.com", 0, 1, 100, "GR", 1),
+            obs("a.com", 200, 1, 100, "GR", 1),
+        ]);
+        assert_eq!(maps, batch);
     }
 
     #[test]

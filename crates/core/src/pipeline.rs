@@ -23,7 +23,7 @@ use retrodns_cert::{CertId, Certificate, CrtShIndex};
 use retrodns_dns::{DnssecArchive, PassiveDns};
 use retrodns_scan::DomainObservation;
 use retrodns_store::{ObservationStore, ObservationView};
-use retrodns_types::{Day, DomainInterner, DomainName, SourceFaults, StudyWindow};
+use retrodns_types::{Day, DomainName, SourceFaults, StudyWindow};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
@@ -642,40 +642,7 @@ impl Pipeline {
         }
 
         // ---- funnel: population statistics -------------------------
-        let mut funnel = FunnelStats {
-            quarantined,
-            maps_total: maps.len(),
-            ..FunnelStats::default()
-        };
-        // Maps arrive sorted by domain, so interning assigns dense ids in
-        // first-seen order and the per-domain worst category can live in a
-        // flat vector indexed by id — no string re-hashing per map.
-        let mut interner = DomainInterner::with_capacity(maps.len());
-        let mut domain_worst: Vec<&'static str> = Vec::with_capacity(maps.len());
-        let rank = |c: &str| match c {
-            "transient" => 3,
-            "noisy" => 2,
-            "transition" => 1,
-            _ => 0,
-        };
-        for (m, p) in maps.iter().zip(&patterns) {
-            let cat = p.category();
-            *funnel.map_categories.entry(cat.to_string()).or_insert(0) += 1;
-            if matches!(p, Pattern::Transient { .. }) {
-                funnel.transient_maps += 1;
-            }
-            let id = interner.intern(&m.domain);
-            if id.index() == domain_worst.len() {
-                domain_worst.push("stable");
-            }
-            if rank(cat) > rank(domain_worst[id.index()]) {
-                domain_worst[id.index()] = cat;
-            }
-        }
-        funnel.domains_total = domain_worst.len();
-        for cat in &domain_worst {
-            *funnel.domain_categories.entry(cat.to_string()).or_insert(0) += 1;
-        }
+        let mut funnel = funnel_population(&maps, &patterns, quarantined);
 
         // ---- stage 3: shortlist -------------------------------------
         let span = metrics.span_open("stage.shortlist");
@@ -707,15 +674,7 @@ impl Pipeline {
         metrics.merge(ckpt_shard);
         stage_sample(metrics, "shortlist", maps.len(), t.elapsed(), alloc0);
         metrics.span_close(span);
-        funnel.shortlisted = shortlisted.candidates.len();
-        funnel.truly_anomalous = shortlisted
-            .candidates
-            .iter()
-            .filter(|c| c.via_anomalous_route)
-            .count();
-        for (reason, n) in shortlisted.prune_histogram() {
-            funnel.pruned.insert(reason.label().to_string(), n);
-        }
+        apply_shortlist_funnel(&mut funnel, &shortlisted);
 
         // ---- stage 4: inspect ----------------------------------------
         let span = metrics.span_open("stage.inspect");
@@ -742,6 +701,41 @@ impl Pipeline {
             alloc0,
         );
         metrics.span_close(span);
+        let mut report = self.finish_report(inputs, funnel, inspected, metrics, &mut timings);
+
+        timings.total_ms = run_start.elapsed().as_secs_f64() * 1e3;
+        record_funnel(metrics, &report.funnel);
+        if let Some(kb) = metrics::peak_rss_kb() {
+            metrics.gauge("process.peak_rss_kb", kb as f64);
+        }
+        if metrics::alloc_counting_active() {
+            metrics.gauge(
+                "process.alloc_bytes_total",
+                metrics::allocated_bytes_total() as f64,
+            );
+            metrics.gauge(
+                "process.alloc_count_total",
+                metrics::allocation_count_total() as f64,
+            );
+        }
+        metrics.span_close(run_span);
+        report.timings = timings;
+        report
+    }
+
+    /// The post-inspection tail of the pipeline, shared with the
+    /// incremental analyzer: T1* promotion, pivot expansion, attacker geo
+    /// backfill, degraded-mode accounting, and verdict dedup/ordering.
+    /// Returns the assembled [`Report`] with default timings (the caller
+    /// owns wall-clock bookkeeping); `timings.pivot` is filled in here.
+    pub(crate) fn finish_report(
+        &self,
+        inputs: &AnalystInputs,
+        mut funnel: FunnelStats,
+        inspected: InspectionResults,
+        metrics: &mut MetricsRegistry,
+        timings: &mut PipelineTimings,
+    ) -> Report {
         let InspectionResults {
             mut hijacked,
             targeted,
@@ -843,29 +837,89 @@ impl Pipeline {
                 .or_insert(0) += 1;
         }
 
-        timings.total_ms = run_start.elapsed().as_secs_f64() * 1e3;
-        record_funnel(metrics, &funnel);
-        if let Some(kb) = metrics::peak_rss_kb() {
-            metrics.gauge("process.peak_rss_kb", kb as f64);
-        }
-        if metrics::alloc_counting_active() {
-            metrics.gauge(
-                "process.alloc_bytes_total",
-                metrics::allocated_bytes_total() as f64,
-            );
-            metrics.gauge(
-                "process.alloc_count_total",
-                metrics::allocation_count_total() as f64,
-            );
-        }
-        metrics.span_close(run_span);
         Report {
             hijacked,
             targeted,
             degraded,
             funnel,
-            timings,
+            timings: PipelineTimings::default(),
         }
+    }
+}
+
+/// Seed the funnel with population statistics: per-map and worst-per-domain
+/// category histograms over the classified maps, plus the quarantine
+/// counts from stage 0. Shared by the batch pipeline and the incremental
+/// analyzer.
+pub(crate) fn funnel_population(
+    maps: &[DeploymentMap],
+    patterns: &[Pattern],
+    quarantined: BTreeMap<String, usize>,
+) -> FunnelStats {
+    let mut funnel = FunnelStats {
+        quarantined,
+        maps_total: maps.len(),
+        ..FunnelStats::default()
+    };
+    // Maps arrive sorted by domain, so a domain's periods are adjacent:
+    // comparing against the previous map's domain replaces interning,
+    // and the handful of category labels are tallied through
+    // &'static str keys — no per-map hashing or String allocation.
+    let rank = |c: &str| match c {
+        "transient" => 3,
+        "noisy" => 2,
+        "transition" => 1,
+        _ => 0,
+    };
+    let mut map_cats: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut domain_cats: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut prev_domain: Option<&DomainName> = None;
+    let mut worst: &'static str = "stable";
+    for (m, p) in maps.iter().zip(patterns) {
+        let cat = p.category();
+        *map_cats.entry(cat).or_insert(0) += 1;
+        if matches!(p, Pattern::Transient { .. }) {
+            funnel.transient_maps += 1;
+        }
+        if prev_domain != Some(&m.domain) {
+            if prev_domain.is_some() {
+                *domain_cats.entry(worst).or_insert(0) += 1;
+            }
+            prev_domain = Some(&m.domain);
+            worst = "stable";
+            funnel.domains_total += 1;
+        }
+        if rank(cat) > rank(worst) {
+            worst = cat;
+        }
+    }
+    if prev_domain.is_some() {
+        *domain_cats.entry(worst).or_insert(0) += 1;
+    }
+    for (cat, n) in map_cats {
+        funnel.map_categories.insert(cat.to_string(), n);
+    }
+    for (cat, n) in domain_cats {
+        funnel.domain_categories.insert(cat.to_string(), n);
+    }
+    funnel
+}
+
+/// Fold shortlist results into the funnel (candidate, anomalous-route and
+/// per-reason prune counts). Shared by the batch pipeline and the
+/// incremental analyzer.
+pub(crate) fn apply_shortlist_funnel(
+    funnel: &mut FunnelStats,
+    shortlisted: &crate::shortlist::ShortlistOutcome,
+) {
+    funnel.shortlisted = shortlisted.candidates.len();
+    funnel.truly_anomalous = shortlisted
+        .candidates
+        .iter()
+        .filter(|c| c.via_anomalous_route)
+        .count();
+    for (reason, n) in shortlisted.prune_histogram() {
+        funnel.pruned.insert(reason.label().to_string(), n);
     }
 }
 

@@ -118,8 +118,27 @@ impl ReactiveMonitor {
 
         let verdict = match self.baselines.get_mut(&domain) {
             None => {
-                self.baselines.insert(domain.clone(), observed);
-                ReactiveVerdict::BaselineEstablished
+                // First sensitive issuance for this domain. Adopting the
+                // issuance-time delegation blindly would enshrine a
+                // hijacker's nameservers as the baseline if the domain
+                // first enters the stream mid-attack — so the follow-up
+                // probe vets the first observation too: if the delegation
+                // has moved on by then, the issuance-time one was a
+                // transient flip and the *settled* delegation becomes the
+                // baseline.
+                let later: BTreeSet<DomainName> = probe
+                    .probe_delegation(&domain, record.issued + cfg.followup_days)
+                    .into_iter()
+                    .collect();
+                if !later.is_empty() && later.intersection(&observed).next().is_none() {
+                    self.baselines.insert(domain.clone(), later);
+                    ReactiveVerdict::HijackSuspected {
+                        rogue_ns: observed.into_iter().collect(),
+                    }
+                } else {
+                    self.baselines.insert(domain.clone(), observed);
+                    ReactiveVerdict::BaselineEstablished
+                }
             }
             Some(baseline) => {
                 if observed.intersection(baseline).next().is_some() {
@@ -272,20 +291,48 @@ mod tests {
     }
 
     #[test]
-    fn first_issuance_never_alerts() {
-        // Even if the very first sensitive issuance happens during a
-        // hijack, there is no baseline to contradict — the monitor's
-        // honest blind spot.
+    fn first_issuance_on_stable_delegation_establishes_baseline() {
+        // A first sensitive issuance during ordinary operation: the
+        // follow-up probe sees the same delegation, so the monitor just
+        // records the baseline without alerting.
         let mut mon = ReactiveMonitor::new();
         let probe = hijack_probe();
         let a = mon
             .on_issuance(
-                &rec(1, "mail.mfa.gov.kg", 100),
+                &rec(1, "mail.mfa.gov.kg", 10),
                 &probe,
                 &ReactiveConfig::default(),
             )
             .unwrap();
         assert_eq!(a.verdict, ReactiveVerdict::BaselineEstablished);
+    }
+
+    #[test]
+    fn first_issuance_during_hijack_is_caught_by_the_followup_probe() {
+        // Regression: a domain whose first-ever observation *is* the
+        // hijacked delegation. The monitor has no prior baseline, but
+        // the follow-up probe shows the delegation reverting to
+        // something entirely different — the transient flip that marks
+        // a hijack — and the settled (legitimate) delegation becomes
+        // the baseline rather than the rogue one.
+        let mut mon = ReactiveMonitor::new();
+        let cfg = ReactiveConfig::default();
+        let probe = hijack_probe();
+        let a = mon
+            .on_issuance(&rec(1, "mail.mfa.gov.kg", 100), &probe, &cfg)
+            .unwrap();
+        match a.verdict {
+            ReactiveVerdict::HijackSuspected { rogue_ns } => {
+                assert_eq!(rogue_ns, vec![d("ns1.evil.ru")]);
+            }
+            other => panic!("expected hijack, got {other:?}"),
+        }
+        // The baseline now holds the post-revert delegation, so a later
+        // legitimate issuance is consistent — not a false alarm.
+        let a = mon
+            .on_issuance(&rec(2, "mail.mfa.gov.kg", 300), &probe, &cfg)
+            .unwrap();
+        assert_eq!(a.verdict, ReactiveVerdict::Consistent);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::map::{Deployment, DeploymentMap};
 use crate::sources::{query_key, ResilientSource, SourcePolicy};
 use retrodns_asdb::AsDatabase;
 use retrodns_cert::{CertId, Certificate};
-use retrodns_types::{Asn, DomainId, DomainInterner, DomainName, Period, PeriodId};
+use retrodns_types::{Asn, DomainName, Period, PeriodId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 
@@ -169,38 +169,54 @@ pub fn shortlist_guarded(
 ) -> ShortlistOutcome {
     assert_eq!(maps.len(), patterns.len(), "patterns must parallel maps");
     // Per-domain period → (category, transient ASNs) index for the
-    // repeat / truly-anomalous cross-period checks. Domains are interned
-    // to dense ids so the grouping is a flat vector indexed by id and
-    // each map's domain is hashed exactly once.
+    // repeat / truly-anomalous cross-period checks. Only transient maps
+    // ever consult the index (and only for their own domain), and maps
+    // arrive sorted by (domain, period) so a domain's periods are
+    // adjacent — the index is built per contiguous domain run, and only
+    // for runs carrying at least one transient map. Non-transient
+    // domains (the vast majority) cost one adjacent string comparison.
     struct PeriodClass {
         category: &'static str,
         /// ASNs of the transient deployments in this period's map
         /// (empty unless the period classified transient).
         transient_asns: BTreeSet<Asn>,
     }
-    let mut interner = DomainInterner::with_capacity(maps.len());
-    let mut ids: Vec<DomainId> = Vec::with_capacity(maps.len());
+    const UNINDEXED: usize = usize::MAX;
+    let mut ids: Vec<usize> = vec![UNINDEXED; maps.len()];
     let mut by_domain: Vec<HashMap<PeriodId, PeriodClass>> = Vec::new();
-    for (m, p) in maps.iter().zip(patterns) {
-        let id = interner.intern(&m.domain);
-        if id.index() == by_domain.len() {
-            by_domain.push(HashMap::new());
+    let mut start = 0;
+    while start < maps.len() {
+        let domain = &maps[start].domain;
+        let mut end = start + 1;
+        while end < maps.len() && maps[end].domain == *domain {
+            end += 1;
         }
-        let transient_asns = match p {
-            Pattern::Transient { findings, .. } => findings
-                .iter()
-                .map(|f| m.deployments[f.deployment].asn)
-                .collect(),
-            _ => BTreeSet::new(),
-        };
-        by_domain[id.index()].insert(
-            m.period.id,
-            PeriodClass {
-                category: p.category(),
-                transient_asns,
-            },
-        );
-        ids.push(id);
+        if patterns[start..end]
+            .iter()
+            .any(|p| matches!(p, Pattern::Transient { .. }))
+        {
+            let id = by_domain.len();
+            let mut periods = HashMap::with_capacity(end - start);
+            for (m, p) in maps[start..end].iter().zip(&patterns[start..end]) {
+                let transient_asns = match p {
+                    Pattern::Transient { findings, .. } => findings
+                        .iter()
+                        .map(|f| m.deployments[f.deployment].asn)
+                        .collect(),
+                    _ => BTreeSet::new(),
+                };
+                periods.insert(
+                    m.period.id,
+                    PeriodClass {
+                        category: p.category(),
+                        transient_asns,
+                    },
+                );
+            }
+            by_domain.push(periods);
+            ids[start..end].fill(id);
+        }
+        start = end;
     }
 
     // §4.3 prunes on *similar* transients across consecutive periods:
@@ -208,8 +224,8 @@ pub fn shortlist_guarded(
     // transient ASN (a recurring benign visitor), not merely because
     // both happened to classify transient. Two unrelated transients in
     // adjacent periods are two separate one-period runs.
-    let consecutive_transients = |domain: DomainId, pid: PeriodId| -> usize {
-        let periods = &by_domain[domain.index()];
+    let consecutive_transients = |domain: usize, pid: PeriodId| -> usize {
+        let periods = &by_domain[domain];
         let similar = |a: PeriodId, b: PeriodId| -> bool {
             match (periods.get(&a), periods.get(&b)) {
                 (Some(x), Some(y)) => {
@@ -264,7 +280,7 @@ pub fn shortlist_guarded(
 
         // Truly anomalous: a single transient finding, with fully stable
         // periods before and after. Edge periods don't qualify.
-        let neighbors = &by_domain[domain_id.index()];
+        let neighbors = &by_domain[domain_id];
         let stable_at = |id: PeriodId| neighbors.get(&id).map(|c| c.category) == Some("stable");
         let truly_anomalous = findings.len() == 1
             && m.period.id > 0

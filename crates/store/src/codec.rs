@@ -457,6 +457,7 @@ impl Assembler {
                 dict_hash: 0,
                 chunk_hashes: Vec::new(),
                 rows_fp: 0,
+                tail_fp: 0,
             },
             rows: 0,
         }

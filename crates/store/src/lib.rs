@@ -36,6 +36,7 @@ pub use codec::{
     ChunkRef, LossyLoad, StoreManifest, StoreReader, STORE_FORMAT_VERSION, STORE_MAGIC,
 };
 pub use store::{
-    ObsColumns, ObservationStore, StoreBuilder, StoreError, ASN_NONE, CHUNK_ROWS, COUNTRY_NONE,
+    DictCodes, ObsColumns, ObservationStore, StoreBuilder, StoreError, ASN_NONE, CHUNK_ROWS,
+    COUNTRY_NONE,
 };
 pub use view::{rows_fingerprint, rows_footprint_bytes, ObservationView, RowsView};

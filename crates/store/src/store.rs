@@ -20,6 +20,7 @@
 use retrodns_cert::CertId;
 use retrodns_scan::DomainObservation;
 use retrodns_types::{bytes_hash, Asn, CountryCode, Day, DomainName, Interner, Ipv4Addr};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Column sentinel for `asn: None` (unrouted).
@@ -274,6 +275,7 @@ impl StoreBuilder {
             dict_hash: 0,
             chunk_hashes: Vec::new(),
             rows_fp: 0,
+            tail_fp: 0,
         };
         store.seal();
         store
@@ -298,6 +300,41 @@ pub struct ObservationStore {
     pub(crate) dict_hash: u64,
     pub(crate) chunk_hashes: Vec<u64>,
     pub(crate) rows_fp: u64,
+    /// Running [`chunk_hash_parts`] fold over the trailing partial
+    /// chunk's rows ([`CHUNK_INIT`] when the tail is empty), so appends
+    /// continue the tail hash instead of re-folding the whole chunk.
+    /// Deterministic in the store contents, so it is safe in `Eq`.
+    pub(crate) tail_fp: u64,
+}
+
+/// Caller-held interning tables mirroring an [`ObservationStore`]'s
+/// dictionaries, so a streaming caller can run
+/// [`ObservationStore::append_with_codes`] repeatedly without rebuilding
+/// the code maps from the dictionaries on every batch.
+#[derive(Debug, Clone, Default)]
+pub struct DictCodes {
+    pub(crate) domains: HashMap<DomainName, u32>,
+    pub(crate) certs: HashMap<CertId, u32>,
+}
+
+impl DictCodes {
+    /// The code maps of `store`'s current dictionaries.
+    pub fn of(store: &ObservationStore) -> DictCodes {
+        DictCodes {
+            domains: store
+                .domains
+                .iter()
+                .enumerate()
+                .map(|(i, d)| (d.clone(), i as u32))
+                .collect(),
+            certs: store
+                .certs
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (*c, i as u32))
+                .collect(),
+        }
+    }
 }
 
 impl ObservationStore {
@@ -462,6 +499,149 @@ impl ObservationStore {
         self.rows_fp
     }
 
+    /// Append `rows` to the store in stream order — the incremental
+    /// ingestion path. Dictionaries extend append-only (existing codes
+    /// stay stable), so every already-full chunk keeps its content hash:
+    /// only the trailing partial chunk is re-hashed, new chunks are
+    /// hashed once, and the row fingerprint continues the sealed fold
+    /// over just the new rows — O(appended), never O(history). Combined
+    /// with the content-addressed observation checkpoint, a save after an
+    /// append rewrites only the changed tail parts (the manifest delta).
+    ///
+    /// The result is indistinguishable from building a fresh store over
+    /// the concatenated stream. On error (a date outside the epoch
+    /// range) the store is left unchanged. Returns the rows appended.
+    pub fn append(&mut self, rows: &[DomainObservation]) -> Result<usize, StoreError> {
+        let mut codes = DictCodes::of(self);
+        self.append_with_codes(rows, &mut codes)
+    }
+
+    /// [`append`](Self::append) with caller-held dictionary code maps.
+    ///
+    /// `append` rebuilds the domain/cert interning tables from the
+    /// dictionaries on every call — O(dictionary), which dwarfs a small
+    /// weekly batch. A streaming caller holds a [`DictCodes`] (seeded
+    /// with [`DictCodes::of`]) across appends instead and pays only for
+    /// the new rows. `codes` must describe this store's dictionaries; it
+    /// is updated in place as the batch introduces new entries, and left
+    /// untouched when the batch is rejected.
+    pub fn append_with_codes(
+        &mut self,
+        rows: &[DomainObservation],
+        codes: &mut DictCodes,
+    ) -> Result<usize, StoreError> {
+        debug_assert_eq!(codes.domains.len(), self.domains.len());
+        debug_assert_eq!(codes.certs.len(), self.certs.len());
+        // Validate up front so a mid-batch failure cannot leave the
+        // columns partially extended.
+        for o in rows {
+            o.date
+                .0
+                .checked_sub(self.epoch.0)
+                .filter(|d| *d <= u16::MAX as u32)
+                .ok_or(StoreError::DayRange {
+                    day: o.date.0,
+                    epoch: self.epoch.0,
+                })?;
+        }
+        let old_len = self.len();
+        let domain_codes = &mut codes.domains;
+        let cert_codes = &mut codes.certs;
+        let mut fp = self.rows_fp;
+        // The trailing partial chunk's hash (if any) is stale the moment
+        // a row lands in it; its fold state lives on in `tail` and is
+        // re-pushed below — already-full chunks keep their hashes and
+        // the appended rows are folded exactly once, O(appended).
+        let mut tail = self.tail_fp;
+        if !old_len.is_multiple_of(CHUNK_ROWS) {
+            self.chunk_hashes.pop();
+        }
+        for o in rows {
+            let row = self.domain_id.len();
+            // `get` first: the common case is a known domain, which must
+            // not pay for an owned `entry` key.
+            let dom = match domain_codes.get(&o.domain) {
+                Some(&code) => code,
+                None => {
+                    self.domains.push(o.domain.clone());
+                    let code = self.domains.len() as u32 - 1;
+                    domain_codes.insert(o.domain.clone(), code);
+                    code
+                }
+            };
+            let cert = *cert_codes.entry(o.cert).or_insert_with(|| {
+                self.certs.push(o.cert);
+                self.certs.len() as u32 - 1
+            });
+            let day = (o.date.0 - self.epoch.0) as u16;
+            let asn = o.asn.map(|a| a.0).unwrap_or(ASN_NONE);
+            let country = o
+                .country
+                .map(|c| {
+                    let b = c.as_str().as_bytes();
+                    u16::from_be_bytes([b[0], b[1]])
+                })
+                .unwrap_or(COUNTRY_NONE);
+            self.domain_id.push(dom);
+            self.day.push(day);
+            self.ip.push(o.ip.0);
+            self.asn.push(asn);
+            self.country.push(country);
+            self.cert.push(cert);
+            if row.is_multiple_of(64) {
+                self.trusted.push(0);
+            }
+            if o.trusted {
+                self.trusted[row / 64] |= 1 << (row % 64);
+            }
+            // Continue the tail chunk's content-hash fold — the same
+            // value sequence [`chunk_hash_parts`] visits.
+            for v in [
+                dom as u64,
+                day as u64,
+                o.ip.0 as u64,
+                asn as u64,
+                country as u64,
+                cert as u64,
+                o.trusted as u64,
+            ] {
+                tail = tail.wrapping_mul(131).wrapping_add(v);
+            }
+            if (row + 1).is_multiple_of(CHUNK_ROWS) {
+                self.chunk_hashes.push(tail);
+                tail = chunk_hash_init();
+            }
+            // Continue the sealed fingerprint fold — identical to
+            // `compute_rows_fp` restricted to the appended suffix.
+            let mut fold = |v: u64| fp = fp.wrapping_mul(131).wrapping_add(v);
+            fold(bytes_hash(o.domain.as_str().as_bytes()));
+            fold(o.date.0 as u64);
+            fold(o.ip.0 as u64);
+            fold(o.asn.map(|a| 1 + a.0 as u64).unwrap_or(0));
+            fold(
+                o.country
+                    .map(|c| bytes_hash(c.as_str().as_bytes()))
+                    .unwrap_or(0),
+            );
+            fold(o.cert.0);
+            fold(o.trusted as u64);
+        }
+        self.rows_fp = fp;
+        if !self.len().is_multiple_of(CHUNK_ROWS) {
+            self.chunk_hashes.push(tail);
+        }
+        self.tail_fp = tail;
+        debug_assert!(
+            self.is_empty() || {
+                let c = self.n_chunks() - 1;
+                let lo = c * CHUNK_ROWS;
+                self.chunk_hashes[c] == self.chunk_content_hash(lo, self.len().min(lo + CHUNK_ROWS))
+            }
+        );
+        self.dict_hash = self.compute_dict_hash();
+        Ok(rows.len())
+    }
+
     /// In-memory bytes held by columns and dictionaries (element counts ×
     /// widths plus dictionary heap; excludes `Vec` over-allocation).
     pub fn footprint_bytes(&self) -> usize {
@@ -492,6 +672,14 @@ impl ObservationStore {
                 self.chunk_content_hash(lo, hi)
             })
             .collect();
+        self.tail_fp = if self.len().is_multiple_of(CHUNK_ROWS) {
+            chunk_hash_init()
+        } else {
+            *self
+                .chunk_hashes
+                .last()
+                .expect("partial tail chunk is hashed")
+        };
         self.rows_fp = self.compute_rows_fp();
     }
 
@@ -562,6 +750,13 @@ impl ObservationStore {
 
 /// The per-chunk content-hash fold, shared by the sealed store and the
 /// decoder (which must verify a chunk *before* splicing it in).
+/// Initial state of the chunk content-hash fold — the hash of an empty
+/// chunk, and the seed [`ObservationStore::append_with_codes`] resumes
+/// the trailing partial chunk's fold from.
+pub(crate) fn chunk_hash_init() -> u64 {
+    bytes_hash(b"retrodns-store-chunk-v1")
+}
+
 pub(crate) fn chunk_hash_parts(
     domain_id: &[u32],
     day: &[u16],
@@ -571,7 +766,7 @@ pub(crate) fn chunk_hash_parts(
     cert: &[u32],
     trusted: impl Fn(usize) -> bool,
 ) -> u64 {
-    let mut h = bytes_hash(b"retrodns-store-chunk-v1");
+    let mut h = chunk_hash_init();
     let mut fold = |v: u64| h = h.wrapping_mul(131).wrapping_add(v);
     for i in 0..domain_id.len() {
         fold(domain_id[i] as u64);
@@ -713,6 +908,94 @@ mod tests {
         edited[3].trusted = false;
         let c = ObservationStore::from_observations(&edited).unwrap();
         assert_ne!(a.chunk_hashes(), c.chunk_hashes());
+    }
+
+    #[test]
+    fn append_equals_batch_build() {
+        let head: Vec<_> = (0..5).map(|i| obs("a.com", i, i, Some(1), true)).collect();
+        let tail = vec![
+            obs("b.com", 6, 9, None, false), // new domain, new cert
+            obs("a.com", 7, 2, Some(2), true),
+        ];
+        let mut store = ObservationStore::from_observations(&head).unwrap();
+        assert_eq!(store.append(&tail).unwrap(), 2);
+        let all: Vec<_> = head.iter().chain(&tail).cloned().collect();
+        let batch = ObservationStore::from_observations(&all).unwrap();
+        assert_eq!(
+            store, batch,
+            "append must be indistinguishable from rebuild"
+        );
+        assert_eq!(store.fingerprint(), crate::view::rows_fingerprint(&all));
+    }
+
+    #[test]
+    fn append_with_cached_codes_equals_repeated_append() {
+        let head: Vec<_> = (0..5).map(|i| obs("a.com", i, i, Some(1), true)).collect();
+        let batches = [
+            vec![obs("b.com", 6, 9, None, false)],
+            vec![
+                obs("a.com", 7, 2, Some(2), true),
+                obs("c.com", 7, 3, Some(3), true),
+            ],
+        ];
+        let mut cached = ObservationStore::from_observations(&head).unwrap();
+        let mut rebuilt = cached.clone();
+        let mut codes = DictCodes::of(&cached);
+        for batch in &batches {
+            cached.append_with_codes(batch, &mut codes).unwrap();
+            rebuilt.append(batch).unwrap();
+        }
+        assert_eq!(cached, rebuilt, "cached codes changed the append result");
+        // The carried codes still mirror the dictionaries exactly.
+        let fresh = DictCodes::of(&cached);
+        assert_eq!(codes.domains, fresh.domains);
+        assert_eq!(codes.certs, fresh.certs);
+    }
+
+    #[test]
+    fn append_keeps_full_chunk_hashes_stable() {
+        let head: Vec<_> = (0..CHUNK_ROWS as u32 + 10)
+            .map(|i| obs("a.com", i % 300, i, Some(1), true))
+            .collect();
+        let mut store = ObservationStore::from_observations(&head).unwrap();
+        let sealed_first = store.chunk_hashes()[0];
+        let tail: Vec<_> = (0..CHUNK_ROWS as u32 + 10)
+            .map(|i| obs("b.com", i % 300, i, Some(2), false))
+            .collect();
+        store.append(&tail).unwrap();
+        let all: Vec<_> = head.iter().chain(&tail).cloned().collect();
+        let batch = ObservationStore::from_observations(&all).unwrap();
+        assert_eq!(store, batch);
+        assert_eq!(
+            store.chunk_hashes()[0],
+            sealed_first,
+            "chunks before the append point keep their content address"
+        );
+        assert_eq!(store.n_chunks(), 3);
+    }
+
+    #[test]
+    fn append_grows_dictionaries_with_stable_codes() {
+        let mut store =
+            ObservationStore::from_observations(&[obs("a.com", 1, 1, Some(1), true)]).unwrap();
+        store.append(&[obs("b.com", 2, 2, Some(1), true)]).unwrap();
+        assert_eq!(store.domains()[0].as_str(), "a.com");
+        assert_eq!(store.domains()[1].as_str(), "b.com");
+        assert_eq!(store.domain_code(0), 0);
+        assert_eq!(store.domain_code(1), 1);
+    }
+
+    #[test]
+    fn append_error_leaves_store_unchanged() {
+        let mut store =
+            ObservationStore::from_observations(&[obs("a.com", 1, 1, Some(1), true)]).unwrap();
+        let before = store.clone();
+        let bad = vec![
+            obs("b.com", 2, 2, Some(1), true),
+            obs("c.com", u16::MAX as u32 + 1, 3, None, false),
+        ];
+        assert!(store.append(&bad).is_err());
+        assert_eq!(store, before, "failed append must not partially apply");
     }
 
     #[test]

@@ -13,6 +13,9 @@ cargo test -q
 echo "==> cargo test --test metrics (funnel reconciliation + schema)"
 cargo test -q --test metrics
 
+echo "==> cargo test --test streaming_equivalence (week-at-a-time == batch, byte-identical)"
+cargo test -q --release --test streaming_equivalence
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
@@ -28,5 +31,9 @@ cargo run --release -p retrodns-bench --bin experiments -- --scale quick --worke
 echo "==> memory trajectory (100k/1M streamed; 24 B/obs + 3.0x reduction gates)"
 cargo run --release -p retrodns-bench --bin experiments -- --max-obs 1000000 \
     --max-bytes-per-obs 24.0 --min-mem-reduction 3.0 mem
+
+echo "==> stream smoke (week ingest vs full re-analysis at 20 weeks; 5.0x gate)"
+cargo run --release -p retrodns-bench --bin experiments -- --stream-weeks 20 \
+    --min-stream-speedup 5.0 --reps 5 stream
 
 echo "tier-1 verification passed"

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! retrodns simulate --out DIR [--seed N] [--domains N]   write a world's data sets as JSON
-//! retrodns analyze  --data DIR [--dnssec-signal] [--score]
+//! retrodns analyze  --data DIR [--dnssec-signal] [--score] [--stream]
 //!                   [--checkpoint-dir DIR [--resume]]    run the pipeline over them
 //!                   [--metrics-out PATH [--metrics-format json|prom]] [--trace]
 //!                   [--source-deadline-ms N] [--source-retries N] [--allow-degraded]
@@ -22,6 +22,7 @@ use retrodns::core::metrics::{CountingAlloc, MetricsRegistry};
 use retrodns::core::pipeline::{AnalystInputs, Pipeline, PipelineConfig};
 use retrodns::core::report::{render_table2, render_table3, DomainInfo};
 use retrodns::core::score_detection;
+use retrodns::core::IncrementalAnalyzer;
 use retrodns::core::SourcePolicy;
 use retrodns::dns::{DnssecArchive, PassiveDns};
 use retrodns::scan::ScanDataset;
@@ -170,6 +171,7 @@ fn analyze(
     dir: &Path,
     dnssec_signal: bool,
     score: bool,
+    stream: bool,
     ckpt: Option<CheckpointOpts>,
     metrics_opts: MetricsOpts,
     source_opts: SourceOpts,
@@ -203,26 +205,30 @@ fn analyze(
         source_faults: None,
     };
     let mut metrics = MetricsRegistry::with_trace(metrics_opts.trace);
-    let report = match &ckpt {
-        None => pipeline.run_metered(&inputs, &mut metrics),
-        Some(opts) => {
-            let mut store = retrodns::core::CheckpointStore::open(&opts.dir)
-                .map_err(|e| format!("{}: {e}", opts.dir.display()))?;
-            if !opts.resume {
-                store.clear().map_err(|e| e.to_string())?;
+    let report = if stream {
+        stream_analyze(&pipeline, &observations, &inputs, &ckpt, &mut metrics)?
+    } else {
+        match &ckpt {
+            None => pipeline.run_metered(&inputs, &mut metrics),
+            Some(opts) => {
+                let mut store = retrodns::core::CheckpointStore::open(&opts.dir)
+                    .map_err(|e| format!("{}: {e}", opts.dir.display()))?;
+                if !opts.resume {
+                    store.clear().map_err(|e| e.to_string())?;
+                }
+                let report = pipeline.run_resumable_metered(&inputs, &mut store, &mut metrics);
+                eprintln!(
+                    "checkpoints in {}: resumed {:?}, computed {:?}",
+                    opts.dir.display(),
+                    store.resumed,
+                    store.computed
+                );
+                // Archive the report beside the stage snapshots: the
+                // artifact a resumed run must reproduce byte-for-byte.
+                let json = serde_json::to_string_pretty(&report).expect("report serializes");
+                std::fs::write(opts.dir.join("report.json"), json).map_err(|e| e.to_string())?;
+                report
             }
-            let report = pipeline.run_resumable_metered(&inputs, &mut store, &mut metrics);
-            eprintln!(
-                "checkpoints in {}: resumed {:?}, computed {:?}",
-                opts.dir.display(),
-                store.resumed,
-                store.computed
-            );
-            // Archive the report beside the stage snapshots: the artifact
-            // a resumed run must reproduce byte-for-byte.
-            let json = serde_json::to_string_pretty(&report).expect("report serializes");
-            std::fs::write(opts.dir.join("report.json"), json).map_err(|e| e.to_string())?;
-            report
         }
     };
     if let Some(path) = &metrics_opts.out {
@@ -307,6 +313,83 @@ fn analyze(
     Ok(())
 }
 
+/// `analyze --stream`: slice the observations into per-scan-date batches
+/// and feed them through an [`IncrementalAnalyzer`] oldest-first,
+/// narrating each week's verdict delta. With `--checkpoint-dir` the
+/// analyzer checkpoints after every week, and `--resume` picks the
+/// stream back up from the last completed week instead of restarting —
+/// the final report is byte-identical to the batch run either way.
+fn stream_analyze(
+    pipeline: &Pipeline,
+    observations: &[retrodns::scan::DomainObservation],
+    inputs: &AnalystInputs,
+    ckpt: &Option<CheckpointOpts>,
+    metrics: &mut MetricsRegistry,
+) -> Result<retrodns::core::pipeline::Report, String> {
+    use std::collections::BTreeMap;
+
+    let mut by_date: BTreeMap<retrodns::types::Day, Vec<retrodns::scan::DomainObservation>> =
+        BTreeMap::new();
+    for o in observations {
+        by_date.entry(o.date).or_default().push(o.clone());
+    }
+    let store = match ckpt {
+        Some(opts) => {
+            let mut store = retrodns::core::CheckpointStore::open(&opts.dir)
+                .map_err(|e| format!("{}: {e}", opts.dir.display()))?;
+            if !opts.resume {
+                store.clear().map_err(|e| e.to_string())?;
+            }
+            Some(store)
+        }
+        None => None,
+    };
+    let resumable = ckpt.as_ref().is_some_and(|o| o.resume);
+    let mut analyzer = store
+        .as_ref()
+        .filter(|_| resumable)
+        .and_then(|s| IncrementalAnalyzer::resume(pipeline.config.clone(), s))
+        .unwrap_or_else(|| IncrementalAnalyzer::new(pipeline.config.clone()));
+    if analyzer.weeks() > 0 {
+        eprintln!(
+            "resumed from checkpoint: {} weeks already ingested",
+            analyzer.weeks()
+        );
+    }
+    let total = by_date.len();
+    for (i, (date, batch)) in by_date.into_iter().enumerate() {
+        // Weeks a resumed analyzer has already seen are skipped; the
+        // per-date slicing is deterministic, so week i is week i again.
+        if (i as u32) < analyzer.weeks() {
+            continue;
+        }
+        let delta = analyzer.ingest_week_metered(&batch, inputs, metrics);
+        if delta.has_verdict_changes() {
+            eprintln!(
+                "week {:>3}/{} ({date}): +{} hijacked -{} hijacked, +{} targeted -{} targeted",
+                delta.week + 1,
+                total,
+                delta.hijacked_upserts.len(),
+                delta.hijacked_removed.len(),
+                delta.targeted_upserts.len(),
+                delta.targeted_removed.len()
+            );
+        }
+        if let Some(s) = &store {
+            analyzer.checkpoint(s).map_err(|e| e.to_string())?;
+        }
+    }
+    eprintln!("streamed {total} weeks");
+    let report = analyzer.report().clone();
+    if let Some(opts) = ckpt {
+        // Same archive the batch checkpoint path writes: the artifact a
+        // resumed stream must reproduce byte-for-byte.
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(opts.dir.join("report.json"), json).map_err(|e| e.to_string())?;
+    }
+    Ok(report)
+}
+
 fn info(dir: &Path) -> Result<(), String> {
     let data = load_data(dir)?;
     println!("data sets in {}:", dir.display());
@@ -330,7 +413,7 @@ fn info(dir: &Path) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  retrodns simulate --out DIR [--seed N] [--domains N]\n  retrodns analyze --data DIR [--dnssec-signal] [--score] [--checkpoint-dir DIR [--resume]]\n                   [--metrics-out PATH [--metrics-format json|prom]] [--trace]\n                   [--source-deadline-ms N] [--source-retries N] [--allow-degraded]\n  retrodns info --data DIR"
+    "usage:\n  retrodns simulate --out DIR [--seed N] [--domains N]\n  retrodns analyze --data DIR [--dnssec-signal] [--score] [--stream] [--checkpoint-dir DIR [--resume]]\n                   [--metrics-out PATH [--metrics-format json|prom]] [--trace]\n                   [--source-deadline-ms N] [--source-retries N] [--allow-degraded]\n  retrodns info --data DIR"
 }
 
 fn main() -> ExitCode {
@@ -345,6 +428,7 @@ fn main() -> ExitCode {
     let mut domains: usize = 20_000;
     let mut dnssec_signal = false;
     let mut score = false;
+    let mut stream = false;
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut resume = false;
     let mut metrics_out: Option<PathBuf> = None;
@@ -391,6 +475,7 @@ fn main() -> ExitCode {
             }
             "--dnssec-signal" => dnssec_signal = true,
             "--score" => score = true,
+            "--stream" => stream = true,
             "--source-deadline-ms" => {
                 source_policy.deadline_ms = match it.next().and_then(|v| v.parse().ok()) {
                     Some(v) => v,
@@ -436,7 +521,15 @@ fn main() -> ExitCode {
                         policy: source_policy,
                         allow_degraded,
                     };
-                    analyze(&dir, dnssec_signal, score, ckpt, metrics_opts, source_opts)
+                    analyze(
+                        &dir,
+                        dnssec_signal,
+                        score,
+                        stream,
+                        ckpt,
+                        metrics_opts,
+                        source_opts,
+                    )
                 }
             }
             None => Err("analyze requires --data DIR".into()),

@@ -4,9 +4,8 @@
 
 mod common;
 
-use common::{observations_of, pipeline_for, small_world};
+use common::{observations_of, pipeline_for, small_world, InputsBuilder};
 use retrodns::cert::CrtShIndex;
-use retrodns::core::pipeline::AnalystInputs;
 use retrodns::dns::PassiveDns;
 use retrodns::scan::ScanDataset;
 use retrodns::sim::SimConfig;
@@ -21,15 +20,13 @@ fn no_pdns_no_ct_means_no_hijack_verdicts() {
     let observations = observations_of(&world);
     let empty_pdns = PassiveDns::new();
     let empty_crtsh = CrtShIndex::default();
-    let report = pipeline_for(&world).run(&AnalystInputs {
-        observations: &observations,
-        asdb: &world.geo.asdb,
-        certs: &world.certs,
-        pdns: &empty_pdns,
-        crtsh: &empty_crtsh,
-        dnssec: None,
-        source_faults: None,
-    });
+    let report = pipeline_for(&world).run(
+        &InputsBuilder::new(&world, &observations)
+            .pdns(&empty_pdns)
+            .crtsh(&empty_crtsh)
+            .no_dnssec()
+            .build(),
+    );
     assert!(
         report.hijacked.is_empty(),
         "hijack verdicts without any corroborating source: {:?}",
@@ -42,15 +39,7 @@ fn no_pdns_no_ct_means_no_hijack_verdicts() {
 #[test]
 fn empty_scan_dataset_is_handled() {
     let world = small_world(102);
-    let report = pipeline_for(&world).run(&AnalystInputs {
-        observations: &RowsView(&[]),
-        asdb: &world.geo.asdb,
-        certs: &world.certs,
-        pdns: &world.pdns,
-        crtsh: &world.crtsh,
-        dnssec: Some(&world.dnssec),
-        source_faults: None,
-    });
+    let report = pipeline_for(&world).run(&InputsBuilder::new(&world, &RowsView(&[])).build());
     assert_eq!(report.funnel.maps_total, 0);
     assert!(report.hijacked.is_empty());
     assert!(report.targeted.is_empty());
@@ -72,15 +61,7 @@ fn truncated_scan_history_degrades_gracefully() {
             .collect(),
     );
     let observations = world.observations(&truncated);
-    let report = pipeline_for(&world).run(&AnalystInputs {
-        observations: &observations,
-        asdb: &world.geo.asdb,
-        certs: &world.certs,
-        pdns: &world.pdns,
-        crtsh: &world.crtsh,
-        dnssec: Some(&world.dnssec),
-        source_faults: None,
-    });
+    let report = pipeline_for(&world).run(&InputsBuilder::new(&world, &observations).build());
     for h in &report.hijacked {
         assert!(
             world.ground_truth.is_attacked(&h.domain),
@@ -96,15 +77,7 @@ fn extreme_scan_loss_reduces_recall_not_precision() {
     config.scan_miss_rate = 0.6; // 60% probe loss
     let world = World::build(config);
     let observations = observations_of(&world);
-    let report = pipeline_for(&world).run(&AnalystInputs {
-        observations: &observations,
-        asdb: &world.geo.asdb,
-        certs: &world.certs,
-        pdns: &world.pdns,
-        crtsh: &world.crtsh,
-        dnssec: Some(&world.dnssec),
-        source_faults: None,
-    });
+    let report = pipeline_for(&world).run(&InputsBuilder::new(&world, &observations).build());
     for h in &report.hijacked {
         assert!(
             world.ground_truth.is_attacked(&h.domain),
@@ -124,15 +97,11 @@ fn missing_cert_contents_are_tolerated() {
     let empty_certs = std::collections::HashMap::new();
     // With no cert contents at all, validation quarantines every record
     // (nothing can be corroborated) rather than analyzing blind.
-    let report = pipeline_for(&world).run(&AnalystInputs {
-        observations: &observations,
-        asdb: &world.geo.asdb,
-        certs: &empty_certs,
-        pdns: &world.pdns,
-        crtsh: &world.crtsh,
-        dnssec: Some(&world.dnssec),
-        source_faults: None,
-    });
+    let report = pipeline_for(&world).run(
+        &InputsBuilder::new(&world, &observations)
+            .certs(&empty_certs)
+            .build(),
+    );
     for h in &report.hijacked {
         assert!(world.ground_truth.is_attacked(&h.domain));
     }
@@ -158,15 +127,11 @@ fn faulted_inputs_are_quarantined_and_counted() {
         ],
     };
     let damaged = plan.apply_world(&world);
-    let report = pipeline_for(&world).run(&AnalystInputs {
-        observations: &damaged.observations,
-        asdb: &world.geo.asdb,
-        certs: &world.certs,
-        pdns: &damaged.pdns,
-        crtsh: &world.crtsh,
-        dnssec: Some(&world.dnssec),
-        source_faults: None,
-    });
+    let report = pipeline_for(&world).run(
+        &InputsBuilder::new(&world, &damaged.observations)
+            .pdns(&damaged.pdns)
+            .build(),
+    );
     let q = &report.funnel.quarantined;
     assert!(
         q.get("unknown-cert").copied().unwrap_or(0) > 0,
@@ -202,15 +167,11 @@ fn source_outage_degrades_instead_of_dying() {
         ] {
             let plan = SourceFaultPlan::outage(0xDE6, source, kind);
             let run = || {
-                pipeline_for(&world).run(&AnalystInputs {
-                    observations: &observations,
-                    asdb: &world.geo.asdb,
-                    certs: &world.certs,
-                    pdns: &world.pdns,
-                    crtsh: &world.crtsh,
-                    dnssec: Some(&world.dnssec),
-                    source_faults: Some(&plan),
-                })
+                pipeline_for(&world).run(
+                    &InputsBuilder::new(&world, &observations)
+                        .source_faults(&plan)
+                        .build(),
+                )
             };
             let report = run();
             assert!(
@@ -251,15 +212,11 @@ fn latency_spikes_keep_precision() {
     let world = small_world(108);
     let observations = observations_of(&world);
     let plan = SourceFaultPlan::outage(0xDE7, "pdns", SourceFaultKind::LatencySpike);
-    let report = pipeline_for(&world).run(&AnalystInputs {
-        observations: &observations,
-        asdb: &world.geo.asdb,
-        certs: &world.certs,
-        pdns: &world.pdns,
-        crtsh: &world.crtsh,
-        dnssec: Some(&world.dnssec),
-        source_faults: Some(&plan),
-    });
+    let report = pipeline_for(&world).run(
+        &InputsBuilder::new(&world, &observations)
+            .source_faults(&plan)
+            .build(),
+    );
     for h in &report.hijacked {
         assert!(
             world.ground_truth.is_attacked(&h.domain),
@@ -284,14 +241,10 @@ fn idle_injector_changes_nothing_at_any_worker_count() {
         kind: SourceFaultKind::ErrorBurst,
         rate_pct: 0,
     };
-    let inputs = |faults| AnalystInputs {
-        observations: &observations,
-        asdb: &world.geo.asdb,
-        certs: &world.certs,
-        pdns: &world.pdns,
-        crtsh: &world.crtsh,
-        dnssec: Some(&world.dnssec),
-        source_faults: faults,
+    let inputs = |faults| {
+        InputsBuilder::new(&world, &observations)
+            .maybe_source_faults(faults)
+            .build()
     };
     let baseline = serde_json::to_string_pretty(&pipeline_for(&world).run(&inputs(None))).unwrap();
     for workers in [1, 2, 8] {

@@ -2,7 +2,9 @@
 //! API contract (datasets, reports and configs must be archivable), so
 //! every major structure must survive a JSON round-trip unchanged.
 
-use retrodns::core::pipeline::{AnalystInputs, Pipeline, PipelineConfig, Report};
+mod common;
+
+use retrodns::core::pipeline::{PipelineConfig, Report};
 use retrodns::scan::ScanDataset;
 use retrodns::sim::{GroundTruth, SimConfig, World};
 use retrodns::types::{Asn, Day, DomainName, Ipv4Addr, Ipv4Prefix, StudyWindow};
@@ -42,21 +44,9 @@ fn scan_dataset_round_trips() {
 #[test]
 fn report_and_ground_truth_round_trip() {
     let world = World::build(SimConfig::small(201));
-    let dataset = world.scan();
-    let observations = world.observations(&dataset);
-    let pipeline = Pipeline::new(PipelineConfig {
-        window: world.config.window.clone(),
-        ..PipelineConfig::default()
-    });
-    let report = pipeline.run(&AnalystInputs {
-        observations: &observations,
-        asdb: &world.geo.asdb,
-        certs: &world.certs,
-        pdns: &world.pdns,
-        crtsh: &world.crtsh,
-        dnssec: Some(&world.dnssec),
-        source_faults: None,
-    });
+    let observations = common::observations_of(&world);
+    let pipeline = common::pipeline_for(&world);
+    let report = pipeline.run(&common::InputsBuilder::new(&world, &observations).build());
     let back: Report = roundtrip(&report);
     assert_eq!(back.hijacked_domains(), report.hijacked_domains());
     assert_eq!(back.targeted_domains(), report.targeted_domains());

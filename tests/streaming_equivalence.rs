@@ -1,0 +1,225 @@
+//! Streaming ↔ batch equivalence: ingesting N scan-weeks one at a time
+//! through [`IncrementalAnalyzer`] must yield a report byte-identical
+//! (as JSON) to batch-analyzing all N weeks at once — at any worker
+//! count, with or without killing and resuming the analyzer from
+//! checkpoints between weeks — and the per-week [`WeekDelta`]s must
+//! compose back into the final report without losing or duplicating a
+//! verdict change.
+
+mod common;
+
+use common::{week_slices, world_up_to_week, InputsBuilder};
+use proptest::prelude::*;
+use retrodns::core::checkpoint::CheckpointStore;
+use retrodns::core::incremental::{IncrementalAnalyzer, WeekDelta};
+use retrodns::core::pipeline::{Pipeline, PipelineConfig, Report};
+use retrodns::scan::DomainObservation;
+use retrodns::sim::World;
+use retrodns::store::RowsView;
+
+/// Worker counts the byte-identity contract is pinned at.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn config_for(world: &World, workers: usize) -> PipelineConfig {
+    PipelineConfig {
+        window: world.config.window.clone(),
+        workers,
+        ..PipelineConfig::default()
+    }
+}
+
+fn report_json(report: &Report) -> String {
+    serde_json::to_string_pretty(report).expect("report serializes")
+}
+
+/// Stream every week through one analyzer, returning the final report
+/// and the per-week deltas.
+fn stream_weeks(
+    world: &World,
+    observations: &[DomainObservation],
+    workers: usize,
+) -> (Report, Vec<WeekDelta>) {
+    let view = RowsView(observations);
+    let inputs = InputsBuilder::new(world, &view).build();
+    let mut analyzer = IncrementalAnalyzer::new(config_for(world, workers));
+    let deltas: Vec<WeekDelta> = week_slices(observations)
+        .iter()
+        .map(|week| analyzer.ingest_week(week, &inputs))
+        .collect();
+    (analyzer.report().clone(), deltas)
+}
+
+#[test]
+fn streaming_equals_batch_on_the_quick_fixture() {
+    // 130 weeks of the golden seed: the first attack campaign (days
+    // 300–900) has concluded, so the pipeline issues real verdicts and
+    // the stream produces real verdict deltas.
+    let (world, observations) = world_up_to_week(101, 130);
+    let view = RowsView(&observations);
+    let inputs = InputsBuilder::new(&world, &view).build();
+    let batch = Pipeline::new(config_for(&world, 1)).run(&inputs);
+    let (streamed, deltas) = stream_weeks(&world, &observations, 1);
+    assert_eq!(
+        report_json(&streamed),
+        report_json(&batch),
+        "one-week-at-a-time ingestion diverged from the batch report"
+    );
+    assert!(
+        !batch.hijacked.is_empty() || !batch.targeted.is_empty(),
+        "fixture too short to exercise verdicts — move the truncation point"
+    );
+    // The verdicts appeared *during* the stream, not only at the end:
+    // some mid-stream delta carries the first upsert.
+    let first_change = deltas.iter().find(|d| d.has_verdict_changes());
+    assert!(
+        first_change.is_some(),
+        "verdicts in the final report but no delta ever carried a change"
+    );
+}
+
+#[test]
+fn streaming_matches_batch_at_every_worker_count() {
+    let (world, observations) = world_up_to_week(101, 130);
+    let view = RowsView(&observations);
+    let inputs = InputsBuilder::new(&world, &view).build();
+    let baseline = report_json(&Pipeline::new(config_for(&world, 1)).run(&inputs));
+    for workers in [1usize, 2, 8] {
+        let batch = Pipeline::new(config_for(&world, workers)).run(&inputs);
+        assert_eq!(
+            report_json(&batch),
+            baseline,
+            "batch report changed at workers={workers}"
+        );
+        let (streamed, _) = stream_weeks(&world, &observations, workers);
+        assert_eq!(
+            report_json(&streamed),
+            baseline,
+            "streamed report diverged at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn kill_and_resume_between_every_week_is_invisible() {
+    let (world, observations) = world_up_to_week(101, 130);
+    let view = RowsView(&observations);
+    let inputs = InputsBuilder::new(&world, &view).build();
+    let batch = report_json(&Pipeline::new(config_for(&world, 1)).run(&inputs));
+
+    let dir = std::env::temp_dir().join(format!("retrodns-stream-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::open(&dir).expect("open checkpoint dir");
+    for (i, week) in week_slices(&observations).iter().enumerate() {
+        // A brand-new analyzer every week: everything it knows about
+        // weeks 0..i must come back from the checkpoint layer.
+        let mut analyzer = IncrementalAnalyzer::resume(config_for(&world, 1), &store)
+            .unwrap_or_else(|| IncrementalAnalyzer::new(config_for(&world, 1)));
+        assert_eq!(analyzer.weeks(), i as u32, "resume lost ingested weeks");
+        analyzer.ingest_week(week, &inputs);
+        analyzer.checkpoint(&store).expect("checkpoint write");
+    }
+    let finished =
+        IncrementalAnalyzer::resume(config_for(&world, 1), &store).expect("final state resumes");
+    assert_eq!(
+        report_json(finished.report()),
+        batch,
+        "kill-and-resume streaming diverged from the batch report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn week_deltas_compose_into_the_final_report() {
+    let (world, observations) = world_up_to_week(101, 130);
+    let (final_report, deltas) = stream_weeks(&world, &observations, 1);
+    // Replay every delta over an empty (pre-week-0) report.
+    let mut replayed = Report::default();
+    for d in &deltas {
+        d.apply(&mut replayed);
+    }
+    assert_eq!(
+        report_json(&replayed),
+        report_json(&final_report),
+        "replaying the delta stream lost or duplicated a verdict change"
+    );
+}
+
+proptest! {
+    // Each case builds a world and runs both paths — keep the case
+    // count small; the matrix below still covers seeds × lengths ×
+    // worker counts.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn streaming_equals_batch_for_random_prefixes(
+        seed in 0xAC0u64..0xAC5,
+        weeks in 3usize..12,
+        worker_i in 0usize..3,
+    ) {
+        let workers = WORKER_COUNTS[worker_i];
+        let (world, observations) = world_up_to_week(seed, weeks);
+        let view = RowsView(&observations);
+        let inputs = InputsBuilder::new(&world, &view).build();
+        let batch = Pipeline::new(config_for(&world, workers)).run(&inputs);
+        let (streamed, _) = stream_weeks(&world, &observations, workers);
+        prop_assert_eq!(
+            report_json(&streamed),
+            report_json(&batch),
+            "streaming diverged for seed={} weeks={} workers={}",
+            seed, weeks, workers
+        );
+    }
+
+    #[test]
+    fn deltas_compose_for_random_prefixes(
+        seed in 0xAC0u64..0xAC5,
+        weeks in 3usize..12,
+    ) {
+        let (world, observations) = world_up_to_week(seed, weeks);
+        let (final_report, deltas) = stream_weeks(&world, &observations, 1);
+        let mut replayed = Report::default();
+        for d in &deltas {
+            d.apply(&mut replayed);
+        }
+        prop_assert_eq!(
+            report_json(&replayed),
+            report_json(&final_report),
+            "delta replay diverged for seed={} weeks={}",
+            seed, weeks
+        );
+    }
+
+    #[test]
+    fn kill_and_resume_equals_batch_for_random_prefixes(
+        seed in 0xAC0u64..0xAC5,
+        weeks in 3usize..10,
+        worker_i in 0usize..3,
+    ) {
+        let workers = WORKER_COUNTS[worker_i];
+        let (world, observations) = world_up_to_week(seed, weeks);
+        let view = RowsView(&observations);
+        let inputs = InputsBuilder::new(&world, &view).build();
+        let batch = Pipeline::new(config_for(&world, workers)).run(&inputs);
+        let dir = std::env::temp_dir().join(format!(
+            "retrodns-stream-prop-{}-{seed}-{weeks}-{workers}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).expect("open checkpoint dir");
+        for week in week_slices(&observations) {
+            let mut analyzer = IncrementalAnalyzer::resume(config_for(&world, workers), &store)
+                .unwrap_or_else(|| IncrementalAnalyzer::new(config_for(&world, workers)));
+            analyzer.ingest_week(&week, &inputs);
+            analyzer.checkpoint(&store).expect("checkpoint write");
+        }
+        let finished = IncrementalAnalyzer::resume(config_for(&world, workers), &store)
+            .expect("final state resumes");
+        prop_assert_eq!(
+            report_json(finished.report()),
+            report_json(&batch),
+            "kill-and-resume diverged for seed={} weeks={} workers={}",
+            seed, weeks, workers
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
