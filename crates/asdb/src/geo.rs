@@ -121,6 +121,26 @@ impl GeoTable {
     pub fn is_empty(&self) -> bool {
         self.starts.is_empty()
     }
+
+    /// The mapped ranges intersecting the inclusive address range
+    /// `[start, end]`, as `(first, last, country)` value triples.
+    pub fn ranges_overlapping(&self, start: u32, end: u32) -> Vec<(u32, u32, CountryCode)> {
+        let from = match self.starts.binary_search(&start) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let mut out = Vec::new();
+        for i in from..self.starts.len() {
+            if self.starts[i] > end {
+                break;
+            }
+            if self.ends[i] >= start {
+                out.push((self.starts[i], self.ends[i], self.countries[i]));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

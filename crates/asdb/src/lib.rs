@@ -67,6 +67,43 @@ impl AsDatabase {
     pub fn related_asns(&self, a: Asn, b: Asn) -> bool {
         self.orgs.related(a, b)
     }
+
+    /// The geographic footprint of an ASN: for every country, how many of
+    /// the addresses the AS originates geolocate there. Joins the
+    /// prefix-table segments against the geolocation ranges.
+    pub fn geo_footprint(&self, asn: Asn) -> Vec<(CountryCode, u64)> {
+        let mut counts: std::collections::BTreeMap<CountryCode, u64> =
+            std::collections::BTreeMap::new();
+        for (s, e) in self.prefixes.segments_of(asn) {
+            for (gs, ge, cc) in self.geo.ranges_overlapping(s, e) {
+                let lo = s.max(gs) as u64;
+                let hi = e.min(ge) as u64;
+                *counts.entry(cc).or_insert(0) += hi - lo + 1;
+            }
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Does `asn` plausibly announce addresses geolocated in `cc`? True
+    /// when at least 1/16 of the AS's geolocated footprint lies in that
+    /// country. An AS with no geolocated footprint is *plausible*
+    /// everywhere (conservative: implausibility requires positive
+    /// evidence), while an AS whose footprint lies overwhelmingly
+    /// elsewhere — e.g. a foreign cloud suddenly originating one
+    /// more-specific /24 inside a national block — is not.
+    pub fn plausible_origin(&self, asn: Asn, cc: CountryCode) -> bool {
+        let fp = self.geo_footprint(asn);
+        let total: u64 = fp.iter().map(|(_, n)| n).sum();
+        if total == 0 {
+            return true;
+        }
+        let share = fp
+            .iter()
+            .find(|(c, _)| *c == cc)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        share.saturating_mul(16) >= total
+    }
 }
 
 #[cfg(test)]
@@ -119,5 +156,68 @@ mod tests {
         assert!(db.related_asns(Asn(100), Asn(200)));
         assert!(!db.related_asns(Asn(100), Asn(300)));
         assert!(!db.related_asns(Asn(100), Asn(999))); // unknown: unrelated
+    }
+
+    /// AS 100: ~16.7M addresses split NL (lower /9 minus AS 200's /16) and
+    /// DE (upper /9). AS 200: one /16 inside the NL half. AS 300: a /12 in
+    /// RU plus a single /24 in NL — the "foreign cloud with a token local
+    /// block" shape the geo-implausibility signal exists for.
+    fn geo_db() -> AsDatabase {
+        let mut p = PrefixTableBuilder::new();
+        p.insert("10.0.0.0/8".parse().unwrap(), Asn(100));
+        p.insert("10.1.0.0/16".parse().unwrap(), Asn(200));
+        p.insert("172.16.0.0/12".parse().unwrap(), Asn(300));
+        p.insert("198.51.100.0/24".parse().unwrap(), Asn(300));
+        let mut g = GeoTableBuilder::new();
+        g.insert_prefix("10.0.0.0/9".parse().unwrap(), "NL".parse().unwrap())
+            .unwrap();
+        g.insert_prefix("10.128.0.0/9".parse().unwrap(), "DE".parse().unwrap())
+            .unwrap();
+        g.insert_prefix("172.16.0.0/12".parse().unwrap(), "RU".parse().unwrap())
+            .unwrap();
+        g.insert_prefix("198.51.100.0/24".parse().unwrap(), "NL".parse().unwrap())
+            .unwrap();
+        AsDatabase {
+            prefixes: p.build(),
+            orgs: OrgTableBuilder::new().build(),
+            geo: g.build(),
+        }
+    }
+
+    #[test]
+    fn geo_footprint_joins_prefix_segments_with_geo_ranges() {
+        let db = geo_db();
+        // AS 200's /16 is wholly inside the NL /9.
+        assert_eq!(
+            db.geo_footprint(Asn(200)),
+            vec![("NL".parse().unwrap(), 1 << 16)]
+        );
+        // AS 100 loses the /16 carved out for AS 200 from its NL half.
+        let fp = db.geo_footprint(Asn(100));
+        assert_eq!(
+            fp,
+            vec![
+                ("DE".parse().unwrap(), 1 << 23),
+                ("NL".parse().unwrap(), (1 << 23) - (1 << 16)),
+            ]
+        );
+        // Unannounced AS: empty footprint.
+        assert!(db.geo_footprint(Asn(999)).is_empty());
+    }
+
+    #[test]
+    fn plausible_origin_requires_a_sixteenth_of_the_footprint() {
+        let db = geo_db();
+        // AS 100 splits roughly evenly between NL and DE: both plausible,
+        // a country it has no presence in is not.
+        assert!(db.plausible_origin(Asn(100), "NL".parse().unwrap()));
+        assert!(db.plausible_origin(Asn(100), "DE".parse().unwrap()));
+        assert!(!db.plausible_origin(Asn(100), "RU".parse().unwrap()));
+        // AS 300's NL /24 is a rounding error next to its RU /12.
+        assert!(db.plausible_origin(Asn(300), "RU".parse().unwrap()));
+        assert!(!db.plausible_origin(Asn(300), "NL".parse().unwrap()));
+        // No geolocated footprint at all: plausible everywhere
+        // (implausibility needs positive evidence).
+        assert!(db.plausible_origin(Asn(999), "NL".parse().unwrap()));
     }
 }

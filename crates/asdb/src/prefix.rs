@@ -164,6 +164,64 @@ impl PrefixTable {
     pub fn segment_count(&self) -> usize {
         self.starts.len()
     }
+
+    /// The disjoint sorted inclusive segments announced by `asn`
+    /// (`(first, last)` address values). Supports the per-AS geographic
+    /// footprint join; linear in the table size.
+    pub fn segments_of(&self, asn: Asn) -> Vec<(u32, u32)> {
+        (0..self.starts.len())
+            .filter(|&i| self.asns[i] == asn)
+            .map(|i| (self.starts[i], self.ends[i]))
+            .collect()
+    }
+
+    /// A copy of this table with `overrides` spliced in as more-specific
+    /// announcements: every override range is carved out of whatever
+    /// segment previously covered it (or out of unrouted space) and
+    /// re-labelled with the override's origin. This is the routing-table
+    /// surgery a BGP more-specific hijack performs. Overrides must be
+    /// disjoint from each other.
+    pub fn with_overrides(&self, overrides: &[(Ipv4Prefix, Asn)]) -> PrefixTable {
+        let mut ov: Vec<(u64, u64, Asn)> = overrides
+            .iter()
+            .map(|(p, a)| (p.first().value() as u64, p.last().value() as u64, *a))
+            .collect();
+        ov.sort_by_key(|r| r.0);
+        for w in ov.windows(2) {
+            assert!(w[0].1 < w[1].0, "override prefixes must be disjoint");
+        }
+
+        let mut segs: Vec<(u32, u32, Asn)> = Vec::with_capacity(self.starts.len() + ov.len() * 2);
+        for i in 0..self.starts.len() {
+            let (s, e, a) = (self.starts[i] as u64, self.ends[i] as u64, self.asns[i]);
+            let mut cur = s;
+            for &(os, oe, _) in &ov {
+                if oe < cur || os > e {
+                    continue;
+                }
+                if os > cur {
+                    segs.push((cur as u32, (os - 1) as u32, a));
+                }
+                cur = cur.max(oe + 1);
+                if cur > e {
+                    break;
+                }
+            }
+            if cur <= e {
+                segs.push((cur as u32, e as u32, a));
+            }
+        }
+        for &(os, oe, a) in &ov {
+            segs.push((os as u32, oe as u32, a));
+        }
+        segs.sort_by_key(|&(s, _, _)| s);
+
+        PrefixTable {
+            starts: segs.iter().map(|s| s.0).collect(),
+            ends: segs.iter().map(|s| s.1).collect(),
+            asns: segs.iter().map(|s| s.2).collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +320,63 @@ mod tests {
         let t = table(&[("255.255.255.0/24", 7)]);
         assert_eq!(t.lookup(ip("255.255.255.255")), Some(Asn(7)));
         assert_eq!(t.lookup(ip("255.255.254.255")), None);
+    }
+
+    #[test]
+    fn segments_of_returns_only_that_asn() {
+        let t = table(&[("10.0.0.0/8", 100), ("10.1.0.0/16", 200)]);
+        // AS 100's coverage is split around the carved-out /16.
+        let segs = t.segments_of(Asn(100));
+        assert_eq!(segs.len(), 2);
+        assert_eq!(
+            t.segments_of(Asn(200)),
+            vec![(ip("10.1.0.0").value(), ip("10.1.255.255").value())]
+        );
+        assert!(t.segments_of(Asn(999)).is_empty());
+    }
+
+    #[test]
+    fn overrides_carve_more_specifics() {
+        let t = table(&[("10.0.0.0/8", 100)]);
+        let hijacked = t.with_overrides(&[("10.1.2.0/24".parse().unwrap(), Asn(666))]);
+        assert_eq!(hijacked.lookup(ip("10.1.1.255")), Some(Asn(100)));
+        assert_eq!(hijacked.lookup(ip("10.1.2.0")), Some(Asn(666)));
+        assert_eq!(hijacked.lookup(ip("10.1.2.255")), Some(Asn(666)));
+        assert_eq!(hijacked.lookup(ip("10.1.3.0")), Some(Asn(100)));
+        // The original table is untouched.
+        assert_eq!(t.lookup(ip("10.1.2.7")), Some(Asn(100)));
+    }
+
+    #[test]
+    fn overrides_into_unrouted_space_and_across_segments() {
+        let t = table(&[("10.0.0.0/16", 1), ("10.2.0.0/16", 2)]);
+        let h = t.with_overrides(&[
+            ("10.1.0.0/16".parse().unwrap(), Asn(666)), // previously unrouted
+            ("10.2.0.0/24".parse().unwrap(), Asn(667)), // head of AS 2's block
+        ]);
+        assert_eq!(h.lookup(ip("10.1.5.5")), Some(Asn(666)));
+        assert_eq!(h.lookup(ip("10.2.0.9")), Some(Asn(667)));
+        assert_eq!(h.lookup(ip("10.2.1.0")), Some(Asn(2)));
+        assert_eq!(h.lookup(ip("10.0.1.1")), Some(Asn(1)));
+    }
+
+    #[test]
+    fn override_swallowing_a_whole_segment() {
+        let t = table(&[("10.0.7.0/24", 1)]);
+        let h = t.with_overrides(&[("10.0.0.0/16".parse().unwrap(), Asn(9))]);
+        assert_eq!(h.lookup(ip("10.0.7.5")), Some(Asn(9)));
+        assert_eq!(h.lookup(ip("10.0.200.1")), Some(Asn(9)));
+        assert_eq!(h.lookup(ip("10.1.0.0")), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_overrides_are_rejected() {
+        let t = table(&[("10.0.0.0/8", 1)]);
+        t.with_overrides(&[
+            ("10.1.0.0/16".parse().unwrap(), Asn(2)),
+            ("10.1.128.0/17".parse().unwrap(), Asn(3)),
+        ]);
     }
 
     #[test]

@@ -26,6 +26,15 @@
 //! `FAULTS_matrix.json`, and fails the process if any cell fabricated a
 //! hijack verdict.
 //!
+//! The extra id `archetypes` (also not part of `all`) runs the
+//! adversarial-archetype detection campaign — three seeds × seven
+//! attacker archetypes, baseline vs extension signals — writes the
+//! per-archetype precision/recall matrix to `ARCHETYPES_matrix.json`,
+//! refreshes the matching `EXPERIMENTS.md` section, and fails the
+//! process when a fully-catchable archetype misses extended recall 1.0
+//! or an evasion archetype's extended recall regresses below the
+//! previously committed matrix.
+//!
 //! The extra id `mem` (also not part of `all`) sweeps the columnar
 //! observation store's memory footprint over 100k/1M/5M synthetic
 //! observations (streamed, never materialized as rows) and persists the
@@ -196,7 +205,7 @@ fn main() -> ExitCode {
                      [--reps N] [--max-domains N] [--max-obs N] [--min-e2e-speedup X] \
                      [--max-bytes-per-obs X] [--min-mem-reduction X] [--stream-weeks N] \
                      [--min-stream-speedup X] <id>... | all\n\
-                     ids: {} bench matrix faults mem stream",
+                     ids: {} bench matrix faults archetypes mem stream",
                     ALL_EXPERIMENTS.join(" ")
                 );
                 return ExitCode::SUCCESS;
@@ -213,10 +222,11 @@ fn main() -> ExitCode {
             && id != "matrix"
             && id != "mem"
             && id != "stream"
+            && id != "archetypes"
             && !ALL_EXPERIMENTS.contains(&id.as_str())
         {
             eprintln!(
-                "unknown experiment {id:?}; known: {} bench matrix faults mem stream",
+                "unknown experiment {id:?}; known: {} bench matrix faults archetypes mem stream",
                 ALL_EXPERIMENTS.join(" ")
             );
             return ExitCode::FAILURE;
@@ -228,11 +238,12 @@ fn main() -> ExitCode {
     // them before paying for the shared bundle if no other id needs it.
     if ids
         .iter()
-        .all(|i| i == "faults" || i == "matrix" || i == "mem" || i == "stream")
+        .all(|i| i == "faults" || i == "matrix" || i == "mem" || i == "stream" || i == "archetypes")
     {
         for id in &ids {
             let code = match id.as_str() {
                 "faults" => run_faults(seed, workers),
+                "archetypes" => run_archetypes(seed, workers),
                 "mem" => run_mem(max_obs, max_bytes_per_obs, min_mem_reduction),
                 "stream" => run_stream(stream_weeks, workers, reps, min_stream_speedup),
                 _ => run_matrix(max_domains, reps),
@@ -264,6 +275,14 @@ fn main() -> ExitCode {
                 return code;
             }
             eprintln!("[faults took {:.1?}]", t.elapsed());
+            continue;
+        }
+        if id == "archetypes" {
+            let code = run_archetypes(seed, workers);
+            if code != ExitCode::SUCCESS {
+                return code;
+            }
+            eprintln!("[archetypes took {:.1?}]", t.elapsed());
             continue;
         }
         if id == "matrix" {
@@ -565,6 +584,84 @@ fn run_stream(
         );
     }
     ExitCode::SUCCESS
+}
+
+/// Markers bracketing the auto-refreshed archetype section of
+/// `EXPERIMENTS.md`.
+const ARCHETYPE_MD_BEGIN: &str = "<!-- archetypes:begin -->";
+const ARCHETYPE_MD_END: &str = "<!-- archetypes:end -->";
+
+/// Run the adversarial-archetype detection campaign: write
+/// `ARCHETYPES_matrix.json`, refresh the marked section of
+/// `EXPERIMENTS.md`, and fail on a gate violation (a fully-catchable
+/// archetype below extended recall 1.0, or an evasion archetype
+/// regressing below the previously committed matrix).
+fn run_archetypes(seed: u64, workers: usize) -> ExitCode {
+    let seeds: Vec<u64> = (0..3).map(|i| seed.wrapping_add(i)).collect();
+    eprintln!(
+        "archetype campaign: seeds {seeds:?} x {} archetypes, baseline + extended...",
+        retrodns_bench::ARCHETYPES.len()
+    );
+    let path = "ARCHETYPES_matrix.json";
+    // The previously committed matrix is the no-regression baseline for
+    // the evasion archetypes; read it before overwriting.
+    let prior = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<retrodns_bench::ArchetypeMatrix>(&s).ok());
+    let matrix = retrodns_bench::run_archetype_campaign(&seeds, workers);
+    let json = serde_json::to_string_pretty(&matrix).expect("archetype matrix serializes");
+    if let Err(e) = std::fs::write(path, json + "\n") {
+        eprintln!("failed to write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\n{}", matrix.summary());
+    eprintln!("[archetypes wrote {path}]");
+    if let Err(e) = refresh_archetype_section("EXPERIMENTS.md", &matrix) {
+        eprintln!("failed to refresh EXPERIMENTS.md: {e}");
+        return ExitCode::FAILURE;
+    }
+    let violations = matrix.gate_violations(prior.as_ref());
+    if violations.is_empty() {
+        eprintln!("archetype gates: ok");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("REGRESSION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Replace (or append) the marker-bracketed archetype table in
+/// `EXPERIMENTS.md` with the freshly measured one.
+fn refresh_archetype_section(
+    path: &str,
+    matrix: &retrodns_bench::ArchetypeMatrix,
+) -> std::io::Result<()> {
+    let body = format!(
+        "{ARCHETYPE_MD_BEGIN}\n\
+         Aggregate over seeds {:?} (auto-refreshed by `experiments archetypes`;\n\
+         precision is per-archetype true positives over true positives plus\n\
+         *global* false positives):\n\n{}{ARCHETYPE_MD_END}",
+        matrix.seeds,
+        matrix.markdown()
+    );
+    let current = std::fs::read_to_string(path).unwrap_or_default();
+    let next = match (
+        current.find(ARCHETYPE_MD_BEGIN),
+        current.find(ARCHETYPE_MD_END),
+    ) {
+        (Some(b), Some(e)) if e >= b => {
+            format!(
+                "{}{}{}",
+                &current[..b],
+                body,
+                &current[e + ARCHETYPE_MD_END.len()..]
+            )
+        }
+        _ => format!("{current}\n## Adversarial archetypes (`experiments archetypes`)\n\n{body}\n"),
+    };
+    std::fs::write(path, next)
 }
 
 /// Run the fault-injection survival campaign and write

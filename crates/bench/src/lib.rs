@@ -7,11 +7,16 @@
 //! recorded paper-vs-measured results.
 
 #![warn(missing_docs)]
+pub mod archetypes;
 pub mod bundle;
 pub mod experiments;
 pub mod faults;
 pub mod perf;
 
+pub use archetypes::{
+    run_archetype_campaign, ArchetypeCell, ArchetypeMatrix, ARCHETYPES, EVASION_ARCHETYPES,
+    GATED_FULL_RECALL,
+};
 pub use bundle::{Bundle, Scale};
 pub use faults::{run_fault_campaign, FaultCell, FaultMatrix};
 pub use perf::{

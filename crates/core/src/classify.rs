@@ -162,10 +162,12 @@ pub fn classify(map: &DeploymentMap, cfg: &ClassifyConfig) -> Pattern {
         return Pattern::Noisy;
     }
     let period_len = map.period.len_days();
-    let interval = (period_len as usize / map.expected_scans.max(1)).max(1) as u32;
+    let interval = map.scan_interval();
     let margin = (cfg.edge_margin_scans + 1) * interval;
     let start_edge = map.period.start + margin;
-    let end_edge = Day((map.period.end.0 - 1).saturating_sub(margin));
+    // Fully saturating: a quarantine-degraded or zero-/one-day period can
+    // put `end` at `Day(0)`, where a bare `- 1` underflows.
+    let end_edge = Day(map.period.end.0.saturating_sub(1).saturating_sub(margin));
 
     let covers_start = |i: usize| map.deployments[i].first <= start_edge;
     let covers_end = |i: usize| map.deployments[i].last >= end_edge;
@@ -370,6 +372,45 @@ mod tests {
             expected_scans: 26,
         };
         assert_eq!(classify(&map, &ClassifyConfig::default()), Pattern::Noisy);
+    }
+
+    /// Regression: a quarantine-degraded period can end at `Day(0)` (or
+    /// one day later). The old edge computation did a bare
+    /// `map.period.end.0 - 1` before its `saturating_sub`, which panics
+    /// in debug builds the moment such a period reaches the classifier.
+    #[test]
+    fn degenerate_period_does_not_underflow() {
+        use crate::map::Deployment;
+        use retrodns_types::{Asn, Period};
+        use std::collections::{BTreeMap, BTreeSet};
+        let deployment = Deployment {
+            asn: Asn(100),
+            first: Day(0),
+            last: Day(0),
+            dates: vec![Day(0)],
+            ips: BTreeSet::from([retrodns_types::Ipv4Addr(1)]),
+            certs: BTreeSet::from([CertId(1)]),
+            countries: BTreeSet::new(),
+            trusted_certs: BTreeSet::new(),
+            cert_windows: BTreeMap::new(),
+            country_windows: BTreeMap::new(),
+        };
+        for end in [0u32, 1] {
+            let map = DeploymentMap {
+                domain: "x.com".parse().unwrap(),
+                period: Period {
+                    id: 0,
+                    start: Day(0),
+                    end: Day(end),
+                },
+                deployments: vec![deployment.clone()],
+                dates_present: vec![Day(0)],
+                expected_scans: 1,
+            };
+            // Must classify without panicking; the verdict itself is
+            // secondary for a degenerate period.
+            let _ = classify(&map, &ClassifyConfig::default());
+        }
     }
 
     #[test]

@@ -417,6 +417,7 @@ mod tests {
             attacker_ns: vec![],
             victim_asns: vec![],
             victim_ccs: vec![],
+            geo_implausible: false,
         };
         let old = Report {
             hijacked: vec![hij("a.com", 1), hij("b.com", 2)],

@@ -83,6 +83,11 @@ pub struct DetectedHijack {
     pub victim_asns: Vec<Asn>,
     /// The victim's stable countries.
     pub victim_ccs: Vec<CountryCode>,
+    /// The transient geolocated to a victim country but its origin AS does
+    /// not plausibly announce addresses there (BGP-assisted-hijack
+    /// annotation, carried from the shortlist stage).
+    #[serde(default, skip_serializing_if = "serde::__is_default")]
+    pub geo_implausible: bool,
 }
 
 /// A domain concluded targeted-but-not-hijacked (one Table 3 row).
@@ -172,6 +177,31 @@ pub struct InspectConfig {
     /// window as corroboration for T1 candidates lacking pDNS coverage.
     /// Off by default (the paper's baseline methodology).
     pub use_dnssec_signal: bool,
+    /// Certificate-lineage extension (CERTainty-style): before dismissing
+    /// a T1 candidate as a stale legitimate deployment, check whether the
+    /// certificate breaks the domain's lineage (it is not one of the
+    /// stable deployment's certificates and covers a sensitive name); if
+    /// so, re-anchor the pDNS search at the *issuance* day — a
+    /// cert-mimicry attacker flips the delegation weeks before the
+    /// endpoint ever becomes visible to scans. Off by default.
+    #[serde(default)]
+    pub cert_lineage_signal: bool,
+    /// Maximum sighting density (observations per visibility day) for a
+    /// *long-span* NS aggregate to count as an intermittent delegation.
+    /// Aggregated pDNS merges repeat sightings of one (name, rdata) into
+    /// a single row, so a slow-burn actor reusing the same rogue
+    /// nameservers across periods leaves an aggregate spanning months
+    /// that was actually sighted on only a handful of days — long enough
+    /// to evade the short-change filter, yet far too sparse to be a real
+    /// delegation (those are sighted near-daily). Only consulted for
+    /// candidates the shortlist kept via the cross-period recurrence
+    /// signal, so it is inert in the paper-baseline configuration.
+    #[serde(default = "default_sparse_ns_max_density")]
+    pub sparse_ns_max_density: f64,
+}
+
+fn default_sparse_ns_max_density() -> f64 {
+    0.05
 }
 
 impl Default for InspectConfig {
@@ -182,6 +212,8 @@ impl Default for InspectConfig {
             short_change_max_days: 45,
             slack_days: 21,
             use_dnssec_signal: false,
+            cert_lineage_signal: false,
+            sparse_ns_max_density: default_sparse_ns_max_density(),
         }
     }
 }
@@ -201,6 +233,16 @@ fn gather_pdns(pdns: &PassiveDns, candidate: &Candidate, cfg: &InspectConfig) ->
         .first
         .saturating_sub_days(cfg.slack_days + 7);
     let to = candidate.transient.last + cfg.slack_days;
+    gather_pdns_window(pdns, candidate, from, to, cfg)
+}
+
+fn gather_pdns_window(
+    pdns: &PassiveDns,
+    candidate: &Candidate,
+    from: Day,
+    to: Day,
+    cfg: &InspectConfig,
+) -> PdnsEvidence {
     let all = pdns.entries_under(&candidate.domain);
     let mut ev = PdnsEvidence::default();
     for e in all {
@@ -227,6 +269,25 @@ fn gather_pdns(pdns: &PassiveDns, candidate: &Candidate, cfg: &InspectConfig) ->
         }
     }
     ev
+}
+
+/// Long-span NS aggregates over the candidate's domain that were sighted
+/// too rarely to be a live delegation (see
+/// [`InspectConfig::sparse_ns_max_density`]).
+fn sparse_ns_aggregates(
+    pdns: &PassiveDns,
+    candidate: &Candidate,
+    cfg: &InspectConfig,
+) -> Vec<PdnsEntry> {
+    pdns.entries_under(&candidate.domain)
+        .into_iter()
+        .filter(|e| {
+            e.rtype == RecordType::Ns
+                && e.name == candidate.domain
+                && e.visibility_days() > cfg.short_change_max_days
+                && (e.count as f64) <= cfg.sparse_ns_max_density * f64::from(e.visibility_days())
+        })
+        .collect()
 }
 
 /// Is `day` within `window` days of any change's sighting window?
@@ -271,6 +332,7 @@ fn evidence_hijack(
         attacker_ns,
         victim_asns: candidate.background.asns.iter().copied().collect(),
         victim_ccs: candidate.background.countries.iter().copied().collect(),
+        geo_implausible: candidate.geo_implausible,
     }
 }
 
@@ -387,6 +449,77 @@ pub fn inspect_candidate(
                 }
             }
 
+            // Recurrence extension: the shortlist kept this candidate
+            // because a similar transient recurs across ≥3 consecutive
+            // periods. A slow-burn actor reusing one set of rogue
+            // nameservers leaves their delegation flips merged into a
+            // single months-spanning pDNS aggregate whose visibility
+            // window fails the short-change filter above — but whose
+            // sighting count is a give-away: a genuine delegation is
+            // observed near-daily, while the merged flips amount to a
+            // few sighting-days spread over months. Accept such a
+            // sparse aggregate bracketing the issuance day as the
+            // delegation-change corroboration.
+            if candidate.recurrent_periods > 0 {
+                let sparse = sparse_ns_aggregates(pdns, candidate, cfg);
+                if near_change(&sparse, issued, cfg.issue_window_days) {
+                    let ev = PdnsEvidence {
+                        ns_changes: sparse,
+                        a_changes: pdns_ev.a_changes.clone(),
+                    };
+                    return InspectOutcome::Hijacked(evidence_hijack(
+                        candidate,
+                        DetectionType::T1,
+                        issued,
+                        &ev,
+                        crtsh.record(cert_id).is_some(),
+                        false,
+                        Some(cert_id),
+                        sub,
+                    ));
+                }
+            }
+
+            // Cert-lineage extension: the transient's certificate is not
+            // one the stable deployment ever used and it covers a
+            // sensitive name — before trusting the stale-cert heuristic,
+            // re-anchor the pDNS search around the issuance day itself.
+            // A cert-mimicry attacker flips the delegation (and obtains
+            // the certificate) weeks before standing up the visible
+            // endpoint, putting the flip outside the transient-anchored
+            // search window above.
+            if cfg.cert_lineage_signal
+                && sub.is_some()
+                && !candidate.background.certs.contains(&cert_id)
+            {
+                let near_ev = gather_pdns_window(
+                    pdns,
+                    candidate,
+                    issued.saturating_sub_days(cfg.slack_days),
+                    issued + cfg.slack_days,
+                    cfg,
+                );
+                if near_change(&near_ev.ns_changes, issued, cfg.issue_window_days)
+                    || near_change(&near_ev.a_changes, issued, cfg.issue_window_days)
+                {
+                    return InspectOutcome::Hijacked(evidence_hijack(
+                        candidate,
+                        DetectionType::T1,
+                        issued,
+                        &near_ev,
+                        crtsh.record(cert_id).is_some(),
+                        false,
+                        Some(cert_id),
+                        sub,
+                    ));
+                }
+                // Lineage is broken but no flip was captured: the
+                // stale-cert dismissal no longer applies — keep the
+                // candidate for the shared-infrastructure (T1*) pass
+                // rather than writing it off as a benign deployment.
+                return InspectOutcome::Inconclusive;
+            }
+
             // No pDNS change near issuance. Stale certificate ⇒ benign
             // deployment briefly visible.
             if issued + cfg.stale_days < candidate.transient.first
@@ -477,6 +610,7 @@ pub fn t1_star_pass(
                 attacker_ns: Vec::new(),
                 victim_asns: candidate.background.asns.iter().copied().collect(),
                 victim_ccs: candidate.background.countries.iter().copied().collect(),
+                geo_implausible: candidate.geo_implausible,
             });
         }
     }
@@ -539,6 +673,8 @@ mod tests {
             via_anomalous_route: false,
             sensitive_names: vec![d("mail.mfa.gov.kg")],
             degraded_sources: Vec::new(),
+            recurrent_periods: 0,
+            geo_implausible: false,
         }
     }
 
@@ -780,6 +916,175 @@ mod tests {
             &crtsh,
             &certs,
             Some(&far),
+            &cfg,
+        );
+        assert!(matches!(out, InspectOutcome::Inconclusive));
+    }
+
+    /// pDNS as a slow-burn attacker leaves it: the legitimate delegation
+    /// is a dense months-long aggregate, while the rogue nameserver's
+    /// repeated one-day flips have been merged by `insert_aggregate` into
+    /// one months-spanning row with only a handful of sighting-days.
+    fn pdns_with_merged_slowburn_flips() -> PassiveDns {
+        let mut p = PassiveDns::new();
+        p.insert_aggregate(
+            &d("mfa.gov.kg"),
+            RecordData::Ns(d("ns1.infocom.kg")),
+            Day(0),
+            Day(180),
+            170, // near-daily: a real delegation
+        );
+        p.insert_aggregate(
+            &d("mfa.gov.kg"),
+            RecordData::Ns(d("ns1.kg-infocom.ru")),
+            Day(20),
+            Day(160),
+            5, // five sighting-days over ~five months: merged flips
+        );
+        p
+    }
+
+    #[test]
+    fn recurrent_candidate_accepts_sparse_merged_ns_aggregate() {
+        let (crtsh, certs) = crtsh_with(666, 100);
+        let mut cand = candidate(TransientKind::T1, 666, false);
+        cand.recurrent_periods = 4;
+        let out = inspect_candidate(
+            &cand,
+            &pdns_with_merged_slowburn_flips(),
+            &crtsh,
+            &certs,
+            None,
+            &InspectConfig::default(),
+        );
+        let InspectOutcome::Hijacked(h) = out else {
+            panic!("expected hijacked, got {out:?}")
+        };
+        assert_eq!(h.dtype, DetectionType::T1);
+        assert!(h.pdns_corroborated && h.ct_corroborated);
+        // Only the sparse rogue delegation counts as evidence — the dense
+        // legitimate aggregate fails the sparsity filter.
+        assert_eq!(h.attacker_ns, vec![d("ns1.kg-infocom.ru")]);
+    }
+
+    #[test]
+    fn sparse_ns_path_is_inert_without_recurrence() {
+        // Identical pDNS, but the candidate did not recur across periods
+        // (`recurrent_periods` stays 0, as in baseline mode where the
+        // recurrence signal is off): outcome unchanged from before the
+        // extension existed.
+        let (crtsh, certs) = crtsh_with(666, 100);
+        let out = inspect_candidate(
+            &candidate(TransientKind::T1, 666, false),
+            &pdns_with_merged_slowburn_flips(),
+            &crtsh,
+            &certs,
+            None,
+            &InspectConfig::default(),
+        );
+        assert!(matches!(out, InspectOutcome::Inconclusive));
+    }
+
+    #[test]
+    fn sparse_aggregate_far_from_issuance_does_not_corroborate() {
+        // The merged-flip aggregate starts well after the cert issuance:
+        // sparsity alone is not evidence, the issuance must fall inside
+        // the aggregate's (padded) sighting window.
+        let (crtsh, certs) = crtsh_with(666, 100);
+        let mut p = PassiveDns::new();
+        p.insert_aggregate(
+            &d("mfa.gov.kg"),
+            RecordData::Ns(d("ns1.kg-infocom.ru")),
+            Day(150),
+            Day(300),
+            5,
+        );
+        let mut cand = candidate(TransientKind::T1, 666, false);
+        cand.recurrent_periods = 4;
+        let out = inspect_candidate(&cand, &p, &crtsh, &certs, None, &InspectConfig::default());
+        assert!(matches!(out, InspectOutcome::Inconclusive));
+    }
+
+    #[test]
+    fn cert_lineage_reanchors_stale_cert_at_issuance() {
+        // Cert issued day 40; transient visible day 98–105: stale by the
+        // baseline heuristic (98 - 40 > 42). The delegation flip sits at
+        // the issuance day, far outside the transient-anchored window.
+        let (crtsh, certs) = crtsh_with(666, 40);
+        let mut pdns = PassiveDns::new();
+        pdns.insert_aggregate(
+            &d("mfa.gov.kg"),
+            RecordData::Ns(d("ns1.infocom.kg")),
+            Day(0),
+            Day(180),
+            100,
+        );
+        pdns.insert_aggregate(
+            &d("mfa.gov.kg"),
+            RecordData::Ns(d("ns1.kg-infocom.ru")),
+            Day(40),
+            Day(41),
+            2,
+        );
+        // Baseline: dismissed as a stale legitimate deployment.
+        let out = inspect_candidate(
+            &candidate(TransientKind::T1, 666, false),
+            &pdns,
+            &crtsh,
+            &certs,
+            None,
+            &InspectConfig::default(),
+        );
+        assert!(matches!(
+            out,
+            InspectOutcome::Dismissed(DismissReason::StaleCert)
+        ));
+        // With the lineage signal: the flip near issuance promotes it.
+        let cfg = InspectConfig {
+            cert_lineage_signal: true,
+            ..InspectConfig::default()
+        };
+        let out = inspect_candidate(
+            &candidate(TransientKind::T1, 666, false),
+            &pdns,
+            &crtsh,
+            &certs,
+            None,
+            &cfg,
+        );
+        let InspectOutcome::Hijacked(h) = out else {
+            panic!("expected hijacked, got {out:?}")
+        };
+        assert_eq!(h.dtype, DetectionType::T1);
+        assert_eq!(h.first_evidence, Day(40));
+        assert_eq!(h.attacker_ns, vec![d("ns1.kg-infocom.ru")]);
+    }
+
+    #[test]
+    fn cert_lineage_without_flip_is_inconclusive_not_dismissed() {
+        // Lineage is broken (fresh sensitive cert, not a background cert)
+        // but pDNS shows no flip anywhere near issuance: a benign stale
+        // blip migrates Dismissed → Inconclusive when the signal is on,
+        // and is never upgraded to hijacked.
+        let (crtsh, certs) = crtsh_with(666, 40);
+        let mut pdns = PassiveDns::new();
+        pdns.insert_aggregate(
+            &d("mfa.gov.kg"),
+            RecordData::Ns(d("ns1.infocom.kg")),
+            Day(0),
+            Day(180),
+            100,
+        );
+        let cfg = InspectConfig {
+            cert_lineage_signal: true,
+            ..InspectConfig::default()
+        };
+        let out = inspect_candidate(
+            &candidate(TransientKind::T1, 666, false),
+            &pdns,
+            &crtsh,
+            &certs,
+            None,
             &cfg,
         );
         assert!(matches!(out, InspectOutcome::Inconclusive));

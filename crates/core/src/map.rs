@@ -295,6 +295,13 @@ impl DeploymentMap {
     pub fn asns(&self) -> BTreeSet<Asn> {
         self.deployments.iter().map(|d| d.asn).collect()
     }
+
+    /// Days between consecutive expected scans in this period (≥ 1). The
+    /// single source of truth for the classify edge margin and the
+    /// rendered timeline slots — keeping the two from drifting apart.
+    pub fn scan_interval(&self) -> u32 {
+        (self.period.len_days() as usize / self.expected_scans.max(1)).max(1) as u32
+    }
 }
 
 /// Builder turning annotated scan observations into per-period maps.

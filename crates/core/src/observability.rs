@@ -302,6 +302,7 @@ mod tests {
             attacker_ns: vec![d("ns1.evil.ru")],
             victim_asns: vec![],
             victim_ccs: vec![],
+            geo_implausible: false,
         }
     }
 

@@ -1286,6 +1286,7 @@ fn dedup_hijacks(hijacks: Vec<DetectedHijack>) -> Vec<DetectedHijack> {
                 existing.first_evidence = existing.first_evidence.min(h.first_evidence);
                 existing.pdns_corroborated |= h.pdns_corroborated;
                 existing.ct_corroborated |= h.ct_corroborated;
+                existing.geo_implausible |= h.geo_implausible;
                 if existing.malicious_cert.is_none() {
                     existing.malicious_cert = h.malicious_cert;
                 }

@@ -339,6 +339,7 @@ fn build_pivot_hit(
         attacker_ns,
         victim_asns: Vec::new(),
         victim_ccs: Vec::new(),
+        geo_implausible: false,
     }
 }
 
@@ -372,6 +373,7 @@ mod tests {
             attacker_ns: vec![d("ns1.kg-infocom.ru")],
             victim_asns: vec![],
             victim_ccs: vec![],
+            geo_implausible: false,
         }
     }
 

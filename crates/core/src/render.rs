@@ -26,7 +26,7 @@ pub fn render_map(map: &DeploymentMap, pattern: Option<&Pattern>) -> String {
     if let Some(p) = pattern {
         let _ = writeln!(out, "Pattern: {} ({})", p.label(), p.category());
     }
-    let interval = (map.period.len_days() as usize / map.expected_scans.max(1)).max(1) as u32;
+    let interval = map.scan_interval();
     let slots: Vec<Day> = (0..map.expected_scans)
         .map(|i| map.period.start + (i as u32) * interval)
         .collect();

@@ -375,6 +375,7 @@ mod tests {
             attacker_ns: vec![],
             victim_asns: vec![Asn(100)],
             victim_ccs: vec!["KG".parse().unwrap()],
+            geo_implausible: false,
         }
     }
 

@@ -23,7 +23,7 @@ use crate::map::{Deployment, DeploymentMap};
 use crate::sources::{query_key, ResilientSource, SourcePolicy};
 use retrodns_asdb::AsDatabase;
 use retrodns_cert::{CertId, Certificate};
-use retrodns_types::{Asn, DomainName, Period, PeriodId};
+use retrodns_types::{Asn, CountryCode, DomainName, Period, PeriodId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 
@@ -84,6 +84,18 @@ pub struct Candidate {
     /// the degraded tier.
     #[serde(default)]
     pub degraded_sources: Vec<String>,
+    /// Cross-period recurrence (slow-burn signal): length of the run of
+    /// consecutive periods showing a similar transient, when the
+    /// recurrence signal kept a candidate the repeat heuristic would
+    /// have pruned. Zero for ordinary candidates.
+    #[serde(default, skip_serializing_if = "serde::__is_default")]
+    pub recurrent_periods: usize,
+    /// Geo-implausibility (BGP-assisted-hijack signal): the transient
+    /// geolocates to a stable country, but its origin AS does not
+    /// plausibly announce addresses there — the geolocation is likely an
+    /// artifact of a hijacked more-specific prefix.
+    #[serde(default, skip_serializing_if = "serde::__is_default")]
+    pub geo_implausible: bool,
 }
 
 /// Shortlisting thresholds and ablation switches.
@@ -103,6 +115,19 @@ pub struct ShortlistConfig {
     pub disable_repeat_check: bool,
     /// Ablation: skip the sensitive-name requirement (keep everything).
     pub disable_sensitive_filter: bool,
+    /// Cross-period recurrence signal (slow-burn campaigns): a run of
+    /// similar transients that would be pruned as `RepeatedTransients`
+    /// is *kept* when the recurring transient presents a browser-trusted
+    /// certificate for a sensitive name the stable background never
+    /// used. Off by default (additive; preserves baseline reports).
+    #[serde(default)]
+    pub recurrence_signal: bool,
+    /// Geo-implausibility signal (BGP-assisted hijacks): before pruning
+    /// `SameCountry`, check whether the transient's origin AS plausibly
+    /// announces addresses in the shared country; if not, the candidate
+    /// is kept and annotated instead. Off by default.
+    #[serde(default)]
+    pub geo_implausibility_check: bool,
 }
 
 impl Default for ShortlistConfig {
@@ -115,6 +140,8 @@ impl Default for ShortlistConfig {
             disable_visibility_check: false,
             disable_repeat_check: false,
             disable_sensitive_filter: false,
+            recurrence_signal: false,
+            geo_implausibility_check: false,
         }
     }
 }
@@ -270,12 +297,35 @@ pub fn shortlist_guarded(
                 .push((m.domain.clone(), m.period, PruneReason::LowVisibility));
             continue;
         }
-        if !cfg.disable_repeat_check
-            && consecutive_transients(domain_id, m.period.id) >= cfg.repeat_periods
-        {
-            out.pruned
-                .push((m.domain.clone(), m.period, PruneReason::RepeatedTransients));
-            continue;
+        let mut recurrent_periods = 0usize;
+        if !cfg.disable_repeat_check {
+            let run = consecutive_transients(domain_id, m.period.id);
+            if run >= cfg.repeat_periods {
+                // Cross-period recurrence signal: a slow-burn attacker
+                // *deliberately* recurs under the transient threshold.
+                // Keep the run (annotated) when the recurring transient
+                // presents a browser-trusted certificate for a sensitive
+                // name that the stable background never used; benign
+                // repeat visitors don't hold such certificates.
+                let suspicious_recurrence = cfg.recurrence_signal
+                    && findings.iter().any(|f| {
+                        let d = &m.deployments[f.deployment];
+                        d.trusted_certs.iter().any(|id| {
+                            !background.certs.contains(id)
+                                && certs
+                                    .get(id)
+                                    .map(|c| !c.sensitive_names().is_empty())
+                                    .unwrap_or(false)
+                        })
+                    });
+                if suspicious_recurrence {
+                    recurrent_periods = run;
+                } else {
+                    out.pruned
+                        .push((m.domain.clone(), m.period, PruneReason::RepeatedTransients));
+                    continue;
+                }
+            }
         }
 
         // Truly anomalous: a single transient finding, with fully stable
@@ -313,15 +363,44 @@ pub fn shortlist_guarded(
                     Err(_) => degraded_sources.push(as2org.guard().name().to_string()),
                 }
             }
-            if degraded_sources.is_empty()
-                && !cfg.disable_geo_check
-                && transient
+            let mut geo_implausible = false;
+            if degraded_sources.is_empty() && !cfg.disable_geo_check {
+                let shared: Vec<CountryCode> = transient
                     .countries
                     .iter()
-                    .any(|cc| background.countries.contains(cc))
-            {
-                last_prune = Some(PruneReason::SameCountry);
-                continue;
+                    .filter(|cc| background.countries.contains(*cc))
+                    .copied()
+                    .collect();
+                if !shared.is_empty() {
+                    if cfg.geo_implausibility_check {
+                        // BGP-assisted hijacks geolocate *into* the
+                        // victim's country by stealing a more-specific
+                        // prefix there. Before pruning, ask whether the
+                        // transient's origin AS plausibly announces
+                        // addresses in the shared countries at all; if
+                        // not, keep the candidate annotated instead.
+                        let key = query_key(&[
+                            m.domain.as_str().as_bytes(),
+                            &transient.asn.0.to_le_bytes(),
+                            b"geo-plausibility",
+                        ]);
+                        match as2org.call(key, |db| {
+                            shared
+                                .iter()
+                                .all(|cc| !db.plausible_origin(transient.asn, *cc))
+                        }) {
+                            Ok(true) => geo_implausible = true,
+                            Ok(false) => {
+                                last_prune = Some(PruneReason::SameCountry);
+                                continue;
+                            }
+                            Err(_) => degraded_sources.push(as2org.guard().name().to_string()),
+                        }
+                    } else {
+                        last_prune = Some(PruneReason::SameCountry);
+                        continue;
+                    }
+                }
             }
 
             // Sensitive trusted certificate, or truly anomalous.
@@ -342,6 +421,10 @@ pub fn shortlist_guarded(
             }
 
             kept_any = true;
+            // Multiple guards can degrade while judging one candidate;
+            // canonicalize so the report never depends on guard order.
+            degraded_sources.sort();
+            degraded_sources.dedup();
             out.candidates.push(Candidate {
                 domain: m.domain.clone(),
                 period: m.period,
@@ -352,6 +435,8 @@ pub fn shortlist_guarded(
                 via_anomalous_route: truly_anomalous && !sensitive_ok,
                 sensitive_names,
                 degraded_sources,
+                recurrent_periods,
+                geo_implausible,
             });
         }
         if !kept_any {

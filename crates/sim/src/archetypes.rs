@@ -202,12 +202,97 @@ pub fn noisy_archetype() -> Archetype {
     }
 }
 
-/// Every archetype in figure order.
+/// Minimal scan-level shapes of the five adversarial attacker archetypes
+/// beyond registrar compromise (§5 threat-model extensions). Every one
+/// must classify as a T1 transient — the campaigns differ in *how* they
+/// obtain the capability and in which downstream heuristic they stress,
+/// not in the deployment-map pattern they leave behind:
+///
+/// * `A-registry` — registry-level compromise: indistinguishable from a
+///   registrar hijack at the map level.
+/// * `A-resolver` — resolver/router redirection: the stable deployment
+///   is never interrupted (authoritative records untouched); the
+///   transient appears *alongside* it.
+/// * `A-bgp` — BGP-assisted hijack: the transient geolocates to the
+///   victim's own country (the hijacked more-specific inherits the
+///   block's geolocation), stressing the same-country prune.
+/// * `A-slowburn` — one under-threshold transient per period; a single
+///   period's map looks like any other T1.
+/// * `A-mimicry` — the transient presents a trusted certificate issued
+///   long before its first scan appearance, stressing the stale-cert
+///   dismissal.
+pub fn attacker_archetypes() -> Vec<Archetype> {
+    let mut v = Vec::new();
+
+    // A-registry: classic T1 shape via a registry-level capability.
+    let mut o = Vec::new();
+    run(&mut o, 0, SCANS, 0x0a00_0001, 100, "KG", 1);
+    run(&mut o, 12, 13, 0x1400_0001, 200, "NL", 701);
+    v.push(Archetype {
+        label: "A-registry",
+        description: "registry-level compromise; transient with a new certificate",
+        observations: o,
+        expected: "T1",
+    });
+
+    // A-resolver: the stable deployment never blinks; the redirection is
+    // victim-facing only, so scans see both concurrently.
+    let mut o = Vec::new();
+    run(&mut o, 0, SCANS, 0x0a00_0001, 100, "KG", 1);
+    run(&mut o, 11, 13, 0x1400_0002, 200, "NL", 702);
+    v.push(Archetype {
+        label: "A-resolver",
+        description: "resolver-level redirection; authoritative records untouched",
+        observations: o,
+        expected: "T1",
+    });
+
+    // A-bgp: the transient's addresses geolocate to the victim country
+    // even though the origin AS is foreign.
+    let mut o = Vec::new();
+    run(&mut o, 0, SCANS, 0x0a00_0001, 100, "KG", 1);
+    run(&mut o, 12, 13, 0x0a00_00fe, 666, "KG", 703);
+    v.push(Archetype {
+        label: "A-bgp",
+        description: "hijacked more-specific prefix; transient geolocates to the victim country",
+        observations: o,
+        expected: "T1",
+    });
+
+    // A-slowburn: within one period, a single short transient — the
+    // recurrence across periods is invisible to a per-period map.
+    let mut o = Vec::new();
+    run(&mut o, 0, SCANS, 0x0a00_0001, 100, "KG", 1);
+    run(&mut o, 13, 15, 0x1400_0003, 200, "NL", 704);
+    v.push(Archetype {
+        label: "A-slowburn",
+        description: "one under-threshold transient of a multi-period campaign",
+        observations: o,
+        expected: "T1",
+    });
+
+    // A-mimicry: a new-to-the-domain certificate, but one issued weeks
+    // before the transient became visible.
+    let mut o = Vec::new();
+    run(&mut o, 0, SCANS, 0x0a00_0001, 100, "KG", 1);
+    run(&mut o, 14, 16, 0x1400_0004, 200, "NL", 705);
+    v.push(Archetype {
+        label: "A-mimicry",
+        description: "transient presenting a trusted certificate obtained long before the flip",
+        observations: o,
+        expected: "T1",
+    });
+
+    v
+}
+
+/// Every archetype in figure order, attacker archetypes last.
 pub fn all_archetypes() -> Vec<Archetype> {
     let mut v = stable_archetypes();
     v.extend(transition_archetypes());
     v.extend(transient_archetypes());
     v.push(noisy_archetype());
+    v.extend(attacker_archetypes());
     v
 }
 
@@ -249,7 +334,15 @@ mod tests {
         for a in all_archetypes() {
             assert!(seen.insert(a.label));
         }
-        assert_eq!(seen.len(), 10);
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn attacker_archetypes_all_look_like_t1() {
+        for a in attacker_archetypes() {
+            assert_eq!(a.expected, "T1", "{}", a.label);
+            assert!(a.label.starts_with("A-"), "{}", a.label);
+        }
     }
 
     #[test]

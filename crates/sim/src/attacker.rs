@@ -31,7 +31,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use retrodns_cert::{AcmeCa, KeyId};
 use retrodns_dns::{Actor, DnsDb, RecordData};
-use retrodns_types::{Day, DomainName, Ipv4Addr};
+use retrodns_types::{Asn, Day, DomainName, Ipv4Addr, Ipv4Prefix, StudyWindow};
 use serde::{Deserialize, Serialize};
 
 /// How a victim is attacked (ground-truth label).
@@ -99,6 +99,16 @@ pub struct CampaignPlan {
     pub targets: Vec<AttackTarget>,
     /// Counterfeit-server deployments to apply after issuance.
     pub deployments: Vec<PlannedDeployment>,
+    /// Archetype label: the campaign's `capability` string, carried into
+    /// the per-victim ground-truth records so experiments can score
+    /// precision/recall per archetype.
+    #[serde(default)]
+    pub archetype: String,
+    /// More-specific prefixes the attacker announces (BGP archetype):
+    /// `(prefix, origin ASN)` overrides the world applies on top of the
+    /// legitimate route table before deriving the analyst's pfx2as view.
+    #[serde(default)]
+    pub hijacked_prefixes: Vec<(Ipv4Prefix, Asn)>,
 }
 
 /// VPS providers attackers rent from (Table 5 concentration).
@@ -129,37 +139,67 @@ pub fn plan_campaign(
     taken: &mut std::collections::HashSet<usize>,
     rng: &mut StdRng,
 ) -> CampaignPlan {
+    // The adversarial archetypes get dedicated planners, dispatched before
+    // any randomness is consumed so the classic planner's RNG stream — and
+    // with it every existing golden world — is byte-identical.
+    match cfg.capability.as_str() {
+        "resolver" => {
+            return plan_resolver_campaign(
+                ctx,
+                db,
+                population,
+                domain_plans,
+                cfg,
+                campaign_idx,
+                taken,
+                rng,
+            )
+        }
+        "bgp" => {
+            return plan_bgp_campaign(
+                ctx,
+                db,
+                population,
+                domain_plans,
+                cfg,
+                campaign_idx,
+                taken,
+                rng,
+            )
+        }
+        "slowburn" => {
+            return plan_slowburn_campaign(
+                ctx,
+                db,
+                population,
+                domain_plans,
+                cfg,
+                campaign_idx,
+                taken,
+                rng,
+            )
+        }
+        "certmimicry" => {
+            return plan_certmimicry_campaign(
+                ctx,
+                db,
+                population,
+                domain_plans,
+                cfg,
+                campaign_idx,
+                taken,
+                rng,
+            )
+        }
+        _ => {}
+    }
     let geo: &Geography = ctx.geo;
     let key = ctx.fresh_key();
 
     // ------------------------------------------------------------------
-    // Attacker infrastructure: servers + rogue nameservers with glue.
-    // ------------------------------------------------------------------
-    let mut clouds: Vec<_> = ATTACKER_CLOUDS
-        .iter()
-        .filter_map(|n| geo.provider_named(n))
-        .collect();
-    clouds.shuffle(rng);
-    let clouds = &clouds[..3.min(clouds.len())];
-    let mut infra_ips = Vec::new();
-    for i in 0..cfg.infra_ips {
-        let p = clouds[i % clouds.len()];
-        let region = rng.gen_range(0..p.regions.len());
-        infra_ips.push(ctx.alloc.alloc(geo, p.id, region));
-    }
-    let ns_provider = clouds[0];
-    let rogue_ns_ips = [
-        ctx.alloc.alloc(geo, ns_provider.id, 0),
-        ctx.alloc.alloc(geo, ns_provider.id, 0),
-    ];
-    let slug = format!("svc{campaign_idx}-dns");
-    let rogue_ns: [DomainName; 2] = [
-        format!("ns1.{slug}.ru").parse().expect("static rogue ns"),
-        format!("ns2.{slug}.ru").parse().expect("static rogue ns"),
-    ];
-
-    // ------------------------------------------------------------------
-    // Victim selection.
+    // Victim selection (randomness-free scoping; the actual picks draw
+    // from the RNG *after* the infrastructure below, preserving the
+    // historical stream).
     // ------------------------------------------------------------------
     let sensitive_sub = |plan: &DomainPlan| -> Option<DomainName> {
         let spec = &population.domains[plan.spec];
@@ -200,7 +240,14 @@ pub fn plan_campaign(
         for i in eligible(false, false) {
             *counts.entry(domain_plans[i].registrar).or_insert(0usize) += 1;
         }
-        counts.into_iter().max_by_key(|(_, c)| *c).map(|(r, _)| r)
+        // Ties break to the smallest id: `max_by_key` alone would pick
+        // whichever tied key the hash map yields last, which varies per
+        // process and would make the whole victim roster depend on the
+        // run rather than the seed.
+        counts
+            .into_iter()
+            .max_by_key(|(r, c)| (*c, std::cmp::Reverse(*r)))
+            .map(|(r, _)| r)
     } else {
         None
     };
@@ -214,7 +261,12 @@ pub fn plan_campaign(
                 .to_string();
             *counts.entry(suffix).or_insert(0usize) += 1;
         }
-        counts.into_iter().max_by_key(|(_, c)| *c).map(|(s, _)| s)
+        // Same deterministic tie-break as the registrar pick: count
+        // first, lexicographically smallest suffix on ties.
+        counts
+            .into_iter()
+            .max_by(|a, b| (a.1, &b.0).cmp(&(b.1, &a.0)))
+            .map(|(s, _)| s)
     } else {
         None
     };
@@ -239,6 +291,46 @@ pub fn plan_campaign(
             Actor::StolenCredentials(population.domains[domain_plans[idx].spec].domain.clone())
         }
     };
+
+    // ------------------------------------------------------------------
+    // Attacker infrastructure: servers + rogue nameservers with glue.
+    // A registry-capable actor's victims all sit inside one ccTLD, so
+    // renting in that very country would hand the same-country prune a
+    // free dismissal of the entire campaign; the attacker knows this and
+    // hosts abroad. The avoidance rotates the drawn region without
+    // consuming randomness, so non-registry campaigns (empty avoid set)
+    // keep their historical worlds byte-for-byte.
+    // ------------------------------------------------------------------
+    let avoid: std::collections::BTreeSet<retrodns_types::CountryCode> = capability_suffix
+        .iter()
+        .filter_map(|s| {
+            s.rsplit('.')
+                .next()
+                .and_then(|tld| tld.to_ascii_uppercase().parse().ok())
+        })
+        .collect();
+    let mut clouds: Vec<_> = ATTACKER_CLOUDS
+        .iter()
+        .filter_map(|n| geo.provider_named(n))
+        .collect();
+    clouds.shuffle(rng);
+    let clouds = &clouds[..3.min(clouds.len())];
+    let mut infra_ips = Vec::new();
+    for i in 0..cfg.infra_ips {
+        let p = clouds[i % clouds.len()];
+        let region = region_avoiding(p, rng.gen_range(0..p.regions.len()), &avoid);
+        infra_ips.push(ctx.alloc.alloc(geo, p.id, region));
+    }
+    let ns_provider = clouds[0];
+    let rogue_ns_ips = [
+        ctx.alloc.alloc(geo, ns_provider.id, 0),
+        ctx.alloc.alloc(geo, ns_provider.id, 0),
+    ];
+    let slug = format!("svc{campaign_idx}-dns");
+    let rogue_ns: [DomainName; 2] = [
+        format!("ns1.{slug}.ru").parse().expect("static rogue ns"),
+        format!("ns2.{slug}.ru").parse().expect("static rogue ns"),
+    ];
 
     let mut pick = |pool: Vec<usize>, n: usize, taken: &mut std::collections::HashSet<usize>| {
         let mut pool: Vec<usize> = pool
@@ -272,6 +364,8 @@ pub fn plan_campaign(
         infra_ips: infra_ips.clone(),
         targets: Vec::new(),
         deployments: Vec::new(),
+        archetype: cfg.capability.clone(),
+        hijacked_prefixes: Vec::new(),
     };
 
     // Rogue NS glue goes live at the campaign's start.
@@ -490,6 +584,683 @@ pub fn plan_campaign(
         plan.targets.push(target);
     }
 
+    plan
+}
+
+// ======================================================================
+// Adversarial archetypes.
+//
+// Four attacker shapes beyond the paper's registrar/registry/credentials
+// capabilities, each engineered to probe one specific blind spot of the
+// detection pipeline. They share the classic victim-eligibility rules but
+// run their own planners (dispatched before `plan_campaign` consumes any
+// randomness, so the classic RNG stream and the golden worlds built from
+// it are untouched).
+// ======================================================================
+
+/// Days a planted transient keeps clear of a period edge. The classifier
+/// treats deployments touching a period boundary as transitions (X2/X3)
+/// rather than transients, which would turn archetype recall measurements
+/// into edge-placement noise.
+const EDGE_PAD: u32 = 28;
+
+/// The first sensitive service subdomain of a planned domain.
+fn sensitive_sub_of(population: &Population, plan: &DomainPlan) -> Option<DomainName> {
+    let spec = &population.domains[plan.spec];
+    spec.services
+        .iter()
+        .filter_map(|s| spec.domain.child(s).ok())
+        .find(|n| n.is_sensitive())
+}
+
+/// Stable, sensitive-sector victims with a sensitive service child — the
+/// same pool the classic planner's T1 selection draws from.
+fn eligible_stable_victims(population: &Population, domain_plans: &[DomainPlan]) -> Vec<usize> {
+    domain_plans
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| {
+            let spec = &population.domains[p.spec];
+            population.orgs[spec.org].sector.is_sensitive_target()
+                && sensitive_sub_of(population, p).is_some()
+                && matches!(p.profile, DeploymentProfile::Stable { .. })
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Reserve up to `n` victims from `pool`, excluding ones other campaigns
+/// already claimed.
+fn reserve_victims(
+    pool: Vec<usize>,
+    n: usize,
+    taken: &mut std::collections::HashSet<usize>,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let mut pool: Vec<usize> = pool.into_iter().filter(|i| !taken.contains(i)).collect();
+    pool.shuffle(rng);
+    pool.truncate(n);
+    for i in &pool {
+        taken.insert(*i);
+    }
+    pool
+}
+
+/// Clamp `desired` so a transient spanning `span` days sits at least
+/// `pad` days inside its study period.
+fn clamp_mid_period(window: &StudyWindow, desired: Day, span: u32, pad: u32) -> Day {
+    let period = match window.period_of(desired) {
+        Some(p) => p,
+        None => return desired,
+    };
+    let lo = (period.start + pad).0;
+    let hi = period.end.0.saturating_sub(pad + span).max(lo);
+    Day(desired.0.clamp(lo, hi))
+}
+
+/// Nudge a drawn cloud region off any country in `avoid`: keep the draw
+/// when it is acceptable, otherwise rotate to the nearest region of the
+/// same provider outside the avoided set (falling back to the draw when
+/// the provider has no such region). Consumes no randomness, so callers
+/// with an empty `avoid` keep their exact historical RNG stream and
+/// region picks.
+fn region_avoiding(
+    p: &crate::geography::Provider,
+    drawn: usize,
+    avoid: &std::collections::BTreeSet<retrodns_types::CountryCode>,
+) -> usize {
+    if avoid.is_empty() || !avoid.contains(&p.regions[drawn].country) {
+        return drawn;
+    }
+    (1..p.regions.len())
+        .map(|off| (drawn + off) % p.regions.len())
+        .find(|r| !avoid.contains(&p.regions[*r].country))
+        .unwrap_or(drawn)
+}
+
+/// Rent attacker VPS servers the way the classic planner does: pick three
+/// of the favored clouds and allocate `count` addresses round-robin,
+/// steering clear of the countries in `avoid` (a deliberate attacker
+/// hosts outside the victims' country precisely because domestic traffic
+/// draws attention — the same operational logic that makes the paper's
+/// same-country prune safe).
+fn rent_attacker_servers(
+    ctx: &mut PlanCtx,
+    count: usize,
+    avoid: &std::collections::BTreeSet<retrodns_types::CountryCode>,
+    rng: &mut StdRng,
+) -> (Vec<Ipv4Addr>, crate::geography::ProviderId) {
+    let geo: &Geography = ctx.geo;
+    let mut clouds: Vec<_> = ATTACKER_CLOUDS
+        .iter()
+        .filter_map(|n| geo.provider_named(n))
+        .collect();
+    clouds.shuffle(rng);
+    let clouds = &clouds[..3.min(clouds.len())];
+    let mut ips = Vec::new();
+    for i in 0..count {
+        let p = clouds[i % clouds.len()];
+        let region = region_avoiding(p, rng.gen_range(0..p.regions.len()), avoid);
+        ips.push(ctx.alloc.alloc(geo, p.id, region));
+    }
+    (ips, clouds[0].id)
+}
+
+/// Rogue nameserver hostnames for a campaign index.
+fn rogue_ns_names(campaign_idx: usize) -> [DomainName; 2] {
+    let slug = format!("svc{campaign_idx}-dns");
+    [
+        format!("ns1.{slug}.ru").parse().expect("static rogue ns"),
+        format!("ns2.{slug}.ru").parse().expect("static rogue ns"),
+    ]
+}
+
+/// Resolver/router-level redirection: the attacker controls a resolution
+/// path used both by the victim's clients and by the CA's validation
+/// resolver. The authoritative zone is NEVER touched — no delegation
+/// flips, no rogue nameservers answering for the domain — so delegation
+/// history stays clean. The certificate is acquired by answering the
+/// CA's DNS-01 lookups from the poisoned path (modelled as unchecked
+/// issuance; it still lands in CT), and the only DNS evidence is the
+/// forged A answers recorded by sensors behind that path, which the
+/// world builder injects into pDNS from [`AttackTarget::windows`].
+#[allow(clippy::too_many_arguments)]
+fn plan_resolver_campaign(
+    ctx: &mut PlanCtx,
+    db: &mut DnsDb,
+    population: &Population,
+    domain_plans: &[DomainPlan],
+    cfg: &CampaignConfig,
+    campaign_idx: usize,
+    taken: &mut std::collections::HashSet<usize>,
+    rng: &mut StdRng,
+) -> CampaignPlan {
+    let key = ctx.fresh_key();
+    let window_start = ctx.window.start;
+    let window_end = ctx.window.end;
+
+    // Forged answers fail DNSSEC validation, so signed victims are out of
+    // reach for an on-path attacker.
+    let campaign_start = window_start + cfg.active_from;
+    let pool: Vec<usize> = eligible_stable_victims(population, domain_plans)
+        .into_iter()
+        .filter(|i| {
+            let d = &population.domains[domain_plans[*i].spec].domain;
+            !db.dnssec_enabled(d, campaign_start)
+        })
+        .collect();
+    let victims = reserve_victims(pool, cfg.hijacks, taken, rng);
+
+    // Victims are chosen before the infrastructure so the rented servers
+    // can stay out of their countries (see `rent_attacker_servers`).
+    let avoid: std::collections::BTreeSet<retrodns_types::CountryCode> = victims
+        .iter()
+        .map(|i| ctx.geo.providers[domain_plans[*i].provider.0].primary_country())
+        .collect();
+    let (infra_ips, ns_provider) = rent_attacker_servers(ctx, cfg.infra_ips, &avoid, rng);
+    let rogue_ns_ips = [
+        ctx.alloc.alloc(ctx.geo, ns_provider, 0),
+        ctx.alloc.alloc(ctx.geo, ns_provider, 0),
+    ];
+
+    let mut plan = CampaignPlan {
+        name: cfg.name.clone(),
+        key,
+        rogue_ns: rogue_ns_names(campaign_idx),
+        rogue_ns_ips,
+        infra_ips: infra_ips.clone(),
+        targets: Vec::new(),
+        deployments: Vec::new(),
+        archetype: cfg.capability.clone(),
+        hijacked_prefixes: Vec::new(),
+    };
+
+    for (seq, idx) in victims.into_iter().enumerate() {
+        let victim_plan = &domain_plans[idx];
+        let sub = sensitive_sub_of(population, victim_plan)
+            .expect("eligibility guaranteed a sensitive sub");
+        let attacker_ip = infra_ips[seq % infra_ips.len()];
+        let live_days = rng.gen_range(15..22);
+        let desired = window_start + rng.gen_range(cfg.active_from..cfg.active_to);
+        let stage_day = clamp_mid_period(ctx.window, desired, live_days + 2, EDGE_PAD);
+        if stage_day + live_days + 7 > window_end {
+            continue;
+        }
+        let cert_day = stage_day + 1;
+        let cert = ctx.push_cert(PlannedCert {
+            names: vec![sub.clone()],
+            ca: CaTag::LetsEncrypt,
+            day: cert_day,
+            key,
+            acme_validated: false,
+        });
+        // Days on which the poisoned path forged answers (pDNS evidence).
+        let mut windows = Vec::new();
+        let mut w = cert_day + 1;
+        let n_windows = rng.gen_range(cfg.harvest_windows.0..=cfg.harvest_windows.1);
+        for _ in 0..n_windows.max(1) {
+            if w + 1 > window_end {
+                break;
+            }
+            windows.push(w);
+            w += rng.gen_range(2..6);
+        }
+        let teardown = (cert_day + 1 + live_days).min(window_end);
+        plan.deployments.push(PlannedDeployment {
+            ip: attacker_ip,
+            port: 443,
+            cert,
+            from: cert_day + 1,
+            until: Some(teardown),
+            availability_pct: 100,
+        });
+        plan.targets.push(AttackTarget {
+            domain_idx: idx,
+            sub,
+            kind: TargetKind::HijackT1,
+            stage_day,
+            cert_day: Some(cert_day),
+            cert: Some(cert),
+            windows,
+            attacker_ip,
+            teardown,
+        });
+    }
+    plan
+}
+
+/// BGP-assisted hijack: the attacker announces a more-specific /24 carved
+/// out of the victim's hosting provider's block from a foreign VPS AS and
+/// places the counterfeit server inside it. Geolocation databases lag
+/// BGP, so the /24 still geolocates to the victim's country and the
+/// transient looks domestically hosted — the exact shape the shortlist's
+/// same-country prune discards. Only the AS-footprint implausibility
+/// signal can keep it. Like a resolver attacker, certificates come from
+/// intercepted validation and pDNS evidence is the forged answers.
+#[allow(clippy::too_many_arguments)]
+fn plan_bgp_campaign(
+    ctx: &mut PlanCtx,
+    db: &mut DnsDb,
+    population: &Population,
+    domain_plans: &[DomainPlan],
+    cfg: &CampaignConfig,
+    campaign_idx: usize,
+    taken: &mut std::collections::HashSet<usize>,
+    rng: &mut StdRng,
+) -> CampaignPlan {
+    let key = ctx.fresh_key();
+    // The hijacked prefixes are announced from a VPS AS whose legitimate
+    // footprint is entirely elsewhere — that contrast is what the
+    // geo-implausibility signal measures.
+    let origin_asn = ctx
+        .geo
+        .provider_named("VDSINA")
+        .map(|p| p.primary_asn())
+        .unwrap_or_else(|| ctx.geo.clouds().next().expect("clouds exist").primary_asn());
+    let ns_provider = ctx
+        .geo
+        .provider_named("VDSINA")
+        .map(|p| p.id)
+        .unwrap_or(ctx.geo.providers[0].id);
+    let rogue_ns_ips = [
+        ctx.alloc.alloc(ctx.geo, ns_provider, 0),
+        ctx.alloc.alloc(ctx.geo, ns_provider, 0),
+    ];
+    let window_start = ctx.window.start;
+    let window_end = ctx.window.end;
+
+    let campaign_start = window_start + cfg.active_from;
+    let pool: Vec<usize> = eligible_stable_victims(population, domain_plans)
+        .into_iter()
+        .filter(|i| {
+            let d = &population.domains[domain_plans[*i].spec].domain;
+            !db.dnssec_enabled(d, campaign_start)
+        })
+        .collect();
+    let victims = reserve_victims(pool, cfg.hijacks, taken, rng);
+
+    let mut plan = CampaignPlan {
+        name: cfg.name.clone(),
+        key,
+        rogue_ns: rogue_ns_names(campaign_idx),
+        rogue_ns_ips,
+        infra_ips: Vec::new(),
+        targets: Vec::new(),
+        deployments: Vec::new(),
+        archetype: cfg.capability.clone(),
+        hijacked_prefixes: Vec::new(),
+    };
+
+    // One carved /24 per victim provider; counterfeit servers live inside.
+    let mut carve_hosts: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+    for idx in victims {
+        let victim_plan = &domain_plans[idx];
+        let sub = sensitive_sub_of(population, victim_plan)
+            .expect("eligibility guaranteed a sensitive sub");
+        let region = ctx.geo.providers[victim_plan.provider.0].regions[0];
+        // The last /24 of the provider's announced block: high enough that
+        // the deterministic address plan never legitimately allocates there.
+        let base = region.block.last().value() & !0xff;
+        let host = carve_hosts.entry(base).or_insert(0);
+        if *host == 0 {
+            plan.hijacked_prefixes.push((
+                Ipv4Prefix::new(Ipv4Addr(base), 24).expect("aligned /24"),
+                origin_asn,
+            ));
+        }
+        *host += 1;
+        let attacker_ip = Ipv4Addr(base + *host);
+        plan.infra_ips.push(attacker_ip);
+
+        let live_days = rng.gen_range(15..22);
+        let desired = window_start + rng.gen_range(cfg.active_from..cfg.active_to);
+        let stage_day = clamp_mid_period(ctx.window, desired, live_days + 2, EDGE_PAD);
+        if stage_day + live_days + 7 > window_end {
+            continue;
+        }
+        let cert_day = stage_day + 1;
+        let cert = ctx.push_cert(PlannedCert {
+            names: vec![sub.clone()],
+            ca: CaTag::LetsEncrypt,
+            day: cert_day,
+            key,
+            acme_validated: false,
+        });
+        let mut windows = Vec::new();
+        let mut w = cert_day + 1;
+        let n_windows = rng.gen_range(cfg.harvest_windows.0..=cfg.harvest_windows.1);
+        for _ in 0..n_windows.max(1) {
+            if w + 1 > window_end {
+                break;
+            }
+            windows.push(w);
+            w += rng.gen_range(2..6);
+        }
+        let teardown = (cert_day + 1 + live_days).min(window_end);
+        plan.deployments.push(PlannedDeployment {
+            ip: attacker_ip,
+            port: 443,
+            cert,
+            from: cert_day + 1,
+            until: Some(teardown),
+            availability_pct: 100,
+        });
+        plan.targets.push(AttackTarget {
+            domain_idx: idx,
+            sub,
+            kind: TargetKind::HijackT1,
+            stage_day,
+            cert_day: Some(cert_day),
+            cert: Some(cert),
+            windows,
+            attacker_ip,
+            teardown,
+        });
+    }
+    plan
+}
+
+/// Slow-burn multi-period campaign: the attacker re-hijacks the same
+/// victim briefly once per period, always from the same server, each
+/// appearance well under `transient_max_days`. Every single appearance
+/// classifies as an ordinary transient; the *recurrence* is the tell —
+/// which is exactly what the shortlist's repeated-transients prune throws
+/// away. Only the cross-period recurrence signal can keep it. Certificate
+/// acquisition is a real per-period ACME flip (fresh certificate each
+/// period), so delegation evidence exists for inspection once the
+/// candidate survives.
+#[allow(clippy::too_many_arguments)]
+fn plan_slowburn_campaign(
+    ctx: &mut PlanCtx,
+    db: &mut DnsDb,
+    population: &Population,
+    domain_plans: &[DomainPlan],
+    cfg: &CampaignConfig,
+    campaign_idx: usize,
+    taken: &mut std::collections::HashSet<usize>,
+    rng: &mut StdRng,
+) -> CampaignPlan {
+    let key = ctx.fresh_key();
+    let (infra_ips, ns_provider) =
+        rent_attacker_servers(ctx, cfg.infra_ips, &Default::default(), rng);
+    let rogue_ns_ips = [
+        ctx.alloc.alloc(ctx.geo, ns_provider, 0),
+        ctx.alloc.alloc(ctx.geo, ns_provider, 0),
+    ];
+    let rogue_ns = rogue_ns_names(campaign_idx);
+    let window_start = ctx.window.start;
+    let window_end = ctx.window.end;
+    let periods = ctx.window.periods();
+
+    // Run across four consecutive periods starting at the one containing
+    // `active_from` (capped to what the window still has room for).
+    let first_pid = periods
+        .iter()
+        .position(|p| p.contains(window_start + cfg.active_from))
+        .unwrap_or(1);
+    let n_periods = 4.min(periods.len().saturating_sub(first_pid));
+
+    let victims = reserve_victims(
+        eligible_stable_victims(population, domain_plans),
+        cfg.hijacks,
+        taken,
+        rng,
+    );
+
+    let mut plan = CampaignPlan {
+        name: cfg.name.clone(),
+        key,
+        rogue_ns: rogue_ns.clone(),
+        rogue_ns_ips,
+        infra_ips: infra_ips.clone(),
+        targets: Vec::new(),
+        deployments: Vec::new(),
+        archetype: cfg.capability.clone(),
+        hijacked_prefixes: Vec::new(),
+    };
+    if n_periods < 2 {
+        return plan; // no room for a multi-period campaign
+    }
+
+    // Glue early enough for the first period's acquisition flip.
+    for (ns, ip) in plan.rogue_ns.iter().zip(plan.rogue_ns_ips) {
+        db.set_glue(ns, vec![ip], periods[first_pid].start);
+    }
+
+    for (seq, idx) in victims.into_iter().enumerate() {
+        let victim_plan = &domain_plans[idx];
+        let spec = &population.domains[victim_plan.spec];
+        let sub = sensitive_sub_of(population, victim_plan)
+            .expect("eligibility guaranteed a sensitive sub");
+        let attacker_ip = infra_ips[seq % infra_ips.len()];
+        let actor = Actor::StolenCredentials(spec.domain.clone());
+
+        let mut flips: Vec<Day> = Vec::new();
+        let mut last_until = window_start;
+        let mut dnssec_stripped = false;
+        for p in periods.iter().skip(first_pid).take(n_periods) {
+            let span = rng.gen_range(12..18);
+            let desired = p.start + rng.gen_range(30..90);
+            let f = clamp_mid_period(ctx.window, desired, span + 2, EDGE_PAD);
+            if f + span + 7 > window_end {
+                break;
+            }
+            // Stage zone content, strip DNSSEC once, flip for a day to
+            // pass DNS-01, restore.
+            for ns in &rogue_ns {
+                db.set_zone_record(ns, &sub, vec![RecordData::A(attacker_ip)], f);
+                if let Some(legit_ip) = victim_plan.primary_ip {
+                    db.set_zone_record(ns, &spec.domain, vec![RecordData::A(legit_ip)], f);
+                }
+            }
+            if !dnssec_stripped && db.dnssec_enabled(&spec.domain, f) {
+                db.set_dnssec(&actor, &spec.domain, false, f)
+                    .expect("stolen credentials cover the victim");
+                dnssec_stripped = true;
+            }
+            let restore_ns: Vec<DomainName> = db
+                .delegation_of(&spec.domain, f)
+                .expect("victims are delegated")
+                .to_vec();
+            db.set_delegation(&actor, &spec.domain, rogue_ns.to_vec(), f)
+                .expect("stolen credentials cover the victim");
+            db.set_delegation(&Actor::Owner, &spec.domain, restore_ns, f + 1)
+                .expect("owner restore");
+            let token = AcmeCa::challenge_token(&sub, key, f);
+            for ns in &rogue_ns {
+                db.set_zone_record(
+                    ns,
+                    &AcmeCa::challenge_name(&sub),
+                    vec![RecordData::Txt(token.clone())],
+                    f,
+                );
+            }
+            let cert = ctx.push_cert(PlannedCert {
+                names: vec![sub.clone()],
+                ca: CaTag::LetsEncrypt,
+                day: f,
+                key,
+                acme_validated: true,
+            });
+            let until = (f + 1 + span).min(window_end);
+            plan.deployments.push(PlannedDeployment {
+                ip: attacker_ip,
+                port: 443,
+                cert,
+                from: f + 1,
+                until: Some(until),
+                availability_pct: 100,
+            });
+            flips.push(f);
+            last_until = last_until.max(until);
+        }
+        if flips.len() < 2 {
+            continue; // not enough room left to be a slow burn
+        }
+        if dnssec_stripped {
+            let resign = (last_until + rng.gen_range(5..20)).min(window_end);
+            db.set_dnssec(&Actor::Owner, &spec.domain, true, resign)
+                .expect("owner restores DNSSEC");
+        }
+        let first_flip = flips[0];
+        // The first planned cert for this victim is `flips.len()` ago.
+        let first_cert = CertRef(ctx.certs.len() - flips.len());
+        plan.targets.push(AttackTarget {
+            domain_idx: idx,
+            sub,
+            kind: TargetKind::HijackT1,
+            stage_day: first_flip.saturating_sub_days(1),
+            cert_day: Some(first_flip),
+            cert: Some(first_cert),
+            windows: flips[1..].to_vec(),
+            attacker_ip,
+            teardown: last_until,
+        });
+    }
+    plan
+}
+
+/// Certificate-mimicry: the attacker performs the acquisition flip months
+/// before using the certificate, so by the time the counterfeit endpoint
+/// surfaces in scans the certificate is "old" and the inspection stage's
+/// stale-certificate rule (issued > `stale_days` before the transient, no
+/// DNS changes near the transient) dismisses the candidate. The harvest
+/// itself happens off-path with the mimicked certificate and leaves no
+/// authoritative evidence near the deployment; only issuance-anchored
+/// lineage analysis can recover the flip.
+#[allow(clippy::too_many_arguments)]
+fn plan_certmimicry_campaign(
+    ctx: &mut PlanCtx,
+    db: &mut DnsDb,
+    population: &Population,
+    domain_plans: &[DomainPlan],
+    cfg: &CampaignConfig,
+    campaign_idx: usize,
+    taken: &mut std::collections::HashSet<usize>,
+    rng: &mut StdRng,
+) -> CampaignPlan {
+    let key = ctx.fresh_key();
+    let (infra_ips, ns_provider) =
+        rent_attacker_servers(ctx, cfg.infra_ips, &Default::default(), rng);
+    let rogue_ns_ips = [
+        ctx.alloc.alloc(ctx.geo, ns_provider, 0),
+        ctx.alloc.alloc(ctx.geo, ns_provider, 0),
+    ];
+    let rogue_ns = rogue_ns_names(campaign_idx);
+    let window_start = ctx.window.start;
+    let window_end = ctx.window.end;
+
+    let victims = reserve_victims(
+        eligible_stable_victims(population, domain_plans),
+        cfg.hijacks,
+        taken,
+        rng,
+    );
+
+    let mut plan = CampaignPlan {
+        name: cfg.name.clone(),
+        key,
+        rogue_ns: rogue_ns.clone(),
+        rogue_ns_ips,
+        infra_ips: infra_ips.clone(),
+        targets: Vec::new(),
+        deployments: Vec::new(),
+        archetype: cfg.capability.clone(),
+        hijacked_prefixes: Vec::new(),
+    };
+
+    // Glue early enough for acquisition flips that precede the visible
+    // deployment by up to ~70 days.
+    let glue_day = window_start + cfg.active_from.saturating_sub(90);
+    for (ns, ip) in plan.rogue_ns.iter().zip(plan.rogue_ns_ips) {
+        db.set_glue(ns, vec![ip], glue_day);
+    }
+
+    for (seq, idx) in victims.into_iter().enumerate() {
+        let victim_plan = &domain_plans[idx];
+        let spec = &population.domains[victim_plan.spec];
+        let sub = sensitive_sub_of(population, victim_plan)
+            .expect("eligibility guaranteed a sensitive sub");
+        let attacker_ip = infra_ips[seq % infra_ips.len()];
+        let actor = Actor::StolenCredentials(spec.domain.clone());
+
+        let span = rng.gen_range(8..14);
+        // Gap long enough to trip the stale-cert rule (42 days) but short
+        // enough that the 90-day certificate is still valid when scanned.
+        let gap = rng.gen_range(50..70);
+        let desired = window_start + rng.gen_range(cfg.active_from..cfg.active_to);
+        let live = clamp_mid_period(ctx.window, desired, span + 2, EDGE_PAD);
+        if live + span + 7 > window_end || live.saturating_sub_days(gap) < glue_day + 2 {
+            continue;
+        }
+        let cert_day = live.saturating_sub_days(gap);
+        let stage_day = cert_day.saturating_sub_days(1);
+
+        for ns in &rogue_ns {
+            db.set_zone_record(ns, &sub, vec![RecordData::A(attacker_ip)], stage_day);
+            if let Some(legit_ip) = victim_plan.primary_ip {
+                db.set_zone_record(ns, &spec.domain, vec![RecordData::A(legit_ip)], stage_day);
+            }
+        }
+        let dnssec_was_on = db.dnssec_enabled(&spec.domain, stage_day);
+        if dnssec_was_on {
+            db.set_dnssec(&actor, &spec.domain, false, stage_day)
+                .expect("stolen credentials cover the victim");
+        }
+        let restore_ns: Vec<DomainName> = db
+            .delegation_of(&spec.domain, stage_day)
+            .expect("victims are delegated")
+            .to_vec();
+        db.set_delegation(&actor, &spec.domain, rogue_ns.to_vec(), cert_day)
+            .expect("stolen credentials cover the victim");
+        db.set_delegation(&Actor::Owner, &spec.domain, restore_ns, cert_day + 1)
+            .expect("owner restore");
+        let token = AcmeCa::challenge_token(&sub, key, cert_day);
+        for ns in &rogue_ns {
+            db.set_zone_record(
+                ns,
+                &AcmeCa::challenge_name(&sub),
+                vec![RecordData::Txt(token.clone())],
+                cert_day,
+            );
+        }
+        let cert = ctx.push_cert(PlannedCert {
+            names: vec![sub.clone()],
+            ca: CaTag::LetsEncrypt,
+            day: cert_day,
+            key,
+            acme_validated: true,
+        });
+        if dnssec_was_on {
+            let resign = (cert_day + rng.gen_range(5..20)).min(window_end);
+            db.set_dnssec(&Actor::Owner, &spec.domain, true, resign)
+                .expect("owner restores DNSSEC");
+        }
+
+        let teardown = (live + span).min(window_end);
+        plan.deployments.push(PlannedDeployment {
+            ip: attacker_ip,
+            port: 443,
+            cert,
+            from: live,
+            until: Some(teardown),
+            availability_pct: 100,
+        });
+        plan.targets.push(AttackTarget {
+            domain_idx: idx,
+            sub,
+            kind: TargetKind::HijackT1,
+            stage_day,
+            cert_day: Some(cert_day),
+            cert: Some(cert),
+            // No harvest flips near the deployment — the whole point is
+            // that nothing anomalous happens in DNS when the endpoint is
+            // finally visible.
+            windows: Vec::new(),
+            attacker_ip,
+            teardown,
+        });
+    }
     plan
 }
 

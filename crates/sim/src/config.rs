@@ -63,7 +63,13 @@ pub struct CampaignConfig {
     /// How the capability is obtained: `"registrar"` (compromise one
     /// registrar, pick victims among its domains), `"credentials"`
     /// (per-domain account compromise), or `"registry"` (a whole ccTLD
-    /// suffix).
+    /// suffix). Four adversarial archetypes extend the space:
+    /// `"resolver"` (victim-facing resolver/router redirection,
+    /// authoritative records untouched), `"bgp"` (more-specific prefix
+    /// hijack with plausible geolocation), `"slowburn"` (one
+    /// under-threshold transient per period, many periods), and
+    /// `"certmimicry"` (fresh trusted certificate obtained long before
+    /// the flip to evade T1 promotion).
     pub capability: String,
     /// Number of fully hijacked victims.
     pub hijacks: usize,
@@ -235,7 +241,13 @@ impl SimConfig {
             assert!(
                 matches!(
                     c.capability.as_str(),
-                    "registrar" | "credentials" | "registry"
+                    "registrar"
+                        | "credentials"
+                        | "registry"
+                        | "resolver"
+                        | "bgp"
+                        | "slowburn"
+                        | "certmimicry"
                 ),
                 "{}: unknown capability {:?}",
                 c.name,

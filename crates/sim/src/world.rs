@@ -53,6 +53,10 @@ pub struct HijackRecord {
     pub windows: Vec<Day>,
     /// Campaign name.
     pub campaign: String,
+    /// Campaign archetype (the campaign config's capability string), so
+    /// experiments can score detection per attacker archetype.
+    #[serde(default)]
+    pub archetype: String,
 }
 
 /// Ground truth for one targeted-but-not-hijacked domain.
@@ -70,6 +74,9 @@ pub struct TargetRecord {
     pub staged: Day,
     /// Campaign name.
     pub campaign: String,
+    /// Campaign archetype (the campaign config's capability string).
+    #[serde(default)]
+    pub archetype: String,
 }
 
 /// Everything the simulator knows that the analyst does not.
@@ -388,6 +395,22 @@ impl World {
             ));
         }
 
+        // BGP-archetype prefix hijacks: apply the attacker's more-specific
+        // announcements on top of the legitimate route table, so every
+        // later annotation (scan rows, the analyst's asdb) sees the
+        // hijacked origin — exactly what a pfx2as snapshot taken during
+        // the campaign would contain.
+        let mut geo = geo;
+        let mut route_overrides: Vec<_> = campaigns
+            .iter()
+            .flat_map(|c| c.hijacked_prefixes.iter().cloned())
+            .collect();
+        if !route_overrides.is_empty() {
+            route_overrides.sort();
+            route_overrides.dedup();
+            geo.asdb.prefixes = geo.asdb.prefixes.with_overrides(&route_overrides);
+        }
+
         // ------------------------------------------------------------
         // Materialize certificates in chronological order.
         // ------------------------------------------------------------
@@ -477,6 +500,7 @@ impl World {
                         first_hijack: t.cert_day.expect("hijack has cert day"),
                         windows: t.windows.clone(),
                         campaign: c.name.clone(),
+                        archetype: c.archetype.clone(),
                     });
                 } else {
                     ground_truth.targeted.push(TargetRecord {
@@ -486,6 +510,7 @@ impl World {
                         attacker_ip: t.attacker_ip,
                         staged: t.stage_day,
                         campaign: c.name.clone(),
+                        archetype: c.archetype.clone(),
                     });
                 }
             }
@@ -511,13 +536,36 @@ impl World {
                 }
             })
             .collect();
-        let pdns = generate_pdns(
+        let mut pdns = generate_pdns(
             &dns,
             &observed,
             &config.window,
             config.pdns_subday_factor,
             &mut rng,
         );
+        // Resolver/BGP archetypes never touch authoritative DNS; the
+        // forged answers seen by sensors behind the poisoned path are
+        // their only DNS trace. Inject those as ordinary pDNS aggregates
+        // (skipping domains dark to sensors).
+        for c in &campaigns {
+            if c.archetype != "resolver" && c.archetype != "bgp" {
+                continue;
+            }
+            for t in &c.targets {
+                if !t.kind.is_hijack() || plans[t.domain_idx].popularity == 0.0 {
+                    continue;
+                }
+                for w in &t.windows {
+                    pdns.insert_aggregate(
+                        &t.sub,
+                        retrodns_dns::RecordData::A(t.attacker_ip),
+                        *w,
+                        *w,
+                        6,
+                    );
+                }
+            }
+        }
         let zones = generate_zone_archive(
             &dns,
             &observed,

@@ -36,4 +36,7 @@ echo "==> stream smoke (week ingest vs full re-analysis at 20 weeks; 5.0x gate)"
 cargo run --release -p retrodns-bench --bin experiments -- --stream-weeks 20 \
     --min-stream-speedup 5.0 --reps 5 stream
 
+echo "==> archetype matrix (7 archetypes x 3 seeds; full-recall + no-regression gates)"
+cargo run --release -p retrodns-bench --bin experiments -- archetypes
+
 echo "tier-1 verification passed"

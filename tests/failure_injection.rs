@@ -227,6 +227,78 @@ fn latency_spikes_keep_precision() {
 }
 
 #[test]
+fn multi_source_faults_are_deterministic_at_any_worker_count() {
+    // Several sources degraded at once (partial pdns, flaky CT, slow
+    // as2org): the report must still be byte-identical across worker
+    // counts — fault fates are keyed on the logical query, not on call
+    // order, so chunking cannot change which queries die.
+    use retrodns::core::pipeline::{Pipeline, PipelineConfig};
+    use retrodns::sim::{SourceFaultKind, SourceFaultPlan};
+    use retrodns::types::{CallFate, SourceFaults};
+
+    /// Test-local composite: each member plan afflicts its own source;
+    /// the first non-clean fate wins.
+    struct MultiSourceFaults(Vec<SourceFaultPlan>);
+    impl SourceFaults for MultiSourceFaults {
+        fn fate(&self, source: &str, key: u64, attempt: u32) -> CallFate {
+            for plan in &self.0 {
+                match plan.fate(source, key, attempt) {
+                    CallFate::Ok { latency_ms: 0 } => continue,
+                    other => return other,
+                }
+            }
+            CallFate::Ok { latency_ms: 0 }
+        }
+    }
+
+    let world = small_world(110);
+    let observations = observations_of(&world);
+    let faults = MultiSourceFaults(vec![
+        SourceFaultPlan {
+            seed: 21,
+            source: "pdns".to_string(),
+            kind: SourceFaultKind::PartialResponse,
+            rate_pct: 40,
+        },
+        SourceFaultPlan {
+            seed: 22,
+            source: "ct".to_string(),
+            kind: SourceFaultKind::ErrorBurst,
+            rate_pct: 30,
+        },
+        SourceFaultPlan {
+            seed: 23,
+            source: "as2org".to_string(),
+            kind: SourceFaultKind::LatencySpike,
+            rate_pct: 50,
+        },
+    ]);
+    let mut reports = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let pipeline = Pipeline::new(PipelineConfig {
+            window: world.config.window.clone(),
+            workers,
+            ..PipelineConfig::default()
+        });
+        let report = pipeline.run(
+            &InputsBuilder::new(&world, &observations)
+                .source_faults(&faults)
+                .build(),
+        );
+        for h in &report.hijacked {
+            assert!(
+                world.ground_truth.is_attacked(&h.domain),
+                "false positive under multi-source faults: {}",
+                h.domain
+            );
+        }
+        reports.push(serde_json::to_string_pretty(&report).unwrap());
+    }
+    assert_eq!(reports[0], reports[1], "workers 1 vs 2 diverged");
+    assert_eq!(reports[0], reports[2], "workers 1 vs 8 diverged");
+}
+
+#[test]
 fn idle_injector_changes_nothing_at_any_worker_count() {
     // An injector that never fires must leave the report byte-identical
     // to a run without any injector, at every worker count: the
