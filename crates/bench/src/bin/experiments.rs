@@ -49,6 +49,17 @@
 //! length (default 20); `--min-stream-speedup X` fails the process when
 //! ingesting the latest week is less than `X`x faster than re-analyzing
 //! the whole history at that point (the CI regression gate).
+//!
+//! The extra id `serve` (also not part of `all`) runs the
+//! `retrodns-serve` crash-tolerance harness: per worker count (1/2/8) it
+//! SIGKILL-equivalently aborts a spawned server at `--serve-kills`
+//! deterministic points mid-analysis, restarts it each time, and fails
+//! the process unless the final report is byte-identical to an
+//! uninterrupted golden; then a load test records sustained queries/sec
+//! and p50/p99 latency under `--serve-clients` concurrent clients while
+//! an analysis is active (`--min-serve-qps X` is the CI gate). Points
+//! persist into `BENCH_pipeline.json`. (The hidden first argument
+//! `__serve` is the harness's server child mode, not a user id.)
 
 use retrodns_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
 use retrodns_bench::{Bundle, Scale};
@@ -71,6 +82,17 @@ const STREAM_WEEK_COUNTS: [usize; 3] = [5, 10, 20];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden server child mode of the serve harness: this process *is*
+    // the server the chaos trials kill and restart.
+    if args.first().map(String::as_str) == Some("__serve") {
+        return match retrodns_bench::serve_child_main(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("__serve: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut scale = Scale::Standard;
     let mut seed: u64 = 0xD05_11EC7;
     let mut workers: usize = 4;
@@ -78,6 +100,9 @@ fn main() -> ExitCode {
     let mut max_domains: usize = 1_000_000;
     let mut max_obs: usize = 5_000_000;
     let mut stream_weeks: usize = 20;
+    let mut serve_kills: usize = 5;
+    let mut serve_clients: usize = 4;
+    let mut min_serve_qps: Option<f64> = None;
     let mut min_stream_speedup: Option<f64> = None;
     let mut min_e2e_speedup: Option<f64> = None;
     let mut max_bytes_per_obs: Option<f64> = None;
@@ -140,6 +165,39 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 stream_weeks = v;
+            }
+            "--serve-kills" => {
+                let Some(v) = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &usize| v >= 1)
+                else {
+                    eprintln!("--serve-kills expects a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                serve_kills = v;
+            }
+            "--serve-clients" => {
+                let Some(v) = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &usize| v >= 1)
+                else {
+                    eprintln!("--serve-clients expects a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                serve_clients = v;
+            }
+            "--min-serve-qps" => {
+                let Some(v) = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &f64| v > 0.0)
+                else {
+                    eprintln!("--min-serve-qps expects a positive number");
+                    return ExitCode::FAILURE;
+                };
+                min_serve_qps = Some(v);
             }
             "--min-stream-speedup" => {
                 let Some(v) = it
@@ -204,8 +262,9 @@ fn main() -> ExitCode {
                     "usage: experiments [--scale quick|standard|full] [--seed N] [--workers N] \
                      [--reps N] [--max-domains N] [--max-obs N] [--min-e2e-speedup X] \
                      [--max-bytes-per-obs X] [--min-mem-reduction X] [--stream-weeks N] \
-                     [--min-stream-speedup X] <id>... | all\n\
-                     ids: {} bench matrix faults archetypes mem stream",
+                     [--min-stream-speedup X] [--serve-kills N] [--serve-clients N] \
+                     [--min-serve-qps X] <id>... | all\n\
+                     ids: {} bench matrix faults archetypes mem stream serve",
                     ALL_EXPERIMENTS.join(" ")
                 );
                 return ExitCode::SUCCESS;
@@ -222,11 +281,13 @@ fn main() -> ExitCode {
             && id != "matrix"
             && id != "mem"
             && id != "stream"
+            && id != "serve"
             && id != "archetypes"
             && !ALL_EXPERIMENTS.contains(&id.as_str())
         {
             eprintln!(
-                "unknown experiment {id:?}; known: {} bench matrix faults archetypes mem stream",
+                "unknown experiment {id:?}; known: {} bench matrix faults archetypes mem stream \
+                 serve",
                 ALL_EXPERIMENTS.join(" ")
             );
             return ExitCode::FAILURE;
@@ -236,16 +297,21 @@ fn main() -> ExitCode {
     // The faults campaign builds its own (damaged) worlds, and the
     // matrix and mem sweeps generate synthetic streams directly; run
     // them before paying for the shared bundle if no other id needs it.
-    if ids
-        .iter()
-        .all(|i| i == "faults" || i == "matrix" || i == "mem" || i == "stream" || i == "archetypes")
-    {
+    if ids.iter().all(|i| {
+        i == "faults"
+            || i == "matrix"
+            || i == "mem"
+            || i == "stream"
+            || i == "serve"
+            || i == "archetypes"
+    }) {
         for id in &ids {
             let code = match id.as_str() {
                 "faults" => run_faults(seed, workers),
                 "archetypes" => run_archetypes(seed, workers),
                 "mem" => run_mem(max_obs, max_bytes_per_obs, min_mem_reduction),
                 "stream" => run_stream(stream_weeks, workers, reps, min_stream_speedup),
+                "serve" => run_serve(serve_kills, serve_clients, min_serve_qps),
                 _ => run_matrix(max_domains, reps),
             };
             if code != ExitCode::SUCCESS {
@@ -309,17 +375,28 @@ fn main() -> ExitCode {
             eprintln!("[stream took {:.1?}]", t.elapsed());
             continue;
         }
+        if id == "serve" {
+            let code = run_serve(serve_kills, serve_clients, min_serve_qps);
+            if code != ExitCode::SUCCESS {
+                return code;
+            }
+            eprintln!("[serve took {:.1?}]", t.elapsed());
+            continue;
+        }
         if id == "bench" {
             let mut report = retrodns_bench::bench_pipeline(&bundle, workers, reps);
             let path = "BENCH_pipeline.json";
-            // Carry the trajectory and matrix forward: load the previous
-            // report (if any), keep its history, and append this run as
-            // a new point.
+            // Carry the other sections forward: load the previous report
+            // (if any), keep its history and sweeps, and append this run
+            // as a new trajectory point.
             if let Ok(prev) = std::fs::read_to_string(path) {
                 if let Ok(prev) = serde_json::from_str::<retrodns_bench::PipelineBenchReport>(&prev)
                 {
                     report.trajectory = prev.trajectory;
                     report.matrix = prev.matrix;
+                    report.memory = prev.memory;
+                    report.stream = prev.stream;
+                    report.serve = prev.serve;
                 }
             }
             let e2e = report.stages.iter().find(|s| s.stage == "end_to_end");
@@ -390,22 +467,7 @@ fn run_matrix(max_domains: usize, reps: usize) -> ExitCode {
     let mut report = std::fs::read_to_string(path)
         .ok()
         .and_then(|s| serde_json::from_str::<retrodns_bench::PipelineBenchReport>(&s).ok())
-        .unwrap_or_else(|| retrodns_bench::PipelineBenchReport {
-            workers: 0,
-            domains: 0,
-            observations: 0,
-            reps,
-            stages: Vec::new(),
-            metered_ms: 0.0,
-            metrics_overhead_pct: 0.0,
-            metrics_overhead_raw_pct: 0.0,
-            metrics_overhead_noise: false,
-            git_rev: String::new(),
-            matrix: Vec::new(),
-            trajectory: Vec::new(),
-            memory: Vec::new(),
-            stream: Vec::new(),
-        });
+        .unwrap_or_default();
     report.matrix = cells;
     report.git_rev = retrodns_bench::git_rev();
     let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
@@ -447,22 +509,7 @@ fn run_mem(
     let mut report = std::fs::read_to_string(path)
         .ok()
         .and_then(|s| serde_json::from_str::<retrodns_bench::PipelineBenchReport>(&s).ok())
-        .unwrap_or_else(|| retrodns_bench::PipelineBenchReport {
-            workers: 0,
-            domains: 0,
-            observations: 0,
-            reps: 1,
-            stages: Vec::new(),
-            metered_ms: 0.0,
-            metrics_overhead_pct: 0.0,
-            metrics_overhead_raw_pct: 0.0,
-            metrics_overhead_noise: false,
-            git_rev: String::new(),
-            matrix: Vec::new(),
-            trajectory: Vec::new(),
-            memory: Vec::new(),
-            stream: Vec::new(),
-        });
+        .unwrap_or_default();
     report.memory = points;
     report.git_rev = retrodns_bench::git_rev();
     let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
@@ -536,22 +583,7 @@ fn run_stream(
     let mut report = std::fs::read_to_string(path)
         .ok()
         .and_then(|s| serde_json::from_str::<retrodns_bench::PipelineBenchReport>(&s).ok())
-        .unwrap_or_else(|| retrodns_bench::PipelineBenchReport {
-            workers: 0,
-            domains: 0,
-            observations: 0,
-            reps,
-            stages: Vec::new(),
-            metered_ms: 0.0,
-            metrics_overhead_pct: 0.0,
-            metrics_overhead_raw_pct: 0.0,
-            metrics_overhead_noise: false,
-            git_rev: String::new(),
-            matrix: Vec::new(),
-            trajectory: Vec::new(),
-            memory: Vec::new(),
-            stream: Vec::new(),
-        });
+        .unwrap_or_default();
     report.stream = points;
     report.git_rev = retrodns_bench::git_rev();
     let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
@@ -581,6 +613,93 @@ fn run_stream(
         eprintln!(
             "stream speedup gate: {:.2}x at {} weeks >= {min:.2}x, ok",
             p.speedup, p.weeks
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Run the serve harness — chaos trials at each worker count, then the
+/// concurrent-query load test — and persist the rows into
+/// `BENCH_pipeline.json`, preserving whatever report is already there.
+/// Fails when any chaos trial delivered fewer kills than scheduled or
+/// produced a report that is not byte-identical to the uninterrupted
+/// golden, and when the load test sustains fewer than `--min-serve-qps`
+/// queries per second.
+fn run_serve(kills: usize, clients: usize, min_serve_qps: Option<f64>) -> ExitCode {
+    eprintln!(
+        "serve harness: {kills} kills x workers {:?} + load test ({clients} clients), seed {:#x}...",
+        retrodns_bench::SERVE_CHAOS_WORKERS,
+        retrodns_bench::SERVE_SEED
+    );
+    let points = match retrodns_bench::run_serve_harness(&retrodns_bench::ServeHarness {
+        kills,
+        clients,
+        seed: retrodns_bench::SERVE_SEED,
+    }) {
+        Ok(points) => points,
+        Err(e) => {
+            eprintln!("serve harness failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let path = "BENCH_pipeline.json";
+    let mut report = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<retrodns_bench::PipelineBenchReport>(&s).ok())
+        .unwrap_or_default();
+    report.serve = points;
+    report.git_rev = retrodns_bench::git_rev();
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("failed to write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\n{}", report.summary());
+    eprintln!("[serve wrote {path} ({} rows)]", report.serve.len());
+    let mut failed = false;
+    for p in report.serve.iter().filter(|p| p.scenario != "load") {
+        if p.kills < kills {
+            eprintln!(
+                "REGRESSION: {} delivered only {}/{kills} scheduled kills",
+                p.scenario, p.kills
+            );
+            failed = true;
+        }
+        if !p.byte_identical {
+            eprintln!(
+                "REGRESSION: {} final report differs from the uninterrupted golden",
+                p.scenario
+            );
+            failed = true;
+        }
+        if p.resumed_weeks == 0 {
+            eprintln!(
+                "REGRESSION: {} final incarnation resumed no weeks — recovery never engaged",
+                p.scenario
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    eprintln!("chaos gate: all trials byte-identical after {kills} kills, ok");
+    if let Some(min) = min_serve_qps {
+        let Some(load) = report.serve.iter().find(|p| p.scenario == "load") else {
+            eprintln!("REGRESSION: load row missing from serve harness output");
+            return ExitCode::FAILURE;
+        };
+        if load.qps < min {
+            eprintln!(
+                "REGRESSION: load test sustained only {:.0} qps (p99 {:.2} ms), below the \
+                 {min:.0} qps gate",
+                load.qps, load.p99_ms
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "serve qps gate: {:.0} qps (p50 {:.2} ms, p99 {:.2} ms) >= {min:.0}, ok",
+            load.qps, load.p50_ms, load.p99_ms
         );
     }
     ExitCode::SUCCESS

@@ -12,6 +12,7 @@ pub mod bundle;
 pub mod experiments;
 pub mod faults;
 pub mod perf;
+pub mod serve_load;
 
 pub use archetypes::{
     run_archetype_campaign, ArchetypeCell, ArchetypeMatrix, ARCHETYPES, EVASION_ARCHETYPES,
@@ -23,4 +24,7 @@ pub use perf::{
     bench_map_matrix, bench_mem, bench_pipeline, bench_stream, git_rev, MatrixCell, MemPoint,
     PipelineBenchReport, StageBench, StreamPoint, TrajectoryPoint, MEM_SCANS_PER_DOMAIN,
     STREAM_SEED,
+};
+pub use serve_load::{
+    run_serve_harness, serve_child_main, ServeHarness, ServePoint, SERVE_CHAOS_WORKERS, SERVE_SEED,
 };

@@ -187,7 +187,7 @@ pub struct StreamPoint {
 }
 
 /// The full pipeline perf report emitted as `BENCH_pipeline.json`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PipelineBenchReport {
     /// Worker-pool size used for the parallel measurements.
     pub workers: usize,
@@ -239,6 +239,10 @@ pub struct PipelineBenchReport {
     /// stream` (empty when it has not run).
     #[serde(default)]
     pub stream: Vec<StreamPoint>,
+    /// The serve harness rows (chaos trials + load test), regenerated by
+    /// `experiments serve` (empty when it has not run).
+    #[serde(default)]
+    pub serve: Vec<crate::serve_load::ServePoint>,
 }
 
 impl PipelineBenchReport {
@@ -345,6 +349,41 @@ impl PipelineBenchReport {
                     s.mean_week_ms,
                     s.full_reanalysis_ms,
                     s.speedup
+                );
+            }
+        }
+        if !self.serve.is_empty() {
+            let _ = writeln!(out, "\n== Serve harness (chaos trials + query load) ==");
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} {:>7} {:>6} {:>8} {:>10} {:>8} {:>9} {:>10} {:>10} {:>10}",
+                "scenario",
+                "workers",
+                "weeks",
+                "kills",
+                "resumed",
+                "identical",
+                "clients",
+                "queries",
+                "qps",
+                "p50 ms",
+                "p99 ms"
+            );
+            for s in &self.serve {
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>8} {:>7} {:>6} {:>8} {:>10} {:>8} {:>9} {:>10.0} {:>10.2} {:>10.2}",
+                    s.scenario,
+                    s.workers,
+                    s.weeks,
+                    s.kills,
+                    s.resumed_weeks,
+                    s.byte_identical,
+                    s.clients,
+                    s.queries,
+                    s.qps,
+                    s.p50_ms,
+                    s.p99_ms
                 );
             }
         }
@@ -466,6 +505,7 @@ pub fn bench_pipeline(bundle: &Bundle, workers: usize, reps: usize) -> PipelineB
         trajectory: Vec::new(),
         memory: Vec::new(),
         stream: Vec::new(),
+        serve: Vec::new(),
         stages: vec![
             StageBench::new("map_build", observations.len(), map_serial, map_parallel),
             StageBench::new("classify", maps.len(), classify_serial, classify_parallel),

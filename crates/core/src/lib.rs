@@ -29,6 +29,7 @@ pub mod checkpoint;
 pub mod classify;
 pub mod incremental;
 pub mod inspect;
+pub mod lock;
 pub mod map;
 pub mod metrics;
 pub mod observability;
@@ -45,6 +46,7 @@ pub use checkpoint::{CheckpointStore, Fingerprint};
 pub use classify::{Pattern, StableKind, TransientKind, TransitionKind};
 pub use incremental::{IncrementalAnalyzer, WeekDelta};
 pub use inspect::{DegradedVerdict, DetectedHijack, DetectedTarget, DetectionType, InspectOutcome};
+pub use lock::{DirLock, LockError};
 pub use map::{Deployment, DeploymentGroup, DeploymentMap, MapBuilder};
 pub use metrics::{CountingAlloc, MetricsRegistry, MetricsShard, MetricsSnapshot};
 pub use observability::{PipelineTimings, StageTiming};

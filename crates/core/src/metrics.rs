@@ -267,6 +267,14 @@ impl MetricsRegistry {
         self.root.merge(shard);
     }
 
+    /// Drain the accumulated counters/gauges/histograms, leaving the
+    /// registry empty (spans stay). A long-running service uses this to
+    /// fold per-ingest registries into one process-wide exposition
+    /// registry without holding its lock across the ingest itself.
+    pub fn take_shard(&mut self) -> MetricsShard {
+        std::mem::take(&mut self.root)
+    }
+
     /// Open a hierarchical span.
     pub fn span_open(&mut self, name: &str) -> SpanId {
         let depth = self.open.len();

@@ -1,0 +1,114 @@
+//! Tiny blocking HTTP client for tests, the chaos harness, and the load
+//! generator. One request per connection, mirroring the server's
+//! `Connection: close` discipline: write the request, read to EOF, parse.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use serde::de::DeserializeOwned;
+
+/// A parsed HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Lower-cased header names → values.
+    pub headers: BTreeMap<String, String>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Body parsed as JSON.
+    pub fn json<T: DeserializeOwned>(&self) -> Result<T, String> {
+        serde_json::from_slice(&self.body)
+            .map_err(|e| format!("invalid json response ({}): {e}", self.status))
+    }
+
+    /// Header value by lower-cased name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(String::as_str)
+    }
+}
+
+/// Issue one request. `addr` is `host:port`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<HttpResponse, String> {
+    request_with_timeout(addr, method, path, body, Duration::from_secs(30))
+}
+
+/// [`request`] with an explicit read timeout (watch endpoints long-poll,
+/// so callers pass their `wait_ms` plus slack).
+pub fn request_with_timeout(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> Result<HttpResponse, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    let body = body.unwrap_or(&[]);
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|_| stream.write_all(body))
+        .map_err(|e| format!("write {addr}: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read {addr}: {e}"))?;
+    parse_response(&raw)
+}
+
+/// GET `path`.
+pub fn get(addr: &str, path: &str) -> Result<HttpResponse, String> {
+    request(addr, "GET", path, None)
+}
+
+/// POST `path` with a JSON string body.
+pub fn post(addr: &str, path: &str, body: &str) -> Result<HttpResponse, String> {
+    request(addr, "POST", path, Some(body.as_bytes()))
+}
+
+fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("response missing header terminator")?;
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or("empty response")?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line}"))?;
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}

@@ -1,0 +1,81 @@
+//! Analysis-input loading for jobs.
+//!
+//! A job points at a data directory in exactly the layout `retrodns
+//! simulate` writes (and a real deployment would convert its feeds into):
+//! `scans.json`, `certs.json`, `asdb.json`, `pdns.json`, `crtsh.json`,
+//! `trust.json`, optional `dnssec.json`. [`JobData`] owns all of it so a
+//! worker thread can borrow [`AnalystInputs`] for the analyzer's lifetime.
+//! The CLI shares this loader, so the two front ends can never drift on
+//! the on-disk contract.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use retrodns_asdb::AsDatabase;
+use retrodns_cert::{CertId, Certificate, CrtShIndex, TrustStore};
+use retrodns_core::pipeline::AnalystInputs;
+use retrodns_dns::{DnssecArchive, PassiveDns};
+use retrodns_scan::{domain_observations, DomainObservation, ScanDataset};
+
+/// Everything a job needs from its data directory.
+pub struct JobData {
+    /// The scan dataset (Censys CUIDS analog).
+    pub dataset: ScanDataset,
+    /// Certificate contents by id.
+    pub certs: HashMap<CertId, Certificate>,
+    /// pfx2as + as2org + geolocation.
+    pub asdb: AsDatabase,
+    /// The passive-DNS database.
+    pub pdns: PassiveDns,
+    /// The crt.sh index over CT.
+    pub crtsh: CrtShIndex,
+    /// Optional DNSSEC measurement archive.
+    pub dnssec: Option<DnssecArchive>,
+    /// Root-store trust status per certificate.
+    pub trust: TrustStore,
+}
+
+fn load<T: serde::de::DeserializeOwned>(dir: &Path, name: &str) -> Result<T, String> {
+    let path = dir.join(name);
+    let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde_json::from_slice(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+impl JobData {
+    /// Load a data directory. `dnssec.json` is optional; everything else
+    /// is required and errors carry the offending path.
+    pub fn load(dir: &Path) -> Result<JobData, String> {
+        Ok(JobData {
+            dataset: load(dir, "scans.json")?,
+            certs: load(dir, "certs.json")?,
+            asdb: load(dir, "asdb.json")?,
+            pdns: load(dir, "pdns.json")?,
+            crtsh: load(dir, "crtsh.json")?,
+            dnssec: load(dir, "dnssec.json").ok(),
+            trust: load(dir, "trust.json")?,
+        })
+    }
+
+    /// Annotated per-domain observations, sorted the way the pipeline
+    /// expects.
+    pub fn observations(&self) -> Vec<DomainObservation> {
+        domain_observations(&self.dataset, &self.certs, &self.asdb, &self.trust)
+    }
+
+    /// Borrow the analyst-input bundle over `observations`.
+    // &Vec (not &[..]) because `ObservationView` is implemented on the
+    // vector itself and `AnalystInputs.observations` needs the trait
+    // object to outlive this call.
+    #[allow(clippy::ptr_arg)]
+    pub fn inputs<'a>(&'a self, observations: &'a Vec<DomainObservation>) -> AnalystInputs<'a> {
+        AnalystInputs {
+            observations,
+            asdb: &self.asdb,
+            certs: &self.certs,
+            pdns: &self.pdns,
+            crtsh: &self.crtsh,
+            dnssec: self.dnssec.as_ref(),
+            source_faults: None,
+        }
+    }
+}

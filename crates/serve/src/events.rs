@@ -1,0 +1,258 @@
+//! Verdict-change events — the `WeekDelta` consumer story.
+//!
+//! Every week a running job ingests produces a [`WeekDelta`]; each verdict
+//! that appears, changes, or disappears becomes a [`VerdictEvent`] in an
+//! append-only in-memory log. When a job finishes over a data directory a
+//! previous job already analyzed, the two final reports are diffed into
+//! `run`-scoped events as well — that is what lets a consumer watch
+//! "did this domain's verdict change since last month's re-analysis?".
+//!
+//! `GET /watch?since=N` long-polls the log: the call parks on a condvar
+//! until an event with sequence number > N (optionally filtered by
+//! domain) arrives or the wait budget expires.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use retrodns_core::pipeline::Report;
+use retrodns_core::WeekDelta;
+use retrodns_types::Day;
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on events returned by one watch call.
+const MAX_BATCH: usize = 1_000;
+
+/// One verdict change.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerdictEvent {
+    /// 1-based sequence number (monotonic across the server's lifetime).
+    pub seq: u64,
+    /// Job that produced the change.
+    pub job: String,
+    /// Week index within the job's stream (0 for run-scoped events).
+    pub week: u32,
+    /// Scan date of the week (`Day(0)` for run-scoped events).
+    pub date: Day,
+    /// The domain whose verdict changed.
+    pub domain: String,
+    /// `hijacked`, `hijack-cleared`, `targeted`, or `target-cleared`.
+    pub kind: String,
+    /// `week` (mid-stream delta) or `run` (between two finished runs over
+    /// the same data dir).
+    pub scope: String,
+    /// Detection type for hijack upserts (`"T1"`, `"T2"`, ...).
+    #[serde(default, skip_serializing_if = "serde::__is_default")]
+    pub detection: String,
+}
+
+/// Append-only event log with long-poll support.
+#[derive(Default)]
+pub struct EventLog {
+    events: Mutex<Vec<VerdictEvent>>,
+    arrived: Condvar,
+}
+
+impl EventLog {
+    /// Empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Latest sequence number (0 when empty).
+    pub fn latest(&self) -> u64 {
+        self.events.lock().expect("event log poisoned").len() as u64
+    }
+
+    fn push_all(&self, mut batch: Vec<VerdictEvent>) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut events = self.events.lock().expect("event log poisoned");
+        for event in &mut batch {
+            event.seq = events.len() as u64 + 1;
+            events.push(event.clone());
+        }
+        drop(events);
+        self.arrived.notify_all();
+    }
+
+    /// Record the verdict changes of one ingested week.
+    pub fn append_delta(&self, job: &str, delta: &WeekDelta) {
+        self.push_all(events_from(
+            job,
+            delta.week,
+            delta.date,
+            "week",
+            &delta.hijacked_upserts,
+            &delta.hijacked_removed,
+            &delta.targeted_upserts,
+            &delta.targeted_removed,
+        ));
+    }
+
+    /// Diff two finished runs over the same data directory into
+    /// run-scoped events.
+    pub fn append_run_diff(&self, job: &str, previous: &Report, current: &Report) {
+        let delta = WeekDelta::between(0, Day(0), previous, current);
+        self.push_all(events_from(
+            job,
+            0,
+            Day(0),
+            "run",
+            &delta.hijacked_upserts,
+            &delta.hijacked_removed,
+            &delta.targeted_upserts,
+            &delta.targeted_removed,
+        ));
+    }
+
+    /// Events with `seq > since`, optionally filtered by domain, waiting
+    /// up to `wait` for the first match. Returns the matching events plus
+    /// the latest sequence number to resume from.
+    pub fn query(
+        &self,
+        since: u64,
+        domain: Option<&str>,
+        wait: Duration,
+    ) -> (Vec<VerdictEvent>, u64) {
+        let deadline = Instant::now() + wait;
+        let mut events = self.events.lock().expect("event log poisoned");
+        loop {
+            let matching: Vec<VerdictEvent> = events
+                .iter()
+                .filter(|e| e.seq > since)
+                .filter(|e| domain.map(|d| e.domain == d).unwrap_or(true))
+                .take(MAX_BATCH)
+                .cloned()
+                .collect();
+            let latest = events.len() as u64;
+            if !matching.is_empty() {
+                return (matching, latest);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return (Vec::new(), latest);
+            }
+            let (guard, timeout) = self
+                .arrived
+                .wait_timeout(events, remaining)
+                .expect("event log poisoned");
+            events = guard;
+            if timeout.timed_out() {
+                let latest = events.len() as u64;
+                let matching: Vec<VerdictEvent> = events
+                    .iter()
+                    .filter(|e| e.seq > since)
+                    .filter(|e| domain.map(|d| e.domain == d).unwrap_or(true))
+                    .take(MAX_BATCH)
+                    .cloned()
+                    .collect();
+                return (matching, latest);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn events_from(
+    job: &str,
+    week: u32,
+    date: Day,
+    scope: &str,
+    hijacked_upserts: &[retrodns_core::DetectedHijack],
+    hijacked_removed: &[retrodns_types::DomainName],
+    targeted_upserts: &[retrodns_core::DetectedTarget],
+    targeted_removed: &[retrodns_types::DomainName],
+) -> Vec<VerdictEvent> {
+    let base = |domain: String, kind: &str, detection: String| VerdictEvent {
+        seq: 0, // assigned at append
+        job: job.to_string(),
+        week,
+        date,
+        domain,
+        kind: kind.to_string(),
+        scope: scope.to_string(),
+        detection,
+    };
+    let mut out = Vec::new();
+    for h in hijacked_upserts {
+        out.push(base(
+            h.domain.to_string(),
+            "hijacked",
+            format!("{:?}", h.dtype),
+        ));
+    }
+    for d in hijacked_removed {
+        out.push(base(d.to_string(), "hijack-cleared", String::new()));
+    }
+    for t in targeted_upserts {
+        out.push(base(t.domain.to_string(), "targeted", String::new()));
+    }
+    for d in targeted_removed {
+        out.push(base(d.to_string(), "target-cleared", String::new()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retrodns_core::pipeline::Report;
+    use std::sync::Arc;
+
+    fn hijack(domain: &str) -> retrodns_core::DetectedHijack {
+        // Build via serde to avoid spelling every field of DetectedHijack.
+        serde_json::from_str(&format!(
+            r#"{{"domain":"{domain}","dtype":"T1","sub":null,"first_evidence":10,
+                "pdns_corroborated":true,"ct_corroborated":false,
+                "dnssec_corroborated":false,"malicious_cert":null,
+                "attacker_ips":[],"attacker_asn":null,"attacker_cc":null,
+                "attacker_ns":[],"victim_asns":[],"victim_ccs":[]}}"#
+        ))
+        .expect("hijack fixture parses")
+    }
+
+    fn delta_with(domain: &str) -> WeekDelta {
+        let mut with = Report::default();
+        with.hijacked.push(hijack(domain));
+        WeekDelta::between(3, Day(21), &Report::default(), &with)
+    }
+
+    #[test]
+    fn append_and_query() {
+        let log = EventLog::new();
+        log.append_delta("job-1", &delta_with("bank.example"));
+        let (events, latest) = log.query(0, None, Duration::ZERO);
+        assert_eq!(events.len(), 1);
+        assert_eq!(latest, 1);
+        assert_eq!(events[0].domain, "bank.example");
+        assert_eq!(events[0].kind, "hijacked");
+        assert_eq!(events[0].scope, "week");
+        // Nothing new past the cursor.
+        let (events, _) = log.query(latest, None, Duration::ZERO);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn domain_filter() {
+        let log = EventLog::new();
+        log.append_delta("job-1", &delta_with("a.example"));
+        log.append_delta("job-1", &delta_with("b.example"));
+        let (events, _) = log.query(0, Some("b.example"), Duration::ZERO);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].domain, "b.example");
+    }
+
+    #[test]
+    fn long_poll_wakes_on_append() {
+        let log = Arc::new(EventLog::new());
+        let waiter = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || log.query(0, None, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        log.append_delta("job-1", &delta_with("late.example"));
+        let (events, _) = waiter.join().unwrap();
+        assert_eq!(events.len(), 1, "long-poll should wake on append");
+    }
+}

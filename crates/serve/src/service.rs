@@ -1,0 +1,320 @@
+//! The query surface: routing, liveness/readiness, metrics exposition,
+//! and shutdown sequencing.
+//!
+//! Endpoints:
+//!
+//! | Method | Path | Purpose |
+//! |---|---|---|
+//! | GET  | `/healthz` | process liveness (always 200 while serving) |
+//! | GET  | `/readyz`  | 200 once recovery finished and not draining |
+//! | GET  | `/metrics` | Prometheus text exposition (reused from core) |
+//! | POST | `/jobs` | submit a [`JobSpec`] (202 / 400 / 409 / 413 / 429) |
+//! | GET  | `/jobs` | list job statuses |
+//! | GET  | `/jobs/{id}` | one job's status |
+//! | POST | `/jobs/{id}/cancel` | cancel queued/running job |
+//! | GET  | `/jobs/{id}/report` | archived final report (byte-exact) |
+//! | GET  | `/jobs/{id}/verdict/{domain}` | per-domain verdict |
+//! | GET  | `/jobs/{id}/funnel` | funnel stats of the latest report |
+//! | GET  | `/jobs/{id}/degraded` | degraded verdict set |
+//! | GET  | `/jobs/{id}/deltas` | per-week verdict deltas |
+//! | GET  | `/watch?since=N[&domain=D][&wait_ms=M]` | long-poll verdict events |
+//! | POST | `/shutdown` | begin graceful drain (202) |
+//!
+//! Graceful shutdown: `/shutdown` (or SIGTERM handling in the binary)
+//! flips the draining flag — `/readyz` goes 503 so load balancers stop
+//! sending work, new submits are refused with 503, the supervisor parks
+//! running jobs at their next (already-checkpointed) week boundary, and
+//! the HTTP layer drains every accepted connection before the process
+//! exits.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use retrodns_core::MetricsRegistry;
+use serde::Serialize;
+
+use crate::events::{EventLog, VerdictEvent};
+use crate::http::{Request, Response};
+use crate::jobs::{JobSpec, JobSupervisor, SubmitError, SupervisorConfig};
+
+/// Cap on `/watch` long-poll budgets, so a draining server never waits
+/// on a parked client for long.
+const MAX_WATCH_WAIT: Duration = Duration::from_secs(25);
+
+/// The HTTP-facing service state shared by all handler threads.
+pub struct AnalysisService {
+    /// The job supervisor.
+    pub supervisor: Arc<JobSupervisor>,
+    events: Arc<EventLog>,
+    metrics: Arc<Mutex<MetricsRegistry>>,
+    draining: AtomicBool,
+    shutdown_requested: Mutex<bool>,
+    shutdown_signal: Condvar,
+}
+
+/// `GET /jobs/{id}/verdict/{domain}` response.
+#[derive(Serialize)]
+struct VerdictResponse {
+    domain: String,
+    /// `hijacked`, `targeted`, `degraded`, or `clean`.
+    verdict: String,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    hijack: Option<retrodns_core::DetectedHijack>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    target: Option<retrodns_core::DetectedTarget>,
+    degraded: Vec<retrodns_core::DegradedVerdict>,
+}
+
+#[derive(Serialize)]
+struct WatchResponse {
+    events: Vec<VerdictEvent>,
+    /// Cursor to pass as `since` on the next call.
+    latest: u64,
+}
+
+impl AnalysisService {
+    /// Build the service (supervisor not yet recovered/started — see
+    /// [`crate::ServerHandle::start`]).
+    pub fn new(cfg: SupervisorConfig) -> Arc<AnalysisService> {
+        let events = Arc::new(EventLog::new());
+        let metrics = Arc::new(Mutex::new(MetricsRegistry::new()));
+        let supervisor = JobSupervisor::new(cfg, Arc::clone(&events), Arc::clone(&metrics));
+        Arc::new(AnalysisService {
+            supervisor,
+            events,
+            metrics,
+            draining: AtomicBool::new(false),
+            shutdown_requested: Mutex::new(false),
+            shutdown_signal: Condvar::new(),
+        })
+    }
+
+    /// The shared event log.
+    pub fn events(&self) -> &Arc<EventLog> {
+        &self.events
+    }
+
+    /// Is the service draining for shutdown?
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Flip into draining mode and wake [`wait_shutdown`](Self::wait_shutdown).
+    pub fn request_shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        let mut requested = self.shutdown_requested.lock().expect("shutdown poisoned");
+        *requested = true;
+        self.shutdown_signal.notify_all();
+    }
+
+    /// Block until a shutdown is requested.
+    pub fn wait_shutdown(&self) {
+        let mut requested = self.shutdown_requested.lock().expect("shutdown poisoned");
+        while !*requested {
+            requested = self
+                .shutdown_signal
+                .wait(requested)
+                .expect("shutdown poisoned");
+        }
+    }
+
+    /// Route one request. Also records `serve.http.*` metrics.
+    pub fn handle(&self, req: &Request) -> Response {
+        let started = Instant::now();
+        let response = self.route(req);
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        {
+            let mut metrics = self.metrics.lock().expect("metrics poisoned");
+            metrics.count("serve.http.requests", 1);
+            metrics.count(&format!("serve.http.status.{}", response.status), 1);
+            metrics.observe("serve.http.request_ms", elapsed_ms);
+        }
+        response
+    }
+
+    fn route(&self, req: &Request) -> Response {
+        let segments = req.segments();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+            ("GET", ["readyz"]) => {
+                if self.draining() {
+                    Response::text(503, "draining\n")
+                } else if self.supervisor.ready() {
+                    Response::text(200, "ready\n")
+                } else {
+                    Response::text(503, "recovering\n")
+                }
+            }
+            ("GET", ["metrics"]) => {
+                let body = {
+                    let mut metrics = self.metrics.lock().expect("metrics poisoned");
+                    metrics.gauge("serve.queue.depth", self.supervisor.queue_depth() as f64);
+                    metrics.snapshot().to_prometheus()
+                };
+                Response {
+                    status: 200,
+                    headers: vec![(
+                        "content-type".into(),
+                        "text/plain; version=0.0.4; charset=utf-8".into(),
+                    )],
+                    body: body.into_bytes(),
+                }
+            }
+            ("POST", ["jobs"]) => self.submit(req),
+            ("GET", ["jobs"]) => Response::json(200, &self.supervisor.list()),
+            ("GET", ["jobs", id]) => match self.supervisor.status(id) {
+                Some(status) => Response::json(200, &status),
+                None => Response::error(404, format!("no such job {id:?}")),
+            },
+            ("POST", ["jobs", id, "cancel"]) => match self.supervisor.cancel(id) {
+                Ok(status) => Response::json(202, &status),
+                Err(e) => {
+                    let status = if e.starts_with("no such job") {
+                        404
+                    } else {
+                        409
+                    };
+                    Response::error(status, e)
+                }
+            },
+            ("GET", ["jobs", id, "report"]) => self.report(id),
+            ("GET", ["jobs", id, "verdict", domain]) => self.verdict(id, domain),
+            ("GET", ["jobs", id, "funnel"]) => match self.supervisor.report(id) {
+                Some(report) => Response::json(200, &report.funnel),
+                None => self.no_report(id),
+            },
+            ("GET", ["jobs", id, "degraded"]) => match self.supervisor.report(id) {
+                Some(report) => Response::json(200, &report.degraded),
+                None => self.no_report(id),
+            },
+            ("GET", ["jobs", id, "deltas"]) => match self.supervisor.deltas(id) {
+                Some(deltas) => Response::json(200, &deltas),
+                None => Response::error(404, format!("no such job {id:?}")),
+            },
+            ("GET", ["watch"]) => self.watch(req),
+            ("POST", ["shutdown"]) => {
+                self.request_shutdown();
+                Response::json(
+                    202,
+                    &Ack {
+                        status: "draining".into(),
+                    },
+                )
+            }
+            (_, ["healthz" | "readyz" | "metrics" | "watch" | "shutdown"]) | (_, ["jobs", ..]) => {
+                Response::error(405, "method not allowed")
+            }
+            _ => Response::error(404, "no such endpoint"),
+        }
+    }
+
+    fn submit(&self, req: &Request) -> Response {
+        if self.draining() {
+            return Response::error(503, "draining: not accepting new jobs");
+        }
+        let spec: JobSpec = match req.json() {
+            Ok(s) => s,
+            Err(e) => return Response::error(400, e),
+        };
+        match self.supervisor.submit(spec) {
+            Ok(status) => Response::json(202, &status),
+            Err(SubmitError::QueueFull { retry_after_secs }) => {
+                Response::error(429, format!("job queue full; retry in {retry_after_secs}s"))
+                    .header("retry-after", retry_after_secs.to_string())
+            }
+            Err(SubmitError::Duplicate(id)) => {
+                Response::error(409, format!("job {id:?} already exists"))
+            }
+            Err(SubmitError::BadRequest(e)) => Response::error(400, e),
+            Err(SubmitError::TooLarge { bytes, cap }) => Response::error(
+                413,
+                format!("scans.json is {bytes} bytes, admission cap is {cap}"),
+            ),
+            Err(SubmitError::Io(e)) => Response::error(500, e),
+        }
+    }
+
+    fn report(&self, id: &str) -> Response {
+        match self.supervisor.report_json(id) {
+            Some(json) => Response::json_body(200, json.as_str()),
+            None => self.no_report(id),
+        }
+    }
+
+    /// 404 for unknown jobs, 409 for known-but-unfinished ones.
+    fn no_report(&self, id: &str) -> Response {
+        match self.supervisor.status(id) {
+            None => Response::error(404, format!("no such job {id:?}")),
+            Some(status) => Response::error(
+                409,
+                format!("job {id:?} is {:?}: no report yet", status.state),
+            ),
+        }
+    }
+
+    fn verdict(&self, id: &str, domain: &str) -> Response {
+        let Some(report) = self.supervisor.report(id) else {
+            return self.no_report(id);
+        };
+        let hijack = report
+            .hijacked
+            .iter()
+            .find(|h| h.domain.as_str() == domain)
+            .cloned();
+        let target = report
+            .targeted
+            .iter()
+            .find(|t| t.domain.as_str() == domain)
+            .cloned();
+        let degraded: Vec<_> = report
+            .degraded
+            .iter()
+            .filter(|d| d.domain.as_str() == domain)
+            .cloned()
+            .collect();
+        let verdict = if hijack.is_some() {
+            "hijacked"
+        } else if target.is_some() {
+            "targeted"
+        } else if !degraded.is_empty() {
+            "degraded"
+        } else {
+            "clean"
+        };
+        Response::json(
+            200,
+            &VerdictResponse {
+                domain: domain.to_string(),
+                verdict: verdict.to_string(),
+                hijack,
+                target,
+                degraded,
+            },
+        )
+    }
+
+    fn watch(&self, req: &Request) -> Response {
+        let since: u64 = match req.query("since").map(str::parse).transpose() {
+            Ok(v) => v.unwrap_or(0),
+            Err(_) => return Response::error(400, "since must be an integer"),
+        };
+        let wait_ms: u64 = match req.query("wait_ms").map(str::parse).transpose() {
+            Ok(v) => v.unwrap_or(0),
+            Err(_) => return Response::error(400, "wait_ms must be an integer"),
+        };
+        // No long-polling once draining: the client gets what exists now.
+        let wait = if self.draining() {
+            Duration::ZERO
+        } else {
+            Duration::from_millis(wait_ms).min(MAX_WATCH_WAIT)
+        };
+        let (events, latest) = self.events.query(since, req.query("domain"), wait);
+        Response::json(200, &WatchResponse { events, latest })
+    }
+}
+
+#[derive(Serialize)]
+struct Ack {
+    status: String,
+}

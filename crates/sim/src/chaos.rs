@@ -1,0 +1,149 @@
+//! Deterministic chaos plans for the crash-tolerance harness.
+//!
+//! A [`ChaosPlan`] is the kill schedule for one chaos trial: a sequence of
+//! [`KillPoint`]s, each saying "let the next server incarnation ingest N
+//! weeks, then crash it" — with the crash landing either *before* or
+//! *after* that week's checkpoint is written (before-checkpoint is the
+//! dirtiest possible point: a week ingested in memory but not durable).
+//! The harness spawns a server per kill point with the matching
+//! `--chaos-abort-weeks`/`--chaos-abort-phase` flags, restarts after each
+//! crash, and finally lets an unkilled incarnation finish the job; the
+//! resulting report must be byte-identical to an uninterrupted golden.
+//!
+//! Like everything else in the simulator the plan is a pure function of
+//! its seed, so a failing trial reproduces exactly.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One scheduled crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KillPoint {
+    /// Crash after the incarnation ingests this many weeks (≥ 1; ≥ 2
+    /// when `before_checkpoint`, so every incarnation checkpoints at
+    /// least one week of progress and the schedule always terminates).
+    pub after_weeks: u32,
+    /// Crash before that week's checkpoint is written (the week is lost
+    /// and must be re-ingested) instead of just after (the week is
+    /// durable).
+    pub before_checkpoint: bool,
+}
+
+impl KillPoint {
+    /// Weeks this incarnation durably contributes before dying.
+    pub fn durable_weeks(&self) -> u32 {
+        if self.before_checkpoint {
+            self.after_weeks - 1
+        } else {
+            self.after_weeks
+        }
+    }
+}
+
+/// A deterministic kill schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosPlan {
+    /// The seed that generated this plan.
+    pub seed: u64,
+    /// Crashes, in incarnation order.
+    pub kills: Vec<KillPoint>,
+}
+
+impl ChaosPlan {
+    /// Generate a plan of `kills` crashes, each landing after between
+    /// `min_weeks` and `max_weeks` ingested weeks (inclusive), with the
+    /// before/after-checkpoint phase chosen randomly wherever the
+    /// progress guarantee allows it.
+    pub fn generate(seed: u64, kills: usize, min_weeks: u32, max_weeks: u32) -> ChaosPlan {
+        assert!(min_weeks >= 1, "a kill point needs at least one week");
+        assert!(max_weeks >= min_weeks, "empty kill-week range");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5C4A_05C4_A05C);
+        let kills = (0..kills)
+            .map(|_| {
+                let after_weeks = rng.gen_range(min_weeks..=max_weeks);
+                // Before-checkpoint crashes re-ingest their last week on
+                // resume; only schedule one where the incarnation still
+                // checkpoints ≥ 1 week, or the schedule could spin on a
+                // single week forever.
+                let before_checkpoint = after_weeks >= 2 && rng.gen_bool(0.5);
+                KillPoint {
+                    after_weeks,
+                    before_checkpoint,
+                }
+            })
+            .collect();
+        ChaosPlan { seed, kills }
+    }
+
+    /// Total weeks durably ingested across all killed incarnations —
+    /// the job must be longer than this for every kill to land mid-run.
+    pub fn durable_weeks(&self) -> u32 {
+        self.kills.iter().map(KillPoint::durable_weeks).sum()
+    }
+
+    /// A job length (in weeks) guaranteed to keep all kills mid-run:
+    /// every scheduled crash fires before the job can finish.
+    pub fn min_job_weeks(&self) -> u32 {
+        // The final (unkilled) incarnation still needs work to do, and
+        // the last kill needs its full `after_weeks` available beyond
+        // what earlier incarnations made durable.
+        let last_extra = self
+            .kills
+            .last()
+            .map(|k| k.after_weeks - k.durable_weeks() + 1)
+            .unwrap_or(1);
+        self.durable_weeks() + last_extra + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ChaosPlan::generate(7, 5, 2, 6);
+        let b = ChaosPlan::generate(7, 5, 2, 6);
+        assert_eq!(a, b);
+        let c = ChaosPlan::generate(8, 5, 2, 6);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn kill_points_respect_bounds_and_progress_guarantee() {
+        for seed in 0..50 {
+            let plan = ChaosPlan::generate(seed, 5, 1, 6);
+            assert_eq!(plan.kills.len(), 5);
+            for kill in &plan.kills {
+                assert!((1..=6).contains(&kill.after_weeks));
+                if kill.before_checkpoint {
+                    assert!(
+                        kill.after_weeks >= 2,
+                        "before-checkpoint kill must leave durable progress"
+                    );
+                }
+                assert!(kill.durable_weeks() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn min_job_weeks_outlasts_every_kill() {
+        for seed in 0..20 {
+            let plan = ChaosPlan::generate(seed, 5, 2, 6);
+            // Simulate the schedule: each incarnation resumes from the
+            // durable prefix and must hit its kill point strictly before
+            // the stream ends.
+            let total = plan.min_job_weeks();
+            let mut durable = 0u32;
+            for kill in &plan.kills {
+                assert!(
+                    durable + kill.after_weeks <= total,
+                    "kill would land past the end of the stream"
+                );
+                durable += kill.durable_weeks();
+            }
+            assert!(durable < total, "final incarnation must have work left");
+        }
+    }
+}

@@ -29,6 +29,8 @@
 //!   (S1–S4, X1–X3, noisy, the benign-transient false-positive classes).
 //! * [`attacker`] — campaign planning: capability acquisition, infra
 //!   staging, DV certificate theft, sub-day hijack windows, reuse.
+//! * [`chaos`] — deterministic kill schedules for the crash-tolerance
+//!   harness (`experiments serve`).
 //! * [`observe`] — sampling the world into pDNS and zone-file archives.
 //! * [`world`] — orchestration: build everything, expose the data sets and
 //!   the ground truth.
@@ -40,6 +42,7 @@
 #![warn(missing_docs)]
 pub mod archetypes;
 pub mod attacker;
+pub mod chaos;
 pub mod config;
 pub mod farm;
 pub mod faults;
@@ -50,6 +53,7 @@ pub mod plan;
 pub mod synth;
 pub mod world;
 
+pub use chaos::{ChaosPlan, KillPoint};
 pub use config::SimConfig;
 pub use farm::ServerFarm;
 pub use faults::{

@@ -39,4 +39,7 @@ cargo run --release -p retrodns-bench --bin experiments -- --stream-weeks 20 \
 echo "==> archetype matrix (7 archetypes x 3 seeds; full-recall + no-regression gates)"
 cargo run --release -p retrodns-bench --bin experiments -- archetypes
 
+echo "==> serve chaos + load (5 SIGKILLs mid-analysis at workers 1/2/8, byte-identical resume; 50 qps gate)"
+cargo run --release -p retrodns-bench --bin experiments -- --min-serve-qps 50 serve
+
 echo "tier-1 verification passed"

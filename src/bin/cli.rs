@@ -15,17 +15,13 @@
 //! adoption surface: swap the synthetic JSON for converted real data and
 //! the pipeline runs unchanged.
 
-use retrodns::asdb::AsDatabase;
-use retrodns::cert::{CertId, Certificate, CrtShIndex};
 use retrodns::core::inspect::InspectConfig;
 use retrodns::core::metrics::{CountingAlloc, MetricsRegistry};
 use retrodns::core::pipeline::{AnalystInputs, Pipeline, PipelineConfig};
 use retrodns::core::report::{render_table2, render_table3, DomainInfo};
 use retrodns::core::score_detection;
-use retrodns::core::IncrementalAnalyzer;
-use retrodns::core::SourcePolicy;
-use retrodns::dns::{DnssecArchive, PassiveDns};
-use retrodns::scan::ScanDataset;
+use retrodns::core::{DirLock, IncrementalAnalyzer, SourcePolicy};
+use retrodns::serve::JobData;
 use retrodns::sim::{DomainMeta, SimConfig, World};
 use retrodns::types::DomainName;
 use std::collections::HashMap;
@@ -106,26 +102,17 @@ fn simulate(out: &Path, seed: u64, domains: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// The analysis inputs ([`JobData`], shared with `retrodns-serve` so the
+/// two front ends can never drift on the on-disk contract) plus the
+/// CLI-only rendering sidecar.
 struct LoadedData {
-    dataset: ScanDataset,
-    certs: HashMap<CertId, Certificate>,
-    asdb: AsDatabase,
-    pdns: PassiveDns,
-    crtsh: CrtShIndex,
-    dnssec: Option<DnssecArchive>,
-    trust: retrodns::cert::TrustStore,
+    data: JobData,
     meta: Vec<DomainMeta>,
 }
 
 fn load_data(dir: &Path) -> Result<LoadedData, String> {
     Ok(LoadedData {
-        dataset: load(dir, "scans.json")?,
-        certs: load(dir, "certs.json")?,
-        asdb: load(dir, "asdb.json")?,
-        pdns: load(dir, "pdns.json")?,
-        crtsh: load(dir, "crtsh.json")?,
-        dnssec: load(dir, "dnssec.json").ok(),
-        trust: load(dir, "trust.json")?,
+        data: JobData::load(dir)?,
         meta: load(dir, "meta.json").unwrap_or_default(),
     })
 }
@@ -176,7 +163,7 @@ fn analyze(
     metrics_opts: MetricsOpts,
     source_opts: SourceOpts,
 ) -> Result<(), String> {
-    let data = load_data(dir)?;
+    let LoadedData { data, meta } = load_data(dir)?;
     eprintln!(
         "loaded: {} scan records, {} certs, {} pDNS tuples, {} CT records",
         data.dataset.len(),
@@ -184,8 +171,7 @@ fn analyze(
         data.pdns.len(),
         data.crtsh.len()
     );
-    let observations =
-        retrodns::scan::domain_observations(&data.dataset, &data.certs, &data.asdb, &data.trust);
+    let observations = data.observations();
     let pipeline = Pipeline::new(PipelineConfig {
         workers: 4,
         inspect: InspectConfig {
@@ -195,18 +181,28 @@ fn analyze(
         sources: source_opts.policy,
         ..PipelineConfig::default()
     });
-    let inputs = AnalystInputs {
-        observations: &observations,
-        asdb: &data.asdb,
-        certs: &data.certs,
-        pdns: &data.pdns,
-        crtsh: &data.crtsh,
-        dnssec: data.dnssec.as_ref(),
-        source_faults: None,
+    let inputs = data.inputs(&observations);
+    // A checkpoint dir is exclusive for the duration of the run: two
+    // processes interleaving stage snapshots would corrupt both. The
+    // lock is PID+heartbeat based, so a SIGKILLed run goes stale and is
+    // taken over rather than wedging the directory forever.
+    let _lock = match &ckpt {
+        Some(opts) => Some(
+            DirLock::acquire(&opts.dir)
+                .map_err(|e| format!("checkpoint dir {}: {e}", opts.dir.display()))?,
+        ),
+        None => None,
     };
     let mut metrics = MetricsRegistry::with_trace(metrics_opts.trace);
     let report = if stream {
-        stream_analyze(&pipeline, &observations, &inputs, &ckpt, &mut metrics)?
+        stream_analyze(
+            &pipeline,
+            &observations,
+            &inputs,
+            &ckpt,
+            _lock.as_ref(),
+            &mut metrics,
+        )?
     } else {
         match &ckpt {
             None => pipeline.run_metered(&inputs, &mut metrics),
@@ -226,7 +222,8 @@ fn analyze(
                 // Archive the report beside the stage snapshots: the
                 // artifact a resumed run must reproduce byte-for-byte.
                 let json = serde_json::to_string_pretty(&report).expect("report serializes");
-                std::fs::write(opts.dir.join("report.json"), json).map_err(|e| e.to_string())?;
+                let path = opts.dir.join("report.json");
+                std::fs::write(&path, json).map_err(|e| format!("{}: {e}", path.display()))?;
                 report
             }
         }
@@ -265,8 +262,7 @@ fn analyze(
         );
     }
 
-    let info_map: HashMap<DomainName, DomainInfo> = data
-        .meta
+    let info_map: HashMap<DomainName, DomainInfo> = meta
         .iter()
         .map(|m| {
             (
@@ -324,6 +320,7 @@ fn stream_analyze(
     observations: &[retrodns::scan::DomainObservation],
     inputs: &AnalystInputs,
     ckpt: &Option<CheckpointOpts>,
+    lock: Option<&DirLock>,
     metrics: &mut MetricsRegistry,
 ) -> Result<retrodns::core::pipeline::Report, String> {
     use std::collections::BTreeMap;
@@ -336,9 +333,11 @@ fn stream_analyze(
     let store = match ckpt {
         Some(opts) => {
             let mut store = retrodns::core::CheckpointStore::open(&opts.dir)
-                .map_err(|e| format!("{}: {e}", opts.dir.display()))?;
+                .map_err(|e| format!("checkpoint dir {}: {e}", opts.dir.display()))?;
             if !opts.resume {
-                store.clear().map_err(|e| e.to_string())?;
+                store
+                    .clear()
+                    .map_err(|e| format!("clearing checkpoint dir {}: {e}", opts.dir.display()))?;
             }
             Some(store)
         }
@@ -376,7 +375,23 @@ fn stream_analyze(
             );
         }
         if let Some(s) = &store {
-            analyzer.checkpoint(s).map_err(|e| e.to_string())?;
+            // An unwritable or vanished checkpoint dir mid-stream is an
+            // operational fault, not a bug: exit cleanly with the path
+            // and week so the operator knows exactly what was lost
+            // (everything up to the previous week is still durable).
+            analyzer.checkpoint(s).map_err(|e| {
+                let dir = &ckpt.as_ref().expect("store implies ckpt").dir;
+                format!(
+                    "checkpoint write failed at week {} in {}: {e} \
+                     (weeks 1..{} remain resumable with --resume)",
+                    i + 1,
+                    dir.display(),
+                    i.max(1)
+                )
+            })?;
+        }
+        if let Some(lock) = lock {
+            let _ = lock.heartbeat();
         }
     }
     eprintln!("streamed {total} weeks");
@@ -385,13 +400,14 @@ fn stream_analyze(
         // Same archive the batch checkpoint path writes: the artifact a
         // resumed stream must reproduce byte-for-byte.
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
-        std::fs::write(opts.dir.join("report.json"), json).map_err(|e| e.to_string())?;
+        let path = opts.dir.join("report.json");
+        std::fs::write(&path, json).map_err(|e| format!("{}: {e}", path.display()))?;
     }
     Ok(report)
 }
 
 fn info(dir: &Path) -> Result<(), String> {
-    let data = load_data(dir)?;
+    let LoadedData { data, meta } = load_data(dir)?;
     println!("data sets in {}:", dir.display());
     println!(
         "  scans.json   {} records over {} dates",
@@ -408,7 +424,7 @@ fn info(dir: &Path) -> Result<(), String> {
             None => "absent".to_string(),
         }
     );
-    println!("  meta.json    {} domain descriptions", data.meta.len());
+    println!("  meta.json    {} domain descriptions", meta.len());
     Ok(())
 }
 

@@ -1,0 +1,114 @@
+//! `retrodns-serve` — the long-running analysis service.
+//!
+//! ```text
+//! retrodns-serve --checkpoint-root DIR [--addr HOST:PORT] [--http-workers N]
+//!                [--job-workers N] [--queue-capacity N] [--max-data-mb N]
+//!                [--retry-after-secs N] [--lock-stale-ms N] [--port-file PATH]
+//!                [--chaos-abort-weeks N [--chaos-abort-phase before|after]]
+//! ```
+//!
+//! Jobs checkpoint into `<checkpoint-root>/<job-id>/` after every ingested
+//! week; on restart the server rediscovers non-terminal jobs there and
+//! resumes them mid-stream. `--chaos-abort-weeks` is the crash-harness
+//! hook: the process `abort()`s (SIGKILL-equivalent — no destructors, no
+//! flush) after this incarnation ingests N weeks, with `--chaos-abort-phase
+//! before` landing the crash before that week's checkpoint is written.
+//! Stop gracefully with `POST /shutdown`. See DESIGN.md §13.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use retrodns::serve::{ChaosAbort, ServeConfig, SupervisorConfig};
+
+fn usage() -> &'static str {
+    "usage:\n  retrodns-serve --checkpoint-root DIR [--addr HOST:PORT] [--http-workers N]\n                 [--job-workers N] [--queue-capacity N] [--max-data-mb N]\n                 [--retry-after-secs N] [--lock-stale-ms N] [--port-file PATH]\n                 [--chaos-abort-weeks N [--chaos-abort-phase before|after]]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeConfig::default();
+    let mut checkpoint_root: Option<PathBuf> = None;
+    let mut chaos_weeks: u64 = 0;
+    let mut chaos_before = false;
+    let mut it = args.iter();
+    macro_rules! next_parse {
+        ($flag:expr) => {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => v,
+                None => {
+                    eprintln!("{} expects a value", $flag);
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--checkpoint-root" => checkpoint_root = it.next().map(PathBuf::from),
+            "--addr" => match it.next() {
+                Some(v) => cfg.addr = v.clone(),
+                None => {
+                    eprintln!("--addr expects HOST:PORT");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--port-file" => cfg.port_file = it.next().map(PathBuf::from),
+            "--http-workers" => cfg.http_workers = next_parse!("--http-workers"),
+            "--job-workers" => cfg.supervisor.job_workers = next_parse!("--job-workers"),
+            "--queue-capacity" => cfg.supervisor.queue_capacity = next_parse!("--queue-capacity"),
+            "--max-data-mb" => {
+                let mb: u64 = next_parse!("--max-data-mb");
+                cfg.supervisor.max_data_bytes = mb * 1024 * 1024;
+            }
+            "--retry-after-secs" => {
+                cfg.supervisor.retry_after_secs = next_parse!("--retry-after-secs")
+            }
+            "--lock-stale-ms" => cfg.supervisor.lock_stale_ms = next_parse!("--lock-stale-ms"),
+            "--chaos-abort-weeks" => chaos_weeks = next_parse!("--chaos-abort-weeks"),
+            "--chaos-abort-phase" => match it.next().map(String::as_str) {
+                Some("before") => chaos_before = true,
+                Some("after") => chaos_before = false,
+                _ => {
+                    eprintln!("--chaos-abort-phase expects before or after");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(root) = checkpoint_root else {
+        eprintln!("--checkpoint-root DIR is required\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    cfg.supervisor = SupervisorConfig {
+        checkpoint_root: root,
+        ..cfg.supervisor
+    };
+    if chaos_weeks > 0 {
+        if chaos_before && chaos_weeks < 2 {
+            // A before-checkpoint abort at week 1 would leave this
+            // incarnation with zero durable progress; the restarted server
+            // would re-reach week 1 and die there forever.
+            eprintln!("--chaos-abort-phase before requires --chaos-abort-weeks >= 2");
+            return ExitCode::FAILURE;
+        }
+        cfg.supervisor.chaos = Some(ChaosAbort {
+            after_weeks: chaos_weeks,
+            before_checkpoint: chaos_before,
+        });
+    }
+    match retrodns::serve::run(cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -13,6 +13,7 @@
 //! * [`sim`] — the synthetic Internet world and attacker campaigns
 //! * [`core`] — deployment maps, pattern classification, shortlisting,
 //!   inspection, pivot analysis: the paper's contribution
+//! * [`serve`] — the crash-tolerant long-running analysis service
 
 #![warn(missing_docs)]
 pub use retrodns_asdb as asdb;
@@ -20,6 +21,7 @@ pub use retrodns_cert as cert;
 pub use retrodns_core as core;
 pub use retrodns_dns as dns;
 pub use retrodns_scan as scan;
+pub use retrodns_serve as serve;
 pub use retrodns_sim as sim;
 pub use retrodns_store as store;
 pub use retrodns_types as types;

@@ -466,3 +466,147 @@ fn unknown_command_fails_with_usage() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("usage:"), "{stderr}");
 }
+
+/// Simulate a small data set under `base/data` for the robustness tests
+/// below; they only need the analyzer to get as far as touching the
+/// checkpoint directory.
+fn small_data(base: &Path) -> PathBuf {
+    let data = base.join("data");
+    let out = bin()
+        .args(["simulate", "--out"])
+        .arg(&data)
+        .args(["--seed", "3", "--domains", "600"])
+        .output()
+        .expect("run simulate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    data
+}
+
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn analyze_stream_held_lock_fails_cleanly() {
+    let base = temp_dir("heldlock");
+    let data = small_data(&base);
+    let ckpt = base.join("checkpoints");
+    std::fs::create_dir_all(&ckpt).unwrap();
+
+    // A live holder: PID 1 always exists in the container and the
+    // heartbeat is fresh, so the stale-takeover path must NOT fire.
+    let lock = format!("{{\"pid\":1,\"token\":1,\"heartbeat_ms\":{}}}", now_ms());
+    std::fs::write(ckpt.join("lock.json"), lock).unwrap();
+
+    let out = bin()
+        .args(["analyze", "--data"])
+        .arg(&data)
+        .arg("--stream")
+        .arg("--checkpoint-dir")
+        .arg(&ckpt)
+        .output()
+        .expect("run analyze");
+    assert!(!out.status.success(), "held lock was not rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("held by pid 1"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn analyze_stream_stale_lock_is_taken_over() {
+    let base = temp_dir("stalelock");
+    let data = small_data(&base);
+    let ckpt = base.join("checkpoints");
+    std::fs::create_dir_all(&ckpt).unwrap();
+
+    // A SIGKILLed run leaves its lockfile behind; a dead PID (or an
+    // ancient heartbeat) must be treated as abandoned, not block forever.
+    let lock = "{\"pid\":4294967294,\"token\":7,\"heartbeat_ms\":0}";
+    std::fs::write(ckpt.join("lock.json"), lock).unwrap();
+
+    let out = bin()
+        .args(["analyze", "--data"])
+        .arg(&data)
+        .arg("--stream")
+        .arg("--checkpoint-dir")
+        .arg(&ckpt)
+        .output()
+        .expect("run analyze");
+    assert!(
+        out.status.success(),
+        "stale lock blocked the run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(ckpt.join("report.json").exists(), "report.json missing");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn analyze_stream_checkpoint_dir_not_a_directory() {
+    let base = temp_dir("notadir");
+    let data = small_data(&base);
+    let file = base.join("occupied");
+    std::fs::write(&file, b"not a directory").unwrap();
+
+    let out = bin()
+        .args(["analyze", "--data"])
+        .arg(&data)
+        .arg("--stream")
+        .arg("--checkpoint-dir")
+        .arg(file.join("sub"))
+        .output()
+        .expect("run analyze");
+    assert!(!out.status.success(), "file-as-parent path was accepted");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checkpoint dir"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[cfg(unix)]
+#[test]
+fn analyze_stream_readonly_checkpoint_dir_fails_cleanly() {
+    use std::os::unix::fs::PermissionsExt;
+
+    let base = temp_dir("readonly");
+    let data = small_data(&base);
+    let ckpt = base.join("checkpoints");
+    std::fs::create_dir_all(&ckpt).unwrap();
+    std::fs::set_permissions(&ckpt, std::fs::Permissions::from_mode(0o555)).unwrap();
+
+    // Root ignores directory permission bits; probe first and skip when
+    // the sandbox can't actually make the directory unwritable.
+    if std::fs::write(ckpt.join(".probe"), b"x").is_ok() {
+        eprintln!("skipping: running as root, directory permissions not enforced");
+        std::fs::set_permissions(&ckpt, std::fs::Permissions::from_mode(0o755)).unwrap();
+        let _ = std::fs::remove_dir_all(&base);
+        return;
+    }
+
+    let out = bin()
+        .args(["analyze", "--data"])
+        .arg(&data)
+        .arg("--stream")
+        .arg("--checkpoint-dir")
+        .arg(&ckpt)
+        .output()
+        .expect("run analyze");
+    std::fs::set_permissions(&ckpt, std::fs::Permissions::from_mode(0o755)).unwrap();
+    assert!(!out.status.success(), "read-only dir was accepted");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checkpoint dir"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
