@@ -10,9 +10,21 @@
 //! `GET /watch?since=N` long-polls the log: the call parks on a condvar
 //! until an event with sequence number > N (optionally filtered by
 //! domain) arrives or the wait budget expires.
+//!
+//! Cursors are only meaningful within one server incarnation: the log is
+//! in-memory and sequence numbers restart after a crash. Each log carries
+//! an [`epoch`](EventLog::epoch) token minted at construction; `/watch`
+//! hands it to clients and rejects cursors minted under a different
+//! epoch, so a resuming client learns to restart from `since=0` instead
+//! of silently missing events. The log is also bounded: only the most
+//! recent [`MAX_RETAINED`] events are kept (sequence numbers stay
+//! monotonic across eviction), so a long-running server's memory does
+//! not grow with analysis history.
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use retrodns_core::pipeline::Report;
 use retrodns_core::WeekDelta;
@@ -21,6 +33,9 @@ use serde::{Deserialize, Serialize};
 
 /// Upper bound on events returned by one watch call.
 const MAX_BATCH: usize = 1_000;
+
+/// Retention cap: older events are evicted once the log exceeds this.
+pub const MAX_RETAINED: usize = 16_384;
 
 /// One verdict change.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -45,35 +60,92 @@ pub struct VerdictEvent {
     pub detection: String,
 }
 
-/// Append-only event log with long-poll support.
-#[derive(Default)]
+/// Append-only (but bounded) event log with long-poll support.
 pub struct EventLog {
-    events: Mutex<Vec<VerdictEvent>>,
+    /// Incarnation token minted at construction; see module docs.
+    epoch: u64,
+    inner: Mutex<LogInner>,
     arrived: Condvar,
 }
 
+struct LogInner {
+    /// Most recent events, seq-ordered; front is the oldest retained.
+    events: VecDeque<VerdictEvent>,
+    /// Sequence number the next appended event will get (starts at 1).
+    next_seq: u64,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new()
+    }
+}
+
 impl EventLog {
-    /// Empty log.
+    /// Empty log with a fresh epoch token.
     pub fn new() -> EventLog {
-        EventLog::default()
+        // Wall-clock nanos distinguish incarnations across restarts; the
+        // process-wide counter distinguishes logs minted within the same
+        // clock tick (in-process restart in tests).
+        static SALT: AtomicU64 = AtomicU64::new(0);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1);
+        let epoch = nanos
+            .wrapping_add(SALT.fetch_add(1, Ordering::Relaxed))
+            .max(1);
+        EventLog {
+            epoch,
+            inner: Mutex::new(LogInner {
+                events: VecDeque::new(),
+                next_seq: 1,
+            }),
+            arrived: Condvar::new(),
+        }
+    }
+
+    /// Incarnation token: cursors are only valid against the epoch they
+    /// were minted under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Latest sequence number (0 when empty).
     pub fn latest(&self) -> u64 {
-        self.events.lock().expect("event log poisoned").len() as u64
+        self.inner.lock().expect("event log poisoned").next_seq - 1
     }
 
     fn push_all(&self, mut batch: Vec<VerdictEvent>) {
         if batch.is_empty() {
             return;
         }
-        let mut events = self.events.lock().expect("event log poisoned");
+        let mut inner = self.inner.lock().expect("event log poisoned");
         for event in &mut batch {
-            event.seq = events.len() as u64 + 1;
-            events.push(event.clone());
+            event.seq = inner.next_seq;
+            inner.next_seq += 1;
+            inner.events.push_back(event.clone());
         }
-        drop(events);
+        while inner.events.len() > MAX_RETAINED {
+            inner.events.pop_front();
+        }
+        drop(inner);
         self.arrived.notify_all();
+    }
+
+    /// Events with `seq > since` (domain-filtered), starting from the
+    /// retention-aware index instead of scanning the whole log.
+    fn collect(inner: &LogInner, since: u64, domain: Option<&str>) -> Vec<VerdictEvent> {
+        let len = inner.events.len();
+        let first_seq = inner.next_seq - len as u64; // seq of the front event
+        let start = (since.saturating_sub(first_seq.saturating_sub(1)) as usize).min(len);
+        inner
+            .events
+            .range(start..)
+            .filter(|e| domain.map(|d| e.domain == d).unwrap_or(true))
+            .take(MAX_BATCH)
+            .cloned()
+            .collect()
     }
 
     /// Record the verdict changes of one ingested week.
@@ -116,16 +188,10 @@ impl EventLog {
         wait: Duration,
     ) -> (Vec<VerdictEvent>, u64) {
         let deadline = Instant::now() + wait;
-        let mut events = self.events.lock().expect("event log poisoned");
+        let mut inner = self.inner.lock().expect("event log poisoned");
         loop {
-            let matching: Vec<VerdictEvent> = events
-                .iter()
-                .filter(|e| e.seq > since)
-                .filter(|e| domain.map(|d| e.domain == d).unwrap_or(true))
-                .take(MAX_BATCH)
-                .cloned()
-                .collect();
-            let latest = events.len() as u64;
+            let matching = Self::collect(&inner, since, domain);
+            let latest = inner.next_seq - 1;
             if !matching.is_empty() {
                 return (matching, latest);
             }
@@ -135,18 +201,12 @@ impl EventLog {
             }
             let (guard, timeout) = self
                 .arrived
-                .wait_timeout(events, remaining)
+                .wait_timeout(inner, remaining)
                 .expect("event log poisoned");
-            events = guard;
+            inner = guard;
             if timeout.timed_out() {
-                let latest = events.len() as u64;
-                let matching: Vec<VerdictEvent> = events
-                    .iter()
-                    .filter(|e| e.seq > since)
-                    .filter(|e| domain.map(|d| e.domain == d).unwrap_or(true))
-                    .take(MAX_BATCH)
-                    .cloned()
-                    .collect();
+                let matching = Self::collect(&inner, since, domain);
+                let latest = inner.next_seq - 1;
                 return (matching, latest);
             }
         }
@@ -241,6 +301,37 @@ mod tests {
         let (events, _) = log.query(0, Some("b.example"), Duration::ZERO);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].domain, "b.example");
+    }
+
+    #[test]
+    fn epochs_distinguish_incarnations() {
+        let first = EventLog::new();
+        let second = EventLog::new();
+        assert_ne!(first.epoch(), 0);
+        assert_ne!(first.epoch(), second.epoch());
+    }
+
+    #[test]
+    fn retention_cap_evicts_oldest_but_seq_stays_monotonic() {
+        let log = EventLog::new();
+        let delta = delta_with("evict.example");
+        let total = MAX_RETAINED + 10;
+        for _ in 0..total {
+            log.append_delta("job-1", &delta);
+        }
+        assert_eq!(log.latest(), total as u64);
+        // Memory is bounded: a since=0 scan only sees the retained tail,
+        // and the oldest retained event's seq reflects the eviction.
+        let (events, latest) = log.query(0, None, Duration::ZERO);
+        assert_eq!(latest, total as u64);
+        assert_eq!(events[0].seq, (total - MAX_RETAINED + 1) as u64);
+        // A cursor inside the retained window resumes exactly.
+        let (events, _) = log.query(total as u64 - 1, None, Duration::ZERO);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, total as u64);
+        // A cursor at the tip sees nothing new.
+        let (events, _) = log.query(total as u64, None, Duration::ZERO);
+        assert!(events.is_empty());
     }
 
     #[test]

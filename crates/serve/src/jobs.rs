@@ -226,9 +226,18 @@ struct SupState {
     queue: VecDeque<String>,
     jobs: BTreeMap<String, JobEntry>,
     finish_counter: u64,
+    /// Submits that hold a queue slot while their job dir is written
+    /// with the lock released (see [`JobSupervisor::submit`]).
+    reserved: usize,
 }
 
 /// The supervisor: bounded queue, worker pool, per-job checkpoints.
+///
+/// Lock-order invariant: `state` and `metrics` are never held at the
+/// same time — every method releases one before taking the other (and
+/// the HTTP layer computes queue depth *before* locking metrics).
+/// Holding both in either order is an AB-BA deadlock with the
+/// `/metrics` handler.
 pub struct JobSupervisor {
     cfg: SupervisorConfig,
     state: Mutex<SupState>,
@@ -243,9 +252,19 @@ pub struct JobSupervisor {
 }
 
 fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
+    // Unique tmp name per write: concurrent writers to the same target
+    // (e.g. a cancel racing a worker's status update) each rename a
+    // complete file, so the target is never torn — rename ordering
+    // decides which complete snapshot persists.
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{n}"));
     std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, path)
+    let renamed = std::fs::rename(&tmp, path);
+    if renamed.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    renamed
 }
 
 fn valid_id(id: &str) -> bool {
@@ -281,6 +300,7 @@ impl JobSupervisor {
                 queue: VecDeque::new(),
                 jobs: BTreeMap::new(),
                 finish_counter: 0,
+                reserved: 0,
             }),
             work: Condvar::new(),
             events,
@@ -443,24 +463,6 @@ impl JobSupervisor {
                 cap: self.cfg.max_data_bytes,
             });
         }
-        let mut state = self.state.lock().expect("supervisor poisoned");
-        if state.jobs.contains_key(&spec.id) {
-            return Err(SubmitError::Duplicate(spec.id));
-        }
-        if state.queue.len() >= self.cfg.queue_capacity {
-            return Err(SubmitError::QueueFull {
-                retry_after_secs: self.cfg.retry_after_secs,
-            });
-        }
-        let dir = self.cfg.checkpoint_root.join(&spec.id);
-        std::fs::create_dir_all(&dir).map_err(|e| SubmitError::Io(e.to_string()))?;
-        atomic_write(
-            &dir.join(JOB_FILE),
-            serde_json::to_string_pretty(&spec)
-                .expect("spec serializes")
-                .as_bytes(),
-        )
-        .map_err(|e| SubmitError::Io(e.to_string()))?;
         let status = JobStatus {
             id: spec.id.clone(),
             state: JobState::Queued,
@@ -472,26 +474,73 @@ impl JobSupervisor {
             targeted: 0,
             degraded: 0,
         };
-        atomic_write(
-            &dir.join(STATUS_FILE),
-            serde_json::to_string_pretty(&status)
-                .expect("status serializes")
-                .as_bytes(),
-        )
-        .map_err(|e| SubmitError::Io(e.to_string()))?;
+        // Reserve under the lock: the job-table entry blocks duplicate
+        // ids and the reservation counts against queue capacity, but the
+        // id is not queued yet — the directory/spec/status writes below
+        // run with the lock released, so a slow or hung filesystem never
+        // stalls status/list/cancel/metrics.
+        {
+            let mut state = self.state.lock().expect("supervisor poisoned");
+            if state.jobs.contains_key(&spec.id) {
+                return Err(SubmitError::Duplicate(spec.id));
+            }
+            if state.queue.len() + state.reserved >= self.cfg.queue_capacity {
+                return Err(SubmitError::QueueFull {
+                    retry_after_secs: self.cfg.retry_after_secs,
+                });
+            }
+            state.reserved += 1;
+            state.jobs.insert(
+                spec.id.clone(),
+                JobEntry {
+                    spec: spec.clone(),
+                    status: status.clone(),
+                    cancel: Arc::new(AtomicBool::new(false)),
+                    report: None,
+                    report_json: None,
+                    deltas: Vec::new(),
+                    finished_at: 0,
+                },
+            );
+        }
+        let dir = self.cfg.checkpoint_root.join(&spec.id);
+        let persisted = (|| -> std::io::Result<()> {
+            std::fs::create_dir_all(&dir)?;
+            atomic_write(
+                &dir.join(JOB_FILE),
+                serde_json::to_string_pretty(&spec)
+                    .expect("spec serializes")
+                    .as_bytes(),
+            )?;
+            atomic_write(
+                &dir.join(STATUS_FILE),
+                serde_json::to_string_pretty(&status)
+                    .expect("status serializes")
+                    .as_bytes(),
+            )
+        })();
+        let mut state = self.state.lock().expect("supervisor poisoned");
+        state.reserved -= 1;
+        if let Err(e) = persisted {
+            state.jobs.remove(&spec.id);
+            return Err(SubmitError::Io(e.to_string()));
+        }
+        // A cancel may have landed on the reservation while the lock was
+        // released; honor it instead of queueing a dead job (and re-persist
+        // its status, since cancel()'s write can predate the job dir).
+        let entry = state.jobs.get(&spec.id).expect("reserved entry");
+        if entry.status.state == JobState::Cancelled {
+            let cancelled = entry.status.clone();
+            drop(state);
+            let _ = atomic_write(
+                &dir.join(STATUS_FILE),
+                serde_json::to_string_pretty(&cancelled)
+                    .expect("status serializes")
+                    .as_bytes(),
+            );
+            return Ok(cancelled);
+        }
         state.queue.push_back(spec.id.clone());
-        state.jobs.insert(
-            spec.id.clone(),
-            JobEntry {
-                spec,
-                status: status.clone(),
-                cancel: Arc::new(AtomicBool::new(false)),
-                report: None,
-                report_json: None,
-                deltas: Vec::new(),
-                finished_at: 0,
-            },
-        );
         drop(state);
         self.work.notify_one();
         self.count("jobs.submitted", 1);
@@ -614,6 +663,11 @@ impl JobSupervisor {
         let (spec, cancel) = {
             let state = self.state.lock().expect("supervisor poisoned");
             let entry = state.jobs.get(id).expect("queued job exists");
+            if entry.status.state.terminal() {
+                // Cancelled between the queue pop and here — already
+                // persisted by cancel(); never resurrect it.
+                return;
+            }
             (entry.spec.clone(), Arc::clone(&entry.cancel))
         };
         let dir = self.cfg.checkpoint_root.join(id);
@@ -640,7 +694,19 @@ impl JobSupervisor {
             }
         };
 
-        self.set_status(id, |s| s.state = JobState::Running);
+        // Re-check under the same lock that flips to Running: a cancel
+        // landing after the terminal check above must win, not be
+        // overwritten into a resurrected Running job.
+        let mut started = false;
+        self.set_status(id, |s| {
+            if !s.state.terminal() {
+                s.state = JobState::Running;
+                started = true;
+            }
+        });
+        if !started {
+            return;
+        }
         self.count("jobs.started", 1);
 
         let data = match JobData::load(Path::new(&spec.data_dir)) {
@@ -694,6 +760,10 @@ impl JobSupervisor {
                 self.set_status(id, |s| s.state = JobState::Queued);
                 let mut state = self.state.lock().expect("supervisor poisoned");
                 state.queue.push_front(id.to_string());
+                // Release before counting: count() takes the metrics
+                // lock, and holding state across it inverts the lock
+                // order against the /metrics handler.
+                drop(state);
                 self.count("jobs.parked", 1);
                 return;
             }

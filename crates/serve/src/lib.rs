@@ -81,6 +81,7 @@ impl ServerHandle {
     /// begin serving. Returns once listening.
     pub fn start(cfg: ServeConfig) -> Result<ServerHandle, String> {
         let service = AnalysisService::new(cfg.supervisor);
+        service.set_http_workers(cfg.http_workers);
         let recovered = service
             .supervisor
             .recover()

@@ -17,7 +17,7 @@
 //! | GET  | `/jobs/{id}/funnel` | funnel stats of the latest report |
 //! | GET  | `/jobs/{id}/degraded` | degraded verdict set |
 //! | GET  | `/jobs/{id}/deltas` | per-week verdict deltas |
-//! | GET  | `/watch?since=N[&domain=D][&wait_ms=M]` | long-poll verdict events |
+//! | GET  | `/watch?since=N[&epoch=E][&domain=D][&wait_ms=M]` | long-poll verdict events |
 //! | POST | `/shutdown` | begin graceful drain (202) |
 //!
 //! Graceful shutdown: `/shutdown` (or SIGTERM handling in the binary)
@@ -27,7 +27,7 @@
 //! the HTTP layer drains every accepted connection before the process
 //! exits.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -51,6 +51,12 @@ pub struct AnalysisService {
     draining: AtomicBool,
     shutdown_requested: Mutex<bool>,
     shutdown_signal: Condvar,
+    /// `/watch` calls currently parked on the event log.
+    watch_waiters: AtomicUsize,
+    /// Cap on parked `/watch` calls — kept below the HTTP pool size so
+    /// long-polling clients can never starve `/healthz`/`/readyz` of
+    /// handler threads. Over-cap watchers degrade to an immediate poll.
+    max_watch_waiters: AtomicUsize,
 }
 
 /// `GET /jobs/{id}/verdict/{domain}` response.
@@ -71,6 +77,11 @@ struct WatchResponse {
     events: Vec<VerdictEvent>,
     /// Cursor to pass as `since` on the next call.
     latest: u64,
+    /// Server incarnation the cursor belongs to; pass back as `epoch`.
+    /// Cursors from another incarnation are rejected with 409 so a
+    /// client resuming across a restart restarts from `since=0` instead
+    /// of silently missing events.
+    epoch: u64,
 }
 
 impl AnalysisService {
@@ -87,7 +98,16 @@ impl AnalysisService {
             draining: AtomicBool::new(false),
             shutdown_requested: Mutex::new(false),
             shutdown_signal: Condvar::new(),
+            watch_waiters: AtomicUsize::new(0),
+            max_watch_waiters: AtomicUsize::new(2),
         })
+    }
+
+    /// Size the `/watch` long-poll cap to the HTTP pool: at least two
+    /// handler threads always stay free for non-watch requests.
+    pub fn set_http_workers(&self, http_workers: usize) {
+        self.max_watch_waiters
+            .store(http_workers.saturating_sub(2), Ordering::SeqCst);
     }
 
     /// The shared event log.
@@ -147,9 +167,14 @@ impl AnalysisService {
                 }
             }
             ("GET", ["metrics"]) => {
+                // Read the queue depth (supervisor state lock) before
+                // taking the metrics lock: holding metrics across a
+                // state acquisition is an AB-BA deadlock against worker
+                // paths that count metrics.
+                let queue_depth = self.supervisor.queue_depth() as f64;
                 let body = {
                     let mut metrics = self.metrics.lock().expect("metrics poisoned");
-                    metrics.gauge("serve.queue.depth", self.supervisor.queue_depth() as f64);
+                    metrics.gauge("serve.queue.depth", queue_depth);
                     metrics.snapshot().to_prometheus()
                 };
                 Response {
@@ -303,14 +328,63 @@ impl AnalysisService {
             Ok(v) => v.unwrap_or(0),
             Err(_) => return Response::error(400, "wait_ms must be an integer"),
         };
+        // Cursors only mean something within one server incarnation: the
+        // event log is in-memory and seq restarts with the process. A
+        // mismatched epoch — or a cursor past the log's tip, which is how
+        // an epoch-unaware client from a previous incarnation looks — is
+        // an explicit 409, not a silent event gap.
+        let epoch = self.events.epoch();
+        match req.query("epoch").map(str::parse::<u64>).transpose() {
+            Ok(None) => {}
+            Ok(Some(e)) if e == epoch => {}
+            Ok(Some(_)) => {
+                return Response::error(
+                    409,
+                    format!("stale cursor: server epoch is {epoch}; restart from since=0"),
+                )
+            }
+            Err(_) => return Response::error(400, "epoch must be an integer"),
+        }
+        if since > self.events.latest() {
+            return Response::error(
+                409,
+                format!(
+                    "cursor {since} is beyond this incarnation's log (epoch {epoch}); \
+                     restart from since=0"
+                ),
+            );
+        }
         // No long-polling once draining: the client gets what exists now.
-        let wait = if self.draining() {
+        let mut wait = if self.draining() {
             Duration::ZERO
         } else {
             Duration::from_millis(wait_ms).min(MAX_WATCH_WAIT)
         };
+        // Admission for parking: each long-poll occupies an HTTP worker
+        // thread, so only max_watch_waiters may wait — the rest answer
+        // immediately with whatever exists (the client just polls again).
+        let mut parked = false;
+        if wait > Duration::ZERO {
+            let max = self.max_watch_waiters.load(Ordering::SeqCst);
+            if self.watch_waiters.fetch_add(1, Ordering::SeqCst) < max {
+                parked = true;
+            } else {
+                self.watch_waiters.fetch_sub(1, Ordering::SeqCst);
+                wait = Duration::ZERO;
+            }
+        }
         let (events, latest) = self.events.query(since, req.query("domain"), wait);
-        Response::json(200, &WatchResponse { events, latest })
+        if parked {
+            self.watch_waiters.fetch_sub(1, Ordering::SeqCst);
+        }
+        Response::json(
+            200,
+            &WatchResponse {
+                events,
+                latest,
+                epoch,
+            },
+        )
     }
 }
 

@@ -307,6 +307,104 @@ fn graceful_shutdown_parks_job_and_restart_resumes() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+#[test]
+fn watch_rejects_stale_cursors() {
+    let root = temp_root("watch-cursor");
+    let server = start(&root, 8, 1);
+    let addr = server.addr().to_string();
+
+    // A fresh watch hands back the incarnation epoch with the cursor.
+    #[derive(serde::Deserialize)]
+    struct Watch {
+        latest: u64,
+        epoch: u64,
+    }
+    let first: Watch = client::get(&addr, "/watch?since=0&wait_ms=0")
+        .expect("watch")
+        .json()
+        .expect("watch json");
+    assert_ne!(first.epoch, 0);
+
+    // Cursor from that same incarnation: accepted.
+    let ok = client::get(
+        &addr,
+        &format!(
+            "/watch?since={}&epoch={}&wait_ms=0",
+            first.latest, first.epoch
+        ),
+    )
+    .expect("watch");
+    assert_eq!(ok.status, 200, "{}", ok.text());
+
+    // Cursor minted under another incarnation's epoch: explicit 409, not
+    // a silent event gap.
+    let stale = client::get(
+        &addr,
+        &format!("/watch?since=0&epoch={}&wait_ms=0", first.epoch ^ 1),
+    )
+    .expect("watch");
+    assert_eq!(stale.status, 409, "{}", stale.text());
+
+    // Epoch-unaware client holding a cursor beyond this incarnation's
+    // log (i.e. from before a restart): also 409.
+    let beyond = client::get(&addr, "/watch?since=999999&wait_ms=0").expect("watch");
+    assert_eq!(beyond.status, 409, "{}", beyond.text());
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Deadlock regression: parking a running job at shutdown counts a
+/// metric, and `/metrics` reads the queue depth — with inconsistent lock
+/// order a concurrent scrape wedged both sides and `shutdown()` never
+/// returned. Hammer `/metrics` across the drain and require completion.
+#[test]
+fn metrics_scrape_during_shutdown_drain_completes() {
+    let root = temp_root("metrics-drain");
+    let server = start(&root, 8, 1);
+    let addr = server.addr().to_string();
+    let spec = JobSpec {
+        id: "scrape".into(),
+        data_dir: data_dir().display().to_string(),
+        workers: 1,
+        week_delay_ms: 50,
+        ..Default::default()
+    };
+    assert_eq!(submit(&addr, &spec).status, 202);
+    wait_for(&addr, "scrape", "Running", |s| s.state == JobState::Running);
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = {
+        let (addr, stop) = (addr.clone(), std::sync::Arc::clone(&stop));
+        std::thread::spawn(move || {
+            let mut scrapes = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                if let Ok(r) = client::get(&addr, "/metrics") {
+                    assert_eq!(r.status, 200);
+                    scrapes += 1;
+                }
+            }
+            scrapes
+        })
+    };
+
+    // The drain parks the running job at its next week boundary while
+    // the scraper keeps the metrics lock hot; this returning at all is
+    // the assertion.
+    server.shutdown();
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let scrapes = scraper.join().expect("scraper thread");
+    assert!(scrapes > 0, "scraper never landed a request");
+
+    let persisted = std::fs::read_to_string(root.join("scrape").join("status.json"))
+        .expect("status.json persisted");
+    assert!(
+        persisted.contains("Queued"),
+        "parked job should persist as Queued: {persisted}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Spawn the real `retrodns-serve` binary and wait for its port file.
 fn spawn_serve(root: &Path, port_file: &Path) -> (Child, String) {
     let _ = std::fs::remove_file(port_file);
